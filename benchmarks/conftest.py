@@ -1,0 +1,67 @@
+"""Shared fixtures and table printing for the reproduction benchmarks.
+
+Every module regenerates one figure/table of the paper (see DESIGN.md §3).
+Benchmarks both *time* the experiment (pytest-benchmark) and *print* the
+rows/series the paper reports, asserting the shape criteria from
+DESIGN.md.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals import make_corpus
+
+
+def print_table(title: str, headers: list[str],
+                rows: list[tuple]) -> None:
+    """Print one result table in a fixed-width layout."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(h), 12) for h in headers]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        cells = []
+        for value, w in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:.3f}".ljust(w))
+            else:
+                cells.append(str(value).ljust(w))
+        print("  ".join(cells))
+
+
+@pytest.fixture(scope="session")
+def cs_corpus():
+    """Corpus for the Fig. 5 CS evaluation (PhysioNet-like noise)."""
+    return make_corpus("cs_eval", n_records=4, duration_s=30.0, seed=2014)
+
+
+@pytest.fixture(scope="session")
+def nsr_corpus():
+    """Corpus for delineation accuracy (T1)."""
+    return make_corpus("nsr", n_records=6, duration_s=60.0, seed=77)
+
+
+@pytest.fixture(scope="session")
+def ectopy_corpus():
+    """Corpus with ectopic beats for classification (T4)."""
+    return make_corpus("ectopy", n_records=6, duration_s=60.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def af_corpora():
+    """(train, test) paroxysmal-AF corpora for T3."""
+    train = make_corpus("af_mix", n_records=4, duration_s=120.0, seed=1)
+    test = make_corpus("af_mix", n_records=4, duration_s=120.0, seed=2)
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def hw_block(nsr_corpus):
+    """One-second 3-lead block + beat window for the Fig. 7 kernels."""
+    record = nsr_corpus.records[0]
+    block = record.signals[:, 500:750]
+    beat = record.lead(1).beat_window(record.beats[3])
+    return record.fs, block, beat

@@ -1,0 +1,49 @@
+"""Fig. 1 — bandwidth/energy vs. on-node abstraction level.
+
+The paper's Fig. 1 is qualitative: raising the abstraction of the
+transmitted data (raw -> compressed -> delineated features -> beat classes
+-> alarms) lowers the bandwidth and hence the node energy.  This bench
+quantifies every rung with the shared radio/MCU/front-end models and
+asserts the monotone collapse, including the thesis that the *added* DSP
+energy is repaid many times over by the radio savings.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from repro.power import AbstractionLadder, Battery, LADDER_LEVELS
+
+
+def run_ladder():
+    ladder = AbstractionLadder()
+    battery = Battery()
+    rows = []
+    for rung in ladder.table():
+        rows.append((rung.level, rung.bandwidth_bps,
+                     rung.processing_cycles_per_s / 1e3,
+                     1e6 * rung.radio_energy_w,
+                     1e6 * rung.processing_energy_w,
+                     1e3 * rung.total_power_w,
+                     battery.lifetime_days(rung.total_power_w)))
+    return rows
+
+
+def test_fig1_abstraction_ladder(benchmark):
+    rows = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+    print_table("Fig. 1: transmitted-data abstraction ladder "
+                "(3-lead, 250 Hz, 12-bit)",
+                ["level", "bw [bps]", "DSP [kcyc/s]", "radio [uW]",
+                 "proc [uW]", "total [mW]", "battery [days]"], rows)
+
+    bandwidth = [row[1] for row in rows]
+    totals = [row[5] for row in rows]
+    # Bandwidth collapses monotonically up to the beat-class level.
+    assert all(a > b for a, b in zip(bandwidth[:4], bandwidth[1:4]))
+    # Total power follows.
+    assert all(a > b for a, b in zip(totals[:4], totals[1:4]))
+    # Raw streaming to alarms: more than an order of magnitude.
+    assert totals[0] > 10 * totals[-1]
+    # DSP effort rises with abstraction yet total power still falls.
+    dsp = [row[2] for row in rows]
+    assert dsp[-1] > dsp[0]
+    assert LADDER_LEVELS[0] == rows[0][0]

@@ -1,0 +1,53 @@
+"""Fig. 6 — node energy breakdown: No Comp. vs SL-CS vs ML-CS.
+
+Paper: the radio dominates raw streaming; CS cuts average power by 44.7 %
+(single-lead) and 56.1 % (multi-lead) at the 20 dB operating points of
+Fig. 5.  The bench computes the bars with the radio/MCU/front-end models
+at *our* measured 20 dB crossings and asserts the shape: radio-dominated
+baseline, small compression slice, large savings with ML > SL.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from repro.power import NodeEnergyModel, figure6_breakdowns
+
+# 20 dB operating points measured by the Fig. 5 bench on the synthetic
+# corpus (paper: SL 65.9 / ML 72.7 on MIT-BIH).
+SL_CR_20DB = 50.0
+ML_CR_20DB = 63.0
+
+
+def run_breakdowns():
+    model = NodeEnergyModel()
+    bars = figure6_breakdowns(SL_CR_20DB, ML_CR_20DB)
+    sl_reduction = model.power_reduction_percent(
+        bars["single_lead_cs"], bars["no_comp_1lead"])
+    ml_reduction = model.power_reduction_percent(
+        bars["multi_lead_cs"], bars["no_comp"])
+    return bars, sl_reduction, ml_reduction
+
+
+def test_fig6_energy_breakdown(benchmark):
+    bars, sl_reduction, ml_reduction = benchmark.pedantic(
+        run_breakdowns, rounds=1, iterations=1)
+    rows = []
+    for name in ("no_comp_1lead", "single_lead_cs", "no_comp",
+                 "multi_lead_cs"):
+        uj = bars[name].as_microjoules()
+        rows.append((name, uj["radio"], uj["sampling"], uj["compression"],
+                     uj["os"], 1e6 * bars[name].total))
+    rows.append(("SL reduction %", sl_reduction, "-", "-", "-", "-"))
+    rows.append(("ML reduction %", ml_reduction, "-", "-", "-", "-"))
+    print_table("Fig. 6: energy per 2 s window [uJ] "
+                "(paper reductions: SL 44.7 %, ML 56.1 %)",
+                ["scenario", "radio", "sampling", "comp", "os", "total"],
+                rows)
+
+    raw = bars["no_comp"]
+    assert raw.radio > 0.6 * raw.total                # radio dominates
+    for key in ("single_lead_cs", "multi_lead_cs"):
+        assert bars[key].compression < 0.1 * bars[key].total
+    assert 30.0 <= sl_reduction <= 60.0               # paper: 44.7
+    assert 45.0 <= ml_reduction <= 70.0               # paper: 56.1
+    assert ml_reduction > sl_reduction                # ML saves more

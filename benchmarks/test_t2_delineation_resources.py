@@ -1,0 +1,50 @@
+"""T2 (in-text §V) — wavelet delineation footprint: 7 % duty, 7.2 kB.
+
+Paper: the embedded wavelet delineator needs "only a fraction of the
+resources (7 % of the duty cycle and 7.2 kB of memory)".  The bench
+derives both figures from the streaming algorithm's per-sample operation
+counts and buffer inventory on the MSP430-class MCU model.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from repro.delineation import (
+    mmd_delineator_resources,
+    wavelet_delineator_resources,
+)
+
+
+def run_estimates():
+    return (wavelet_delineator_resources(fs=250.0),
+            mmd_delineator_resources(fs=250.0))
+
+
+def test_t2_resources(benchmark):
+    wavelet, mmd = benchmark.pedantic(run_estimates, rounds=1, iterations=1)
+    rows = [
+        ("wavelet [12]", 100 * wavelet.duty_cycle, wavelet.memory_kb,
+         wavelet.cycles_per_sample),
+        ("MMD [13]", 100 * mmd.duty_cycle, mmd.memory_kb,
+         mmd.cycles_per_sample),
+        ("paper (wavelet)", 7.0, 7.2, "-"),
+    ]
+    print_table("T2: delineator footprint at 250 Hz on a 1 MHz ULP MCU",
+                ["algorithm", "duty [%]", "memory [kB]", "cyc/sample"],
+                rows)
+    # Paper bands: single-digit duty cycle, ~7 kB memory.
+    assert 0.02 <= wavelet.duty_cycle <= 0.12
+    assert 5.0 <= wavelet.memory_kb <= 9.5
+    # The §IV-A optimization: flat-SE morphology is cheaper per sample.
+    assert mmd.cycles_per_sample < wavelet.cycles_per_sample
+
+
+def test_t2_memory_breakdown(benchmark):
+    estimate = benchmark.pedantic(wavelet_delineator_resources, rounds=1,
+                                  iterations=1)
+    rows = [(name, bytes_ / 1024.0)
+            for name, bytes_ in sorted(estimate.breakdown.items(),
+                                       key=lambda kv: -kv[1])]
+    print_table("T2: wavelet delineator memory itemization",
+                ["component", "kB"], rows)
+    assert sum(b for _, b in rows) * 1024 == estimate.memory_bytes

@@ -1,0 +1,72 @@
+"""T4 (§III-D/§IV-A) — random-projection heartbeat classification.
+
+Paper claims reproduced: (a) the 4-segment linearized Gaussian
+memberships achieve "close-to-optimal results while vastly simplifying
+the computational requirements"; (b) the sparse {0,+-1} projection matrix
+(2 bits/element) performs close to dense projections while removing all
+multiplications; (c) the whole classifier fits a few kB and a few
+thousand cycles per beat.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from repro.classification import (
+    HeartbeatClassifier,
+    corpus_beat_dataset,
+    evaluate_classification,
+    train_test_split,
+)
+
+CONFIGS = (
+    ("ternary/exact", "ternary", "exact"),
+    ("ternary/pwl", "ternary", "pwl"),
+    ("dense-sign/exact", "dense_sign", "exact"),
+    ("gaussian/exact", "gaussian", "exact"),
+)
+
+
+def run_design_points(corpus):
+    X, y = corpus_beat_dataset(corpus, rr_features=True)
+    Xtr, ytr, Xte, yte = train_test_split(X, y, test_fraction=0.4, seed=5)
+    window = X.shape[1] - 2
+    results = []
+    for label, kind, membership in CONFIGS:
+        clf = HeartbeatClassifier(window=window, projection_kind=kind,
+                                  membership=membership,
+                                  extra_features=2).fit(Xtr, ytr)
+        report = evaluate_classification(yte, clf.predict(Xte))
+        cost = clf.projector.cost()
+        results.append((label, report, cost, clf.cycles_per_beat()))
+    return results
+
+
+def test_t4_rp_classification(benchmark, ectopy_corpus):
+    results = benchmark.pedantic(run_design_points, args=(ectopy_corpus,),
+                                 rounds=1, iterations=1)
+    rows = []
+    for label, report, cost, cycles in results:
+        rows.append((label, report.accuracy, report.sensitivity("V"),
+                     report.sensitivity("S"), cost.storage_bytes, cycles))
+    print_table("T4: heartbeat classification design points "
+                "(paper: linearization + sparse RP close to optimal)",
+                ["config", "accuracy", "Se(V)", "Se(S)", "matrix [B]",
+                 "cycles/beat"], rows)
+
+    accuracy = {label: report.accuracy for label, report, _, _ in results}
+    # (a) PWL within a few points of exact memberships.
+    assert abs(accuracy["ternary/exact"] - accuracy["ternary/pwl"]) < 0.05
+    # (b) sparse ternary close to the dense baselines.
+    assert accuracy["ternary/exact"] > accuracy["gaussian/exact"] - 0.06
+    # Overall quality: >= 90 % accuracy, strong PVC sensitivity.
+    assert accuracy["ternary/exact"] >= 0.90
+    v_sens = {label: report.sensitivity("V")
+              for label, report, _, _ in results}
+    assert v_sens["ternary/exact"] >= 0.85
+    # (c) embedded budget: 2-bit matrix storage beats 16-bit by ~8x and
+    # the PWL variant cuts the per-beat cycle count.
+    costs = {label: cost for label, _, cost, _ in results}
+    assert costs["ternary/exact"].storage_bytes * 7 < \
+        costs["gaussian/exact"].storage_bytes
+    cycles = {label: c for label, _, _, c in results}
+    assert cycles["ternary/pwl"] < cycles["ternary/exact"]

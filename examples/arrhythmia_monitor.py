@@ -1,0 +1,66 @@
+"""Multi-lead arrhythmia monitor: the SmartCardia application of §V.
+
+Trains the AF detector, then runs the full node pipeline on a paroxysmal
+AF recording: conditioning, RMS lead combination, delineation, AF window
+analysis, alarm generation with CS-compressed excerpts, and the node
+energy/battery accounting.
+
+Run:  python examples/arrhythmia_monitor.py
+"""
+
+from __future__ import annotations
+
+from repro.classification import AF_LABEL, AfDetector
+from repro.pipeline import CardiacMonitorNode
+from repro.signals import RecordSpec, make_corpus, make_record
+
+
+def main() -> None:
+    # Train the fuzzy AF classifier on an annotated corpus (the paper's
+    # detector is trained off-line and ported to the node).
+    print("training AF detector on 4 paroxysmal-AF records ...")
+    train = make_corpus("af_mix", n_records=4, duration_s=120.0, seed=1)
+    detector = AfDetector().fit(list(train))
+
+    # A 5-minute ambulatory recording with a ~35 % AF burden.
+    record = make_record(RecordSpec(
+        name="patient-42", duration_s=300.0, rhythm="paroxysmal_af",
+        af_burden=0.35, snr_db=18.0, seed=77))
+    truth_af_beats = sum(1 for b in record.beats if b.rhythm == "AF")
+    print(f"recording: {record.duration_s:.0f} s, {len(record.beats)} "
+          f"beats ({truth_af_beats} in AF)")
+
+    # Run the embedded pipeline.
+    node = CardiacMonitorNode(af_detector=detector,
+                              excerpt_period_s=60.0)
+    report = node.process(record)
+
+    print(f"\ndetected beats: {len(report.beats)}  "
+          f"mean HR: {report.mean_heart_rate_bpm:.0f} bpm")
+    print(f"AF alarms raised: {len(report.alarms)}")
+    for i, alarm in enumerate(report.alarms):
+        start_s = alarm.start / report.fs
+        stop_s = alarm.stop / report.fs
+        print(f"  alarm {i}: {alarm.kind} "
+              f"[{start_s:7.1f} s .. {stop_s:7.1f} s] "
+              f"excerpt {alarm.excerpt_bits / 8:.0f} B")
+
+    # Energy accounting: smart transmission vs. raw streaming.
+    raw_bits = 3 * record.n_samples * 12
+    print(f"\ntransmitted: {report.transmitted_bits / 8:.0f} B "
+          f"(raw streaming would be {raw_bits / 8:.0f} B, "
+          f"{raw_bits / max(report.transmitted_bits, 1):.0f}x more)")
+    print(f"average node power: {1e6 * report.average_power_w:.0f} uW")
+    print(f"battery estimate: {report.battery_days:.1f} days between "
+          f"charges (paper: 'typically one week')")
+
+    # Window-level AF decision quality on this recording.
+    windows, labels = detector.predict_record(record)
+    tp = sum(1 for w, l in zip(windows, labels)
+             if w.truth == AF_LABEL and l == AF_LABEL)
+    total_af = sum(1 for w in windows if w.truth == AF_LABEL)
+    print(f"\nAF windows correctly flagged: {tp}/{total_af}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "Ultra-Low Power Design of Wearable Cardiac
+Monitoring Systems" (Braojos et al., DAC 2014).
+
+Subpackages (see DESIGN.md for the full system inventory):
+
+* :mod:`repro.signals` — synthetic annotated ECG/PPG substrate.
+* :mod:`repro.dsp` — sliding windows, wavelet banks, fixed point.
+* :mod:`repro.filtering` — morphological/spline/RMS/AICF/EA filtering.
+* :mod:`repro.delineation` — R-peak detection, wavelet and MMD delineators.
+* :mod:`repro.compression` — compressed sensing (single- and multi-lead).
+* :mod:`repro.classification` — random projections, neuro-fuzzy, AF.
+* :mod:`repro.power` — radio/MCU/front-end energy, Fig. 1/6 models.
+* :mod:`repro.hwsim` — multi-core WBSN instruction-level simulator (Fig. 7).
+* :mod:`repro.multimodal` — PAT/PWV/BP and SpO2 estimation.
+* :mod:`repro.pipeline` — the end-to-end node application.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "classification",
+    "compression",
+    "delineation",
+    "dsp",
+    "filtering",
+    "hwsim",
+    "multimodal",
+    "pipeline",
+    "power",
+    "signals",
+]

@@ -1,0 +1,52 @@
+"""Embedded classification: random projections, fuzzy rules, AF detection."""
+
+from .afib import (
+    AF_LABEL,
+    AfDetector,
+    AfWindow,
+    FEATURE_NAMES,
+    NON_AF_LABEL,
+    rr_irregularity_features,
+    window_features,
+)
+from .evaluation import ClassificationReport, evaluate_classification
+from .gaussian import (
+    PWL_KNOTS,
+    PWL_VALUES,
+    gaussian_membership,
+    membership_ops,
+    pwl_max_error,
+    pwl_membership,
+)
+from .heartbeat import (
+    HeartbeatClassifier,
+    corpus_beat_dataset,
+    train_test_split,
+)
+from .neurofuzzy import FuzzyRule, NeuroFuzzyClassifier
+from .projections import ProjectionCost, RandomProjector
+
+__all__ = [
+    "AF_LABEL",
+    "AfDetector",
+    "AfWindow",
+    "ClassificationReport",
+    "FEATURE_NAMES",
+    "FuzzyRule",
+    "HeartbeatClassifier",
+    "NON_AF_LABEL",
+    "NeuroFuzzyClassifier",
+    "PWL_KNOTS",
+    "PWL_VALUES",
+    "ProjectionCost",
+    "RandomProjector",
+    "corpus_beat_dataset",
+    "evaluate_classification",
+    "gaussian_membership",
+    "membership_ops",
+    "pwl_max_error",
+    "pwl_membership",
+    "rr_irregularity_features",
+    "train_test_split",
+    "window_features",
+]

@@ -1,0 +1,86 @@
+"""Classification evaluation: confusion matrices and per-class metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ClassificationReport:
+    """Confusion matrix plus derived per-class metrics.
+
+    Attributes:
+        classes: Ordered class labels.
+        confusion: ``confusion[i, j]`` counts samples of true class ``i``
+            predicted as class ``j``.
+    """
+
+    classes: list[str]
+    confusion: np.ndarray
+
+    @property
+    def total(self) -> int:
+        """Total number of scored samples."""
+        return int(self.confusion.sum())
+
+    @property
+    def accuracy(self) -> float:
+        """Overall accuracy."""
+        total = self.total
+        return float(np.trace(self.confusion)) / total if total else 0.0
+
+    def _index(self, label: str) -> int:
+        try:
+            return self.classes.index(label)
+        except ValueError:
+            raise KeyError(f"unknown class {label!r}") from None
+
+    def sensitivity(self, label: str) -> float:
+        """Recall of one class: TP / (TP + FN)."""
+        i = self._index(label)
+        row = self.confusion[i].sum()
+        return float(self.confusion[i, i]) / row if row else 1.0
+
+    def ppv(self, label: str) -> float:
+        """Positive predictivity of one class: TP / (TP + FP)."""
+        i = self._index(label)
+        col = self.confusion[:, i].sum()
+        return float(self.confusion[i, i]) / col if col else 1.0
+
+    def specificity(self, label: str) -> float:
+        """One-vs-rest specificity: TN / (TN + FP)."""
+        i = self._index(label)
+        fp = self.confusion[:, i].sum() - self.confusion[i, i]
+        tn = self.total - self.confusion[i].sum() - fp
+        denom = tn + fp
+        return float(tn) / denom if denom else 1.0
+
+    def rows(self) -> list[tuple[str, float, float, float]]:
+        """Report rows: (class, Se, PPV, Sp)."""
+        return [(c, self.sensitivity(c), self.ppv(c), self.specificity(c))
+                for c in self.classes]
+
+
+def evaluate_classification(truth: np.ndarray, predicted: np.ndarray,
+                            classes: list[str] | None = None,
+                            ) -> ClassificationReport:
+    """Build a :class:`ClassificationReport` from label arrays.
+
+    Args:
+        truth: Ground-truth labels.
+        predicted: Predicted labels (same length).
+        classes: Class ordering (defaults to the sorted union).
+    """
+    truth = np.asarray(truth)
+    predicted = np.asarray(predicted)
+    if truth.shape != predicted.shape:
+        raise ValueError("truth and predicted must have the same shape")
+    if classes is None:
+        classes = sorted(set(truth.tolist()) | set(predicted.tolist()))
+    index = {label: i for i, label in enumerate(classes)}
+    confusion = np.zeros((len(classes), len(classes)), dtype=int)
+    for t, p in zip(truth, predicted):
+        confusion[index[t], index[p]] += 1
+    return ClassificationReport(classes=list(classes), confusion=confusion)

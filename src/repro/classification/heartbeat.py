@@ -1,0 +1,143 @@
+"""End-to-end heartbeat classification pipeline (exp T4).
+
+Wires the paper's §III-D chain together: beat windows around detected R
+peaks -> random projection -> neuro-fuzzy classification into the beat
+classes (normal / ventricular / supraventricular).  The embedded cost
+model combines the projection and membership op counts so the T4 bench
+can report accuracy *and* MCU cycles for each design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..signals.dataset import Corpus, beat_windows
+from .gaussian import membership_ops
+from .neurofuzzy import NeuroFuzzyClassifier
+from .projections import RandomProjector
+
+
+@dataclass
+class HeartbeatClassifier:
+    """Random-projection + neuro-fuzzy heartbeat classifier.
+
+    Args:
+        window: Beat window length in samples.
+        k: Number of random-projection features.
+        projection_kind: ``ternary`` / ``dense_sign`` / ``gaussian``.
+        membership: ``exact`` or ``pwl`` Gaussian memberships.
+        seed: Projection matrix seed.
+    """
+
+    window: int = 175
+    k: int = 24
+    projection_kind: str = "ternary"
+    membership: str = "exact"
+    seed: int = 11
+    extra_features: int = 0
+
+    def __post_init__(self) -> None:
+        self.projector = RandomProjector(self.window, self.k,
+                                         self.projection_kind, self.seed)
+        self.classifier = NeuroFuzzyClassifier(membership=self.membership)
+
+    def _features(self, rows: np.ndarray) -> np.ndarray:
+        """Project the waveform part; pass extra (RR) columns through."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        expected = self.window + self.extra_features
+        if rows.shape[1] != expected:
+            raise ValueError(f"expected rows of {expected} columns "
+                             f"(window + extras), got {rows.shape[1]}")
+        projected = self.projector.project(rows[:, :self.window])
+        if self.extra_features:
+            return np.hstack([projected, rows[:, self.window:]])
+        return projected
+
+    def fit(self, rows: np.ndarray, labels: np.ndarray,
+            ) -> "HeartbeatClassifier":
+        """Train on beat rows (waveform window + optional RR columns)."""
+        self.classifier.fit(self._features(rows), labels)
+        return self
+
+    def predict(self, rows: np.ndarray) -> np.ndarray:
+        """Predict class labels for beat rows."""
+        return self.classifier.predict(self._features(rows))
+
+    def cycles_per_beat(self, cycles_per_add: int = 1,
+                        cycles_per_mul: int = 4,
+                        cycles_per_cmp: int = 1) -> int:
+        """MCU cycles to classify one beat (projection + memberships)."""
+        proj = self.projector.cost()
+        member = membership_ops(self.membership)
+        n_classes = max(1, len(self.classifier.rules))
+        member_total = n_classes * self.k
+        cycles = (proj.additions * cycles_per_add
+                  + proj.multiplications * cycles_per_mul
+                  + member_total * (member["multiplications"] * cycles_per_mul
+                                    + member["additions"] * cycles_per_add
+                                    + member["compares"] * cycles_per_cmp))
+        return int(cycles)
+
+
+def corpus_beat_dataset(corpus: Corpus, lead: int = 1,
+                        before_s: float = 0.25, after_s: float = 0.45,
+                        rr_features: bool = False,
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Beat windows + labels from a corpus, AF beats relabelled normal.
+
+    AF beats have normal QRS morphology (the AF decision is rhythm-level,
+    handled by :mod:`repro.classification.afib`), so for morphological
+    classification they count as class ``N``.
+
+    Args:
+        corpus: Source records.
+        lead: Lead to extract windows from.
+        before_s: Window seconds before the R peak.
+        after_s: Window seconds after the R peak.
+        rr_features: Append two timing columns to each window — the
+            prematurity ratios ``rr_prev / rr_mean`` and
+            ``rr_next / rr_prev`` (scaled to the sample amplitude range).
+            Ectopic beats are premature by definition, so timing separates
+            APCs (normal morphology, early) from normal beats; ref [14]
+            likewise combines morphological and RR features.
+    """
+    windows, labels = beat_windows(corpus, lead=lead, before_s=before_s,
+                                   after_s=after_s)
+    labels = np.where(labels == "A", "N", labels)
+    if not rr_features or windows.shape[0] == 0:
+        return windows, labels
+    ratios = []
+    for record in corpus:
+        peaks = record.r_peaks.astype(float)
+        fs = record.fs
+        rr = np.diff(peaks) / fs
+        mean_rr = float(np.mean(rr)) if rr.size else 1.0
+        for i in range(len(record.beats)):
+            rr_prev = rr[i - 1] if i > 0 else mean_rr
+            rr_next = rr[i] if i < rr.shape[0] else mean_rr
+            ratios.append((rr_prev / mean_rr, rr_next / max(rr_prev, 1e-6)))
+    ratios_arr = np.asarray(ratios)
+    if ratios_arr.shape[0] != windows.shape[0]:
+        raise RuntimeError("beat/RR bookkeeping mismatch")
+    return np.hstack([windows, ratios_arr]), labels
+
+
+def train_test_split(windows: np.ndarray, labels: np.ndarray,
+                     test_fraction: float = 0.4, seed: int = 5,
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split a beat dataset.
+
+    Returns:
+        ``(train_windows, train_labels, test_windows, test_labels)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must lie in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(windows.shape[0])
+    windows = windows[order]
+    labels = labels[order]
+    cut = int(round(windows.shape[0] * (1.0 - test_fraction)))
+    cut = min(max(cut, 1), windows.shape[0] - 1)
+    return windows[:cut], labels[:cut], windows[cut:], labels[cut:]

@@ -1,0 +1,132 @@
+"""Neuro-fuzzy classifier over random-projection features (ref [14]).
+
+One fuzzy rule per class: every feature contributes a Gaussian membership
+centred on the class's training mean with the class's training spread; the
+rule activation aggregates memberships with a t-norm (product by default,
+minimum as the cheaper embedded alternative).  Prediction picks the class
+with the strongest activation.  The memberships can be evaluated exactly
+or with the 4-segment linearization of §IV-A, which is the knob the T4
+benchmark ablates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .gaussian import gaussian_membership, pwl_membership
+
+_EPS_LOG = 1e-30
+
+
+@dataclass
+class FuzzyRule:
+    """Per-class Gaussian membership parameters.
+
+    Attributes:
+        label: Class label.
+        centers: Feature means, shape ``(k,)``.
+        sigmas: Feature spreads, shape ``(k,)``.
+        prior: Class prior weight (training frequency).
+    """
+
+    label: str
+    centers: np.ndarray
+    sigmas: np.ndarray
+    prior: float = 1.0
+
+
+@dataclass
+class NeuroFuzzyClassifier:
+    """Fuzzy rule-based classifier with Gaussian memberships.
+
+    Args:
+        membership: ``"exact"`` or ``"pwl"`` (4-segment linearization).
+        tnorm: ``"product"`` (log-sum, numerically robust) or ``"min"``.
+        sigma_floor: Lower bound on learned spreads, as a fraction of the
+            feature's global spread (guards against degenerate classes).
+        use_priors: Weight rule activations by training frequency.
+    """
+
+    membership: str = "exact"
+    tnorm: str = "product"
+    sigma_floor: float = 0.05
+    use_priors: bool = False
+    rules: list[FuzzyRule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.membership not in ("exact", "pwl"):
+            raise ValueError("membership must be 'exact' or 'pwl'")
+        if self.tnorm not in ("product", "min"):
+            raise ValueError("tnorm must be 'product' or 'min'")
+
+    @property
+    def classes(self) -> list[str]:
+        """Learned class labels."""
+        return [rule.label for rule in self.rules]
+
+    def fit(self, features: np.ndarray, labels: np.ndarray,
+            ) -> "NeuroFuzzyClassifier":
+        """Learn one rule per class from labelled feature vectors.
+
+        Args:
+            features: Array of shape ``(n_samples, k)``.
+            labels: Class label per sample.
+
+        Returns:
+            self (for chaining).
+
+        Raises:
+            ValueError: If fewer than two classes are present.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        labels = np.asarray(labels)
+        unique = sorted(set(labels.tolist()))
+        if len(unique) < 2:
+            raise ValueError("need at least two classes to fit")
+        global_spread = np.std(features, axis=0)
+        global_spread[global_spread == 0] = 1.0
+        floor = self.sigma_floor * global_spread
+        self.rules = []
+        for label in unique:
+            rows = features[labels == label]
+            centers = rows.mean(axis=0)
+            sigmas = np.maximum(rows.std(axis=0), floor)
+            prior = rows.shape[0] / features.shape[0]
+            self.rules.append(FuzzyRule(label=label, centers=centers,
+                                        sigmas=sigmas, prior=prior))
+        return self
+
+    def activations(self, features: np.ndarray) -> np.ndarray:
+        """Rule activations, shape ``(n_samples, n_classes)``.
+
+        Product t-norms are computed in the log domain to avoid underflow
+        with many features.
+        """
+        if not self.rules:
+            raise RuntimeError("classifier is not fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        member_fn = (gaussian_membership if self.membership == "exact"
+                     else pwl_membership)
+        out = np.empty((features.shape[0], len(self.rules)))
+        for j, rule in enumerate(self.rules):
+            memberships = member_fn(features, rule.centers, rule.sigmas)
+            if self.tnorm == "product":
+                log_m = np.log(np.maximum(memberships, _EPS_LOG))
+                score = log_m.sum(axis=1)
+                if self.use_priors:
+                    score = score + np.log(max(rule.prior, _EPS_LOG))
+            else:
+                score = memberships.min(axis=1)
+                if self.use_priors:
+                    score = score * rule.prior
+            out[:, j] = score
+        return out
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class label per sample."""
+        scores = self.activations(features)
+        indices = np.argmax(scores, axis=1)
+        labels = np.array(self.classes)
+        return labels[indices]

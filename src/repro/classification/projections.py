@@ -1,0 +1,107 @@
+"""Random-projection feature extraction (refs [14][15], §III-D).
+
+Heartbeat windows are projected onto a small number of random directions.
+Achlioptas's database-friendly construction draws entries from
+``sqrt(3) * {+1, 0, -1}`` with probabilities {1/6, 2/3, 1/6}: two thirds of
+the multiplies vanish and the rest are sign flips, so the node computes
+each feature with a handful of integer additions, and the matrix is stored
+at two bits per entry (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compression.matrices import (
+    PackedTernary,
+    SensingMatrix,
+    dense_sign_matrix,
+    gaussian_matrix,
+    pack_ternary,
+    ternary_matrix,
+)
+
+_CONSTRUCTORS = {
+    "ternary": ternary_matrix,
+    "dense_sign": dense_sign_matrix,
+    "gaussian": gaussian_matrix,
+}
+
+
+@dataclass(frozen=True)
+class ProjectionCost:
+    """Embedded cost of computing one feature vector.
+
+    Attributes:
+        additions: Integer additions per beat window.
+        multiplications: Integer multiplications per beat window.
+        storage_bytes: Bytes needed to hold the projection matrix.
+    """
+
+    additions: int
+    multiplications: int
+    storage_bytes: int
+
+
+class RandomProjector:
+    """Projects fixed-length beat windows to ``k`` random features.
+
+    Args:
+        window: Input window length in samples.
+        k: Number of output features (the paper's point is that small
+            ``k`` suffices; 16-32 is typical).
+        kind: ``ternary`` (default, the paper's choice), ``dense_sign``
+            or ``gaussian`` (dense baselines for the T4 ablation).
+        seed: Matrix construction seed.
+    """
+
+    def __init__(self, window: int, k: int = 24, kind: str = "ternary",
+                 seed: int = 11) -> None:
+        if kind not in _CONSTRUCTORS:
+            raise ValueError(f"unknown projection kind {kind!r}; "
+                             f"choose from {sorted(_CONSTRUCTORS)}")
+        if window < 1 or k < 1:
+            raise ValueError("window and k must be positive")
+        self.kind = kind
+        rng = np.random.default_rng(seed)
+        self.sensing: SensingMatrix = _CONSTRUCTORS[kind](k, window, rng)
+
+    @property
+    def k(self) -> int:
+        """Number of features."""
+        return self.sensing.m
+
+    @property
+    def window(self) -> int:
+        """Expected input window length."""
+        return self.sensing.n
+
+    def project(self, windows: np.ndarray) -> np.ndarray:
+        """Project one window (1-D) or a batch (``(n_beats, window)``)."""
+        windows = np.asarray(windows, dtype=float)
+        single = windows.ndim == 1
+        batch = np.atleast_2d(windows)
+        if batch.shape[1] != self.window:
+            raise ValueError(f"expected windows of {self.window} samples, "
+                             f"got {batch.shape[1]}")
+        features = batch @ self.sensing.matrix.T
+        return features[0] if single else features
+
+    def packed(self) -> PackedTernary:
+        """2-bit packed matrix (raises for non-ternary kinds)."""
+        return pack_ternary(self.sensing)
+
+    def cost(self) -> ProjectionCost:
+        """Embedded cost model of the projection."""
+        nnz = self.sensing.nnz
+        if self.kind in ("ternary", "dense_sign"):
+            # Sign alphabet: adds/subtracts only; the sqrt(3) scale folds
+            # into the classifier constants.
+            storage = int(np.ceil(2 * self.k * self.window / 8))
+            return ProjectionCost(additions=nnz, multiplications=0,
+                                  storage_bytes=storage)
+        storage = 2 * self.k * self.window  # 16-bit fixed-point entries
+        return ProjectionCost(additions=nnz, multiplications=nnz,
+                              storage_bytes=storage)

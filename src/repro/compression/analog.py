@@ -1,0 +1,167 @@
+"""Analog compressed sensing / analog-to-information conversion (§III-A).
+
+The paper: ""analog CS", where compression occurs directly in the analog
+sensor readout electronics prior to analog-to-digital conversion, could be
+of great importance ... although designing a truly CS-based A2I still
+remains as a challenge" (refs [7][8]).
+
+This module models such a random-demodulator readout: each measurement
+channel multiplies the input by a ±1 chipping waveform and integrates over
+the acquisition window; only the integrator outputs are digitized, at the
+*measurement* rate instead of the Nyquist rate.  The analog non-idealities
+that make A2I "a challenge" are explicit knobs:
+
+* ``integrator_leak`` — per-sample decay of a lossy integrator;
+* ``chip_jitter_s`` — timing jitter of the chipping-sequence edges;
+* ``comparator_noise`` — input-referred noise of the analog chain;
+* ``adc_bits`` — resolution of the slow output ADC.
+
+With ideal settings the channel is *exactly* a dense ±1 sensing matrix, so
+any digital decoder from :mod:`repro.compression.recovery` reconstructs
+the window; the tests quantify how each non-ideality erodes that
+equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .matrices import SensingMatrix
+
+
+@dataclass(frozen=True)
+class A2IConfig:
+    """Non-ideality knobs of the analog front-end.
+
+    Attributes:
+        integrator_leak: Fraction of the accumulated value lost per input
+            sample (0 = ideal integrator).
+        chip_jitter_s: RMS jitter of chip transitions, seconds (moves
+            chip edges relative to the signal samples).
+        comparator_noise: Input-referred RMS noise added per sample, in
+            input units.
+        adc_bits: Output ADC resolution.
+    """
+
+    integrator_leak: float = 0.0
+    chip_jitter_s: float = 0.0
+    comparator_noise: float = 0.0
+    adc_bits: int = 12
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.integrator_leak < 1.0:
+            raise ValueError("integrator_leak must lie in [0, 1)")
+        if self.adc_bits < 2:
+            raise ValueError("need at least 2 ADC bits")
+
+
+class AnalogCsFrontEnd:
+    """Random-demodulator A2I converter with ``m`` parallel channels.
+
+    Args:
+        n: Window length (input samples per acquisition).
+        m: Measurement channels.
+        fs: Input sampling rate (defines the chip period for jitter).
+        config: Non-ideality knobs.
+        seed: Chipping-sequence seed (shared with the receiver).
+    """
+
+    def __init__(self, n: int, m: int, fs: float = 250.0,
+                 config: A2IConfig | None = None, seed: int = 23) -> None:
+        if not 0 < m <= n:
+            raise ValueError("require 0 < m <= n")
+        self.n = n
+        self.m = m
+        self.fs = fs
+        self.config = config or A2IConfig()
+        rng = np.random.default_rng(seed)
+        self.chips = rng.choice([-1.0, 1.0], size=(m, n))
+
+    def nominal_sensing_matrix(self) -> SensingMatrix:
+        """The ±1 matrix the receiver assumes (ideal-channel equivalent)."""
+        return SensingMatrix(self.chips.copy(), kind="dense_sign")
+
+    def acquire(self, window: np.ndarray,
+                rng: np.random.Generator | None = None) -> np.ndarray:
+        """Convert one analog window into ``m`` digitized measurements.
+
+        Args:
+            window: Input samples (the "analog" waveform at Nyquist rate).
+            rng: Random generator for the stochastic non-idealities.
+
+        Returns:
+            Measurement vector of length ``m``.
+        """
+        window = np.asarray(window, dtype=float)
+        if window.shape != (self.n,):
+            raise ValueError(f"expected {self.n} samples, "
+                             f"got {window.shape}")
+        rng = rng or np.random.default_rng()
+        cfg = self.config
+
+        chips = self.chips
+        if cfg.chip_jitter_s > 0.0:
+            # Edge jitter: each channel's chip sequence is resampled at
+            # jittered instants (nearest-sample model).
+            jitter = rng.normal(0.0, cfg.chip_jitter_s * self.fs,
+                                size=(self.m, self.n))
+            indices = np.clip(np.arange(self.n)[None, :] + np.rint(jitter),
+                              0, self.n - 1).astype(int)
+            chips = np.take_along_axis(self.chips, indices, axis=1)
+
+        signal = window[None, :]
+        if cfg.comparator_noise > 0.0:
+            signal = signal + rng.normal(0.0, cfg.comparator_noise,
+                                         size=(self.m, self.n))
+
+        if cfg.integrator_leak == 0.0:
+            measurements = np.sum(chips * signal, axis=1)
+        else:
+            # Lossy integrator: acc <- (1 - leak) * acc + chip * x.
+            retain = 1.0 - cfg.integrator_leak
+            # Equivalent closed form: sum_i retain**(n-1-i) * chip_i x_i.
+            weights = retain ** np.arange(self.n - 1, -1, -1)
+            measurements = np.sum(chips * signal * weights[None, :], axis=1)
+
+        return self._digitize(measurements)
+
+    def _digitize(self, measurements: np.ndarray) -> np.ndarray:
+        peak = float(np.max(np.abs(measurements)))
+        if peak == 0.0:
+            return measurements
+        levels = 2 ** (self.config.adc_bits - 1) - 1
+        scale = peak / levels
+        return np.rint(measurements / scale) * scale
+
+    def effective_matrix(self) -> np.ndarray:
+        """The deterministic part of the actual channel (leak included).
+
+        A leak-aware receiver can use this instead of the nominal matrix
+        to undo the integrator droop — the calibration knob the tests
+        exercise.
+        """
+        if self.config.integrator_leak == 0.0:
+            return self.chips.copy()
+        retain = 1.0 - self.config.integrator_leak
+        weights = retain ** np.arange(self.n - 1, -1, -1)
+        return self.chips * weights[None, :]
+
+
+def nyquist_adc_energy(n: int, energy_per_conversion_j: float = 50e-9,
+                       ) -> float:
+    """Front-end energy of the conventional Nyquist path (n conversions)."""
+    return n * energy_per_conversion_j
+
+
+def a2i_energy(m: int, energy_per_conversion_j: float = 50e-9,
+               integrator_power_w: float = 2e-6,
+               window_s: float = 2.0) -> float:
+    """Front-end energy of the A2I path: m slow conversions + integrators.
+
+    The A2I argument of §III-A: digitizing only ``m`` measurements
+    "removes a large part of the digital architecture"; the analog
+    multiply-integrate chain costs standing power instead.
+    """
+    return m * energy_per_conversion_j + integrator_power_w * window_s

@@ -1,0 +1,196 @@
+"""Sensing and projection matrices (refs [15][16], paper §III-A/D, §IV-A).
+
+Two families, both chosen by the paper for their embedded-friendliness:
+
+* **Sparse binary** sensing matrices (Mamaghanian et al. [16]): each column
+  holds exactly ``d`` ones.  The encoder then needs only ``d`` integer
+  additions per input sample — no multiplications — and §IV-A notes that
+  "few non-zero elements in the sensing matrix suffice to achieve
+  close-to-optimal results".
+
+* **Achlioptas ternary** matrices [15] with entries {+1, 0, -1} drawn with
+  probabilities {1/6, 2/3, 1/6}: the database-friendly random projection
+  used for classification features, storable at two bits per entry
+  (§IV-A's memory optimization, implemented in :func:`pack_ternary`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SensingMatrix:
+    """A sensing/projection matrix with its construction metadata.
+
+    Attributes:
+        matrix: The ``(m, n)`` array (float for algebra, but its entries
+            come from an integer alphabet).
+        kind: Construction family (``sparse_binary`` / ``ternary`` /
+            ``dense_sign`` / ``gaussian``).
+        nonzeros_per_column: For sparse-binary matrices, the ``d`` used.
+    """
+
+    matrix: np.ndarray
+    kind: str
+    nonzeros_per_column: int | None = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix shape ``(m, n)``."""
+        return self.matrix.shape
+
+    @property
+    def m(self) -> int:
+        """Number of measurements."""
+        return self.matrix.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Input window length."""
+        return self.matrix.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero entries (= integer adds per window)."""
+        return int(np.count_nonzero(self.matrix))
+
+    def additions_per_window(self) -> int:
+        """Integer additions needed to apply the matrix once."""
+        return self.nnz
+
+    def storage_bits(self) -> int:
+        """Storage needed on the node.
+
+        Two bits per entry for ternary/sign alphabets ({0, +1, -1}); for
+        sparse-binary, ``d`` row indices per column (log2(m) bits each) is
+        the compact form the paper's implementation uses.
+        """
+        if self.kind == "sparse_binary" and self.nonzeros_per_column:
+            bits_per_index = max(1, int(np.ceil(np.log2(max(2, self.m)))))
+            return self.n * self.nonzeros_per_column * bits_per_index
+        return 2 * self.m * self.n
+
+
+def sparse_binary_matrix(m: int, n: int, d: int = 12,
+                         rng: np.random.Generator | None = None,
+                         ) -> SensingMatrix:
+    """Sparse binary sensing matrix: exactly ``d`` ones per column.
+
+    Args:
+        m: Number of measurements (rows).
+        n: Window length (columns).
+        d: Ones per column; must satisfy ``d <= m``.
+        rng: Random generator.
+
+    Raises:
+        ValueError: If the shape or density is invalid.
+    """
+    if not 0 < m <= n:
+        raise ValueError("require 0 < m <= n")
+    if not 0 < d <= m:
+        raise ValueError("require 0 < d <= m")
+    rng = rng or np.random.default_rng()
+    matrix = np.zeros((m, n))
+    for col in range(n):
+        rows = rng.choice(m, size=d, replace=False)
+        matrix[rows, col] = 1.0
+    return SensingMatrix(matrix, kind="sparse_binary", nonzeros_per_column=d)
+
+
+def ternary_matrix(m: int, n: int, rng: np.random.Generator | None = None,
+                   ) -> SensingMatrix:
+    """Achlioptas sparse ternary matrix, entries sqrt(3)*{+1,0,-1}.
+
+    The sqrt(3) scale preserves expected norms (Johnson-Lindenstrauss);
+    on the node it is folded into downstream constants so the stored
+    alphabet stays {+1, 0, -1}.
+    """
+    if m <= 0 or n <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    rng = rng or np.random.default_rng()
+    u = rng.uniform(size=(m, n))
+    matrix = np.where(u < 1 / 6, 1.0, np.where(u < 2 / 6, -1.0, 0.0))
+    return SensingMatrix(np.sqrt(3.0) * matrix, kind="ternary")
+
+
+def dense_sign_matrix(m: int, n: int, rng: np.random.Generator | None = None,
+                      ) -> SensingMatrix:
+    """Dense +-1 (Rademacher) matrix — the non-sparse RP baseline."""
+    if m <= 0 or n <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    rng = rng or np.random.default_rng()
+    matrix = rng.choice([-1.0, 1.0], size=(m, n))
+    return SensingMatrix(matrix, kind="dense_sign")
+
+
+def gaussian_matrix(m: int, n: int, rng: np.random.Generator | None = None,
+                    ) -> SensingMatrix:
+    """Dense Gaussian matrix — the classical CS reference construction."""
+    if m <= 0 or n <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    rng = rng or np.random.default_rng()
+    matrix = rng.standard_normal((m, n)) / np.sqrt(m)
+    return SensingMatrix(matrix, kind="gaussian")
+
+
+@dataclass
+class PackedTernary:
+    """A ternary matrix packed at 2 bits/entry (§IV-A memory optimization).
+
+    Encoding per entry: 0 -> 00, +1 -> 01, -1 -> 10.
+    """
+
+    shape: tuple[int, int]
+    scale: float
+    words: np.ndarray = field(repr=False)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes used by the packed representation."""
+        return int(self.words.nbytes)
+
+
+def pack_ternary(matrix: SensingMatrix) -> PackedTernary:
+    """Pack a ternary/sign matrix into 2-bit codes.
+
+    Raises:
+        ValueError: If the matrix alphabet is not {0, +s, -s}.
+    """
+    values = matrix.matrix
+    nonzero = values[values != 0]
+    if nonzero.size == 0:
+        scale = 1.0
+    else:
+        scale = float(np.abs(nonzero).flat[0])
+        if not np.allclose(np.abs(nonzero), scale):
+            raise ValueError("matrix is not a scaled ternary matrix")
+    codes = np.zeros(values.shape, dtype=np.uint8)
+    codes[values > 0] = 1
+    codes[values < 0] = 2
+    flat = codes.ravel()
+    # Pad to a multiple of 4 entries (4 entries per byte).
+    pad = (-flat.shape[0]) % 4
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad, dtype=np.uint8)])
+    flat = flat.reshape(-1, 4)
+    packed = (flat[:, 0] | (flat[:, 1] << 2) | (flat[:, 2] << 4)
+              | (flat[:, 3] << 6)).astype(np.uint8)
+    return PackedTernary(shape=values.shape, scale=scale, words=packed)
+
+
+def unpack_ternary(packed: PackedTernary) -> np.ndarray:
+    """Reverse :func:`pack_ternary`, returning the float matrix."""
+    words = packed.words
+    entries = np.empty((words.shape[0], 4), dtype=np.uint8)
+    entries[:, 0] = words & 0x3
+    entries[:, 1] = (words >> 2) & 0x3
+    entries[:, 2] = (words >> 4) & 0x3
+    entries[:, 3] = (words >> 6) & 0x3
+    flat = entries.ravel()[: packed.shape[0] * packed.shape[1]]
+    values = np.zeros(flat.shape[0])
+    values[flat == 1] = packed.scale
+    values[flat == 2] = -packed.scale
+    return values.reshape(packed.shape)

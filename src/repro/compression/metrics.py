@@ -1,0 +1,81 @@
+"""Compression quality metrics used in Fig. 5 (CR, SNR, PRD).
+
+Definitions follow Mamaghanian et al. [16], the source of the paper's
+"SNR over 20 dB corresponds to good reconstruction quality" criterion:
+
+* ``CR = 100 * (n - m) / n`` — the percentage of samples *not* transmitted.
+* ``PRD = 100 * ||x - xr|| / ||x||`` — percentage RMS difference.
+* ``SNR = 20 * log10(||x|| / ||x - xr||) = -20 * log10(PRD / 100)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The paper's "good reconstruction quality" threshold (Fig. 5).
+GOOD_QUALITY_SNR_DB = 20.0
+
+
+def compression_ratio(n: int, m: int) -> float:
+    """CR in percent for an n-sample window compressed to m measurements."""
+    if not 0 < m <= n:
+        raise ValueError("require 0 < m <= n")
+    return 100.0 * (n - m) / n
+
+
+def measurements_for_cr(n: int, cr_percent: float) -> int:
+    """Measurement count m achieving (at least) the requested CR."""
+    if not 0.0 <= cr_percent < 100.0:
+        raise ValueError("CR must lie in [0, 100)")
+    m = int(np.floor(n * (1.0 - cr_percent / 100.0)))
+    return max(1, m)
+
+
+def prd_percent(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Percentage RMS difference between original and reconstruction."""
+    original = np.asarray(original, dtype=float)
+    reconstructed = np.asarray(reconstructed, dtype=float)
+    denom = np.linalg.norm(original)
+    if denom == 0:
+        return 0.0 if np.linalg.norm(reconstructed) == 0 else np.inf
+    return 100.0 * np.linalg.norm(original - reconstructed) / denom
+
+
+def reconstruction_snr_db(original: np.ndarray,
+                          reconstructed: np.ndarray) -> float:
+    """Reconstruction SNR in dB (the Fig. 5 y-axis)."""
+    prd = prd_percent(original, reconstructed)
+    if prd == 0.0:
+        return np.inf
+    if not np.isfinite(prd):
+        return -np.inf
+    return -20.0 * np.log10(prd / 100.0)
+
+
+def snr_crossing_cr(crs: np.ndarray, snrs: np.ndarray,
+                    threshold_db: float = GOOD_QUALITY_SNR_DB) -> float:
+    """Highest CR at which the SNR curve still meets ``threshold_db``.
+
+    Linear interpolation between sweep points, mirroring how the paper
+    reads the 65.9 % / 72.7 % operating points off Fig. 5.
+
+    Returns:
+        The interpolated CR, or ``nan`` when the curve never reaches the
+        threshold.
+    """
+    crs = np.asarray(crs, dtype=float)
+    snrs = np.asarray(snrs, dtype=float)
+    order = np.argsort(crs)
+    crs, snrs = crs[order], snrs[order]
+    above = snrs >= threshold_db
+    if not above.any():
+        return float("nan")
+    last = int(np.max(np.flatnonzero(above)))
+    if last == crs.shape[0] - 1:
+        return float(crs[-1])
+    c0, c1 = crs[last], crs[last + 1]
+    s0, s1 = snrs[last], snrs[last + 1]
+    if s0 == s1:
+        return float(c0)
+    frac = (s0 - threshold_db) / (s0 - s1)
+    return float(c0 + frac * (c1 - c0))

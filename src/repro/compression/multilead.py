@@ -1,0 +1,189 @@
+"""Joint multi-lead CS recovery with group sparsity (ref [6], §III-A).
+
+Multi-lead ECGs share wavelet support: the same beat produces coefficients
+at the same locations on every lead, scaled by the lead projection ("a
+strong correlation between the sparsity structure among the leads, each
+lead therefore conveying useful information about other leads").  The
+joint decoder exploits this with an l2,1 mixed norm over coefficient rows:
+
+    min_A  0.5 * sum_l ||y_l - Phi_l W^T a_l||^2 + lam * sum_i ||A[i, :]||_2
+
+solved by block FISTA (row-wise group soft thresholding) over *per-lead*
+sensing matrices, followed by a per-lead least-squares debias on the union
+row support.
+
+Why per-lead matrices matter: with a single shared matrix and strongly
+correlated leads, the measurement blocks are nearly proportional and carry
+no extra information about the common support.  Giving each lead its own
+sparse-binary matrix (same node-side cost) turns the stack into ``L * m``
+complementary looks at the shared support — that is what buys the extra
+compression Fig. 5 shows for multi-lead CS (20 dB at CR 72.7 % vs 65.9 %
+single-lead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..dsp.wavelets import orthogonal_dwt_matrix
+from .encoder import EncodedWindow
+from .matrices import SensingMatrix
+
+
+def group_soft_threshold(rows: np.ndarray, threshold: float) -> np.ndarray:
+    """Row-wise group shrinkage (the l2,1 proximal operator).
+
+    Args:
+        rows: Coefficient matrix of shape ``(n, L)``.
+        threshold: Shrinkage amount applied to each row's l2 norm.
+    """
+    norms = np.linalg.norm(rows, axis=1, keepdims=True)
+    scale = np.maximum(0.0, 1.0 - threshold / np.maximum(norms, 1e-12))
+    return rows * scale
+
+
+def group_fista(operators: Sequence[np.ndarray], ys: Sequence[np.ndarray],
+                lam: float, n_iter: int = 400,
+                tol: float = 1e-7) -> np.ndarray:
+    """Block FISTA for the l2,1-regularized multi-lead problem.
+
+    Args:
+        operators: Per-lead measurement operators, each ``(m, n)``.
+        ys: Per-lead measurement vectors.
+        lam: Group-l1 weight (absolute).
+        n_iter: Maximum iterations.
+        tol: Relative-motion stopping criterion.
+
+    Returns:
+        Coefficient matrix of shape ``(n, L)``.
+    """
+    n_leads = len(operators)
+    if n_leads == 0 or n_leads != len(ys):
+        raise ValueError("need one measurement vector per operator")
+    n = operators[0].shape[1]
+    lipschitz = max(float(np.linalg.norm(A, 2)) ** 2 for A in operators)
+    if lipschitz == 0.0:
+        return np.zeros((n, n_leads))
+    step = 1.0 / lipschitz
+    alpha = np.zeros((n, n_leads))
+    momentum = alpha.copy()
+    t = 1.0
+    for _ in range(n_iter):
+        grad = np.stack(
+            [operators[l].T @ (operators[l] @ momentum[:, l] - ys[l])
+             for l in range(n_leads)], axis=1)
+        new_alpha = group_soft_threshold(momentum - step * grad, lam * step)
+        t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+        momentum = new_alpha + ((t - 1.0) / t_next) * (new_alpha - alpha)
+        moved = np.linalg.norm(new_alpha - alpha)
+        scale = max(1e-12, np.linalg.norm(alpha))
+        alpha = new_alpha
+        t = t_next
+        if moved / scale < tol:
+            break
+    return alpha
+
+
+@dataclass
+class MultiLeadRecovery:
+    """Joint reconstruction output.
+
+    Attributes:
+        windows: Reconstructed windows, shape ``(L, n)``.
+        coefficients: Recovered coefficients, shape ``(n, L)``.
+        support_size: Rows kept by the group threshold.
+    """
+
+    windows: np.ndarray
+    coefficients: np.ndarray
+    support_size: int
+
+
+class JointCsDecoder:
+    """Group-sparse joint decoder for multi-lead windows.
+
+    Args:
+        sensing: Per-lead sensing matrices (a single matrix is accepted
+            and replicated, but per-lead matrices are what produce the
+            multi-lead gain — see the module docstring).
+        wavelet: Sparsity basis name.
+        lam_rel: Group-l1 weight relative to the largest row norm of the
+            stacked correlations.
+        n_iter: FISTA iteration budget.
+        n_leads: Number of leads when a single matrix is replicated.
+    """
+
+    def __init__(self, sensing: SensingMatrix | Sequence[SensingMatrix],
+                 wavelet: str = "db4", lam_rel: float = 0.002,
+                 n_iter: int = 400, n_leads: int = 3) -> None:
+        if isinstance(sensing, SensingMatrix):
+            matrices = [sensing] * n_leads
+        else:
+            matrices = list(sensing)
+        if not matrices:
+            raise ValueError("need at least one sensing matrix")
+        self.sensing = matrices
+        n = matrices[0].n
+        if any(mt.n != n for mt in matrices):
+            raise ValueError("all leads must share the window length")
+        self.basis = orthogonal_dwt_matrix(n, wavelet)
+        self.operators = [mt.matrix @ self.basis.T for mt in matrices]
+        self.lam_rel = lam_rel
+        self.n_iter = n_iter
+
+    @property
+    def n_leads(self) -> int:
+        """Number of leads."""
+        return len(self.operators)
+
+    def recover(self,
+                measurements: np.ndarray | Sequence[np.ndarray]
+                | Sequence[EncodedWindow]) -> MultiLeadRecovery:
+        """Jointly reconstruct all leads of one window.
+
+        Args:
+            measurements: One measurement vector per lead: an ``(L, m)``
+                array, a sequence of vectors, or the encoder's
+                :class:`EncodedWindow` list.
+        """
+        ys = []
+        for item in measurements:
+            if isinstance(item, EncodedWindow):
+                ys.append(np.asarray(item.measurements, dtype=float))
+            else:
+                ys.append(np.asarray(item, dtype=float))
+        if len(ys) != self.n_leads:
+            raise ValueError(f"expected {self.n_leads} measurement vectors, "
+                             f"got {len(ys)}")
+        correlations = np.stack(
+            [self.operators[l].T @ ys[l] for l in range(self.n_leads)],
+            axis=1)
+        lam = self.lam_rel * float(
+            np.max(np.linalg.norm(correlations, axis=1)))
+        alpha = group_fista(self.operators, ys, lam, n_iter=self.n_iter)
+        alpha = self._debias(ys, alpha)
+        windows = (self.basis.T @ alpha).T
+        support = int(np.count_nonzero(np.linalg.norm(alpha, axis=1)))
+        return MultiLeadRecovery(windows=windows, coefficients=alpha,
+                                 support_size=support)
+
+    def _debias(self, ys: Sequence[np.ndarray], alpha: np.ndarray,
+                rel_support: float = 0.005) -> np.ndarray:
+        """Per-lead least squares on the union (row) support."""
+        row_norms = np.linalg.norm(alpha, axis=1)
+        peak = row_norms.max() if row_norms.size else 0.0
+        if peak == 0.0:
+            return alpha
+        support = np.flatnonzero(row_norms > rel_support * peak)
+        m_min = min(A.shape[0] for A in self.operators)
+        if support.shape[0] == 0 or support.shape[0] > m_min:
+            return alpha
+        refined = np.zeros_like(alpha)
+        for l in range(self.n_leads):
+            sub = self.operators[l][:, support]
+            coef, *_ = np.linalg.lstsq(sub, ys[l], rcond=None)
+            refined[support, l] = coef
+        return refined

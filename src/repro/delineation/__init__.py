@@ -1,0 +1,45 @@
+"""ECG delineation: R-peak detection, wavelet and MMD delineators (§III-C)."""
+
+from .evaluation import (
+    BEAT_MATCH_TOLERANCE_S,
+    DEFAULT_TOLERANCES_S,
+    DelineationReport,
+    FiducialScore,
+    PresenceScore,
+    evaluate_delineation,
+)
+from .mmd_delineator import MmdDelineator, MmdDelineatorConfig, mmd_transform
+from .resources import (
+    McuProfile,
+    ResourceEstimate,
+    mmd_delineator_resources,
+    wavelet_delineator_resources,
+)
+from .rpeak import RPeakConfig, RPeakDetector, detect_r_peaks
+from .wavelet_delineator import (
+    WaveletDelineator,
+    WaveletDelineatorConfig,
+    robust_noise_level,
+)
+
+__all__ = [
+    "BEAT_MATCH_TOLERANCE_S",
+    "DEFAULT_TOLERANCES_S",
+    "DelineationReport",
+    "FiducialScore",
+    "McuProfile",
+    "MmdDelineator",
+    "MmdDelineatorConfig",
+    "PresenceScore",
+    "RPeakConfig",
+    "RPeakDetector",
+    "ResourceEstimate",
+    "WaveletDelineator",
+    "WaveletDelineatorConfig",
+    "detect_r_peaks",
+    "evaluate_delineation",
+    "mmd_delineator_resources",
+    "mmd_transform",
+    "robust_noise_level",
+    "wavelet_delineator_resources",
+]

@@ -1,0 +1,242 @@
+"""Delineation accuracy evaluation (paper §V in-text results, exp T1).
+
+The paper reports "measured sensitivity and specificity of retrieved
+fiducial points ... above 90 % in all cases".  Following the delineation
+literature the harness scores, per fiducial type:
+
+* **Sensitivity** Se = TP / (TP + FN) — a ground-truth fiducial counts as
+  found when a detected mark of the same type lies within the tolerance.
+* **Positive predictivity** PPV = TP / (TP + FP) — detected marks with no
+  ground-truth partner are false positives.
+
+For wave *presence* decisions (the P wave may legitimately be absent, e.g.
+in AF) the harness also computes presence sensitivity/specificity, which is
+what the AF detector consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..signals.types import BeatAnnotation, WAVE_NAMES
+
+#: Matching window for pairing detected beats with ground-truth beats.
+BEAT_MATCH_TOLERANCE_S = 0.15
+
+#: Default per-fiducial tolerances in seconds, CSE-style: boundary marks of
+#: slow waves get wider windows than sharp peaks.
+DEFAULT_TOLERANCES_S = {
+    ("QRS", "peak"): 0.040,
+    ("QRS", "onset"): 0.020,
+    ("QRS", "end"): 0.020,
+    ("P", "peak"): 0.024,
+    ("P", "onset"): 0.028,
+    ("P", "end"): 0.028,
+    ("T", "peak"): 0.036,
+    ("T", "onset"): 0.048,
+    ("T", "end"): 0.048,
+}
+
+
+@dataclass
+class FiducialScore:
+    """Counts and errors for one fiducial type."""
+
+    true_positive: int = 0
+    false_negative: int = 0
+    false_positive: int = 0
+    errors_s: list[float] = field(default_factory=list)
+
+    @property
+    def sensitivity(self) -> float:
+        """Se = TP / (TP + FN); 1.0 when nothing was expected."""
+        total = self.true_positive + self.false_negative
+        return self.true_positive / total if total else 1.0
+
+    @property
+    def ppv(self) -> float:
+        """PPV = TP / (TP + FP); 1.0 when nothing was detected."""
+        total = self.true_positive + self.false_positive
+        return self.true_positive / total if total else 1.0
+
+    @property
+    def mean_error_s(self) -> float:
+        """Mean signed timing error (bias) in seconds."""
+        return float(np.mean(self.errors_s)) if self.errors_s else 0.0
+
+    @property
+    def std_error_s(self) -> float:
+        """Standard deviation of timing error in seconds."""
+        return float(np.std(self.errors_s)) if self.errors_s else 0.0
+
+
+@dataclass
+class PresenceScore:
+    """Wave presence/absence confusion counts (P-wave in AF, etc.)."""
+
+    true_present: int = 0
+    false_absent: int = 0
+    true_absent: int = 0
+    false_present: int = 0
+
+    @property
+    def sensitivity(self) -> float:
+        """Fraction of truly present waves that were detected."""
+        total = self.true_present + self.false_absent
+        return self.true_present / total if total else 1.0
+
+    @property
+    def specificity(self) -> float:
+        """Fraction of truly absent waves correctly marked absent."""
+        total = self.true_absent + self.false_present
+        return self.true_absent / total if total else 1.0
+
+
+@dataclass
+class DelineationReport:
+    """Full evaluation output of :func:`evaluate_delineation`."""
+
+    fs: float
+    fiducials: dict[tuple[str, str], FiducialScore]
+    presence: dict[str, PresenceScore]
+    matched_beats: int = 0
+    missed_beats: int = 0
+    spurious_beats: int = 0
+
+    @property
+    def beat_sensitivity(self) -> float:
+        """Beat-detection sensitivity (QRS detection level)."""
+        total = self.matched_beats + self.missed_beats
+        return self.matched_beats / total if total else 1.0
+
+    @property
+    def beat_ppv(self) -> float:
+        """Beat-detection positive predictivity."""
+        total = self.matched_beats + self.spurious_beats
+        return self.matched_beats / total if total else 1.0
+
+    def worst_sensitivity(self) -> float:
+        """Lowest Se across all fiducial types (the paper's ">90 %" gate)."""
+        return min(score.sensitivity for score in self.fiducials.values())
+
+    def worst_ppv(self) -> float:
+        """Lowest PPV across all fiducial types."""
+        return min(score.ppv for score in self.fiducials.values())
+
+    def rows(self) -> list[tuple[str, str, float, float, float, float]]:
+        """Report rows: (wave, mark, Se, PPV, bias ms, std ms)."""
+        out = []
+        for (wave, mark), score in sorted(self.fiducials.items()):
+            out.append((wave, mark, score.sensitivity, score.ppv,
+                        1e3 * score.mean_error_s, 1e3 * score.std_error_s))
+        return out
+
+
+def _match_beats(truth: list[BeatAnnotation], detected: list[BeatAnnotation],
+                 fs: float) -> list[tuple[BeatAnnotation, BeatAnnotation | None]]:
+    """Greedy one-to-one pairing of detected beats to ground truth."""
+    window = int(BEAT_MATCH_TOLERANCE_S * fs)
+    detected_peaks = np.array([b.r_peak for b in detected], dtype=int)
+    used: set[int] = set()
+    pairs: list[tuple[BeatAnnotation, BeatAnnotation | None]] = []
+    for truth_beat in truth:
+        best = None
+        best_dist = window + 1
+        for j, peak in enumerate(detected_peaks):
+            if j in used:
+                continue
+            dist = abs(int(peak) - truth_beat.r_peak)
+            if dist <= window and dist < best_dist:
+                best, best_dist = j, dist
+        if best is None:
+            pairs.append((truth_beat, None))
+        else:
+            used.add(best)
+            pairs.append((truth_beat, detected[best]))
+    return pairs
+
+
+def evaluate_delineation(truth: list[BeatAnnotation],
+                         detected: list[BeatAnnotation], fs: float,
+                         tolerances_s: dict[tuple[str, str], float] | None = None,
+                         ) -> DelineationReport:
+    """Score detected fiducials against ground truth.
+
+    Args:
+        truth: Ground-truth annotations (from the synthesizer).
+        detected: Delineator output.
+        fs: Sampling frequency (converts tolerances to samples).
+        tolerances_s: Per-(wave, mark) tolerance overrides.
+
+    Returns:
+        A :class:`DelineationReport`.
+    """
+    tolerances = dict(DEFAULT_TOLERANCES_S)
+    if tolerances_s:
+        tolerances.update(tolerances_s)
+    fiducials: dict[tuple[str, str], FiducialScore] = {
+        key: FiducialScore() for key in tolerances
+    }
+    presence = {wave: PresenceScore() for wave in WAVE_NAMES}
+    pairs = _match_beats(truth, detected, fs)
+    matched = sum(1 for _, det in pairs if det is not None)
+    missed = len(pairs) - matched
+    spurious = len(detected) - matched
+
+    for truth_beat, det_beat in pairs:
+        for wave in WAVE_NAMES:
+            truth_wave = truth_beat.wave(wave)
+            det_wave = det_beat.wave(wave) if det_beat is not None else None
+            pres = presence[wave]
+            det_present = det_wave is not None and det_wave.present
+            if truth_wave.present and det_present:
+                pres.true_present += 1
+            elif truth_wave.present and not det_present:
+                pres.false_absent += 1
+            elif not truth_wave.present and det_present:
+                pres.false_present += 1
+            else:
+                pres.true_absent += 1
+            for mark in ("onset", "peak", "end"):
+                key = (wave, mark)
+                if key not in fiducials:
+                    continue
+                score = fiducials[key]
+                truth_pos = getattr(truth_wave, mark)
+                det_pos = getattr(det_wave, mark) if det_present else -1
+                if truth_wave.present:
+                    if det_pos >= 0:
+                        error = (det_pos - truth_pos) / fs
+                        if abs(error) <= tolerances[key]:
+                            score.true_positive += 1
+                            score.errors_s.append(error)
+                        else:
+                            # Out-of-tolerance marks count on both sides,
+                            # as in the CSE evaluation protocol.
+                            score.false_negative += 1
+                            score.false_positive += 1
+                    else:
+                        score.false_negative += 1
+                elif det_pos >= 0:
+                    score.false_positive += 1
+
+    # Spurious beats contribute false-positive fiducials for every wave
+    # they claim to have found.
+    matched_detected = {id(det) for _, det in pairs if det is not None}
+    for det_beat in detected:
+        if id(det_beat) in matched_detected:
+            continue
+        for wave in WAVE_NAMES:
+            det_wave = det_beat.wave(wave)
+            if not det_wave.present:
+                continue
+            for mark in ("onset", "peak", "end"):
+                key = (wave, mark)
+                if key in fiducials:
+                    fiducials[key].false_positive += 1
+
+    return DelineationReport(fs=fs, fiducials=fiducials, presence=presence,
+                             matched_beats=matched, missed_beats=missed,
+                             spurious_beats=spurious)

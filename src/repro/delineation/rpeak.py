@@ -1,0 +1,186 @@
+"""QRS (R-peak) detection, Pan-Tompkins class.
+
+Every higher-level stage in the paper — delineation search windows, beat
+classification, AF RR-regularity analysis, spline baseline knots — hangs off
+the R-peak train, so the detector is implemented as a shared substrate.
+The structure follows Pan & Tompkins (1985): band-pass, derivative, square,
+moving-window integration, adaptive dual thresholds with search-back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from ..dsp.windows import moving_average
+from ..signals.types import EcgRecord
+
+
+@dataclass(frozen=True)
+class RPeakConfig:
+    """Tuning constants of the detector (Pan-Tompkins defaults).
+
+    Attributes:
+        band_hz: Pass band emphasizing QRS energy.
+        integration_window_s: Moving-window integration length.
+        refractory_s: Minimum spacing between accepted beats.
+        threshold_fraction: Position of the detection threshold between
+            the running noise and signal peak estimates.
+        searchback_factor: Trigger search-back when the gap since the last
+            beat exceeds this multiple of the running RR average.
+        refine_window_s: Half-width of the window used to align the fiducial
+            mark with the raw-signal extremum.
+    """
+
+    band_hz: tuple[float, float] = (5.0, 15.0)
+    integration_window_s: float = 0.150
+    refractory_s: float = 0.200
+    threshold_fraction: float = 0.25
+    searchback_factor: float = 1.66
+    refine_window_s: float = 0.060
+
+
+class RPeakDetector:
+    """Pan-Tompkins-class R-peak detector.
+
+    Args:
+        fs: Sampling frequency in Hz.
+        config: Tuning constants.
+    """
+
+    def __init__(self, fs: float, config: RPeakConfig | None = None) -> None:
+        if fs <= 0:
+            raise ValueError("sampling frequency must be positive")
+        self.fs = fs
+        self.config = config or RPeakConfig()
+        low, high = self.config.band_hz
+        high = min(high, 0.45 * fs)
+        self._sos = sp_signal.butter(2, [low, high], btype="bandpass",
+                                     fs=fs, output="sos")
+
+    def feature_signal(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Compute (band-passed, integrated) detection signals."""
+        x = np.asarray(x, dtype=float)
+        bandpassed = sp_signal.sosfiltfilt(self._sos, x)
+        # Five-point derivative from the original paper.
+        derivative = np.zeros_like(bandpassed)
+        derivative[2:-2] = (
+            2 * bandpassed[4:] + bandpassed[3:-1]
+            - bandpassed[1:-3] - 2 * bandpassed[:-4]
+        ) / 8.0
+        squared = derivative ** 2
+        width = max(1, int(round(self.config.integration_window_s * self.fs)))
+        integrated = moving_average(squared, width)
+        return bandpassed, integrated
+
+    def detect(self, x: np.ndarray) -> np.ndarray:
+        """Detect R peaks in a single-lead waveform.
+
+        Returns:
+            Sorted array of R-peak sample indices.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.shape[0] < int(0.5 * self.fs):
+            return np.empty(0, dtype=int)
+        bandpassed, integrated = self.feature_signal(x)
+        refractory = int(round(self.config.refractory_s * self.fs))
+        candidates, _ = sp_signal.find_peaks(integrated, distance=refractory)
+        if candidates.shape[0] == 0:
+            return np.empty(0, dtype=int)
+
+        spki = float(np.percentile(integrated[candidates], 75)) * 0.5
+        npki = float(np.percentile(integrated, 50))
+        accepted: list[int] = []
+        rr_history: list[float] = []
+
+        def threshold() -> float:
+            return npki + self.config.threshold_fraction * (spki - npki)
+
+        pending: list[int] = []  # rejected candidates (search-back pool)
+        for peak in candidates:
+            value = integrated[peak]
+            if value > threshold():
+                if accepted and peak - accepted[-1] < refractory:
+                    continue
+                if accepted:
+                    rr_history.append(peak - accepted[-1])
+                    if len(rr_history) > 8:
+                        rr_history.pop(0)
+                accepted.append(int(peak))
+                spki = 0.125 * value + 0.875 * spki
+                pending.clear()
+            else:
+                npki = 0.125 * value + 0.875 * npki
+                pending.append(int(peak))
+                # Search-back: if a long gap built up, re-examine rejected
+                # candidates with half the threshold.
+                if accepted and rr_history:
+                    mean_rr = float(np.mean(rr_history))
+                    gap = peak - accepted[-1]
+                    if gap > self.config.searchback_factor * mean_rr:
+                        viable = [
+                            p for p in pending
+                            if integrated[p] > 0.5 * threshold()
+                            and p - accepted[-1] >= refractory
+                        ]
+                        if viable:
+                            best = max(viable, key=lambda p: integrated[p])
+                            rr_history.append(best - accepted[-1])
+                            accepted.append(best)
+                            accepted.sort()
+                            spki = 0.25 * integrated[best] + 0.75 * spki
+                            pending.clear()
+        refined = self._refine(x, bandpassed,
+                               np.array(sorted(set(accepted)), dtype=int))
+        return refined
+
+    def _refine(self, x: np.ndarray, bandpassed: np.ndarray,
+                peaks: np.ndarray) -> np.ndarray:
+        """Align each mark with the R-wave extremum.
+
+        The moving-window integrator is trailing, so its peaks lag the QRS
+        by roughly half the integration window; stage one therefore looks
+        *backwards* over that lag in the band-passed signal, and stage two
+        snaps to the raw-signal extremum.
+        """
+        if peaks.shape[0] == 0:
+            return peaks
+        n = x.shape[0]
+        # Wide (ventricular) complexes delay the integrator peak by up to
+        # the full window plus half the QRS width, so look back that far.
+        lag = int(round((self.config.integration_window_s + 0.10) * self.fs))
+        lead = int(round(0.05 * self.fs))
+        half = int(round(self.config.refine_window_s * self.fs))
+        refined = []
+        base_half = int(round(0.25 * self.fs))
+        for peak in peaks:
+            lo = max(0, peak - lag)
+            hi = min(n, peak + lead + 1)
+            coarse = lo + int(np.argmax(np.abs(bandpassed[lo:hi])))
+            # Baseline from a window much wider than any QRS: the median of
+            # the refine window itself is biased by wide (ventricular)
+            # complexes that fill it.
+            base_lo = max(0, coarse - base_half)
+            base_hi = min(n, coarse + base_half + 1)
+            baseline = float(np.median(x[base_lo:base_hi]))
+            lo = max(0, coarse - half)
+            hi = min(n, coarse + half + 1)
+            window = x[lo:hi]
+            refined.append(lo + int(np.argmax(np.abs(window - baseline))))
+        refined_arr = np.array(sorted(set(refined)), dtype=int)
+        # Refinement can merge two marks onto one extremum; keep spacing.
+        keep = [0]
+        refractory = int(round(self.config.refractory_s * self.fs))
+        for i in range(1, refined_arr.shape[0]):
+            if refined_arr[i] - refined_arr[keep[-1]] >= refractory:
+                keep.append(i)
+        return refined_arr[keep]
+
+
+def detect_r_peaks(record: EcgRecord,
+                   config: RPeakConfig | None = None) -> np.ndarray:
+    """Convenience wrapper: run the detector on a record's waveform."""
+    detector = RPeakDetector(record.fs, config)
+    return detector.detect(record.signal)

@@ -1,0 +1,53 @@
+"""DSP primitives: sliding windows, wavelet banks, fixed-point arithmetic."""
+
+from .fixedpoint import (
+    Q15,
+    QFormat,
+    SAMPLE_Q,
+    fixed_point_fir,
+    quantization_snr_db,
+)
+from .wavelets import (
+    SPLINE_HIGHPASS,
+    SPLINE_LOWPASS,
+    atrous_swt,
+    atrous_swt_integer,
+    daubechies_filters,
+    max_dwt_levels,
+    orthogonal_dwt_matrix,
+)
+from .windows import (
+    StreamingExtremum,
+    closing,
+    dilation,
+    erosion,
+    moving_average,
+    moving_sum,
+    opening,
+    sliding_max,
+    sliding_min,
+)
+
+__all__ = [
+    "Q15",
+    "QFormat",
+    "SAMPLE_Q",
+    "SPLINE_HIGHPASS",
+    "SPLINE_LOWPASS",
+    "StreamingExtremum",
+    "atrous_swt",
+    "atrous_swt_integer",
+    "closing",
+    "daubechies_filters",
+    "dilation",
+    "erosion",
+    "fixed_point_fir",
+    "max_dwt_levels",
+    "moving_average",
+    "moving_sum",
+    "opening",
+    "orthogonal_dwt_matrix",
+    "quantization_snr_db",
+    "sliding_max",
+    "sliding_min",
+]

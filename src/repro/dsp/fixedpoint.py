@@ -1,0 +1,139 @@
+"""Fixed-point arithmetic helpers for integer-only targets.
+
+The platforms in §IV-A "operate at a clock frequency of few MHz and only
+support integer arithmetic operations".  The embedded-faithful variants of
+the algorithms (wavelet filter bank, Gaussian membership linearization,
+sensing-matrix products) therefore run in Qm.f fixed point.  This module
+provides the quantization, saturation and rounding primitives they share,
+plus an error-analysis helper used by the tests to bound quantization loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format with ``frac_bits`` fractional bits.
+
+    Attributes:
+        total_bits: Word length including the sign bit (16 for the paper's
+            MCU class).
+        frac_bits: Number of fractional bits.
+    """
+
+    total_bits: int = 16
+    frac_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError("need at least 2 bits (sign + magnitude)")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError("frac_bits must lie in [0, total_bits)")
+
+    @property
+    def scale(self) -> int:
+        """Scaling factor ``2**frac_bits``."""
+        return 1 << self.frac_bits
+
+    @property
+    def max_raw(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest representable raw integer."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_raw / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Quantization step ``2**-frac_bits``."""
+        return 1.0 / self.scale
+
+    def quantize(self, x: np.ndarray | float) -> np.ndarray:
+        """Round-to-nearest quantization to raw integers, with saturation."""
+        raw = np.rint(np.asarray(x, dtype=float) * self.scale)
+        return np.clip(raw, self.min_raw, self.max_raw).astype(np.int64)
+
+    def to_real(self, raw: np.ndarray | int) -> np.ndarray:
+        """Convert raw integers back to real values."""
+        return np.asarray(raw, dtype=float) / self.scale
+
+    def roundtrip(self, x: np.ndarray | float) -> np.ndarray:
+        """Quantize then dequantize (the value the integer target sees)."""
+        return self.to_real(self.quantize(x))
+
+    def saturating_add(self, a: np.ndarray | int,
+                       b: np.ndarray | int) -> np.ndarray:
+        """Raw-domain addition with saturation (no wraparound)."""
+        total = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+        return np.clip(total, self.min_raw, self.max_raw)
+
+    def multiply(self, a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
+        """Raw-domain multiply with rescaling and saturation.
+
+        The double-width product is shifted right by ``frac_bits`` with
+        round-half-up, matching a MUL + shift sequence on a 16x16->32
+        integer multiplier.
+        """
+        wide = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+        rounded = (wide + (1 << (self.frac_bits - 1))) >> self.frac_bits \
+            if self.frac_bits > 0 else wide
+        return np.clip(rounded, self.min_raw, self.max_raw)
+
+
+#: The Q1.14-ish format used for wavelet filter taps on a 16-bit MCU.
+Q15 = QFormat(total_bits=16, frac_bits=14)
+#: Format used for signal samples after front-end scaling (Q7.8).
+SAMPLE_Q = QFormat(total_bits=16, frac_bits=8)
+
+
+def quantization_snr_db(x: np.ndarray, fmt: QFormat) -> float:
+    """SNR (dB) of a signal after a quantization round trip through fmt."""
+    x = np.asarray(x, dtype=float)
+    error = x - fmt.roundtrip(x)
+    signal_power = np.mean(x ** 2)
+    noise_power = np.mean(error ** 2)
+    if noise_power == 0:
+        return np.inf
+    return 10.0 * np.log10(signal_power / noise_power)
+
+
+def fixed_point_fir(x: np.ndarray, taps: np.ndarray,
+                    sample_fmt: QFormat = SAMPLE_Q,
+                    coeff_fmt: QFormat = Q15) -> np.ndarray:
+    """FIR filtering entirely in the raw integer domain.
+
+    Models the MCU implementation: samples in ``sample_fmt``, coefficients
+    in ``coeff_fmt``, 32-bit accumulator, final shift back to the sample
+    format.  Returns real-valued output (dequantized) for comparison with
+    the floating-point reference.
+    """
+    raw_x = sample_fmt.quantize(x)
+    raw_taps = coeff_fmt.quantize(taps)
+    n = raw_x.shape[0]
+    length = raw_taps.shape[0]
+    out = np.zeros(n, dtype=np.int64)
+    for m in range(length):
+        shifted = np.zeros(n, dtype=np.int64)
+        shifted[m:] = raw_x[:n - m] if m > 0 else raw_x
+        out += raw_taps[m] * shifted
+    # Accumulator carries sample_fmt.frac + coeff_fmt.frac fractional bits.
+    shift = coeff_fmt.frac_bits
+    rounded = (out + (1 << (shift - 1))) >> shift if shift > 0 else out
+    rounded = np.clip(rounded, sample_fmt.min_raw, sample_fmt.max_raw)
+    return sample_fmt.to_real(rounded)

@@ -1,0 +1,254 @@
+"""Wavelet machinery: the à-trous quadratic-spline bank and orthogonal DWTs.
+
+Two distinct wavelet tools appear in the paper:
+
+* The **delineator** of [12] uses the undecimated (à trous) dyadic wavelet
+  transform with the quadratic-spline wavelet of Mallat, whose filter bank
+  has the integer-friendly coefficients ``h = [1, 3, 3, 1] / 8`` and
+  ``g = [2, -2]`` — a "proper choice of the filter bank coefficients"
+  (§IV-A) that needs only shifts and adds on the node.
+
+* The **compressed-sensing** recovery (refs [4][6][16]) expresses ECG
+  windows in an orthogonal Daubechies basis, in which they are sparse.
+
+Both are implemented here from scratch (no pywt available/needed).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+#: Quadratic-spline smoothing filter (Mallat / Martinez et al.), sums to 1.
+SPLINE_LOWPASS = np.array([1.0, 3.0, 3.0, 1.0]) / 8.0
+#: Quadratic-spline wavelet (derivative) filter.
+SPLINE_HIGHPASS = np.array([2.0, -2.0])
+
+# Orthogonal Daubechies scaling filters (standard published values,
+# normalized so that sum(h**2) == 1 and sum(h) == sqrt(2)).
+_DAUBECHIES = {
+    "haar": np.array([1.0, 1.0]) / np.sqrt(2.0),
+    "db2": np.array([
+        0.48296291314469025, 0.836516303737469,
+        0.22414386804185735, -0.12940952255092145,
+    ]),
+    "db4": np.array([
+        0.23037781330885523, 0.7148465705525415,
+        0.6308807679295904, -0.02798376941698385,
+        -0.18703481171888114, 0.030841381835986965,
+        0.032883011666982945, -0.010597401784997278,
+    ]),
+}
+
+
+def daubechies_filters(name: str) -> tuple[np.ndarray, np.ndarray]:
+    """Return the (lowpass, highpass) analysis pair of a Daubechies wavelet.
+
+    The highpass is the quadrature mirror ``g[k] = (-1)^k h[L-1-k]``.
+
+    Raises:
+        KeyError: For unknown wavelet names.
+    """
+    try:
+        h = _DAUBECHIES[name]
+    except KeyError:
+        raise KeyError(f"unknown wavelet {name!r}; "
+                       f"available: {sorted(_DAUBECHIES)}") from None
+    length = h.shape[0]
+    g = np.array([(-1) ** k * h[length - 1 - k] for k in range(length)])
+    return h, g
+
+
+def _periodic_analysis_step(x: np.ndarray, h: np.ndarray,
+                            g: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """One level of the periodic orthogonal DWT: x -> (approx, detail).
+
+    Operates along axis 0, so a 2-D input transforms each column
+    independently (used to build the basis matrix in one shot).
+    """
+    n = x.shape[0]
+    half = n // 2
+    length = h.shape[0]
+    tail_shape = (half,) + x.shape[1:]
+    approx = np.zeros(tail_shape)
+    detail = np.zeros(tail_shape)
+    base = 2 * np.arange(half)
+    for m in range(length):
+        samples = x[(base + m) % n]
+        approx += h[m] * samples
+        detail += g[m] * samples
+    return approx, detail
+
+
+def max_dwt_levels(n: int, wavelet: str = "db4") -> int:
+    """Largest level count so every stage has at least ``len(h)`` samples."""
+    h, _ = daubechies_filters(wavelet)
+    levels = 0
+    while n >= 2 * h.shape[0] and n % 2 == 0:
+        n //= 2
+        levels += 1
+    return levels
+
+
+def orthogonal_dwt_matrix(n: int, wavelet: str = "db4",
+                          levels: int | None = None) -> np.ndarray:
+    """Build the ``n x n`` orthonormal analysis matrix ``W`` (alpha = W x).
+
+    Results are cached per ``(n, wavelet, levels)`` since the CS benchmarks
+    request the same basis for thousands of windows.
+
+    The synthesis operator is ``W.T`` (the matrix is orthonormal, which the
+    tests verify).  Building the explicit matrix keeps the FISTA/OMP
+    recovery code simple and is cheap for the window sizes the paper uses
+    (n = 256 ... 1024).
+
+    Args:
+        n: Window length; must be divisible by ``2**levels``.
+        wavelet: One of ``haar``, ``db2``, ``db4``.
+        levels: Decomposition depth (defaults to the maximum possible).
+    """
+    if levels is None:
+        levels = max_dwt_levels(n, wavelet)
+    if levels < 1:
+        raise ValueError(f"window of {n} samples is too short for {wavelet}")
+    if n % (2 ** levels) != 0:
+        raise ValueError(f"n={n} not divisible by 2**levels={2 ** levels}")
+    return _dwt_matrix_cached(n, wavelet, levels).copy()
+
+
+@lru_cache(maxsize=16)
+def _dwt_matrix_cached(n: int, wavelet: str, levels: int) -> np.ndarray:
+    """Uncached body of :func:`orthogonal_dwt_matrix`."""
+    h, g = daubechies_filters(wavelet)
+    return _full_analysis(np.eye(n), h, g, levels)
+
+
+def _full_analysis(x: np.ndarray, h: np.ndarray, g: np.ndarray,
+                   levels: int) -> np.ndarray:
+    """Multi-level periodic DWT, coefficients packed [a_L, d_L, ..., d_1]."""
+    details: list[np.ndarray] = []
+    approx = x
+    for _ in range(levels):
+        approx, detail = _periodic_analysis_step(approx, h, g)
+        details.append(detail)
+    pieces = [approx] + list(reversed(details))
+    return np.concatenate(pieces)
+
+
+def atrous_swt(x: np.ndarray, levels: int = 5,
+               lowpass: np.ndarray = SPLINE_LOWPASS,
+               highpass: np.ndarray = SPLINE_HIGHPASS) -> np.ndarray:
+    """Undecimated dyadic wavelet transform (algorithme à trous).
+
+    At each scale the filters are upsampled by inserting ``2**(k-1) - 1``
+    zeros between taps ("holes").  Convolutions use edge-replicated padding
+    and the outputs are delay-compensated so that a wavelet maximum at
+    scale ``2^k`` is aligned with the generating slope in ``x`` — the
+    alignment on which the delineator's zero-crossing rules rely.
+
+    Args:
+        x: Input signal.
+        levels: Number of dyadic scales (the delineator uses up to 5).
+
+    Returns:
+        Array of shape ``(levels, len(x))`` with ``w[k - 1]`` the detail
+        signal at scale ``2^k``.
+    """
+    x = np.asarray(x, dtype=float)
+    n = x.shape[0]
+    out = np.zeros((levels, n))
+    smooth = x
+    for level in range(levels):
+        stride = 2 ** level
+        h_up = _upsample(lowpass, stride)
+        g_up = _upsample(highpass, stride)
+        out[level] = _aligned_convolve(smooth, g_up)
+        smooth = _aligned_convolve(smooth, h_up)
+    return out
+
+
+def atrous_swt_integer(x: np.ndarray, levels: int = 5,
+                       scale_bits: int = 8) -> np.ndarray:
+    """Integer-only à-trous transform, as the node's MCU computes it.
+
+    The quadratic-spline pair is exactly representable in integers:
+    ``h = [1, 3, 3, 1] / 8`` becomes multiply-by-small-constant plus a
+    3-bit rounding shift, and ``g = [2, -2]`` a shift-and-subtract —
+    the "proper choice of the filter bank coefficients" §IV-A credits for
+    the efficient embedded implementation.  Apart from the per-level
+    rounding shift (and the input quantization), the output matches
+    :func:`atrous_swt` exactly.
+
+    Args:
+        x: Input waveform (float; quantized internally).
+        levels: Number of dyadic scales.
+        scale_bits: Input quantization: samples become integers of
+            ``round(x * 2**scale_bits)``.
+
+    Returns:
+        Float array of shape ``(levels, len(x))`` re-scaled to the input
+        units (so it is drop-in comparable with :func:`atrous_swt`).
+    """
+    x = np.asarray(x, dtype=float)
+    scale = float(1 << scale_bits)
+    smooth = np.rint(x * scale).astype(np.int64)
+    n = smooth.shape[0]
+    out = np.zeros((levels, n))
+    h_int = np.array([1, 3, 3, 1], dtype=np.int64)
+    g_int = np.array([2, -2], dtype=np.int64)
+    for level in range(levels):
+        stride = 2 ** level
+        h_up = _upsample_int(h_int, stride)
+        g_up = _upsample_int(g_int, stride)
+        detail = _aligned_convolve_int(smooth, g_up)
+        out[level] = detail.astype(float) / scale
+        acc = _aligned_convolve_int(smooth, h_up)
+        # Divide by 8 with round-half-up: the MCU's (acc + 4) >> 3.
+        smooth = (acc + 4) >> 3
+    return out
+
+
+def _upsample_int(taps: np.ndarray, stride: int) -> np.ndarray:
+    """Integer-tap variant of :func:`_upsample`."""
+    if stride == 1:
+        return taps
+    up = np.zeros((taps.shape[0] - 1) * stride + 1, dtype=np.int64)
+    up[::stride] = taps
+    return up
+
+
+def _aligned_convolve_int(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Integer-domain :func:`_aligned_convolve` (same alignment rules)."""
+    half = (taps.shape[0] - 1) // 2
+    pad_left = taps.shape[0] - 1 - half
+    pad_right = half
+    padded = np.concatenate([
+        np.full(pad_left, x[0], dtype=np.int64), x,
+        np.full(pad_right, x[-1], dtype=np.int64),
+    ])
+    return np.convolve(padded, taps, mode="valid")
+
+
+def _upsample(taps: np.ndarray, stride: int) -> np.ndarray:
+    """Insert ``stride - 1`` zeros between filter taps."""
+    if stride == 1:
+        return taps
+    up = np.zeros((taps.shape[0] - 1) * stride + 1)
+    up[::stride] = taps
+    return up
+
+
+def _aligned_convolve(x: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Convolve with edge-replication padding, output aligned to input.
+
+    The result is shifted by the filter's half-length so that symmetric
+    (or anti-symmetric) filters introduce no net delay.
+    """
+    half = (taps.shape[0] - 1) // 2
+    pad_left = taps.shape[0] - 1 - half
+    pad_right = half
+    padded = np.concatenate([
+        np.full(pad_left, x[0]), x, np.full(pad_right, x[-1]),
+    ])
+    return np.convolve(padded, taps, mode="valid")

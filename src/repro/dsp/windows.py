@@ -1,0 +1,156 @@
+"""Streaming sliding-window primitives.
+
+Section IV-A of the paper notes that, with a *flat* structuring element,
+morphological erosion/dilation reduce to tracking the minimum/maximum of a
+sliding window — which is what makes morphological filtering viable on a
+few-MHz integer MCU.  This module implements that optimization with the
+monotonic-deque algorithm (van Herk / Lemire), giving O(1) amortized work
+per sample, plus the moving-sum/average windows used by the QRS detector.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+def sliding_max(x: np.ndarray, width: int) -> np.ndarray:
+    """Trailing sliding-window maximum (monotonic deque, O(n) total).
+
+    ``out[i] = max(x[max(0, i - width + 1) : i + 1])`` — the window covers
+    the current sample and the ``width - 1`` preceding ones, exactly the
+    state a streaming implementation on the node would keep.
+
+    Args:
+        x: Input samples.
+        width: Window length in samples (>= 1).
+    """
+    if width < 1:
+        raise ValueError("window width must be >= 1")
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    candidates: deque[int] = deque()  # indices with decreasing values
+    for i, value in enumerate(x):
+        while candidates and x[candidates[-1]] <= value:
+            candidates.pop()
+        candidates.append(i)
+        if candidates[0] <= i - width:
+            candidates.popleft()
+        out[i] = x[candidates[0]]
+    return out
+
+
+def sliding_min(x: np.ndarray, width: int) -> np.ndarray:
+    """Trailing sliding-window minimum (see :func:`sliding_max`)."""
+    return -sliding_max(-np.asarray(x, dtype=float), width)
+
+
+def _centered_extremum(x: np.ndarray, width: int, mode: str) -> np.ndarray:
+    """Centered sliding extremum with shrinking boundary windows.
+
+    ``out[i] = extremum(x[max(0, i - half) : min(n, i + half + 1)])`` with
+    ``half = width // 2`` — the window shrinks at both record edges, the
+    convention under which erosion stays anti-extensive and dilation
+    extensive all the way to the boundaries.
+    """
+    x = np.asarray(x, dtype=float)
+    n = x.shape[0]
+    half = width // 2
+    trailing = sliding_max(x, width) if mode == "max" else sliding_min(
+        x, width)
+    if half == 0:
+        return trailing
+    out = np.empty_like(trailing)
+    # Interior + head: the trailing value at i + half covers exactly
+    # [i - half, i + half] (clipped at 0 automatically).
+    interior = max(0, n - half)
+    out[:interior] = trailing[half:half + interior]
+    fn = np.max if mode == "max" else np.min
+    for i in range(interior, n):
+        out[i] = fn(x[max(0, i - half):n])
+    return out
+
+
+def erosion(x: np.ndarray, width: int) -> np.ndarray:
+    """Morphological erosion by a flat, centered structuring element.
+
+    Args:
+        x: Input samples.
+        width: Structuring-element length (odd lengths center exactly).
+    """
+    return _centered_extremum(x, width, "min")
+
+
+def dilation(x: np.ndarray, width: int) -> np.ndarray:
+    """Morphological dilation by a flat, centered structuring element."""
+    return _centered_extremum(x, width, "max")
+
+
+def opening(x: np.ndarray, width: int) -> np.ndarray:
+    """Morphological opening (erosion then dilation): removes peaks.
+
+    Even widths are rounded up to the next odd value: opening is only
+    anti-extensive and idempotent when erosion and dilation use the same
+    *symmetric* structuring element.
+    """
+    width |= 1
+    return dilation(erosion(x, width), width)
+
+
+def closing(x: np.ndarray, width: int) -> np.ndarray:
+    """Morphological closing (dilation then erosion): fills pits.
+
+    Even widths are rounded up (see :func:`opening`).
+    """
+    width |= 1
+    return erosion(dilation(x, width), width)
+
+
+def moving_sum(x: np.ndarray, width: int) -> np.ndarray:
+    """Trailing moving sum over ``width`` samples (edge: shorter window)."""
+    if width < 1:
+        raise ValueError("window width must be >= 1")
+    x = np.asarray(x, dtype=float)
+    csum = np.cumsum(x)
+    out = csum.copy()
+    out[width:] = csum[width:] - csum[:-width]
+    return out
+
+
+def moving_average(x: np.ndarray, width: int) -> np.ndarray:
+    """Trailing moving average; edges divide by the actual window length."""
+    x = np.asarray(x, dtype=float)
+    sums = moving_sum(x, width)
+    lengths = np.minimum(np.arange(1, x.shape[0] + 1), width)
+    return sums / lengths
+
+
+class StreamingExtremum:
+    """Sample-at-a-time sliding max/min, as the node firmware would run it.
+
+    This mirrors :func:`sliding_max`/:func:`sliding_min` but with a
+    ``push`` interface, and is used by the hardware-kernel reference models
+    to validate the assembly implementations in ``repro.hwsim.kernels``.
+    """
+
+    def __init__(self, width: int, mode: str = "max") -> None:
+        if width < 1:
+            raise ValueError("window width must be >= 1")
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        self._width = width
+        self._sign = 1.0 if mode == "max" else -1.0
+        self._values: deque[tuple[int, float]] = deque()
+        self._count = 0
+
+    def push(self, value: float) -> float:
+        """Insert one sample and return the current window extremum."""
+        keyed = self._sign * value
+        while self._values and self._values[-1][1] <= keyed:
+            self._values.pop()
+        self._values.append((self._count, keyed))
+        if self._values[0][0] <= self._count - self._width:
+            self._values.popleft()
+        self._count += 1
+        return self._sign * self._values[0][1]

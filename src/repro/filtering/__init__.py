@@ -1,0 +1,40 @@
+"""Noise filtering and source combination (paper §III-B, §IV-C)."""
+
+from .aicf import (
+    AicfResult,
+    aicf_convergence_curve,
+    aicf_filter,
+    tracking_gain_vs_ea,
+)
+from .baseline import (
+    KNOT_WINDOW_S,
+    PQ_OFFSET_S,
+    estimate_baseline,
+    knot_positions,
+    knot_values,
+    remove_baseline_spline,
+)
+from .combination import combine_leads, mean_combine, rms_combine
+from .ensemble import beat_matrix, ensemble_average, ensemble_noise_reduction_db
+from .morphological import MorphologicalFilter, MorphologicalFilterConfig
+
+__all__ = [
+    "AicfResult",
+    "KNOT_WINDOW_S",
+    "MorphologicalFilter",
+    "MorphologicalFilterConfig",
+    "PQ_OFFSET_S",
+    "aicf_convergence_curve",
+    "aicf_filter",
+    "beat_matrix",
+    "combine_leads",
+    "ensemble_average",
+    "ensemble_noise_reduction_db",
+    "estimate_baseline",
+    "knot_positions",
+    "knot_values",
+    "mean_combine",
+    "remove_baseline_spline",
+    "rms_combine",
+    "tracking_gain_vs_ea",
+]

@@ -1,0 +1,80 @@
+"""Cubic-spline baseline-wander removal (Meyer & Keiser 1977, ref [10]).
+
+The method anchors one "knot" per beat inside the electrically silent
+PQ segment (just before the QRS complex), where the true ECG is at baseline
+level, then interpolates the knots with cubic splines to estimate the
+wander, and subtracts it.  Following the original paper, each knot value is
+the average of a short window to reject residual noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.interpolate import CubicSpline
+
+from ..signals.types import EcgRecord
+
+#: Offset of the PQ silent region before the R peak, in seconds.
+PQ_OFFSET_S = 0.088
+#: Averaging window length around each knot, in seconds.
+KNOT_WINDOW_S = 0.020
+
+
+def knot_positions(r_peaks: np.ndarray, fs: float, n: int) -> np.ndarray:
+    """Knot sample indices: one per beat, inside the PQ silent region."""
+    r_peaks = np.asarray(r_peaks, dtype=int)
+    knots = r_peaks - int(round(PQ_OFFSET_S * fs))
+    knots = knots[(knots >= 0) & (knots < n)]
+    return np.unique(knots)
+
+
+def knot_values(signal: np.ndarray, knots: np.ndarray, fs: float) -> np.ndarray:
+    """Average ``signal`` over a short window centred on each knot."""
+    half = max(1, int(round(KNOT_WINDOW_S * fs / 2)))
+    n = signal.shape[0]
+    values = np.empty(knots.shape[0])
+    for i, k in enumerate(knots):
+        lo = max(0, k - half)
+        hi = min(n, k + half + 1)
+        values[i] = float(np.mean(signal[lo:hi]))
+    return values
+
+
+def estimate_baseline(signal: np.ndarray, r_peaks: np.ndarray,
+                      fs: float) -> np.ndarray:
+    """Cubic-spline baseline estimate anchored at per-beat PQ knots.
+
+    With fewer than 3 beats a spline cannot be fit; the mean level is
+    returned instead (the best constant baseline estimate).
+    """
+    signal = np.asarray(signal, dtype=float)
+    n = signal.shape[0]
+    knots = knot_positions(r_peaks, fs, n)
+    if knots.shape[0] < 3:
+        return np.full(n, float(np.mean(signal)))
+    values = knot_values(signal, knots, fs)
+    spline = CubicSpline(knots.astype(float), values, bc_type="natural")
+    t = np.arange(n, dtype=float)
+    baseline = spline(t)
+    # Splines extrapolate poorly: clamp the regions outside the knot span
+    # to the nearest knot value.
+    baseline[t < knots[0]] = values[0]
+    baseline[t > knots[-1]] = values[-1]
+    return baseline
+
+
+def remove_baseline_spline(record: EcgRecord,
+                           r_peaks: np.ndarray | None = None) -> EcgRecord:
+    """Return a copy of ``record`` with the spline baseline subtracted.
+
+    Args:
+        record: Input single-lead record.
+        r_peaks: R-peak indices to anchor knots; defaults to the record's
+            annotations (a detector output can be passed instead, which is
+            what the node firmware does).
+    """
+    if r_peaks is None:
+        r_peaks = record.r_peaks
+    baseline = estimate_baseline(record.signal, r_peaks, record.fs)
+    return EcgRecord(record.fs, record.signal - baseline,
+                     list(record.beats), name=record.name)

@@ -1,0 +1,69 @@
+"""Multi-lead source combination (ref [11]).
+
+Braojos et al. (BIBE 2012) show that combining several ECG leads before
+delineation reduces the effect of noise, and that a simple root-mean-square
+(RMS) aggregation is a light-weight yet effective strategy on the node.
+The RMS signal is non-negative with strongly emphasized QRS complexes,
+which also benefits the R-peak detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..signals.types import EcgRecord, MultiLeadEcg
+
+
+def rms_combine(signals: np.ndarray) -> np.ndarray:
+    """Sample-wise RMS across leads.
+
+    Args:
+        signals: Array of shape ``(n_leads, n_samples)``.
+
+    Returns:
+        1-D array of length ``n_samples``.
+    """
+    signals = np.atleast_2d(np.asarray(signals, dtype=float))
+    return np.sqrt(np.mean(signals ** 2, axis=0))
+
+
+def mean_combine(signals: np.ndarray) -> np.ndarray:
+    """Sample-wise arithmetic mean across leads (baseline alternative).
+
+    Unlike RMS, averaging preserves polarity but can cancel waves whose
+    projections have opposite signs on different leads; the comparison is
+    exercised in the tests.
+    """
+    signals = np.atleast_2d(np.asarray(signals, dtype=float))
+    return np.mean(signals, axis=0)
+
+
+def combine_leads(record: MultiLeadEcg, method: str = "rms",
+                  center: bool = True) -> EcgRecord:
+    """Combine a multi-lead record into a single-lead record.
+
+    Args:
+        record: Input multi-lead record.
+        method: ``"rms"`` (the paper's choice) or ``"mean"``.
+        center: Remove each lead's median before combining.  RMS of
+            signals with a DC offset inflates the floor, so centring is
+            the sensible default on conditioned signals.
+
+    Returns:
+        A single-lead :class:`~repro.signals.types.EcgRecord` carrying the
+        same beat annotations (wave timing is lead-independent).
+
+    Raises:
+        ValueError: For an unknown ``method``.
+    """
+    signals = record.signals
+    if center:
+        signals = signals - np.median(signals, axis=1, keepdims=True)
+    if method == "rms":
+        combined = rms_combine(signals)
+    elif method == "mean":
+        combined = mean_combine(signals)
+    else:
+        raise ValueError(f"unknown combination method {method!r}")
+    return EcgRecord(record.fs, combined, list(record.beats),
+                     name=f"{record.name}/{method}")

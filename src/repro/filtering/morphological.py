@@ -1,0 +1,117 @@
+"""Morphological ECG conditioning (Sun, Chan & Krishnan 2002, ref [9]).
+
+Two cascaded stages built from flat-structuring-element erosion/dilation:
+
+1. **Baseline correction** — the baseline is estimated by an opening (which
+   shaves positive peaks) followed by a closing (which fills the negative
+   pits), using structuring elements longer than any wave but shorter than
+   the baseline-drift period; subtracting it removes the wander.
+2. **Noise suppression** — the average of an open-close and a close-open
+   pair with short structuring elements smooths impulsive/high-frequency
+   noise while preserving wave edges better than linear low-pass filters.
+
+Thanks to the flat structuring elements, all operators reduce to sliding
+min/max windows (see :mod:`repro.dsp.windows`), the optimization that §IV-A
+of the paper highlights for integer MCUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.windows import closing, opening
+from ..signals.types import EcgRecord, MultiLeadEcg
+
+
+def _odd(width: int) -> int:
+    """Force a structuring-element width to the next odd integer >= 1."""
+    width = max(1, int(width))
+    return width if width % 2 == 1 else width + 1
+
+
+@dataclass(frozen=True)
+class MorphologicalFilterConfig:
+    """Structuring-element sizing for :class:`MorphologicalFilter`.
+
+    Attributes:
+        baseline_opening_s: SE length for the opening of the baseline
+            estimator; must exceed the widest wave (QRS+T ~ 0.2 s).
+        baseline_closing_ratio: Closing SE length as a multiple of the
+            opening SE (Sun et al. use 1.5).
+        noise_short_s: Short SE of the noise-suppression pair.
+        noise_long_s: Long SE of the noise-suppression pair.
+    """
+
+    baseline_opening_s: float = 0.2
+    baseline_closing_ratio: float = 1.5
+    noise_short_s: float = 0.012
+    noise_long_s: float = 0.020
+
+
+class MorphologicalFilter:
+    """The full two-stage morphological conditioner of ref [9].
+
+    Args:
+        fs: Sampling frequency in Hz.
+        config: Structuring-element sizing (defaults follow the paper).
+    """
+
+    def __init__(self, fs: float,
+                 config: MorphologicalFilterConfig | None = None) -> None:
+        if fs <= 0:
+            raise ValueError("sampling frequency must be positive")
+        self.fs = fs
+        self.config = config or MorphologicalFilterConfig()
+        cfg = self.config
+        self._b1 = _odd(cfg.baseline_opening_s * fs)
+        self._b2 = _odd(cfg.baseline_opening_s * cfg.baseline_closing_ratio * fs)
+        self._n1 = _odd(cfg.noise_short_s * fs)
+        self._n2 = _odd(cfg.noise_long_s * fs)
+
+    @property
+    def structuring_lengths(self) -> tuple[int, int, int, int]:
+        """SE lengths in samples: (baseline open, baseline close, short, long)."""
+        return (self._b1, self._b2, self._n1, self._n2)
+
+    def baseline(self, x: np.ndarray) -> np.ndarray:
+        """Estimate the baseline: closing(opening(x, B1), B2)."""
+        return closing(opening(x, self._b1), self._b2)
+
+    def remove_baseline(self, x: np.ndarray) -> np.ndarray:
+        """Subtract the morphological baseline estimate."""
+        return np.asarray(x, dtype=float) - self.baseline(x)
+
+    def suppress_noise(self, x: np.ndarray) -> np.ndarray:
+        """Average of open-close and close-open with the short/long SE pair."""
+        oc = closing(opening(x, self._n1), self._n2)
+        co = opening(closing(x, self._n1), self._n2)
+        return 0.5 * (oc + co)
+
+    def condition(self, x: np.ndarray) -> np.ndarray:
+        """Full conditioning: baseline removal then noise suppression."""
+        return self.suppress_noise(self.remove_baseline(x))
+
+    def condition_record(self, record: EcgRecord) -> EcgRecord:
+        """Condition a single-lead record, preserving annotations."""
+        return EcgRecord(record.fs, self.condition(record.signal),
+                         list(record.beats), name=record.name)
+
+    def condition_multilead(self, record: MultiLeadEcg) -> MultiLeadEcg:
+        """Condition every lead of a multi-lead record."""
+        conditioned = np.vstack([
+            self.condition(record.signals[i]) for i in range(record.n_leads)
+        ])
+        return MultiLeadEcg(record.fs, conditioned, list(record.beats),
+                            tuple(record.lead_names), name=record.name)
+
+    def comparisons_per_sample(self) -> float:
+        """Average comparator operations per sample (for energy estimates).
+
+        With the monotonic-deque optimization each erosion/dilation costs
+        an amortized ~2 comparisons per sample; the conditioner runs 12
+        such passes (2 baseline ops x 2 passes each + 4 noise ops x 2).
+        """
+        passes = 2 * 2 + 4 * 2
+        return 2.0 * passes

@@ -1,0 +1,48 @@
+"""Instruction-level simulator of the multi-core WBSN platform (§IV-B)."""
+
+from .assembler import Assembler
+from .energy import DEFAULT_VF_POINTS, EnergyModel, PowerReport, power_report
+from .fig7 import (
+    APP_NAMES,
+    AppComparison,
+    compare_all,
+    run_cs_accelerator,
+    run_mf3l,
+    run_mmd3l,
+    run_rpclass,
+)
+from .isa import BRANCH_OPS, Instruction, MEMORY_OPS, N_REGISTERS, Op
+from .tools import ProgramStats, analyze, disassemble
+from .platform import (
+    EventCounters,
+    Platform,
+    RunResult,
+    SHARED_BASE,
+)
+
+__all__ = [
+    "APP_NAMES",
+    "AppComparison",
+    "Assembler",
+    "BRANCH_OPS",
+    "DEFAULT_VF_POINTS",
+    "EnergyModel",
+    "EventCounters",
+    "Instruction",
+    "MEMORY_OPS",
+    "N_REGISTERS",
+    "Op",
+    "Platform",
+    "ProgramStats",
+    "PowerReport",
+    "RunResult",
+    "SHARED_BASE",
+    "analyze",
+    "compare_all",
+    "disassemble",
+    "power_report",
+    "run_cs_accelerator",
+    "run_mf3l",
+    "run_mmd3l",
+    "run_rpclass",
+]

@@ -1,0 +1,154 @@
+"""A tiny structured assembler for the WBSN ISA.
+
+Kernels are emitted programmatically (there is no textual assembly
+parser): the :class:`Assembler` collects instructions, resolves labels on
+:meth:`assemble`, and offers loop helpers that keep the generated kernels
+readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import BRANCH_OPS, Instruction, Op
+
+
+@dataclass
+class _Fixup:
+    """A branch whose target label is resolved at assemble time."""
+
+    index: int
+    label: str
+
+
+@dataclass
+class Assembler:
+    """Collects instructions and resolves symbolic branch targets."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    _labels: dict[str, int] = field(default_factory=dict)
+    _fixups: list[_Fixup] = field(default_factory=list)
+
+    def label(self, name: str) -> None:
+        """Define ``name`` at the current position.
+
+        Raises:
+            ValueError: If the label was already defined.
+        """
+        if name in self._labels:
+            raise ValueError(f"label {name!r} defined twice")
+        self._labels[name] = len(self.instructions)
+
+    def emit(self, op: Op, rd: int = 0, rs1: int = 0, rs2: int = 0,
+             imm: int = 0, target: str | None = None) -> None:
+        """Append one instruction (branches may name a label target)."""
+        if target is not None:
+            if op not in BRANCH_OPS:
+                raise ValueError(f"{op.name} cannot take a label target")
+            self._fixups.append(_Fixup(len(self.instructions), target))
+        self.instructions.append(Instruction(op, rd, rs1, rs2, imm))
+
+    # Convenience wrappers keep kernel builders terse and typo-safe.
+    def ldi(self, rd: int, imm: int) -> None:
+        """rd <- imm."""
+        self.emit(Op.LDI, rd=rd, imm=imm)
+
+    def mov(self, rd: int, rs1: int) -> None:
+        """rd <- rs1."""
+        self.emit(Op.MOV, rd=rd, rs1=rs1)
+
+    def add(self, rd: int, rs1: int, rs2: int) -> None:
+        """rd <- rs1 + rs2."""
+        self.emit(Op.ADD, rd=rd, rs1=rs1, rs2=rs2)
+
+    def addi(self, rd: int, rs1: int, imm: int) -> None:
+        """rd <- rs1 + imm."""
+        self.emit(Op.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+    def sub(self, rd: int, rs1: int, rs2: int) -> None:
+        """rd <- rs1 - rs2."""
+        self.emit(Op.SUB, rd=rd, rs1=rs1, rs2=rs2)
+
+    def mul(self, rd: int, rs1: int, rs2: int) -> None:
+        """rd <- rs1 * rs2."""
+        self.emit(Op.MUL, rd=rd, rs1=rs1, rs2=rs2)
+
+    def minr(self, rd: int, rs1: int, rs2: int) -> None:
+        """rd <- min(rs1, rs2)."""
+        self.emit(Op.MIN, rd=rd, rs1=rs1, rs2=rs2)
+
+    def maxr(self, rd: int, rs1: int, rs2: int) -> None:
+        """rd <- max(rs1, rs2)."""
+        self.emit(Op.MAX, rd=rd, rs1=rs1, rs2=rs2)
+
+    def abs_(self, rd: int, rs1: int) -> None:
+        """rd <- |rs1|."""
+        self.emit(Op.ABS, rd=rd, rs1=rs1)
+
+    def shr(self, rd: int, rs1: int, imm: int) -> None:
+        """rd <- rs1 >> imm (arithmetic)."""
+        self.emit(Op.SHR, rd=rd, rs1=rs1, imm=imm)
+
+    def shl(self, rd: int, rs1: int, imm: int) -> None:
+        """rd <- rs1 << imm."""
+        self.emit(Op.SHL, rd=rd, rs1=rs1, imm=imm)
+
+    def ld(self, rd: int, rs1: int, imm: int = 0) -> None:
+        """rd <- dmem[rs1 + imm]."""
+        self.emit(Op.LD, rd=rd, rs1=rs1, imm=imm)
+
+    def st(self, rs1: int, rs2: int, imm: int = 0) -> None:
+        """dmem[rs1 + imm] <- rs2."""
+        self.emit(Op.ST, rs1=rs1, rs2=rs2, imm=imm)
+
+    def beq(self, rs1: int, rs2: int, target: str) -> None:
+        """Branch to label if rs1 == rs2."""
+        self.emit(Op.BEQ, rs1=rs1, rs2=rs2, target=target)
+
+    def bne(self, rs1: int, rs2: int, target: str) -> None:
+        """Branch to label if rs1 != rs2."""
+        self.emit(Op.BNE, rs1=rs1, rs2=rs2, target=target)
+
+    def blt(self, rs1: int, rs2: int, target: str) -> None:
+        """Branch to label if rs1 < rs2."""
+        self.emit(Op.BLT, rs1=rs1, rs2=rs2, target=target)
+
+    def bge(self, rs1: int, rs2: int, target: str) -> None:
+        """Branch to label if rs1 >= rs2."""
+        self.emit(Op.BGE, rs1=rs1, rs2=rs2, target=target)
+
+    def jmp(self, target: str) -> None:
+        """Unconditional jump to label."""
+        self.emit(Op.JMP, target=target)
+
+    def bar(self) -> None:
+        """Hardware barrier (all cores must arrive)."""
+        self.emit(Op.BAR)
+
+    def cid(self, rd: int) -> None:
+        """rd <- core id."""
+        self.emit(Op.CID, rd=rd)
+
+    def csa(self, rd: int, rs1: int) -> None:
+        """rd += dmem[dmem[rs1]]; rs1 += 1 (CS-accelerator extension)."""
+        self.emit(Op.CSA, rd=rd, rs1=rs1)
+
+    def halt(self) -> None:
+        """Stop the core."""
+        self.emit(Op.HALT)
+
+    def assemble(self) -> list[Instruction]:
+        """Resolve labels and return the finished program.
+
+        Raises:
+            KeyError: For branches to undefined labels.
+        """
+        program = list(self.instructions)
+        for fixup in self._fixups:
+            if fixup.label not in self._labels:
+                raise KeyError(f"undefined label {fixup.label!r}")
+            old = program[fixup.index]
+            program[fixup.index] = Instruction(
+                old.op, old.rd, old.rs1, old.rs2,
+                imm=self._labels[fixup.label])
+        return program

@@ -1,0 +1,172 @@
+"""Energy/power model of the WBSN platform with voltage-frequency scaling.
+
+The §IV-B argument: parallelizing a real-time workload over N cores lets
+each core run at ~1/N the frequency, which in the near-threshold regime
+means a substantially lower supply voltage; dynamic energy scales with
+V^2, so the same work costs less — and broadcast fetch merging removes
+most of the (N-fold) instruction-memory traffic growth.  Fig. 7 decomposes
+the resulting average power into cores, instruction memory and data
+memory; this module computes those components from the simulator's event
+counts.
+
+Constants are 90 nm-class near-threshold values (documented per field);
+the V/f operating points follow the characteristic steep frequency rise of
+near-VT silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .platform import EventCounters
+
+#: Near-threshold V/f operating points (volts, hertz).
+DEFAULT_VF_POINTS = (
+    (0.25, 15e3),
+    (0.30, 50e3),
+    (0.35, 130e3),
+    (0.40, 300e3),
+    (0.45, 600e3),
+    (0.50, 1.1e6),
+    (0.60, 3.0e6),
+    (0.70, 7.0e6),
+    (0.80, 15.0e6),
+)
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies (at ``v_nominal``) and scaling laws.
+
+    Attributes:
+        v_nominal: Voltage at which the per-event energies are specified.
+        e_alu: Energy of a simple ALU/control instruction (pJ-class,
+            90 nm near-VT core).
+        e_mul: Energy of a multiply.
+        e_mem_instr: Extra core energy of a load/store (AGU + bus).
+        e_imem_access: Energy per instruction-memory read (one word from
+            one bank, after broadcast merging).
+        e_dmem_access: Energy per data-memory access.
+        leak_core_w: Leakage per core at ``v_nominal``.
+        leak_mem_w_per_kb: Memory leakage per kilobyte at ``v_nominal``.
+        vf_points: Voltage/frequency operating points.
+    """
+
+    v_nominal: float = 0.5
+    e_alu: float = 1.5e-12
+    e_mul: float = 3.0e-12
+    e_mem_instr: float = 0.8e-12
+    e_imem_access: float = 2.5e-12
+    e_dmem_access: float = 2.0e-12
+    leak_core_w: float = 0.15e-6
+    leak_mem_w_per_kb: float = 0.015e-6
+    vf_points: tuple[tuple[float, float], ...] = DEFAULT_VF_POINTS
+
+    def voltage_for_frequency(self, f_hz: float) -> float:
+        """Minimum supply voltage sustaining ``f_hz`` (log-interpolated).
+
+        Clamps to the lowest point below the table and raises above it —
+        a workload the platform cannot reach at its top voltage is a
+        mapping error the caller must see.
+        """
+        volts = np.array([p[0] for p in self.vf_points])
+        freqs = np.array([p[1] for p in self.vf_points])
+        if f_hz <= freqs[0]:
+            return float(volts[0])
+        if f_hz > freqs[-1]:
+            raise ValueError(
+                f"required frequency {f_hz:.3g} Hz exceeds the platform's "
+                f"top operating point {freqs[-1]:.3g} Hz")
+        return float(np.interp(np.log(f_hz), np.log(freqs), volts))
+
+    def dynamic_scale(self, v: float) -> float:
+        """Dynamic-energy scale factor (V^2 law)."""
+        return (v / self.v_nominal) ** 2
+
+    def leakage_scale(self, v: float) -> float:
+        """Leakage-power scale factor (super-linear, ~V^3)."""
+        return (v / self.v_nominal) ** 3
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Average-power decomposition of one mapped application (Fig. 7 bar).
+
+    Attributes:
+        label: Configuration name (e.g. ``"3L-MF/MC"``).
+        frequency_hz: Clock required to meet the real-time deadline.
+        voltage_v: Supply chosen for that clock.
+        core_w: Core dynamic power (execute stage).
+        imem_w: Instruction-memory dynamic power.
+        dmem_w: Data-memory dynamic power.
+        leakage_w: Total leakage (cores + memories).
+    """
+
+    label: str
+    frequency_hz: float
+    voltage_v: float
+    core_w: float
+    imem_w: float
+    dmem_w: float
+    leakage_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Total average power."""
+        return self.core_w + self.imem_w + self.dmem_w + self.leakage_w
+
+    def as_microwatts(self) -> dict[str, float]:
+        """Component powers in microwatts (the Fig. 7 axis)."""
+        return {
+            "core": 1e6 * self.core_w,
+            "imem": 1e6 * self.imem_w,
+            "dmem": 1e6 * self.dmem_w,
+            "leakage": 1e6 * self.leakage_w,
+            "total": 1e6 * self.total_w,
+        }
+
+
+def power_report(label: str, counters: EventCounters, deadline_s: float,
+                 n_cores: int, model: EnergyModel | None = None,
+                 imem_kb: float = 8.0, dmem_kb: float = 16.0,
+                 ) -> PowerReport:
+    """Turn simulator event counts into a Fig. 7 power bar.
+
+    Args:
+        label: Configuration name for the report.
+        counters: Event counts from :meth:`Platform.run`.
+        deadline_s: Real-time budget for the simulated work (the window
+            of samples must be processed within its own duration).
+        n_cores: Cores in the platform (leakage).
+        model: Energy model (defaults to the 90 nm near-VT constants).
+        imem_kb: Instruction-memory size for leakage.
+        dmem_kb: Total data-memory size for leakage.
+    """
+    model = model or EnergyModel()
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    f_req = counters.cycles / deadline_s
+    v = model.voltage_for_frequency(f_req)
+    dyn = model.dynamic_scale(v)
+    core_e = (counters.alu_instructions * model.e_alu
+              + counters.mul_instructions * model.e_mul
+              + counters.branch_instructions * model.e_alu
+              + counters.memory_instructions
+              * (model.e_alu + model.e_mem_instr)) * dyn
+    imem_e = counters.imem_accesses * model.e_imem_access * dyn
+    dmem_e = (counters.dmem_private_accesses
+              + counters.dmem_shared_accesses) * model.e_dmem_access * dyn
+    leak = model.leakage_scale(v) * (
+        n_cores * model.leak_core_w
+        + (imem_kb + dmem_kb) * model.leak_mem_w_per_kb)
+    return PowerReport(
+        label=label,
+        frequency_hz=f_req,
+        voltage_v=v,
+        core_w=core_e / deadline_s,
+        imem_w=imem_e / deadline_s,
+        dmem_w=dmem_e / deadline_s,
+        leakage_w=leak,
+    )

@@ -1,0 +1,274 @@
+"""Fig. 7 orchestration: SC vs MC power for the three WBSN applications.
+
+For each application (3L-MF, 3L-MMD, RP-CLASS) the same workload is mapped
+onto the single-core (SC) and the synchronized multi-core (MC) platform;
+the required clock follows from the real-time deadline (a window of
+samples must be processed within its own duration), the supply voltage
+from the V/f table, and the Fig. 7 bars from the event counts.  Every run
+is verified against a NumPy reference before its power is reported — a
+mis-simulated kernel would silently skew the figure otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compression.matrices import ternary_matrix
+from .energy import EnergyModel, PowerReport, power_report
+from .kernels import mf3l, mmd3l, rpclass
+from .platform import Platform, RunResult
+
+APP_NAMES = ("3L-MF", "3L-MMD", "RP-CLASS")
+
+
+@dataclass
+class AppComparison:
+    """SC/MC power comparison of one application.
+
+    Attributes:
+        name: Application name.
+        sc: Single-core power report.
+        mc: Multi-core power report.
+        sc_run: SC simulation result (event counts).
+        mc_run: MC simulation result.
+    """
+
+    name: str
+    sc: PowerReport
+    mc: PowerReport
+    sc_run: RunResult
+    mc_run: RunResult
+
+    @property
+    def savings_percent(self) -> float:
+        """Total-power reduction of MC versus SC."""
+        return 100.0 * (1.0 - self.mc.total_w / self.sc.total_w)
+
+    @property
+    def processing_power_ratio(self) -> float:
+        """Dynamic (core + memories) power ratio SC / MC.
+
+        Isolates the processing-path improvement from leakage floors —
+        the quantity the accelerator comparison of ref [19] reports.
+        """
+        sc_dyn = self.sc.core_w + self.sc.imem_w + self.sc.dmem_w
+        mc_dyn = self.mc.core_w + self.mc.imem_w + self.mc.dmem_w
+        return sc_dyn / mc_dyn if mc_dyn > 0 else float("inf")
+
+
+def _verify(condition: bool, app: str, what: str) -> None:
+    if not condition:
+        raise AssertionError(f"{app}: simulator output mismatch in {what}")
+
+
+def run_mf3l(signals: np.ndarray, fs: float, width_s: float = 0.048,
+             n_cores: int = 3, broadcast: bool = True,
+             model: EnergyModel | None = None) -> AppComparison:
+    """3L-MF on SC and MC, with functional verification.
+
+    Args:
+        signals: Float 3-lead waveforms, shape ``(3, n)``.
+        fs: Sampling rate (sets the real-time deadline ``n / fs``).
+        width_s: Structuring-element width in seconds.
+        n_cores: MC core count (= lead count).
+        broadcast: MC broadcast interconnect on/off (Fig. 7 ablation).
+        model: Energy model override.
+    """
+    n_leads, n = signals.shape
+    if n_leads != n_cores:
+        raise ValueError("3L-MF maps one lead per core")
+    width = max(2, int(round(width_s * fs)))
+    deadline = n / fs
+    reference = mf3l.reference_outputs(signals, width)
+
+    sc_prog = mf3l.build_mf_kernel(n, width, n_leads_loop=n_leads)
+    sc_run = Platform(1).run(sc_prog, mf3l.prepare_memories(signals, True))
+    sc_out = mf3l.extract_outputs(sc_run.private_memories, n, n_leads, True)
+    _verify(np.array_equal(sc_out, reference), "3L-MF", "SC outputs")
+
+    mc_prog = mf3l.build_mf_kernel(n, width, n_leads_loop=1)
+    mc_run = Platform(n_cores, broadcast=broadcast).run(
+        mc_prog, mf3l.prepare_memories(signals, False))
+    mc_out = mf3l.extract_outputs(mc_run.private_memories, n, n_leads, False)
+    _verify(np.array_equal(mc_out, reference), "3L-MF", "MC outputs")
+
+    return AppComparison(
+        name="3L-MF",
+        sc=power_report("3L-MF/SC", sc_run.counters, deadline, 1, model),
+        mc=power_report("3L-MF/MC", mc_run.counters, deadline, n_cores,
+                        model),
+        sc_run=sc_run, mc_run=mc_run)
+
+
+def run_mmd3l(signals: np.ndarray, fs: float,
+              widths_s: tuple[float, float] = mmd3l.DEFAULT_WIDTHS_S,
+              n_cores: int = 3, broadcast: bool = True,
+              model: EnergyModel | None = None) -> AppComparison:
+    """3L-MMD (two analysis scales) on SC and MC, with verification."""
+    n_leads, n = signals.shape
+    if n_leads != n_cores:
+        raise ValueError("3L-MMD maps one lead per core")
+    widths = tuple(max(2, int(round(w * fs))) for w in widths_s)
+    deadline = n / fs
+    scale1, scale2, (best_idx, best_val) = mmd3l.reference_results(
+        signals, widths)
+
+    sc_prog = mmd3l.build_mmd_kernel(n, widths, n_leads_loop=n_leads,
+                                     n_slots=n_leads)
+    sc_run = Platform(1).run(sc_prog, mmd3l.prepare_memories(signals, True))
+    _check_mmd_results(sc_run, scale1, scale2, best_idx, best_val, "SC")
+
+    mc_prog = mmd3l.build_mmd_kernel(n, widths, n_leads_loop=1,
+                                     n_slots=n_leads)
+    mc_run = Platform(n_cores, broadcast=broadcast).run(
+        mc_prog, mmd3l.prepare_memories(signals, False))
+    _check_mmd_results(mc_run, scale1, scale2, best_idx, best_val, "MC")
+
+    return AppComparison(
+        name="3L-MMD",
+        sc=power_report("3L-MMD/SC", sc_run.counters, deadline, 1, model),
+        mc=power_report("3L-MMD/MC", mc_run.counters, deadline, n_cores,
+                        model),
+        sc_run=sc_run, mc_run=mc_run)
+
+
+def _check_mmd_results(run: RunResult, scale1: np.ndarray, scale2: np.ndarray,
+                       best_idx: int, best_val: int, tag: str) -> None:
+    shared = run.shared_memory
+    n_slots = scale1.shape[0]
+    for group, per_lead in ((0, scale1), (1, scale2)):
+        for lead in range(n_slots):
+            slot = 2 * (group * n_slots + lead)
+            _verify(int(shared[slot]) == int(per_lead[lead, 0]),
+                    "3L-MMD", f"{tag} scale {group + 1} lead {lead} index")
+            _verify(int(shared[slot + 1]) == int(per_lead[lead, 1]),
+                    "3L-MMD", f"{tag} scale {group + 1} lead {lead} value")
+    _verify(int(shared[mmd3l.RESULT_OFFSET]) == best_idx,
+            "3L-MMD", f"{tag} global index")
+    _verify(int(shared[mmd3l.RESULT_OFFSET + 1]) == best_val,
+            "3L-MMD", f"{tag} global value")
+
+
+def run_rpclass(window: np.ndarray, fs: float, k: int = 36,
+                n_classes: int = 5, n_cores: int = 3,
+                beat_period_s: float = 0.8, broadcast: bool = True,
+                seed: int = 17,
+                model: EnergyModel | None = None) -> AppComparison:
+    """RP-CLASS on SC and MC, with functional verification.
+
+    Args:
+        window: Float beat window (one lead).
+        fs: Sampling rate (documentation only; the deadline is the beat
+            period).
+        k: Projection rows (must divide by ``n_cores``).
+        n_classes: Beat classes scored.
+        n_cores: MC core count.
+        beat_period_s: Real-time budget: one beat must be classified
+            before the next arrives.
+        broadcast: MC broadcast interconnect on/off.
+        seed: Projection/center construction seed.
+        model: Energy model override.
+    """
+    rng = np.random.default_rng(seed)
+    window_int = mf3l.quantize_signal(window)
+    n = window_int.shape[0]
+    ternary = ternary_matrix(k, n, rng)
+    rows = np.rint(ternary.matrix / np.sqrt(3.0)).astype(np.int64)
+    centers = rng.integers(-2000, 2000, size=(n_classes, k)).astype(np.int64)
+    best_cls, best_score = rpclass.reference_class(window_int, rows, centers)
+    deadline = beat_period_s
+
+    sc_prog = rpclass.build_rpclass_kernel(n, rows_per_core=k,
+                                           n_classes=n_classes, n_slots=1)
+    sc_run = Platform(1).run(
+        sc_prog, rpclass.prepare_memories(window_int, rows, centers, 1))
+    _check_rp_result(sc_run, best_cls, best_score, "SC")
+
+    mc_prog = rpclass.build_rpclass_kernel(n, rows_per_core=k // n_cores,
+                                           n_classes=n_classes,
+                                           n_slots=n_cores)
+    mc_run = Platform(n_cores, broadcast=broadcast).run(
+        mc_prog, rpclass.prepare_memories(window_int, rows, centers,
+                                          n_cores))
+    _check_rp_result(mc_run, best_cls, best_score, "MC")
+
+    return AppComparison(
+        name="RP-CLASS",
+        sc=power_report("RP-CLASS/SC", sc_run.counters, deadline, 1, model),
+        mc=power_report("RP-CLASS/MC", mc_run.counters, deadline, n_cores,
+                        model),
+        sc_run=sc_run, mc_run=mc_run)
+
+
+def _check_rp_result(run: RunResult, best_cls: int, best_score: int,
+                     tag: str) -> None:
+    shared = run.shared_memory
+    _verify(int(shared[rpclass.RESULT_OFFSET]) == best_cls,
+            "RP-CLASS", f"{tag} class")
+    _verify(int(shared[rpclass.RESULT_OFFSET + 1]) == best_score,
+            "RP-CLASS", f"{tag} score")
+
+
+def run_cs_accelerator(window: np.ndarray, fs: float, cr_percent: float = 60.0,
+                       d: int = 12, seed: int = 29,
+                       model: EnergyModel | None = None) -> AppComparison:
+    """CS encoding: baseline RISC vs the [19]-style ISA extension.
+
+    Both variants run on a single core (the accelerator claim is about
+    the datapath, not parallelism) and must finish one window within its
+    acquisition time.  Results are verified against the NumPy reference.
+
+    Returns:
+        An :class:`AppComparison` where ``sc`` is the baseline and ``mc``
+        the accelerated variant (reusing the comparison container:
+        ``savings_percent`` reports the accelerator's power saving).
+    """
+    from .kernels import csenc
+
+    rng = np.random.default_rng(seed)
+    window_int = mf3l.quantize_signal(window)
+    n = window_int.shape[0]
+    m = max(1, int(n * (1.0 - cr_percent / 100.0)))
+    matrix = csenc.uniform_row_matrix(m, n, d, rng)
+    table = csenc.row_table_from_matrix(matrix, d)
+    reference = csenc.reference_measurements(window_int, table)
+    deadline = n / fs
+
+    results = {}
+    for label, accelerated in (("base", False), ("accel", True)):
+        program = csenc.build_cs_kernel(m, d, accelerated)
+        run = Platform(1).run(program,
+                              csenc.prepare_memory(window_int, table))
+        out = run.private_memories[0][csenc.OUT_BASE:csenc.OUT_BASE + m]
+        _verify(np.array_equal(out, reference), "CS-ENC",
+                f"{label} measurements")
+        results[label] = run
+
+    return AppComparison(
+        name="CS-ENC",
+        sc=power_report("CS-ENC/base", results["base"].counters, deadline,
+                        1, model),
+        mc=power_report("CS-ENC/accel", results["accel"].counters,
+                        deadline, 1, model),
+        sc_run=results["base"], mc_run=results["accel"])
+
+
+def compare_all(signals: np.ndarray, beat_window: np.ndarray, fs: float,
+                broadcast: bool = True,
+                model: EnergyModel | None = None) -> list[AppComparison]:
+    """Run all three Fig. 7 applications on SC and MC.
+
+    Args:
+        signals: 3-lead waveform block, shape ``(3, n)``.
+        beat_window: One beat window for RP-CLASS.
+        fs: Sampling rate.
+        broadcast: MC broadcast interconnect on/off.
+        model: Energy model override.
+    """
+    return [
+        run_mf3l(signals, fs, broadcast=broadcast, model=model),
+        run_mmd3l(signals, fs, broadcast=broadcast, model=model),
+        run_rpclass(beat_window, fs, broadcast=broadcast, model=model),
+    ]

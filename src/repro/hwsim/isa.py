@@ -1,0 +1,86 @@
+"""Instruction set of the WBSN cores (paper §IV-B, Fig. 3).
+
+A compact 16-register RISC load/store ISA sized for bio-signal kernels.
+Branchless ``MIN``/``MAX``/``ABS`` keep the morphological kernels fully
+SIMD across cores (identical control flow -> perfect instruction
+broadcast), while conditional branches exist for the genuinely
+data-dependent sections, after which the paper's barrier mechanism
+(``BAR``) re-synchronizes the cores.  ``CID`` exposes the core index, the
+hook the reduced instruction-set extension of [18] provides for
+synchronization bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+N_REGISTERS = 16
+
+
+class Op(IntEnum):
+    """Opcodes, grouped by energy class."""
+
+    NOP = 0
+    LDI = 1     # rd <- imm
+    MOV = 2     # rd <- rs1
+    ADD = 3     # rd <- rs1 + rs2
+    SUB = 4     # rd <- rs1 - rs2
+    ADDI = 5    # rd <- rs1 + imm
+    MUL = 6     # rd <- rs1 * rs2
+    MIN = 7     # rd <- min(rs1, rs2)
+    MAX = 8     # rd <- max(rs1, rs2)
+    ABS = 9     # rd <- |rs1|
+    SHL = 10    # rd <- rs1 << imm
+    SHR = 11    # rd <- rs1 >> imm (arithmetic)
+    LD = 12     # rd <- dmem[rs1 + imm]
+    ST = 13     # dmem[rs1 + imm] <- rs2
+    BEQ = 14    # if rs1 == rs2: pc <- imm
+    BNE = 15    # if rs1 != rs2: pc <- imm
+    BLT = 16    # if rs1 <  rs2: pc <- imm
+    BGE = 17    # if rs1 >= rs2: pc <- imm
+    JMP = 18    # pc <- imm
+    BAR = 19    # barrier: wait for all cores
+    CID = 20    # rd <- core id
+    HALT = 21
+    # ISA extension of the CS accelerator (ref [19], TamaRISC-CS class):
+    # fused index-load + sample-load + accumulate with pointer
+    # post-increment, one cycle, two D-mem accesses.
+    CSA = 22    # rd <- rd + dmem[dmem[rs1]]; rs1 <- rs1 + 1
+
+
+#: Ops that access data memory (charged a D-mem access).
+MEMORY_OPS = frozenset({Op.LD, Op.ST, Op.CSA})
+#: Ops that may redirect control flow (branch-divergence candidates).
+BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.JMP})
+#: The multiplier ops (higher-energy execute class).
+MUL_OPS = frozenset({Op.MUL})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Attributes:
+        op: Opcode.
+        rd: Destination register (unused fields stay 0).
+        rs1: First source register.
+        rs2: Second source register.
+        imm: Immediate / branch target / memory offset.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            value = getattr(self, name)
+            if not 0 <= value < N_REGISTERS:
+                raise ValueError(f"{name}={value} outside register file")
+
+    def __str__(self) -> str:
+        return (f"{self.op.name} rd=r{self.rd} rs1=r{self.rs1} "
+                f"rs2=r{self.rs2} imm={self.imm}")

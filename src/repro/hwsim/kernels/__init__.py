@@ -1,0 +1,5 @@
+"""WBSN application kernels written in the simulator ISA (Fig. 7 apps)."""
+
+from . import common, mf3l, mmd3l, rpclass
+
+__all__ = ["common", "mf3l", "mmd3l", "rpclass"]

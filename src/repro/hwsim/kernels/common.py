@@ -1,0 +1,74 @@
+"""Shared helpers for the WBSN kernels (layout, quantization, references).
+
+Kernel programs are *identical* on every core of the MC platform: each
+core's private bank holds its own slice of the data (its ECG lead, its
+block of projection rows) at the same addresses, so the instruction
+streams stay aligned and the broadcast interconnect merges the fetches.
+The single-core (SC) variant runs the same inner code inside an outer
+lead/block loop.
+
+Signals are quantized to integer millivolt-thousandths, matching the
+integer-only arithmetic of the platform (§IV-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fixed-point scale for converting mV waveforms to integers.
+SIGNAL_SCALE = 1000.0
+
+
+def quantize_signal(x: np.ndarray, scale: float = SIGNAL_SCALE) -> np.ndarray:
+    """Quantize a waveform to int64 (the platform's word type)."""
+    return np.rint(np.asarray(x, dtype=float) * scale).astype(np.int64)
+
+
+def trailing_extremum(x: np.ndarray, width: int, mode: str) -> np.ndarray:
+    """NumPy reference for the kernels' trailing sliding min/max.
+
+    The kernels compute ``out[i] = extremum(x[i - width + 1 .. i])`` for
+    ``i >= width - 1`` and copy the input for the warm-up prefix.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    out = x.copy()
+    fn = np.min if mode == "min" else np.max
+    for i in range(width - 1, x.shape[0]):
+        out[i] = fn(x[i - width + 1:i + 1])
+    return out
+
+
+def opening_reference(x: np.ndarray, width: int) -> np.ndarray:
+    """Reference for the 3L-MF kernel: erosion then dilation."""
+    return trailing_extremum(trailing_extremum(x, width, "min"), width, "max")
+
+
+def mmd_reference(x: np.ndarray, width: int) -> np.ndarray:
+    """Reference for the 3L-MMD transform: dil + ero - 2x (unnormalized)."""
+    x = np.asarray(x, dtype=np.int64)
+    dil = trailing_extremum(x, width, "max")
+    ero = trailing_extremum(x, width, "min")
+    return dil + ero - 2 * x
+
+
+def argmin_reference(values: np.ndarray, start: int) -> tuple[int, int]:
+    """Reference for the kernels' argmin scan over ``values[start:]``."""
+    values = np.asarray(values, dtype=np.int64)
+    idx = start + int(np.argmin(values[start:]))
+    return idx, int(values[idx])
+
+
+def rp_scores_reference(window: np.ndarray, rows: np.ndarray,
+                        centers: np.ndarray) -> np.ndarray:
+    """Reference for RP-CLASS: per-class L1 scores over projected features.
+
+    Args:
+        window: Integer beat window, shape ``(n,)``.
+        rows: Integer projection rows, shape ``(k, n)``.
+        centers: Integer class centers, shape ``(n_classes, k)``.
+
+    Returns:
+        Per-class scores (lower = better match).
+    """
+    features = rows.astype(np.int64) @ window.astype(np.int64)
+    return np.abs(features[None, :] - centers.astype(np.int64)).sum(axis=1)

@@ -1,0 +1,151 @@
+"""3L-MF: three-lead morphological filtering kernel (Fig. 7, first app).
+
+Computes the morphological open-close conditioning of ref [9] (trailing
+erosion -> dilation -> dilation -> erosion, flat structuring element) on
+each ECG lead.  The MC mapping gives each core one lead in its private
+bank, all cores executing the identical program — the fully-SIMD case
+where broadcast fetch merging is most effective.  The SC mapping runs the
+same inner code in an outer lead loop on one core.
+
+Register allocation (shared by the pass emitter):
+    r1 = sample index, r2 = window offset, r3 = running extremum,
+    r4/r5 = address temporaries, r6 = sample count, r7 = SE width,
+    r8 = copy limit, r9 = pass input base, r10 = load temporary,
+    r11 = output base, r12 = intermediate base, r13 = constants,
+    r14 = lead base, r15 = lead index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..assembler import Assembler
+from ..isa import Instruction, Op
+from .common import opening_reference, quantize_signal
+
+def lead_stride(n_samples: int) -> int:
+    """Words of private memory used per lead (input, scratch, output)."""
+    return 3 * n_samples
+
+
+def emit_extremum_pass(asm: Assembler, tag: str, op: Op, n_samples: int,
+                       width: int) -> None:
+    """Emit one trailing sliding-extremum pass.
+
+    Expects r9 = input base, r11 = output base, r6 = n_samples,
+    r7 = width (all preloaded).  Copies the warm-up prefix, then runs the
+    windowed scan.  Control flow depends only on loop counters, so all
+    cores stay aligned (SIMD-safe).
+    """
+    if width < 2:
+        raise ValueError("structuring element must span >= 2 samples")
+    asm.ldi(1, 0)
+    asm.ldi(8, width - 1)
+    asm.label(f"{tag}_copy")
+    asm.add(4, 9, 1)
+    asm.ld(10, 4)
+    asm.add(5, 11, 1)
+    asm.st(5, 10)
+    asm.addi(1, 1, 1)
+    asm.blt(1, 8, f"{tag}_copy")
+    # Main loop: r1 == width - 1 on entry.
+    asm.label(f"{tag}_main")
+    asm.add(4, 9, 1)
+    asm.ld(3, 4)
+    asm.ldi(2, 1)
+    asm.label(f"{tag}_inner")
+    asm.sub(5, 4, 2)
+    asm.ld(10, 5)
+    asm.emit(op, rd=3, rs1=3, rs2=10)
+    asm.addi(2, 2, 1)
+    asm.blt(2, 7, f"{tag}_inner")
+    asm.add(5, 11, 1)
+    asm.st(5, 3)
+    asm.addi(1, 1, 1)
+    asm.blt(1, 6, f"{tag}_main")
+
+
+def build_mf_kernel(n_samples: int, width: int,
+                    n_leads_loop: int) -> list[Instruction]:
+    """Build the 3L-MF program.
+
+    Args:
+        n_samples: Samples per lead.
+        width: Structuring-element width.
+        n_leads_loop: Leads processed by *this core* (SC: 3, MC: 1).
+    """
+    asm = Assembler()
+    stride = lead_stride(n_samples)
+    asm.ldi(15, 0)
+    asm.label("lead")
+    asm.ldi(13, stride)
+    asm.mul(14, 15, 13)
+    asm.ldi(6, n_samples)
+    asm.ldi(7, width)
+    # Opening: erosion (base -> base+n) then dilation (base+n -> base+2n).
+    asm.mov(9, 14)
+    asm.addi(11, 14, n_samples)
+    emit_extremum_pass(asm, "open_ero", Op.MIN, n_samples, width)
+    asm.addi(9, 14, n_samples)
+    asm.addi(11, 14, 2 * n_samples)
+    emit_extremum_pass(asm, "open_dil", Op.MAX, n_samples, width)
+    # Closing of the opening: dilation (base+2n -> base+n, reusing the
+    # scratch buffer) then erosion (base+n -> base+2n, final output).
+    asm.addi(9, 14, 2 * n_samples)
+    asm.addi(11, 14, n_samples)
+    emit_extremum_pass(asm, "close_dil", Op.MAX, n_samples, width)
+    asm.addi(9, 14, n_samples)
+    asm.addi(11, 14, 2 * n_samples)
+    emit_extremum_pass(asm, "close_ero", Op.MIN, n_samples, width)
+    asm.addi(15, 15, 1)
+    asm.ldi(13, n_leads_loop)
+    asm.blt(15, 13, "lead")
+    asm.halt()
+    return asm.assemble()
+
+
+def prepare_memories(signals: np.ndarray, single_core: bool,
+                     ) -> list[np.ndarray]:
+    """Private-bank initial contents for the SC or MC mapping.
+
+    Args:
+        signals: Float waveforms, shape ``(n_leads, n_samples)``.
+        single_core: SC packs every lead into core 0's bank; MC gives
+            each core its own lead at address 0.
+    """
+    quantized = [quantize_signal(signals[i]) for i in range(signals.shape[0])]
+    n = signals.shape[1]
+    if single_core:
+        bank = np.zeros(lead_stride(n) * signals.shape[0], dtype=np.int64)
+        for lead, data in enumerate(quantized):
+            base = lead * lead_stride(n)
+            bank[base:base + n] = data
+        return [bank]
+    return [data.copy() for data in quantized]
+
+
+def extract_outputs(private_memories: list[np.ndarray], n_samples: int,
+                    n_leads: int, single_core: bool) -> np.ndarray:
+    """Read back the per-lead opening results from the final memories."""
+    out = np.zeros((n_leads, n_samples), dtype=np.int64)
+    for lead in range(n_leads):
+        if single_core:
+            base = lead * lead_stride(n_samples) + 2 * n_samples
+            out[lead] = private_memories[0][base:base + n_samples]
+        else:
+            out[lead] = private_memories[lead][
+                2 * n_samples:3 * n_samples]
+    return out
+
+
+def reference_outputs(signals: np.ndarray, width: int) -> np.ndarray:
+    """NumPy reference the simulator results must match exactly."""
+    from .common import trailing_extremum
+
+    rows = []
+    for i in range(signals.shape[0]):
+        opened = opening_reference(quantize_signal(signals[i]), width)
+        closed = trailing_extremum(
+            trailing_extremum(opened, width, "max"), width, "min")
+        rows.append(closed)
+    return np.vstack(rows)

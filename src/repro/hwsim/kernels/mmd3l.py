@@ -1,0 +1,180 @@
+"""3L-MMD: three-lead morphological-derivative delineation kernel (Fig. 7).
+
+Per lead, at **two scales** (the QRS scale and the wider P/T scale, as the
+MMD delineator of [13] uses): trailing dilation and erosion, the MMD
+combination ``dil + ero - 2x``, and an argmin scan locating the transform
+minimum (the wave-peak mark).  The scan's conditional best-so-far update
+is *data dependent*, so in the MC mapping the cores diverge during it —
+exactly the situation for which the platform provides hardware barriers:
+a ``BAR`` after the per-lead work re-aligns the cores before core 0
+gathers the per-lead results from shared memory.
+
+Register use extends the 3L-MF convention; r2 holds the best index during
+the scans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..assembler import Assembler
+from ..isa import Instruction, Op
+from ..platform import SHARED_BASE
+from .common import argmin_reference, mmd_reference, quantize_signal
+from .mf3l import emit_extremum_pass
+
+#: Shared-memory slot where core 0 publishes the global best (index, value).
+RESULT_OFFSET = 100
+
+#: Default structuring-element widths (seconds) for the two scales.
+DEFAULT_WIDTHS_S = (0.020, 0.048)
+
+
+def lead_stride(n_samples: int) -> int:
+    """Words of private memory per lead (input, dil, ero, mmd1, mmd2)."""
+    return 5 * n_samples
+
+
+def _emit_scale(asm: Assembler, tag: str, n_samples: int, width: int,
+                mmd_offset: int, slot_group: int, n_slots: int) -> None:
+    """Emit one scale: dil/ero passes, combine, scan, publish.
+
+    Expects r14 = lead base, r15 = lead index, r6 = n_samples.  The dil
+    and ero scratch buffers (base+n, base+2n) are reused across scales.
+    """
+    asm.ldi(7, width)
+    asm.mov(9, 14)
+    asm.addi(11, 14, n_samples)
+    emit_extremum_pass(asm, f"{tag}_dil", Op.MAX, n_samples, width)
+    asm.mov(9, 14)
+    asm.addi(11, 14, 2 * n_samples)
+    emit_extremum_pass(asm, f"{tag}_ero", Op.MIN, n_samples, width)
+    # Combine: mmd[i] = dil[i] + ero[i] - 2 x[i].
+    asm.mov(9, 14)
+    asm.addi(12, 14, n_samples)
+    asm.addi(8, 14, 2 * n_samples)
+    asm.addi(11, 14, mmd_offset)
+    asm.ldi(1, 0)
+    asm.label(f"{tag}_comb")
+    asm.add(4, 9, 1)
+    asm.ld(10, 4)
+    asm.shl(10, 10, 1)
+    asm.add(4, 12, 1)
+    asm.ld(3, 4)
+    asm.add(5, 8, 1)
+    asm.ld(2, 5)
+    asm.add(3, 3, 2)
+    asm.sub(3, 3, 10)
+    asm.add(5, 11, 1)
+    asm.st(5, 3)
+    asm.addi(1, 1, 1)
+    asm.blt(1, 6, f"{tag}_comb")
+    # Argmin scan over mmd[width:] — data-dependent control flow.
+    asm.ldi(1, width)
+    asm.add(4, 11, 1)
+    asm.ld(3, 4)
+    asm.mov(2, 1)
+    asm.addi(1, 1, 1)
+    asm.label(f"{tag}_scan")
+    asm.add(4, 11, 1)
+    asm.ld(10, 4)
+    asm.bge(10, 3, f"{tag}_scan_skip")
+    asm.mov(3, 10)
+    asm.mov(2, 1)
+    asm.label(f"{tag}_scan_skip")
+    asm.addi(1, 1, 1)
+    asm.blt(1, 6, f"{tag}_scan")
+    # Publish (index, value) to shared slot cid + lead_index + group.
+    asm.cid(10)
+    asm.add(10, 10, 15)
+    asm.addi(10, 10, slot_group * n_slots)
+    asm.shl(10, 10, 1)
+    asm.ldi(4, SHARED_BASE)
+    asm.add(4, 4, 10)
+    asm.st(4, 2, 0)
+    asm.st(4, 3, 1)
+
+
+def build_mmd_kernel(n_samples: int, widths: tuple[int, int],
+                     n_leads_loop: int, n_slots: int) -> list[Instruction]:
+    """Build the 3L-MMD program.
+
+    Args:
+        n_samples: Samples per lead.
+        widths: Structuring-element widths (QRS scale, wave scale).
+        n_leads_loop: Leads processed by this core (SC: 3, MC: 1).
+        n_slots: Shared-memory result slots per scale (= total leads).
+    """
+    asm = Assembler()
+    stride = lead_stride(n_samples)
+    asm.ldi(15, 0)
+    asm.label("lead")
+    asm.ldi(13, stride)
+    asm.mul(14, 15, 13)
+    asm.ldi(6, n_samples)
+    _emit_scale(asm, "s1", n_samples, widths[0], 3 * n_samples,
+                slot_group=0, n_slots=n_slots)
+    _emit_scale(asm, "s2", n_samples, widths[1], 4 * n_samples,
+                slot_group=1, n_slots=n_slots)
+    asm.addi(15, 15, 1)
+    asm.ldi(13, n_leads_loop)
+    asm.blt(15, 13, "lead")
+    # Re-align all cores, then core 0 reduces the scale-1 (QRS) results.
+    asm.bar()
+    asm.cid(10)
+    asm.ldi(13, 0)
+    asm.bne(10, 13, "done")
+    asm.ldi(1, 0)
+    asm.ldi(6, n_slots)
+    asm.ldi(3, 1 << 30)
+    asm.ldi(2, 0)
+    asm.label("reduce")
+    asm.ldi(4, SHARED_BASE)
+    asm.shl(5, 1, 1)
+    asm.add(4, 4, 5)
+    asm.ld(10, 4, 1)
+    asm.bge(10, 3, "reduce_skip")
+    asm.mov(3, 10)
+    asm.ld(2, 4, 0)
+    asm.label("reduce_skip")
+    asm.addi(1, 1, 1)
+    asm.blt(1, 6, "reduce")
+    asm.ldi(4, SHARED_BASE)
+    asm.st(4, 2, RESULT_OFFSET)
+    asm.st(4, 3, RESULT_OFFSET + 1)
+    asm.label("done")
+    asm.halt()
+    return asm.assemble()
+
+
+def prepare_memories(signals: np.ndarray, single_core: bool,
+                     ) -> list[np.ndarray]:
+    """Private-bank initial contents for the SC or MC mapping."""
+    quantized = [quantize_signal(signals[i]) for i in range(signals.shape[0])]
+    n = signals.shape[1]
+    if single_core:
+        bank = np.zeros(lead_stride(n) * signals.shape[0], dtype=np.int64)
+        for lead, data in enumerate(quantized):
+            base = lead * lead_stride(n)
+            bank[base:base + n] = data
+        return [bank]
+    return [data.copy() for data in quantized]
+
+
+def reference_results(signals: np.ndarray, widths: tuple[int, int],
+                      ) -> tuple[np.ndarray, np.ndarray, tuple[int, int]]:
+    """Per-lead argmin references per scale plus the global scale-1 winner.
+
+    Ties across leads resolve to the lowest slot index, matching the
+    kernel's strict-less reduction order.
+    """
+    per_scale = []
+    for width in widths:
+        rows = []
+        for lead in range(signals.shape[0]):
+            mmd = mmd_reference(quantize_signal(signals[lead]), width)
+            rows.append(argmin_reference(mmd, start=width))
+        per_scale.append(np.array(rows, dtype=np.int64))
+    scale1 = per_scale[0]
+    best = min(scale1.tolist(), key=lambda pair: pair[1])
+    return per_scale[0], per_scale[1], (int(best[0]), int(best[1]))

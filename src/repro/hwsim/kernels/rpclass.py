@@ -1,0 +1,173 @@
+"""RP-CLASS: random-projection heartbeat classification kernel (Fig. 7).
+
+Projects one beat window onto integer ternary rows (multiply-accumulate),
+scores each class by L1 distance between the projected features and the
+class centers, and picks the argmin class.  The MC mapping splits the
+*feature rows* across cores (each core's private bank holds its own rows
+and center slices at identical addresses, so the code stays SIMD);
+partial class scores meet in shared memory, a barrier closes the
+producer-consumer handoff, and core 0 reduces.
+
+Register use: r1 = feature index, r2 = inner index / best class,
+r3 = accumulator / best score, r4/r5 = addresses, r6 = window length,
+r7 = rows per core, r8/r13 = temporaries, r9 = row pointer,
+r10 = load temporary, r11 = class index, r12 = score accumulator,
+r14 = center pointer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..assembler import Assembler
+from ..isa import Instruction
+from ..platform import SHARED_BASE
+from .common import rp_scores_reference
+
+#: Private-bank layout.
+WINDOW_BASE = 0
+ROWS_BASE = 1024
+CENTERS_BASE = 12288
+FEATURES_BASE = 14336
+#: Shared-memory slot where core 0 publishes the winning class.
+RESULT_OFFSET = 256
+
+
+def build_rpclass_kernel(window: int, rows_per_core: int, n_classes: int,
+                         n_slots: int) -> list[Instruction]:
+    """Build the RP-CLASS program.
+
+    Args:
+        window: Beat-window length in samples.
+        rows_per_core: Projection rows evaluated by this core.
+        n_classes: Number of beat classes.
+        n_slots: Partial-score producers (SC: 1, MC: n_cores).
+    """
+    asm = Assembler()
+    # Feature loop: f[j] = sum_i rows[j, i] * window[i].
+    asm.ldi(9, ROWS_BASE)
+    asm.ldi(6, window)
+    asm.ldi(7, rows_per_core)
+    asm.ldi(1, 0)
+    asm.label("feat")
+    asm.ldi(3, 0)
+    asm.ldi(2, 0)
+    asm.label("mac")
+    asm.add(5, 9, 2)
+    asm.ld(10, 5)
+    asm.ld(13, 2, WINDOW_BASE)
+    asm.mul(10, 10, 13)
+    asm.add(3, 3, 10)
+    asm.addi(2, 2, 1)
+    asm.blt(2, 6, "mac")
+    asm.ldi(8, FEATURES_BASE)
+    asm.add(8, 8, 1)
+    asm.st(8, 3)
+    asm.add(9, 9, 6)
+    asm.addi(1, 1, 1)
+    asm.blt(1, 7, "feat")
+    # Class partial scores: s_c = sum_j |f[j] - centers[c, j]|.
+    asm.ldi(11, 0)
+    asm.ldi(14, CENTERS_BASE)
+    asm.label("cls")
+    asm.ldi(12, 0)
+    asm.ldi(1, 0)
+    asm.label("csum")
+    asm.ldi(8, FEATURES_BASE)
+    asm.add(8, 8, 1)
+    asm.ld(10, 8)
+    asm.add(5, 14, 1)
+    asm.ld(13, 5)
+    asm.sub(10, 10, 13)
+    asm.abs_(10, 10)
+    asm.add(12, 12, 10)
+    asm.addi(1, 1, 1)
+    asm.blt(1, 7, "csum")
+    # Publish partial score to shared[c * n_slots + cid].
+    asm.cid(8)
+    asm.ldi(5, n_slots)
+    asm.mul(5, 11, 5)
+    asm.add(8, 8, 5)
+    asm.ldi(5, SHARED_BASE)
+    asm.add(5, 5, 8)
+    asm.st(5, 12)
+    asm.add(14, 14, 7)
+    asm.addi(11, 11, 1)
+    asm.ldi(8, n_classes)
+    asm.blt(11, 8, "cls")
+    # Producer-consumer handoff: barrier, then core 0 reduces.
+    asm.bar()
+    asm.cid(8)
+    asm.ldi(5, 0)
+    asm.bne(8, 5, "done")
+    asm.ldi(11, 0)
+    asm.ldi(3, 1 << 30)
+    asm.ldi(2, 0)
+    asm.label("red_cls")
+    asm.ldi(12, 0)
+    asm.ldi(1, 0)
+    asm.label("red_slot")
+    asm.ldi(5, n_slots)
+    asm.mul(8, 11, 5)
+    asm.add(8, 8, 1)
+    asm.ldi(5, SHARED_BASE)
+    asm.add(5, 5, 8)
+    asm.ld(10, 5)
+    asm.add(12, 12, 10)
+    asm.addi(1, 1, 1)
+    asm.ldi(5, n_slots)
+    asm.blt(1, 5, "red_slot")
+    asm.bge(12, 3, "red_skip")
+    asm.mov(3, 12)
+    asm.mov(2, 11)
+    asm.label("red_skip")
+    asm.addi(11, 11, 1)
+    asm.ldi(5, n_classes)
+    asm.blt(11, 5, "red_cls")
+    asm.ldi(5, SHARED_BASE)
+    asm.st(5, 2, RESULT_OFFSET)
+    asm.st(5, 3, RESULT_OFFSET + 1)
+    asm.label("done")
+    asm.halt()
+    return asm.assemble()
+
+
+def prepare_memories(window: np.ndarray, rows: np.ndarray,
+                     centers: np.ndarray, n_cores: int,
+                     ) -> list[np.ndarray]:
+    """Private-bank contents: each core gets its row/center slice.
+
+    Args:
+        window: Integer beat window, shape ``(n,)``.
+        rows: Integer projection rows, shape ``(k, n)``.
+        centers: Integer class centers, shape ``(n_classes, k)``.
+        n_cores: 1 (SC) or the MC core count; ``k`` must divide evenly.
+
+    Raises:
+        ValueError: If the rows do not split evenly across cores.
+    """
+    k = rows.shape[0]
+    if k % n_cores != 0:
+        raise ValueError(f"{k} rows do not split over {n_cores} cores")
+    per_core = k // n_cores
+    banks = []
+    size = FEATURES_BASE + per_core + 1
+    for core in range(n_cores):
+        bank = np.zeros(size, dtype=np.int64)
+        n = window.shape[0]
+        bank[WINDOW_BASE:WINDOW_BASE + n] = window
+        row_slice = rows[core * per_core:(core + 1) * per_core]
+        bank[ROWS_BASE:ROWS_BASE + row_slice.size] = row_slice.ravel()
+        center_slice = centers[:, core * per_core:(core + 1) * per_core]
+        bank[CENTERS_BASE:CENTERS_BASE + center_slice.size] = \
+            center_slice.ravel()
+        banks.append(bank)
+    return banks
+
+
+def reference_class(window: np.ndarray, rows: np.ndarray,
+                    centers: np.ndarray) -> tuple[int, int]:
+    """Reference (class index, score); ties resolve to the lowest index."""
+    scores = rp_scores_reference(window, rows, centers)
+    best = int(np.argmin(scores))
+    return best, int(scores[best])

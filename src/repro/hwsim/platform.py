@@ -1,0 +1,338 @@
+"""Cycle-level simulator of the multi-core WBSN platform (Fig. 3, [18]).
+
+The platform couples N simple cores to multi-bank instruction and data
+memories.  The model reproduces the architecture's energy-relevant
+behaviour:
+
+* **Lock-step SIMD fetch with broadcast** — per cycle, each bank of the
+  instruction memory can service one *address*; when several cores fetch
+  the same address, the broadcast interconnect merges them into a single
+  access (one I-mem energy event).  Cores whose address loses the bank
+  arbitration stall for the cycle — the "program memory conflicts, and
+  therefore unnecessary stalls" the paper's mapping methodology avoids.
+* **Private + shared data banks** — each core owns a private data bank;
+  addresses at/above :data:`SHARED_BASE` live in a single shared bank used
+  for producer-consumer exchange.  Same-cycle shared accesses beyond the
+  first are charged one serialization cycle each.
+* **Hardware barriers** — ``BAR`` parks a core until every running core
+  arrives, re-aligning program counters after data-dependent branches so
+  broadcast merging resumes (the §IV-B software technique).
+
+The simulator also checks functional correctness: kernels leave their
+results in data memory, and the tests compare them against NumPy
+references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .isa import Instruction, Op
+
+#: Data addresses at or above this value map to the shared bank.
+SHARED_BASE = 1 << 16
+
+#: Default private/shared data bank sizes (words).
+PRIVATE_WORDS = 1 << 16
+SHARED_WORDS = 1 << 12
+
+
+@dataclass
+class EventCounters:
+    """Architecture events accumulated during a run.
+
+    Attributes map one-to-one onto the energy model's event classes.
+    """
+
+    cycles: int = 0
+    alu_instructions: int = 0
+    mul_instructions: int = 0
+    memory_instructions: int = 0
+    branch_instructions: int = 0
+    imem_accesses: int = 0
+    imem_broadcast_merges: int = 0
+    imem_conflict_stalls: int = 0
+    dmem_private_accesses: int = 0
+    dmem_shared_accesses: int = 0
+    dmem_serialization_cycles: int = 0
+    barrier_wait_cycles: int = 0
+
+    @property
+    def total_instructions(self) -> int:
+        """All executed instructions."""
+        return (self.alu_instructions + self.mul_instructions
+                + self.memory_instructions + self.branch_instructions)
+
+
+@dataclass
+class _CoreState:
+    """Mutable per-core execution state."""
+
+    core_id: int
+    regs: list[int] = field(default_factory=lambda: [0] * 16)
+    pc: int = 0
+    halted: bool = False
+    at_barrier: bool = False
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation.
+
+    Attributes:
+        counters: Event counts for the energy model.
+        private_memories: Final private data bank per core.
+        shared_memory: Final shared bank contents.
+        per_core_instructions: Instructions executed by each core (load
+            balance diagnostics; the paper notes fine-tuned balance is not
+            required for energy efficiency).
+    """
+
+    counters: EventCounters
+    private_memories: list[np.ndarray]
+    shared_memory: np.ndarray
+    per_core_instructions: list[int]
+
+
+class Platform:
+    """The multi-core (or single-core) WBSN processing platform.
+
+    Args:
+        n_cores: Number of cores (1 reproduces the paper's SC baseline).
+        imem_banks: Instruction-memory banks (word-interleaved).
+        broadcast: Enable the fetch-merging broadcast interconnect.
+        max_cycles: Safety bound on simulated cycles.
+    """
+
+    def __init__(self, n_cores: int = 3, imem_banks: int = 4,
+                 broadcast: bool = True, max_cycles: int = 20_000_000) -> None:
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        if imem_banks < 1:
+            raise ValueError("need at least one instruction bank")
+        self.n_cores = n_cores
+        self.imem_banks = imem_banks
+        self.broadcast = broadcast
+        self.max_cycles = max_cycles
+
+    def run(self, program: list[Instruction],
+            private_init: list[dict[int, int] | np.ndarray] | None = None,
+            shared_init: dict[int, int] | None = None) -> RunResult:
+        """Execute ``program`` on every core until all halt.
+
+        Args:
+            program: The (shared) instruction stream.
+            private_init: Per-core initial private-bank contents, either a
+                word array or an {address: value} dict.
+            shared_init: Initial shared-bank contents.
+
+        Returns:
+            A :class:`RunResult`.
+
+        Raises:
+            RuntimeError: If the run exceeds ``max_cycles`` (livelock
+                guard) or a core accesses memory out of range.
+        """
+        code = program
+        n_instr = len(code)
+        cores = [_CoreState(core_id=i) for i in range(self.n_cores)]
+        private = [self._init_bank(PRIVATE_WORDS, init)
+                   for init in (private_init or [None] * self.n_cores)]
+        while len(private) < self.n_cores:
+            private.append(np.zeros(PRIVATE_WORDS, dtype=np.int64))
+        shared = self._init_bank(SHARED_WORDS, shared_init)
+        counters = EventCounters()
+        per_core_instr = [0] * self.n_cores
+
+        while True:
+            active = [c for c in cores if not c.halted]
+            if not active:
+                break
+            if counters.cycles >= self.max_cycles:
+                raise RuntimeError(
+                    f"exceeded {self.max_cycles} cycles; livelock?")
+            counters.cycles += 1
+
+            # Barrier release: every running core parked at a barrier.
+            waiting = [c for c in active if c.at_barrier]
+            if waiting and len(waiting) == len(active):
+                for c in waiting:
+                    c.at_barrier = False
+                    c.pc += 1
+                continue
+            counters.barrier_wait_cycles += len(waiting)
+
+            fetchers = [c for c in active if not c.at_barrier]
+            if not fetchers:
+                continue
+
+            # Instruction-fetch arbitration per bank.
+            by_pc: dict[int, list[_CoreState]] = {}
+            for c in fetchers:
+                by_pc.setdefault(c.pc, []).append(c)
+            by_bank: dict[int, list[int]] = {}
+            for pc in by_pc:
+                by_bank.setdefault(pc % self.imem_banks, []).append(pc)
+            executing: list[_CoreState] = []
+            for bank_pcs in by_bank.values():
+                bank_pcs.sort()
+                winner = bank_pcs[0]
+                losers = bank_pcs[1:]
+                winner_cores = by_pc[winner]
+                if self.broadcast:
+                    counters.imem_accesses += 1
+                    counters.imem_broadcast_merges += len(winner_cores) - 1
+                    executing.extend(winner_cores)
+                else:
+                    # Without broadcast each access is sequential: only
+                    # one core per bank proceeds per cycle.
+                    counters.imem_accesses += 1
+                    executing.append(winner_cores[0])
+                    counters.imem_conflict_stalls += len(winner_cores) - 1
+                for pc in losers:
+                    counters.imem_conflict_stalls += len(by_pc[pc])
+
+            shared_accesses_this_cycle = 0
+            for core in executing:
+                if core.pc >= n_instr:
+                    core.halted = True
+                    continue
+                instr = code[core.pc]
+                per_core_instr[core.core_id] += 1
+                shared_accesses_this_cycle += self._execute(
+                    core, instr, private[core.core_id], shared, counters)
+            if shared_accesses_this_cycle > 1:
+                counters.dmem_serialization_cycles += (
+                    shared_accesses_this_cycle - 1)
+
+        return RunResult(counters=counters, private_memories=private,
+                         shared_memory=shared,
+                         per_core_instructions=per_core_instr)
+
+    @staticmethod
+    def _init_bank(size: int,
+                   init: dict[int, int] | np.ndarray | None) -> np.ndarray:
+        bank = np.zeros(size, dtype=np.int64)
+        if init is None:
+            return bank
+        if isinstance(init, dict):
+            for address, value in init.items():
+                bank[address] = value
+            return bank
+        data = np.asarray(init, dtype=np.int64)
+        bank[:data.shape[0]] = data
+        return bank
+
+    def _execute(self, core: _CoreState, instr: Instruction,
+                 private: np.ndarray, shared: np.ndarray,
+                 counters: EventCounters) -> int:
+        """Execute one instruction; returns 1 if it touched shared memory."""
+        op = instr.op
+        regs = core.regs
+        shared_touch = 0
+        next_pc = core.pc + 1
+        if op == Op.NOP:
+            counters.alu_instructions += 1
+        elif op == Op.LDI:
+            regs[instr.rd] = instr.imm
+            counters.alu_instructions += 1
+        elif op == Op.MOV:
+            regs[instr.rd] = regs[instr.rs1]
+            counters.alu_instructions += 1
+        elif op == Op.ADD:
+            regs[instr.rd] = regs[instr.rs1] + regs[instr.rs2]
+            counters.alu_instructions += 1
+        elif op == Op.SUB:
+            regs[instr.rd] = regs[instr.rs1] - regs[instr.rs2]
+            counters.alu_instructions += 1
+        elif op == Op.ADDI:
+            regs[instr.rd] = regs[instr.rs1] + instr.imm
+            counters.alu_instructions += 1
+        elif op == Op.MUL:
+            regs[instr.rd] = regs[instr.rs1] * regs[instr.rs2]
+            counters.mul_instructions += 1
+        elif op == Op.MIN:
+            regs[instr.rd] = min(regs[instr.rs1], regs[instr.rs2])
+            counters.alu_instructions += 1
+        elif op == Op.MAX:
+            regs[instr.rd] = max(regs[instr.rs1], regs[instr.rs2])
+            counters.alu_instructions += 1
+        elif op == Op.ABS:
+            regs[instr.rd] = abs(regs[instr.rs1])
+            counters.alu_instructions += 1
+        elif op == Op.SHL:
+            regs[instr.rd] = regs[instr.rs1] << instr.imm
+            counters.alu_instructions += 1
+        elif op == Op.SHR:
+            regs[instr.rd] = regs[instr.rs1] >> instr.imm
+            counters.alu_instructions += 1
+        elif op == Op.LD:
+            address = regs[instr.rs1] + instr.imm
+            if address >= SHARED_BASE:
+                regs[instr.rd] = int(shared[address - SHARED_BASE])
+                counters.dmem_shared_accesses += 1
+                shared_touch = 1
+            else:
+                regs[instr.rd] = int(private[address])
+                counters.dmem_private_accesses += 1
+            counters.memory_instructions += 1
+        elif op == Op.ST:
+            address = regs[instr.rs1] + instr.imm
+            if address >= SHARED_BASE:
+                shared[address - SHARED_BASE] = regs[instr.rs2]
+                counters.dmem_shared_accesses += 1
+                shared_touch = 1
+            else:
+                private[address] = regs[instr.rs2]
+                counters.dmem_private_accesses += 1
+            counters.memory_instructions += 1
+        elif op == Op.BEQ:
+            if regs[instr.rs1] == regs[instr.rs2]:
+                next_pc = instr.imm
+            counters.branch_instructions += 1
+        elif op == Op.BNE:
+            if regs[instr.rs1] != regs[instr.rs2]:
+                next_pc = instr.imm
+            counters.branch_instructions += 1
+        elif op == Op.BLT:
+            if regs[instr.rs1] < regs[instr.rs2]:
+                next_pc = instr.imm
+            counters.branch_instructions += 1
+        elif op == Op.BGE:
+            if regs[instr.rs1] >= regs[instr.rs2]:
+                next_pc = instr.imm
+            counters.branch_instructions += 1
+        elif op == Op.JMP:
+            next_pc = instr.imm
+            counters.branch_instructions += 1
+        elif op == Op.CSA:
+            # Accelerator extension: indirect load through the index
+            # table, accumulate into rd, post-increment the pointer.
+            # Both accesses hit the private bank (the accelerator's
+            # local buffers), charged as two D-mem accesses in 1 cycle.
+            pointer = regs[instr.rs1]
+            index = int(private[pointer])
+            regs[instr.rd] += int(private[index])
+            regs[instr.rs1] = pointer + 1
+            counters.dmem_private_accesses += 2
+            counters.memory_instructions += 1
+        elif op == Op.BAR:
+            counters.alu_instructions += 1
+            if self.n_cores == 1:
+                pass  # single core: barrier is a no-op
+            else:
+                core.at_barrier = True
+                return shared_touch  # pc advances on release
+        elif op == Op.CID:
+            regs[instr.rd] = core.core_id
+            counters.alu_instructions += 1
+        elif op == Op.HALT:
+            core.halted = True
+            counters.alu_instructions += 1
+            return shared_touch
+        else:  # pragma: no cover - exhaustive over Op
+            raise RuntimeError(f"unknown opcode {op}")
+        core.pc = next_pc
+        return shared_touch

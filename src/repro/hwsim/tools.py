@@ -1,0 +1,106 @@
+"""Program inspection utilities for the WBSN simulator.
+
+A disassembler and a static-analysis pass over kernel programs: the
+DATE'14 mapping methodology reasons about instruction mix and memory
+pressure before running anything, and the tests use these utilities to
+pin the kernels' structural properties (e.g. "the 3L-MF inner loop is
+branch-light and SIMD-safe").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .isa import BRANCH_OPS, Instruction, MEMORY_OPS, MUL_OPS, Op
+
+
+def disassemble(program: list[Instruction]) -> str:
+    """Human-readable listing of a program, one instruction per line."""
+    lines = []
+    targets = {instr.imm for instr in program if instr.op in BRANCH_OPS
+               and instr.op != Op.BAR}
+    for address, instr in enumerate(program):
+        marker = "->" if address in targets else "  "
+        lines.append(f"{marker}{address:5d}: {_format(instr)}")
+    return "\n".join(lines)
+
+
+def _format(instr: Instruction) -> str:
+    op = instr.op
+    if op == Op.LDI:
+        return f"LDI   r{instr.rd}, {instr.imm}"
+    if op == Op.MOV:
+        return f"MOV   r{instr.rd}, r{instr.rs1}"
+    if op in (Op.ADD, Op.SUB, Op.MUL, Op.MIN, Op.MAX):
+        return (f"{op.name:<5} r{instr.rd}, r{instr.rs1}, r{instr.rs2}")
+    if op == Op.ADDI:
+        return f"ADDI  r{instr.rd}, r{instr.rs1}, {instr.imm}"
+    if op == Op.ABS:
+        return f"ABS   r{instr.rd}, r{instr.rs1}"
+    if op in (Op.SHL, Op.SHR):
+        return f"{op.name:<5} r{instr.rd}, r{instr.rs1}, {instr.imm}"
+    if op == Op.LD:
+        return f"LD    r{instr.rd}, [r{instr.rs1}+{instr.imm}]"
+    if op == Op.ST:
+        return f"ST    [r{instr.rs1}+{instr.imm}], r{instr.rs2}"
+    if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+        return (f"{op.name:<5} r{instr.rs1}, r{instr.rs2}, @{instr.imm}")
+    if op == Op.JMP:
+        return f"JMP   @{instr.imm}"
+    if op == Op.CID:
+        return f"CID   r{instr.rd}"
+    return op.name
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """Static properties of a program.
+
+    Attributes:
+        size: Instruction count (footprint in I-mem words).
+        alu: Arithmetic/logic instructions.
+        mul: Multiplications.
+        memory: Loads + stores.
+        branches: Control-flow instructions.
+        barriers: Barrier instructions.
+        data_dependent_branches: Conditional branches whose condition can
+            differ across cores running the same code on different data —
+            the SIMD-divergence candidates §IV-B's barriers repair.  Loop
+            back-edges on counter registers are still counted (a static
+            pass cannot prove them uniform), so this is an upper bound.
+    """
+
+    size: int
+    alu: int
+    mul: int
+    memory: int
+    branches: int
+    barriers: int
+    data_dependent_branches: int
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of instructions touching data memory."""
+        return self.memory / self.size if self.size else 0.0
+
+
+def analyze(program: list[Instruction]) -> ProgramStats:
+    """Compute :class:`ProgramStats` for a program."""
+    alu = mul = memory = branches = barriers = data_dep = 0
+    for instr in program:
+        op = instr.op
+        if op in MEMORY_OPS:
+            memory += 1
+        elif op in MUL_OPS:
+            mul += 1
+        elif op in BRANCH_OPS:
+            branches += 1
+            if op != Op.JMP:
+                data_dep += 1
+        elif op == Op.BAR:
+            barriers += 1
+        else:
+            alu += 1
+    return ProgramStats(size=len(program), alu=alu, mul=mul, memory=memory,
+                        branches=branches, barriers=barriers,
+                        data_dependent_branches=data_dep)

@@ -1,0 +1,60 @@
+"""Multi-modal cardiac parameter estimation (paper §IV-C) and HRV."""
+
+from .hrv import (
+    FrequencyDomainHrv,
+    HF_BAND,
+    HrvReport,
+    LF_BAND,
+    TimeDomainHrv,
+    analyze_hrv,
+    frequency_domain_hrv,
+    resample_tachogram,
+    time_domain_hrv,
+)
+
+from .pat import (
+    BpEstimator,
+    PAT_MAX_S,
+    PAT_MIN_S,
+    PatSeries,
+    detect_pulse_feet,
+    measure_pat,
+    pulse_arrival_times,
+    pwv_from_pat,
+)
+from .spo2 import (
+    CALIBRATION_A,
+    CALIBRATION_B,
+    Spo2Estimate,
+    estimate_spo2,
+    ratio_of_ratios,
+    spo2_from_ratio,
+    synthesize_dual_ppg,
+)
+
+__all__ = [
+    "BpEstimator",
+    "FrequencyDomainHrv",
+    "HF_BAND",
+    "HrvReport",
+    "LF_BAND",
+    "TimeDomainHrv",
+    "analyze_hrv",
+    "frequency_domain_hrv",
+    "resample_tachogram",
+    "time_domain_hrv",
+    "CALIBRATION_A",
+    "CALIBRATION_B",
+    "PAT_MAX_S",
+    "PAT_MIN_S",
+    "PatSeries",
+    "Spo2Estimate",
+    "detect_pulse_feet",
+    "estimate_spo2",
+    "measure_pat",
+    "pulse_arrival_times",
+    "pwv_from_pat",
+    "ratio_of_ratios",
+    "spo2_from_ratio",
+    "synthesize_dual_ppg",
+]

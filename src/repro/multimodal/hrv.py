@@ -1,0 +1,156 @@
+"""Heart-rate-variability analysis (paper §I-II).
+
+Sleep monitoring "involves the analysis of heart rate variability over a
+time window of the acquired bio-signal" (§I), and behavioural applications
+"typically only require processing of beat-to-beat intervals" (§II) — the
+second rung of the Fig. 1 ladder.  This module provides the standard
+time-domain metrics plus the LF/HF frequency-domain balance computed on
+the evenly-resampled RR tachogram, which is what separates sympathetic
+from vagal (respiratory) modulation in the sleep/stress applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import signal as sp_signal
+
+#: Standard short-term HRV bands (Task Force 1996), Hz.
+LF_BAND = (0.04, 0.15)
+HF_BAND = (0.15, 0.40)
+
+
+@dataclass(frozen=True)
+class TimeDomainHrv:
+    """Time-domain HRV metrics of one analysis window.
+
+    Attributes:
+        mean_rr_s: Mean RR interval.
+        sdnn_ms: Standard deviation of RR intervals.
+        rmssd_ms: RMS of successive differences (vagal marker).
+        pnn50: Fraction of successive differences above 50 ms.
+    """
+
+    mean_rr_s: float
+    sdnn_ms: float
+    rmssd_ms: float
+    pnn50: float
+
+    @property
+    def mean_hr_bpm(self) -> float:
+        """Mean heart rate."""
+        return 60.0 / self.mean_rr_s if self.mean_rr_s > 0 else float("nan")
+
+
+@dataclass(frozen=True)
+class FrequencyDomainHrv:
+    """Frequency-domain HRV metrics.
+
+    Attributes:
+        lf_power: Power in the 0.04-0.15 Hz band (ms^2).
+        hf_power: Power in the 0.15-0.40 Hz band (ms^2).
+    """
+
+    lf_power: float
+    hf_power: float
+
+    @property
+    def lf_hf_ratio(self) -> float:
+        """Sympatho-vagal balance indicator."""
+        return self.lf_power / self.hf_power if self.hf_power > 0 \
+            else float("inf")
+
+
+def time_domain_hrv(rr_s: np.ndarray) -> TimeDomainHrv:
+    """Time-domain metrics of an RR series.
+
+    Raises:
+        ValueError: With fewer than two intervals.
+    """
+    rr_s = np.asarray(rr_s, dtype=float)
+    if rr_s.shape[0] < 2:
+        raise ValueError("need at least two RR intervals")
+    diffs = np.diff(rr_s)
+    return TimeDomainHrv(
+        mean_rr_s=float(np.mean(rr_s)),
+        sdnn_ms=1e3 * float(np.std(rr_s)),
+        rmssd_ms=1e3 * float(np.sqrt(np.mean(diffs ** 2))),
+        pnn50=float(np.mean(np.abs(diffs) > 0.050)),
+    )
+
+
+def resample_tachogram(r_peak_times_s: np.ndarray,
+                       resample_hz: float = 4.0,
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Evenly resample the RR tachogram for spectral analysis.
+
+    The RR series is an unevenly sampled process (one value per beat);
+    spectral metrics need even sampling, so the tachogram is linearly
+    interpolated at ``resample_hz`` — the standard pre-processing step.
+
+    Returns:
+        ``(t, rr_ms)`` evenly sampled time axis and RR values.
+    """
+    times = np.asarray(r_peak_times_s, dtype=float)
+    if times.shape[0] < 3:
+        raise ValueError("need at least three beats")
+    rr = np.diff(times)
+    beat_times = times[1:]
+    t = np.arange(beat_times[0], beat_times[-1], 1.0 / resample_hz)
+    rr_interp = np.interp(t, beat_times, rr)
+    return t, 1e3 * rr_interp
+
+
+def frequency_domain_hrv(r_peak_times_s: np.ndarray,
+                         resample_hz: float = 4.0) -> FrequencyDomainHrv:
+    """LF/HF band powers of the RR tachogram (Welch periodogram).
+
+    Raises:
+        ValueError: If the window is too short for the LF band
+            (< ~60 s of data).
+    """
+    t, rr_ms = resample_tachogram(r_peak_times_s, resample_hz)
+    if t.shape[0] < int(40 * resample_hz):
+        raise ValueError("window too short for LF/HF analysis (need ~60 s)")
+    rr_ms = rr_ms - np.mean(rr_ms)
+    nperseg = min(t.shape[0], int(120 * resample_hz))
+    freqs, psd = sp_signal.welch(rr_ms, fs=resample_hz, nperseg=nperseg)
+
+    def band_power(lo: float, hi: float) -> float:
+        mask = (freqs >= lo) & (freqs < hi)
+        if not mask.any():
+            return 0.0
+        return float(np.trapezoid(psd[mask], freqs[mask]))
+
+    return FrequencyDomainHrv(lf_power=band_power(*LF_BAND),
+                              hf_power=band_power(*HF_BAND))
+
+
+@dataclass(frozen=True)
+class HrvReport:
+    """Combined HRV analysis of one window."""
+
+    time: TimeDomainHrv
+    frequency: FrequencyDomainHrv | None
+
+
+def analyze_hrv(r_peaks: np.ndarray, fs: float,
+                spectral: bool = True) -> HrvReport:
+    """Full HRV analysis from detected R peaks.
+
+    Args:
+        r_peaks: R-peak sample indices.
+        fs: Sampling frequency.
+        spectral: Compute LF/HF (requires >= ~60 s of beats); on failure
+            the frequency part is ``None``.
+    """
+    times = np.asarray(r_peaks, dtype=float) / fs
+    time_metrics = time_domain_hrv(np.diff(times))
+    frequency_metrics = None
+    if spectral:
+        try:
+            frequency_metrics = frequency_domain_hrv(times)
+        except ValueError:
+            frequency_metrics = None
+    return HrvReport(time=time_metrics, frequency=frequency_metrics)

@@ -1,0 +1,112 @@
+"""Pulse-oximetry (SpO2) processing with ECG-assisted ensemble averaging.
+
+Section IV-C: "ECG information can be employed to calculate, among other
+parameters, the EA of the pulse oximetry" (ref [21]).  SpO2 derives from
+the ratio-of-ratios of the red and infrared PPG channels; averaging the
+channels over R-peak-aligned windows before computing the ratio removes
+noise that is uncorrelated with the cardiac cycle and stabilizes the
+estimate — the benefit quantified in the T5 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..filtering.ensemble import beat_matrix
+
+#: Standard empirical calibration: SpO2 = A - B * R.
+CALIBRATION_A = 110.0
+CALIBRATION_B = 25.0
+
+
+def ratio_of_ratios(red: np.ndarray, infrared: np.ndarray) -> float:
+    """Ratio-of-ratios R = (AC/DC)_red / (AC/DC)_ir over a signal span.
+
+    Raises:
+        ValueError: On empty or mismatched inputs.
+    """
+    red = np.asarray(red, dtype=float)
+    infrared = np.asarray(infrared, dtype=float)
+    if red.shape != infrared.shape or red.size == 0:
+        raise ValueError("red and infrared spans must match and be non-empty")
+    red_dc = float(np.mean(red))
+    ir_dc = float(np.mean(infrared))
+    if red_dc == 0 or ir_dc == 0:
+        raise ValueError("DC component must be non-zero")
+    red_ac = float(np.ptp(red))
+    ir_ac = float(np.ptp(infrared))
+    if ir_ac == 0:
+        raise ValueError("infrared AC component must be non-zero")
+    return (red_ac / red_dc) / (ir_ac / ir_dc)
+
+
+def spo2_from_ratio(ratio: float) -> float:
+    """Empirical SpO2 calibration, clamped to the physiological range."""
+    return float(np.clip(CALIBRATION_A - CALIBRATION_B * ratio, 0.0, 100.0))
+
+
+@dataclass(frozen=True)
+class Spo2Estimate:
+    """An SpO2 estimate with its intermediate quantities."""
+
+    spo2_percent: float
+    ratio: float
+    beats_used: int
+
+
+def estimate_spo2(red: np.ndarray, infrared: np.ndarray,
+                  r_peaks: np.ndarray, fs: float,
+                  ensemble: bool = True) -> Spo2Estimate:
+    """SpO2 from dual-wavelength PPG, optionally with ECG-locked EA.
+
+    Args:
+        red: Red-channel PPG.
+        infrared: Infrared-channel PPG.
+        r_peaks: ECG R peaks for beat alignment.
+        fs: Sampling frequency.
+        ensemble: Average beat-aligned windows before the ratio (the
+            §IV-C technique); ``False`` computes the raw-span ratio.
+
+    Raises:
+        ValueError: When no complete beat window is available.
+    """
+    if not ensemble:
+        ratio = ratio_of_ratios(red, infrared)
+        return Spo2Estimate(spo2_percent=spo2_from_ratio(ratio),
+                            ratio=ratio, beats_used=0)
+    before = int(0.1 * fs)
+    after = int(0.7 * fs)
+    red_rows = beat_matrix(red, r_peaks, before, after)
+    ir_rows = beat_matrix(infrared, r_peaks, before, after)
+    n = min(red_rows.shape[0], ir_rows.shape[0])
+    if n == 0:
+        raise ValueError("no complete beat windows for ensemble averaging")
+    ratio = ratio_of_ratios(red_rows[:n].mean(axis=0),
+                            ir_rows[:n].mean(axis=0))
+    return Spo2Estimate(spo2_percent=spo2_from_ratio(ratio), ratio=ratio,
+                        beats_used=n)
+
+
+def synthesize_dual_ppg(ppg_signal: np.ndarray, spo2_percent: float,
+                        rng: np.random.Generator,
+                        noise_std: float = 0.02,
+                        dc_level: float = 5.0) -> tuple[np.ndarray, np.ndarray]:
+    """Red/IR channel pair whose ratio-of-ratios encodes ``spo2_percent``.
+
+    The infrared channel carries the pulse at unit AC gain; the red
+    channel's AC gain is scaled so that the clean ratio-of-ratios maps to
+    the requested SpO2 through the standard calibration.
+
+    Returns:
+        ``(red, infrared)`` waveforms with independent additive noise.
+    """
+    if not 0.0 < spo2_percent <= 100.0:
+        raise ValueError("SpO2 must lie in (0, 100]")
+    pulse = np.asarray(ppg_signal, dtype=float)
+    target_ratio = (CALIBRATION_A - spo2_percent) / CALIBRATION_B
+    infrared = dc_level + pulse + rng.normal(0.0, noise_std, pulse.shape)
+    red = dc_level + target_ratio * pulse \
+        + rng.normal(0.0, noise_std, pulse.shape)
+    return red, infrared

@@ -1,0 +1,13 @@
+"""End-to-end node application pipeline (paper §V)."""
+
+from .node_app import AlarmEvent, CardiacMonitorNode, NodeReport
+from .streaming import StreamingConfig, StreamingMonitor, stream_record
+
+__all__ = [
+    "AlarmEvent",
+    "CardiacMonitorNode",
+    "NodeReport",
+    "StreamingConfig",
+    "StreamingMonitor",
+    "stream_record",
+]

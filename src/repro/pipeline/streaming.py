@@ -1,0 +1,125 @@
+"""Sample-at-a-time streaming front of the node application.
+
+The batch pipeline in :mod:`repro.pipeline.node_app` processes whole
+recordings; real firmware sees one multi-lead sample per timer interrupt
+and must work inside bounded buffers.  :class:`StreamingMonitor` mirrors
+the firmware structure: a ring buffer of recent samples, periodic
+processing bursts every ``hop_s`` seconds over the buffered history, and
+incremental emission of newly confirmed beats.
+
+Equivalence with the batch path on overlapping content is covered by the
+tests — the property that lets the batch implementation stand in for the
+streaming one in the accuracy benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..delineation.rpeak import RPeakDetector
+from ..delineation.wavelet_delineator import WaveletDelineator
+from ..signals.types import BeatAnnotation
+
+
+@dataclass
+class StreamingConfig:
+    """Streaming parameters.
+
+    Attributes:
+        fs: Sampling frequency.
+        buffer_s: Ring-buffer length (must cover the delineator's
+            look-back, >= ~3 beats).
+        hop_s: Interval between processing bursts.
+        confirm_margin_s: Beats closer than this to the buffer's leading
+            edge are withheld until the next burst (their T wave may not
+            be complete yet).
+    """
+
+    fs: float = 250.0
+    buffer_s: float = 8.0
+    hop_s: float = 2.0
+    confirm_margin_s: float = 0.8
+
+
+class StreamingMonitor:
+    """Incremental R-peak detection + delineation over a ring buffer.
+
+    Args:
+        config: Streaming parameters.
+
+    Usage::
+
+        monitor = StreamingMonitor(StreamingConfig(fs=250.0))
+        for sample in samples:          # one lead
+            for beat in monitor.push(sample):
+                handle(beat)            # absolute sample indices
+        for beat in monitor.flush():
+            handle(beat)
+    """
+
+    def __init__(self, config: StreamingConfig | None = None) -> None:
+        self.config = config or StreamingConfig()
+        cfg = self.config
+        if cfg.buffer_s <= cfg.hop_s:
+            raise ValueError("buffer must be longer than the hop")
+        self._capacity = int(cfg.buffer_s * cfg.fs)
+        self._hop = int(cfg.hop_s * cfg.fs)
+        self._margin = int(cfg.confirm_margin_s * cfg.fs)
+        self._buffer: list[float] = []
+        self._total = 0          # absolute samples consumed
+        self._since_burst = 0
+        self._emitted_up_to = -1  # last confirmed R-peak position
+        self._detector = RPeakDetector(cfg.fs)
+        self._delineator = WaveletDelineator(cfg.fs)
+
+    @property
+    def samples_consumed(self) -> int:
+        """Absolute number of samples pushed so far."""
+        return self._total
+
+    def push(self, sample: float) -> list[BeatAnnotation]:
+        """Consume one sample; return newly confirmed beats (absolute)."""
+        self._buffer.append(float(sample))
+        if len(self._buffer) > self._capacity:
+            self._buffer.pop(0)
+        self._total += 1
+        self._since_burst += 1
+        if self._since_burst >= self._hop:
+            self._since_burst = 0
+            return self._burst(final=False)
+        return []
+
+    def flush(self) -> list[BeatAnnotation]:
+        """Process whatever remains (end of recording)."""
+        return self._burst(final=True)
+
+    def _burst(self, final: bool) -> list[BeatAnnotation]:
+        window = np.asarray(self._buffer)
+        if window.shape[0] < int(1.5 * self.config.fs):
+            return []
+        offset = self._total - window.shape[0]
+        peaks = self._detector.detect(window)
+        beats = self._delineator.delineate(window, peaks)
+        horizon = window.shape[0] if final else \
+            window.shape[0] - self._margin
+        fresh: list[BeatAnnotation] = []
+        for beat in beats:
+            absolute = beat.r_peak + offset
+            if absolute <= self._emitted_up_to or beat.r_peak >= horizon:
+                continue
+            fresh.append(beat.shifted(offset))
+            self._emitted_up_to = absolute
+        return fresh
+
+
+def stream_record(signal: np.ndarray,
+                  config: StreamingConfig) -> list[BeatAnnotation]:
+    """Run the streaming monitor over a full waveform (test harness)."""
+    monitor = StreamingMonitor(config)
+    out: list[BeatAnnotation] = []
+    for sample in np.asarray(signal, dtype=float):
+        out.extend(monitor.push(sample))
+    out.extend(monitor.flush())
+    return out

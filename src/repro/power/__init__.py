@@ -1,0 +1,37 @@
+"""Node-level power/energy models (Fig. 1, Fig. 6, battery lifetime)."""
+
+from .abstraction import AbstractionLadder, LADDER_LEVELS, LadderRung
+from .battery import Battery
+from .dutycycle import DutyCycledRadio, DutyCyclePolicy
+from .mcu import FrontEndModel, McuModel
+from .node import EnergyBreakdown, NodeEnergyModel, figure6_breakdowns
+from .radio import (
+    ACK_BYTES,
+    Ieee802154Link,
+    MAC_OVERHEAD_BYTES,
+    MTU_BYTES,
+    PHY_OVERHEAD_BYTES,
+    RadioModel,
+    TransmissionCost,
+)
+
+__all__ = [
+    "ACK_BYTES",
+    "AbstractionLadder",
+    "Battery",
+    "DutyCycledRadio",
+    "DutyCyclePolicy",
+    "EnergyBreakdown",
+    "FrontEndModel",
+    "Ieee802154Link",
+    "LADDER_LEVELS",
+    "LadderRung",
+    "MAC_OVERHEAD_BYTES",
+    "MTU_BYTES",
+    "McuModel",
+    "NodeEnergyModel",
+    "PHY_OVERHEAD_BYTES",
+    "RadioModel",
+    "TransmissionCost",
+    "figure6_breakdowns",
+]

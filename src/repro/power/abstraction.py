@@ -1,0 +1,137 @@
+"""The Fig. 1 abstraction ladder: bandwidth and energy vs. on-node smarts.
+
+Figure 1 of the paper is the thesis in one picture: as on-node processing
+raises the abstraction level of the transmitted data — raw waveform ->
+compressed waveform -> delineated features -> beat classes -> alarms —
+the radio bandwidth collapses and with it the node energy.  This module
+quantifies each rung with the same models used elsewhere, so the Fig. 1
+bench prints an actual bandwidth/energy table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .mcu import McuModel
+from .node import NodeEnergyModel
+
+#: Ordered abstraction levels (bottom to top of Fig. 1).
+LADDER_LEVELS = (
+    "raw_streaming",
+    "compressed_sensing",
+    "delineated_features",
+    "beat_classes",
+    "alarms",
+)
+
+
+@dataclass(frozen=True)
+class LadderRung:
+    """One abstraction level of Fig. 1.
+
+    Attributes:
+        level: Level name (one of :data:`LADDER_LEVELS`).
+        bandwidth_bps: Application payload rate handed to the radio.
+        processing_cycles_per_s: On-node DSP effort at this level.
+        radio_energy_w: Average radio power.
+        processing_energy_w: Average MCU power for the DSP.
+        total_power_w: Radio + DSP + standing costs.
+    """
+
+    level: str
+    bandwidth_bps: float
+    processing_cycles_per_s: float
+    radio_energy_w: float
+    processing_energy_w: float
+    total_power_w: float
+
+
+@dataclass
+class AbstractionLadder:
+    """Computes the Fig. 1 ladder for a given node configuration.
+
+    Args:
+        node: Node energy model (radio/MCU/front-end constants).
+        heart_rate_bpm: Assumed average heart rate (feature levels emit
+            per-beat payloads).
+        cs_cr_percent: CR used at the compressed-sensing rung.
+        alarm_rate_per_hour: Expected abnormal-episode rate at the top
+            rung (each alarm ships a compressed excerpt, as the
+            SmartCardia application does in §V).
+    """
+
+    node: NodeEnergyModel = field(default_factory=NodeEnergyModel)
+    heart_rate_bpm: float = 72.0
+    cs_cr_percent: float = 60.0
+    alarm_rate_per_hour: float = 4.0
+
+    # Per-beat payloads: 9 fiducial marks x 16-bit offsets + class byte.
+    FEATURE_BITS_PER_BEAT = 9 * 16 + 8
+    CLASS_BITS_PER_BEAT = 8
+    # An alarm ships a 4-second compressed excerpt + header.
+    ALARM_EXCERPT_S = 4.0
+
+    # DSP effort per sample at each level (cycles; delineation estimate
+    # matches repro.delineation.resources).
+    CS_CYCLES_PER_SAMPLE = 24.0
+    DELINEATION_CYCLES_PER_SAMPLE = 240.0
+    CLASSIFICATION_CYCLES_PER_BEAT = 1200.0
+
+    def bandwidth_bps_for(self, level: str) -> float:
+        """Application payload rate at one level."""
+        fs = self.node.fs
+        leads = self.node.n_leads
+        bits = self.node.sample_bits
+        beats_per_s = self.heart_rate_bpm / 60.0
+        if level == "raw_streaming":
+            return fs * bits * leads
+        if level == "compressed_sensing":
+            return fs * bits * leads * (1.0 - self.cs_cr_percent / 100.0)
+        if level == "delineated_features":
+            return beats_per_s * self.FEATURE_BITS_PER_BEAT
+        if level == "beat_classes":
+            return beats_per_s * self.CLASS_BITS_PER_BEAT
+        if level == "alarms":
+            excerpt_bits = (self.ALARM_EXCERPT_S * fs * bits * leads
+                            * (1.0 - self.cs_cr_percent / 100.0))
+            return self.alarm_rate_per_hour * (excerpt_bits + 64) / 3600.0
+        raise ValueError(f"unknown ladder level {level!r}")
+
+    def processing_cycles_per_s(self, level: str) -> float:
+        """On-node DSP cycles per second at one level."""
+        fs = self.node.fs
+        leads = self.node.n_leads
+        beats_per_s = self.heart_rate_bpm / 60.0
+        if level == "raw_streaming":
+            return 0.0
+        if level == "compressed_sensing":
+            return self.CS_CYCLES_PER_SAMPLE * fs * leads
+        cycles = self.DELINEATION_CYCLES_PER_SAMPLE * fs
+        if level == "delineated_features":
+            return cycles
+        if level in ("beat_classes", "alarms"):
+            return cycles + self.CLASSIFICATION_CYCLES_PER_BEAT * beats_per_s
+        raise ValueError(f"unknown ladder level {level!r}")
+
+    def rung(self, level: str) -> LadderRung:
+        """Full energy picture of one abstraction level (per second)."""
+        bandwidth = self.bandwidth_bps_for(level)
+        cycles = self.processing_cycles_per_s(level)
+        radio = self.node.link.transmit(int(np.ceil(bandwidth))).energy_j
+        mcu: McuModel = self.node.mcu
+        processing = mcu.compute_energy(cycles)
+        sampling = self.node.frontend.sampling_energy(
+            int(self.node.fs), self.node.n_leads, 1.0)
+        os_energy = mcu.rtos_energy(1.0)
+        total = radio + processing + sampling + os_energy
+        return LadderRung(level=level, bandwidth_bps=bandwidth,
+                          processing_cycles_per_s=cycles,
+                          radio_energy_w=radio,
+                          processing_energy_w=processing,
+                          total_power_w=total)
+
+    def table(self) -> list[LadderRung]:
+        """All rungs, bottom (raw) to top (alarms)."""
+        return [self.rung(level) for level in LADDER_LEVELS]

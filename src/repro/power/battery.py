@@ -1,0 +1,55 @@
+"""Battery-lifetime estimation ("mean time between charges is typically
+one week", paper §V).
+
+Small wearables carry 100-200 mAh lithium-polymer cells; this module turns
+an average node power into a recharge interval, including self-discharge
+and a usable-capacity derating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Battery:
+    """A small LiPo cell.
+
+    Attributes:
+        capacity_mah: Nominal capacity.
+        voltage_v: Nominal cell voltage.
+        usable_fraction: Usable depth of discharge (protection cutoffs,
+            converter efficiency).
+        self_discharge_per_month: Monthly self-discharge fraction.
+    """
+
+    capacity_mah: float = 150.0
+    voltage_v: float = 3.7
+    usable_fraction: float = 0.85
+    self_discharge_per_month: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0 or self.voltage_v <= 0:
+            raise ValueError("capacity and voltage must be positive")
+        if not 0 < self.usable_fraction <= 1:
+            raise ValueError("usable_fraction must lie in (0, 1]")
+
+    @property
+    def usable_energy_j(self) -> float:
+        """Usable energy in joules."""
+        return (self.capacity_mah / 1000.0) * 3600.0 * self.voltage_v \
+            * self.usable_fraction
+
+    def self_discharge_power_w(self) -> float:
+        """Average self-discharge drain."""
+        month_s = 30 * 24 * 3600.0
+        return self.usable_energy_j * self.self_discharge_per_month / month_s
+
+    def lifetime_days(self, average_power_w: float) -> float:
+        """Days between charges at a given average node power."""
+        if average_power_w < 0:
+            raise ValueError("average power must be non-negative")
+        drain = average_power_w + self.self_discharge_power_w()
+        if drain == 0:
+            return float("inf")
+        return self.usable_energy_j / drain / 86400.0

@@ -1,0 +1,93 @@
+"""Radio duty-cycling policies (extends the Fig. 6 node model).
+
+The Fig. 6 scenarios charge one radio burst per window; a deployed node
+additionally pays for link maintenance: periodic beacon listening (to stay
+associated with the base station) and wake-ups that find nothing to send.
+This module models those standing costs so the battery estimates of the
+pipeline cover the full radio budget, and exposes the burst-batching
+trade-off (larger batches amortize wake-up overhead at the cost of
+latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .radio import Ieee802154Link, RadioModel
+
+
+@dataclass(frozen=True)
+class DutyCyclePolicy:
+    """Link-maintenance schedule.
+
+    Attributes:
+        beacon_interval_s: Period of base-station beacon listening.
+        beacon_listen_s: RX window per beacon (guard + beacon airtime).
+        batch_interval_s: Application payload is queued and sent in one
+            burst per interval (latency/energy knob).
+    """
+
+    beacon_interval_s: float = 5.0
+    beacon_listen_s: float = 0.004
+    batch_interval_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.beacon_interval_s <= 0 or self.batch_interval_s <= 0:
+            raise ValueError("intervals must be positive")
+        if self.beacon_listen_s < 0:
+            raise ValueError("listen window must be non-negative")
+
+
+@dataclass
+class DutyCycledRadio:
+    """Average radio power under a duty-cycling policy.
+
+    Args:
+        link: Framing/energy model of the data link.
+        policy: Maintenance schedule.
+    """
+
+    link: Ieee802154Link = field(default_factory=Ieee802154Link)
+    policy: DutyCyclePolicy = field(default_factory=DutyCyclePolicy)
+
+    def maintenance_power_w(self) -> float:
+        """Standing power of beacon listening (RX windows + startups)."""
+        radio: RadioModel = self.link.radio
+        per_beacon = (self.policy.beacon_listen_s * radio.rx_power_w
+                      + radio.startup_energy_j)
+        return per_beacon / self.policy.beacon_interval_s
+
+    def payload_power_w(self, payload_bits_per_s: float) -> float:
+        """Average TX power for a payload rate under burst batching."""
+        if payload_bits_per_s < 0:
+            raise ValueError("payload rate must be non-negative")
+        batch_bits = payload_bits_per_s * self.policy.batch_interval_s
+        if batch_bits == 0:
+            return 0.0
+        cost = self.link.transmit(int(round(batch_bits)), wakeups=1)
+        return cost.energy_j / self.policy.batch_interval_s
+
+    def average_power_w(self, payload_bits_per_s: float) -> float:
+        """Total average radio power (payload + maintenance)."""
+        return (self.payload_power_w(payload_bits_per_s)
+                + self.maintenance_power_w())
+
+    def batching_gain(self, payload_bits_per_s: float,
+                      small_interval_s: float = 0.25) -> float:
+        """Power ratio of un-batched vs batched transmission (> 1).
+
+        Quantifies why the node queues data: many small bursts pay the
+        per-wake-up and per-frame overheads repeatedly.
+        """
+        eager = DutyCycledRadio(
+            self.link,
+            DutyCyclePolicy(
+                beacon_interval_s=self.policy.beacon_interval_s,
+                beacon_listen_s=self.policy.beacon_listen_s,
+                batch_interval_s=small_interval_s,
+            ),
+        )
+        batched = self.payload_power_w(payload_bits_per_s)
+        if batched == 0.0:
+            return 1.0
+        return eager.payload_power_w(payload_bits_per_s) / batched

@@ -1,0 +1,163 @@
+"""Node-level energy scenarios (Fig. 6 and the 44.7 % / 56.1 % claims).
+
+Combines the radio, MCU and front-end models into the three transmission
+strategies Fig. 6 compares:
+
+* **No Comp.** — stream every raw sample;
+* **Single-Lead CS** — compress one lead with the sparse-binary encoder at
+  its 20 dB operating point, stream the measurements;
+* **Multi-Lead CS** — compress all leads (per-lead matrices) at the joint
+  decoder's 20 dB operating point.
+
+Each scenario yields a per-window energy breakdown (radio / sampling /
+compression / OS), from which the Fig. 6 bars and the average power
+reductions follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compression.encoder import CsEncoder, MultiLeadCsEncoder, raw_payload_bits
+from .mcu import FrontEndModel, McuModel
+from .radio import Ieee802154Link, RadioModel
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-window node energy, by component (joules).
+
+    Attributes:
+        radio: Radio energy (TX + ACK + startup).
+        sampling: Front-end acquisition energy.
+        compression: MCU energy spent encoding.
+        os: RTOS overhead energy.
+        window_s: Window duration the figures refer to.
+    """
+
+    radio: float
+    sampling: float
+    compression: float
+    os: float
+    window_s: float
+
+    @property
+    def total(self) -> float:
+        """Total energy per window."""
+        return self.radio + self.sampling + self.compression + self.os
+
+    @property
+    def average_power_w(self) -> float:
+        """Average node power over the window."""
+        return self.total / self.window_s
+
+    def as_microjoules(self) -> dict[str, float]:
+        """Breakdown in microjoules (the Fig. 6 axis)."""
+        return {
+            "radio": 1e6 * self.radio,
+            "sampling": 1e6 * self.sampling,
+            "compression": 1e6 * self.compression,
+            "os": 1e6 * self.os,
+        }
+
+
+@dataclass
+class NodeEnergyModel:
+    """Energy model of the full WBSN node.
+
+    Args:
+        fs: Sampling rate (the node acquires at 250 Hz).
+        sample_bits: ADC resolution / raw transmission word.
+        n_leads: Leads acquired by the node (SmartCardia: 3).
+        cycles_per_addition: MCU cycles per CS integer addition (load +
+            add on a 16-bit core).
+    """
+
+    fs: float = 250.0
+    sample_bits: int = 12
+    n_leads: int = 3
+    cycles_per_addition: float = 2.0
+    radio: RadioModel = field(default_factory=RadioModel)
+    mcu: McuModel = field(default_factory=McuModel)
+    frontend: FrontEndModel = field(default_factory=FrontEndModel)
+
+    def __post_init__(self) -> None:
+        self.link = Ieee802154Link(self.radio)
+
+    def _common(self, window_s: float, n_leads: int) -> tuple[float, float]:
+        """(sampling, os) energy for one window."""
+        n_samples = int(round(window_s * self.fs))
+        sampling = self.frontend.sampling_energy(n_samples, n_leads, window_s)
+        os_energy = self.mcu.rtos_energy(window_s)
+        return sampling, os_energy
+
+    def raw_streaming(self, window_s: float = 2.0,
+                      n_leads: int | None = None) -> EnergyBreakdown:
+        """No-compression baseline: every sample goes over the air."""
+        n_leads = self.n_leads if n_leads is None else n_leads
+        n_samples = int(round(window_s * self.fs))
+        payload = n_leads * raw_payload_bits(n_samples, self.sample_bits)
+        radio = self.link.transmit(payload).energy_j
+        sampling, os_energy = self._common(window_s, n_leads)
+        return EnergyBreakdown(radio=radio, sampling=sampling,
+                               compression=0.0, os=os_energy,
+                               window_s=window_s)
+
+    def single_lead_cs(self, cr_percent: float,
+                       window_s: float = 2.0) -> EnergyBreakdown:
+        """Single-lead CS: one lead compressed and transmitted."""
+        n = int(round(window_s * self.fs))
+        encoder = CsEncoder(n=n, cr_percent=cr_percent,
+                            quant_bits=self.sample_bits)
+        payload = encoder.payload_bits_per_window()
+        radio = self.link.transmit(payload).energy_j
+        cycles = encoder.sensing.additions_per_window() \
+            * self.cycles_per_addition
+        compression = self.mcu.compute_energy(cycles)
+        sampling, os_energy = self._common(window_s, n_leads=1)
+        return EnergyBreakdown(radio=radio, sampling=sampling,
+                               compression=compression, os=os_energy,
+                               window_s=window_s)
+
+    def multi_lead_cs(self, cr_percent: float,
+                      window_s: float = 2.0) -> EnergyBreakdown:
+        """Multi-lead CS: all leads compressed (per-lead matrices)."""
+        n = int(round(window_s * self.fs))
+        encoder = MultiLeadCsEncoder(n_leads=self.n_leads, n=n,
+                                     cr_percent=cr_percent,
+                                     quant_bits=self.sample_bits)
+        payload = encoder.payload_bits_per_window()
+        radio = self.link.transmit(payload).energy_j
+        cycles = encoder.additions_per_window() * self.cycles_per_addition
+        compression = self.mcu.compute_energy(cycles)
+        sampling, os_energy = self._common(window_s, self.n_leads)
+        return EnergyBreakdown(radio=radio, sampling=sampling,
+                               compression=compression, os=os_energy,
+                               window_s=window_s)
+
+    def power_reduction_percent(self, scenario: EnergyBreakdown,
+                                baseline: EnergyBreakdown) -> float:
+        """Average power reduction of ``scenario`` versus ``baseline``."""
+        return 100.0 * (1.0 - scenario.average_power_w
+                        / baseline.average_power_w)
+
+
+def figure6_breakdowns(sl_cr_percent: float, ml_cr_percent: float,
+                       window_s: float = 2.0,
+                       model: NodeEnergyModel | None = None,
+                       ) -> dict[str, EnergyBreakdown]:
+    """The three Fig. 6 bars at the given 20 dB operating points.
+
+    Following the figure, the single-lead comparison streams one lead and
+    the multi-lead comparison streams all leads; each CS mode is compared
+    against the raw baseline with the same lead count.
+    """
+    model = model or NodeEnergyModel()
+    return {
+        "no_comp_1lead": model.raw_streaming(window_s, n_leads=1),
+        "no_comp": model.raw_streaming(window_s),
+        "single_lead_cs": model.single_lead_cs(sl_cr_percent, window_s),
+        "multi_lead_cs": model.multi_lead_cs(ml_cr_percent, window_s),
+    }

@@ -1,0 +1,219 @@
+"""Beat morphology models.
+
+Each heartbeat is modelled as a sum of Gaussian bumps in the *time* domain,
+one per characteristic wave (P, Q, R, S, T), following the parameterization
+of the McSharry/ECGSYN dynamical model but expressed directly against the
+R-peak instant.  This keeps exact, closed-form ground truth for every
+fiducial point: a Gaussian bump of width ``sigma`` centred at ``mu`` is
+considered to start at ``mu - GAUSS_SUPPORT * sigma`` and end at
+``mu + GAUSS_SUPPORT * sigma`` (amplitude has decayed to < 5 % there).
+
+Beat classes implemented (AAMI-style, matching the paper's references):
+
+* ``N``  – normal sinus beat.
+* ``V``  – premature ventricular contraction: wide, high-amplitude QRS,
+  absent P wave, discordant (inverted) T wave.
+* ``S``  – atrial premature contraction: early, abnormal P wave, normal QRS.
+* ``A``  – beat during atrial fibrillation: absent P wave (fibrillatory
+  baseline activity is added by the rhythm generator, not the beat model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .types import (
+    ABSENT_WAVE,
+    BEAT_AF,
+    BEAT_APC,
+    BEAT_NORMAL,
+    BEAT_PVC,
+    BeatAnnotation,
+    WaveFiducials,
+)
+
+#: Number of standard deviations from a wave's centre to its onset/end.
+GAUSS_SUPPORT = 2.5
+
+
+@dataclass(frozen=True)
+class WaveShape:
+    """One Gaussian wave component of a beat template.
+
+    Attributes:
+        amplitude: Peak amplitude in millivolts (sign carries polarity).
+        center_s: Centre relative to the R peak, in seconds, for a
+            reference RR interval of 1 s.  Negative values precede the R
+            peak (P, Q); positive follow it (S, T).
+        width_s: Gaussian standard deviation in seconds.
+        rr_scaling: Exponent with which ``center_s`` stretches with the RR
+            interval.  1.0 means fully proportional (P wave timing), 0.0
+            means fixed (QRS geometry), 0.5 approximates Bazett's law for
+            the QT interval.
+    """
+
+    amplitude: float
+    center_s: float
+    width_s: float
+    rr_scaling: float = 0.0
+
+    def center_for_rr(self, rr_s: float) -> float:
+        """Wave centre (seconds from R peak) for a given RR interval."""
+        return self.center_s * rr_s ** self.rr_scaling
+
+
+@dataclass(frozen=True)
+class BeatTemplate:
+    """Full morphological description of one beat class.
+
+    The five waves follow the ECGSYN ordering P, Q, R, S, T.  Any wave may
+    be disabled by setting its amplitude to exactly 0 (used for the absent
+    P wave of ventricular and AF beats).
+    """
+
+    label: str
+    p: WaveShape
+    q: WaveShape
+    r: WaveShape
+    s: WaveShape
+    t: WaveShape
+
+    def waves(self) -> tuple[WaveShape, ...]:
+        """The five wave components in P, Q, R, S, T order."""
+        return (self.p, self.q, self.r, self.s, self.t)
+
+    def scaled(self, gain: float) -> "BeatTemplate":
+        """Return a copy with every wave amplitude multiplied by ``gain``."""
+        return BeatTemplate(
+            self.label,
+            *(replace(w, amplitude=w.amplitude * gain) for w in self.waves()),
+        )
+
+    def render(self, t_rel: np.ndarray, rr_s: float) -> np.ndarray:
+        """Evaluate the beat waveform on times relative to the R peak.
+
+        Args:
+            t_rel: Sample times in seconds, relative to the R-peak instant.
+            rr_s: RR interval of this beat in seconds (controls P/T timing).
+
+        Returns:
+            Waveform values in millivolts, same shape as ``t_rel``.
+        """
+        out = np.zeros_like(t_rel, dtype=float)
+        for wave in self.waves():
+            if wave.amplitude == 0.0:
+                continue
+            mu = wave.center_for_rr(rr_s)
+            out += wave.amplitude * np.exp(
+                -0.5 * ((t_rel - mu) / wave.width_s) ** 2
+            )
+        return out
+
+    def fiducials(self, r_sample: int, rr_s: float, fs: float) -> BeatAnnotation:
+        """Exact ground-truth fiducials of a beat rendered at ``r_sample``.
+
+        The QRS complex spans from the onset of the Q wave to the end of
+        the S wave; P and T are single Gaussians.
+        """
+
+        def bump(wave: WaveShape) -> WaveFiducials:
+            if wave.amplitude == 0.0:
+                return ABSENT_WAVE
+            mu = wave.center_for_rr(rr_s)
+            onset = r_sample + int(round((mu - GAUSS_SUPPORT * wave.width_s) * fs))
+            peak = r_sample + int(round(mu * fs))
+            end = r_sample + int(round((mu + GAUSS_SUPPORT * wave.width_s) * fs))
+            return WaveFiducials(onset, peak, end)
+
+        q_on = self.q.center_for_rr(rr_s) - GAUSS_SUPPORT * self.q.width_s
+        s_end = self.s.center_for_rr(rr_s) + GAUSS_SUPPORT * self.s.width_s
+        qrs = WaveFiducials(
+            onset=r_sample + int(round(q_on * fs)),
+            peak=r_sample,
+            end=r_sample + int(round(s_end * fs)),
+        )
+        return BeatAnnotation(
+            r_peak=r_sample,
+            label=self.label,
+            p_wave=bump(self.p),
+            qrs=qrs,
+            t_wave=bump(self.t),
+        )
+
+
+def normal_beat() -> BeatTemplate:
+    """Normal sinus beat (amplitudes/widths from the ECGSYN defaults)."""
+    return BeatTemplate(
+        label=BEAT_NORMAL,
+        p=WaveShape(amplitude=0.15, center_s=-0.17, width_s=0.022, rr_scaling=1.0),
+        q=WaveShape(amplitude=-0.12, center_s=-0.026, width_s=0.008),
+        r=WaveShape(amplitude=1.00, center_s=0.0, width_s=0.010),
+        s=WaveShape(amplitude=-0.25, center_s=0.026, width_s=0.008),
+        t=WaveShape(amplitude=0.30, center_s=0.32, width_s=0.050, rr_scaling=0.5),
+    )
+
+
+def pvc_beat() -> BeatTemplate:
+    """Premature ventricular contraction.
+
+    No P wave; QRS widened by ~2.5x and taller; T wave discordant
+    (opposite polarity to the QRS), per standard electrophysiology.
+    """
+    return BeatTemplate(
+        label=BEAT_PVC,
+        p=WaveShape(amplitude=0.0, center_s=-0.17, width_s=0.022, rr_scaling=1.0),
+        q=WaveShape(amplitude=-0.20, center_s=-0.060, width_s=0.020),
+        r=WaveShape(amplitude=1.35, center_s=0.0, width_s=0.028),
+        s=WaveShape(amplitude=-0.45, center_s=0.060, width_s=0.020),
+        t=WaveShape(amplitude=-0.35, center_s=0.34, width_s=0.060, rr_scaling=0.5),
+    )
+
+
+def apc_beat() -> BeatTemplate:
+    """Atrial premature contraction: abnormal (small, early) P, normal QRS."""
+    return BeatTemplate(
+        label=BEAT_APC,
+        p=WaveShape(amplitude=0.08, center_s=-0.13, width_s=0.015, rr_scaling=1.0),
+        q=WaveShape(amplitude=-0.12, center_s=-0.026, width_s=0.008),
+        r=WaveShape(amplitude=0.95, center_s=0.0, width_s=0.010),
+        s=WaveShape(amplitude=-0.25, center_s=0.026, width_s=0.008),
+        t=WaveShape(amplitude=0.28, center_s=0.32, width_s=0.050, rr_scaling=0.5),
+    )
+
+
+def af_beat() -> BeatTemplate:
+    """Beat during atrial fibrillation: normal QRS, absent P wave."""
+    template = normal_beat()
+    return BeatTemplate(
+        label=BEAT_AF,
+        p=replace(template.p, amplitude=0.0),
+        q=template.q,
+        r=template.r,
+        s=template.s,
+        t=template.t,
+    )
+
+
+_TEMPLATES = {
+    BEAT_NORMAL: normal_beat,
+    BEAT_PVC: pvc_beat,
+    BEAT_APC: apc_beat,
+    BEAT_AF: af_beat,
+}
+
+
+def template_for(label: str) -> BeatTemplate:
+    """Look up the beat template for a class label.
+
+    Raises:
+        KeyError: If ``label`` is not one of the implemented beat classes.
+    """
+    try:
+        return _TEMPLATES[label]()
+    except KeyError:
+        raise KeyError(
+            f"no beat template for label {label!r}; "
+            f"known classes: {sorted(_TEMPLATES)}"
+        ) from None

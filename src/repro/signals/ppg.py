@@ -1,0 +1,110 @@
+"""Synthetic photoplethysmogram (PPG) generation, time-locked to ECG.
+
+Section IV-C of the paper estimates blood pressure from the pulse arrival
+time (PAT) between the ECG R peak and the arrival of the pressure pulse at a
+PPG finger probe.  This module substitutes that probe: given an annotated
+ECG record it synthesizes a PPG whose pulse feet trail each R peak by a
+controllable, per-beat pulse transit time (PTT) — the ground truth that the
+estimators in :mod:`repro.multimodal` must recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .types import EcgRecord, MultiLeadEcg, PpgRecord
+
+
+@dataclass(frozen=True)
+class PpgConfig:
+    """Parameters of the synthetic PPG.
+
+    Attributes:
+        base_ptt_s: Mean pulse transit time (R peak to pulse foot).
+        ptt_jitter_s: Beat-to-beat random PTT variation (std, seconds).
+        systolic_width_s: Width (sigma) of the systolic upstroke Gaussian.
+        dicrotic_delay_s: Delay of the dicrotic (reflected) wave after the
+            systolic peak.
+        dicrotic_ratio: Amplitude of the dicrotic wave relative to systolic.
+        noise_std: Additive white-noise standard deviation (a.u.).
+    """
+
+    base_ptt_s: float = 0.25
+    ptt_jitter_s: float = 0.008
+    systolic_width_s: float = 0.09
+    dicrotic_delay_s: float = 0.30
+    dicrotic_ratio: float = 0.35
+    noise_std: float = 0.01
+
+
+def synthesize_ppg(ecg: EcgRecord | MultiLeadEcg,
+                   config: PpgConfig | None = None,
+                   ptt_profile: Callable[[float], float] | None = None,
+                   rng: np.random.Generator | None = None) -> PpgRecord:
+    """Render a PPG record aligned to an annotated ECG.
+
+    Args:
+        ecg: Annotated ECG (only ``fs``, length and R peaks are used).
+        config: PPG shape parameters.
+        ptt_profile: Optional function mapping beat time (seconds) to the
+            *mean* PTT at that time; used to emulate blood-pressure drifts
+            (PTT shortens when BP rises).  Defaults to a constant
+            ``config.base_ptt_s``.
+        rng: Random generator.
+
+    Returns:
+        A :class:`~repro.signals.types.PpgRecord` carrying ground-truth
+        pulse feet, systolic peaks and per-beat PTT.
+    """
+    config = config or PpgConfig()
+    rng = rng or np.random.default_rng()
+    fs = ecg.fs
+    n = ecg.n_samples if isinstance(ecg, MultiLeadEcg) else len(ecg)
+    r_peaks = ecg.r_peaks
+    signal = np.zeros(n)
+    feet: list[int] = []
+    peaks: list[int] = []
+    ptts: list[float] = []
+
+    # Systolic peak sits ~1.8 sigma after the foot so the upstroke (foot)
+    # is the steep leading edge, as in real PPG.
+    peak_lag = 1.8 * config.systolic_width_s
+
+    for r in r_peaks:
+        beat_time = r / fs
+        mean_ptt = (ptt_profile(beat_time) if ptt_profile is not None
+                    else config.base_ptt_s)
+        ptt = max(0.05, mean_ptt + rng.normal(0.0, config.ptt_jitter_s))
+        foot_time = beat_time + ptt
+        peak_time = foot_time + peak_lag
+        dicrotic_time = peak_time + config.dicrotic_delay_s
+        t = np.arange(n) / fs
+        lo = int(max(0, (foot_time - 0.3) * fs))
+        hi = int(min(n, (dicrotic_time + 0.5) * fs))
+        if hi <= lo:
+            continue
+        window_t = t[lo:hi]
+        pulse = np.exp(-0.5 * ((window_t - peak_time)
+                               / config.systolic_width_s) ** 2)
+        pulse += config.dicrotic_ratio * np.exp(
+            -0.5 * ((window_t - dicrotic_time)
+                    / (1.4 * config.systolic_width_s)) ** 2)
+        signal[lo:hi] += pulse
+        feet.append(int(round(foot_time * fs)))
+        peaks.append(int(round(peak_time * fs)))
+        ptts.append(ptt)
+
+    if config.noise_std > 0:
+        signal = signal + rng.normal(0.0, config.noise_std, size=n)
+
+    return PpgRecord(
+        fs=fs,
+        signal=signal,
+        pulse_feet=np.array(feet, dtype=int),
+        pulse_peaks=np.array(peaks, dtype=int),
+        true_ptt_s=np.array(ptts),
+        name=f"ppg({getattr(ecg, 'name', '')})",
+    )

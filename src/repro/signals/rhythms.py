@@ -1,0 +1,253 @@
+"""Heart-rhythm (RR-interval and beat-label sequence) generators.
+
+The paper's applications span normal sinus rhythm with respiratory sinus
+arrhythmia (sleep/stress monitoring, §II), ectopic beats (arrhythmia
+detection) and atrial fibrillation (§V).  The generators here produce the
+RR-interval series and the per-beat class labels that the synthesizer in
+:mod:`repro.signals.synthesis` turns into waveforms.
+
+Sinus RR variability follows the bimodal-spectrum model of McSharry et al.
+(a low-frequency Mayer-wave component near 0.1 Hz plus a high-frequency
+respiratory component near 0.25 Hz).  AF intervals are serially independent
+draws from a positively skewed distribution, reproducing the "irregularly
+irregular" RR pattern that the paper's AF detector keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .types import BEAT_AF, BEAT_APC, BEAT_NORMAL, BEAT_PVC, RHYTHM_AF, RHYTHM_SINUS
+
+
+@dataclass(frozen=True)
+class RhythmSegment:
+    """A run of consecutive beats sharing one rhythm.
+
+    Attributes:
+        rhythm: Rhythm label (``NSR`` or ``AF``).
+        rr_s: RR interval preceding each beat, in seconds.
+        labels: Beat-class label per beat (same length as ``rr_s``).
+    """
+
+    rhythm: str
+    rr_s: np.ndarray
+    labels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != self.rr_s.shape[0]:
+            raise ValueError("labels and rr_s must have the same length")
+
+    @property
+    def n_beats(self) -> int:
+        """Number of beats in the segment."""
+        return self.rr_s.shape[0]
+
+    @property
+    def duration_s(self) -> float:
+        """Total duration of the segment in seconds."""
+        return float(np.sum(self.rr_s))
+
+
+def _bimodal_rr_series(n_beats: int, mean_rr_s: float, std_rr_s: float,
+                       rng: np.random.Generator,
+                       lf_hz: float = 0.1, hf_hz: float = 0.25,
+                       lf_hf_ratio: float = 0.5) -> np.ndarray:
+    """RR series whose spectrum has LF and HF Gaussian lobes.
+
+    Implements the spectral-synthesis method of McSharry et al.: build the
+    target one-sided power spectrum, attach uniform random phases, inverse
+    FFT, then rescale to the requested mean/std.
+    """
+    if n_beats < 2:
+        return np.full(max(n_beats, 1), mean_rr_s)
+    # Beat-domain frequency axis: treat the series as sampled at the mean
+    # heart rate so that `lf_hz`/`hf_hz` land at physiological positions.
+    fs_beat = 1.0 / mean_rr_s
+    freqs = np.fft.rfftfreq(n_beats, d=1.0 / fs_beat)
+    sigma_lf, sigma_hf = 0.01, 0.01
+    spectrum = (
+        lf_hf_ratio * np.exp(-0.5 * ((freqs - lf_hz) / sigma_lf) ** 2)
+        + np.exp(-0.5 * ((freqs - hf_hz) / sigma_hf) ** 2)
+    )
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=freqs.shape)
+    coeffs = np.sqrt(spectrum) * np.exp(1j * phases)
+    coeffs[0] = 0.0
+    series = np.fft.irfft(coeffs, n=n_beats)
+    std = np.std(series)
+    if std > 0:
+        series = series / std * std_rr_s
+    return np.clip(mean_rr_s + series, 0.35, 2.5)
+
+
+def sinus_rhythm(duration_s: float, mean_hr_bpm: float = 70.0,
+                 hrv_std_s: float = 0.04,
+                 rng: np.random.Generator | None = None) -> RhythmSegment:
+    """Normal sinus rhythm with respiratory sinus arrhythmia.
+
+    Args:
+        duration_s: Target duration; the segment stops at the last beat
+            that fits inside it.
+        mean_hr_bpm: Mean heart rate in beats per minute.
+        hrv_std_s: Standard deviation of the RR series in seconds.
+        rng: Random generator (a fresh default one if omitted).
+
+    Returns:
+        A :class:`RhythmSegment` of all-normal beats.
+    """
+    rng = rng or np.random.default_rng()
+    mean_rr = 60.0 / mean_hr_bpm
+    n_estimate = int(np.ceil(duration_s / mean_rr)) + 8
+    rr = _bimodal_rr_series(n_estimate, mean_rr, hrv_std_s, rng)
+    rr = _truncate_to_duration(rr, duration_s)
+    return RhythmSegment(RHYTHM_SINUS, rr, (BEAT_NORMAL,) * rr.shape[0])
+
+
+def af_rhythm(duration_s: float, mean_hr_bpm: float = 95.0,
+              irregularity: float = 0.18,
+              rng: np.random.Generator | None = None) -> RhythmSegment:
+    """Atrial fibrillation: serially independent, irregular RR intervals.
+
+    Intervals are drawn from a log-normal distribution (positively skewed,
+    as observed in AF) with coefficient of variation ``irregularity``,
+    typically 15-25 % versus ~5 % in sinus rhythm.
+    """
+    rng = rng or np.random.default_rng()
+    mean_rr = 60.0 / mean_hr_bpm
+    n_estimate = int(np.ceil(duration_s / mean_rr)) + 8
+    sigma = np.sqrt(np.log1p(irregularity ** 2))
+    mu = np.log(mean_rr) - 0.5 * sigma ** 2
+    rr = np.clip(rng.lognormal(mu, sigma, size=n_estimate), 0.3, 2.0)
+    rr = _truncate_to_duration(rr, duration_s)
+    return RhythmSegment(RHYTHM_AF, rr, (BEAT_AF,) * rr.shape[0])
+
+
+def with_ectopy(segment: RhythmSegment, pvc_fraction: float = 0.0,
+                apc_fraction: float = 0.0,
+                prematurity: float = 0.35,
+                rng: np.random.Generator | None = None) -> RhythmSegment:
+    """Inject premature beats into a sinus segment.
+
+    A premature beat shortens its preceding RR interval by ``prematurity``
+    (fraction) and — for PVCs — is followed by a compensatory pause that
+    keeps the two-beat total duration constant, matching textbook PVC
+    timing.
+
+    Args:
+        segment: Source rhythm (normally from :func:`sinus_rhythm`).
+        pvc_fraction: Fraction of beats converted to PVCs.
+        apc_fraction: Fraction of beats converted to APCs.
+        prematurity: Relative RR shortening of the ectopic beat.
+        rng: Random generator.
+
+    Returns:
+        A new :class:`RhythmSegment` with modified labels and intervals.
+    """
+    if pvc_fraction + apc_fraction > 0.5:
+        raise ValueError("ectopic fractions above 50% are not physiological")
+    rng = rng or np.random.default_rng()
+    rr = segment.rr_s.copy()
+    labels = list(segment.labels)
+    n = len(labels)
+    candidates = [i for i in range(1, n - 1) if labels[i] == BEAT_NORMAL]
+    rng.shuffle(candidates)
+    n_pvc = int(round(pvc_fraction * n))
+    n_apc = int(round(apc_fraction * n))
+    used: set[int] = set()
+    chosen: list[tuple[int, str]] = []
+    for index in candidates:
+        if len(chosen) >= n_pvc + n_apc:
+            break
+        # Keep ectopic beats isolated so prematurity/pause edits don't clash.
+        if index - 1 in used or index + 1 in used or index in used:
+            continue
+        used.update((index - 1, index, index + 1))
+        label = BEAT_PVC if len(chosen) < n_pvc else BEAT_APC
+        chosen.append((index, label))
+    for index, label in chosen:
+        labels[index] = label
+        shorten = prematurity * rr[index]
+        rr[index] -= shorten
+        if label == BEAT_PVC and index + 1 < n:
+            rr[index + 1] += shorten  # compensatory pause
+    return RhythmSegment(segment.rhythm, rr, tuple(labels))
+
+
+@dataclass
+class RhythmSequence:
+    """Concatenation of rhythm segments (e.g. NSR -> AF episode -> NSR)."""
+
+    segments: list[RhythmSegment] = field(default_factory=list)
+
+    def append(self, segment: RhythmSegment) -> "RhythmSequence":
+        """Append a segment and return self (for chaining)."""
+        self.segments.append(segment)
+        return self
+
+    @property
+    def n_beats(self) -> int:
+        """Total number of beats across all segments."""
+        return sum(s.n_beats for s in self.segments)
+
+    @property
+    def duration_s(self) -> float:
+        """Total duration in seconds."""
+        return sum(s.duration_s for s in self.segments)
+
+    def flatten(self) -> tuple[np.ndarray, tuple[str, ...], tuple[str, ...]]:
+        """Return (rr_s, beat labels, per-beat rhythm labels) arrays."""
+        if not self.segments:
+            return np.empty(0), (), ()
+        rr = np.concatenate([s.rr_s for s in self.segments])
+        labels = tuple(label for s in self.segments for label in s.labels)
+        rhythms = tuple(s.rhythm for s in self.segments for _ in s.labels)
+        return rr, labels, rhythms
+
+
+def paroxysmal_af(duration_s: float, af_burden: float = 0.4,
+                  episode_s: float = 60.0,
+                  mean_hr_bpm: float = 72.0,
+                  rng: np.random.Generator | None = None) -> RhythmSequence:
+    """Sinus rhythm interleaved with AF episodes.
+
+    Args:
+        duration_s: Total target duration.
+        af_burden: Fraction of time spent in AF.
+        episode_s: Approximate duration of each AF episode.
+        mean_hr_bpm: Sinus-rhythm heart rate (AF runs faster, ~+25 bpm).
+        rng: Random generator.
+
+    Returns:
+        A :class:`RhythmSequence` alternating NSR and AF segments.
+    """
+    if not 0.0 <= af_burden <= 1.0:
+        raise ValueError("af_burden must lie in [0, 1]")
+    rng = rng or np.random.default_rng()
+    sequence = RhythmSequence()
+    remaining = duration_s
+    if af_burden == 0.0:
+        return sequence.append(sinus_rhythm(duration_s, mean_hr_bpm, rng=rng))
+    if af_burden == 1.0:
+        return sequence.append(af_rhythm(duration_s, mean_hr_bpm + 25, rng=rng))
+    sinus_chunk = episode_s * (1.0 - af_burden) / af_burden
+    in_af = rng.random() < af_burden
+    while remaining > 1.0:
+        target = episode_s if in_af else sinus_chunk
+        chunk = min(remaining, max(5.0, rng.normal(target, 0.15 * target)))
+        if in_af:
+            sequence.append(af_rhythm(chunk, mean_hr_bpm + 25, rng=rng))
+        else:
+            sequence.append(sinus_rhythm(chunk, mean_hr_bpm, rng=rng))
+        remaining -= chunk
+        in_af = not in_af
+    return sequence
+
+
+def _truncate_to_duration(rr: np.ndarray, duration_s: float) -> np.ndarray:
+    """Keep the longest RR prefix whose cumulative sum fits in duration_s."""
+    cumulative = np.cumsum(rr)
+    keep = int(np.searchsorted(cumulative, duration_s, side="right"))
+    keep = max(1, keep)
+    return rr[:keep]

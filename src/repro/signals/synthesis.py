@@ -1,0 +1,173 @@
+"""Synthetic multi-lead ECG generation with exact ground truth.
+
+This is the data substrate replacing the PhysioNet recordings used by the
+paper (see DESIGN.md §1).  A rhythm generator provides RR intervals and
+beat-class labels; each beat is rendered as a sum of time-domain Gaussian
+waves (see :mod:`repro.signals.beats`) projected onto a lead set; AF
+segments additionally receive fibrillatory baseline activity.  Because every
+wave is analytic, the synthesizer emits exact fiducial annotations, which the
+delineation and classification evaluations use as their reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .beats import template_for
+from .leads import LeadSet, standard_3lead
+from .noise import NoiseSpec, RESTING_MIX, add_noise, fibrillatory_waves
+from .rhythms import RhythmSegment, RhythmSequence
+from .types import BeatAnnotation, MultiLeadEcg, RHYTHM_AF
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Parameters of the waveform synthesis.
+
+    Attributes:
+        fs: Sampling frequency in Hz (the paper's node samples at 250 Hz).
+        lead_set: Lead configuration (gains + names).
+        start_pad_s: Silence before the first beat (must cover its P wave).
+        end_pad_s: Silence after the last beat (must cover its T wave).
+        f_wave_amplitude_mv: Amplitude of AF fibrillatory waves.
+        snr_db: If not ``None``, mix in noise at this SNR.
+        noise_specs: Composition of the noise mixture.
+    """
+
+    fs: float = 250.0
+    lead_set: LeadSet | None = None
+    start_pad_s: float = 0.6
+    end_pad_s: float = 0.8
+    f_wave_amplitude_mv: float = 0.06
+    snr_db: float | None = None
+    noise_specs: tuple[NoiseSpec, ...] = RESTING_MIX
+
+    def resolved_leads(self) -> LeadSet:
+        """The lead set, defaulting to the standard 3-lead configuration."""
+        return self.lead_set if self.lead_set is not None else standard_3lead()
+
+
+def synthesize(rhythm: RhythmSegment | RhythmSequence,
+               config: SynthesisConfig | None = None,
+               rng: np.random.Generator | None = None,
+               name: str = "synthetic") -> MultiLeadEcg:
+    """Render a rhythm into an annotated multi-lead ECG record.
+
+    Args:
+        rhythm: RR intervals and beat labels to render.
+        config: Synthesis parameters (defaults used if omitted).
+        rng: Random generator (needed for noise and f-waves).
+        name: Record identifier.
+
+    Returns:
+        A :class:`~repro.signals.types.MultiLeadEcg` whose ``beats`` list
+        holds exact ground-truth annotations.
+    """
+    config = config or SynthesisConfig()
+    rng = rng or np.random.default_rng()
+    leads = config.resolved_leads()
+    fs = config.fs
+
+    if isinstance(rhythm, RhythmSegment):
+        sequence = RhythmSequence([rhythm])
+    else:
+        sequence = rhythm
+    rr_s, labels, rhythms = sequence.flatten()
+    if rr_s.shape[0] == 0:
+        raise ValueError("rhythm contains no beats")
+
+    # R-peak instants: the first RR interval positions the first beat.
+    r_times = config.start_pad_s + np.cumsum(rr_s)
+    n_samples = int(np.ceil((r_times[-1] + config.end_pad_s) * fs))
+    signals = np.zeros((leads.n_leads, n_samples))
+    annotations: list[BeatAnnotation] = []
+
+    # Cache per-(label, lead) templates; projection is pure scaling.
+    projected_cache: dict[tuple[str, int], object] = {}
+
+    for beat_idx, (r_time, label) in enumerate(zip(r_times, labels)):
+        rr = float(np.clip(rr_s[beat_idx], 0.4, 1.6))
+        r_sample = int(round(r_time * fs))
+        base_template = template_for(label)
+        lo, hi = _render_window(base_template, rr, r_time, fs, n_samples)
+        if hi <= lo:
+            continue
+        t_rel = np.arange(lo, hi) / fs - r_time
+        for lead_idx in range(leads.n_leads):
+            key = (label, lead_idx)
+            if key not in projected_cache:
+                projected_cache[key] = leads.project(base_template, lead_idx)
+            template = projected_cache[key]
+            signals[lead_idx, lo:hi] += template.render(t_rel, rr)
+        annotation = base_template.fiducials(r_sample, rr, fs)
+        annotations.append(
+            BeatAnnotation(
+                r_peak=annotation.r_peak,
+                label=label,
+                rhythm=rhythms[beat_idx],
+                p_wave=annotation.p_wave,
+                qrs=annotation.qrs,
+                t_wave=annotation.t_wave,
+            )
+        )
+
+    _add_fibrillatory_activity(signals, annotations, rr_s, r_times, leads,
+                               config, rng)
+
+    if config.snr_db is not None:
+        for lead_idx in range(leads.n_leads):
+            signals[lead_idx] = add_noise(signals[lead_idx], fs, config.snr_db,
+                                          rng, config.noise_specs)
+
+    return MultiLeadEcg(fs=fs, signals=signals, beats=annotations,
+                        lead_names=tuple(leads.names), name=name)
+
+
+def _render_window(template, rr: float, r_time: float, fs: float,
+                   n_samples: int) -> tuple[int, int]:
+    """Sample range covering all of a beat's Gaussian bumps (±4 sigma)."""
+    starts = []
+    ends = []
+    for wave in template.waves():
+        if wave.amplitude == 0.0:
+            continue
+        mu = wave.center_for_rr(rr)
+        starts.append(mu - 4.0 * wave.width_s)
+        ends.append(mu + 4.0 * wave.width_s)
+    if not starts:
+        return 0, 0
+    lo = int(np.floor((r_time + min(starts)) * fs))
+    hi = int(np.ceil((r_time + max(ends)) * fs)) + 1
+    return max(0, lo), min(n_samples, hi)
+
+
+def _add_fibrillatory_activity(signals: np.ndarray,
+                               annotations: list[BeatAnnotation],
+                               rr_s: np.ndarray, r_times: np.ndarray,
+                               leads: LeadSet, config: SynthesisConfig,
+                               rng: np.random.Generator) -> None:
+    """Add f-waves over every contiguous AF span (atrial activity, P gain)."""
+    af_mask = np.array([a.rhythm == RHYTHM_AF for a in annotations])
+    if not af_mask.any():
+        return
+    fs = config.fs
+    n_samples = signals.shape[1]
+    f_wave = fibrillatory_waves(n_samples, fs, rng,
+                                amplitude_mv=config.f_wave_amplitude_mv)
+    mask = np.zeros(n_samples)
+    for idx, is_af in enumerate(af_mask):
+        if not is_af:
+            continue
+        start = int((r_times[idx] - rr_s[idx]) * fs)
+        stop = int((r_times[idx] + 0.35) * fs)
+        mask[max(0, start):min(n_samples, stop)] = 1.0
+    # Smooth the mask edges to avoid introducing artificial steps.
+    edge = max(3, int(0.05 * fs))
+    kernel = np.hanning(2 * edge + 1)
+    kernel /= kernel.sum()
+    mask = np.convolve(mask, kernel, mode="same")
+    for lead_idx in range(leads.n_leads):
+        atrial_gain = leads.gains[lead_idx, 0]  # P-wave column
+        signals[lead_idx] += atrial_gain * mask * f_wave

@@ -1,0 +1,266 @@
+"""Core datatypes for cardiac signals and their annotations.
+
+The paper's algorithms consume sampled ECG/PPG waveforms together with
+per-beat annotations (beat class, rhythm, fiducial points).  These types are
+deliberately simple containers built on ``numpy`` arrays so that every other
+package (filtering, delineation, compression, classification, power models)
+can exchange data without conversions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+import numpy as np
+
+# Beat class symbols follow the AAMI/MIT-BIH convention used by the paper's
+# classification references ([14], [25]).
+BEAT_NORMAL = "N"
+BEAT_PVC = "V"
+BEAT_APC = "S"
+BEAT_AF = "A"  # beat occurring inside an atrial-fibrillation episode
+
+BEAT_CLASSES = (BEAT_NORMAL, BEAT_PVC, BEAT_APC, BEAT_AF)
+
+RHYTHM_SINUS = "NSR"
+RHYTHM_AF = "AF"
+
+#: Wave names delineated by the paper's algorithms (Fig. 2).
+WAVE_P = "P"
+WAVE_QRS = "QRS"
+WAVE_T = "T"
+WAVE_NAMES = (WAVE_P, WAVE_QRS, WAVE_T)
+
+
+@dataclass(frozen=True)
+class WaveFiducials:
+    """Onset / peak / end of one characteristic wave, in sample indices.
+
+    A value of ``-1`` means the wave is absent for this beat (e.g. the P wave
+    during atrial fibrillation, where it is replaced by fibrillatory waves).
+    """
+
+    onset: int
+    peak: int
+    end: int
+
+    @property
+    def present(self) -> bool:
+        """Whether the wave exists for this beat."""
+        return self.peak >= 0
+
+    def duration(self) -> int:
+        """Wave duration in samples (0 when absent)."""
+        if not self.present:
+            return 0
+        return max(0, self.end - self.onset)
+
+    def shifted(self, offset: int) -> "WaveFiducials":
+        """Return a copy with all indices moved by ``offset`` samples."""
+        if not self.present:
+            return self
+        return WaveFiducials(self.onset + offset, self.peak + offset, self.end + offset)
+
+
+ABSENT_WAVE = WaveFiducials(onset=-1, peak=-1, end=-1)
+
+
+@dataclass(frozen=True)
+class BeatAnnotation:
+    """Ground-truth (or detected) annotation of a single heartbeat."""
+
+    r_peak: int
+    label: str = BEAT_NORMAL
+    rhythm: str = RHYTHM_SINUS
+    p_wave: WaveFiducials = ABSENT_WAVE
+    qrs: WaveFiducials = ABSENT_WAVE
+    t_wave: WaveFiducials = ABSENT_WAVE
+
+    def wave(self, name: str) -> WaveFiducials:
+        """Return the fiducials of ``name`` (one of :data:`WAVE_NAMES`)."""
+        if name == WAVE_P:
+            return self.p_wave
+        if name == WAVE_QRS:
+            return self.qrs
+        if name == WAVE_T:
+            return self.t_wave
+        raise ValueError(f"unknown wave name: {name!r}")
+
+    def shifted(self, offset: int) -> "BeatAnnotation":
+        """Return a copy with all sample indices moved by ``offset``."""
+        return replace(
+            self,
+            r_peak=self.r_peak + offset,
+            p_wave=self.p_wave.shifted(offset),
+            qrs=self.qrs.shifted(offset),
+            t_wave=self.t_wave.shifted(offset),
+        )
+
+
+@dataclass
+class EcgRecord:
+    """A single-lead ECG recording with optional beat annotations.
+
+    Attributes:
+        fs: Sampling frequency in Hz.
+        signal: 1-D waveform in millivolts.
+        beats: Per-beat annotations sorted by R-peak sample index.
+        name: Free-form identifier used by datasets and reports.
+    """
+
+    fs: float
+    signal: np.ndarray
+    beats: list[BeatAnnotation] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.signal = np.asarray(self.signal, dtype=float)
+        if self.signal.ndim != 1:
+            raise ValueError("EcgRecord.signal must be one-dimensional")
+        if self.fs <= 0:
+            raise ValueError("sampling frequency must be positive")
+
+    def __len__(self) -> int:
+        return self.signal.shape[0]
+
+    @property
+    def duration_s(self) -> float:
+        """Record duration in seconds."""
+        return len(self) / self.fs
+
+    @property
+    def r_peaks(self) -> np.ndarray:
+        """Array of annotated R-peak sample indices."""
+        return np.array([b.r_peak for b in self.beats], dtype=int)
+
+    @property
+    def labels(self) -> list[str]:
+        """Beat-class label of every annotated beat."""
+        return [b.label for b in self.beats]
+
+    def rr_intervals_s(self) -> np.ndarray:
+        """Consecutive RR intervals in seconds (empty if < 2 beats)."""
+        peaks = self.r_peaks
+        if peaks.size < 2:
+            return np.empty(0)
+        return np.diff(peaks) / self.fs
+
+    def slice(self, start: int, stop: int) -> "EcgRecord":
+        """Extract ``signal[start:stop]`` with re-based annotations.
+
+        Beats whose R peak falls outside the window are dropped.
+        """
+        start = max(0, start)
+        stop = min(len(self), stop)
+        beats = [
+            b.shifted(-start) for b in self.beats if start <= b.r_peak < stop
+        ]
+        return EcgRecord(self.fs, self.signal[start:stop].copy(), beats,
+                         name=f"{self.name}[{start}:{stop}]")
+
+    def beat_window(self, beat: BeatAnnotation, before_s: float = 0.25,
+                    after_s: float = 0.45) -> np.ndarray:
+        """Return a window of samples around a beat's R peak.
+
+        Windows near the record edges are zero-padded so that every window
+        has the same length, which the classification feature extractors
+        require.
+        """
+        before = int(round(before_s * self.fs))
+        after = int(round(after_s * self.fs))
+        window = np.zeros(before + after)
+        lo = beat.r_peak - before
+        hi = beat.r_peak + after
+        src_lo = max(0, lo)
+        src_hi = min(len(self), hi)
+        window[src_lo - lo:src_hi - lo] = self.signal[src_lo:src_hi]
+        return window
+
+
+@dataclass
+class MultiLeadEcg:
+    """A multi-lead ECG recording (the paper's node acquires 3 leads).
+
+    Attributes:
+        fs: Sampling frequency in Hz.
+        signals: Array of shape ``(n_leads, n_samples)`` in millivolts.
+        beats: Shared beat annotations (fiducials refer to lead 0 timing;
+            wave timing is identical across leads by construction).
+        lead_names: Human-readable lead identifiers.
+    """
+
+    fs: float
+    signals: np.ndarray
+    beats: list[BeatAnnotation] = field(default_factory=list)
+    lead_names: Sequence[str] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.signals = np.atleast_2d(np.asarray(self.signals, dtype=float))
+        if not self.lead_names:
+            self.lead_names = tuple(f"L{i + 1}" for i in range(self.n_leads))
+        if len(self.lead_names) != self.n_leads:
+            raise ValueError("lead_names length must match number of leads")
+
+    @property
+    def n_leads(self) -> int:
+        """Number of leads."""
+        return self.signals.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples per lead."""
+        return self.signals.shape[1]
+
+    @property
+    def duration_s(self) -> float:
+        """Record duration in seconds."""
+        return self.n_samples / self.fs
+
+    @property
+    def r_peaks(self) -> np.ndarray:
+        """Array of annotated R-peak sample indices."""
+        return np.array([b.r_peak for b in self.beats], dtype=int)
+
+    def lead(self, index: int) -> EcgRecord:
+        """Extract one lead as a standalone :class:`EcgRecord`."""
+        return EcgRecord(self.fs, self.signals[index].copy(),
+                         list(self.beats),
+                         name=f"{self.name}/{self.lead_names[index]}")
+
+    def leads(self) -> Iterator[EcgRecord]:
+        """Iterate over all leads as :class:`EcgRecord` objects."""
+        for i in range(self.n_leads):
+            yield self.lead(i)
+
+
+@dataclass
+class PpgRecord:
+    """A photoplethysmogram time-locked to an ECG record.
+
+    Attributes:
+        fs: Sampling frequency in Hz.
+        signal: 1-D waveform (arbitrary units, positive pulses).
+        pulse_feet: Sample indices of pulse onsets (the "foot" used for
+            pulse-arrival-time measurements).
+        pulse_peaks: Sample indices of systolic peaks.
+        true_ptt_s: Ground-truth pulse transit time per beat in seconds
+            (what the PAT estimator in ``repro.multimodal`` must recover).
+    """
+
+    fs: float
+    signal: np.ndarray
+    pulse_feet: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+    pulse_peaks: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+    true_ptt_s: np.ndarray = field(default_factory=lambda: np.empty(0))
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.signal = np.asarray(self.signal, dtype=float)
+        self.pulse_feet = np.asarray(self.pulse_feet, dtype=int)
+        self.pulse_peaks = np.asarray(self.pulse_peaks, dtype=int)
+        self.true_ptt_s = np.asarray(self.true_ptt_s, dtype=float)
+
+    def __len__(self) -> int:
+        return self.signal.shape[0]

@@ -1,0 +1,73 @@
+"""Shared fixtures: session-scoped synthetic records and corpora.
+
+Synthesis is deterministic per seed, so session scope trades memory for a
+large test-time saving without coupling tests (records are never mutated;
+tests that need to modify data copy first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals import RecordSpec, make_corpus, make_record
+
+
+@pytest.fixture(scope="session")
+def nsr_record():
+    """30 s clean-ish normal sinus rhythm record (SNR 25 dB)."""
+    return make_record(RecordSpec(name="nsr", duration_s=30.0, snr_db=25.0,
+                                  seed=3))
+
+
+@pytest.fixture(scope="session")
+def noisy_record():
+    """30 s normal sinus rhythm record at 20 dB SNR."""
+    return make_record(RecordSpec(name="nsr20", duration_s=30.0,
+                                  snr_db=20.0, seed=11))
+
+
+@pytest.fixture(scope="session")
+def clean_record():
+    """40 s noise-free record (CS and fixed-point references)."""
+    return make_record(RecordSpec(name="clean", duration_s=40.0,
+                                  snr_db=None, seed=5))
+
+
+@pytest.fixture(scope="session")
+def af_record():
+    """30 s atrial-fibrillation record at 18 dB SNR."""
+    return make_record(RecordSpec(name="af", duration_s=30.0, rhythm="af",
+                                  snr_db=18.0, seed=7))
+
+
+@pytest.fixture(scope="session")
+def ectopy_record():
+    """60 s record with 10 % PVCs and 8 % APCs at 20 dB SNR."""
+    return make_record(RecordSpec(name="ect", duration_s=60.0, snr_db=20.0,
+                                  pvc_fraction=0.10, apc_fraction=0.08,
+                                  seed=21))
+
+
+@pytest.fixture(scope="session")
+def ectopy_corpus():
+    """Small ectopy corpus for classification tests."""
+    return make_corpus("ectopy", n_records=4, duration_s=60.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def af_train_corpus():
+    """Paroxysmal-AF corpus for AF-detector training."""
+    return make_corpus("af_mix", n_records=3, duration_s=120.0, seed=1)
+
+
+@pytest.fixture(scope="session")
+def af_test_corpus():
+    """Held-out paroxysmal-AF corpus for AF-detector evaluation."""
+    return make_corpus("af_mix", n_records=3, duration_s=120.0, seed=2)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic random generator per test."""
+    return np.random.default_rng(1234)

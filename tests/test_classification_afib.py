@@ -1,0 +1,94 @@
+"""AF-detection tests (paper exp T3: 96 % Se / 93 % Sp)."""
+
+import numpy as np
+import pytest
+
+from repro.classification import (
+    AF_LABEL,
+    AfDetector,
+    NON_AF_LABEL,
+    rr_irregularity_features,
+    window_features,
+)
+from repro.signals import BeatAnnotation, WaveFiducials
+
+
+class TestRrFeatures:
+    def test_regular_rhythm_low_scores(self):
+        rr = np.full(30, 0.8)
+        cv, nrmssd, pnn50 = rr_irregularity_features(rr)
+        assert cv == pytest.approx(0.0, abs=1e-12)
+        assert nrmssd == pytest.approx(0.0, abs=1e-12)
+        assert pnn50 == 0.0
+
+    def test_af_rhythm_high_scores(self, rng):
+        rr = rng.lognormal(np.log(0.6), 0.2, 40)
+        cv, nrmssd, pnn50 = rr_irregularity_features(rr)
+        assert cv > 0.1 and nrmssd > 0.1 and pnn50 > 0.4
+
+    def test_needs_two_intervals(self):
+        with pytest.raises(ValueError, match="at least two"):
+            rr_irregularity_features(np.array([0.8]))
+
+
+def _annotated_beats(n, fs, rr_s, rhythm, p_present):
+    beats = []
+    sample = 1000
+    p = WaveFiducials(0, 5, 10)
+    for _ in range(n):
+        beats.append(BeatAnnotation(
+            r_peak=sample, rhythm=rhythm,
+            p_wave=p if p_present else WaveFiducials(-1, -1, -1)))
+        sample += int(rr_s * fs)
+    return beats
+
+
+class TestWindowFeatures:
+    def test_truth_labels(self):
+        fs = 250.0
+        nsr = _annotated_beats(30, fs, 0.8, "NSR", True)
+        windows = window_features(nsr, fs, window_beats=16, step_beats=8)
+        assert windows and all(w.truth == NON_AF_LABEL for w in windows)
+
+    def test_af_truth_and_p_absence(self):
+        fs = 250.0
+        af = _annotated_beats(30, fs, 0.6, "AF", False)
+        windows = window_features(af, fs, window_beats=16, step_beats=8)
+        assert all(w.truth == AF_LABEL for w in windows)
+        assert all(w.features[-1] == 1.0 for w in windows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_beats"):
+            window_features([], 250.0, window_beats=2)
+        with pytest.raises(ValueError, match="step_beats"):
+            window_features([], 250.0, step_beats=0)
+
+    def test_too_few_beats_yields_nothing(self):
+        beats = _annotated_beats(5, 250.0, 0.8, "NSR", True)
+        assert window_features(beats, 250.0, window_beats=24) == []
+
+
+class TestDetector:
+    @pytest.fixture(scope="class")
+    def trained(self, af_train_corpus):
+        return AfDetector().fit(list(af_train_corpus))
+
+    def test_paper_band_performance(self, trained, af_test_corpus):
+        report = trained.evaluate(list(af_test_corpus))
+        # Paper: 96 % sensitivity, 93 % specificity; require >= 90/88
+        # on the held-out synthetic corpus.
+        assert report.sensitivity(AF_LABEL) >= 0.90
+        assert report.specificity(AF_LABEL) >= 0.88
+
+    def test_predictions_cover_both_labels(self, trained, af_test_corpus):
+        _, labels = trained.predict_record(af_test_corpus.records[0])
+        assert set(labels) <= {AF_LABEL, NON_AF_LABEL}
+
+    def test_training_needs_both_classes(self, nsr_record):
+        with pytest.raises(ValueError, match="both AF and non-AF"):
+            AfDetector().fit([nsr_record])
+
+    def test_pwl_membership_variant(self, af_train_corpus, af_test_corpus):
+        detector = AfDetector(membership="pwl").fit(list(af_train_corpus))
+        report = detector.evaluate(list(af_test_corpus))
+        assert report.sensitivity(AF_LABEL) >= 0.88

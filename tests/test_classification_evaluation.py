@@ -1,0 +1,55 @@
+"""Unit tests for the classification evaluation report."""
+
+import numpy as np
+import pytest
+
+from repro.classification import evaluate_classification
+
+
+class TestConfusion:
+    def test_perfect_prediction(self):
+        y = np.array(["a", "b", "a", "c"])
+        report = evaluate_classification(y, y)
+        assert report.accuracy == 1.0
+        assert np.trace(report.confusion) == 4
+
+    def test_known_confusion(self):
+        truth = np.array(["a", "a", "b", "b"])
+        pred = np.array(["a", "b", "b", "b"])
+        report = evaluate_classification(truth, pred)
+        assert report.accuracy == 0.75
+        assert report.sensitivity("a") == 0.5
+        assert report.sensitivity("b") == 1.0
+        assert report.ppv("b") == pytest.approx(2 / 3)
+
+    def test_specificity(self):
+        truth = np.array(["a", "a", "b", "b"])
+        pred = np.array(["a", "b", "b", "b"])
+        # For class b: TN = 1 (first a), FP = 1 (second a).
+        report = evaluate_classification(truth, pred)
+        assert report.specificity("b") == 0.5
+        assert report.specificity("a") == 1.0
+
+    def test_explicit_class_order(self):
+        truth = np.array(["x", "y"])
+        pred = np.array(["x", "y"])
+        report = evaluate_classification(truth, pred,
+                                         classes=["y", "x", "z"])
+        assert report.classes == ["y", "x", "z"]
+        assert report.sensitivity("z") == 1.0  # vacuous
+
+    def test_unknown_class_lookup(self):
+        report = evaluate_classification(np.array(["a"]), np.array(["a"]))
+        with pytest.raises(KeyError):
+            report.sensitivity("missing")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="same shape"):
+            evaluate_classification(np.array(["a"]), np.array(["a", "b"]))
+
+    def test_rows(self):
+        truth = np.array(["a", "b"])
+        report = evaluate_classification(truth, truth)
+        rows = report.rows()
+        assert len(rows) == 2
+        assert all(len(row) == 4 for row in rows)

@@ -1,0 +1,87 @@
+"""Unit tests for Gaussian memberships and the 4-segment linearization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classification import (
+    PWL_KNOTS,
+    PWL_VALUES,
+    gaussian_membership,
+    membership_ops,
+    pwl_max_error,
+    pwl_membership,
+)
+
+
+class TestExactMembership:
+    def test_peak_at_center(self):
+        assert gaussian_membership(2.0, 2.0, 0.5) == pytest.approx(1.0)
+
+    def test_one_sigma_value(self):
+        assert gaussian_membership(1.0, 0.0, 1.0) == pytest.approx(
+            np.exp(-0.5))
+
+    def test_symmetry(self, rng):
+        x = rng.uniform(-3, 3, 100)
+        left = gaussian_membership(-x, 0.0, 1.0)
+        right = gaussian_membership(x, 0.0, 1.0)
+        assert np.allclose(left, right)
+
+    def test_vectorized_centers(self):
+        x = np.array([[1.0, 2.0]])
+        out = gaussian_membership(x, np.array([1.0, 2.0]),
+                                  np.array([1.0, 1.0]))
+        assert np.allclose(out, 1.0)
+
+
+class TestPwlMembership:
+    def test_four_segments(self):
+        assert PWL_KNOTS.shape[0] == 5  # 4 segments
+        assert PWL_VALUES[0] == 1.0
+        assert PWL_VALUES[-1] == 0.0
+
+    def test_max_error_bound(self):
+        # The grid-searched knots achieve 2.2 % worst-case error.
+        assert pwl_max_error() < 0.025
+
+    def test_exact_at_knots(self):
+        for knot in PWL_KNOTS[:-1]:
+            approx = pwl_membership(knot, 0.0, 1.0)
+            exact = gaussian_membership(knot, 0.0, 1.0)
+            assert approx == pytest.approx(exact, abs=1e-12)
+
+    def test_zero_beyond_cutoff(self):
+        assert pwl_membership(5.0, 0.0, 1.0) == 0.0
+        assert pwl_membership(-5.0, 0.0, 1.0) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(u=st.floats(-4.0, 4.0))
+    def test_close_to_exact_everywhere(self, u):
+        approx = pwl_membership(u, 0.0, 1.0)
+        exact = gaussian_membership(u, 0.0, 1.0)
+        assert abs(approx - exact) < 0.025
+
+    @settings(max_examples=30, deadline=None)
+    @given(u=st.floats(0.0, 3.9))
+    def test_monotone_decay(self, u):
+        nearer = pwl_membership(u, 0.0, 1.0)
+        farther = pwl_membership(u + 0.1, 0.0, 1.0)
+        assert farther <= nearer + 1e-12
+
+    def test_scales_with_sigma(self):
+        wide = pwl_membership(1.0, 0.0, 2.0)
+        narrow = pwl_membership(1.0, 0.0, 0.5)
+        assert wide > narrow
+
+
+class TestOpsModel:
+    def test_pwl_cheaper_than_exact(self):
+        pwl = membership_ops("pwl")
+        exact = membership_ops("exact")
+        assert pwl["multiplications"] < exact["multiplications"] / 5
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown membership"):
+            membership_ops("table")

@@ -1,0 +1,110 @@
+"""End-to-end heartbeat-classification tests (paper exp T4)."""
+
+import numpy as np
+import pytest
+
+from repro.classification import (
+    HeartbeatClassifier,
+    corpus_beat_dataset,
+    evaluate_classification,
+    train_test_split,
+)
+
+
+@pytest.fixture(scope="module")
+def beat_dataset(ectopy_corpus):
+    X, y = corpus_beat_dataset(ectopy_corpus, rr_features=True)
+    return train_test_split(X, y, test_fraction=0.4, seed=5)
+
+
+class TestPipelineAccuracy:
+    def test_ternary_accuracy(self, beat_dataset):
+        Xtr, ytr, Xte, yte = beat_dataset
+        clf = HeartbeatClassifier(window=Xtr.shape[1] - 2,
+                                  extra_features=2).fit(Xtr, ytr)
+        report = evaluate_classification(yte, clf.predict(Xte))
+        assert report.accuracy >= 0.90
+
+    def test_pwl_close_to_exact(self, beat_dataset):
+        Xtr, ytr, Xte, yte = beat_dataset
+        window = Xtr.shape[1] - 2
+        exact = HeartbeatClassifier(window=window, extra_features=2,
+                                    membership="exact").fit(Xtr, ytr)
+        pwl = HeartbeatClassifier(window=window, extra_features=2,
+                                  membership="pwl").fit(Xtr, ytr)
+        acc_exact = evaluate_classification(
+            yte, exact.predict(Xte)).accuracy
+        acc_pwl = evaluate_classification(yte, pwl.predict(Xte)).accuracy
+        # §IV-A: the 4-segment linearization is close to optimal.
+        assert abs(acc_exact - acc_pwl) < 0.05
+
+    def test_sparse_close_to_dense(self, beat_dataset):
+        Xtr, ytr, Xte, yte = beat_dataset
+        window = Xtr.shape[1] - 2
+        sparse = HeartbeatClassifier(window=window, extra_features=2,
+                                     projection_kind="ternary").fit(Xtr, ytr)
+        dense = HeartbeatClassifier(window=window, extra_features=2,
+                                    projection_kind="gaussian").fit(Xtr, ytr)
+        acc_sparse = evaluate_classification(
+            yte, sparse.predict(Xte)).accuracy
+        acc_dense = evaluate_classification(
+            yte, dense.predict(Xte)).accuracy
+        # §IV-A: few non-zeros suffice for close-to-optimal results.
+        assert acc_sparse > acc_dense - 0.06
+
+    def test_pvc_detection_strong(self, beat_dataset):
+        Xtr, ytr, Xte, yte = beat_dataset
+        clf = HeartbeatClassifier(window=Xtr.shape[1] - 2,
+                                  extra_features=2).fit(Xtr, ytr)
+        report = evaluate_classification(yte, clf.predict(Xte))
+        assert report.sensitivity("V") >= 0.85
+
+    def test_rr_features_help_apc(self, ectopy_corpus):
+        X_rr, y = corpus_beat_dataset(ectopy_corpus, rr_features=True)
+        X_plain, _ = corpus_beat_dataset(ectopy_corpus, rr_features=False)
+        Xtr_rr, ytr, Xte_rr, yte = train_test_split(X_rr, y, seed=5)
+        Xtr, _, Xte, _ = train_test_split(X_plain, y, seed=5)
+        with_rr = HeartbeatClassifier(window=Xtr_rr.shape[1] - 2,
+                                      extra_features=2).fit(Xtr_rr, ytr)
+        without = HeartbeatClassifier(window=Xtr.shape[1]).fit(Xtr, ytr)
+        se_with = evaluate_classification(
+            yte, with_rr.predict(Xte_rr)).sensitivity("S")
+        se_without = evaluate_classification(
+            yte, without.predict(Xte)).sensitivity("S")
+        assert se_with >= se_without
+
+
+class TestCostModel:
+    def test_pwl_cheaper_cycles(self):
+        exact = HeartbeatClassifier(membership="exact")
+        pwl = HeartbeatClassifier(membership="pwl")
+        for clf in (exact, pwl):
+            clf.classifier.rules = [object()] * 3  # 3 classes
+        assert pwl.cycles_per_beat() < exact.cycles_per_beat()
+
+    def test_column_count_checked(self, rng):
+        clf = HeartbeatClassifier(window=100, extra_features=2)
+        with pytest.raises(ValueError, match="columns"):
+            clf.predict(rng.standard_normal((3, 100)))
+
+
+class TestSplit:
+    def test_split_sizes(self, rng):
+        X = rng.standard_normal((100, 5))
+        y = np.array(["a", "b"] * 50)
+        Xtr, ytr, Xte, yte = train_test_split(X, y, test_fraction=0.3,
+                                              seed=1)
+        assert Xtr.shape[0] == 70 and Xte.shape[0] == 30
+        assert ytr.shape[0] == 70 and yte.shape[0] == 30
+
+    def test_split_is_shuffled_but_consistent(self, rng):
+        X = np.arange(50, dtype=float).reshape(-1, 1)
+        y = np.array(["a"] * 25 + ["b"] * 25)
+        a = train_test_split(X, y, seed=2)
+        b = train_test_split(X, y, seed=2)
+        assert np.array_equal(a[0], b[0])
+        assert set(a[3]) == {"a", "b"}  # both classes reach the test side
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError, match="test_fraction"):
+            train_test_split(np.zeros((10, 2)), np.zeros(10), 1.5)

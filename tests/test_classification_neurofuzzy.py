@@ -1,0 +1,118 @@
+"""Unit tests for the neuro-fuzzy classifier and random projector."""
+
+import numpy as np
+import pytest
+
+from repro.classification import NeuroFuzzyClassifier, RandomProjector
+
+
+def _blobs(rng, n_per_class=120, spread=0.4):
+    centers = {"a": np.array([0.0, 0.0, 0.0]),
+               "b": np.array([3.0, 3.0, 0.0]),
+               "c": np.array([0.0, 3.0, 3.0])}
+    features, labels = [], []
+    for label, center in centers.items():
+        features.append(center + spread * rng.standard_normal(
+            (n_per_class, 3)))
+        labels.extend([label] * n_per_class)
+    return np.vstack(features), np.array(labels)
+
+
+class TestNeuroFuzzy:
+    def test_separable_blobs(self, rng):
+        X, y = _blobs(rng)
+        clf = NeuroFuzzyClassifier().fit(X, y)
+        assert np.mean(clf.predict(X) == y) > 0.98
+
+    def test_pwl_matches_exact_on_blobs(self, rng):
+        X, y = _blobs(rng)
+        exact = NeuroFuzzyClassifier(membership="exact").fit(X, y)
+        pwl = NeuroFuzzyClassifier(membership="pwl").fit(X, y)
+        agreement = np.mean(exact.predict(X) == pwl.predict(X))
+        assert agreement > 0.97
+
+    def test_min_tnorm(self, rng):
+        X, y = _blobs(rng)
+        clf = NeuroFuzzyClassifier(tnorm="min").fit(X, y)
+        assert np.mean(clf.predict(X) == y) > 0.95
+
+    def test_priors_break_ties_towards_frequent_class(self, rng):
+        X = np.vstack([np.zeros((90, 2)), np.zeros((10, 2))])
+        X += 0.5 * rng.standard_normal(X.shape)
+        y = np.array(["maj"] * 90 + ["min"] * 10)
+        clf = NeuroFuzzyClassifier(use_priors=True).fit(X, y)
+        predictions = clf.predict(np.zeros((50, 2)))
+        assert np.mean(predictions == "maj") > 0.9
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            NeuroFuzzyClassifier().fit(np.zeros((5, 2)), np.array(["a"] * 5))
+
+    def test_unfitted_prediction_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            NeuroFuzzyClassifier().predict(np.zeros((2, 2)))
+
+    def test_invalid_membership(self):
+        with pytest.raises(ValueError, match="membership"):
+            NeuroFuzzyClassifier(membership="spline")
+
+    def test_invalid_tnorm(self):
+        with pytest.raises(ValueError, match="tnorm"):
+            NeuroFuzzyClassifier(tnorm="sum")
+
+    def test_sigma_floor_prevents_degenerate_rules(self, rng):
+        # One class is a single point (zero spread): the floor keeps its
+        # memberships finite.
+        X = np.vstack([np.tile([5.0, 5.0], (10, 1)),
+                       rng.standard_normal((50, 2))])
+        y = np.array(["point"] * 10 + ["cloud"] * 50)
+        clf = NeuroFuzzyClassifier().fit(X, y)
+        assert all(np.all(rule.sigmas > 0) for rule in clf.rules)
+        assert set(clf.predict(X)) <= {"point", "cloud"}
+
+    def test_activations_shape(self, rng):
+        X, y = _blobs(rng)
+        clf = NeuroFuzzyClassifier().fit(X, y)
+        scores = clf.activations(X[:7])
+        assert scores.shape == (7, 3)
+
+
+class TestRandomProjector:
+    def test_output_shapes(self, rng):
+        projector = RandomProjector(window=100, k=16)
+        single = projector.project(rng.standard_normal(100))
+        batch = projector.project(rng.standard_normal((5, 100)))
+        assert single.shape == (16,)
+        assert batch.shape == (5, 16)
+
+    def test_window_mismatch(self, rng):
+        projector = RandomProjector(window=100, k=16)
+        with pytest.raises(ValueError, match="expected windows"):
+            projector.project(rng.standard_normal(64))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown projection"):
+            RandomProjector(100, 8, kind="fourier")
+
+    def test_ternary_cost_has_no_multiplies(self):
+        cost = RandomProjector(175, 24, kind="ternary").cost()
+        assert cost.multiplications == 0
+        assert cost.additions > 0
+
+    def test_two_bit_storage(self):
+        projector = RandomProjector(window=175, k=24, kind="ternary")
+        cost = projector.cost()
+        assert cost.storage_bytes == int(np.ceil(2 * 24 * 175 / 8))
+        packed = projector.packed()
+        assert packed.storage_bytes == pytest.approx(cost.storage_bytes,
+                                                     abs=8)
+
+    def test_gaussian_kind_costs_multiplies(self):
+        cost = RandomProjector(175, 24, kind="gaussian").cost()
+        assert cost.multiplications > 0
+
+    def test_projection_deterministic_per_seed(self, rng):
+        x = rng.standard_normal(100)
+        a = RandomProjector(100, 8, seed=3).project(x)
+        b = RandomProjector(100, 8, seed=3).project(x)
+        assert np.array_equal(a, b)

@@ -1,0 +1,102 @@
+"""Unit tests for the analog CS (A2I) front-end model (§III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    A2IConfig,
+    AnalogCsFrontEnd,
+    CsDecoder,
+    a2i_energy,
+    nyquist_adc_energy,
+    reconstruction_snr_db,
+)
+
+
+class TestIdealChannel:
+    def test_matches_nominal_matrix(self, clean_record):
+        x = clean_record.signals[1][1000:1256]
+        frontend = AnalogCsFrontEnd(n=256, m=128,
+                                    config=A2IConfig(adc_bits=16))
+        y = frontend.acquire(x, rng=np.random.default_rng(0))
+        exact = frontend.nominal_sensing_matrix().matrix @ x
+        assert np.max(np.abs(y - exact)) < np.max(np.abs(exact)) / 2 ** 13
+
+    def test_digital_decoder_reconstructs(self, clean_record):
+        x = clean_record.signals[1][1000:1256]
+        frontend = AnalogCsFrontEnd(n=256, m=140)
+        y = frontend.acquire(x, rng=np.random.default_rng(0))
+        decoder = CsDecoder(frontend.nominal_sensing_matrix())
+        snr = reconstruction_snr_db(x, decoder.recover(y).window)
+        assert snr > 18.0
+
+    def test_shape_validation(self):
+        frontend = AnalogCsFrontEnd(n=128, m=32)
+        with pytest.raises(ValueError, match="expected 128"):
+            frontend.acquire(np.zeros(64))
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            AnalogCsFrontEnd(n=64, m=65)
+
+
+class TestNonIdealities:
+    def _snr_with(self, x, config, seed=0):
+        frontend = AnalogCsFrontEnd(n=256, m=140, config=config)
+        y = frontend.acquire(x, rng=np.random.default_rng(seed))
+        decoder = CsDecoder(frontend.nominal_sensing_matrix())
+        return reconstruction_snr_db(x, decoder.recover(y).window)
+
+    def test_leak_degrades_reconstruction(self, clean_record):
+        x = clean_record.signals[1][1000:1256]
+        ideal = self._snr_with(x, A2IConfig())
+        leaky = self._snr_with(x, A2IConfig(integrator_leak=0.002))
+        assert leaky < ideal - 3.0
+
+    def test_leak_aware_receiver_recovers(self, clean_record):
+        # Calibrating the receiver with the droop-weighted matrix undoes
+        # most of the integrator loss.
+        x = clean_record.signals[1][1000:1256]
+        config = A2IConfig(integrator_leak=0.002)
+        frontend = AnalogCsFrontEnd(n=256, m=140, config=config)
+        y = frontend.acquire(x, rng=np.random.default_rng(0))
+        from repro.compression import SensingMatrix
+
+        calibrated = CsDecoder(SensingMatrix(frontend.effective_matrix(),
+                                             kind="dense_sign"))
+        naive = CsDecoder(frontend.nominal_sensing_matrix())
+        snr_cal = reconstruction_snr_db(x, calibrated.recover(y).window)
+        snr_naive = reconstruction_snr_db(x, naive.recover(y).window)
+        assert snr_cal > snr_naive + 3.0
+
+    def test_jitter_degrades_gracefully(self, clean_record):
+        x = clean_record.signals[1][1000:1256]
+        ideal = self._snr_with(x, A2IConfig())
+        jittery = self._snr_with(x, A2IConfig(chip_jitter_s=0.0005))
+        assert jittery < ideal
+        assert jittery > 5.0  # degrades, does not collapse
+
+    def test_comparator_noise_lowers_snr(self, clean_record):
+        x = clean_record.signals[1][1000:1256]
+        ideal = self._snr_with(x, A2IConfig())
+        noisy = self._snr_with(x, A2IConfig(comparator_noise=0.01))
+        assert noisy < ideal
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="integrator_leak"):
+            A2IConfig(integrator_leak=1.0)
+        with pytest.raises(ValueError, match="ADC bits"):
+            A2IConfig(adc_bits=1)
+
+
+class TestEnergyArgument:
+    def test_a2i_digitizes_less(self):
+        # §III-A: merging sampling and compression simplifies the
+        # converter — m conversions instead of n.
+        n, m = 512, 150
+        assert a2i_energy(m) < nyquist_adc_energy(n)
+
+    def test_integrator_power_accounted(self):
+        cheap = a2i_energy(100, integrator_power_w=0.0)
+        real = a2i_energy(100, integrator_power_w=5e-6)
+        assert real > cheap

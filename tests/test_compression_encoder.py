@@ -1,0 +1,99 @@
+"""Unit tests for the node-side CS encoders."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CsEncoder,
+    MultiLeadCsEncoder,
+    raw_payload_bits,
+    reconstruction_snr_db,
+)
+
+
+class TestCsEncoder:
+    def test_cr_realized(self):
+        encoder = CsEncoder(n=256, cr_percent=60.0)
+        assert encoder.cr_percent >= 60.0
+        assert encoder.m == int(256 * 0.4)
+
+    def test_encode_applies_matrix(self, rng):
+        encoder = CsEncoder(n=128, cr_percent=50.0, quant_bits=16)
+        x = rng.standard_normal(128)
+        encoded = encoder.encode(x)
+        exact = encoder.sensing.matrix @ x
+        assert np.max(np.abs(encoded.measurements - exact)) < \
+            np.max(np.abs(exact)) / 2 ** 12
+
+    def test_quantization_error_bounded(self, rng):
+        encoder = CsEncoder(n=256, cr_percent=50.0, quant_bits=12)
+        x = rng.standard_normal(256)
+        encoded = encoder.encode(x)
+        exact = encoder.sensing.matrix @ x
+        assert reconstruction_snr_db(exact, encoded.measurements) > 55.0
+
+    def test_window_length_checked(self):
+        encoder = CsEncoder(n=256)
+        with pytest.raises(ValueError, match="expected window"):
+            encoder.encode(np.zeros(100))
+
+    def test_payload_accounting(self):
+        encoder = CsEncoder(n=256, cr_percent=50.0, quant_bits=12)
+        assert encoder.payload_bits_per_window() == 128 * 12 + 16
+
+    def test_additions_accounting(self):
+        encoder = CsEncoder(n=256, cr_percent=50.0, d=12)
+        encoded = encoder.encode(np.zeros(256))
+        assert encoded.additions == 256 * 12
+        assert encoder.additions_per_sample() == pytest.approx(12.0)
+
+    def test_zero_window(self):
+        encoder = CsEncoder(n=64)
+        encoded = encoder.encode(np.zeros(64))
+        assert np.all(encoded.measurements == 0.0)
+
+    def test_quant_bits_validated(self):
+        with pytest.raises(ValueError, match="quantization bits"):
+            CsEncoder(n=64, quant_bits=1)
+
+    def test_same_seed_same_matrix(self):
+        a = CsEncoder(n=64, seed=5)
+        b = CsEncoder(n=64, seed=5)
+        assert np.array_equal(a.sensing.matrix, b.sensing.matrix)
+
+    def test_encode_multilead_uses_same_matrix(self, rng):
+        encoder = CsEncoder(n=64, cr_percent=50.0)
+        windows = rng.standard_normal((3, 64))
+        encoded = encoder.encode_multilead(windows)
+        assert len(encoded) == 3
+
+
+class TestMultiLeadCsEncoder:
+    def test_per_lead_matrices_differ(self):
+        encoder = MultiLeadCsEncoder(n_leads=3, n=64)
+        a, b = encoder.sensing_matrices[0], encoder.sensing_matrices[1]
+        assert not np.array_equal(a.matrix, b.matrix)
+
+    def test_encode_shape_checked(self, rng):
+        encoder = MultiLeadCsEncoder(n_leads=3, n=64)
+        with pytest.raises(ValueError, match="expected 3 leads"):
+            encoder.encode(rng.standard_normal((2, 64)))
+
+    def test_payload_sums_leads(self):
+        encoder = MultiLeadCsEncoder(n_leads=3, n=256, cr_percent=50.0,
+                                     quant_bits=12)
+        assert encoder.payload_bits_per_window() == 3 * (128 * 12 + 16)
+
+    def test_additions_sum_leads(self):
+        encoder = MultiLeadCsEncoder(n_leads=3, n=256, cr_percent=50.0,
+                                     d=12)
+        assert encoder.additions_per_window() == 3 * 256 * 12
+
+    def test_needs_a_lead(self):
+        with pytest.raises(ValueError, match="at least one lead"):
+            MultiLeadCsEncoder(n_leads=0)
+
+
+class TestRawPayload:
+    def test_raw_payload_math(self):
+        assert raw_payload_bits(500, 12) == 6000

@@ -1,0 +1,109 @@
+"""Unit + property tests for repro.compression.matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    dense_sign_matrix,
+    gaussian_matrix,
+    pack_ternary,
+    sparse_binary_matrix,
+    ternary_matrix,
+    unpack_ternary,
+)
+
+
+class TestSparseBinary:
+    @settings(max_examples=25, deadline=None)
+    @given(m=st.integers(8, 64), extra=st.integers(0, 64),
+           d=st.integers(1, 8))
+    def test_exactly_d_ones_per_column(self, m, extra, d):
+        n = m + extra
+        d = min(d, m)
+        matrix = sparse_binary_matrix(m, n, d,
+                                      np.random.default_rng(0))
+        column_sums = matrix.matrix.sum(axis=0)
+        assert np.all(column_sums == d)
+        assert set(np.unique(matrix.matrix)) <= {0.0, 1.0}
+
+    def test_nnz_and_additions(self):
+        matrix = sparse_binary_matrix(32, 128, 8, np.random.default_rng(1))
+        assert matrix.nnz == 128 * 8
+        assert matrix.additions_per_window() == matrix.nnz
+
+    def test_storage_bits_compact_form(self):
+        matrix = sparse_binary_matrix(64, 256, 12, np.random.default_rng(1))
+        assert matrix.storage_bits() == 256 * 12 * 6  # log2(64) = 6
+
+    def test_invalid_shapes(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sparse_binary_matrix(0, 10, 1, rng)
+        with pytest.raises(ValueError):
+            sparse_binary_matrix(20, 10, 1, rng)
+        with pytest.raises(ValueError):
+            sparse_binary_matrix(10, 20, 11, rng)
+
+
+class TestTernary:
+    def test_alphabet(self):
+        matrix = ternary_matrix(40, 200, np.random.default_rng(2))
+        values = np.unique(matrix.matrix)
+        expected = {-np.sqrt(3.0), 0.0, np.sqrt(3.0)}
+        assert all(any(np.isclose(v, e) for e in expected) for v in values)
+
+    def test_sparsity_close_to_two_thirds(self):
+        matrix = ternary_matrix(100, 300, np.random.default_rng(3))
+        zero_fraction = np.mean(matrix.matrix == 0.0)
+        assert zero_fraction == pytest.approx(2 / 3, abs=0.03)
+
+    def test_distance_preservation(self, rng):
+        # Johnson-Lindenstrauss sanity: projected distances concentrate.
+        matrix = ternary_matrix(64, 512, rng).matrix / np.sqrt(64)
+        x = rng.standard_normal(512)
+        y = rng.standard_normal(512)
+        original = np.linalg.norm(x - y)
+        projected = np.linalg.norm(matrix @ (x - y))
+        assert projected == pytest.approx(original, rel=0.35)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            ternary_matrix(0, 5)
+
+
+class TestDenseConstructions:
+    def test_sign_matrix_alphabet(self):
+        matrix = dense_sign_matrix(10, 20, np.random.default_rng(4))
+        assert set(np.unique(matrix.matrix)) == {-1.0, 1.0}
+
+    def test_gaussian_column_norms(self):
+        matrix = gaussian_matrix(200, 50, np.random.default_rng(5))
+        norms = np.linalg.norm(matrix.matrix, axis=0)
+        assert np.mean(norms) == pytest.approx(1.0, abs=0.1)
+
+
+class TestPacking:
+    @settings(max_examples=20, deadline=None)
+    @given(m=st.integers(1, 40), n=st.integers(1, 40),
+           seed=st.integers(0, 100))
+    def test_pack_unpack_roundtrip(self, m, n, seed):
+        matrix = ternary_matrix(m, n, np.random.default_rng(seed))
+        packed = pack_ternary(matrix)
+        assert np.array_equal(unpack_ternary(packed), matrix.matrix)
+
+    def test_two_bits_per_entry(self):
+        matrix = ternary_matrix(32, 256, np.random.default_rng(6))
+        packed = pack_ternary(matrix)
+        assert packed.storage_bytes == int(np.ceil(32 * 256 / 4))
+
+    def test_pack_rejects_non_ternary(self):
+        matrix = gaussian_matrix(8, 8, np.random.default_rng(7))
+        with pytest.raises(ValueError, match="ternary"):
+            pack_ternary(matrix)
+
+    def test_pack_sign_matrix(self):
+        matrix = dense_sign_matrix(8, 9, np.random.default_rng(8))
+        packed = pack_ternary(matrix)
+        assert np.array_equal(unpack_ternary(packed), matrix.matrix)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.compression.metrics (CR/PRD/SNR, Fig. 5 axes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    compression_ratio,
+    measurements_for_cr,
+    prd_percent,
+    reconstruction_snr_db,
+    snr_crossing_cr,
+)
+
+
+class TestCompressionRatio:
+    def test_basic_values(self):
+        assert compression_ratio(100, 100) == 0.0
+        assert compression_ratio(100, 50) == 50.0
+        assert compression_ratio(100, 25) == 75.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
+        with pytest.raises(ValueError):
+            compression_ratio(100, 101)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(10, 1024), cr=st.floats(0.0, 99.0))
+    def test_measurements_roundtrip(self, n, cr):
+        m = measurements_for_cr(n, cr)
+        assert 1 <= m <= n
+        assert compression_ratio(n, m) >= cr - 100.0 / n
+
+    def test_measurements_invalid_cr(self):
+        with pytest.raises(ValueError):
+            measurements_for_cr(100, 100.0)
+
+
+class TestPrdSnr:
+    def test_perfect_reconstruction(self):
+        x = np.sin(np.linspace(0, 10, 500))
+        assert prd_percent(x, x) == 0.0
+        assert reconstruction_snr_db(x, x) == np.inf
+
+    def test_prd_snr_relation(self, rng):
+        x = rng.standard_normal(500)
+        xr = x + 0.1 * rng.standard_normal(500)
+        prd = prd_percent(x, xr)
+        snr = reconstruction_snr_db(x, xr)
+        assert snr == pytest.approx(-20 * np.log10(prd / 100), abs=1e-9)
+
+    def test_twenty_db_is_ten_percent_prd(self, rng):
+        x = rng.standard_normal(10_000)
+        noise = rng.standard_normal(10_000)
+        noise *= 0.1 * np.linalg.norm(x) / np.linalg.norm(noise)
+        assert reconstruction_snr_db(x, x + noise) == pytest.approx(20.0,
+                                                                    abs=1e-6)
+
+    def test_zero_reference(self):
+        assert prd_percent(np.zeros(5), np.zeros(5)) == 0.0
+        assert prd_percent(np.zeros(5), np.ones(5)) == np.inf
+        assert reconstruction_snr_db(np.zeros(5), np.ones(5)) == -np.inf
+
+
+class TestCrossing:
+    def test_interpolated_crossing(self):
+        crs = np.array([40.0, 60.0, 80.0])
+        snrs = np.array([30.0, 20.0, 10.0])
+        assert snr_crossing_cr(crs, snrs, 20.0) == pytest.approx(60.0)
+        assert snr_crossing_cr(crs, snrs, 15.0) == pytest.approx(70.0)
+
+    def test_unsorted_input(self):
+        crs = np.array([80.0, 40.0, 60.0])
+        snrs = np.array([10.0, 30.0, 20.0])
+        assert snr_crossing_cr(crs, snrs, 25.0) == pytest.approx(50.0)
+
+    def test_never_reaches_threshold(self):
+        crs = np.array([40.0, 60.0])
+        snrs = np.array([15.0, 10.0])
+        assert np.isnan(snr_crossing_cr(crs, snrs, 20.0))
+
+    def test_always_above_threshold(self):
+        crs = np.array([40.0, 60.0])
+        snrs = np.array([30.0, 25.0])
+        assert snr_crossing_cr(crs, snrs, 20.0) == 60.0
+
+    def test_non_monotone_curve_takes_last_crossing(self):
+        crs = np.array([40.0, 50.0, 60.0, 70.0])
+        snrs = np.array([25.0, 19.0, 21.0, 15.0])
+        crossing = snr_crossing_cr(crs, snrs, 20.0)
+        assert 60.0 <= crossing <= 70.0

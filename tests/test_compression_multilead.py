@@ -1,0 +1,129 @@
+"""Unit tests for joint multi-lead CS recovery (the Fig. 5 ML curve)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression import (
+    CsDecoder,
+    CsEncoder,
+    JointCsDecoder,
+    MultiLeadCsEncoder,
+    group_fista,
+    group_soft_threshold,
+    reconstruction_snr_db,
+)
+
+
+class TestGroupSoftThreshold:
+    @settings(max_examples=30, deadline=None)
+    @given(rows=hnp.arrays(np.float64, st.tuples(st.integers(1, 20),
+                                                 st.integers(1, 5)),
+                           elements=st.floats(-100, 100, allow_nan=False)),
+           t=st.floats(0.0, 50.0))
+    def test_row_norms_shrink(self, rows, t):
+        out = group_soft_threshold(rows, t)
+        before = np.linalg.norm(rows, axis=1)
+        after = np.linalg.norm(out, axis=1)
+        assert np.all(after <= before + 1e-9)
+
+    def test_rows_below_threshold_zeroed(self):
+        rows = np.array([[0.1, 0.1], [3.0, 4.0]])
+        out = group_soft_threshold(rows, 1.0)
+        assert np.allclose(out[0], 0.0)
+        assert np.linalg.norm(out[1]) == pytest.approx(4.0)  # 5 - 1
+
+    def test_direction_preserved(self):
+        rows = np.array([[3.0, 4.0]])
+        out = group_soft_threshold(rows, 1.0)
+        assert np.allclose(out / np.linalg.norm(out),
+                           rows / np.linalg.norm(rows))
+
+
+class TestGroupFista:
+    def test_recovers_jointly_sparse_rows(self, rng):
+        m, n, leads, k = 50, 100, 3, 6
+        operators = [rng.standard_normal((m, n)) / np.sqrt(m)
+                     for _ in range(leads)]
+        truth = np.zeros((n, leads))
+        support = rng.choice(n, size=k, replace=False)
+        truth[support] = rng.uniform(1, 3, size=(k, leads))
+        ys = [operators[l] @ truth[:, l] for l in range(leads)]
+        correlations = np.stack([operators[l].T @ ys[l]
+                                 for l in range(leads)], axis=1)
+        lam = 0.02 * np.max(np.linalg.norm(correlations, axis=1))
+        estimate = group_fista(operators, ys, lam, n_iter=800)
+        # Debias on the detected union support (as the decoder does).
+        rows = np.linalg.norm(estimate, axis=1)
+        detected = np.flatnonzero(rows > 0.01 * rows.max())
+        refined = np.zeros_like(estimate)
+        for l in range(leads):
+            coef, *_ = np.linalg.lstsq(operators[l][:, detected], ys[l],
+                                       rcond=None)
+            refined[detected, l] = coef
+        assert sorted(detected.tolist()) == sorted(support.tolist())
+        assert np.max(np.abs(refined - truth)) < 0.05
+
+    def test_validates_lengths(self, rng):
+        A = rng.standard_normal((4, 8))
+        with pytest.raises(ValueError, match="per operator"):
+            group_fista([A], [np.zeros(4), np.zeros(4)], 0.1)
+
+
+class TestJointCsDecoder:
+    def test_multilead_beats_single_lead_at_high_cr(self, clean_record):
+        start, n = 1000, 512
+        seg = clean_record.signals[:, start:start + n]
+        cr = 70.0
+        sl_encoder = CsEncoder(n=n, cr_percent=cr, seed=3)
+        sl_decoder = CsDecoder(sl_encoder.sensing)
+        sl = reconstruction_snr_db(
+            seg[1], sl_decoder.recover(sl_encoder.encode(seg[1])).window)
+
+        ml_encoder = MultiLeadCsEncoder(n_leads=3, n=n, cr_percent=cr,
+                                        seed=100)
+        ml_decoder = JointCsDecoder(ml_encoder.sensing_matrices)
+        recovery = ml_decoder.recover(ml_encoder.encode(seg))
+        ml = np.mean([reconstruction_snr_db(seg[l], recovery.windows[l])
+                      for l in range(3)])
+        assert ml > sl + 2.0  # the Fig. 5 multi-lead gain
+
+    def test_replicated_single_matrix_accepted(self, clean_record):
+        n = 256
+        seg = clean_record.signals[:, 1000:1000 + n]
+        encoder = CsEncoder(n=n, cr_percent=40.0, seed=3)
+        decoder = JointCsDecoder(encoder.sensing, n_leads=3)
+        Y = np.vstack([encoder.sensing.matrix @ seg[l] for l in range(3)])
+        recovery = decoder.recover(Y)
+        assert recovery.windows.shape == (3, n)
+
+    def test_lead_count_checked(self, clean_record):
+        encoder = MultiLeadCsEncoder(n_leads=3, n=256)
+        decoder = JointCsDecoder(encoder.sensing_matrices)
+        with pytest.raises(ValueError, match="expected 3"):
+            decoder.recover([np.zeros(encoder.m)] * 2)
+
+    def test_window_length_consistency_checked(self):
+        a = MultiLeadCsEncoder(n_leads=1, n=256).sensing_matrices[0]
+        b = MultiLeadCsEncoder(n_leads=1, n=128).sensing_matrices[0]
+        with pytest.raises(ValueError, match="window length"):
+            JointCsDecoder([a, b])
+
+    def test_needs_a_matrix(self):
+        with pytest.raises(ValueError, match="at least one"):
+            JointCsDecoder([])
+
+    def test_support_is_shared_across_leads(self, clean_record):
+        n = 256
+        seg = clean_record.signals[:, 2000:2000 + n]
+        encoder = MultiLeadCsEncoder(n_leads=3, n=n, cr_percent=55.0,
+                                     seed=100)
+        decoder = JointCsDecoder(encoder.sensing_matrices)
+        recovery = decoder.recover(encoder.encode(seg))
+        # Rows are zero or non-zero together (group sparsity).
+        nonzero = recovery.coefficients != 0
+        rows_any = nonzero.any(axis=1)
+        rows_all = nonzero.all(axis=1)
+        assert np.array_equal(rows_any, rows_all)

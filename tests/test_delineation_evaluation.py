@@ -1,0 +1,123 @@
+"""Unit tests for the delineation evaluation harness itself."""
+
+import pytest
+
+from repro.delineation import evaluate_delineation
+from repro.signals import ABSENT_WAVE, BeatAnnotation, WaveFiducials
+
+FS = 250.0
+
+
+def _beat(r, p=None, qrs=None, t=None, rhythm="NSR"):
+    return BeatAnnotation(
+        r_peak=r,
+        rhythm=rhythm,
+        p_wave=WaveFiducials(*p) if p else ABSENT_WAVE,
+        qrs=WaveFiducials(*qrs) if qrs else ABSENT_WAVE,
+        t_wave=WaveFiducials(*t) if t else ABSENT_WAVE,
+    )
+
+
+def _full_beat(r):
+    return _beat(r, p=(r - 50, r - 40, r - 30), qrs=(r - 12, r, r + 12),
+                 t=(r + 40, r + 70, r + 100))
+
+
+class TestPerfectDetection:
+    def test_all_ones(self):
+        truth = [_full_beat(r) for r in (500, 700, 900)]
+        report = evaluate_delineation(truth, truth, FS)
+        assert report.beat_sensitivity == 1.0
+        assert report.worst_sensitivity() == 1.0
+        assert report.worst_ppv() == 1.0
+        assert report.missed_beats == 0
+        assert report.spurious_beats == 0
+
+    def test_errors_recorded_as_zero(self):
+        truth = [_full_beat(600)]
+        report = evaluate_delineation(truth, truth, FS)
+        for score in report.fiducials.values():
+            assert score.mean_error_s == 0.0
+
+
+class TestToleranceLogic:
+    def test_small_shift_within_tolerance(self):
+        truth = [_full_beat(600)]
+        shifted = [_full_beat(601)]  # 4 ms shift
+        report = evaluate_delineation(truth, shifted, FS)
+        assert report.worst_sensitivity() == 1.0
+        qrs_on = report.fiducials[("QRS", "onset")]
+        assert qrs_on.mean_error_s == pytest.approx(0.004)
+
+    def test_large_shift_counts_both_sides(self):
+        truth = [_beat(600, qrs=(588, 600, 612))]
+        bad = [_beat(600, qrs=(560, 600, 612))]  # onset off by 112 ms
+        report = evaluate_delineation(truth, bad, FS)
+        score = report.fiducials[("QRS", "onset")]
+        assert score.false_negative == 1
+        assert score.false_positive == 1
+        assert score.sensitivity == 0.0
+
+
+class TestBeatMatching:
+    def test_missed_beat(self):
+        truth = [_full_beat(500), _full_beat(800)]
+        detected = [_full_beat(500)]
+        report = evaluate_delineation(truth, detected, FS)
+        assert report.missed_beats == 1
+        assert report.beat_sensitivity == 0.5
+
+    def test_spurious_beat_penalizes_ppv(self):
+        truth = [_full_beat(500)]
+        detected = [_full_beat(500), _full_beat(900)]
+        report = evaluate_delineation(truth, detected, FS)
+        assert report.spurious_beats == 1
+        assert report.beat_ppv == 0.5
+        # The spurious beat's claimed fiducials become false positives.
+        assert report.fiducials[("QRS", "onset")].false_positive == 1
+
+    def test_matching_window_limit(self):
+        truth = [_full_beat(500)]
+        detected = [_full_beat(500 + int(0.2 * FS))]  # 200 ms away
+        report = evaluate_delineation(truth, detected, FS)
+        assert report.missed_beats == 1
+        assert report.spurious_beats == 1
+
+
+class TestPresence:
+    def test_absent_p_correctly_rejected(self):
+        truth = [_beat(600, qrs=(588, 600, 612), rhythm="AF")]
+        detected = [_beat(600, qrs=(588, 600, 612))]
+        report = evaluate_delineation(truth, detected, FS)
+        assert report.presence["P"].true_absent == 1
+        assert report.presence["P"].specificity == 1.0
+
+    def test_false_p_detection(self):
+        truth = [_beat(600, qrs=(588, 600, 612))]
+        detected = [_beat(600, p=(540, 555, 570), qrs=(588, 600, 612))]
+        report = evaluate_delineation(truth, detected, FS)
+        assert report.presence["P"].false_present == 1
+        assert report.presence["P"].specificity == 0.0
+
+    def test_missed_p_detection(self):
+        truth = [_beat(600, p=(540, 555, 570), qrs=(588, 600, 612))]
+        detected = [_beat(600, qrs=(588, 600, 612))]
+        report = evaluate_delineation(truth, detected, FS)
+        assert report.presence["P"].false_absent == 1
+        assert report.presence["P"].sensitivity == 0.0
+
+
+class TestReportHelpers:
+    def test_rows_structure(self):
+        truth = [_full_beat(600)]
+        report = evaluate_delineation(truth, truth, FS)
+        rows = report.rows()
+        assert len(rows) == 9
+        assert all(len(row) == 6 for row in rows)
+
+    def test_custom_tolerances(self):
+        truth = [_full_beat(600)]
+        shifted = [_full_beat(603)]  # 12 ms
+        strict = evaluate_delineation(truth, shifted, FS,
+                                      tolerances_s={("QRS", "onset"): 0.005})
+        assert strict.fiducials[("QRS", "onset")].sensitivity == 0.0

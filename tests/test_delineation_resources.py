@@ -1,0 +1,61 @@
+"""Unit tests for the embedded-resource estimators (paper T2 claims)."""
+
+import pytest
+
+from repro.delineation import (
+    McuProfile,
+    mmd_delineator_resources,
+    wavelet_delineator_resources,
+)
+
+
+class TestWaveletResources:
+    def test_duty_cycle_in_paper_band(self):
+        # Paper: "7 % of the duty cycle" — accept the single-digit band.
+        estimate = wavelet_delineator_resources()
+        assert 0.02 <= estimate.duty_cycle <= 0.12
+
+    def test_memory_in_paper_band(self):
+        # Paper: "7.2 kB of memory".
+        estimate = wavelet_delineator_resources()
+        assert 5.0 <= estimate.memory_kb <= 9.5
+
+    def test_breakdown_sums_to_total(self):
+        estimate = wavelet_delineator_resources()
+        assert sum(estimate.breakdown.values()) == estimate.memory_bytes
+
+    def test_duty_scales_with_sampling_rate(self):
+        low = wavelet_delineator_resources(fs=125.0)
+        high = wavelet_delineator_resources(fs=500.0)
+        assert high.duty_cycle > 1.8 * low.duty_cycle
+
+    def test_duty_scales_inversely_with_clock(self):
+        slow = wavelet_delineator_resources(mcu=McuProfile(clock_hz=0.5e6))
+        fast = wavelet_delineator_resources(mcu=McuProfile(clock_hz=2.0e6))
+        assert slow.duty_cycle == pytest.approx(4 * fast.duty_cycle, rel=0.01)
+
+    def test_scale_buffers_dominate_memory(self):
+        estimate = wavelet_delineator_resources()
+        assert estimate.breakdown["scale_buffers"] == max(
+            estimate.breakdown.values())
+
+
+class TestMmdResources:
+    def test_cheaper_compute_than_wavelet(self):
+        # Flat-SE morphology needs only comparisons (the §IV-A argument),
+        # so its per-sample cycle count undercuts the wavelet filter bank.
+        mmd = mmd_delineator_resources()
+        wavelet = wavelet_delineator_resources()
+        assert mmd.cycles_per_sample < wavelet.cycles_per_sample
+
+    def test_duty_cycle_single_digit(self):
+        estimate = mmd_delineator_resources()
+        assert estimate.duty_cycle <= 0.10
+
+    def test_memory_band(self):
+        estimate = mmd_delineator_resources()
+        assert 4.0 <= estimate.memory_kb <= 10.0
+
+    def test_breakdown_sums(self):
+        estimate = mmd_delineator_resources()
+        assert sum(estimate.breakdown.values()) == estimate.memory_bytes

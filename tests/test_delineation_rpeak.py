@@ -1,0 +1,88 @@
+"""Unit tests for repro.delineation.rpeak (Pan-Tompkins detector)."""
+
+import numpy as np
+import pytest
+
+from repro.delineation import RPeakConfig, RPeakDetector, detect_r_peaks
+
+
+def _match_stats(detected, truth, fs, tol_s=0.05):
+    tol = int(tol_s * fs)
+    tp = sum(1 for t in truth if np.any(np.abs(detected - t) <= tol))
+    se = tp / len(truth) if len(truth) else 1.0
+    ppv = tp / len(detected) if len(detected) else 1.0
+    return se, ppv
+
+
+class TestDetection:
+    def test_clean_record(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        detected = RPeakDetector(ecg.fs).detect(ecg.signal)
+        se, ppv = _match_stats(detected, ecg.r_peaks, ecg.fs)
+        assert se >= 0.99 and ppv >= 0.99
+
+    def test_noisy_record(self, noisy_record):
+        ecg = noisy_record.lead(1)
+        detected = RPeakDetector(ecg.fs).detect(ecg.signal)
+        se, ppv = _match_stats(detected, ecg.r_peaks, ecg.fs)
+        assert se >= 0.95 and ppv >= 0.95
+
+    def test_af_record(self, af_record):
+        ecg = af_record.lead(1)
+        detected = RPeakDetector(ecg.fs).detect(ecg.signal)
+        se, ppv = _match_stats(detected, ecg.r_peaks, ecg.fs)
+        assert se >= 0.95 and ppv >= 0.95
+
+    def test_ectopy_record(self, ectopy_record):
+        ecg = ectopy_record.lead(1)
+        detected = RPeakDetector(ecg.fs).detect(ecg.signal)
+        se, ppv = _match_stats(detected, ecg.r_peaks, ecg.fs)
+        assert se >= 0.95 and ppv >= 0.95
+
+    def test_timing_accuracy_on_clean_data(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        detected = RPeakDetector(ecg.fs).detect(ecg.signal)
+        errors = [np.min(np.abs(detected - t)) for t in ecg.r_peaks]
+        assert np.mean(errors) / ecg.fs < 0.008  # < 8 ms mean error
+
+    def test_respects_refractory_period(self, noisy_record):
+        ecg = noisy_record.lead(1)
+        detector = RPeakDetector(ecg.fs)
+        detected = detector.detect(ecg.signal)
+        spacing = np.diff(detected)
+        assert np.all(spacing >= int(0.2 * ecg.fs))
+
+
+class TestEdgeCases:
+    def test_short_signal_returns_empty(self):
+        detector = RPeakDetector(250.0)
+        assert detector.detect(np.zeros(50)).size == 0
+
+    def test_flat_signal(self):
+        detector = RPeakDetector(250.0)
+        detected = detector.detect(np.zeros(5000))
+        assert detected.size <= 2  # numeric noise may fake <= O(1) peaks
+
+    def test_invalid_fs(self):
+        with pytest.raises(ValueError, match="positive"):
+            RPeakDetector(-1.0)
+
+    def test_wrapper_matches_detector(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        a = detect_r_peaks(ecg)
+        b = RPeakDetector(ecg.fs).detect(ecg.signal)
+        assert np.array_equal(a, b)
+
+    def test_custom_config(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        config = RPeakConfig(refractory_s=0.3)
+        detected = RPeakDetector(ecg.fs, config).detect(ecg.signal)
+        assert np.all(np.diff(detected) >= int(0.3 * ecg.fs))
+
+    def test_feature_signal_shapes(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        bandpassed, integrated = RPeakDetector(ecg.fs).feature_signal(
+            ecg.signal)
+        assert bandpassed.shape == ecg.signal.shape
+        assert integrated.shape == ecg.signal.shape
+        assert np.all(integrated >= 0)

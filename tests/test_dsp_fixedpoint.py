@@ -1,0 +1,88 @@
+"""Unit + property tests for repro.dsp.fixedpoint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import Q15, QFormat, SAMPLE_Q, fixed_point_fir, quantization_snr_db
+
+
+class TestQFormat:
+    def test_basic_properties(self):
+        fmt = QFormat(16, 8)
+        assert fmt.scale == 256
+        assert fmt.max_raw == 32767
+        assert fmt.min_raw == -32768
+        assert fmt.resolution == pytest.approx(1.0 / 256)
+
+    def test_invalid_formats(self):
+        with pytest.raises(ValueError):
+            QFormat(1, 0)
+        with pytest.raises(ValueError):
+            QFormat(16, 16)
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=st.floats(min_value=-100.0, max_value=100.0,
+                       allow_nan=False))
+    def test_roundtrip_error_bounded(self, x):
+        fmt = QFormat(16, 8)
+        clipped = np.clip(x, fmt.min_value, fmt.max_value)
+        back = fmt.roundtrip(x)
+        assert abs(back - clipped) <= fmt.resolution / 2 + 1e-12
+
+    def test_saturation_on_overflow(self):
+        fmt = QFormat(16, 8)
+        assert fmt.quantize(1e6) == fmt.max_raw
+        assert fmt.quantize(-1e6) == fmt.min_raw
+
+    def test_saturating_add(self):
+        fmt = QFormat(8, 0)
+        assert fmt.saturating_add(100, 100) == 127
+        assert fmt.saturating_add(-100, -100) == -128
+        assert fmt.saturating_add(10, 20) == 30
+
+    def test_multiply_matches_float(self):
+        fmt = QFormat(16, 10)
+        a, b = 1.5, -2.25
+        raw = fmt.multiply(fmt.quantize(a), fmt.quantize(b))
+        assert fmt.to_real(raw) == pytest.approx(a * b, abs=2 * fmt.resolution)
+
+    def test_multiply_saturates(self):
+        fmt = QFormat(16, 10)
+        big = fmt.quantize(fmt.max_value)
+        assert fmt.multiply(big, big) == fmt.max_raw
+
+
+class TestQuantizationSnr:
+    def test_snr_improves_with_more_bits(self, rng):
+        x = rng.uniform(-1, 1, 4000)
+        low = quantization_snr_db(x, QFormat(16, 6))
+        high = quantization_snr_db(x, QFormat(16, 12))
+        assert high > low + 30  # ~6 dB per bit
+
+    def test_exact_representation_is_infinite(self):
+        fmt = QFormat(16, 8)
+        x = np.array([1.0, 0.5, -0.25])
+        assert quantization_snr_db(x, fmt) == np.inf
+
+
+class TestFixedPointFir:
+    def test_matches_float_reference(self, rng):
+        x = 0.5 * np.sin(np.linspace(0, 12 * np.pi, 400))
+        taps = np.array([0.125, 0.375, 0.375, 0.125])
+        fixed = fixed_point_fir(x, taps)
+        reference = np.convolve(x, taps)[:x.shape[0]]
+        error = np.max(np.abs(fixed - reference))
+        assert error < 4 * SAMPLE_Q.resolution
+
+    def test_spline_taps_representable_in_q15(self):
+        taps = np.array([0.125, 0.375, 0.375, 0.125])
+        assert np.allclose(Q15.roundtrip(taps), taps)
+
+    def test_impulse_response(self):
+        x = np.zeros(16)
+        x[0] = 1.0
+        taps = np.array([0.25, 0.5, 0.25])
+        out = fixed_point_fir(x, taps)
+        assert np.allclose(out[:3], taps, atol=2 * SAMPLE_Q.resolution)

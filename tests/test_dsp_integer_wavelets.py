@@ -1,0 +1,77 @@
+"""Tests for the integer-only à-trous bank and its delineation fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.delineation import (
+    RPeakDetector,
+    WaveletDelineator,
+    WaveletDelineatorConfig,
+    evaluate_delineation,
+)
+from repro.dsp import atrous_swt, atrous_swt_integer
+
+
+class TestIntegerAtrous:
+    def test_close_to_float_reference(self, rng):
+        x = np.cumsum(rng.standard_normal(800)) * 0.01
+        float_bank = atrous_swt(x, levels=5)
+        int_bank = atrous_swt_integer(x, levels=5, scale_bits=12)
+        scale = np.max(np.abs(float_bank)) + 1e-12
+        error = np.max(np.abs(float_bank - int_bank)) / scale
+        assert error < 0.01
+
+    def test_exact_on_representable_input(self):
+        # Inputs that are multiples of 2**-scale_bits quantize losslessly;
+        # with small dynamic range the per-level rounding shift is the
+        # only deviation and it is bounded by one LSB per level.
+        x = np.zeros(400)
+        x[200] = 1.0
+        float_bank = atrous_swt(x, levels=3)
+        int_bank = atrous_swt_integer(x, levels=3, scale_bits=10)
+        assert np.max(np.abs(float_bank - int_bank)) < 3.0 / 2 ** 10
+
+    def test_constant_signal_zero_details(self):
+        bank = atrous_swt_integer(np.full(300, 0.5), levels=4)
+        assert np.allclose(bank, 0.0, atol=1e-9)
+
+    def test_more_scale_bits_reduce_error(self, rng):
+        x = np.sin(np.linspace(0, 20 * np.pi, 600)) * 0.8
+        reference = atrous_swt(x, levels=4)
+        coarse = atrous_swt_integer(x, levels=4, scale_bits=6)
+        fine = atrous_swt_integer(x, levels=4, scale_bits=14)
+        err_coarse = np.max(np.abs(reference - coarse))
+        err_fine = np.max(np.abs(reference - fine))
+        assert err_fine < err_coarse / 10
+
+
+class TestIntegerDelineation:
+    """§IV-A: the integer implementation must not cost accuracy."""
+
+    def test_fiducials_match_float_variant(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        peaks = RPeakDetector(ecg.fs).detect(ecg.signal)
+        float_delin = WaveletDelineator(ecg.fs)
+        int_delin = WaveletDelineator(
+            ecg.fs, WaveletDelineatorConfig(integer_arithmetic=True))
+        float_beats = float_delin.delineate(ecg.signal, peaks)
+        int_beats = int_delin.delineate(ecg.signal, peaks)
+        assert len(float_beats) == len(int_beats)
+        diffs = []
+        for a, b in zip(float_beats, int_beats):
+            for wave in ("p_wave", "qrs", "t_wave"):
+                wa, wb = getattr(a, wave), getattr(b, wave)
+                if wa.present and wb.present:
+                    diffs.append(abs(wa.onset - wb.onset))
+                    diffs.append(abs(wa.end - wb.end))
+        assert np.mean(diffs) < 1.0  # sub-sample average agreement
+
+    def test_accuracy_preserved(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        peaks = RPeakDetector(ecg.fs).detect(ecg.signal)
+        delineator = WaveletDelineator(
+            ecg.fs, WaveletDelineatorConfig(integer_arithmetic=True))
+        detected = delineator.delineate(ecg.signal, peaks)
+        report = evaluate_delineation(ecg.beats, detected, ecg.fs)
+        assert report.worst_sensitivity() >= 0.90
+        assert report.worst_ppv() >= 0.90

@@ -1,0 +1,117 @@
+"""Unit tests for repro.dsp.wavelets."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    SPLINE_HIGHPASS,
+    SPLINE_LOWPASS,
+    atrous_swt,
+    daubechies_filters,
+    max_dwt_levels,
+    orthogonal_dwt_matrix,
+)
+
+
+class TestDaubechiesFilters:
+    @pytest.mark.parametrize("name", ["haar", "db2", "db4"])
+    def test_scaling_filter_normalization(self, name):
+        h, g = daubechies_filters(name)
+        assert np.sum(h) == pytest.approx(np.sqrt(2.0), abs=1e-10)
+        assert np.sum(h ** 2) == pytest.approx(1.0, abs=1e-10)
+
+    @pytest.mark.parametrize("name", ["haar", "db2", "db4"])
+    def test_highpass_kills_constants(self, name):
+        _, g = daubechies_filters(name)
+        assert np.sum(g) == pytest.approx(0.0, abs=1e-10)
+
+    def test_db2_kills_linears(self):
+        _, g = daubechies_filters("db2")
+        k = np.arange(g.shape[0])
+        assert np.sum(g * k) == pytest.approx(0.0, abs=1e-9)
+
+    def test_unknown_wavelet(self):
+        with pytest.raises(KeyError, match="unknown wavelet"):
+            daubechies_filters("sym5")
+
+
+class TestOrthogonalDwtMatrix:
+    @pytest.mark.parametrize("name,n", [("haar", 64), ("db2", 128),
+                                        ("db4", 256)])
+    def test_orthonormality(self, name, n):
+        W = orthogonal_dwt_matrix(n, name)
+        assert np.allclose(W @ W.T, np.eye(n), atol=1e-9)
+
+    def test_constant_signal_concentrates_in_approximation(self):
+        n = 64
+        W = orthogonal_dwt_matrix(n, "db4", levels=3)
+        coeffs = W @ np.ones(n)
+        approx_len = n // 8
+        detail_energy = np.sum(coeffs[approx_len:] ** 2)
+        assert detail_energy < 1e-18 * np.sum(coeffs ** 2) + 1e-18
+
+    def test_energy_preservation(self, rng):
+        n = 128
+        W = orthogonal_dwt_matrix(n, "db2")
+        x = rng.standard_normal(n)
+        assert np.sum((W @ x) ** 2) == pytest.approx(np.sum(x ** 2))
+
+    def test_levels_validation(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            orthogonal_dwt_matrix(96, "haar", levels=6)
+
+    def test_too_short_window(self):
+        with pytest.raises(ValueError, match="too short"):
+            orthogonal_dwt_matrix(8, "db4", levels=0)
+
+    def test_max_levels(self):
+        # The coarsest stage must keep at least 2 x filter-length samples
+        # *before* the final split: db4 (8 taps) on 256 samples allows 5
+        # levels (the level-5 input has 16 samples), haar allows 7.
+        assert max_dwt_levels(256, "db4") == 5
+        assert max_dwt_levels(256, "haar") == 7
+
+    def test_matrix_is_copied_per_call(self):
+        a = orthogonal_dwt_matrix(64, "haar")
+        a[0, 0] += 1.0
+        b = orthogonal_dwt_matrix(64, "haar")
+        assert b[0, 0] != a[0, 0]
+
+
+class TestAtrousSwt:
+    def test_filters_are_the_quadratic_spline_pair(self):
+        assert np.allclose(SPLINE_LOWPASS, [0.125, 0.375, 0.375, 0.125])
+        assert np.allclose(SPLINE_HIGHPASS, [2.0, -2.0])
+
+    def test_output_shape(self, rng):
+        x = rng.standard_normal(500)
+        w = atrous_swt(x, levels=5)
+        assert w.shape == (5, 500)
+
+    def test_constant_signal_has_zero_details(self):
+        w = atrous_swt(np.full(300, 7.5), levels=4)
+        assert np.allclose(w, 0.0, atol=1e-9)
+
+    def test_ramp_gives_constant_detail(self):
+        w = atrous_swt(np.arange(400, dtype=float), levels=3)
+        # Derivative-like transform of a ramp: constant inside the support.
+        inner = w[0, 50:-50]
+        assert np.allclose(inner, inner[0])
+
+    def test_zero_crossing_at_gaussian_peak(self):
+        t = np.arange(600)
+        x = np.exp(-0.5 * ((t - 300) / 12.0) ** 2)
+        w = atrous_swt(x, levels=5)
+        for level in range(4):
+            band = w[level, 280:321]
+            signs = np.sign(band)
+            crossings = np.flatnonzero(np.diff(signs) != 0)
+            assert crossings.size >= 1
+            crossing = 280 + crossings[0]
+            assert abs(crossing - 300) <= 3 + level
+
+    def test_modulus_pair_brackets_peak(self):
+        t = np.arange(600)
+        x = np.exp(-0.5 * ((t - 300) / 12.0) ** 2)
+        w = atrous_swt(x, levels=4)[2]
+        assert np.argmax(w) < 300 < np.argmin(w)

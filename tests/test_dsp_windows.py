@@ -1,0 +1,133 @@
+"""Unit + property tests for repro.dsp.windows (sliding extrema)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dsp import (
+    StreamingExtremum,
+    closing,
+    dilation,
+    erosion,
+    moving_average,
+    moving_sum,
+    opening,
+    sliding_max,
+    sliding_min,
+)
+
+signals = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=120),
+    elements=st.floats(min_value=-1e6, max_value=1e6,
+                       allow_nan=False, allow_infinity=False),
+)
+widths = st.integers(min_value=1, max_value=25)
+
+
+def naive_sliding_max(x: np.ndarray, width: int) -> np.ndarray:
+    return np.array([x[max(0, i - width + 1):i + 1].max()
+                     for i in range(x.shape[0])])
+
+
+class TestSlidingExtrema:
+    @settings(max_examples=60, deadline=None)
+    @given(x=signals, width=widths)
+    def test_sliding_max_matches_naive(self, x, width):
+        assert np.array_equal(sliding_max(x, width), naive_sliding_max(x, width))
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=signals, width=widths)
+    def test_min_max_duality(self, x, width):
+        assert np.array_equal(sliding_min(x, width),
+                              -sliding_max(-x, width))
+
+    def test_width_one_is_identity(self, rng):
+        x = rng.standard_normal(50)
+        assert np.array_equal(sliding_max(x, 1), x)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            sliding_max(np.zeros(5), 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=signals, width=widths)
+    def test_streaming_matches_batch(self, x, width):
+        stream = StreamingExtremum(width, "max")
+        out = np.array([stream.push(v) for v in x])
+        assert np.array_equal(out, sliding_max(x, width))
+
+    def test_streaming_min_mode(self, rng):
+        x = rng.standard_normal(40)
+        stream = StreamingExtremum(7, "min")
+        out = np.array([stream.push(v) for v in x])
+        assert np.array_equal(out, sliding_min(x, 7))
+
+    def test_streaming_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            StreamingExtremum(3, "median")
+
+
+class TestMorphologicalLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(x=signals, width=st.integers(min_value=1, max_value=15))
+    def test_erosion_below_dilation(self, x, width):
+        assert np.all(erosion(x, width) <= x + 1e-12)
+        assert np.all(dilation(x, width) >= x - 1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=signals, width=st.integers(min_value=1, max_value=15))
+    def test_opening_antiextensive_closing_extensive(self, x, width):
+        assert np.all(opening(x, width) <= x + 1e-9)
+        assert np.all(closing(x, width) >= x - 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(x=signals, width=st.integers(min_value=1, max_value=9))
+    def test_opening_idempotent(self, x, width):
+        once = opening(x, width)
+        assert np.allclose(opening(once, width), once)
+
+    def test_opening_removes_narrow_peak(self):
+        x = np.zeros(60)
+        x[30] = 5.0  # one-sample spike
+        assert np.max(opening(x, 5)) == 0.0
+
+    def test_closing_fills_narrow_pit(self):
+        x = np.zeros(60)
+        x[30] = -5.0
+        assert np.min(closing(x, 5)) == 0.0
+
+    def test_erosion_centered_on_plateau(self):
+        x = np.zeros(40)
+        x[10:20] = 1.0
+        eroded = erosion(x, 5)
+        # Plateau shrinks by width//2 on each side.
+        assert eroded[12] == 1.0
+        assert eroded[10] == 0.0
+
+
+class TestMovingWindows:
+    def test_moving_sum_matches_naive(self, rng):
+        x = rng.standard_normal(100)
+        width = 9
+        naive = np.array([x[max(0, i - width + 1):i + 1].sum()
+                          for i in range(100)])
+        assert np.allclose(moving_sum(x, width), naive)
+
+    def test_moving_average_edges_use_true_length(self):
+        x = np.ones(20)
+        avg = moving_average(x, 8)
+        assert np.allclose(avg, 1.0)
+
+    def test_moving_average_of_ramp(self):
+        x = np.arange(10, dtype=float)
+        avg = moving_average(x, 3)
+        assert avg[0] == 0.0
+        assert avg[2] == pytest.approx(1.0)
+        assert avg[9] == pytest.approx(8.0)
+
+    def test_moving_sum_invalid_width(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            moving_sum(np.zeros(4), 0)

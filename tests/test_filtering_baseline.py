@@ -1,0 +1,65 @@
+"""Unit tests for repro.filtering.baseline (cubic-spline wander removal)."""
+
+import numpy as np
+import pytest
+
+from repro.filtering import (
+    estimate_baseline,
+    knot_positions,
+    knot_values,
+    remove_baseline_spline,
+)
+from repro.signals import EcgRecord, baseline_wander, snr_db
+
+
+class TestKnots:
+    def test_positions_precede_r_peaks(self):
+        peaks = np.array([100, 300, 500])
+        knots = knot_positions(peaks, fs=250.0, n=600)
+        assert np.all(knots < peaks)
+        assert np.all(peaks - knots == int(round(0.088 * 250)))
+
+    def test_positions_clipped_to_record(self):
+        knots = knot_positions(np.array([5, 300]), fs=250.0, n=400)
+        assert np.all(knots >= 0)
+        assert knots.shape[0] == 1  # first beat's knot fell before 0
+
+    def test_values_average_window(self):
+        signal = np.arange(100, dtype=float)
+        values = knot_values(signal, np.array([50]), fs=250.0)
+        assert values[0] == pytest.approx(50.0)
+
+
+class TestBaselineEstimate:
+    def test_recovers_slow_drift(self, clean_record, rng):
+        fs = clean_record.fs
+        lead = clean_record.signals[1][:6000]
+        peaks = np.array([b.r_peak for b in clean_record.beats
+                          if b.r_peak < 6000])
+        drift = baseline_wander(lead.shape[0], fs, rng, amplitude_mv=0.4,
+                                max_freq_hz=0.3)
+        estimate = estimate_baseline(lead + drift, peaks, fs)
+        # The estimate should track the drift far better than a constant.
+        residual = drift - estimate
+        assert np.std(residual) < 0.4 * np.std(drift)
+
+    def test_few_beats_falls_back_to_mean(self):
+        signal = np.ones(500) * 2.5
+        estimate = estimate_baseline(signal, np.array([200]), 250.0)
+        assert np.allclose(estimate, 2.5)
+
+    def test_removal_improves_snr(self, clean_record, rng):
+        fs = clean_record.fs
+        lead = clean_record.signals[1][:6000]
+        beats = [b for b in clean_record.beats if b.r_peak < 6000]
+        drift = baseline_wander(lead.shape[0], fs, rng, amplitude_mv=0.4,
+                                max_freq_hz=0.3)
+        record = EcgRecord(fs, lead + drift, beats)
+        restored = remove_baseline_spline(record)
+        assert snr_db(lead, restored.signal) > snr_db(lead, lead + drift) + 6
+
+    def test_removal_accepts_external_peaks(self, clean_record):
+        ecg = clean_record.lead(1)
+        restored = remove_baseline_spline(ecg, r_peaks=ecg.r_peaks)
+        assert len(restored) == len(ecg)
+        assert restored.r_peaks.tolist() == ecg.r_peaks.tolist()

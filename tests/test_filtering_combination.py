@@ -1,0 +1,59 @@
+"""Unit tests for repro.filtering.combination (RMS lead combination)."""
+
+import numpy as np
+import pytest
+
+from repro.filtering import combine_leads, mean_combine, rms_combine
+from repro.signals import MultiLeadEcg
+
+
+class TestMath:
+    def test_rms_of_identical_leads(self, rng):
+        x = rng.standard_normal(100)
+        combined = rms_combine(np.vstack([x, x, x]))
+        assert np.allclose(combined, np.abs(x))
+
+    def test_rms_known_values(self):
+        signals = np.array([[3.0], [4.0]])
+        assert rms_combine(signals)[0] == pytest.approx(np.sqrt(12.5))
+
+    def test_mean_known_values(self):
+        signals = np.array([[3.0], [5.0]])
+        assert mean_combine(signals)[0] == pytest.approx(4.0)
+
+    def test_rms_resists_polarity_cancellation(self, rng):
+        x = rng.standard_normal(200)
+        signals = np.vstack([x, -x])
+        assert np.allclose(mean_combine(signals), 0.0)
+        assert np.allclose(rms_combine(signals), np.abs(x))
+
+    def test_rms_is_nonnegative(self, rng):
+        signals = rng.standard_normal((3, 500))
+        assert np.all(rms_combine(signals) >= 0)
+
+
+class TestCombineLeads:
+    def test_preserves_annotations(self, nsr_record):
+        combined = combine_leads(nsr_record)
+        assert combined.r_peaks.tolist() == nsr_record.r_peaks.tolist()
+        assert len(combined) == nsr_record.n_samples
+
+    def test_emphasizes_qrs(self, nsr_record):
+        combined = combine_leads(nsr_record)
+        beat = nsr_record.beats[5]
+        window = combined.signal[beat.r_peak - 50:beat.r_peak + 50]
+        assert np.argmax(window) == pytest.approx(50, abs=2)
+
+    def test_unknown_method(self, nsr_record):
+        with pytest.raises(ValueError, match="unknown combination"):
+            combine_leads(nsr_record, method="median")
+
+    def test_mean_method(self, nsr_record):
+        combined = combine_leads(nsr_record, method="mean")
+        assert combined.name.endswith("/mean")
+
+    def test_centering_removes_offsets(self):
+        signals = np.vstack([np.ones(100) * 5.0, np.ones(100) * -3.0])
+        record = MultiLeadEcg(250.0, signals)
+        combined = combine_leads(record, method="rms", center=True)
+        assert np.allclose(combined.signal, 0.0)

@@ -1,0 +1,116 @@
+"""Unit tests for ensemble averaging and AICF (paper §IV-C, exp T5)."""
+
+import numpy as np
+import pytest
+
+from repro.filtering import (
+    aicf_convergence_curve,
+    aicf_filter,
+    beat_matrix,
+    ensemble_average,
+    ensemble_noise_reduction_db,
+    tracking_gain_vs_ea,
+)
+
+
+def _pulse_train(n_beats=40, period=100, width=8, amplitude=1.0):
+    """Deterministic beat-locked test signal."""
+    n = (n_beats + 1) * period
+    clean = np.zeros(n)
+    impulses = np.arange(1, n_beats + 1) * period
+    t = np.arange(-30, 30)
+    pulse = amplitude * np.exp(-0.5 * (t / width) ** 2)
+    for center in impulses:
+        clean[center - 30:center + 30] += pulse
+    return clean, impulses
+
+
+class TestBeatMatrix:
+    def test_stacks_complete_windows(self):
+        clean, impulses = _pulse_train()
+        rows = beat_matrix(clean, impulses, 30, 30)
+        assert rows.shape == (impulses.shape[0], 60)
+
+    def test_drops_incomplete_windows(self):
+        clean, impulses = _pulse_train()
+        rows = beat_matrix(clean, np.concatenate([[5], impulses]), 30, 30)
+        assert rows.shape[0] == impulses.shape[0]
+
+    def test_empty_when_nothing_fits(self):
+        rows = beat_matrix(np.zeros(10), np.array([5]), 30, 30)
+        assert rows.shape == (0, 60)
+
+
+class TestEnsembleAverage:
+    def test_recovers_template_from_noise(self, rng):
+        clean, impulses = _pulse_train(n_beats=60)
+        noisy = clean + rng.normal(0, 0.3, clean.shape)
+        template = ensemble_average(noisy, impulses, 30, 30)
+        truth = beat_matrix(clean, impulses, 30, 30)[0]
+        assert np.max(np.abs(template - truth)) < 0.2
+
+    def test_raises_without_windows(self):
+        with pytest.raises(ValueError, match="no complete windows"):
+            ensemble_average(np.zeros(10), np.array([5]), 30, 30)
+
+    def test_noise_reduction_close_to_theory(self, rng):
+        clean, impulses = _pulse_train(n_beats=64)
+        noisy = clean + rng.normal(0, 0.3, clean.shape)
+        gain = ensemble_noise_reduction_db(noisy, clean, impulses, 30, 30)
+        # Theory: 10*log10(K) = 18 dB for K = 64.
+        assert gain == pytest.approx(18.0, abs=3.5)
+
+
+class TestAicf:
+    def test_converges_to_template(self, rng):
+        clean, impulses = _pulse_train(n_beats=80)
+        noisy = clean + rng.normal(0, 0.2, clean.shape)
+        result = aicf_filter(noisy, impulses, 30, 30, mu=0.15)
+        truth = beat_matrix(clean, impulses, 30, 30)[0]
+        final_error = np.sqrt(np.mean((result.estimates[-1] - truth) ** 2))
+        assert final_error < 0.1
+
+    def test_convergence_curve_decreases(self, rng):
+        clean, impulses = _pulse_train(n_beats=80)
+        noisy = clean + rng.normal(0, 0.2, clean.shape)
+        errors = aicf_convergence_curve(noisy, clean, impulses, 30, 30,
+                                        mu=0.15)
+        assert np.mean(errors[-10:]) < 0.5 * errors[0]
+
+    def test_invalid_mu(self):
+        clean, impulses = _pulse_train()
+        with pytest.raises(ValueError, match="2\\*mu"):
+            aicf_filter(clean, impulses, 30, 30, mu=0.8)
+
+    def test_no_complete_windows(self):
+        with pytest.raises(ValueError, match="complete window"):
+            aicf_filter(np.zeros(10), np.array([5]), 30, 30)
+
+    def test_initial_state_length_checked(self):
+        clean, impulses = _pulse_train()
+        with pytest.raises(ValueError, match="window length"):
+            aicf_filter(clean, impulses, 30, 30, initial=np.zeros(10))
+
+    def test_filtered_signal_replaces_windows(self, rng):
+        clean, impulses = _pulse_train(n_beats=40)
+        noisy = clean + rng.normal(0, 0.3, clean.shape)
+        result = aicf_filter(noisy, impulses, 30, 30, mu=0.2)
+        center = impulses[-1]
+        assert np.allclose(result.filtered[center - 30:center + 30],
+                           result.estimates[-1])
+
+    def test_tracks_dynamics_better_than_ea(self, rng):
+        # Beat amplitude drifts linearly: EA's static template is biased,
+        # AICF follows — the paper's §IV-C claim.
+        period, n_beats = 100, 80
+        n = (n_beats + 1) * period
+        clean = np.zeros(n)
+        impulses = np.arange(1, n_beats + 1) * period
+        t = np.arange(-30, 30)
+        pulse = np.exp(-0.5 * (t / 8.0) ** 2)
+        for k, center in enumerate(impulses):
+            clean[center - 30:center + 30] += (1.0 + 0.01 * k) * pulse
+        noisy = clean + rng.normal(0, 0.05, n)
+        err_aicf, err_ea = tracking_gain_vs_ea(noisy, clean, impulses,
+                                               30, 30, mu=0.2)
+        assert err_aicf < err_ea

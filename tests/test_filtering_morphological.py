@@ -1,0 +1,86 @@
+"""Unit tests for repro.filtering.morphological (Sun 2002 conditioning)."""
+
+import numpy as np
+import pytest
+
+from repro.filtering import MorphologicalFilter, MorphologicalFilterConfig
+from repro.signals import baseline_wander, snr_db
+
+
+class TestConstruction:
+    def test_structuring_lengths_are_odd(self):
+        mf = MorphologicalFilter(250.0)
+        assert all(length % 2 == 1 for length in mf.structuring_lengths)
+
+    def test_baseline_se_longer_than_noise_se(self):
+        mf = MorphologicalFilter(250.0)
+        b1, b2, n1, n2 = mf.structuring_lengths
+        assert b1 > n2 and b2 > b1
+
+    def test_invalid_fs(self):
+        with pytest.raises(ValueError, match="positive"):
+            MorphologicalFilter(0.0)
+
+    def test_custom_config(self):
+        config = MorphologicalFilterConfig(baseline_opening_s=0.3)
+        mf = MorphologicalFilter(100.0, config)
+        assert mf.structuring_lengths[0] == 31
+
+
+class TestBaselineRemoval:
+    def test_removes_drift(self, clean_record, rng):
+        fs = clean_record.fs
+        lead = clean_record.signals[1][:5000]
+        drift = baseline_wander(lead.shape[0], fs, rng, amplitude_mv=0.4)
+        mf = MorphologicalFilter(fs)
+        restored = mf.remove_baseline(lead + drift)
+        assert snr_db(lead, restored) > snr_db(lead, lead + drift) + 6
+
+    def test_baseline_of_flat_signal_is_flat(self):
+        mf = MorphologicalFilter(250.0)
+        x = np.full(2000, 0.3)
+        assert np.allclose(mf.baseline(x), 0.3)
+
+    def test_preserves_qrs_amplitude(self, clean_record):
+        mf = MorphologicalFilter(clean_record.fs)
+        lead = clean_record.signals[1]
+        conditioned = mf.remove_baseline(lead)
+        beat = clean_record.beats[5]
+        assert conditioned[beat.r_peak] == pytest.approx(
+            lead[beat.r_peak], rel=0.15)
+
+
+class TestNoiseSuppression:
+    def test_suppresses_impulses(self):
+        mf = MorphologicalFilter(250.0)
+        x = np.zeros(1000)
+        impulses = np.zeros(1000)
+        impulses[::97] = 1.0
+        cleaned = mf.suppress_noise(x + impulses)
+        assert np.max(np.abs(cleaned)) < 0.6
+
+    def test_condition_improves_snr_on_noisy_ecg(self, clean_record, rng):
+        fs = clean_record.fs
+        lead = clean_record.signals[1][:5000]
+        drift = baseline_wander(lead.shape[0], fs, rng, amplitude_mv=0.5)
+        mf = MorphologicalFilter(fs)
+        conditioned = mf.condition(lead + drift)
+        assert snr_db(lead, conditioned) > snr_db(lead, lead + drift) + 6
+
+
+class TestRecordInterfaces:
+    def test_condition_record_preserves_annotations(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        mf = MorphologicalFilter(ecg.fs)
+        conditioned = mf.condition_record(ecg)
+        assert conditioned.r_peaks.tolist() == ecg.r_peaks.tolist()
+        assert len(conditioned) == len(ecg)
+
+    def test_condition_multilead_shape(self, nsr_record):
+        mf = MorphologicalFilter(nsr_record.fs)
+        conditioned = mf.condition_multilead(nsr_record)
+        assert conditioned.signals.shape == nsr_record.signals.shape
+        assert conditioned.lead_names == tuple(nsr_record.lead_names)
+
+    def test_comparisons_per_sample_positive(self):
+        assert MorphologicalFilter(250.0).comparisons_per_sample() > 0

@@ -1,0 +1,97 @@
+"""Tests for the CS-encoding kernel and the [19]-style ISA extension."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim import Assembler, Platform, run_cs_accelerator
+from repro.hwsim.kernels import csenc
+
+
+class TestCsaInstruction:
+    def test_fused_semantics(self):
+        asm = Assembler()
+        asm.ldi(1, 100)   # pointer to the index table
+        asm.ldi(3, 0)     # accumulator
+        asm.csa(3, 1)
+        asm.csa(3, 1)
+        asm.st(0, 3, 50)
+        asm.st(0, 1, 51)
+        asm.halt()
+        bank = np.zeros(256, dtype=np.int64)
+        bank[100] = 7     # first index -> sample at 7
+        bank[101] = 9     # second index -> sample at 9
+        bank[7] = 40
+        bank[9] = 2
+        result = Platform(1).run(asm.assemble(), [bank])
+        assert result.private_memories[0][50] == 42
+        assert result.private_memories[0][51] == 102  # post-incremented
+
+    def test_counts_two_dmem_accesses(self):
+        asm = Assembler()
+        asm.ldi(1, 100)
+        asm.csa(3, 1)
+        asm.halt()
+        result = Platform(1).run(asm.assemble())
+        assert result.counters.dmem_private_accesses == 2
+        assert result.counters.memory_instructions == 1
+
+
+class TestKernelCorrectness:
+    def _setup(self, rng, n=256, m=100, d=8):
+        window = rng.integers(-1000, 1000, n).astype(np.int64)
+        matrix = csenc.uniform_row_matrix(m, n, d, rng)
+        table = csenc.row_table_from_matrix(matrix, d)
+        return window, table, csenc.reference_measurements(window, table)
+
+    @pytest.mark.parametrize("accelerated", [False, True])
+    def test_measurements_match_reference(self, rng, accelerated):
+        window, table, reference = self._setup(rng)
+        program = csenc.build_cs_kernel(table.shape[0], table.shape[1],
+                                        accelerated)
+        run = Platform(1).run(program, csenc.prepare_memory(window, table))
+        out = run.private_memories[0][
+            csenc.OUT_BASE:csenc.OUT_BASE + table.shape[0]]
+        assert np.array_equal(out, reference)
+
+    def test_looped_accelerated_variant(self, rng):
+        window, table, reference = self._setup(rng)
+        program = csenc.build_cs_kernel(table.shape[0], table.shape[1],
+                                        accelerated=True, unroll=False)
+        run = Platform(1).run(program, csenc.prepare_memory(window, table))
+        out = run.private_memories[0][
+            csenc.OUT_BASE:csenc.OUT_BASE + table.shape[0]]
+        assert np.array_equal(out, reference)
+
+    def test_row_table_validates_uniformity(self, rng):
+        matrix = csenc.uniform_row_matrix(10, 50, 4, rng)
+        matrix[0, np.flatnonzero(matrix[0])[0]] = 0.0
+        with pytest.raises(ValueError, match="uniform-row"):
+            csenc.row_table_from_matrix(matrix, 4)
+
+
+class TestAcceleratorClaim:
+    @pytest.fixture(scope="class")
+    def comparison(self, nsr_record):
+        window = nsr_record.lead(1).signal[500:1012]
+        return run_cs_accelerator(window, nsr_record.fs)
+
+    def test_instruction_count_collapses(self, comparison):
+        base = comparison.sc_run.counters.total_instructions
+        accel = comparison.mc_run.counters.total_instructions
+        assert base > 4.0 * accel
+
+    def test_processing_power_ratio(self, comparison):
+        # Ref [19] reports >10x for a full accelerator (including the
+        # memory path); the ISA extension alone buys ~3x dynamic power —
+        # recorded honestly in EXPERIMENTS.md.
+        assert comparison.processing_power_ratio > 2.5
+
+    def test_total_power_still_improves(self, comparison):
+        assert comparison.savings_percent > 0.0
+
+    def test_dmem_traffic_unchanged(self, comparison):
+        # The extension fuses computation, not memory: both variants read
+        # index + sample per non-zero.
+        base = comparison.sc_run.counters.dmem_private_accesses
+        accel = comparison.mc_run.counters.dmem_private_accesses
+        assert base == pytest.approx(accel, rel=0.02)

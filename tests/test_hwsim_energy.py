@@ -1,0 +1,82 @@
+"""Unit tests for the hwsim energy model and power reports."""
+
+import pytest
+
+from repro.hwsim import EnergyModel, power_report
+from repro.hwsim.platform import EventCounters
+
+
+class TestVoltageFrequency:
+    def test_interpolation_monotone(self):
+        model = EnergyModel()
+        freqs = [20e3, 100e3, 400e3, 2e6, 10e6]
+        volts = [model.voltage_for_frequency(f) for f in freqs]
+        assert all(a < b for a, b in zip(volts, volts[1:]))
+
+    def test_clamps_to_floor(self):
+        model = EnergyModel()
+        assert model.voltage_for_frequency(1.0) == model.vf_points[0][0]
+
+    def test_raises_above_top(self):
+        model = EnergyModel()
+        with pytest.raises(ValueError, match="exceeds"):
+            model.voltage_for_frequency(1e9)
+
+    def test_exact_points(self):
+        model = EnergyModel()
+        for v, f in model.vf_points:
+            assert model.voltage_for_frequency(f) == pytest.approx(v,
+                                                                   abs=1e-9)
+
+    def test_scaling_laws(self):
+        model = EnergyModel(v_nominal=0.5)
+        assert model.dynamic_scale(0.5) == 1.0
+        assert model.dynamic_scale(1.0) == pytest.approx(4.0)
+        assert model.leakage_scale(1.0) == pytest.approx(8.0)
+
+
+class TestPowerReport:
+    def _counters(self):
+        return EventCounters(cycles=100_000, alu_instructions=60_000,
+                             mul_instructions=10_000,
+                             memory_instructions=20_000,
+                             branch_instructions=10_000,
+                             imem_accesses=100_000,
+                             dmem_private_accesses=20_000)
+
+    def test_components_positive(self):
+        report = power_report("x", self._counters(), deadline_s=1.0,
+                              n_cores=1)
+        assert report.core_w > 0
+        assert report.imem_w > 0
+        assert report.dmem_w > 0
+        assert report.leakage_w > 0
+        assert report.total_w == pytest.approx(
+            report.core_w + report.imem_w + report.dmem_w
+            + report.leakage_w)
+
+    def test_frequency_from_deadline(self):
+        report = power_report("x", self._counters(), deadline_s=0.5,
+                              n_cores=1)
+        assert report.frequency_hz == pytest.approx(200_000)
+
+    def test_longer_deadline_lower_power(self):
+        tight = power_report("x", self._counters(), 0.2, 1)
+        relaxed = power_report("x", self._counters(), 2.0, 1)
+        assert relaxed.total_w < tight.total_w
+        assert relaxed.voltage_v < tight.voltage_v
+
+    def test_leakage_scales_with_cores(self):
+        one = power_report("x", self._counters(), 1.0, 1)
+        three = power_report("x", self._counters(), 1.0, 3)
+        assert three.leakage_w > one.leakage_w
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError, match="deadline"):
+            power_report("x", self._counters(), 0.0, 1)
+
+    def test_microwatt_export(self):
+        report = power_report("x", self._counters(), 1.0, 1)
+        uw = report.as_microwatts()
+        assert uw["total"] == pytest.approx(1e6 * report.total_w)
+        assert set(uw) == {"core", "imem", "dmem", "leakage", "total"}

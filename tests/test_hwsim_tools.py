@@ -1,0 +1,82 @@
+"""Tests for the hwsim disassembler and static analyzer."""
+
+import pytest
+
+from repro.hwsim import Assembler, analyze, disassemble
+from repro.hwsim.kernels import mf3l, mmd3l, rpclass
+
+
+def _sample_program():
+    asm = Assembler()
+    asm.ldi(1, 0)
+    asm.ldi(2, 10)
+    asm.label("loop")
+    asm.ld(3, 1, 100)
+    asm.mul(3, 3, 3)
+    asm.st(1, 3, 200)
+    asm.addi(1, 1, 1)
+    asm.blt(1, 2, "loop")
+    asm.bar()
+    asm.halt()
+    return asm.assemble()
+
+
+class TestDisassembler:
+    def test_every_instruction_listed(self):
+        program = _sample_program()
+        listing = disassemble(program)
+        assert len(listing.splitlines()) == len(program)
+
+    def test_mnemonics_present(self):
+        listing = disassemble(_sample_program())
+        for mnemonic in ("LDI", "LD", "MUL", "ST", "ADDI", "BLT", "BAR",
+                         "HALT"):
+            assert mnemonic in listing
+
+    def test_branch_targets_marked(self):
+        listing = disassemble(_sample_program())
+        # The loop head (address 2) is a branch target.
+        assert any(line.startswith("->    2:")
+                   for line in listing.splitlines())
+
+    def test_kernels_disassemble(self):
+        program = mf3l.build_mf_kernel(64, 5, 1)
+        listing = disassemble(program)
+        assert "MIN" in listing and "MAX" in listing
+
+
+class TestAnalyzer:
+    def test_sample_counts(self):
+        stats = analyze(_sample_program())
+        assert stats.size == 9
+        assert stats.memory == 2
+        assert stats.mul == 1
+        assert stats.branches == 1
+        assert stats.barriers == 1
+        assert stats.data_dependent_branches == 1
+        assert stats.alu == 4
+
+    def test_memory_fraction(self):
+        stats = analyze(_sample_program())
+        assert stats.memory_fraction == pytest.approx(2 / 9)
+
+    def test_mf_kernel_is_branch_light(self):
+        stats = analyze(mf3l.build_mf_kernel(256, 12, 1))
+        # The §IV-B SIMD argument: the filtering kernel's control flow is
+        # counter loops only, a small fraction of the program.
+        assert stats.branches < 0.25 * stats.size
+        assert stats.barriers == 0
+
+    def test_mmd_kernel_has_barrier(self):
+        stats = analyze(mmd3l.build_mmd_kernel(256, (5, 10), 1, 3))
+        assert stats.barriers == 1
+
+    def test_rpclass_heaviest_in_multiplies(self):
+        mf_stats = analyze(mf3l.build_mf_kernel(256, 12, 1))
+        rp_stats = analyze(rpclass.build_rpclass_kernel(175, 12, 5, 3))
+        assert rp_stats.mul > mf_stats.mul
+
+    def test_empty_program(self):
+        stats = analyze([])
+        assert stats.size == 0
+        assert stats.memory_fraction == 0.0

@@ -1,0 +1,95 @@
+"""Cross-module integration tests: the paper's processing chains."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CsDecoder,
+    CsEncoder,
+    JointCsDecoder,
+    MultiLeadCsEncoder,
+    reconstruction_snr_db,
+)
+from repro.delineation import (
+    RPeakDetector,
+    WaveletDelineator,
+    evaluate_delineation,
+)
+from repro.filtering import MorphologicalFilter, combine_leads
+from repro.signals import RecordSpec, make_record
+
+
+class TestConditioningHelpsDelineation:
+    def test_conditioned_beats_raw_on_wandering_signal(self):
+        record = make_record(RecordSpec(name="amb", duration_s=30.0,
+                                        snr_db=10.0, ambulatory=True,
+                                        seed=31))
+        ecg = record.lead(1)
+        conditioner = MorphologicalFilter(ecg.fs)
+        conditioned = conditioner.condition_record(ecg)
+
+        def worst_sensitivity(signal):
+            peaks = RPeakDetector(ecg.fs).detect(signal)
+            detected = WaveletDelineator(ecg.fs).delineate(signal, peaks)
+            report = evaluate_delineation(ecg.beats, detected, ecg.fs)
+            return report.beat_sensitivity
+
+        assert worst_sensitivity(conditioned.signal) >= \
+            worst_sensitivity(ecg.signal) - 0.02
+
+
+class TestRmsCombinationHelpsDetection:
+    def test_combined_detection_at_low_snr(self):
+        record = make_record(RecordSpec(name="low", duration_s=30.0,
+                                        snr_db=8.0, seed=13))
+        combined = combine_leads(record)
+        peaks = RPeakDetector(record.fs).detect(combined.signal)
+        tol = int(0.05 * record.fs)
+        truth = record.r_peaks
+        matched = sum(1 for t in truth
+                      if np.any(np.abs(peaks - t) <= tol))
+        assert matched / truth.shape[0] > 0.9
+
+
+class TestCsPreservesDiagnosticContent:
+    def test_delineation_survives_cs_roundtrip(self, clean_record):
+        ecg = clean_record.lead(1)
+        n = 512
+        encoder = CsEncoder(n=n, cr_percent=50.0, seed=3)
+        decoder = CsDecoder(encoder.sensing)
+        n_windows = len(ecg) // n
+        reconstructed = np.zeros(n_windows * n)
+        for w in range(n_windows):
+            window = ecg.signal[w * n:(w + 1) * n]
+            reconstructed[w * n:(w + 1) * n] = decoder.recover(
+                encoder.encode(window)).window
+        truth_beats = [b for b in ecg.beats
+                       if b.r_peak < n_windows * n - 200]
+        peaks = RPeakDetector(ecg.fs).detect(reconstructed)
+        detected = WaveletDelineator(ecg.fs).delineate(reconstructed, peaks)
+        report = evaluate_delineation(truth_beats, detected, ecg.fs)
+        assert report.beat_sensitivity > 0.95
+        assert report.fiducials[("QRS", "peak")].sensitivity > 0.9
+
+
+class TestFig5MiniSweep:
+    def test_shape_on_two_points(self, clean_record):
+        seg = clean_record.signals[:, 1000:1512]
+        results = {}
+        for cr in (55.0, 75.0):
+            sl_enc = CsEncoder(n=512, cr_percent=cr, seed=3)
+            sl = reconstruction_snr_db(
+                seg[1],
+                CsDecoder(sl_enc.sensing).recover(
+                    sl_enc.encode(seg[1])).window)
+            ml_enc = MultiLeadCsEncoder(n_leads=3, n=512, cr_percent=cr,
+                                        seed=100)
+            recovery = JointCsDecoder(ml_enc.sensing_matrices).recover(
+                ml_enc.encode(seg))
+            ml = np.mean([reconstruction_snr_db(seg[l], recovery.windows[l])
+                          for l in range(3)])
+            results[cr] = (sl, ml)
+        # SNR falls with CR for both curves; ML dominates SL at high CR.
+        assert results[55.0][0] > results[75.0][0]
+        assert results[55.0][1] > results[75.0][1]
+        assert results[75.0][1] > results[75.0][0]

@@ -1,0 +1,149 @@
+"""Unit tests for multimodal estimation (PAT/PWV/BP, SpO2)."""
+
+import numpy as np
+import pytest
+
+from repro.multimodal import (
+    BpEstimator,
+    detect_pulse_feet,
+    estimate_spo2,
+    measure_pat,
+    pulse_arrival_times,
+    pwv_from_pat,
+    ratio_of_ratios,
+    spo2_from_ratio,
+    synthesize_dual_ppg,
+)
+from repro.signals import synthesize_ppg
+
+
+@pytest.fixture(scope="module")
+def ecg_ppg(nsr_record):
+    ppg = synthesize_ppg(nsr_record, rng=np.random.default_rng(3))
+    return nsr_record.lead(1), ppg
+
+
+class TestFootDetection:
+    def test_feet_near_ground_truth(self, ecg_ppg):
+        _, ppg = ecg_ppg
+        feet = detect_pulse_feet(ppg.signal, ppg.fs)
+        matched = 0
+        for truth in ppg.pulse_feet:
+            if np.any(np.abs(feet - truth) <= int(0.04 * ppg.fs)):
+                matched += 1
+        assert matched / ppg.pulse_feet.shape[0] > 0.9
+
+    def test_one_foot_per_beat(self, ecg_ppg):
+        _, ppg = ecg_ppg
+        feet = detect_pulse_feet(ppg.signal, ppg.fs)
+        assert abs(feet.shape[0] - ppg.pulse_feet.shape[0]) <= 2
+
+    def test_short_signal(self):
+        assert detect_pulse_feet(np.zeros(100), 250.0).size == 0
+
+
+class TestPat:
+    def test_pat_matches_true_ptt(self, ecg_ppg):
+        ecg, ppg = ecg_ppg
+        series = measure_pat(ppg, ecg.r_peaks)
+        assert series.pat_s.shape[0] > 0.9 * len(ecg.beats)
+        assert series.mean_pat_s == pytest.approx(
+            float(np.mean(ppg.true_ptt_s)), abs=0.015)
+
+    def test_pairing_window(self):
+        r_peaks = np.array([1000])
+        feet = np.array([1005, 1400])  # first too close, second too far?
+        series = pulse_arrival_times(r_peaks, feet, fs=250.0)
+        # 1005 is inside 0.08 s? 5 samples = 20 ms -> excluded;
+        # 1400 is 1.6 s -> excluded.
+        assert series.pat_s.size == 0
+
+    def test_empty_series_mean_is_nan(self):
+        series = pulse_arrival_times(np.array([100]), np.array([]), 250.0)
+        assert np.isnan(series.mean_pat_s)
+
+
+class TestPwvBp:
+    def test_pwv_math(self):
+        pwv = pwv_from_pat(np.array([0.25]), path_length_m=0.65)
+        assert pwv[0] == pytest.approx(2.6)
+
+    def test_pwv_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            pwv_from_pat(np.array([0.0]))
+
+    def test_bp_calibration_roundtrip(self, rng):
+        truth_a, truth_b = 28.0, 15.0
+        pat = rng.uniform(0.18, 0.32, 40)
+        sbp = truth_a / pat + truth_b + rng.normal(0, 0.5, 40)
+        estimator = BpEstimator().fit(pat, sbp)
+        assert estimator.coef_a == pytest.approx(truth_a, rel=0.1)
+        predictions = estimator.predict(pat)
+        assert np.max(np.abs(predictions - (truth_a / pat + truth_b))) < 3.0
+
+    def test_bp_tracks_ptt_drift(self, nsr_record, rng):
+        # Simulate a BP rise (PTT shortens) and verify the estimator
+        # recovers the trend end-to-end through PPG synthesis.
+        def profile(t):
+            return 0.28 - 0.00035 * t  # PTT shortens over time
+
+        ppg = synthesize_ppg(nsr_record, ptt_profile=profile,
+                             rng=np.random.default_rng(8))
+        ecg = nsr_record.lead(1)
+        series = measure_pat(ppg, ecg.r_peaks)
+        estimator = BpEstimator().fit(series.pat_s,
+                                      25.0 / series.pat_s + 30.0)
+        early = estimator.predict(series.pat_s[:10]).mean()
+        late = estimator.predict(series.pat_s[-10:]).mean()
+        assert late > early  # BP estimate rises as PTT falls
+
+    def test_bp_requires_fit(self):
+        with pytest.raises(RuntimeError, match="calibration"):
+            BpEstimator().predict(np.array([0.25]))
+
+    def test_bp_fit_needs_points(self):
+        with pytest.raises(ValueError, match="calibration points"):
+            BpEstimator().fit(np.array([0.25]), np.array([120.0]))
+
+
+class TestSpo2:
+    def test_ratio_math(self):
+        red = np.array([1.0, 2.0, 1.0, 2.0])
+        infrared = np.array([2.0, 4.0, 2.0, 4.0])
+        # Equal AC/DC ratios -> R = 1.
+        assert ratio_of_ratios(red, infrared) == pytest.approx(1.0)
+
+    def test_calibration_curve(self):
+        assert spo2_from_ratio(0.52) == pytest.approx(97.0)
+        assert spo2_from_ratio(5.0) == 0.0  # clamped
+
+    def test_clean_synthesis_encodes_spo2(self, ecg_ppg, rng):
+        _, ppg = ecg_ppg
+        red, infrared = synthesize_dual_ppg(ppg.signal, 95.0, rng,
+                                            noise_std=0.0)
+        estimate = estimate_spo2(red, infrared, ppg.pulse_peaks, ppg.fs,
+                                 ensemble=False)
+        assert estimate.spo2_percent == pytest.approx(95.0, abs=1.5)
+
+    def test_ensemble_beats_raw_under_noise(self, ecg_ppg):
+        ecg, ppg = ecg_ppg
+        errors = {"ea": [], "raw": []}
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            red, infrared = synthesize_dual_ppg(ppg.signal, 96.0, rng,
+                                                noise_std=0.08)
+            ea = estimate_spo2(red, infrared, ecg.r_peaks, ppg.fs,
+                               ensemble=True)
+            raw = estimate_spo2(red, infrared, ecg.r_peaks, ppg.fs,
+                                ensemble=False)
+            errors["ea"].append(abs(ea.spo2_percent - 96.0))
+            errors["raw"].append(abs(raw.spo2_percent - 96.0))
+        assert np.mean(errors["ea"]) < np.mean(errors["raw"])
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="match"):
+            ratio_of_ratios(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError, match="SpO2"):
+            synthesize_dual_ppg(np.ones(10), 0.0, rng)
+        with pytest.raises(ValueError, match="no complete beat"):
+            estimate_spo2(np.ones(10), np.ones(10), np.array([5]), 250.0)

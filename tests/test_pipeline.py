@@ -1,0 +1,84 @@
+"""End-to-end node-application tests (paper §V scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.classification import AfDetector
+from repro.pipeline import CardiacMonitorNode
+from repro.power import NodeEnergyModel
+from repro.signals import RecordSpec, make_record
+
+
+@pytest.fixture(scope="module")
+def trained_detector(af_train_corpus):
+    return AfDetector().fit(list(af_train_corpus))
+
+
+@pytest.fixture(scope="module")
+def af_episode_record():
+    return make_record(RecordSpec(name="episode", duration_s=180.0,
+                                  rhythm="paroxysmal_af", af_burden=0.35,
+                                  snr_db=18.0, seed=77))
+
+
+class TestNsrProcessing:
+    def test_beats_and_heart_rate(self, nsr_record):
+        node = CardiacMonitorNode()
+        report = node.process(nsr_record)
+        assert len(report.beats) == pytest.approx(len(nsr_record.beats),
+                                                  abs=2)
+        truth_hr = 60.0 / np.mean(np.diff(nsr_record.r_peaks)) \
+            * nsr_record.fs
+        assert report.mean_heart_rate_bpm == pytest.approx(truth_hr,
+                                                           rel=0.05)
+
+    def test_no_alarms_without_detector(self, nsr_record):
+        report = CardiacMonitorNode().process(nsr_record)
+        assert report.alarms == []
+
+    def test_periodic_excerpts_scheduled(self, nsr_record):
+        node = CardiacMonitorNode(excerpt_period_s=10.0)
+        report = node.process(nsr_record)
+        assert report.periodic_excerpts == int(nsr_record.duration_s // 10)
+
+
+class TestAfScenario:
+    def test_af_raises_alarm(self, trained_detector, af_episode_record):
+        node = CardiacMonitorNode(af_detector=trained_detector)
+        report = node.process(af_episode_record)
+        assert len(report.alarms) >= 1
+        assert all(alarm.kind == "AF" for alarm in report.alarms)
+
+    def test_nsr_mostly_quiet(self, trained_detector, nsr_record):
+        node = CardiacMonitorNode(af_detector=trained_detector)
+        report = node.process(nsr_record)
+        assert len(report.alarms) <= 1  # allow a rare false window
+
+    def test_alarm_spans_inside_record(self, trained_detector,
+                                       af_episode_record):
+        node = CardiacMonitorNode(af_detector=trained_detector)
+        report = node.process(af_episode_record)
+        for alarm in report.alarms:
+            assert 0 <= alarm.start < alarm.stop
+            assert alarm.stop < af_episode_record.n_samples
+            assert alarm.excerpt_bits > 0
+
+
+class TestEnergyAccounting:
+    def test_smart_node_undercuts_raw_streaming(self, nsr_record):
+        report = CardiacMonitorNode().process(nsr_record)
+        model = NodeEnergyModel()
+        raw = model.raw_streaming(window_s=nsr_record.duration_s)
+        assert report.transmitted_bits < 0.2 * (
+            3 * nsr_record.n_samples * 12)
+        assert report.average_power_w < raw.average_power_w
+
+    def test_battery_days_plausible(self, nsr_record):
+        report = CardiacMonitorNode().process(nsr_record)
+        # The paper's node recharges "typically" weekly; our model should
+        # land between days and a few months depending on alarm traffic.
+        assert 2.0 < report.battery_days < 200.0
+
+    def test_processing_cycles_positive(self, nsr_record):
+        report = CardiacMonitorNode().process(nsr_record)
+        assert report.processing_cycles > 0

@@ -1,0 +1,77 @@
+"""Tests for the sample-at-a-time streaming monitor."""
+
+import numpy as np
+import pytest
+
+from repro.delineation import RPeakDetector, WaveletDelineator
+from repro.pipeline import StreamingConfig, StreamingMonitor, stream_record
+
+
+class TestStreamingEquivalence:
+    def test_matches_batch_beats(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        config = StreamingConfig(fs=ecg.fs, buffer_s=8.0, hop_s=2.0)
+        streamed = stream_record(ecg.signal, config)
+        peaks = RPeakDetector(ecg.fs).detect(ecg.signal)
+        batch = WaveletDelineator(ecg.fs).delineate(ecg.signal, peaks)
+        streamed_peaks = np.array([b.r_peak for b in streamed])
+        matched = 0
+        for beat in batch:
+            if np.any(np.abs(streamed_peaks - beat.r_peak)
+                      <= int(0.05 * ecg.fs)):
+                matched += 1
+        assert matched / len(batch) >= 0.95
+
+    def test_beats_emitted_in_order_without_duplicates(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        streamed = stream_record(ecg.signal,
+                                 StreamingConfig(fs=ecg.fs))
+        peaks = [b.r_peak for b in streamed]
+        assert peaks == sorted(peaks)
+        assert len(peaks) == len(set(peaks))
+
+    def test_absolute_indices(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        streamed = stream_record(ecg.signal, StreamingConfig(fs=ecg.fs))
+        truth = ecg.r_peaks
+        for beat in streamed[2:-2]:
+            assert np.min(np.abs(truth - beat.r_peak)) <= int(0.05 * ecg.fs)
+
+    def test_fiducials_attached(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        streamed = stream_record(ecg.signal, StreamingConfig(fs=ecg.fs))
+        with_p = sum(1 for b in streamed if b.p_wave.present)
+        assert with_p / len(streamed) > 0.9
+
+
+class TestMechanics:
+    def test_no_emission_before_first_hop(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        monitor = StreamingMonitor(StreamingConfig(fs=ecg.fs, hop_s=2.0))
+        emitted = []
+        for sample in ecg.signal[:int(1.5 * ecg.fs)]:
+            emitted.extend(monitor.push(sample))
+        assert emitted == []
+
+    def test_flush_releases_tail_beats(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        config = StreamingConfig(fs=ecg.fs, hop_s=2.0,
+                                 confirm_margin_s=0.8)
+        monitor = StreamingMonitor(config)
+        emitted = []
+        for sample in ecg.signal:
+            emitted.extend(monitor.push(sample))
+        before_flush = len(emitted)
+        emitted.extend(monitor.flush())
+        assert len(emitted) >= before_flush  # tail beats confirmed
+
+    def test_sample_counter(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        monitor = StreamingMonitor(StreamingConfig(fs=ecg.fs))
+        for sample in ecg.signal[:1000]:
+            monitor.push(sample)
+        assert monitor.samples_consumed == 1000
+
+    def test_buffer_must_exceed_hop(self):
+        with pytest.raises(ValueError, match="longer than the hop"):
+            StreamingMonitor(StreamingConfig(buffer_s=1.0, hop_s=2.0))

@@ -1,0 +1,57 @@
+"""Tests for the radio duty-cycling policies."""
+
+import pytest
+
+from repro.power import DutyCycledRadio, DutyCyclePolicy
+
+
+class TestMaintenance:
+    def test_beacon_power_scales_with_interval(self):
+        frequent = DutyCycledRadio(
+            policy=DutyCyclePolicy(beacon_interval_s=1.0))
+        sparse = DutyCycledRadio(
+            policy=DutyCyclePolicy(beacon_interval_s=10.0))
+        assert frequent.maintenance_power_w() == pytest.approx(
+            10 * sparse.maintenance_power_w())
+
+    def test_maintenance_is_microwatt_scale(self):
+        radio = DutyCycledRadio()
+        assert 1e-7 < radio.maintenance_power_w() < 1e-4
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            DutyCyclePolicy(beacon_interval_s=0.0)
+        with pytest.raises(ValueError):
+            DutyCyclePolicy(beacon_listen_s=-1.0)
+
+
+class TestPayload:
+    def test_zero_payload_costs_nothing_extra(self):
+        radio = DutyCycledRadio()
+        assert radio.payload_power_w(0.0) == 0.0
+        assert radio.average_power_w(0.0) == radio.maintenance_power_w()
+
+    def test_power_monotone_in_rate(self):
+        radio = DutyCycledRadio()
+        powers = [radio.payload_power_w(rate)
+                  for rate in (100.0, 1000.0, 9000.0)]
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DutyCycledRadio().payload_power_w(-1.0)
+
+    def test_batching_amortizes_overhead(self):
+        radio = DutyCycledRadio(
+            policy=DutyCyclePolicy(batch_interval_s=4.0))
+        gain = radio.batching_gain(200.0, small_interval_s=0.25)
+        # Small payloads pay the wake-up cost per burst: batching wins
+        # clearly.
+        assert gain > 1.5
+
+    def test_batching_gain_shrinks_for_heavy_streams(self):
+        radio = DutyCycledRadio(
+            policy=DutyCyclePolicy(batch_interval_s=4.0))
+        light = radio.batching_gain(100.0)
+        heavy = radio.batching_gain(50_000.0)
+        assert heavy < light

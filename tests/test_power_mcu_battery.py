@@ -1,0 +1,80 @@
+"""Unit tests for MCU/front-end models and battery lifetime."""
+
+import pytest
+
+from repro.power import Battery, FrontEndModel, McuModel
+
+
+class TestMcuModel:
+    def test_energy_per_cycle(self):
+        mcu = McuModel(clock_hz=1e6, active_power_w=0.5e-3)
+        assert mcu.energy_per_cycle == pytest.approx(0.5e-9)
+
+    def test_compute_energy_linear(self):
+        mcu = McuModel()
+        assert mcu.compute_energy(2_000_000) == pytest.approx(
+            2 * mcu.compute_energy(1_000_000))
+
+    def test_rtos_overhead_scales_with_time(self):
+        mcu = McuModel()
+        assert mcu.rtos_energy(10.0) == pytest.approx(
+            10 * mcu.rtos_energy(1.0))
+
+    def test_rtos_overhead_magnitude(self):
+        # 100 Hz tick x 400 cycles = 40k cycles/s: 4 % of a 1 MHz core.
+        mcu = McuModel()
+        busy_fraction = (mcu.rtos_tick_hz * mcu.rtos_tick_cycles
+                         / mcu.clock_hz)
+        assert busy_fraction == pytest.approx(0.04)
+
+    def test_idle_energy(self):
+        mcu = McuModel(sleep_power_w=2e-6)
+        assert mcu.idle_energy(10.0, active_fraction=0.25) == pytest.approx(
+            2e-6 * 10.0 * 0.75)
+
+
+class TestFrontEnd:
+    def test_sampling_energy_components(self):
+        frontend = FrontEndModel(energy_per_sample_j=50e-9,
+                                 bias_power_w=3e-6)
+        energy = frontend.sampling_energy(250, 3, 1.0)
+        assert energy == pytest.approx(250 * 3 * 50e-9 + 3e-6 * 3)
+
+    def test_more_leads_cost_more(self):
+        frontend = FrontEndModel()
+        assert frontend.sampling_energy(250, 3, 1.0) > \
+            2.9 * frontend.sampling_energy(250, 1, 1.0)
+
+
+class TestBattery:
+    def test_usable_energy(self):
+        battery = Battery(capacity_mah=150.0, voltage_v=3.7,
+                          usable_fraction=0.85)
+        expected = 0.150 * 3600 * 3.7 * 0.85
+        assert battery.usable_energy_j == pytest.approx(expected)
+
+    def test_lifetime_inverse_in_power(self):
+        battery = Battery(self_discharge_per_month=0.0)
+        assert battery.lifetime_days(1e-3) == pytest.approx(
+            2 * battery.lifetime_days(2e-3))
+
+    def test_lifetime_week_scale_at_milliwatts(self):
+        # A 150 mAh cell at ~2.8 mW lasts about one week — the paper's
+        # "mean time between charges is typically one week".
+        battery = Battery()
+        days = battery.lifetime_days(2.8e-3)
+        assert 5.0 <= days <= 9.0
+
+    def test_zero_power_limited_by_self_discharge(self):
+        battery = Battery(self_discharge_per_month=0.05)
+        assert battery.lifetime_days(0.0) < float("inf")
+        no_leak = Battery(self_discharge_per_month=0.0)
+        assert no_leak.lifetime_days(0.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=0.0)
+        with pytest.raises(ValueError):
+            Battery(usable_fraction=1.5)
+        with pytest.raises(ValueError):
+            Battery().lifetime_days(-1.0)

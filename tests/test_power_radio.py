@@ -1,0 +1,72 @@
+"""Unit tests for the 802.15.4 radio/MAC energy model."""
+
+import pytest
+
+from repro.power import (
+    Ieee802154Link,
+    MAC_OVERHEAD_BYTES,
+    MTU_BYTES,
+    RadioModel,
+)
+
+
+class TestFraming:
+    def test_payload_per_frame(self):
+        link = Ieee802154Link()
+        assert link.payload_per_frame_bytes == MTU_BYTES - MAC_OVERHEAD_BYTES
+
+    def test_single_frame_for_small_payload(self):
+        link = Ieee802154Link()
+        assert link.frames_for(8 * 50) == 1
+
+    def test_multiple_frames(self):
+        link = Ieee802154Link()
+        per_frame = link.payload_per_frame_bytes
+        assert link.frames_for(8 * (per_frame + 1)) == 2
+        assert link.frames_for(8 * (3 * per_frame)) == 3
+
+    def test_zero_payload(self):
+        link = Ieee802154Link()
+        assert link.frames_for(0) == 0
+        cost = link.transmit(0)
+        assert cost.energy_j == 0.0 and cost.airtime_s == 0.0
+
+
+class TestEnergy:
+    def test_monotone_in_payload(self):
+        link = Ieee802154Link()
+        energies = [link.transmit(bits).energy_j
+                    for bits in (100, 1000, 10_000, 100_000)]
+        assert all(a < b for a, b in zip(energies, energies[1:]))
+
+    def test_airtime_matches_bitrate(self):
+        radio = RadioModel(bitrate_bps=250e3)
+        link = Ieee802154Link(radio, ack_enabled=False)
+        cost = link.transmit(8 * 100)
+        expected_bits = 8 * (100 + 6 + 11)  # payload + PHY + MAC
+        assert cost.airtime_s == pytest.approx(expected_bits / 250e3)
+
+    def test_ack_adds_energy(self):
+        with_ack = Ieee802154Link(ack_enabled=True).transmit(8000)
+        without = Ieee802154Link(ack_enabled=False).transmit(8000)
+        assert with_ack.energy_j > without.energy_j
+
+    def test_startup_charged_per_wakeup(self):
+        link = Ieee802154Link()
+        one = link.transmit(800, wakeups=1).energy_j
+        three = link.transmit(800, wakeups=3).energy_j
+        assert three - one == pytest.approx(2 * link.radio.startup_energy_j)
+
+    def test_effective_energy_per_bit_decreases_with_batching(self):
+        link = Ieee802154Link()
+        small = link.effective_energy_per_payload_bit(200)
+        large = link.effective_energy_per_payload_bit(80_000)
+        assert large < small
+
+    def test_effective_energy_above_raw_bit_energy(self):
+        link = Ieee802154Link()
+        assert link.effective_energy_per_payload_bit(10_000) > \
+            link.radio.energy_per_bit()
+
+    def test_zero_payload_effective_energy(self):
+        assert Ieee802154Link().effective_energy_per_payload_bit(0) == 0.0

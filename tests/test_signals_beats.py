@@ -1,0 +1,118 @@
+"""Unit tests for repro.signals.beats (beat morphology models)."""
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    BEAT_AF,
+    BEAT_APC,
+    BEAT_NORMAL,
+    BEAT_PVC,
+    GAUSS_SUPPORT,
+    af_beat,
+    apc_beat,
+    normal_beat,
+    pvc_beat,
+    template_for,
+)
+from repro.signals.beats import WaveShape
+
+
+class TestWaveShape:
+    def test_center_scales_with_rr(self):
+        wave = WaveShape(amplitude=1.0, center_s=-0.17, width_s=0.02,
+                         rr_scaling=1.0)
+        assert wave.center_for_rr(0.5) == pytest.approx(-0.085)
+
+    def test_center_fixed_when_no_scaling(self):
+        wave = WaveShape(amplitude=1.0, center_s=0.026, width_s=0.01)
+        assert wave.center_for_rr(0.5) == pytest.approx(0.026)
+
+    def test_bazett_scaling(self):
+        wave = WaveShape(amplitude=1.0, center_s=0.32, width_s=0.05,
+                         rr_scaling=0.5)
+        assert wave.center_for_rr(0.64) == pytest.approx(0.32 * 0.8)
+
+
+class TestTemplates:
+    def test_template_lookup_all_classes(self):
+        for label in (BEAT_NORMAL, BEAT_PVC, BEAT_APC, BEAT_AF):
+            assert template_for(label).label == label
+
+    def test_template_lookup_unknown(self):
+        with pytest.raises(KeyError, match="no beat template"):
+            template_for("X")
+
+    def test_normal_beat_r_dominates(self):
+        t = np.linspace(-0.4, 0.6, 1001)
+        beat = normal_beat().render(t, rr_s=0.8)
+        assert t[np.argmax(beat)] == pytest.approx(0.0, abs=0.005)
+        assert beat.max() == pytest.approx(1.0, rel=0.05)
+
+    def test_pvc_has_no_p_wave(self):
+        assert pvc_beat().p.amplitude == 0.0
+
+    def test_af_beat_has_no_p_wave(self):
+        assert af_beat().p.amplitude == 0.0
+
+    def test_af_beat_keeps_normal_qrs(self):
+        assert af_beat().r.amplitude == normal_beat().r.amplitude
+
+    def test_pvc_qrs_wider_than_normal(self):
+        assert pvc_beat().r.width_s > 2 * normal_beat().r.width_s
+
+    def test_pvc_t_discordant(self):
+        assert pvc_beat().t.amplitude < 0 < normal_beat().t.amplitude
+
+    def test_apc_p_smaller_and_earlier(self):
+        apc, normal = apc_beat(), normal_beat()
+        assert abs(apc.p.amplitude) < abs(normal.p.amplitude)
+        assert apc.p.center_s > normal.p.center_s  # closer to the QRS
+
+    def test_scaled_template(self):
+        scaled = normal_beat().scaled(0.5)
+        assert scaled.r.amplitude == pytest.approx(0.5)
+        assert scaled.p.amplitude == pytest.approx(0.075)
+
+    def test_render_zero_amplitude_wave_contributes_nothing(self):
+        # Far enough from the (wide) PVC QRS that only a P wave could
+        # contribute — and the PVC has none.
+        t = np.linspace(-0.30, -0.16, 141)
+        assert np.allclose(pvc_beat().render(t, 0.8), 0.0, atol=1e-3)
+
+
+class TestFiducials:
+    def test_normal_fiducials_match_gaussian_support(self):
+        fs = 250.0
+        template = normal_beat()
+        beat = template.fiducials(r_sample=1000, rr_s=0.8, fs=fs)
+        assert beat.r_peak == 1000
+        assert beat.qrs.peak == 1000
+        expected_p_peak = 1000 + round(template.p.center_for_rr(0.8) * fs)
+        assert beat.p_wave.peak == expected_p_peak
+        half = GAUSS_SUPPORT * template.p.width_s * fs
+        assert beat.p_wave.end - beat.p_wave.onset == pytest.approx(
+            2 * half, abs=2)
+
+    def test_qrs_spans_q_to_s(self):
+        fs = 250.0
+        template = normal_beat()
+        beat = template.fiducials(1000, 0.8, fs)
+        q_onset = (template.q.center_s - GAUSS_SUPPORT * template.q.width_s)
+        s_end = (template.s.center_s + GAUSS_SUPPORT * template.s.width_s)
+        assert beat.qrs.onset == 1000 + round(q_onset * fs)
+        assert beat.qrs.end == 1000 + round(s_end * fs)
+
+    def test_pvc_fiducials_have_absent_p(self):
+        beat = pvc_beat().fiducials(500, 0.8, 250.0)
+        assert not beat.p_wave.present
+        assert beat.t_wave.present
+
+    def test_t_wave_timing_stretches_with_rr(self):
+        template = normal_beat()
+        short = template.fiducials(1000, 0.5, 250.0)
+        long = template.fiducials(1000, 1.2, 250.0)
+        assert long.t_wave.peak > short.t_wave.peak
+
+    def test_fiducials_label_matches_template(self):
+        assert pvc_beat().fiducials(0, 0.8, 250.0).label == BEAT_PVC

@@ -1,0 +1,105 @@
+"""Unit tests for repro.signals.noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals import (
+    AMBULATORY_MIX,
+    NoiseSpec,
+    RESTING_MIX,
+    add_noise,
+    baseline_wander,
+    electrode_motion,
+    fibrillatory_waves,
+    muscle_artifact,
+    noise_mixture,
+    powerline,
+    snr_db,
+)
+
+FS = 250.0
+N = 5000
+
+
+def _band_power_fraction(x: np.ndarray, fs: float, lo: float,
+                         hi: float) -> float:
+    spectrum = np.abs(np.fft.rfft(x)) ** 2
+    freqs = np.fft.rfftfreq(x.shape[0], 1.0 / fs)
+    band = spectrum[(freqs >= lo) & (freqs <= hi)].sum()
+    return float(band / spectrum.sum())
+
+
+class TestGenerators:
+    def test_baseline_wander_is_low_frequency(self, rng):
+        x = baseline_wander(N, FS, rng)
+        assert _band_power_fraction(x, FS, 0.0, 0.7) > 0.95
+
+    def test_baseline_wander_amplitude(self, rng):
+        x = baseline_wander(N, FS, rng, amplitude_mv=0.25)
+        assert np.max(np.abs(x)) == pytest.approx(0.25, rel=1e-6)
+
+    def test_powerline_is_narrowband_at_mains(self, rng):
+        x = powerline(N, FS, rng, mains_hz=50.0)
+        assert _band_power_fraction(x, FS, 48.0, 52.0) > 0.95
+
+    def test_powerline_custom_mains(self, rng):
+        x = powerline(N, FS, rng, mains_hz=60.0)
+        assert _band_power_fraction(x, FS, 58.0, 62.0) > 0.95
+
+    def test_muscle_artifact_band(self, rng):
+        x = muscle_artifact(N, FS, rng)
+        assert _band_power_fraction(x, FS, 18.0, 110.0) > 0.9
+
+    def test_electrode_motion_is_sparse(self, rng):
+        x = electrode_motion(N, FS, rng, events_per_minute=3.0)
+        # Most samples are quiet; a few bumps dominate.
+        quiet = np.mean(np.abs(x) < 0.05 * np.max(np.abs(x) + 1e-12))
+        assert quiet > 0.5
+
+    def test_fibrillatory_waves_band(self, rng):
+        x = fibrillatory_waves(N, FS, rng)
+        assert _band_power_fraction(x, FS, 3.5, 10.0) > 0.9
+
+    def test_fibrillatory_amplitude(self, rng):
+        x = fibrillatory_waves(N, FS, rng, amplitude_mv=0.1)
+        assert np.max(np.abs(x)) <= 0.14  # amplitude * (1 + modulation)
+
+
+class TestNoiseSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown noise kind"):
+            NoiseSpec("thermal")
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            NoiseSpec("baseline", weight=0.0)
+
+    def test_preset_mixes_are_valid(self):
+        assert all(isinstance(s, NoiseSpec) for s in RESTING_MIX)
+        assert all(isinstance(s, NoiseSpec) for s in AMBULATORY_MIX)
+
+
+class TestMixing:
+    def test_mixture_has_unit_power(self, rng):
+        x = noise_mixture(N, FS, rng)
+        assert np.mean(x ** 2) == pytest.approx(1.0, rel=1e-9)
+
+    def test_snr_db_identity(self):
+        clean = np.sin(np.linspace(0, 20 * np.pi, 1000))
+        assert snr_db(clean, clean) == np.inf
+
+    def test_snr_db_known_value(self, rng):
+        clean = np.sin(np.linspace(0, 20 * np.pi, 10_000))
+        noise = rng.standard_normal(10_000)
+        noise *= np.sqrt(np.mean(clean ** 2) / np.mean(noise ** 2)) / 10
+        assert snr_db(clean, clean + noise) == pytest.approx(20.0, abs=0.2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(target=st.floats(min_value=0.0, max_value=40.0))
+    def test_add_noise_hits_target_snr(self, target):
+        rng = np.random.default_rng(99)
+        clean = np.sin(np.linspace(0, 40 * np.pi, 8000))
+        noisy = add_noise(clean, FS, target, rng)
+        assert snr_db(clean, noisy) == pytest.approx(target, abs=0.01)

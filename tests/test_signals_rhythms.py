@@ -1,0 +1,146 @@
+"""Unit tests for repro.signals.rhythms (RR-interval generators)."""
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    BEAT_APC,
+    BEAT_NORMAL,
+    BEAT_PVC,
+    RHYTHM_AF,
+    RHYTHM_SINUS,
+    RhythmSegment,
+    RhythmSequence,
+    af_rhythm,
+    paroxysmal_af,
+    sinus_rhythm,
+    with_ectopy,
+)
+
+
+class TestSinusRhythm:
+    def test_mean_rate(self, rng):
+        segment = sinus_rhythm(300.0, mean_hr_bpm=60.0, rng=rng)
+        assert np.mean(segment.rr_s) == pytest.approx(1.0, rel=0.05)
+
+    def test_duration_respected(self, rng):
+        segment = sinus_rhythm(60.0, rng=rng)
+        assert segment.duration_s <= 60.0
+        assert segment.duration_s > 50.0
+
+    def test_all_normal_labels(self, rng):
+        segment = sinus_rhythm(30.0, rng=rng)
+        assert set(segment.labels) == {BEAT_NORMAL}
+        assert segment.rhythm == RHYTHM_SINUS
+
+    def test_variability_close_to_requested(self, rng):
+        segment = sinus_rhythm(600.0, mean_hr_bpm=60.0, hrv_std_s=0.05,
+                               rng=rng)
+        assert np.std(segment.rr_s) == pytest.approx(0.05, rel=0.3)
+
+    def test_intervals_physiological(self, rng):
+        segment = sinus_rhythm(120.0, mean_hr_bpm=90.0, rng=rng)
+        assert np.all(segment.rr_s > 0.3)
+        assert np.all(segment.rr_s < 2.6)
+
+
+class TestAfRhythm:
+    def test_more_irregular_than_sinus(self, rng):
+        af = af_rhythm(300.0, rng=rng)
+        nsr = sinus_rhythm(300.0, rng=rng)
+        cv_af = np.std(af.rr_s) / np.mean(af.rr_s)
+        cv_nsr = np.std(nsr.rr_s) / np.mean(nsr.rr_s)
+        assert cv_af > 2.0 * cv_nsr
+
+    def test_labels_and_rhythm(self, rng):
+        af = af_rhythm(30.0, rng=rng)
+        assert af.rhythm == RHYTHM_AF
+        assert all(label == "A" for label in af.labels)
+
+    def test_successive_differences_uncorrelated(self, rng):
+        af = af_rhythm(600.0, rng=rng)
+        rr = af.rr_s - np.mean(af.rr_s)
+        autocorr = np.corrcoef(rr[:-1], rr[1:])[0, 1]
+        assert abs(autocorr) < 0.25
+
+
+class TestWithEctopy:
+    def test_requested_fractions(self, rng):
+        base = sinus_rhythm(600.0, rng=rng)
+        mixed = with_ectopy(base, pvc_fraction=0.10, apc_fraction=0.05,
+                            rng=rng)
+        labels = np.array(mixed.labels)
+        n = labels.shape[0]
+        assert np.sum(labels == BEAT_PVC) == pytest.approx(0.10 * n, abs=3)
+        assert np.sum(labels == BEAT_APC) == pytest.approx(0.05 * n, abs=3)
+
+    def test_pvc_prematurity_and_pause(self, rng):
+        base = sinus_rhythm(300.0, mean_hr_bpm=60.0, hrv_std_s=0.001,
+                            rng=rng)
+        mixed = with_ectopy(base, pvc_fraction=0.05, prematurity=0.3,
+                            rng=rng)
+        labels = list(mixed.labels)
+        for i, label in enumerate(labels):
+            if label == BEAT_PVC and 0 < i < len(labels) - 1:
+                # Premature beat, then compensatory pause; the two-beat
+                # span is preserved.
+                assert mixed.rr_s[i] < base.rr_s[i]
+                assert mixed.rr_s[i + 1] > base.rr_s[i + 1]
+                total = mixed.rr_s[i] + mixed.rr_s[i + 1]
+                assert total == pytest.approx(
+                    base.rr_s[i] + base.rr_s[i + 1], rel=1e-6)
+
+    def test_rejects_excessive_fraction(self, rng):
+        base = sinus_rhythm(30.0, rng=rng)
+        with pytest.raises(ValueError, match="not physiological"):
+            with_ectopy(base, pvc_fraction=0.4, apc_fraction=0.2, rng=rng)
+
+    def test_total_duration_preserved_for_apc_free_tail(self, rng):
+        base = sinus_rhythm(120.0, rng=rng)
+        mixed = with_ectopy(base, pvc_fraction=0.08, rng=rng)
+        assert mixed.duration_s == pytest.approx(base.duration_s, rel=0.02)
+
+
+class TestParoxysmalAf:
+    def test_burden_respected(self, rng):
+        sequence = paroxysmal_af(1200.0, af_burden=0.4, rng=rng)
+        af_time = sum(s.duration_s for s in sequence.segments
+                      if s.rhythm == RHYTHM_AF)
+        assert af_time / sequence.duration_s == pytest.approx(0.4, abs=0.15)
+
+    def test_pure_extremes(self, rng):
+        nsr_only = paroxysmal_af(120.0, af_burden=0.0, rng=rng)
+        assert all(s.rhythm == RHYTHM_SINUS for s in nsr_only.segments)
+        af_only = paroxysmal_af(120.0, af_burden=1.0, rng=rng)
+        assert all(s.rhythm == RHYTHM_AF for s in af_only.segments)
+
+    def test_alternation(self, rng):
+        sequence = paroxysmal_af(600.0, af_burden=0.5, episode_s=60.0,
+                                 rng=rng)
+        rhythms = [s.rhythm for s in sequence.segments]
+        assert all(a != b for a, b in zip(rhythms, rhythms[1:]))
+
+    def test_invalid_burden(self, rng):
+        with pytest.raises(ValueError, match="af_burden"):
+            paroxysmal_af(60.0, af_burden=1.5, rng=rng)
+
+
+class TestRhythmSequence:
+    def test_flatten_concatenates(self, rng):
+        a = sinus_rhythm(20.0, rng=rng)
+        b = af_rhythm(20.0, rng=rng)
+        sequence = RhythmSequence().append(a).append(b)
+        rr, labels, rhythms = sequence.flatten()
+        assert rr.shape[0] == a.n_beats + b.n_beats
+        assert labels[:a.n_beats] == a.labels
+        assert set(rhythms) == {RHYTHM_SINUS, RHYTHM_AF}
+
+    def test_empty_flatten(self):
+        rr, labels, rhythms = RhythmSequence().flatten()
+        assert rr.size == 0
+        assert labels == ()
+        assert rhythms == ()
+
+    def test_segment_validates_lengths(self):
+        with pytest.raises(ValueError, match="same length"):
+            RhythmSegment(RHYTHM_SINUS, np.array([0.8, 0.8]), ("N",))

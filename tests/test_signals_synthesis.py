@@ -1,0 +1,150 @@
+"""Unit tests for repro.signals.synthesis and dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    Corpus,
+    RecordSpec,
+    RHYTHM_AF,
+    SynthesisConfig,
+    beat_windows,
+    make_corpus,
+    make_record,
+    sinus_rhythm,
+    standard_3lead,
+    synthesize,
+)
+from repro.signals.rhythms import RhythmSequence
+
+
+class TestSynthesize:
+    def test_r_peak_annotations_are_exact(self, clean_record):
+        ecg = clean_record.lead(1)
+        for beat in ecg.beats[1:-1]:
+            window = ecg.signal[beat.r_peak - 3:beat.r_peak + 4]
+            # The discrete maximum sits within one sample of the mark
+            # (the analytic peak falls between samples).
+            assert abs(int(np.argmax(window)) - 3) <= 1
+
+    def test_p_wave_absent_in_af(self, af_record):
+        assert all(not b.p_wave.present for b in af_record.beats)
+
+    def test_p_wave_present_in_nsr(self, nsr_record):
+        assert all(b.p_wave.present for b in nsr_record.beats)
+
+    def test_af_adds_fibrillatory_activity(self, rng):
+        from repro.signals import af_rhythm
+
+        config = SynthesisConfig(snr_db=None)
+        af = synthesize(af_rhythm(20.0, rng=np.random.default_rng(0)),
+                        config, rng=np.random.default_rng(1))
+        nsr = synthesize(sinus_rhythm(20.0, rng=np.random.default_rng(0)),
+                         config, rng=np.random.default_rng(1))
+
+        def tq_power(record):
+            total, count = 0.0, 0
+            for beat in record.beats[1:]:
+                lo = beat.r_peak - int(0.30 * record.fs)
+                hi = beat.r_peak - int(0.22 * record.fs)
+                if lo > 0:
+                    total += float(np.mean(record.signals[1, lo:hi] ** 2))
+                    count += 1
+            return total / max(count, 1)
+
+        assert tq_power(af) > 3.0 * tq_power(nsr)
+
+    def test_leads_share_wave_timing(self, clean_record):
+        # R peak position identical across leads by construction.
+        for beat in clean_record.beats[2:5]:
+            peaks = [int(np.argmax(
+                clean_record.signals[lead,
+                                     beat.r_peak - 3:beat.r_peak + 4]))
+                for lead in range(3)]
+            assert peaks == [3, 3, 3]
+
+    def test_lead_ii_has_largest_r(self, clean_record):
+        beat = clean_record.beats[3]
+        amplitudes = clean_record.signals[:, beat.r_peak]
+        assert np.argmax(amplitudes) == 1
+
+    def test_empty_rhythm_rejected(self):
+        with pytest.raises(ValueError, match="no beats"):
+            synthesize(RhythmSequence(), SynthesisConfig())
+
+    def test_duration_covers_rhythm(self, rng):
+        segment = sinus_rhythm(10.0, rng=rng)
+        record = synthesize(segment, SynthesisConfig(snr_db=None), rng=rng)
+        assert record.duration_s >= segment.duration_s
+
+    def test_noise_level_applied(self, rng):
+        segment = sinus_rhythm(20.0, rng=np.random.default_rng(5))
+        clean = synthesize(segment, SynthesisConfig(snr_db=None),
+                           rng=np.random.default_rng(6))
+        noisy = synthesize(segment, SynthesisConfig(snr_db=10.0),
+                           rng=np.random.default_rng(6))
+        residual = noisy.signals[1] - clean.signals[1]
+        measured = 10 * np.log10(np.mean(clean.signals[1] ** 2)
+                                 / np.mean(residual ** 2))
+        assert measured == pytest.approx(10.0, abs=1.0)
+
+    def test_lead_set_controls_lead_count(self, rng):
+        from repro.signals import single_lead
+
+        segment = sinus_rhythm(5.0, rng=rng)
+        record = synthesize(segment,
+                            SynthesisConfig(lead_set=single_lead(),
+                                            snr_db=None), rng=rng)
+        assert record.n_leads == 1
+
+
+class TestDataset:
+    def test_corpus_is_reproducible(self):
+        a = make_corpus("nsr", n_records=2, duration_s=10.0, seed=9)
+        b = make_corpus("nsr", n_records=2, duration_s=10.0, seed=9)
+        assert np.array_equal(a.records[0].signals, b.records[0].signals)
+        assert a.records[1].name == b.records[1].name
+
+    def test_different_seeds_differ(self):
+        a = make_corpus("nsr", n_records=1, duration_s=10.0, seed=1)
+        b = make_corpus("nsr", n_records=1, duration_s=10.0, seed=2)
+        assert not np.array_equal(a.records[0].signals,
+                                  b.records[0].signals)
+
+    def test_all_presets_build(self):
+        for preset in ("nsr", "clean", "cs_eval", "ectopy", "af_mix",
+                       "ambulatory"):
+            corpus = make_corpus(preset, n_records=1, duration_s=10.0)
+            assert len(corpus) == 1
+            assert corpus.total_beats > 5
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown corpus preset"):
+            make_corpus("bogus", n_records=1)
+
+    def test_unknown_rhythm_rejected(self):
+        with pytest.raises(ValueError, match="unknown rhythm"):
+            make_record(RecordSpec(name="x", rhythm="vtach"))
+
+    def test_ectopy_preset_contains_ectopics(self):
+        corpus = make_corpus("ectopy", n_records=1, duration_s=60.0, seed=4)
+        labels = set()
+        for record in corpus:
+            labels.update(b.label for b in record.beats)
+        assert "V" in labels and "S" in labels
+
+    def test_af_mix_contains_both_rhythms(self):
+        corpus = make_corpus("af_mix", n_records=1, duration_s=120.0, seed=4)
+        rhythms = {b.rhythm for b in corpus.records[0].beats}
+        assert RHYTHM_AF in rhythms and len(rhythms) == 2
+
+    def test_beat_windows_shapes(self, ectopy_corpus):
+        X, y = beat_windows(ectopy_corpus)
+        assert X.shape[0] == y.shape[0]
+        assert X.shape[0] == ectopy_corpus.total_beats
+        expected = int(round(0.25 * 250)) + int(round(0.45 * 250))
+        assert X.shape[1] == expected
+
+    def test_beat_windows_empty_corpus(self):
+        X, y = beat_windows(Corpus(name="empty"))
+        assert X.size == 0 and y.size == 0

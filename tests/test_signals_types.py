@@ -1,0 +1,149 @@
+"""Unit tests for repro.signals.types."""
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    ABSENT_WAVE,
+    BeatAnnotation,
+    EcgRecord,
+    MultiLeadEcg,
+    PpgRecord,
+    WaveFiducials,
+)
+
+
+class TestWaveFiducials:
+    def test_present_wave(self):
+        wave = WaveFiducials(onset=10, peak=15, end=20)
+        assert wave.present
+        assert wave.duration() == 10
+
+    def test_absent_wave(self):
+        assert not ABSENT_WAVE.present
+        assert ABSENT_WAVE.duration() == 0
+
+    def test_shift(self):
+        wave = WaveFiducials(10, 15, 20).shifted(5)
+        assert (wave.onset, wave.peak, wave.end) == (15, 20, 25)
+
+    def test_shift_absent_is_noop(self):
+        assert ABSENT_WAVE.shifted(100) is ABSENT_WAVE
+
+    def test_duration_clamps_inverted(self):
+        assert WaveFiducials(20, 21, 10).duration() == 0
+
+
+class TestBeatAnnotation:
+    def test_wave_lookup(self):
+        qrs = WaveFiducials(5, 10, 15)
+        beat = BeatAnnotation(r_peak=10, qrs=qrs)
+        assert beat.wave("QRS") is qrs
+        assert beat.wave("P") is ABSENT_WAVE
+
+    def test_wave_lookup_unknown(self):
+        with pytest.raises(ValueError, match="unknown wave"):
+            BeatAnnotation(r_peak=10).wave("U")
+
+    def test_shift_moves_everything(self):
+        beat = BeatAnnotation(r_peak=100, qrs=WaveFiducials(95, 100, 105),
+                              p_wave=WaveFiducials(60, 70, 80))
+        moved = beat.shifted(-50)
+        assert moved.r_peak == 50
+        assert moved.qrs.onset == 45
+        assert moved.p_wave.peak == 20
+        assert not moved.t_wave.present
+
+
+class TestEcgRecord:
+    def _record(self, n=1000, fs=250.0):
+        beats = [BeatAnnotation(r_peak=p) for p in (100, 300, 500, 700)]
+        return EcgRecord(fs=fs, signal=np.arange(n, dtype=float),
+                         beats=beats, name="r")
+
+    def test_basic_properties(self):
+        record = self._record()
+        assert len(record) == 1000
+        assert record.duration_s == pytest.approx(4.0)
+        assert record.r_peaks.tolist() == [100, 300, 500, 700]
+        assert record.labels == ["N"] * 4
+
+    def test_rr_intervals(self):
+        record = self._record()
+        assert np.allclose(record.rr_intervals_s(), 0.8)
+
+    def test_rr_intervals_single_beat(self):
+        record = EcgRecord(250.0, np.zeros(100),
+                           [BeatAnnotation(r_peak=10)])
+        assert record.rr_intervals_s().size == 0
+
+    def test_rejects_2d_signal(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            EcgRecord(250.0, np.zeros((2, 10)))
+
+    def test_rejects_bad_fs(self):
+        with pytest.raises(ValueError, match="positive"):
+            EcgRecord(0.0, np.zeros(10))
+
+    def test_slice_rebases_annotations(self):
+        record = self._record()
+        part = record.slice(250, 600)
+        assert part.r_peaks.tolist() == [50, 250]
+        assert len(part) == 350
+
+    def test_slice_clamps_bounds(self):
+        record = self._record()
+        part = record.slice(-50, 10_000)
+        assert len(part) == 1000
+
+    def test_beat_window_length_and_content(self):
+        record = self._record()
+        window = record.beat_window(record.beats[1], 0.2, 0.2)
+        assert window.shape[0] == 100
+        assert window[50] == record.signal[300]
+
+    def test_beat_window_zero_pads_at_edges(self):
+        record = self._record()
+        early = BeatAnnotation(r_peak=5)
+        window = record.beat_window(early, 0.2, 0.2)
+        assert window.shape[0] == 100
+        assert window[0] == 0.0  # padded region
+
+
+class TestMultiLeadEcg:
+    def _record(self):
+        signals = np.vstack([np.arange(100.0), 2 * np.arange(100.0),
+                             3 * np.arange(100.0)])
+        return MultiLeadEcg(fs=250.0, signals=signals,
+                            beats=[BeatAnnotation(r_peak=50)])
+
+    def test_shape_properties(self):
+        record = self._record()
+        assert record.n_leads == 3
+        assert record.n_samples == 100
+        assert record.duration_s == pytest.approx(0.4)
+
+    def test_default_lead_names(self):
+        record = self._record()
+        assert tuple(record.lead_names) == ("L1", "L2", "L3")
+
+    def test_lead_extraction_shares_beats(self):
+        record = self._record()
+        lead = record.lead(1)
+        assert np.array_equal(lead.signal, record.signals[1])
+        assert lead.r_peaks.tolist() == [50]
+
+    def test_leads_iterator(self):
+        assert len(list(self._record().leads())) == 3
+
+    def test_lead_names_length_mismatch(self):
+        with pytest.raises(ValueError, match="lead_names"):
+            MultiLeadEcg(250.0, np.zeros((2, 10)), lead_names=("a",))
+
+
+class TestPpgRecord:
+    def test_construction_casts_types(self):
+        ppg = PpgRecord(fs=250.0, signal=[0.0, 1.0],
+                        pulse_feet=[1], pulse_peaks=[1], true_ptt_s=[0.2])
+        assert ppg.pulse_feet.dtype == np.dtype(int)
+        assert len(ppg) == 2
