@@ -1,0 +1,74 @@
+"""Fleet throughput — patients/sec and uplink bytes/patient/day.
+
+Not a paper figure: this benchmarks the `repro.fleet` layer the ROADMAP
+grows toward (many nodes, one gateway).  It runs a mid-size cohort
+end-to-end — synthesis, node pipeline, batched CS uplink, gateway
+reconstruction, triage — and reports fleet throughput plus the per-
+patient bandwidth that the §V transmission policy (periodic excerpts +
+alarms instead of raw streaming) actually costs.  Shape criteria: every
+patient is processed, nothing is dropped, and the smart uplink undercuts
+raw streaming by well over an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from repro.compression import raw_payload_bits
+from repro.fleet import (
+    CohortConfig,
+    FleetScheduler,
+    NodeProxyConfig,
+    SchedulerConfig,
+    make_cohort,
+)
+
+N_PATIENTS = 12
+DURATION_S = 120.0
+FS = 250.0
+
+
+def run_fleet():
+    cohort = make_cohort(CohortConfig(n_patients=N_PATIENTS, seed=7))
+    scheduler = FleetScheduler(
+        cohort,
+        SchedulerConfig(duration_s=DURATION_S, fs=FS),
+        node_config=NodeProxyConfig(stream_telemetry=False),
+    )
+    return scheduler.run()
+
+
+def test_fleet_throughput(benchmark):
+    report = benchmark.pedantic(run_fleet, rounds=1, iterations=1)
+    summary = report.summary
+
+    # Raw-streaming baseline for a 3-lead node, per patient per day.
+    raw_bytes_day = raw_payload_bits(int(86400 * FS), 12) * 3 / 8.0
+    reduction = raw_bytes_day / summary.uplink_bytes_per_patient_day
+
+    print_table(
+        "Fleet throughput "
+        f"({N_PATIENTS} patients x {DURATION_S:.0f} s)",
+        ["metric", "value"],
+        [
+            ("patients/sec", report.patients_per_second),
+            ("node phase [s]", report.timings_s["synthesis+node"]),
+            ("gateway phase [s]", report.timings_s["uplink+gateway"]),
+            ("packets sent", report.packets_sent),
+            ("uplink kB/patient/day",
+             summary.uplink_bytes_per_patient_day / 1e3),
+            ("raw streaming kB/patient/day", raw_bytes_day / 1e3),
+            ("bandwidth reduction [x]", reduction),
+            ("reconstruction SNR p50 [dB]", summary.snr_p50_db),
+            ("mean battery [days]", summary.mean_battery_days),
+        ],
+    )
+
+    assert summary.n_patients == N_PATIENTS
+    assert report.patients_per_second > 0.1
+    assert summary.dropped_packets == 0
+    assert len(report.excerpts) == report.packets_sent
+    # Smart transmission must beat raw streaming by >= an order of
+    # magnitude (the whole point of the paper's §V policy).
+    assert reduction > 10.0
+    # Server-side reconstruction stays useful at the CR 60 % default.
+    assert summary.snr_p50_db > 12.0

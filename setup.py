@@ -13,4 +13,6 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=["numpy>=1.24", "scipy>=1.10"],
+    # pytest-benchmark: the tier-1 command also collects benchmarks/.
+    extras_require={"test": ["pytest", "pytest-benchmark"]},
 )

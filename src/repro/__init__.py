@@ -13,6 +13,8 @@ Subpackages (see DESIGN.md for the full system inventory):
 * :mod:`repro.hwsim` — multi-core WBSN instruction-level simulator (Fig. 7).
 * :mod:`repro.multimodal` — PAT/PWV/BP and SpO2 estimation.
 * :mod:`repro.pipeline` — the end-to-end node application.
+* :mod:`repro.fleet` — multi-patient gateway: cohorts, uplink packets,
+  server-side CS reconstruction, triage.
 """
 
 __version__ = "1.0.0"
@@ -23,6 +25,7 @@ __all__ = [
     "delineation",
     "dsp",
     "filtering",
+    "fleet",
     "hwsim",
     "multimodal",
     "pipeline",

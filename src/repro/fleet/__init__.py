@@ -1,0 +1,77 @@
+"""Multi-patient fleet: cohorts, uplink, gateway reconstruction, triage.
+
+The paper's node (§V) transmits CS-compressed excerpts "periodically or
+when an abnormality is detected" — and stops there.  This package models
+the receiving half at fleet scale: a cohort of heterogeneous virtual
+patients (:mod:`repro.fleet.cohort`), per-patient node proxies emitting
+timestamped uplink packets (:mod:`repro.fleet.node_proxy`), a gateway
+that demultiplexes the uplink, reconstructs the CS excerpts server-side
+and re-checks node alarms (:mod:`repro.fleet.gateway`), per-patient
+triage state machines with fleet aggregates (:mod:`repro.fleet.triage`),
+and a batched scheduler that drives many patients per tick
+(:mod:`repro.fleet.scheduler`).
+"""
+
+from .cohort import (
+    CohortConfig,
+    PatientProfile,
+    make_cohort,
+    synthesize_patient,
+)
+from .gateway import (
+    Gateway,
+    GatewayConfig,
+    PatientChannel,
+    ReconstructedExcerpt,
+)
+from .node_proxy import (
+    PACKET_ALARM,
+    PACKET_EXCERPT,
+    NodeProxy,
+    NodeProxyConfig,
+    UplinkPacket,
+)
+from .scheduler import (
+    BatchExcerptEncoder,
+    FleetReport,
+    FleetScheduler,
+    SchedulerConfig,
+)
+from .triage import (
+    STATE_ALERT,
+    STATE_OK,
+    STATE_WATCH,
+    FleetSummary,
+    PatientTriage,
+    TriageBoard,
+    TriageConfig,
+    fleet_summary,
+)
+
+__all__ = [
+    "BatchExcerptEncoder",
+    "CohortConfig",
+    "FleetReport",
+    "FleetScheduler",
+    "FleetSummary",
+    "Gateway",
+    "GatewayConfig",
+    "NodeProxy",
+    "NodeProxyConfig",
+    "PACKET_ALARM",
+    "PACKET_EXCERPT",
+    "PatientChannel",
+    "PatientProfile",
+    "PatientTriage",
+    "ReconstructedExcerpt",
+    "STATE_ALERT",
+    "STATE_OK",
+    "STATE_WATCH",
+    "SchedulerConfig",
+    "TriageBoard",
+    "TriageConfig",
+    "UplinkPacket",
+    "fleet_summary",
+    "make_cohort",
+    "synthesize_patient",
+]

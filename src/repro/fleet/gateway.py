@@ -1,0 +1,217 @@
+"""Gateway: bounded-queue ingest, demux, CS reconstruction, confirmation.
+
+The receiving half the paper leaves off-node (ref [5]): packets from many
+nodes land in a bounded ingest queue; the gateway demultiplexes them into
+per-patient channels, rebuilds the per-lead sensing matrices from the
+packet's encoder geometry, reconstructs every excerpt with the joint
+group-sparse decoder of :mod:`repro.compression.multilead`, and — for
+alarm packets — re-runs delineation and RR-irregularity analysis on the
+*reconstructed* signal to confirm the node's decision before it reaches
+triage.
+
+Confirmation is deliberately conservative: a node alarm is only refuted
+when the reconstruction shows enough beats AND their RR series is
+regular.  Too few beats (short excerpt, poor reconstruction) keeps the
+alarm — the gateway must never silently drop a real AF event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compression.encoder import MultiLeadCsEncoder
+from ..compression.metrics import reconstruction_snr_db
+from ..compression.multilead import JointCsDecoder
+from ..delineation.rpeak import RPeakDetector
+from .node_proxy import PACKET_ALARM, UplinkPacket
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Server-side parameters.
+
+    Attributes:
+        queue_capacity: Bounded ingest queue length; packets arriving
+            while it is full are dropped (and counted).
+        wavelet: Sparsity basis of the joint decoder.
+        n_iter: FISTA iteration budget per window.
+        confirm_alarms: Re-check node alarms on the reconstruction.
+        rr_cv_confirm: RR coefficient of variation at or above which an
+            alarm excerpt counts as irregular (AF-like).  Sinus HRV sits
+            near 0.05; AF near 0.15-0.25.
+        min_confirm_beats: Minimum reconstructed beats needed before the
+            gateway is allowed to overrule a node alarm.
+    """
+
+    queue_capacity: int = 4096
+    wavelet: str = "db4"
+    n_iter: int = 150
+    confirm_alarms: bool = True
+    rr_cv_confirm: float = 0.09
+    min_confirm_beats: int = 5
+
+
+@dataclass(frozen=True)
+class ReconstructedExcerpt:
+    """One processed packet, after server-side reconstruction.
+
+    Attributes:
+        patient_id: Originating node.
+        timestamp_s: Packet emission time.
+        kind: Packet kind (excerpt / alarm).
+        signal: Reconstructed samples, shape ``(n_leads, span)``.
+        snr_db: Reconstruction SNR against the packet's evaluation
+            reference (nan when no reference was attached).
+        confirmed: Alarm packets only — ``True`` when the gateway
+            upholds the node alarm; ``None`` for routine excerpts.
+        mean_hr_bpm: Node-streamed telemetry passed through.
+    """
+
+    patient_id: str
+    timestamp_s: float
+    kind: str
+    signal: np.ndarray
+    snr_db: float
+    confirmed: bool | None
+    mean_hr_bpm: float = float("nan")
+
+
+@dataclass
+class PatientChannel:
+    """Per-patient ingest statistics and state."""
+
+    patient_id: str
+    n_excerpts: int = 0
+    n_alarms: int = 0
+    n_confirmed: int = 0
+    payload_bits: int = 0
+    last_timestamp_s: float = 0.0
+    snrs: list[float] = field(default_factory=list)
+
+    @property
+    def mean_snr_db(self) -> float:
+        """Mean reconstruction SNR of this channel (nan when unscored)."""
+        return float(np.mean(self.snrs)) if self.snrs else float("nan")
+
+
+class Gateway:
+    """Multi-patient ingest and server-side reconstruction.
+
+    Decoders are cached per encoder geometry ``(n_leads, window_n, m,
+    seed)`` — the fleet shares one matrix family per lead count, so in
+    practice a handful of decoders serve any cohort size.
+    """
+
+    def __init__(self, config: GatewayConfig | None = None) -> None:
+        self.config = config or GatewayConfig()
+        self.channels: dict[str, PatientChannel] = {}
+        self.dropped = 0
+        self._queue: deque[UplinkPacket] = deque()
+        self._decoders: dict[tuple, JointCsDecoder] = {}
+
+    @property
+    def pending(self) -> int:
+        """Packets waiting in the ingest queue."""
+        return len(self._queue)
+
+    def ingest(self, packet: UplinkPacket) -> bool:
+        """Enqueue one packet; ``False`` when the bounded queue is full."""
+        if len(self._queue) >= self.config.queue_capacity:
+            self.dropped += 1
+            return False
+        self._queue.append(packet)
+        return True
+
+    def drain(self, max_packets: int | None = None,
+              ) -> list[ReconstructedExcerpt]:
+        """Process up to ``max_packets`` queued packets (all by default)."""
+        budget = len(self._queue) if max_packets is None \
+            else min(max_packets, len(self._queue))
+        out: list[ReconstructedExcerpt] = []
+        for _ in range(budget):
+            out.append(self._process(self._queue.popleft()))
+        return out
+
+    def channel(self, patient_id: str) -> PatientChannel:
+        """The (created-on-demand) channel of one patient."""
+        if patient_id not in self.channels:
+            self.channels[patient_id] = PatientChannel(patient_id)
+        return self.channels[patient_id]
+
+    def _process(self, packet: UplinkPacket) -> ReconstructedExcerpt:
+        """Demux, reconstruct and (for alarms) confirm one packet."""
+        channel = self.channel(packet.patient_id)
+        channel.payload_bits += packet.payload_bits
+        channel.last_timestamp_s = max(channel.last_timestamp_s,
+                                       packet.timestamp_s)
+        decoder = self._decoder_for(packet)
+        pieces = []
+        snrs = []
+        for f, frame in enumerate(packet.frames):
+            recovery = decoder.recover(frame)
+            pieces.append(recovery.windows)
+            if packet.reference is not None:
+                snrs.extend(
+                    reconstruction_snr_db(packet.reference[f, lead],
+                                          recovery.windows[lead])
+                    for lead in range(packet.n_leads))
+        signal = np.concatenate(pieces, axis=1) if pieces \
+            else np.zeros((packet.n_leads, 0))
+        snr = float(np.mean(snrs)) if snrs else float("nan")
+
+        confirmed: bool | None = None
+        if packet.kind == PACKET_ALARM:
+            channel.n_alarms += 1
+            confirmed = (self._confirm(signal, packet.fs)
+                         if self.config.confirm_alarms else True)
+            if confirmed:
+                channel.n_confirmed += 1
+        else:
+            channel.n_excerpts += 1
+        if np.isfinite(snr):
+            channel.snrs.append(snr)
+        return ReconstructedExcerpt(
+            patient_id=packet.patient_id,
+            timestamp_s=packet.timestamp_s,
+            kind=packet.kind,
+            signal=signal,
+            snr_db=snr,
+            confirmed=confirmed,
+            mean_hr_bpm=packet.mean_hr_bpm,
+        )
+
+    def _decoder_for(self, packet: UplinkPacket) -> JointCsDecoder:
+        """Cached joint decoder matching the packet's encoder geometry."""
+        key = (packet.n_leads, packet.window_n, packet.cr_percent,
+               packet.quant_bits, packet.cs_seed)
+        if key not in self._decoders:
+            encoder = MultiLeadCsEncoder(
+                n_leads=packet.n_leads, n=packet.window_n,
+                cr_percent=packet.cr_percent,
+                quant_bits=packet.quant_bits, seed=packet.cs_seed)
+            self._decoders[key] = JointCsDecoder(
+                encoder.sensing_matrices, wavelet=self.config.wavelet,
+                n_iter=self.config.n_iter)
+        return self._decoders[key]
+
+    def _confirm(self, signal: np.ndarray, fs: float) -> bool:
+        """Re-check an alarm on the reconstructed signal.
+
+        Delineates the best available lead and measures RR irregularity;
+        refutes the alarm only on clear evidence of a regular rhythm.
+        """
+        if signal.size == 0:
+            return True
+        lead = signal[min(1, signal.shape[0] - 1)]  # lead II morphology
+        peaks = RPeakDetector(fs).detect(lead)
+        if peaks.shape[0] < self.config.min_confirm_beats:
+            return True  # not enough evidence to overrule the node
+        rr = np.diff(np.asarray(peaks, dtype=float)) / fs
+        mean = float(np.mean(rr))
+        if mean <= 0:
+            return True
+        cv = float(np.std(rr)) / mean
+        return cv >= self.config.rr_cv_confirm

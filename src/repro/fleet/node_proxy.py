@@ -1,0 +1,312 @@
+"""Per-patient node proxy: the uplink side of the fleet link.
+
+Wraps the existing node paths — :class:`~repro.pipeline.StreamingMonitor`
+for incremental beat telemetry and
+:class:`~repro.pipeline.CardiacMonitorNode` for alarms, bandwidth and
+energy accounting — into a node that *emits packets*: timestamped
+periodic CS excerpts plus alarm events carrying CS-compressed context,
+exactly the §V transmission policy ("periodically or when an abnormality
+is detected").
+
+Every packet carries the encoder geometry (window length, CR, seed), so
+the gateway can rebuild the sensing matrices and reconstruct without any
+side channel.  The ``reference`` field holds the original samples for
+reconstruction-SNR scoring only; it is never counted as payload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..classification.afib import AfDetector
+from ..compression.encoder import EncodedWindow, MultiLeadCsEncoder
+from ..filtering.combination import combine_leads
+from ..pipeline.node_app import CardiacMonitorNode, NodeReport
+from ..pipeline.streaming import StreamingConfig, StreamingMonitor
+from ..signals.types import MultiLeadEcg
+from .cohort import PatientProfile
+
+PACKET_EXCERPT = "excerpt"
+PACKET_ALARM = "alarm"
+
+#: Per-packet link-layer header charged on top of the CS payload
+#: (patient id, sequence number, timestamp, kind).
+PACKET_HEADER_BITS = 64
+
+
+@dataclass(frozen=True)
+class UplinkPacket:
+    """One timestamped uplink transmission from a node.
+
+    Attributes:
+        patient_id: Emitting node.
+        seq: Per-patient sequence number.
+        timestamp_s: Emission time within the recording.
+        kind: :data:`PACKET_EXCERPT` or :data:`PACKET_ALARM`.
+        start: First sample covered by the excerpt.
+        frames: Consecutive CS windows; each frame holds one
+            :class:`EncodedWindow` per lead.
+        payload_bits: Bits on the air (CS payload + header).
+        n_leads: Leads in each frame.
+        window_n: Samples per CS window.
+        cr_percent: Compression ratio the encoder ran at.
+        quant_bits: Measurement word size.
+        cs_seed: Base seed of the per-lead sensing matrices.
+        fs: Node sampling rate.
+        mean_hr_bpm: Streamed heart-rate telemetry (nan when unknown).
+        reference: Original samples ``(frames, leads, window_n)`` for
+            SNR scoring; evaluation-only, excluded from ``payload_bits``.
+    """
+
+    patient_id: str
+    seq: int
+    timestamp_s: float
+    kind: str
+    start: int
+    frames: tuple[tuple[EncodedWindow, ...], ...]
+    payload_bits: int
+    n_leads: int
+    window_n: int
+    cr_percent: float
+    quant_bits: int
+    cs_seed: int
+    fs: float
+    mean_hr_bpm: float = float("nan")
+    reference: np.ndarray | None = None
+
+    @property
+    def n_frames(self) -> int:
+        """Number of consecutive CS windows carried."""
+        return len(self.frames)
+
+    @property
+    def span_samples(self) -> int:
+        """Samples of signal covered by the excerpt."""
+        return self.n_frames * self.window_n
+
+
+@dataclass(frozen=True)
+class NodeProxyConfig:
+    """Uplink policy of one node.
+
+    Attributes:
+        excerpt_period_s: Period of routine CS excerpt transmissions.
+        window_n: CS window length in samples (all frames).
+        cr_percent: CS compression ratio.
+        quant_bits: Measurement word size.
+        cs_seed: Base sensing-matrix seed, shared fleet-wide so the
+            gateway (and the batch encoder) can reuse one matrix family.
+        alarm_context_s: Signal context shipped with each alarm (rounded
+            up to whole CS windows; must cover a few beats so the
+            gateway can re-check RR irregularity).
+        stream_telemetry: Run the streaming monitor over the combined
+            lead and attach per-period heart-rate telemetry.
+        attach_reference: Ship original samples for SNR evaluation.
+    """
+
+    excerpt_period_s: float = 60.0
+    window_n: int = 256
+    cr_percent: float = 60.0
+    quant_bits: int = 12
+    cs_seed: int = 11
+    alarm_context_s: float = 8.0
+    stream_telemetry: bool = True
+    attach_reference: bool = True
+
+
+class NodeProxy:
+    """One patient's node: processes a recording, emits uplink packets.
+
+    Args:
+        profile: The patient this node is strapped to.
+        config: Uplink policy.
+        af_detector: Trained AF detector shared across the fleet; the
+            proxy rebinds its delineation lead to the node's lead count.
+    """
+
+    def __init__(self, profile: PatientProfile,
+                 config: NodeProxyConfig | None = None,
+                 af_detector: AfDetector | None = None) -> None:
+        self.profile = profile
+        self.config = config or NodeProxyConfig()
+        self.af_detector = _rebind_lead(af_detector, profile.n_leads)
+        self.encoder = MultiLeadCsEncoder(
+            n_leads=profile.n_leads,
+            n=self.config.window_n,
+            cr_percent=self.config.cr_percent,
+            quant_bits=self.config.quant_bits,
+            seed=self.config.cs_seed,
+        )
+        self._seq = 0
+        self._fs = 250.0
+        #: Per-excerpt-period mean heart rate from the streaming pass of
+        #: the last :meth:`run` (the scheduler reads this for batched
+        #: excerpt packets).
+        self.heart_rates: dict[int, float] = {}
+
+    def run(self, record: MultiLeadEcg,
+            emit_excerpts: bool = True,
+            ) -> tuple[NodeReport, list[UplinkPacket]]:
+        """Process one recording; return the node report and its uplink.
+
+        Args:
+            record: The patient's recording (lead count must match the
+                profile).
+            emit_excerpts: Emit the periodic excerpt packets here.  The
+                fleet scheduler sets this to ``False`` and produces the
+                identical packets through its vectorized batch encoder.
+        """
+        if record.n_leads != self.profile.n_leads:
+            raise ValueError(
+                f"record has {record.n_leads} leads, node expects "
+                f"{self.profile.n_leads}")
+        cfg = self.config
+        self._fs = record.fs
+        node = CardiacMonitorNode(
+            af_detector=self.af_detector,
+            excerpt_period_s=cfg.excerpt_period_s,
+            excerpt_window_s=cfg.window_n / record.fs,
+            cs_cr_percent=cfg.cr_percent,
+        )
+        report = node.process(record)
+        self.heart_rates = (self._stream_heart_rates(record)
+                            if cfg.stream_telemetry else {})
+        hr_by_period = self.heart_rates
+
+        packets: list[UplinkPacket] = []
+        if emit_excerpts:
+            for period, start in enumerate(
+                    self.excerpt_starts(record.n_samples, record.fs)):
+                window = record.signals[:, start:start + cfg.window_n]
+                packets.append(self.packet_from_frames(
+                    kind=PACKET_EXCERPT,
+                    timestamp_s=(period + 1) * cfg.excerpt_period_s,
+                    start=start,
+                    frames=[self.encoder.encode(window)],
+                    reference=window[np.newaxis] if cfg.attach_reference
+                    else None,
+                    mean_hr_bpm=hr_by_period.get(period, float("nan")),
+                ))
+        for alarm in report.alarms:
+            packets.append(self._alarm_packet(record, alarm.start))
+        packets.sort(key=lambda p: p.timestamp_s)
+        return report, packets
+
+    def excerpt_starts(self, n_samples: int, fs: float) -> list[int]:
+        """Window start samples of the periodic excerpt schedule.
+
+        Each excerpt covers the ``window_n`` samples ending at its
+        period boundary.
+
+        Raises:
+            ValueError: When the period is too short to hold one window.
+        """
+        cfg = self.config
+        period = int(cfg.excerpt_period_s * fs)
+        if period < cfg.window_n:
+            raise ValueError(
+                f"excerpt_period_s ({cfg.excerpt_period_s} s = {period} "
+                f"samples) must cover at least one CS window "
+                f"({cfg.window_n} samples)")
+        return [t - cfg.window_n for t in range(period, n_samples + 1,
+                                                period)]
+
+    def packet_from_frames(self, kind: str, timestamp_s: float, start: int,
+                           frames: list[list[EncodedWindow]],
+                           reference: np.ndarray | None = None,
+                           mean_hr_bpm: float = float("nan"),
+                           ) -> UplinkPacket:
+        """Assemble one packet from already-encoded frames."""
+        cfg = self.config
+        payload = sum(w.payload_bits for frame in frames for w in frame)
+        packet = UplinkPacket(
+            patient_id=self.profile.patient_id,
+            seq=self._seq,
+            timestamp_s=timestamp_s,
+            kind=kind,
+            start=start,
+            frames=tuple(tuple(frame) for frame in frames),
+            payload_bits=payload + PACKET_HEADER_BITS,
+            n_leads=self.profile.n_leads,
+            window_n=cfg.window_n,
+            cr_percent=cfg.cr_percent,
+            quant_bits=cfg.quant_bits,
+            cs_seed=cfg.cs_seed,
+            fs=self._fs,
+            mean_hr_bpm=mean_hr_bpm,
+            reference=reference,
+        )
+        self._seq += 1
+        return packet
+
+    def _alarm_packet(self, record: MultiLeadEcg,
+                      alarm_start: int) -> UplinkPacket:
+        """CS-compressed context around an abnormality event."""
+        cfg = self.config
+        n = cfg.window_n
+        n_frames = max(1, math.ceil(cfg.alarm_context_s * record.fs / n))
+        start = min(max(0, alarm_start),
+                    max(0, record.n_samples - n_frames * n))
+        frames = []
+        refs = []
+        for f in range(n_frames):
+            lo = start + f * n
+            window = record.signals[:, lo:lo + n]
+            if window.shape[1] < n:
+                break
+            frames.append(self.encoder.encode(window))
+            refs.append(window)
+        reference = np.stack(refs) if (refs and cfg.attach_reference) else None
+        return self.packet_from_frames(
+            kind=PACKET_ALARM,
+            timestamp_s=start / record.fs,
+            start=start,
+            frames=frames,
+            reference=reference,
+        )
+
+    def _stream_heart_rates(self, record: MultiLeadEcg) -> dict[int, float]:
+        """Mean heart rate per excerpt period, via the streaming monitor."""
+        combined = combine_leads(record, method="rms")
+        monitor = StreamingMonitor(StreamingConfig(fs=record.fs))
+        period = int(self.config.excerpt_period_s * record.fs)
+        peaks_by_period: dict[int, list[int]] = {}
+        for i, sample in enumerate(combined.signal):
+            for beat in monitor.push(sample):
+                peaks_by_period.setdefault(beat.r_peak // period,
+                                           []).append(beat.r_peak)
+        for beat in monitor.flush():
+            peaks_by_period.setdefault(beat.r_peak // period,
+                                       []).append(beat.r_peak)
+        rates: dict[int, float] = {}
+        for period_idx, peaks in peaks_by_period.items():
+            if len(peaks) < 2:
+                continue
+            rr = np.diff(np.sort(np.asarray(peaks, dtype=float)))
+            mean_rr = float(np.mean(rr))
+            if mean_rr > 0:
+                rates[period_idx] = 60.0 * record.fs / mean_rr
+        return rates
+
+
+def _rebind_lead(detector: AfDetector | None,
+                 n_leads: int) -> AfDetector | None:
+    """Clone a trained detector onto the node's available leads.
+
+    The fleet trains one detector offline (3-lead corpus); nodes with
+    fewer leads delineate on their best available lead while sharing the
+    trained fuzzy classifier.
+    """
+    if detector is None:
+        return None
+    lead = min(detector.lead, n_leads - 1)
+    if lead == detector.lead:
+        return detector
+    clone = AfDetector(window_beats=detector.window_beats,
+                       step_beats=detector.step_beats,
+                       lead=lead, membership=detector.membership)
+    clone.classifier = detector.classifier
+    return clone

@@ -1,0 +1,226 @@
+"""Per-patient triage state machines and fleet-level aggregates.
+
+Turns the gateway's reconstructed-excerpt stream into the thing a
+monitoring service actually shows a clinician: a per-patient state
+(``ok`` / ``watch`` / ``alert``) with hysteresis, and fleet statistics —
+alarm rates, reconstruction-SNR distribution, uplink bandwidth and
+battery projections built on :class:`~repro.power.NodeEnergyModel`
+through each node's :class:`~repro.pipeline.NodeReport`.
+
+State machine:
+
+* a gateway-**confirmed** alarm raises ``alert``;
+* an **unconfirmed** alarm, or a routine excerpt whose reconstruction
+  quality falls below ``snr_watch_db``, raises ``watch`` (never lowers);
+* states decay one step at a time after a quiet hold period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..pipeline.node_app import NodeReport
+from .gateway import Gateway, ReconstructedExcerpt
+from .node_proxy import PACKET_ALARM
+
+STATE_OK = "ok"
+STATE_WATCH = "watch"
+STATE_ALERT = "alert"
+
+#: Escalation order (index = severity).
+STATES = (STATE_OK, STATE_WATCH, STATE_ALERT)
+
+
+@dataclass(frozen=True)
+class TriageConfig:
+    """Escalation and decay policy.
+
+    Attributes:
+        alert_hold_s: Quiet time before ``alert`` decays to ``watch``.
+        watch_hold_s: Quiet time before ``watch`` decays to ``ok``.
+        snr_watch_db: Routine excerpts reconstructed below this SNR put
+            the patient on ``watch`` (link or electrode trouble).
+    """
+
+    alert_hold_s: float = 300.0
+    watch_hold_s: float = 180.0
+    snr_watch_db: float = 8.0
+
+
+@dataclass
+class PatientTriage:
+    """One patient's triage state with escalation timestamps."""
+
+    patient_id: str
+    state: str = STATE_OK
+    since_s: float = 0.0
+    last_event_s: float = float("-inf")
+    n_alerts: int = 0
+    n_watches: int = 0
+
+    def _escalate(self, target: str, now_s: float) -> None:
+        if STATES.index(target) > STATES.index(self.state):
+            self.state = target
+            self.since_s = now_s
+        self.last_event_s = max(self.last_event_s, now_s)
+
+    def observe(self, excerpt: ReconstructedExcerpt,
+                config: TriageConfig) -> str:
+        """Feed one gateway output; return the (possibly new) state."""
+        now = excerpt.timestamp_s
+        if excerpt.kind == PACKET_ALARM:
+            if excerpt.confirmed:
+                self.n_alerts += 1
+                self._escalate(STATE_ALERT, now)
+            else:
+                self.n_watches += 1
+                self._escalate(STATE_WATCH, now)
+        elif np.isfinite(excerpt.snr_db) \
+                and excerpt.snr_db < config.snr_watch_db:
+            self.n_watches += 1
+            self._escalate(STATE_WATCH, now)
+        else:
+            self.last_event_s = max(self.last_event_s, now)
+        return self.state
+
+    def tick(self, now_s: float, config: TriageConfig) -> str:
+        """Apply quiet-period decay at time ``now_s``."""
+        if self.state == STATE_ALERT \
+                and now_s - self.last_event_s >= config.alert_hold_s:
+            self.state = STATE_WATCH
+            self.since_s = now_s
+            self.last_event_s = now_s
+        elif self.state == STATE_WATCH \
+                and now_s - self.last_event_s >= config.watch_hold_s:
+            self.state = STATE_OK
+            self.since_s = now_s
+        return self.state
+
+
+@dataclass
+class TriageBoard:
+    """The fleet-wide triage view: one state machine per patient."""
+
+    config: TriageConfig = field(default_factory=TriageConfig)
+    patients: dict[str, PatientTriage] = field(default_factory=dict)
+
+    def patient(self, patient_id: str) -> PatientTriage:
+        """The (created-on-demand) state machine of one patient."""
+        if patient_id not in self.patients:
+            self.patients[patient_id] = PatientTriage(patient_id)
+        return self.patients[patient_id]
+
+    def observe(self, excerpt: ReconstructedExcerpt) -> str:
+        """Route one gateway output to its patient's state machine."""
+        return self.patient(excerpt.patient_id).observe(excerpt, self.config)
+
+    def tick(self, now_s: float) -> None:
+        """Apply decay to every patient."""
+        for triage in self.patients.values():
+            triage.tick(now_s, self.config)
+
+    def counts(self) -> dict[str, int]:
+        """Patients per state (all three keys always present)."""
+        out = {state: 0 for state in STATES}
+        for triage in self.patients.values():
+            out[triage.state] += 1
+        return out
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Aggregate fleet statistics over one simulated stretch.
+
+    Attributes:
+        n_patients: Cohort size.
+        duration_s: Simulated recording duration per patient.
+        state_counts: Final triage states (ok / watch / alert).
+        node_alarms: Alarms raised on-node across the fleet.
+        confirmed_alarms: Alarms upheld by the gateway.
+        alarm_rate_per_patient_day: Node alarm rate, extrapolated.
+        snr_p10_db / snr_p50_db / snr_p90_db: Reconstruction-SNR
+            distribution across all scored excerpts.
+        uplink_bytes_per_patient_day: Application payload per patient,
+            extrapolated to a day.
+        mean_node_power_uw: Mean node power (radio + MCU + front end).
+        mean_battery_days: Mean time between charges across the fleet.
+        dropped_packets: Packets lost to the bounded ingest queue.
+    """
+
+    n_patients: int
+    duration_s: float
+    state_counts: dict[str, int]
+    node_alarms: int
+    confirmed_alarms: int
+    alarm_rate_per_patient_day: float
+    snr_p10_db: float
+    snr_p50_db: float
+    snr_p90_db: float
+    uplink_bytes_per_patient_day: float
+    mean_node_power_uw: float
+    mean_battery_days: float
+    dropped_packets: int
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (what the example prints)."""
+        c = self.state_counts
+        return "\n".join([
+            f"fleet of {self.n_patients} patients, "
+            f"{self.duration_s:.0f} s each",
+            f"  triage: {c.get(STATE_OK, 0)} ok / "
+            f"{c.get(STATE_WATCH, 0)} watch / "
+            f"{c.get(STATE_ALERT, 0)} alert",
+            f"  alarms: {self.node_alarms} raised on-node, "
+            f"{self.confirmed_alarms} gateway-confirmed "
+            f"({self.alarm_rate_per_patient_day:.1f} /patient/day)",
+            f"  reconstruction SNR p10/p50/p90: "
+            f"{self.snr_p10_db:.1f} / {self.snr_p50_db:.1f} / "
+            f"{self.snr_p90_db:.1f} dB",
+            f"  uplink: {self.uplink_bytes_per_patient_day / 1e3:.0f} "
+            f"kB/patient/day, {self.dropped_packets} dropped",
+            f"  node power: {self.mean_node_power_uw:.0f} uW mean, "
+            f"battery {self.mean_battery_days:.1f} days",
+        ])
+
+
+def fleet_summary(reports: dict[str, NodeReport], gateway: Gateway,
+                  board: TriageBoard, duration_s: float) -> FleetSummary:
+    """Fold per-node reports, gateway channels and triage into one view.
+
+    Args:
+        reports: Per-patient node reports (energy/bandwidth accounting
+            from :class:`~repro.power.NodeEnergyModel`).
+        gateway: The gateway after draining (channels + drop counter).
+        board: The triage board after the run.
+        duration_s: Simulated duration each report covers.
+    """
+    n = len(reports)
+    if n == 0:
+        raise ValueError("need at least one node report")
+    scale_day = 86400.0 / duration_s
+    node_alarms = sum(len(r.alarms) for r in reports.values())
+    confirmed = sum(ch.n_confirmed for ch in gateway.channels.values())
+    payload_bits = sum(ch.payload_bits for ch in gateway.channels.values())
+    snrs = np.array([s for ch in gateway.channels.values()
+                     for s in ch.snrs], dtype=float)
+    p10, p50, p90 = (np.percentile(snrs, (10, 50, 90)) if snrs.size
+                     else (float("nan"),) * 3)
+    powers = [r.average_power_w for r in reports.values()]
+    batteries = [r.battery_days for r in reports.values()]
+    return FleetSummary(
+        n_patients=n,
+        duration_s=duration_s,
+        state_counts=board.counts(),
+        node_alarms=node_alarms,
+        confirmed_alarms=confirmed,
+        alarm_rate_per_patient_day=node_alarms / n * scale_day,
+        snr_p10_db=float(p10),
+        snr_p50_db=float(p50),
+        snr_p90_db=float(p90),
+        uplink_bytes_per_patient_day=payload_bits / 8.0 / n * scale_day,
+        mean_node_power_uw=1e6 * float(np.mean(powers)),
+        mean_battery_days=float(np.mean(batteries)),
+        dropped_packets=gateway.dropped,
+    )

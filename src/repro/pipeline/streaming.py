@@ -67,7 +67,11 @@ class StreamingMonitor:
         self._capacity = int(cfg.buffer_s * cfg.fs)
         self._hop = int(cfg.hop_s * cfg.fs)
         self._margin = int(cfg.confirm_margin_s * cfg.fs)
-        self._buffer: list[float] = []
+        # Preallocated circular buffer: O(1) per sample, the ordered view
+        # is materialized only once per burst.
+        self._buffer = np.empty(self._capacity)
+        self._head = 0           # next write position
+        self._filled = 0         # valid samples (<= capacity)
         self._total = 0          # absolute samples consumed
         self._since_burst = 0
         self._emitted_up_to = -1  # last confirmed R-peak position
@@ -81,9 +85,9 @@ class StreamingMonitor:
 
     def push(self, sample: float) -> list[BeatAnnotation]:
         """Consume one sample; return newly confirmed beats (absolute)."""
-        self._buffer.append(float(sample))
-        if len(self._buffer) > self._capacity:
-            self._buffer.pop(0)
+        self._buffer[self._head] = sample
+        self._head = (self._head + 1) % self._capacity
+        self._filled = min(self._filled + 1, self._capacity)
         self._total += 1
         self._since_burst += 1
         if self._since_burst >= self._hop:
@@ -95,8 +99,15 @@ class StreamingMonitor:
         """Process whatever remains (end of recording)."""
         return self._burst(final=True)
 
+    def _window(self) -> np.ndarray:
+        """The buffered history in chronological order."""
+        if self._filled < self._capacity:
+            return self._buffer[:self._filled].copy()
+        return np.concatenate((self._buffer[self._head:],
+                               self._buffer[:self._head]))
+
     def _burst(self, final: bool) -> list[BeatAnnotation]:
-        window = np.asarray(self._buffer)
+        window = self._window()
         if window.shape[0] < int(1.5 * self.config.fs):
             return []
         offset = self._total - window.shape[0]

@@ -67,6 +67,14 @@ def af_test_corpus():
     return make_corpus("af_mix", n_records=3, duration_s=120.0, seed=2)
 
 
+@pytest.fixture(scope="session")
+def trained_af_detector(af_train_corpus):
+    """Fleet-shared AF detector (trained once per session)."""
+    from repro.classification import AfDetector
+
+    return AfDetector().fit(list(af_train_corpus))
+
+
 @pytest.fixture()
 def rng():
     """Fresh deterministic random generator per test."""

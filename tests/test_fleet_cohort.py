@@ -1,0 +1,96 @@
+"""Tests for virtual-patient cohort generation."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import CohortConfig, PatientProfile, make_cohort, synthesize_patient
+
+
+class TestMakeCohort:
+    def test_deterministic_per_seed(self):
+        a = make_cohort(CohortConfig(n_patients=20, seed=9))
+        b = make_cohort(CohortConfig(n_patients=20, seed=9))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = make_cohort(CohortConfig(n_patients=20, seed=9))
+        b = make_cohort(CohortConfig(n_patients=20, seed=10))
+        assert a != b
+
+    def test_patient_seeds_unique(self):
+        cohort = make_cohort(CohortConfig(n_patients=40, seed=1))
+        seeds = [p.seed for p in cohort]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_heterogeneous_population(self):
+        cohort = make_cohort(CohortConfig(n_patients=60, seed=3))
+        rhythms = {p.rhythm for p in cohort}
+        assert {"nsr", "af"} <= rhythms
+        assert {p.n_leads for p in cohort} == {1, 3}
+        assert any(p.snr_db is None for p in cohort)       # clean nodes
+        assert any(p.ambulatory for p in cohort)
+
+    def test_shorthand_overrides(self):
+        cohort = make_cohort(n_patients=5, seed=77)
+        assert len(cohort) == 5
+        assert cohort == make_cohort(CohortConfig(n_patients=5, seed=77))
+
+    def test_rejects_bad_mix(self):
+        with pytest.raises(ValueError, match="at most 1"):
+            CohortConfig(af_fraction=0.5, paroxysmal_fraction=0.4,
+                         ectopy_fraction=0.3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CohortConfig(n_patients=0)
+
+
+class TestPatientProfile:
+    def test_rejects_unknown_rhythm(self):
+        with pytest.raises(ValueError, match="rhythm"):
+            PatientProfile(patient_id="x", rhythm="flutter")
+
+    def test_rejects_bad_lead_count(self):
+        with pytest.raises(ValueError, match="n_leads"):
+            PatientProfile(patient_id="x", n_leads=5)
+
+    def test_record_spec_maps_ectopy_to_nsr(self):
+        profile = PatientProfile(patient_id="x", rhythm="ectopy",
+                                 pvc_fraction=0.1, apc_fraction=0.05)
+        spec = profile.record_spec(30.0)
+        assert spec.rhythm == "nsr"
+        assert spec.pvc_fraction == 0.1
+
+    def test_record_spec_suppresses_ectopy_for_sinus(self):
+        profile = PatientProfile(patient_id="x", rhythm="nsr",
+                                 pvc_fraction=0.1)
+        assert profile.record_spec(30.0).pvc_fraction == 0.0
+
+
+class TestSynthesizePatient:
+    def test_lead_counts(self):
+        for n_leads in (1, 2, 3):
+            profile = PatientProfile(patient_id="x", n_leads=n_leads, seed=5)
+            record = synthesize_patient(profile, duration_s=10.0)
+            assert record.n_leads == n_leads
+
+    def test_lead_two_convention(self):
+        # Lead index min(1, n_leads - 1) must be lead II for any count.
+        for n_leads in (1, 2, 3):
+            profile = PatientProfile(patient_id="x", n_leads=n_leads, seed=5)
+            record = synthesize_patient(profile, duration_s=10.0)
+            assert record.lead_names[min(1, n_leads - 1)] == "II"
+
+    def test_subset_matches_full_record(self):
+        profile3 = PatientProfile(patient_id="x", n_leads=3, seed=5)
+        profile1 = PatientProfile(patient_id="x", n_leads=1, seed=5)
+        full = synthesize_patient(profile3, duration_s=10.0)
+        single = synthesize_patient(profile1, duration_s=10.0)
+        np.testing.assert_array_equal(single.signals[0], full.signals[1])
+        assert len(single.beats) == len(full.beats)
+
+    def test_deterministic(self):
+        profile = PatientProfile(patient_id="x", seed=8)
+        a = synthesize_patient(profile, duration_s=10.0)
+        b = synthesize_patient(profile, duration_s=10.0)
+        np.testing.assert_array_equal(a.signals, b.signals)

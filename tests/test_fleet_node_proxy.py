@@ -1,0 +1,134 @@
+"""Tests for the per-patient uplink node proxy."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    PACKET_ALARM,
+    PACKET_EXCERPT,
+    NodeProxy,
+    NodeProxyConfig,
+    PatientProfile,
+    synthesize_patient,
+)
+from repro.fleet.node_proxy import PACKET_HEADER_BITS
+
+
+@pytest.fixture(scope="module")
+def nsr_profile():
+    return PatientProfile(patient_id="nsr0", rhythm="nsr", snr_db=25.0,
+                          seed=13)
+
+
+@pytest.fixture(scope="module")
+def nsr_patient_record(nsr_profile):
+    return synthesize_patient(nsr_profile, duration_s=150.0)
+
+
+class TestPeriodicExcerpts:
+    def test_one_packet_per_period(self, nsr_profile, nsr_patient_record):
+        proxy = NodeProxy(nsr_profile, NodeProxyConfig(excerpt_period_s=60.0,
+                                                       stream_telemetry=False))
+        report, packets = proxy.run(nsr_patient_record)
+        excerpts = [p for p in packets if p.kind == PACKET_EXCERPT]
+        assert len(excerpts) == int(150.0 // 60.0) == report.periodic_excerpts
+
+    def test_packet_fields(self, nsr_profile, nsr_patient_record):
+        config = NodeProxyConfig(stream_telemetry=False)
+        proxy = NodeProxy(nsr_profile, config)
+        _, packets = proxy.run(nsr_patient_record)
+        packet = packets[0]
+        assert packet.patient_id == "nsr0"
+        assert packet.n_leads == 3
+        assert packet.window_n == config.window_n
+        assert packet.n_frames == 1
+        assert packet.fs == nsr_patient_record.fs
+        per_frame = sum(w.payload_bits for w in packet.frames[0])
+        assert packet.payload_bits == per_frame + PACKET_HEADER_BITS
+
+    def test_timestamps_sorted_and_seq_unique(self, nsr_profile,
+                                              nsr_patient_record):
+        proxy = NodeProxy(nsr_profile,
+                          NodeProxyConfig(stream_telemetry=False))
+        _, packets = proxy.run(nsr_patient_record)
+        times = [p.timestamp_s for p in packets]
+        assert times == sorted(times)
+        seqs = [p.seq for p in packets]
+        assert len(set(seqs)) == len(seqs)
+
+    def test_reference_attached_only_when_asked(self, nsr_profile,
+                                                nsr_patient_record):
+        lean = NodeProxy(nsr_profile, NodeProxyConfig(
+            attach_reference=False, stream_telemetry=False))
+        _, packets = lean.run(nsr_patient_record)
+        assert all(p.reference is None for p in packets)
+
+    def test_reference_matches_signal(self, nsr_profile, nsr_patient_record):
+        proxy = NodeProxy(nsr_profile,
+                          NodeProxyConfig(stream_telemetry=False))
+        _, packets = proxy.run(nsr_patient_record)
+        packet = packets[0]
+        expected = nsr_patient_record.signals[
+            :, packet.start:packet.start + packet.window_n]
+        np.testing.assert_array_equal(packet.reference[0], expected)
+
+    def test_streamed_heart_rate_telemetry(self, nsr_profile,
+                                           nsr_patient_record):
+        proxy = NodeProxy(nsr_profile, NodeProxyConfig())
+        _, packets = proxy.run(nsr_patient_record)
+        excerpts = [p for p in packets if p.kind == PACKET_EXCERPT]
+        rates = [p.mean_hr_bpm for p in excerpts]
+        assert any(np.isfinite(r) for r in rates)
+        finite = [r for r in rates if np.isfinite(r)]
+        # Profile heart rate is 70 bpm by default.
+        assert all(40.0 < r < 110.0 for r in finite)
+
+
+class TestAlarms:
+    def test_clean_af_patient_raises_alarm_packets(self, trained_af_detector):
+        profile = PatientProfile(patient_id="af0", rhythm="af", snr_db=None,
+                                 seed=42)
+        record = synthesize_patient(profile, duration_s=120.0)
+        proxy = NodeProxy(profile, NodeProxyConfig(stream_telemetry=False),
+                          af_detector=trained_af_detector)
+        report, packets = proxy.run(record)
+        alarms = [p for p in packets if p.kind == PACKET_ALARM]
+        assert len(report.alarms) >= 1
+        assert len(alarms) == len(report.alarms)
+
+    def test_alarm_context_spans_whole_windows(self, trained_af_detector):
+        profile = PatientProfile(patient_id="af1", rhythm="af", snr_db=None,
+                                 seed=42)
+        record = synthesize_patient(profile, duration_s=120.0)
+        config = NodeProxyConfig(alarm_context_s=8.0, stream_telemetry=False)
+        proxy = NodeProxy(profile, config, af_detector=trained_af_detector)
+        _, packets = proxy.run(record)
+        alarm = next(p for p in packets if p.kind == PACKET_ALARM)
+        assert alarm.span_samples >= int(8.0 * record.fs)
+        assert alarm.span_samples % config.window_n == 0
+
+    def test_single_lead_node_rebinds_detector(self, trained_af_detector):
+        profile = PatientProfile(patient_id="one", rhythm="af", snr_db=None,
+                                 seed=44, n_leads=1)
+        record = synthesize_patient(profile, duration_s=120.0)
+        proxy = NodeProxy(profile, NodeProxyConfig(stream_telemetry=False),
+                          af_detector=trained_af_detector)
+        assert proxy.af_detector.lead == 0
+        assert proxy.af_detector.classifier is trained_af_detector.classifier
+        report, _ = proxy.run(record)  # must not raise
+        assert len(report.beats) > 0
+
+
+class TestValidation:
+    def test_lead_mismatch_rejected(self, nsr_patient_record):
+        profile = PatientProfile(patient_id="x", n_leads=1)
+        proxy = NodeProxy(profile, NodeProxyConfig(stream_telemetry=False))
+        with pytest.raises(ValueError, match="leads"):
+            proxy.run(nsr_patient_record)
+
+    def test_period_shorter_than_window_rejected(self, nsr_profile,
+                                                 nsr_patient_record):
+        proxy = NodeProxy(nsr_profile, NodeProxyConfig(
+            excerpt_period_s=0.5, stream_telemetry=False))
+        with pytest.raises(ValueError, match="at least one CS window"):
+            proxy.run(nsr_patient_record)

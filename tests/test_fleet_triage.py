@@ -1,0 +1,137 @@
+"""Tests for triage state machines and fleet aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    Gateway,
+    ReconstructedExcerpt,
+    STATE_ALERT,
+    STATE_OK,
+    STATE_WATCH,
+    TriageBoard,
+    TriageConfig,
+    fleet_summary,
+)
+from repro.fleet.gateway import PatientChannel
+from repro.pipeline import NodeReport
+
+
+def _excerpt(pid="p0", t=0.0, kind="excerpt", snr=25.0, confirmed=None):
+    return ReconstructedExcerpt(
+        patient_id=pid, timestamp_s=t, kind=kind,
+        signal=np.zeros((3, 256)), snr_db=snr, confirmed=confirmed)
+
+
+def _report(n_alarms=0, duration_s=120.0):
+    from repro.pipeline.node_app import AlarmEvent
+
+    alarms = [AlarmEvent(start=0, stop=100, kind="AF", excerpt_bits=1000)
+              for _ in range(n_alarms)]
+    return NodeReport(duration_s=duration_s, beats=[], alarms=alarms,
+                      periodic_excerpts=2, transmitted_bits=10000,
+                      processing_cycles=1e6, average_power_w=4e-4,
+                      battery_days=20.0)
+
+
+class TestStateMachine:
+    def test_confirmed_alarm_raises_alert(self):
+        board = TriageBoard()
+        state = board.observe(_excerpt(kind="alarm", t=10.0, confirmed=True))
+        assert state == STATE_ALERT
+        assert board.patient("p0").n_alerts == 1
+
+    def test_unconfirmed_alarm_raises_watch(self):
+        board = TriageBoard()
+        state = board.observe(_excerpt(kind="alarm", t=10.0,
+                                       confirmed=False))
+        assert state == STATE_WATCH
+
+    def test_low_snr_excerpt_raises_watch(self):
+        board = TriageBoard(TriageConfig(snr_watch_db=8.0))
+        assert board.observe(_excerpt(snr=25.0)) == STATE_OK
+        assert board.observe(_excerpt(snr=5.0, t=60.0)) == STATE_WATCH
+
+    def test_watch_never_lowers_alert(self):
+        board = TriageBoard()
+        board.observe(_excerpt(kind="alarm", t=10.0, confirmed=True))
+        state = board.observe(_excerpt(kind="alarm", t=20.0,
+                                       confirmed=False))
+        assert state == STATE_ALERT
+
+    def test_decay_one_step_at_a_time(self):
+        config = TriageConfig(alert_hold_s=100.0, watch_hold_s=50.0)
+        board = TriageBoard(config)
+        board.observe(_excerpt(kind="alarm", t=0.0, confirmed=True))
+        board.tick(50.0)
+        assert board.patient("p0").state == STATE_ALERT  # still holding
+        board.tick(120.0)
+        assert board.patient("p0").state == STATE_WATCH
+        board.tick(150.0)
+        assert board.patient("p0").state == STATE_WATCH  # watch hold
+        board.tick(200.0)
+        assert board.patient("p0").state == STATE_OK
+
+    def test_quiet_clean_patient_stays_ok(self):
+        board = TriageBoard()
+        for t in (60.0, 120.0, 180.0):
+            board.observe(_excerpt(t=t, snr=22.0))
+            board.tick(t)
+        assert board.counts() == {STATE_OK: 1, STATE_WATCH: 0,
+                                  STATE_ALERT: 0}
+
+    def test_counts_cover_all_states(self):
+        board = TriageBoard()
+        board.observe(_excerpt(pid="a", kind="alarm", confirmed=True))
+        board.observe(_excerpt(pid="b", kind="alarm", confirmed=False))
+        board.observe(_excerpt(pid="c", snr=30.0))
+        assert board.counts() == {STATE_OK: 1, STATE_WATCH: 1,
+                                  STATE_ALERT: 1}
+
+
+class TestFleetSummary:
+    def _gateway_with(self, channels):
+        gateway = Gateway()
+        gateway.channels = channels
+        return gateway
+
+    def test_aggregates(self):
+        channels = {
+            "a": PatientChannel("a", n_excerpts=2, n_alarms=1,
+                                n_confirmed=1, payload_bits=80000,
+                                snrs=[20.0, 22.0]),
+            "b": PatientChannel("b", n_excerpts=2, n_alarms=0,
+                                n_confirmed=0, payload_bits=40000,
+                                snrs=[15.0]),
+        }
+        board = TriageBoard()
+        board.observe(_excerpt(pid="a", kind="alarm", confirmed=True))
+        board.observe(_excerpt(pid="b", snr=15.0))
+        reports = {"a": _report(n_alarms=1), "b": _report()}
+        summary = fleet_summary(reports, self._gateway_with(channels),
+                                board, duration_s=120.0)
+        assert summary.n_patients == 2
+        assert summary.node_alarms == 1
+        assert summary.confirmed_alarms == 1
+        # 1 alarm / 2 patients over 120 s -> 360 per patient-day.
+        assert summary.alarm_rate_per_patient_day == pytest.approx(360.0)
+        bytes_per_day = (120000 / 8.0 / 2) * (86400.0 / 120.0)
+        assert summary.uplink_bytes_per_patient_day == \
+            pytest.approx(bytes_per_day)
+        assert summary.mean_battery_days == pytest.approx(20.0)
+        assert summary.snr_p50_db == pytest.approx(20.0)
+        assert summary.state_counts[STATE_ALERT] == 1
+
+    def test_describe_mentions_key_figures(self):
+        channels = {"a": PatientChannel("a", snrs=[20.0])}
+        summary = fleet_summary({"a": _report()},
+                                self._gateway_with(channels),
+                                TriageBoard(), duration_s=120.0)
+        text = summary.describe()
+        assert "triage" in text
+        assert "kB/patient/day" in text
+        assert "battery" in text
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            fleet_summary({}, Gateway(), TriageBoard(), 60.0)

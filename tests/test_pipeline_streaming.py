@@ -75,3 +75,42 @@ class TestMechanics:
     def test_buffer_must_exceed_hop(self):
         with pytest.raises(ValueError, match="longer than the hop"):
             StreamingMonitor(StreamingConfig(buffer_s=1.0, hop_s=2.0))
+
+
+class TestEdgeCases:
+    def test_flush_with_no_prior_samples(self):
+        monitor = StreamingMonitor(StreamingConfig())
+        assert monitor.flush() == []
+
+    def test_flush_with_no_prior_burst(self, nsr_record):
+        # Fewer samples than one hop: flush is the first burst to run.
+        ecg = nsr_record.lead(1)
+        config = StreamingConfig(fs=ecg.fs, hop_s=4.0)
+        monitor = StreamingMonitor(config)
+        emitted = []
+        for sample in ecg.signal[:int(3.0 * ecg.fs)]:
+            emitted.extend(monitor.push(sample))
+        assert emitted == []
+        flushed = monitor.flush()
+        assert len(flushed) >= 2  # ~3 beats at 70 bpm in 3 s
+
+    def test_record_shorter_than_warmup(self, nsr_record):
+        # Below the 1.5 s burst minimum nothing is ever emitted, even at
+        # flush time.
+        ecg = nsr_record.lead(1)
+        short = ecg.signal[:int(1.2 * ecg.fs)]
+        beats = stream_record(short, StreamingConfig(fs=ecg.fs))
+        assert beats == []
+
+    def test_batch_equivalence_at_non_default_hop(self, nsr_record):
+        ecg = nsr_record.lead(1)
+        config = StreamingConfig(fs=ecg.fs, buffer_s=9.0, hop_s=3.0)
+        streamed = stream_record(ecg.signal, config)
+        peaks = RPeakDetector(ecg.fs).detect(ecg.signal)
+        batch = WaveletDelineator(ecg.fs).delineate(ecg.signal, peaks)
+        streamed_peaks = np.array([b.r_peak for b in streamed])
+        matched = sum(
+            1 for beat in batch
+            if np.any(np.abs(streamed_peaks - beat.r_peak)
+                      <= int(0.05 * ecg.fs)))
+        assert matched / len(batch) >= 0.95
