@@ -5,10 +5,12 @@ AF recording: conditioning, RMS lead combination, delineation, AF window
 analysis, alarm generation with CS-compressed excerpts, and the node
 energy/battery accounting.
 
-Run:  python examples/arrhythmia_monitor.py
+Run:  python examples/arrhythmia_monitor.py [--duration 300]
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.classification import AF_LABEL, AfDetector
 from repro.pipeline import CardiacMonitorNode
@@ -16,16 +18,27 @@ from repro.signals import RecordSpec, make_corpus, make_record
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=300.0,
+                        help="recording length in seconds")
+    parser.add_argument("--train-records", type=int, default=4,
+                        help="AF-detector training corpus size")
+    parser.add_argument("--train-duration", type=float, default=120.0,
+                        help="training record length in seconds")
+    args = parser.parse_args()
+
     # Train the fuzzy AF classifier on an annotated corpus (the paper's
     # detector is trained off-line and ported to the node).
-    print("training AF detector on 4 paroxysmal-AF records ...")
-    train = make_corpus("af_mix", n_records=4, duration_s=120.0, seed=1)
+    print(f"training AF detector on {args.train_records} "
+          "paroxysmal-AF records ...")
+    train = make_corpus("af_mix", n_records=args.train_records,
+                        duration_s=args.train_duration, seed=1)
     detector = AfDetector().fit(list(train))
 
-    # A 5-minute ambulatory recording with a ~35 % AF burden.
+    # An ambulatory recording with a ~35 % AF burden.
     record = make_record(RecordSpec(
-        name="patient-42", duration_s=300.0, rhythm="paroxysmal_af",
-        af_burden=0.35, snr_db=18.0, seed=77))
+        name="patient-42", duration_s=args.duration,
+        rhythm="paroxysmal_af", af_burden=0.35, snr_db=18.0, seed=77))
     truth_af_beats = sum(1 for b in record.beats if b.rhythm == "AF")
     print(f"recording: {record.duration_s:.0f} s, {len(record.beats)} "
           f"beats ({truth_af_beats} in AF)")

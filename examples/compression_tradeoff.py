@@ -5,10 +5,12 @@ joint multi-lead decoder, and combines the quality curves with the node
 energy model to find the cheapest operating point that still meets the
 20 dB "good reconstruction quality" criterion.
 
-Run:  python examples/compression_tradeoff.py
+Run:  python examples/compression_tradeoff.py [--windows 8]
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -26,12 +28,21 @@ from repro.signals import RecordSpec, make_record
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--windows", type=int, default=8,
+                        help="windows averaged per CR point")
+    parser.add_argument("--crs", type=str,
+                        default="40,50,55,60,65,70,75,80",
+                        help="comma-separated CR sweep (percent)")
+    args = parser.parse_args()
+
     record = make_record(RecordSpec(name="cs", duration_s=40.0,
                                     snr_db=28.0, seed=5))
     n = 512
     sig = record.signals
-    windows = [(500 + w * n, 500 + (w + 1) * n) for w in range(8)]
-    crs = np.array([40.0, 50.0, 55.0, 60.0, 65.0, 70.0, 75.0, 80.0])
+    windows = [(500 + w * n, 500 + (w + 1) * n)
+               for w in range(args.windows)]
+    crs = np.array(sorted(float(c) for c in args.crs.split(",")))
 
     model = NodeEnergyModel()
     raw_power = model.raw_streaming(2.0).average_power_w

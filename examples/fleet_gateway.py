@@ -8,10 +8,12 @@ detected"; a gateway that reconstructs every excerpt server-side with
 the joint group-sparse decoder, re-checks node alarms on the
 reconstruction, and maintains a fleet triage board.
 
-Run:  python examples/fleet_gateway.py
+Run:  python examples/fleet_gateway.py [--patients 60] [--duration 60]
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.classification import AfDetector
 from repro.fleet import (
@@ -23,16 +25,26 @@ from repro.fleet import (
 )
 from repro.signals import make_corpus
 
-N_PATIENTS = 60
-DURATION_S = 60.0
-
 
 def main() -> None:
-    print("training fleet AF detector on 4 paroxysmal-AF records ...")
-    train = make_corpus("af_mix", n_records=4, duration_s=120.0, seed=1)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--patients", type=int, default=60,
+                        help="cohort size")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="simulated seconds per patient")
+    parser.add_argument("--train-records", type=int, default=4,
+                        help="AF-detector training corpus size")
+    args = parser.parse_args()
+    n_patients = args.patients
+    duration_s = args.duration
+
+    print(f"training fleet AF detector on {args.train_records} "
+          "paroxysmal-AF records ...")
+    train = make_corpus("af_mix", n_records=args.train_records,
+                        duration_s=120.0, seed=1)
     detector = AfDetector().fit(list(train))
 
-    cohort = make_cohort(CohortConfig(n_patients=N_PATIENTS, seed=7))
+    cohort = make_cohort(CohortConfig(n_patients=n_patients, seed=7))
     by_rhythm: dict[str, int] = {}
     for profile in cohort:
         by_rhythm[profile.rhythm] = by_rhythm.get(profile.rhythm, 0) + 1
@@ -42,10 +54,10 @@ def main() -> None:
 
     scheduler = FleetScheduler(
         cohort,
-        SchedulerConfig(duration_s=DURATION_S),
+        SchedulerConfig(duration_s=duration_s),
         af_detector=detector,
     )
-    print(f"simulating {DURATION_S:.0f} s of fleet uplink ...")
+    print(f"simulating {duration_s:.0f} s of fleet uplink ...")
     report = scheduler.run()
 
     print("\n" + report.summary.describe())

@@ -4,10 +4,12 @@ Runs the basic on-node chain of the paper on a synthetic record and
 prints the delineated fiducials of a few beats — the textual equivalent
 of the paper's Fig. 2 ("Delineated normal sinus beat").
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--duration 30]
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -18,8 +20,14 @@ from repro.signals import RecordSpec, make_record
 
 
 def main() -> None:
-    # 1. Synthesize a 30 s, 3-lead ECG at 20 dB SNR with ground truth.
-    record = make_record(RecordSpec(name="demo", duration_s=30.0,
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="record length in seconds")
+    args = parser.parse_args()
+
+    # 1. Synthesize a 3-lead ECG at 20 dB SNR with ground truth.
+    record = make_record(RecordSpec(name="demo",
+                                    duration_s=args.duration,
                                     snr_db=20.0, seed=7))
     ecg = record.lead(1)  # lead II
     print(f"record: {record.name}, {record.n_leads} leads, "

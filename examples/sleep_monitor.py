@@ -6,10 +6,12 @@ HRV/vigilance indicators over sliding windows — the beat-to-beat interval
 processing tier of Fig. 1 — and combines them with the PPG-derived pulse
 arrival time of §IV-C into a simple drowsiness score.
 
-Run:  python examples/sleep_monitor.py
+Run:  python examples/sleep_monitor.py [--segment-s 240]
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -25,14 +27,19 @@ from repro.signals import (
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--segment-s", type=float, default=240.0,
+                        help="length of each shift segment in seconds")
+    args = parser.parse_args()
+
     rng = np.random.default_rng(11)
     # A wake -> drowsy transition: heart rate slows and the
     # high-frequency (vagal) HRV rises, as in sleep-onset physiology.
     rhythm = RhythmSequence()
-    rhythm.append(sinus_rhythm(240.0, mean_hr_bpm=74.0, hrv_std_s=0.030,
-                               rng=rng))
-    rhythm.append(sinus_rhythm(240.0, mean_hr_bpm=58.0, hrv_std_s=0.055,
-                               rng=rng))
+    rhythm.append(sinus_rhythm(args.segment_s, mean_hr_bpm=74.0,
+                               hrv_std_s=0.030, rng=rng))
+    rhythm.append(sinus_rhythm(args.segment_s, mean_hr_bpm=58.0,
+                               hrv_std_s=0.055, rng=rng))
     record = synthesize(rhythm, SynthesisConfig(snr_db=22.0), rng=rng,
                         name="pilot-shift")
     ecg = record.lead(1)

@@ -14,5 +14,7 @@ setup(
     packages=find_packages(where="src"),
     install_requires=["numpy>=1.24", "scipy>=1.10"],
     # pytest-benchmark: the tier-1 command also collects benchmarks/.
-    extras_require={"test": ["pytest", "pytest-benchmark"]},
+    # pytest-cov: CI enforces the coverage floor (see ci.yml); the
+    # plain tier-1 command runs without it.
+    extras_require={"test": ["pytest", "pytest-benchmark", "pytest-cov"]},
 )

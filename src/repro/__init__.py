@@ -15,6 +15,8 @@ Subpackages (see DESIGN.md for the full system inventory):
 * :mod:`repro.pipeline` — the end-to-end node application.
 * :mod:`repro.fleet` — multi-patient gateway: cohorts, uplink packets,
   server-side CS reconstruction, triage.
+* :mod:`repro.scenarios` — deterministic fault-injection scenarios and
+  campaign runner over the fleet.
 """
 
 __version__ = "1.0.0"
@@ -30,5 +32,6 @@ __all__ = [
     "multimodal",
     "pipeline",
     "power",
+    "scenarios",
     "signals",
 ]

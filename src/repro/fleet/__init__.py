@@ -36,6 +36,7 @@ from .scheduler import (
     FleetReport,
     FleetScheduler,
     SchedulerConfig,
+    UplinkChannel,
 )
 from .triage import (
     STATE_ALERT,
@@ -70,6 +71,7 @@ __all__ = [
     "SchedulerConfig",
     "TriageBoard",
     "TriageConfig",
+    "UplinkChannel",
     "UplinkPacket",
     "fleet_summary",
     "make_cohort",

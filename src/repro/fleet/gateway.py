@@ -13,6 +13,16 @@ Confirmation is deliberately conservative: a node alarm is only refuted
 when the reconstruction shows enough beats AND their RR series is
 regular.  Too few beats (short excerpt, poor reconstruction) keeps the
 alarm — the gateway must never silently drop a real AF event.
+
+The uplink is a lossy low-power radio, so ingest tolerates a misbehaving
+link: every packet passes through a per-patient **reassembly window**
+keyed on the node's sequence numbers.  Duplicates (same ``seq`` seen
+again, e.g. a retransmission racing its original) are counted and
+dropped before they can reach triage; out-of-order arrivals are held
+back until the gap fills or the window overflows, at which point the
+buffered packets are released in sequence order and the missing numbers
+are recorded as gaps.  :meth:`Gateway.flush_reassembly` force-releases
+whatever is still buffered at end of run.
 """
 
 from __future__ import annotations
@@ -44,6 +54,13 @@ class GatewayConfig:
             near 0.05; AF near 0.15-0.25.
         min_confirm_beats: Minimum reconstructed beats needed before the
             gateway is allowed to overrule a node alarm.
+        reassembly_window: Maximum out-of-order packets buffered per
+            patient before the window force-releases in sequence order
+            (skipping the missing numbers as gaps).
+        reassembly_gap_ticks: :meth:`Gateway.expire_reassembly` calls
+            (scheduler ticks) a gap may stall a patient's buffer before
+            it is force-released — bounds head-of-line blocking behind a
+            permanently lost packet to a few excerpt periods.
     """
 
     queue_capacity: int = 4096
@@ -52,6 +69,8 @@ class GatewayConfig:
     confirm_alarms: bool = True
     rr_cv_confirm: float = 0.09
     min_confirm_beats: int = 5
+    reassembly_window: int = 32
+    reassembly_gap_ticks: int = 3
 
 
 @dataclass(frozen=True)
@@ -81,7 +100,16 @@ class ReconstructedExcerpt:
 
 @dataclass
 class PatientChannel:
-    """Per-patient ingest statistics and state."""
+    """Per-patient ingest statistics and state.
+
+    Attributes (beyond the processing counters):
+        n_duplicates: Packets dropped because their sequence number was
+            already delivered or buffered (duplicated uplink).
+        n_out_of_order: Packets that arrived ahead of a gap and had to
+            wait in the reassembly window.
+        n_gaps: Sequence numbers skipped when the window force-released
+            (packets lost on the link and never retransmitted).
+    """
 
     patient_id: str
     n_excerpts: int = 0
@@ -89,12 +117,80 @@ class PatientChannel:
     n_confirmed: int = 0
     payload_bits: int = 0
     last_timestamp_s: float = 0.0
+    n_duplicates: int = 0
+    n_out_of_order: int = 0
+    n_gaps: int = 0
     snrs: list[float] = field(default_factory=list)
 
     @property
     def mean_snr_db(self) -> float:
         """Mean reconstruction SNR of this channel (nan when unscored)."""
         return float(np.mean(self.snrs)) if self.snrs else float("nan")
+
+
+class _ReassemblyBuffer:
+    """Seq-ordered release with duplicate drop and a bounded window.
+
+    Nodes number every uplink session from 0, so the expected sequence
+    starts at 0 — release order per patient restores timestamp order
+    for every packet that arrives within the window/timeout tolerance.
+    A packet whose number was already delivered or is already waiting
+    counts as a duplicate and is dropped; a straggler whose number was
+    *written off as a gap* (force-release) is delivered immediately —
+    late and out of order, but never dropped: it could be an
+    ARQ-retransmitted alarm.
+    """
+
+    def __init__(self, window: int) -> None:
+        self.window = max(1, window)
+        self.next_seq = 0
+        self.buffer: dict[int, UplinkPacket] = {}
+        self.missing: set[int] = set()
+        #: Consecutive :meth:`Gateway.expire_reassembly` sweeps this
+        #: buffer has been stalled behind a gap (reset on any release).
+        self.gap_ticks = 0
+
+    def offer(self, packet: UplinkPacket,
+              channel: PatientChannel) -> list[UplinkPacket]:
+        """Accept one arrival; return the packets now releasable."""
+        if packet.seq in self.missing:  # late recovery of a written-off
+            self.missing.discard(packet.seq)
+            channel.n_gaps -= 1
+            channel.n_out_of_order += 1
+            self.gap_ticks = 0
+            return [packet]
+        if packet.seq < self.next_seq or packet.seq in self.buffer:
+            channel.n_duplicates += 1
+            return []
+        if packet.seq > self.next_seq:
+            channel.n_out_of_order += 1
+        self.buffer[packet.seq] = packet
+        released = self._release_contiguous()
+        if len(self.buffer) > self.window:
+            released.extend(self.flush(channel))
+        if released:
+            self.gap_ticks = 0
+        return released
+
+    def flush(self, channel: PatientChannel) -> list[UplinkPacket]:
+        """Release everything buffered in seq order, recording gaps."""
+        released: list[UplinkPacket] = []
+        for seq in sorted(self.buffer):
+            if seq not in self.buffer:  # swept up by an earlier release
+                continue
+            self.missing.update(range(self.next_seq, seq))
+            channel.n_gaps += seq - self.next_seq
+            self.next_seq = seq
+            released.extend(self._release_contiguous())
+        self.gap_ticks = 0
+        return released
+
+    def _release_contiguous(self) -> list[UplinkPacket]:
+        released: list[UplinkPacket] = []
+        while self.next_seq in self.buffer:
+            released.append(self.buffer.pop(self.next_seq))
+            self.next_seq += 1
+        return released
 
 
 class Gateway:
@@ -111,6 +207,7 @@ class Gateway:
         self.dropped = 0
         self._queue: deque[UplinkPacket] = deque()
         self._decoders: dict[tuple, JointCsDecoder] = {}
+        self._reassembly: dict[str, _ReassemblyBuffer] = {}
 
     @property
     def pending(self) -> int:
@@ -118,12 +215,73 @@ class Gateway:
         return len(self._queue)
 
     def ingest(self, packet: UplinkPacket) -> bool:
-        """Enqueue one packet; ``False`` when the bounded queue is full."""
+        """Accept one arrival; ``False`` when the bounded queue is full.
+
+        The packet passes through the patient's reassembly window first:
+        duplicates are dropped (and counted on the channel), out-of-order
+        packets wait for their gap, and only releasable packets enter
+        the processing queue.  An arrival rejected here for back-pressure
+        never reaches the reassembly buffer, so its sequence number will
+        later be written off as a gap like any other loss.
+        """
         if len(self._queue) >= self.config.queue_capacity:
             self.dropped += 1
             return False
-        self._queue.append(packet)
+        self._enqueue(self._reassembly_for(packet.patient_id).offer(
+            packet, self.channel(packet.patient_id)))
         return True
+
+    def flush_reassembly(self) -> int:
+        """Force-release every reassembly buffer (end of run / timeout).
+
+        Returns:
+            Packets moved into the processing queue.
+        """
+        released = 0
+        for patient_id, buffer in self._reassembly.items():
+            released += self._enqueue(
+                buffer.flush(self.channel(patient_id)))
+        return released
+
+    def expire_reassembly(self) -> int:
+        """Write off gaps that stalled longer than the configured grace.
+
+        Call once per scheduler tick: a buffer that made no release
+        progress for ``reassembly_gap_ticks`` consecutive calls is
+        force-released, bounding head-of-line blocking behind a
+        permanently lost packet.  Stragglers arriving after their number
+        was written off are still delivered (late) by the buffer.
+
+        Returns:
+            Packets moved into the processing queue.
+        """
+        released = 0
+        for patient_id, buffer in self._reassembly.items():
+            if not buffer.buffer:
+                buffer.gap_ticks = 0
+                continue
+            buffer.gap_ticks += 1
+            if buffer.gap_ticks >= self.config.reassembly_gap_ticks:
+                released += self._enqueue(
+                    buffer.flush(self.channel(patient_id)))
+        return released
+
+    def _enqueue(self, packets: list[UplinkPacket]) -> int:
+        """Append released packets, enforcing the queue bound strictly."""
+        accepted = 0
+        for packet in packets:
+            if len(self._queue) >= self.config.queue_capacity:
+                self.dropped += 1
+                continue
+            self._queue.append(packet)
+            accepted += 1
+        return accepted
+
+    def _reassembly_for(self, patient_id: str) -> _ReassemblyBuffer:
+        if patient_id not in self._reassembly:
+            self._reassembly[patient_id] = _ReassemblyBuffer(
+                self.config.reassembly_window)
+        return self._reassembly[patient_id]
 
     def drain(self, max_packets: int | None = None,
               ) -> list[ReconstructedExcerpt]:

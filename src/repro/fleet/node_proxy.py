@@ -17,7 +17,7 @@ reconstruction-SNR scoring only; it is never counted as payload.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -149,8 +149,15 @@ class NodeProxy:
 
     def run(self, record: MultiLeadEcg,
             emit_excerpts: bool = True,
+            emit_alarms: bool = True,
             ) -> tuple[NodeReport, list[UplinkPacket]]:
         """Process one recording; return the node report and its uplink.
+
+        Sequence numbers of the returned packets follow uplink
+        (timestamp) order, so a receiver reassembling on ``seq`` also
+        restores timestamp order.  Numbering continues from any earlier
+        run of the same proxy — a gateway channel survives consecutive
+        recordings without mistaking the new session for duplicates.
 
         Args:
             record: The patient's recording (lead count must match the
@@ -158,12 +165,17 @@ class NodeProxy:
             emit_excerpts: Emit the periodic excerpt packets here.  The
                 fleet scheduler sets this to ``False`` and produces the
                 identical packets through its vectorized batch encoder.
+            emit_alarms: Emit alarm packets here.  The fleet scheduler
+                sets this to ``False`` too and builds each alarm packet
+                (:meth:`alarm_packet`) at the tick that uplinks it, so
+                sequence numbers are assigned in true send order.
         """
         if record.n_leads != self.profile.n_leads:
             raise ValueError(
                 f"record has {record.n_leads} leads, node expects "
                 f"{self.profile.n_leads}")
         cfg = self.config
+        base_seq = self._seq
         self._fs = record.fs
         node = CardiacMonitorNode(
             af_detector=self.af_detector,
@@ -190,9 +202,13 @@ class NodeProxy:
                     else None,
                     mean_hr_bpm=hr_by_period.get(period, float("nan")),
                 ))
-        for alarm in report.alarms:
-            packets.append(self._alarm_packet(record, alarm.start))
-        packets.sort(key=lambda p: p.timestamp_s)
+        if emit_alarms:
+            for alarm in report.alarms:
+                packets.append(self.alarm_packet(record, alarm.start))
+        packets.sort(key=lambda p: (p.timestamp_s, p.seq))
+        packets = [replace(p, seq=base_seq + i)
+                   for i, p in enumerate(packets)]
+        self._seq = base_seq + len(packets)
         return report, packets
 
     def excerpt_starts(self, n_samples: int, fs: float) -> list[int]:
@@ -242,9 +258,14 @@ class NodeProxy:
         self._seq += 1
         return packet
 
-    def _alarm_packet(self, record: MultiLeadEcg,
-                      alarm_start: int) -> UplinkPacket:
-        """CS-compressed context around an abnormality event."""
+    def alarm_packet(self, record: MultiLeadEcg,
+                     alarm_start: int) -> UplinkPacket:
+        """CS-compressed context around an abnormality event.
+
+        The packet timestamp is the alarm *event* time; the ``start``
+        field carries the (possibly earlier, clamped-to-fit) first
+        sample of the shipped context.
+        """
         cfg = self.config
         n = cfg.window_n
         n_frames = max(1, math.ceil(cfg.alarm_context_s * record.fs / n))
@@ -262,7 +283,7 @@ class NodeProxy:
         reference = np.stack(refs) if (refs and cfg.attach_reference) else None
         return self.packet_from_frames(
             kind=PACKET_ALARM,
-            timestamp_s=start / record.fs,
+            timestamp_s=max(0, alarm_start) / record.fs,
             start=start,
             frames=frames,
             reference=reference,

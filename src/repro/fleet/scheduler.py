@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, Protocol
 
 import numpy as np
 
@@ -31,6 +32,33 @@ from .cohort import PatientProfile, synthesize_patient
 from .gateway import Gateway, GatewayConfig, ReconstructedExcerpt
 from .node_proxy import PACKET_EXCERPT, NodeProxy, NodeProxyConfig, UplinkPacket
 from .triage import FleetSummary, TriageBoard, fleet_summary
+
+
+class UplinkChannel(Protocol):
+    """Anything that can sit between the nodes and the gateway.
+
+    :mod:`repro.scenarios` provides the lossy implementation
+    (:class:`~repro.scenarios.ImpairedLink`); ``None`` means a perfect
+    link (every packet delivered immediately, exactly once).
+    """
+
+    def send(self, packet: UplinkPacket,
+             now_s: float) -> list[UplinkPacket]:
+        """Offer one packet; return those delivered immediately."""
+        ...
+
+    def due(self, now_s: float) -> list[UplinkPacket]:
+        """Delayed packets whose delivery time has arrived."""
+        ...
+
+    def drain(self) -> list[UplinkPacket]:
+        """Everything still in flight (end of run)."""
+        ...
+
+
+#: Hook applied to each freshly synthesized record before the node runs
+#: (scenario fault injection); receives the profile and the record.
+RecordTransform = Callable[[PatientProfile, MultiLeadEcg], MultiLeadEcg]
 
 
 class BatchExcerptEncoder:
@@ -131,9 +159,11 @@ class FleetReport:
         node_reports: Per-patient :class:`NodeReport` (energy/bandwidth).
         summary: Fleet-level aggregates (triage, SNR, uplink, battery).
         excerpts: Gateway outputs in processing order.
-        packets_sent: Uplink packets offered to the gateway.
+        packets_sent: Uplink packets offered by the nodes (before any
+            channel impairment).
         timings_s: Wall-clock seconds per phase (``synthesis+node``,
             ``uplink+gateway``, ``total``).
+        link_stats: Channel-model counters (empty on a perfect link).
     """
 
     profiles: list[PatientProfile]
@@ -142,6 +172,7 @@ class FleetReport:
     excerpts: list[ReconstructedExcerpt] = field(default_factory=list)
     packets_sent: int = 0
     timings_s: dict[str, float] = field(default_factory=dict)
+    link_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def patients_per_second(self) -> float:
@@ -160,6 +191,10 @@ class FleetScheduler:
         gateway: The receiving gateway (fresh default if omitted).
         board: Triage board (fresh default if omitted).
         af_detector: Trained AF detector shared across the fleet.
+        link: Channel model between nodes and gateway (``None`` =
+            perfect link).  See :class:`UplinkChannel`.
+        record_transform: Hook applied to each synthesized record before
+            the node processes it (scenario fault injection).
     """
 
     def __init__(self, cohort: list[PatientProfile],
@@ -167,7 +202,9 @@ class FleetScheduler:
                  node_config: NodeProxyConfig | None = None,
                  gateway: Gateway | None = None,
                  board: TriageBoard | None = None,
-                 af_detector: AfDetector | None = None) -> None:
+                 af_detector: AfDetector | None = None,
+                 link: UplinkChannel | None = None,
+                 record_transform: RecordTransform | None = None) -> None:
         if not cohort:
             raise ValueError("cohort must not be empty")
         self.cohort = cohort
@@ -176,21 +213,26 @@ class FleetScheduler:
         self.gateway = gateway or Gateway(GatewayConfig())
         self.board = board or TriageBoard()
         self.af_detector = af_detector
+        self.link = link
+        self.record_transform = record_transform
         self._batch_encoders: dict[int, BatchExcerptEncoder] = {}
 
     def run(self) -> FleetReport:
         """Simulate the full stretch and return the fleet report."""
         cfg = self.config
         t_start = time.perf_counter()
+        self.board.register(p.patient_id for p in self.cohort)
 
         # Phase 1 — per-patient node processing (parallelizable).
         def node_phase(profile: PatientProfile,
-                       ) -> tuple[NodeProxy, MultiLeadEcg, NodeReport,
-                                  list[UplinkPacket]]:
+                       ) -> tuple[NodeProxy, MultiLeadEcg, NodeReport]:
             record = synthesize_patient(profile, cfg.duration_s, cfg.fs)
+            if self.record_transform is not None:
+                record = self.record_transform(profile, record)
             proxy = NodeProxy(profile, self.node_config, self.af_detector)
-            report, packets = proxy.run(record, emit_excerpts=False)
-            return proxy, record, report, packets
+            report, _ = proxy.run(record, emit_excerpts=False,
+                                  emit_alarms=False)
+            return proxy, record, report
 
         if cfg.workers > 0:
             with ThreadPoolExecutor(max_workers=cfg.workers) as pool:
@@ -202,22 +244,29 @@ class FleetScheduler:
         proxies = [r[0] for r in results]
         records = [r[1] for r in results]
         reports = {proxy.profile.patient_id: report
-                   for proxy, _, report, _ in results}
-        alarm_packets = [pkt for *_, packets in results for pkt in packets]
+                   for proxy, _, report in results}
 
         # Phase 2 — tick loop: batched uplink, gateway drain, triage.
+        # Alarm packets are *built at the tick that uplinks them* (early
+        # alarms before the tick's excerpts, late ones after), so each
+        # node's sequence numbers follow timestamp order and the
+        # gateway's seq-ordered reassembly restores the timeline.
         period = self.node_config.excerpt_period_s
         n_ticks = int(cfg.duration_s // period)
-        alarms_by_tick = self._bucket_alarms(alarm_packets, period, n_ticks)
+        alarms_by_tick = self._bucket_alarms(results, period, n_ticks)
         packets_sent = 0
         excerpts: list[ReconstructedExcerpt] = []
         for tick in range(1, n_ticks + 1):
             now = tick * period
+            bucket = alarms_by_tick.get(tick, [])
+            early = [a for a in bucket if a[2] < now]
+            late = [a for a in bucket if a[2] >= now]
+            packets_sent += self._send_alarms(early, now)
             packets_sent += self._send_excerpt_batch(proxies, records,
                                                      tick - 1, now)
-            for packet in alarms_by_tick.get(tick, []):
-                self.gateway.ingest(packet)
-                packets_sent += 1
+            packets_sent += self._send_alarms(late, now)
+            self._deliver_due(now)
+            self.gateway.expire_reassembly()
             for excerpt in self.gateway.drain(cfg.drain_per_tick):
                 self.board.observe(excerpt)
                 excerpts.append(excerpt)
@@ -225,11 +274,14 @@ class FleetScheduler:
         # Alarm buckets past the last tick exist only when the run is
         # shorter than one excerpt period (n_ticks == 0); uplink them
         # before the final drain so no alarm is silently lost.
-        for tick, packets in alarms_by_tick.items():
+        for tick in sorted(alarms_by_tick):
             if tick > n_ticks:
-                for packet in packets:
-                    self.gateway.ingest(packet)
-                    packets_sent += 1
+                packets_sent += self._send_alarms(alarms_by_tick[tick],
+                                                  cfg.duration_s)
+        if self.link is not None:  # packets still in flight land now
+            for packet in self.link.drain():
+                self.gateway.ingest(packet)
+        self.gateway.flush_reassembly()
         for excerpt in self.gateway.drain():  # leftovers from budgeting
             self.board.observe(excerpt)
             excerpts.append(excerpt)
@@ -249,6 +301,7 @@ class FleetScheduler:
                 "uplink+gateway": t_end - t_node,
                 "total": t_end - t_start,
             },
+            link_stats=dict(getattr(self.link, "stats", {}) or {}),
         )
 
     def _batch_encoder(self, n_leads: int) -> BatchExcerptEncoder:
@@ -293,16 +346,52 @@ class FleetScheduler:
                     mean_hr_bpm=proxy.heart_rates.get(period_idx,
                                                       float("nan")),
                 )
-                self.gateway.ingest(packet)
+                self._transmit(packet, now_s)
                 sent += 1
         return sent
 
+    def _send_alarms(self, items: list[tuple], now_s: float) -> int:
+        """Build and uplink the alarm packets of one tick bucket.
+
+        ``items`` holds ``(proxy, record, timestamp_s, alarm_start)``
+        tuples sorted by timestamp, so per-patient sequence numbers are
+        assigned in timestamp order.
+        """
+        for proxy, record, _, alarm_start in items:
+            self._transmit(proxy.alarm_packet(record, alarm_start), now_s)
+        return len(items)
+
+    def _transmit(self, packet: UplinkPacket, now_s: float) -> None:
+        """Offer one packet to the link (or straight to the gateway)."""
+        if self.link is None:
+            self.gateway.ingest(packet)
+            return
+        for delivered in self.link.send(packet, now_s):
+            self.gateway.ingest(delivered)
+
+    def _deliver_due(self, now_s: float) -> None:
+        """Hand delayed link deliveries whose time has come to ingest."""
+        if self.link is None:
+            return
+        for packet in self.link.due(now_s):
+            self.gateway.ingest(packet)
+
     @staticmethod
-    def _bucket_alarms(packets: list[UplinkPacket], period_s: float,
-                       n_ticks: int) -> dict[int, list[UplinkPacket]]:
-        """Group alarm packets by the tick that uplinks them."""
-        buckets: dict[int, list[UplinkPacket]] = {}
-        for packet in packets:
-            tick = min(n_ticks, int(packet.timestamp_s // period_s) + 1)
-            buckets.setdefault(max(1, tick), []).append(packet)
+    def _bucket_alarms(results: list[tuple], period_s: float,
+                       n_ticks: int) -> dict[int, list[tuple]]:
+        """Group node alarms by uplink tick.
+
+        Returns:
+            Tick number -> ``(proxy, record, timestamp_s, alarm_start)``
+            tuples sorted by timestamp within each bucket.
+        """
+        buckets: dict[int, list[tuple]] = {}
+        for proxy, record, report in results:
+            for alarm in report.alarms:
+                ts = alarm.start / record.fs
+                tick = min(n_ticks, int(ts // period_s) + 1)
+                buckets.setdefault(max(1, tick), []).append(
+                    (proxy, record, ts, alarm.start))
+        for bucket in buckets.values():
+            bucket.sort(key=lambda item: item[2])
         return buckets

@@ -13,6 +13,13 @@ State machine:
 * an **unconfirmed** alarm, or a routine excerpt whose reconstruction
   quality falls below ``snr_watch_db``, raises ``watch`` (never lowers);
 * states decay one step at a time after a quiet hold period.
+
+Link health rides on top of the rhythm states: a patient whose node has
+been silent for ``stale_after_s`` is flagged **stale** (and escalated to
+``watch`` — a silent node is indistinguishable from a detached one).
+The flag clears on the next packet.  :meth:`TriageBoard.register` seeds
+a state machine per cohort member up front, so a node whose *every*
+packet is lost still shows up stale instead of simply not existing.
 """
 
 from __future__ import annotations
@@ -42,16 +49,26 @@ class TriageConfig:
         watch_hold_s: Quiet time before ``watch`` decays to ``ok``.
         snr_watch_db: Routine excerpts reconstructed below this SNR put
             the patient on ``watch`` (link or electrode trouble).
+        stale_after_s: Silence (no packet observed) after which a
+            registered patient's link is flagged stale.
     """
 
     alert_hold_s: float = 300.0
     watch_hold_s: float = 180.0
     snr_watch_db: float = 8.0
+    stale_after_s: float = 150.0
 
 
 @dataclass
 class PatientTriage:
-    """One patient's triage state with escalation timestamps."""
+    """One patient's triage state with escalation timestamps.
+
+    Attributes:
+        stale: Link-health flag: no packet for ``stale_after_s``.
+        last_seen_s: Time of the last packet observed (run start when
+            nothing has arrived yet).
+        n_stale_events: Times the link went stale over the run.
+    """
 
     patient_id: str
     state: str = STATE_OK
@@ -59,6 +76,9 @@ class PatientTriage:
     last_event_s: float = float("-inf")
     n_alerts: int = 0
     n_watches: int = 0
+    stale: bool = False
+    last_seen_s: float = 0.0
+    n_stale_events: int = 0
 
     def _escalate(self, target: str, now_s: float) -> None:
         if STATES.index(target) > STATES.index(self.state):
@@ -70,6 +90,8 @@ class PatientTriage:
                 config: TriageConfig) -> str:
         """Feed one gateway output; return the (possibly new) state."""
         now = excerpt.timestamp_s
+        self.last_seen_s = max(self.last_seen_s, now)
+        self.stale = False
         if excerpt.kind == PACKET_ALARM:
             if excerpt.confirmed:
                 self.n_alerts += 1
@@ -86,7 +108,17 @@ class PatientTriage:
         return self.state
 
     def tick(self, now_s: float, config: TriageConfig) -> str:
-        """Apply quiet-period decay at time ``now_s``."""
+        """Apply quiet-period decay and link-health check at ``now_s``.
+
+        A stale link keeps the patient at ``watch`` or above for as long
+        as the silence lasts (re-asserted every tick, so the quiet-decay
+        rule below cannot quietly lower a patient nobody can observe).
+        """
+        if now_s - self.last_seen_s >= config.stale_after_s:
+            if not self.stale:
+                self.stale = True
+                self.n_stale_events += 1
+            self._escalate(STATE_WATCH, now_s)
         if self.state == STATE_ALERT \
                 and now_s - self.last_event_s >= config.alert_hold_s:
             self.state = STATE_WATCH
@@ -111,6 +143,20 @@ class TriageBoard:
         if patient_id not in self.patients:
             self.patients[patient_id] = PatientTriage(patient_id)
         return self.patients[patient_id]
+
+    def register(self, patient_ids) -> None:
+        """Seed a state machine per cohort member (enables staleness).
+
+        Without registration a patient only exists on the board once a
+        packet arrives — a fully silent node would never be flagged.
+        """
+        for patient_id in patient_ids:
+            self.patient(patient_id)
+
+    def stale_ids(self) -> list[str]:
+        """Patients whose link is currently flagged stale (sorted)."""
+        return sorted(p.patient_id for p in self.patients.values()
+                      if p.stale)
 
     def observe(self, excerpt: ReconstructedExcerpt) -> str:
         """Route one gateway output to its patient's state machine."""
@@ -147,6 +193,9 @@ class FleetSummary:
         mean_node_power_uw: Mean node power (radio + MCU + front end).
         mean_battery_days: Mean time between charges across the fleet.
         dropped_packets: Packets lost to the bounded ingest queue.
+        stale_patients: Patients whose link is stale at end of run.
+        duplicate_packets: Duplicates dropped by gateway reassembly.
+        reassembly_gaps: Sequence numbers lost for good on the uplink.
     """
 
     n_patients: int
@@ -162,6 +211,9 @@ class FleetSummary:
     mean_node_power_uw: float
     mean_battery_days: float
     dropped_packets: int
+    stale_patients: int = 0
+    duplicate_packets: int = 0
+    reassembly_gaps: int = 0
 
     def describe(self) -> str:
         """Multi-line human-readable summary (what the example prints)."""
@@ -180,6 +232,9 @@ class FleetSummary:
             f"{self.snr_p90_db:.1f} dB",
             f"  uplink: {self.uplink_bytes_per_patient_day / 1e3:.0f} "
             f"kB/patient/day, {self.dropped_packets} dropped",
+            f"  link health: {self.stale_patients} stale, "
+            f"{self.duplicate_packets} duplicates dropped, "
+            f"{self.reassembly_gaps} gaps",
             f"  node power: {self.mean_node_power_uw:.0f} uW mean, "
             f"battery {self.mean_battery_days:.1f} days",
         ])
@@ -209,6 +264,9 @@ def fleet_summary(reports: dict[str, NodeReport], gateway: Gateway,
                      else (float("nan"),) * 3)
     powers = [r.average_power_w for r in reports.values()]
     batteries = [r.battery_days for r in reports.values()]
+    stale = sum(1 for p in board.patients.values() if p.stale)
+    duplicates = sum(ch.n_duplicates for ch in gateway.channels.values())
+    gaps = sum(ch.n_gaps for ch in gateway.channels.values())
     return FleetSummary(
         n_patients=n,
         duration_s=duration_s,
@@ -223,4 +281,7 @@ def fleet_summary(reports: dict[str, NodeReport], gateway: Gateway,
         mean_node_power_uw=1e6 * float(np.mean(powers)),
         mean_battery_days=float(np.mean(batteries)),
         dropped_packets=gateway.dropped,
+        stale_patients=stale,
+        duplicate_packets=duplicates,
+        reassembly_gaps=gaps,
     )

@@ -1,0 +1,76 @@
+"""Deterministic fault-injection scenarios and campaign runner.
+
+The fleet layer (:mod:`repro.fleet`) models well-behaved nodes on a
+perfect uplink; this package stress-tests the same chain under the
+real-world mess the paper's node is designed for: motion artifacts and
+baseline wander on the electrodes (§III-B), lead-off and saturation at
+the front end, and a lossy low-power radio (§V) between node and
+gateway.
+
+* :mod:`repro.scenarios.spec` — the declarative DSL: timed
+  :class:`FaultEvent` episodes + :class:`LinkSpec` impairments bundled
+  into named :class:`ScenarioSpec` objects, with builtin scenarios and
+  the single-master-seed derivation (:func:`derive_seed`) that makes
+  every campaign bit-reproducible.
+* :mod:`repro.scenarios.inject` — applies fault episodes to synthesized
+  recordings (:func:`apply_faults`).
+* :mod:`repro.scenarios.channel` — :class:`ImpairedLink`, the
+  deterministic lossy channel model (loss / duplication / reordering /
+  jitter, with acknowledged delivery for alarm packets).
+* :mod:`repro.scenarios.campaign` — :class:`CampaignRunner` sweeps one
+  cohort across a scenario grid and emits a structured, reproducible
+  :class:`CampaignReport`.
+"""
+
+from .campaign import (
+    SENTINEL_PREFIX,
+    CampaignConfig,
+    CampaignReport,
+    CampaignRunner,
+    ScenarioResult,
+)
+from .channel import ImpairedLink
+from .inject import LEAD_OFF_RESIDUAL_MV, apply_faults
+from .spec import (
+    FAULT_KINDS,
+    FAULT_LEAD_OFF,
+    FAULT_MOTION,
+    FAULT_SATURATION,
+    FAULT_WANDER,
+    FaultEvent,
+    LinkSpec,
+    ScenarioSpec,
+    clean_scenario,
+    default_grid,
+    derive_seed,
+    lead_off_scenario,
+    motion_burst_scenario,
+    packet_loss_scenario,
+    stress_scenario,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignRunner",
+    "FAULT_KINDS",
+    "FAULT_LEAD_OFF",
+    "FAULT_MOTION",
+    "FAULT_SATURATION",
+    "FAULT_WANDER",
+    "FaultEvent",
+    "ImpairedLink",
+    "LEAD_OFF_RESIDUAL_MV",
+    "LinkSpec",
+    "SENTINEL_PREFIX",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "apply_faults",
+    "clean_scenario",
+    "default_grid",
+    "derive_seed",
+    "lead_off_scenario",
+    "motion_burst_scenario",
+    "packet_loss_scenario",
+    "stress_scenario",
+]

@@ -1,0 +1,370 @@
+"""Campaign runner: sweep a cohort across a scenario grid.
+
+One campaign = one cohort x N scenarios.  Every scenario run drives the
+full node -> uplink -> gateway -> triage chain through
+:class:`~repro.fleet.FleetScheduler`, with the scenario's signal faults
+injected into each patient's recording and its link impairments applied
+between node and gateway.  The outcome is one structured
+:class:`ScenarioResult` per scenario — alarm delivery and false-drop
+rates, reconstruction-SNR distribution and degradation versus the clean
+control, uplink bytes/patient/day, and link-health counters — bundled
+into a JSON-serializable :class:`CampaignReport`.
+
+Reproducibility contract: the entire campaign derives from
+``CampaignConfig.master_seed``.  Cohort draw, per-patient recordings,
+fault waveforms and per-packet channel draws all use seeds derived with
+:func:`~repro.scenarios.derive_seed`; two runs of the same config
+produce byte-identical ``report.to_json()``.
+
+The cohort always carries ``n_sentinels`` *sentinel patients*: clean
+(noise-free) persistent-AF cases whose alarms are real by construction.
+Their end-to-end alarm survival is the campaign's false-drop metric —
+the acceptance bar is 0 % under any impairment that does not corrupt
+the signal itself.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..classification.afib import AfDetector
+from ..fleet.cohort import CohortConfig, PatientProfile, make_cohort
+from ..fleet.gateway import Gateway, GatewayConfig
+from ..fleet.node_proxy import NodeProxyConfig
+from ..fleet.scheduler import FleetReport, FleetScheduler, SchedulerConfig
+from ..signals.dataset import make_corpus
+from ..signals.types import MultiLeadEcg
+from .channel import ImpairedLink
+from .inject import apply_faults
+from .spec import ScenarioSpec, derive_seed
+
+#: Patient-id prefix of the clean-AF sentinel patients.
+SENTINEL_PREFIX = "sentinel"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters shared by every scenario run of a campaign.
+
+    Attributes:
+        n_patients: Cohort size *including* the sentinels.
+        n_sentinels: Clean persistent-AF sentinel patients appended to
+            the drawn cohort (their alarms define the false-drop rate).
+        duration_s: Simulated recording length per patient.
+        fs: Node sampling rate.
+        master_seed: The one seed everything derives from.
+        workers: Thread-pool size for the node phase (0 = inline; keep
+            0 when byte-identical float reproducibility matters).
+        gateway_n_iter: FISTA budget of the gateway decoder (lower than
+            the single-patient default — a campaign reconstructs
+            hundreds of windows).
+        excerpt_period_s: Node excerpt period.
+        stream_telemetry: Run the per-node streaming monitor (off by
+            default for campaign speed).
+    """
+
+    n_patients: int = 20
+    n_sentinels: int = 2
+    duration_s: float = 60.0
+    fs: float = 250.0
+    master_seed: int = 2014
+    workers: int = 0
+    gateway_n_iter: int = 80
+    excerpt_period_s: float = 60.0
+    stream_telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_patients < 1:
+            raise ValueError("need at least one patient")
+        if not 0 <= self.n_sentinels <= self.n_patients:
+            raise ValueError("n_sentinels must be within the cohort")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Structured outcome of one scenario over the cohort.
+
+    All float metrics are rounded to 6 decimals so the serialized
+    report is byte-stable.  ``runtime_s`` is wall-clock and therefore
+    excluded from :meth:`to_dict` (the determinism surface).
+    """
+
+    scenario: str
+    description: str
+    n_patients: int
+    duration_s: float
+    packets_sent: int
+    packets_reconstructed: int
+    node_alarms: int
+    confirmed_alarms: int
+    alarm_delivery_rate: float
+    sentinel_node_alarms: int
+    sentinel_confirmed_alarms: int
+    sentinel_false_drop_rate: float
+    snr_p10_db: float
+    snr_p50_db: float
+    snr_p90_db: float
+    snr_drop_p50_db: float
+    uplink_bytes_per_patient_day: float
+    state_counts: dict[str, int]
+    stale_patients: int
+    duplicate_packets: int
+    reassembly_gaps: int
+    queue_dropped: int
+    link_stats: dict[str, int]
+    runtime_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Deterministic dict view (excludes wall-clock runtime)."""
+        out = {
+            "scenario": self.scenario,
+            "description": self.description,
+            "n_patients": self.n_patients,
+            "duration_s": _round(self.duration_s),
+            "packets_sent": self.packets_sent,
+            "packets_reconstructed": self.packets_reconstructed,
+            "node_alarms": self.node_alarms,
+            "confirmed_alarms": self.confirmed_alarms,
+            "alarm_delivery_rate": _round(self.alarm_delivery_rate),
+            "sentinel_node_alarms": self.sentinel_node_alarms,
+            "sentinel_confirmed_alarms": self.sentinel_confirmed_alarms,
+            "sentinel_false_drop_rate":
+                _round(self.sentinel_false_drop_rate),
+            "snr_p10_db": _round(self.snr_p10_db),
+            "snr_p50_db": _round(self.snr_p50_db),
+            "snr_p90_db": _round(self.snr_p90_db),
+            "snr_drop_p50_db": _round(self.snr_drop_p50_db),
+            "uplink_bytes_per_patient_day":
+                _round(self.uplink_bytes_per_patient_day),
+            "state_counts": dict(sorted(self.state_counts.items())),
+            "stale_patients": self.stale_patients,
+            "duplicate_packets": self.duplicate_packets,
+            "reassembly_gaps": self.reassembly_gaps,
+            "queue_dropped": self.queue_dropped,
+            "link_stats": dict(sorted(self.link_stats.items())),
+        }
+        return out
+
+
+def _round(value: float, digits: int = 6) -> float | None:
+    """JSON-safe rounding (``None`` for nan/inf)."""
+    if not np.isfinite(value):
+        return None
+    return round(float(value), digits)
+
+
+@dataclass
+class CampaignReport:
+    """All scenario results of one campaign, plus the reproduce recipe."""
+
+    config: CampaignConfig
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    def result(self, scenario: str) -> ScenarioResult:
+        """The result of one scenario by name."""
+        for res in self.results:
+            if res.scenario == scenario:
+                return res
+        raise KeyError(f"no scenario {scenario!r} in this campaign")
+
+    @property
+    def total_runtime_s(self) -> float:
+        """Wall-clock seconds across every scenario run."""
+        return sum(res.runtime_s for res in self.results)
+
+    def to_dict(self) -> dict:
+        """Deterministic dict view — identical across reruns of the
+        same config (the campaign's reproducibility surface)."""
+        return {
+            "master_seed": self.config.master_seed,
+            "n_patients": self.config.n_patients,
+            "n_sentinels": self.config.n_sentinels,
+            "duration_s": _round(self.config.duration_s),
+            "scenarios": [res.to_dict() for res in self.results],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialized deterministic report."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def describe(self) -> str:
+        """Fixed-width text table (what the example prints)."""
+        header = (f"{'scenario':<14} {'alarms':>7} {'conf':>5} "
+                  f"{'fdrop%':>7} {'p50 SNR':>8} {'dSNR':>6} "
+                  f"{'kB/pt/day':>10} {'stale':>6} {'dup':>4} "
+                  f"{'gaps':>5}")
+        lines = [
+            f"campaign: {self.config.n_patients} patients "
+            f"({self.config.n_sentinels} clean-AF sentinels), "
+            f"{self.config.duration_s:.0f} s each, master seed "
+            f"{self.config.master_seed}",
+            header,
+            "-" * len(header),
+        ]
+        for res in self.results:
+            p50 = res.snr_p50_db
+            drop = res.snr_drop_p50_db
+            lines.append(
+                f"{res.scenario:<14} {res.node_alarms:>7} "
+                f"{res.confirmed_alarms:>5} "
+                f"{100 * res.sentinel_false_drop_rate:>6.1f}% "
+                f"{p50:>8.1f} {drop:>6.1f} "
+                f"{res.uplink_bytes_per_patient_day / 1e3:>10.1f} "
+                f"{res.stale_patients:>6} {res.duplicate_packets:>4} "
+                f"{res.reassembly_gaps:>5}")
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Run a scenario grid over one reproducible cohort.
+
+    Args:
+        scenarios: The grid (order preserved in the report; include
+            :func:`~repro.scenarios.clean_scenario` first to anchor the
+            SNR-degradation column).
+        config: Campaign parameters.
+        af_detector: Trained fleet AF detector; trained internally from
+            a seed-derived corpus when omitted.
+    """
+
+    def __init__(self, scenarios: tuple[ScenarioSpec, ...] | list,
+                 config: CampaignConfig | None = None,
+                 af_detector: AfDetector | None = None) -> None:
+        self.scenarios = tuple(scenarios)
+        if not self.scenarios:
+            raise ValueError("need at least one scenario")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scenario names must be unique, got {names}")
+        self.config = config or CampaignConfig()
+        self.af_detector = af_detector
+
+    def cohort(self) -> list[PatientProfile]:
+        """The campaign cohort: drawn mix + clean-AF sentinels."""
+        cfg = self.config
+        n_drawn = cfg.n_patients - cfg.n_sentinels
+        profiles: list[PatientProfile] = []
+        if n_drawn > 0:
+            profiles.extend(make_cohort(CohortConfig(
+                n_patients=n_drawn,
+                seed=derive_seed(cfg.master_seed, "cohort"))))
+        for i in range(cfg.n_sentinels):
+            profiles.append(PatientProfile(
+                patient_id=f"{SENTINEL_PREFIX}{i:02d}",
+                rhythm="af",
+                mean_hr_bpm=75.0,
+                snr_db=None,
+                n_leads=3,
+                seed=derive_seed(cfg.master_seed, "sentinel", i),
+            ))
+        return profiles
+
+    def run(self) -> CampaignReport:
+        """Execute every scenario and assemble the campaign report."""
+        cfg = self.config
+        detector = self.af_detector or self._train_detector()
+        cohort = self.cohort()
+        report = CampaignReport(config=cfg)
+        clean_p50: float | None = None
+        for spec in self.scenarios:
+            result = self._run_scenario(spec, cohort, detector, clean_p50)
+            if clean_p50 is None and np.isfinite(result.snr_p50_db):
+                # First scenario anchors the SNR-degradation column
+                # (put the clean control first).
+                clean_p50 = result.snr_p50_db
+            report.results.append(result)
+        return report
+
+    def _train_detector(self) -> AfDetector:
+        """Train the fleet AF detector from a seed-derived corpus."""
+        corpus = make_corpus(
+            "af_mix", n_records=3, duration_s=120.0,
+            seed=derive_seed(self.config.master_seed, "af-train"))
+        return AfDetector().fit(list(corpus))
+
+    def _run_scenario(self, spec: ScenarioSpec,
+                      cohort: list[PatientProfile],
+                      detector: AfDetector,
+                      clean_p50: float | None) -> ScenarioResult:
+        cfg = self.config
+        link = (ImpairedLink(spec.link,
+                             seed=derive_seed(cfg.master_seed, spec.name,
+                                              "link"))
+                if spec.link.impaired else None)
+
+        def inject(profile: PatientProfile,
+                   record: MultiLeadEcg) -> MultiLeadEcg:
+            rng = np.random.default_rng(
+                derive_seed(cfg.master_seed, spec.name, "faults",
+                            profile.patient_id))
+            return apply_faults(record, spec.faults, rng)
+
+        scheduler = FleetScheduler(
+            cohort,
+            SchedulerConfig(duration_s=cfg.duration_s, fs=cfg.fs,
+                            workers=cfg.workers),
+            node_config=NodeProxyConfig(
+                excerpt_period_s=cfg.excerpt_period_s,
+                stream_telemetry=cfg.stream_telemetry),
+            gateway=Gateway(GatewayConfig(n_iter=cfg.gateway_n_iter)),
+            af_detector=detector,
+            link=link,
+            record_transform=inject if spec.faults else None,
+        )
+        t0 = time.perf_counter()
+        fleet = scheduler.run()
+        runtime = time.perf_counter() - t0
+        return self._result_from(spec, fleet, scheduler, clean_p50,
+                                 runtime)
+
+    def _result_from(self, spec: ScenarioSpec, fleet: FleetReport,
+                     scheduler: FleetScheduler,
+                     clean_p50: float | None,
+                     runtime: float) -> ScenarioResult:
+        summary = fleet.summary
+        sentinel_ids = [p.patient_id for p in fleet.profiles
+                        if p.patient_id.startswith(SENTINEL_PREFIX)]
+        sent_node = sum(len(fleet.node_reports[pid].alarms)
+                        for pid in sentinel_ids)
+        sent_conf = sum(
+            scheduler.gateway.channels[pid].n_confirmed
+            for pid in sentinel_ids
+            if pid in scheduler.gateway.channels)
+        false_drop = (1.0 - min(sent_conf, sent_node) / sent_node
+                      if sent_node else 0.0)
+        delivery = (summary.confirmed_alarms / summary.node_alarms
+                    if summary.node_alarms else 1.0)
+        drop_p50 = (clean_p50 - summary.snr_p50_db
+                    if clean_p50 is not None
+                    and np.isfinite(summary.snr_p50_db) else 0.0)
+        return ScenarioResult(
+            scenario=spec.name,
+            description=spec.description,
+            n_patients=summary.n_patients,
+            duration_s=summary.duration_s,
+            packets_sent=fleet.packets_sent,
+            packets_reconstructed=len(fleet.excerpts),
+            node_alarms=summary.node_alarms,
+            confirmed_alarms=summary.confirmed_alarms,
+            alarm_delivery_rate=delivery,
+            sentinel_node_alarms=sent_node,
+            sentinel_confirmed_alarms=sent_conf,
+            sentinel_false_drop_rate=false_drop,
+            snr_p10_db=summary.snr_p10_db,
+            snr_p50_db=summary.snr_p50_db,
+            snr_p90_db=summary.snr_p90_db,
+            snr_drop_p50_db=drop_p50,
+            uplink_bytes_per_patient_day=
+                summary.uplink_bytes_per_patient_day,
+            state_counts=summary.state_counts,
+            stale_patients=summary.stale_patients,
+            duplicate_packets=summary.duplicate_packets,
+            reassembly_gaps=summary.reassembly_gaps,
+            queue_dropped=summary.dropped_packets,
+            link_stats=fleet.link_stats,
+            runtime_s=runtime,
+        )

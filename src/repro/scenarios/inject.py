@@ -1,0 +1,111 @@
+"""Signal-domain fault injection into synthesized recordings.
+
+Takes the clean output of :func:`repro.fleet.synthesize_patient` and
+applies the timed :class:`~repro.scenarios.FaultEvent` episodes of a
+scenario: motion-artifact bursts and baseline-wander episodes reuse the
+calibrated generators of :mod:`repro.signals.noise`; lead-off flattens
+the affected lead to the electrode-open residual; saturation clips to
+the front-end rails.  Ground-truth beat annotations are left untouched —
+that is the point: the campaign scores what the chain still detects when
+the waveform underneath the annotations degrades.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..signals.noise import baseline_wander, electrode_motion, muscle_artifact
+from ..signals.types import MultiLeadEcg
+from .spec import (
+    FAULT_LEAD_OFF,
+    FAULT_MOTION,
+    FAULT_SATURATION,
+    FAULT_WANDER,
+    FaultEvent,
+)
+
+#: Residual noise on a detached lead (open electrode, mV RMS).
+LEAD_OFF_RESIDUAL_MV = 0.01
+
+
+def apply_faults(record: MultiLeadEcg,
+                 faults: tuple[FaultEvent, ...] | list[FaultEvent],
+                 rng: np.random.Generator) -> MultiLeadEcg:
+    """Return a copy of ``record`` with every fault episode applied.
+
+    Args:
+        record: The clean synthesized recording.
+        faults: Episodes to inject (applied in the given order).
+        rng: Seeded generator — same record + faults + seed replays the
+            exact same corrupted waveform.
+    """
+    if not faults:
+        return record
+    signals = record.signals.copy()
+    fs = record.fs
+    n_samples = signals.shape[1]
+    for fault in faults:
+        lo = int(round(fault.start_s * fs))
+        hi = int(round(fault.stop_s * fs))
+        lo, hi = max(0, lo), min(n_samples, hi)
+        if hi - lo < 2:
+            continue
+        leads = _lead_indices(fault, signals.shape[0])
+        _apply_one(signals, fault, leads, lo, hi, fs, rng)
+    return MultiLeadEcg(
+        fs=record.fs,
+        signals=signals,
+        beats=record.beats,
+        lead_names=record.lead_names,
+        name=record.name,
+    )
+
+
+def _lead_indices(fault: FaultEvent, n_leads: int) -> list[int]:
+    if fault.lead is None:
+        return list(range(n_leads))
+    return [min(fault.lead, n_leads - 1)]
+
+
+def _apply_one(signals: np.ndarray, fault: FaultEvent, leads: list[int],
+               lo: int, hi: int, fs: float,
+               rng: np.random.Generator) -> None:
+    span = hi - lo
+    if fault.kind == FAULT_MOTION:
+        # A dense electrode-motion episode with its EMG component, as
+        # during walking/arm movement; independent waveform per lead.
+        for lead in leads:
+            burst = electrode_motion(span, fs, rng,
+                                     amplitude_mv=fault.severity,
+                                     events_per_minute=40.0)
+            burst += muscle_artifact(span, fs, rng,
+                                     amplitude_mv=0.3 * fault.severity)
+            signals[lead, lo:hi] += _ramped(burst, fs)
+    elif fault.kind == FAULT_WANDER:
+        for lead in leads:
+            wander = baseline_wander(span, fs, rng,
+                                     amplitude_mv=fault.severity)
+            signals[lead, lo:hi] += _ramped(wander, fs)
+    elif fault.kind == FAULT_LEAD_OFF:
+        for lead in leads:
+            signals[lead, lo:hi] = LEAD_OFF_RESIDUAL_MV * \
+                rng.standard_normal(span)
+    elif fault.kind == FAULT_SATURATION:
+        rail = fault.severity
+        for lead in leads:
+            np.clip(signals[lead, lo:hi], -rail, rail,
+                    out=signals[lead, lo:hi])
+    else:  # pragma: no cover - spec validation rejects unknown kinds
+        raise ValueError(f"unknown fault kind {fault.kind!r}")
+
+
+def _ramped(segment: np.ndarray, fs: float,
+            ramp_s: float = 0.25) -> np.ndarray:
+    """Fade an additive episode in/out to avoid step discontinuities."""
+    n = segment.shape[0]
+    ramp = min(n // 2, max(2, int(ramp_s * fs)))
+    window = np.ones(n)
+    edge = 0.5 * (1.0 - np.cos(np.pi * np.arange(ramp) / ramp))
+    window[:ramp] = edge
+    window[n - ramp:] = edge[::-1]
+    return segment * window

@@ -1,0 +1,250 @@
+"""Declarative scenario DSL: timed fault events + link impairments.
+
+A :class:`ScenarioSpec` describes everything messy about one simulated
+deployment — motion-noise bursts and baseline-wander episodes on the
+electrodes, lead-off/reattach and sensor saturation at the front end,
+and the lossy low-power radio between node and gateway (packet loss,
+duplication, reordering, bounded delay/jitter; cf. the chestbelt system
+of Ai et al. 2020 and the remote-monitoring link budget of Hadizadeh et
+al. 2019 in PAPERS.md).
+
+The spec itself contains **no randomness**: every stochastic decision
+(noise waveforms, per-packet loss draws) is made later from a seed
+derived with :func:`derive_seed` from one campaign master seed plus the
+scenario and patient names, so an entire campaign replays bit-identically
+from a single integer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: Signal-domain fault kinds an event may carry.
+FAULT_MOTION = "motion_burst"
+FAULT_WANDER = "baseline_wander"
+FAULT_LEAD_OFF = "lead_off"
+FAULT_SATURATION = "saturation"
+
+FAULT_KINDS = (FAULT_MOTION, FAULT_WANDER, FAULT_LEAD_OFF, FAULT_SATURATION)
+
+
+def derive_seed(master_seed: int, *names: object) -> int:
+    """Derive a stream seed from the master seed and a name path.
+
+    Stable across processes and Python versions (unlike ``hash``):
+    the master seed and each name are folded through BLAKE2s.
+
+    Args:
+        master_seed: The campaign master seed.
+        *names: Any reprable path components (scenario name, patient
+            id, stream label ...).
+    """
+    digest = hashlib.blake2s(digest_size=8)
+    digest.update(str(int(master_seed)).encode())
+    for name in names:
+        digest.update(b"/")
+        digest.update(repr(name).encode())
+    return int.from_bytes(digest.digest(), "big") % (2 ** 31)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed signal-domain fault episode.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        start_s: Episode start within the recording.
+        duration_s: Episode length.
+        severity: Fault amplitude in mV — the added-artifact amplitude
+            for ``motion_burst``/``baseline_wander``, the rail level for
+            ``saturation`` (samples clip to ±severity); ignored for
+            ``lead_off`` (the lead reads ~0 while detached).
+        lead: Affected lead index, or ``None`` for every lead (a 1-lead
+            node simply clamps to its available leads).
+    """
+
+    kind: str
+    start_s: float
+    duration_s: float
+    severity: float = 1.0
+    lead: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {FAULT_KINDS}")
+        if self.start_s < 0:
+            raise ValueError("fault start_s must be >= 0")
+        if self.duration_s <= 0:
+            raise ValueError("fault duration_s must be positive")
+        if self.severity < 0:
+            raise ValueError("fault severity must be >= 0")
+
+    @property
+    def stop_s(self) -> float:
+        """Episode end time."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Uplink channel impairments between node and gateway.
+
+    Routine excerpts are best-effort: a lost excerpt is gone.  Alarm
+    packets use acknowledged delivery (the §V radio retransmits until
+    the gateway acks), so loss can only *delay* an alarm — the modelled
+    cost of the no-false-drop guarantee.
+
+    Attributes:
+        loss_rate: Per-packet uniform loss probability.
+        duplicate_rate: Probability a delivered packet arrives twice.
+        reorder_rate: Probability a delivered packet is held back by
+            ``reorder_delay_s`` (overtaken by later traffic).
+        reorder_delay_s: Extra delay of a reordered packet.
+        jitter_s: Uniform random delivery delay in ``[0, jitter_s)``.
+        alarm_retx_delay_s: Delay added per alarm retransmission.
+        max_alarm_retx: Safety cap on alarm retransmissions.
+    """
+
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_delay_s: float = 45.0
+    jitter_s: float = 0.0
+    alarm_retx_delay_s: float = 5.0
+    max_alarm_retx: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
+        if self.jitter_s < 0 or self.reorder_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.max_alarm_retx < 1:
+            raise ValueError("max_alarm_retx must be >= 1")
+
+    @property
+    def impaired(self) -> bool:
+        """Whether this link differs from a perfect channel."""
+        return (self.loss_rate > 0 or self.duplicate_rate > 0
+                or self.reorder_rate > 0 or self.jitter_s > 0)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named deployment scenario: signal faults + link impairments.
+
+    Attributes:
+        name: Unique scenario identifier (keys seed derivation — two
+            scenarios with the same name replay identically).
+        description: Human-readable one-liner for reports.
+        faults: Timed signal-domain fault episodes, applied to every
+            patient's recording.
+        link: Uplink channel impairments.
+    """
+
+    name: str
+    description: str = ""
+    faults: tuple[FaultEvent, ...] = ()
+    link: LinkSpec = field(default_factory=LinkSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must not be empty")
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+
+def clean_scenario() -> ScenarioSpec:
+    """The control: clean electrodes, perfect link."""
+    return ScenarioSpec(name="clean",
+                        description="no faults, perfect uplink")
+
+
+def motion_burst_scenario(duration_s: float, n_bursts: int = 3,
+                          severity_mv: float = 1.2) -> ScenarioSpec:
+    """Ambulatory motion: periodic artifact bursts plus wander.
+
+    Bursts are spread evenly over the recording (deterministic — the
+    *waveforms* inside each burst are seeded per patient).
+    """
+    if n_bursts < 1:
+        raise ValueError("need at least one burst")
+    burst_len = max(2.0, 0.08 * duration_s)
+    step = duration_s / (n_bursts + 1)
+    faults = [FaultEvent(FAULT_MOTION, start_s=(i + 1) * step,
+                         duration_s=burst_len, severity=severity_mv)
+              for i in range(n_bursts)]
+    faults.append(FaultEvent(FAULT_WANDER, start_s=0.0,
+                             duration_s=duration_s, severity=0.4))
+    return ScenarioSpec(
+        name="motion-burst",
+        description=f"{n_bursts} motion bursts of {burst_len:.0f} s "
+                    f"at {severity_mv} mV + continuous baseline wander",
+        faults=tuple(faults),
+    )
+
+
+def packet_loss_scenario(loss_rate: float = 0.10) -> ScenarioSpec:
+    """A lossy radio: uniform loss with mild duplication and jitter."""
+    return ScenarioSpec(
+        name=f"loss-{int(round(100 * loss_rate))}pct",
+        description=f"{100 * loss_rate:.0f} % uniform packet loss, "
+                    "2 % duplication, 5 s jitter",
+        link=LinkSpec(loss_rate=loss_rate, duplicate_rate=0.02,
+                      jitter_s=5.0),
+    )
+
+
+def lead_off_scenario(duration_s: float,
+                      detach_fraction: float = 0.3) -> ScenarioSpec:
+    """Mid-recording lead-off/reattach plus front-end saturation.
+
+    The primary (delineation) lead detaches for ``detach_fraction`` of
+    the recording and reattaches; a short saturation episode follows the
+    reattachment (electrode recharging against the rail).
+    """
+    if not 0.0 < detach_fraction < 1.0:
+        raise ValueError("detach_fraction must be in (0, 1)")
+    off_start = 0.3 * duration_s
+    off_len = detach_fraction * duration_s
+    sat_start = min(off_start + off_len, 0.95 * duration_s)
+    return ScenarioSpec(
+        name="lead-off",
+        description=f"lead II off for {off_len:.0f} s then saturated "
+                    "reattach",
+        faults=(
+            FaultEvent(FAULT_LEAD_OFF, start_s=off_start,
+                       duration_s=off_len, lead=1),
+            FaultEvent(FAULT_SATURATION, start_s=sat_start,
+                       duration_s=max(1.0, 0.05 * duration_s),
+                       severity=1.5, lead=1),
+        ),
+    )
+
+
+def stress_scenario(duration_s: float) -> ScenarioSpec:
+    """Everything at once: motion + wander + a degraded radio."""
+    motion = motion_burst_scenario(duration_s, n_bursts=4,
+                                   severity_mv=1.5)
+    return ScenarioSpec(
+        name="stress",
+        description="motion bursts + wander + 20 % loss, duplication, "
+                    "reordering and jitter",
+        faults=motion.faults,
+        link=LinkSpec(loss_rate=0.20, duplicate_rate=0.05,
+                      reorder_rate=0.10, reorder_delay_s=30.0,
+                      jitter_s=10.0),
+    )
+
+
+def default_grid(duration_s: float) -> tuple[ScenarioSpec, ...]:
+    """The standard 4-scenario campaign grid of the benchmark/example:
+    clean control, motion bursts, 10 % packet loss, lead-off."""
+    return (
+        clean_scenario(),
+        motion_burst_scenario(duration_s),
+        packet_loss_scenario(0.10),
+        lead_off_scenario(duration_s),
+    )

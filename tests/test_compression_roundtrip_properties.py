@@ -1,0 +1,98 @@
+"""Property-style round-trip tests for the CS chain.
+
+Two contracts, swept over encoder geometries:
+
+* the vectorized :class:`~repro.fleet.BatchExcerptEncoder` is
+  numerically equivalent to the scalar
+  :class:`~repro.compression.MultiLeadCsEncoder` for any seed / CR /
+  lead count (the fleet relies on the gateway not being able to tell
+  which path encoded a packet);
+* encode -> joint decode on real (synthesized) ECG windows stays above
+  a reconstruction-SNR floor at the operating CRs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    JointCsDecoder,
+    MultiLeadCsEncoder,
+    reconstruction_snr_db,
+)
+from repro.fleet import BatchExcerptEncoder
+
+WINDOW_N = 256
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+@pytest.mark.parametrize("cr_percent", [50.0, 60.0, 70.0])
+@pytest.mark.parametrize("n_leads", [1, 2, 3])
+class TestBatchScalarEquivalence:
+    def test_batch_encoder_matches_scalar(self, seed, cr_percent,
+                                          n_leads):
+        rng = np.random.default_rng(1000 * seed + int(cr_percent)
+                                    + n_leads)
+        batch = rng.normal(scale=0.6, size=(5, n_leads, WINDOW_N))
+        batched = BatchExcerptEncoder(n_leads=n_leads, n=WINDOW_N,
+                                      cr_percent=cr_percent, seed=seed)
+        scalar = MultiLeadCsEncoder(n_leads=n_leads, n=WINDOW_N,
+                                    cr_percent=cr_percent, seed=seed)
+        frames = batched.encode_batch(batch)
+        for p in range(batch.shape[0]):
+            reference = scalar.encode(batch[p])
+            for lead in range(n_leads):
+                np.testing.assert_allclose(
+                    frames[p][lead].measurements,
+                    reference[lead].measurements,
+                    rtol=1e-10, atol=1e-12)
+                assert frames[p][lead].scale == \
+                    pytest.approx(reference[lead].scale, rel=1e-12)
+                assert frames[p][lead].payload_bits == \
+                    reference[lead].payload_bits
+                assert frames[p][lead].additions == \
+                    reference[lead].additions
+
+
+def ecg_windows(record, n_windows=4):
+    """Consecutive clean multi-lead windows skipping the onset pad."""
+    out = []
+    for w in range(n_windows):
+        lo = 300 + w * WINDOW_N
+        out.append(record.signals[:, lo:lo + WINDOW_N])
+    return out
+
+
+@pytest.mark.parametrize("seed", [11, 23])
+@pytest.mark.parametrize("cr_percent", [50.0, 60.0])
+class TestRoundTripSnrFloor:
+    def test_encode_decode_snr_above_floor(self, clean_record, seed,
+                                           cr_percent):
+        encoder = MultiLeadCsEncoder(n_leads=3, n=WINDOW_N,
+                                     cr_percent=cr_percent, seed=seed)
+        decoder = JointCsDecoder(encoder.sensing_matrices, n_iter=150)
+        snrs = []
+        for window in ecg_windows(clean_record):
+            recovery = decoder.recover(encoder.encode(window))
+            snrs.extend(
+                reconstruction_snr_db(window[lead],
+                                      recovery.windows[lead])
+                for lead in range(3))
+        # Operating-point quality: every window useful, mean comfortably
+        # above the triage snr_watch_db threshold (8 dB).
+        assert float(np.mean(snrs)) > 10.0
+        assert float(np.min(snrs)) > 4.0
+
+    def test_round_trip_through_batch_path_identical(self, clean_record,
+                                                     seed, cr_percent):
+        # Gateway reconstruction cannot tell the two encode paths apart.
+        window = ecg_windows(clean_record, n_windows=1)[0]
+        scalar = MultiLeadCsEncoder(n_leads=3, n=WINDOW_N,
+                                    cr_percent=cr_percent, seed=seed)
+        batched = BatchExcerptEncoder(n_leads=3, n=WINDOW_N,
+                                      cr_percent=cr_percent, seed=seed)
+        decoder = JointCsDecoder(scalar.sensing_matrices, n_iter=60)
+        from_scalar = decoder.recover(scalar.encode(window)).windows
+        from_batch = decoder.recover(
+            batched.encode_batch(window[np.newaxis])[0]).windows
+        np.testing.assert_allclose(from_scalar, from_batch,
+                                   rtol=1e-8, atol=1e-10)

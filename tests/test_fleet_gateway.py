@@ -111,7 +111,7 @@ class TestAlarmConfirmation:
         record = synthesize_patient(profile, duration_s=60.0)
         proxy = NodeProxy(profile, PROXY_CONFIG)
         proxy._fs = record.fs
-        packet = proxy._alarm_packet(record, alarm_start=1000)
+        packet = proxy.alarm_packet(record, alarm_start=1000)
         gateway = Gateway()
         gateway.ingest(packet)
         excerpt = gateway.drain()[0]

@@ -60,7 +60,11 @@ class TestStateMachine:
         assert state == STATE_ALERT
 
     def test_decay_one_step_at_a_time(self):
-        config = TriageConfig(alert_hold_s=100.0, watch_hold_s=50.0)
+        # stale_after_s pushed out of frame: silence long enough to
+        # decay would otherwise flag the link stale (pinning watch),
+        # which TestStaleLink covers separately.
+        config = TriageConfig(alert_hold_s=100.0, watch_hold_s=50.0,
+                              stale_after_s=1e9)
         board = TriageBoard(config)
         board.observe(_excerpt(kind="alarm", t=0.0, confirmed=True))
         board.tick(50.0)

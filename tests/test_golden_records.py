@@ -1,0 +1,163 @@
+"""Golden-record regression harness for delineation and AF detection.
+
+Committed checksums (``tests/golden/golden_records.json``) pin the exact
+behavior of the detection chain on fixed-seed synthetic records: the
+full fiducial table of the wavelet delineator and the per-window
+verdicts of the trained AF detector.  Any change to synthesis,
+conditioning, delineation or classification that moves a single sample
+index or flips one window shows up as a digest mismatch here — catching
+silent behavioral drift that threshold-style tests let through.
+
+Regenerate after an *intentional* behavior change with::
+
+    PYTHONPATH=src python tests/test_golden_records.py --regenerate
+
+and review the diff of the JSON like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.delineation import RPeakDetector, WaveletDelineator
+from repro.signals import RecordSpec, make_record
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_records.json"
+
+#: The pinned records: name -> spec.  Seeds are arbitrary but frozen.
+GOLDEN_SPECS = {
+    "nsr-golden": RecordSpec(name="nsr-golden", duration_s=30.0,
+                             snr_db=20.0, seed=101),
+    "af-golden": RecordSpec(name="af-golden", duration_s=30.0,
+                            rhythm="af", snr_db=18.0, seed=202),
+    "pxaf-golden": RecordSpec(name="pxaf-golden", duration_s=60.0,
+                              rhythm="paroxysmal_af", af_burden=0.5,
+                              snr_db=18.0, seed=303),
+    "ectopy-golden": RecordSpec(name="ectopy-golden", duration_s=30.0,
+                                pvc_fraction=0.10, apc_fraction=0.08,
+                                snr_db=20.0, seed=404),
+}
+
+DELINEATION_LEAD = 1  # lead II, the repo-wide delineation convention
+
+
+def _digest(parts) -> str:
+    """crc32 (hex) over a comma-joined stringification — platform
+    stable, and small enough to eyeball in a diff."""
+    joined = ",".join(str(p) for p in parts)
+    return f"{zlib.crc32(joined.encode()) & 0xFFFFFFFF:08x}"
+
+
+def delineation_fingerprint(name: str) -> dict:
+    """Fiducial table digest of one golden record."""
+    ecg = make_record(GOLDEN_SPECS[name]).lead(DELINEATION_LEAD)
+    peaks = RPeakDetector(ecg.fs).detect(ecg.signal)
+    beats = WaveletDelineator(ecg.fs).delineate(ecg.signal, peaks)
+    cells = []
+    for beat in beats:
+        cells.extend([beat.r_peak,
+                      beat.p_wave.onset, beat.p_wave.peak,
+                      beat.p_wave.end,
+                      beat.qrs.onset, beat.qrs.peak, beat.qrs.end,
+                      beat.t_wave.onset, beat.t_wave.peak,
+                      beat.t_wave.end])
+    return {
+        "n_beats": len(beats),
+        "first_r_peak": beats[0].r_peak if beats else -1,
+        "last_r_peak": beats[-1].r_peak if beats else -1,
+        "fiducial_digest": _digest(cells),
+    }
+
+
+def af_fingerprint(name: str, detector) -> dict:
+    """Per-window AF verdict digest of one golden record."""
+    record = make_record(GOLDEN_SPECS[name])
+    windows, labels = detector.predict_record(record)
+    labels = list(labels)
+    return {
+        "n_windows": len(windows),
+        "n_af_windows": sum(1 for label in labels if label == "AF"),
+        "verdict_digest": _digest(labels),
+    }
+
+
+def compute_golden(detector) -> dict:
+    """The full golden table (what the committed JSON holds)."""
+    return {
+        name: {
+            "delineation": delineation_fingerprint(name),
+            "af": af_fingerprint(name, detector),
+        }
+        for name in sorted(GOLDEN_SPECS)
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if not GOLDEN_PATH.exists():  # pragma: no cover - repo invariant
+        pytest.fail(f"golden fixture missing: {GOLDEN_PATH}; "
+                    "regenerate with --regenerate (see module docstring)")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenRecords:
+    def test_every_golden_record_pinned(self, golden):
+        assert sorted(golden) == sorted(GOLDEN_SPECS)
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+    def test_delineation_fiducials_unchanged(self, golden, name):
+        expected = golden[name]["delineation"]
+        actual = delineation_fingerprint(name)
+        assert actual == expected, (
+            f"delineation drift on {name}: {actual} != {expected}; if "
+            "intentional, regenerate the golden fixture (module "
+            "docstring) and review the diff")
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+    def test_af_verdicts_unchanged(self, golden, name,
+                                   trained_af_detector):
+        expected = golden[name]["af"]
+        actual = af_fingerprint(name, trained_af_detector)
+        assert actual == expected, (
+            f"AF-verdict drift on {name}: {actual} != {expected}; if "
+            "intentional, regenerate the golden fixture (module "
+            "docstring) and review the diff")
+
+    def test_golden_records_are_nontrivial(self, golden):
+        # Guard against a regeneration accidentally pinning empty runs.
+        for name, entry in golden.items():
+            assert entry["delineation"]["n_beats"] > 10, name
+            assert entry["af"]["n_windows"] >= 1, name
+        assert golden["af-golden"]["af"]["n_af_windows"] > 0
+
+
+def _regenerate() -> None:  # pragma: no cover - manual tool
+    from repro.classification import AfDetector
+    from repro.signals import make_corpus
+
+    print("training AF detector (fixed corpus, seed 1) ...")
+    detector = AfDetector().fit(
+        list(make_corpus("af_mix", n_records=3, duration_s=120.0,
+                         seed=1)))
+    table = compute_golden(detector)
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(table, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    for name, entry in table.items():
+        print(f"  {name}: {entry['delineation']['n_beats']} beats, "
+              f"{entry['af']['n_af_windows']}/"
+              f"{entry['af']['n_windows']} AF windows")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,136 @@
+"""Tests for the campaign runner and its reproducibility contract."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    CampaignConfig,
+    CampaignRunner,
+    ScenarioSpec,
+    clean_scenario,
+    packet_loss_scenario,
+)
+
+SMALL = CampaignConfig(n_patients=4, n_sentinels=2, duration_s=60.0,
+                       master_seed=77, gateway_n_iter=40)
+
+
+@pytest.fixture(scope="module")
+def small_report(trained_af_detector):
+    runner = CampaignRunner(
+        (clean_scenario(), packet_loss_scenario(0.10)),
+        SMALL, af_detector=trained_af_detector)
+    return runner.run()
+
+
+class TestCampaignRunner:
+    def test_scenario_names_must_be_unique(self):
+        with pytest.raises(ValueError, match="unique"):
+            CampaignRunner((clean_scenario(), clean_scenario()), SMALL)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="scenario"):
+            CampaignRunner((), SMALL)
+
+    def test_cohort_contains_sentinels(self):
+        cohort = CampaignRunner((clean_scenario(),), SMALL).cohort()
+        assert len(cohort) == SMALL.n_patients
+        sentinels = [p for p in cohort
+                     if p.patient_id.startswith("sentinel")]
+        assert len(sentinels) == SMALL.n_sentinels
+        for profile in sentinels:
+            assert profile.rhythm == "af"
+            assert profile.snr_db is None
+
+    def test_cohort_reproducible(self):
+        one = CampaignRunner((clean_scenario(),), SMALL).cohort()
+        two = CampaignRunner((clean_scenario(),), SMALL).cohort()
+        assert one == two
+
+
+class TestCampaignReport:
+    def test_one_result_per_scenario(self, small_report):
+        assert [r.scenario for r in small_report.results] == \
+            ["clean", "loss-10pct"]
+        assert small_report.result("clean").scenario == "clean"
+        with pytest.raises(KeyError):
+            small_report.result("nope")
+
+    def test_sentinels_raise_and_survive(self, small_report):
+        for result in small_report.results:
+            assert result.sentinel_node_alarms >= 1
+            assert result.sentinel_false_drop_rate == 0.0
+
+    def test_clean_anchor_for_snr_drop(self, small_report):
+        assert small_report.result("clean").snr_drop_p50_db == 0.0
+
+    def test_json_round_trips(self, small_report):
+        payload = json.loads(small_report.to_json())
+        assert payload["master_seed"] == SMALL.master_seed
+        assert len(payload["scenarios"]) == 2
+        for scenario in payload["scenarios"]:
+            assert scenario["n_patients"] == SMALL.n_patients
+
+    def test_runtime_excluded_from_deterministic_surface(self,
+                                                         small_report):
+        assert small_report.total_runtime_s > 0
+        for result in small_report.results:
+            assert "runtime_s" not in result.to_dict()
+
+    def test_describe_mentions_every_scenario(self, small_report):
+        text = small_report.describe()
+        assert "clean" in text and "loss-10pct" in text
+
+
+class TestDeterminism:
+    def test_identical_reports_across_two_runs(self, trained_af_detector):
+        # The acceptance contract: one master seed -> byte-identical
+        # campaign reports, including under link impairments.
+        config = CampaignConfig(n_patients=3, n_sentinels=1,
+                                duration_s=60.0, master_seed=11,
+                                gateway_n_iter=40)
+        grid = (clean_scenario(), packet_loss_scenario(0.15))
+        one = CampaignRunner(grid, config,
+                             af_detector=trained_af_detector).run()
+        two = CampaignRunner(grid, config,
+                             af_detector=trained_af_detector).run()
+        assert one.to_json() == two.to_json()
+
+    def test_master_seed_changes_report(self, trained_af_detector):
+        grid = (packet_loss_scenario(0.15),)
+        reports = []
+        for seed in (11, 12):
+            config = CampaignConfig(n_patients=3, n_sentinels=1,
+                                    duration_s=60.0, master_seed=seed,
+                                    gateway_n_iter=40)
+            reports.append(CampaignRunner(
+                grid, config, af_detector=trained_af_detector).run())
+        assert reports[0].to_json() != reports[1].to_json()
+
+
+class TestConfigValidation:
+    def test_sentinels_bounded_by_cohort(self):
+        with pytest.raises(ValueError, match="sentinel"):
+            CampaignConfig(n_patients=2, n_sentinels=3)
+
+    def test_need_one_patient(self):
+        with pytest.raises(ValueError, match="patient"):
+            CampaignConfig(n_patients=0)
+
+    def test_faulty_scenario_runs(self, trained_af_detector):
+        # A scenario with signal faults exercises the injection path.
+        from repro.scenarios import FaultEvent
+
+        spec = ScenarioSpec(
+            name="wobble",
+            faults=(FaultEvent("baseline_wander", 0.0, 60.0,
+                               severity=0.6),))
+        config = CampaignConfig(n_patients=2, n_sentinels=1,
+                                duration_s=60.0, master_seed=21,
+                                gateway_n_iter=40)
+        report = CampaignRunner((spec,), config,
+                                af_detector=trained_af_detector).run()
+        result = report.result("wobble")
+        assert result.packets_sent > 0
+        assert result.n_patients == 2

@@ -1,0 +1,100 @@
+"""Tests for signal-domain fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import PatientProfile, synthesize_patient
+from repro.scenarios import (
+    LEAD_OFF_RESIDUAL_MV,
+    FaultEvent,
+    apply_faults,
+)
+
+
+@pytest.fixture(scope="module")
+def base_record():
+    profile = PatientProfile(patient_id="inj", rhythm="nsr", snr_db=None,
+                             seed=19)
+    return synthesize_patient(profile, duration_s=30.0)
+
+
+def span(record, fault):
+    lo = int(round(fault.start_s * record.fs))
+    hi = int(round(fault.stop_s * record.fs))
+    return lo, hi
+
+
+class TestApplyFaults:
+    def test_no_faults_is_identity(self, base_record, rng):
+        assert apply_faults(base_record, (), rng) is base_record
+
+    def test_original_record_untouched(self, base_record, rng):
+        before = base_record.signals.copy()
+        apply_faults(base_record,
+                     (FaultEvent("motion_burst", 5.0, 5.0, severity=2.0),),
+                     rng)
+        np.testing.assert_array_equal(base_record.signals, before)
+
+    def test_deterministic_per_seed(self, base_record):
+        fault = (FaultEvent("motion_burst", 5.0, 5.0, severity=1.0),)
+        one = apply_faults(base_record, fault, np.random.default_rng(3))
+        two = apply_faults(base_record, fault, np.random.default_rng(3))
+        np.testing.assert_array_equal(one.signals, two.signals)
+        other = apply_faults(base_record, fault, np.random.default_rng(4))
+        assert not np.array_equal(one.signals, other.signals)
+
+    def test_motion_burst_confined_to_episode(self, base_record, rng):
+        fault = FaultEvent("motion_burst", 10.0, 4.0, severity=1.5)
+        out = apply_faults(base_record, (fault,), rng)
+        lo, hi = span(base_record, fault)
+        diff = out.signals - base_record.signals
+        np.testing.assert_array_equal(diff[:, :lo], 0.0)
+        np.testing.assert_array_equal(diff[:, hi:], 0.0)
+        assert np.max(np.abs(diff[:, lo:hi])) > 0.3
+
+    def test_lead_off_flattens_only_that_lead(self, base_record, rng):
+        fault = FaultEvent("lead_off", 8.0, 6.0, lead=1)
+        out = apply_faults(base_record, (fault,), rng)
+        lo, hi = span(base_record, fault)
+        detached = out.signals[1, lo:hi]
+        assert np.max(np.abs(detached)) < 10 * LEAD_OFF_RESIDUAL_MV
+        np.testing.assert_array_equal(out.signals[0], base_record.signals[0])
+        np.testing.assert_array_equal(out.signals[2], base_record.signals[2])
+
+    def test_lead_clamped_to_available(self, rng):
+        profile = PatientProfile(patient_id="one", rhythm="nsr",
+                                 snr_db=None, n_leads=1, seed=4)
+        record = synthesize_patient(profile, duration_s=10.0)
+        fault = FaultEvent("lead_off", 2.0, 3.0, lead=2)
+        out = apply_faults(record, (fault,), rng)
+        lo, hi = span(record, fault)
+        assert np.max(np.abs(out.signals[0, lo:hi])) < \
+            10 * LEAD_OFF_RESIDUAL_MV
+
+    def test_saturation_clips_to_rail(self, base_record, rng):
+        rail = 0.2
+        fault = FaultEvent("saturation", 0.0, base_record.duration_s,
+                           severity=rail)
+        out = apply_faults(base_record, (fault,), rng)
+        assert np.max(np.abs(out.signals)) <= rail + 1e-12
+        # The QRS complexes (≈1 mV) must actually have clipped.
+        assert np.any(np.abs(base_record.signals) > rail)
+
+    def test_baseline_wander_is_low_frequency(self, base_record, rng):
+        fault = FaultEvent("baseline_wander", 0.0, 30.0, severity=0.5)
+        out = apply_faults(base_record, (fault,), rng)
+        diff = out.signals[0] - base_record.signals[0]
+        power = np.abs(np.fft.rfft(diff)) ** 2
+        freqs = np.fft.rfftfreq(diff.shape[0], d=1.0 / base_record.fs)
+        assert power[freqs <= 1.0].sum() > 0.95 * power.sum()
+
+    def test_annotations_preserved(self, base_record, rng):
+        fault = FaultEvent("motion_burst", 5.0, 10.0, severity=2.0)
+        out = apply_faults(base_record, (fault,), rng)
+        assert out.beats is base_record.beats
+        assert out.fs == base_record.fs
+
+    def test_out_of_range_episode_ignored(self, base_record, rng):
+        fault = FaultEvent("motion_burst", 1e4, 5.0)
+        out = apply_faults(base_record, (fault,), rng)
+        np.testing.assert_array_equal(out.signals, base_record.signals)

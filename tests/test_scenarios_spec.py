@@ -1,0 +1,126 @@
+"""Tests for the scenario DSL: specs, validation, seed derivation."""
+
+import pytest
+
+from repro.scenarios import (
+    FAULT_KINDS,
+    FaultEvent,
+    LinkSpec,
+    ScenarioSpec,
+    clean_scenario,
+    default_grid,
+    derive_seed,
+    lead_off_scenario,
+    motion_burst_scenario,
+    packet_loss_scenario,
+    stress_scenario,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2014, "a", "b") == derive_seed(2014, "a", "b")
+
+    def test_sensitive_to_every_component(self):
+        base = derive_seed(2014, "scenario", "p0001")
+        assert derive_seed(2015, "scenario", "p0001") != base
+        assert derive_seed(2014, "other", "p0001") != base
+        assert derive_seed(2014, "scenario", "p0002") != base
+
+    def test_path_components_not_concatenated(self):
+        # ("ab", "c") and ("a", "bc") must derive different streams.
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_in_numpy_seed_range(self):
+        for i in range(50):
+            seed = derive_seed(7, "x", i)
+            assert 0 <= seed < 2 ** 31
+
+
+class TestFaultEvent:
+    def test_valid_kinds(self):
+        for kind in FAULT_KINDS:
+            event = FaultEvent(kind, start_s=1.0, duration_s=2.0)
+            assert event.stop_s == pytest.approx(3.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("earthquake", start_s=0.0, duration_s=1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(start_s=-1.0, duration_s=1.0),
+        dict(start_s=0.0, duration_s=0.0),
+        dict(start_s=0.0, duration_s=1.0, severity=-0.1),
+    ])
+    def test_invalid_numbers_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultEvent("motion_burst", **kwargs)
+
+
+class TestLinkSpec:
+    def test_default_is_perfect(self):
+        assert LinkSpec().impaired is False
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(loss_rate=0.1),
+        dict(duplicate_rate=0.05),
+        dict(reorder_rate=0.2),
+        dict(jitter_s=1.0),
+    ])
+    def test_any_impairment_flags(self, kwargs):
+        assert LinkSpec(**kwargs).impaired is True
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(loss_rate=1.0),
+        dict(duplicate_rate=-0.1),
+        dict(jitter_s=-1.0),
+        dict(max_alarm_retx=0),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkSpec(**kwargs)
+
+
+class TestScenarioSpec:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec(name="")
+
+    def test_faults_normalized_to_tuple(self):
+        spec = ScenarioSpec(name="s", faults=[
+            FaultEvent("motion_burst", 0.0, 1.0)])
+        assert isinstance(spec.faults, tuple)
+
+
+class TestBuiltinScenarios:
+    def test_default_grid_has_required_scenarios(self):
+        grid = default_grid(60.0)
+        names = [s.name for s in grid]
+        assert len(grid) >= 4
+        assert names[0] == "clean"
+        assert len(set(names)) == len(names)
+
+    def test_clean_is_a_control(self):
+        spec = clean_scenario()
+        assert not spec.faults
+        assert not spec.link.impaired
+
+    def test_motion_bursts_within_recording(self):
+        spec = motion_burst_scenario(120.0, n_bursts=4)
+        for fault in spec.faults:
+            assert 0.0 <= fault.start_s < 120.0
+
+    def test_packet_loss_rate_encoded_in_name(self):
+        spec = packet_loss_scenario(0.10)
+        assert spec.name == "loss-10pct"
+        assert spec.link.loss_rate == pytest.approx(0.10)
+
+    def test_lead_off_targets_delineation_lead(self):
+        spec = lead_off_scenario(60.0)
+        kinds = {f.kind for f in spec.faults}
+        assert "lead_off" in kinds and "saturation" in kinds
+        assert all(f.lead == 1 for f in spec.faults)
+
+    def test_stress_combines_signal_and_link(self):
+        spec = stress_scenario(60.0)
+        assert spec.faults and spec.link.impaired
