@@ -10,7 +10,6 @@ DESIGN.md.  Run with::
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.signals import make_corpus

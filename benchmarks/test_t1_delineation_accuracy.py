@@ -19,7 +19,6 @@ from repro.delineation import (
     WaveletDelineator,
     evaluate_delineation,
 )
-from repro.signals import BeatAnnotation
 
 
 def _merge_reports(reports: list[DelineationReport]) -> list[tuple]:

@@ -1,0 +1,53 @@
+"""Performance report card: run the unified bench grid from python.
+
+Drives :mod:`repro.bench` programmatically — the same registry and
+runner the CI gate uses (``python -m repro.bench --quick``) — and
+prints the per-case table plus the regression verdict against the
+committed baselines.  Use this to answer "did my change slow the
+pipeline down?" before pushing.
+
+Run:  python examples/bench_report.py [--cases fleet-throughput]
+      (defaults to the quick grid; add --full for benchmark-grade runs)
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.bench import BenchRunner, all_cases, get_case, load_baselines
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cases", default=None,
+                        help="comma-separated case names (default: all; "
+                             f"known: {', '.join(sorted(all_cases()))})")
+    parser.add_argument("--full", action="store_true",
+                        help="full workloads instead of the quick grid")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="scored runs per case (default 1 here; the "
+                             "CI gate uses 3)")
+    args = parser.parse_args()
+
+    cases = None
+    if args.cases:
+        cases = [get_case(name.strip())
+                 for name in args.cases.split(",") if name.strip()]
+    baselines = load_baselines(REPO_ROOT / "benchmarks" / "baselines.json")
+    runner = BenchRunner(cases=cases, quick=not args.full, warmup=0,
+                         repeats=args.repeats, baselines=baselines)
+    print(f"running {len(runner.cases)} bench case(s), "
+          f"{'full' if args.full else 'quick'} grid ...")
+    report = runner.run()
+    print(report.describe())
+    if report.regressions:
+        print(f"verdict: REGRESSED ({', '.join(report.regressions)})")
+    else:
+        print("verdict: no regressions vs committed baselines")
+
+
+if __name__ == "__main__":
+    main()

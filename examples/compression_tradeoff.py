@@ -62,8 +62,8 @@ def main() -> None:
                 seg[1], sl_dec.recover(sl_enc.encode(seg[1])).window))
             rec = ml_dec.recover(ml_enc.encode(seg))
             ml_vals.append(np.mean([
-                reconstruction_snr_db(seg[l], rec.windows[l])
-                for l in range(3)]))
+                reconstruction_snr_db(seg[lead], rec.windows[lead])
+                for lead in range(3)]))
         sl_curve.append(float(np.mean(sl_vals)))
         ml_curve.append(float(np.mean(ml_vals)))
         power = model.multi_lead_cs(cr, 2.0).average_power_w

@@ -1,0 +1,291 @@
+"""The registered bench cases: one per legacy benchmark module.
+
+Each workload is a standardized, seeded slice of the experiment its
+``benchmarks/`` module runs under pytest: the same code paths and
+corpora families, sized so the ``--quick`` grid finishes in CI seconds
+while the full grid stays close to the pytest workload.  Quality numbers
+(SNR, sensitivity, ...) ride along in the emitted metrics so a perf
+regression that comes from *cutting corners* is visible next to the
+speedup that caused it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..classification import (
+    AF_LABEL,
+    AfDetector,
+    HeartbeatClassifier,
+    corpus_beat_dataset,
+    evaluate_classification,
+    train_test_split,
+)
+from ..compression import (
+    CsDecoder,
+    CsEncoder,
+    JointCsDecoder,
+    MultiLeadCsEncoder,
+    reconstruction_snr_db,
+)
+from ..delineation import (
+    RPeakDetector,
+    WaveletDelineator,
+    evaluate_delineation,
+    mmd_delineator_resources,
+    wavelet_delineator_resources,
+)
+from ..filtering import ensemble_noise_reduction_db, tracking_gain_vs_ea
+from ..fleet import (
+    CohortConfig,
+    FleetScheduler,
+    NodeProxyConfig,
+    SchedulerConfig,
+    make_cohort,
+)
+from ..hwsim import compare_all
+from ..multimodal import measure_pat
+from ..power import AbstractionLadder, Battery, NodeEnergyModel, figure6_breakdowns
+from ..scenarios import CampaignConfig, CampaignRunner, default_grid
+from ..signals import RecordSpec, make_corpus, make_record, synthesize_ppg
+from .registry import BenchContext, register
+
+FS = 250.0
+
+
+@register("fig1-abstraction-ladder",
+          "Fig. 1 bandwidth/energy ladder over all abstraction rungs",
+          legacy="test_fig1_abstraction_ladder", tags=("figure",))
+def fig1_abstraction_ladder(ctx: BenchContext) -> dict:
+    ladder = AbstractionLadder()
+    battery = Battery()
+    rungs = ladder.table()
+    totals = [rung.total_power_w for rung in rungs]
+    return {
+        "rungs": len(rungs),
+        "raw_to_alarm_power_ratio": totals[0] / totals[-1],
+        "alarm_battery_days": battery.lifetime_days(totals[-1]),
+    }
+
+
+@register("fig5-cs-snr",
+          "Fig. 5 SL vs ML reconstruction-SNR sweep over CR",
+          legacy="test_fig5_cs_snr", tags=("figure",))
+def fig5_cs_snr(ctx: BenchContext) -> dict:
+    window = 512
+    crs = (50.0, 70.0) if ctx.quick else (40.0, 55.0, 70.0, 85.0)
+    n_records = 1 if ctx.quick else 2
+    windows_per_record = 3 if ctx.quick else 6
+    corpus = make_corpus("cs_eval", n_records=n_records, duration_s=30.0,
+                         seed=ctx.seed)
+    segments = []
+    for record in corpus:
+        sig = record.signals
+        for w in range(windows_per_record):
+            lo = 500 + w * window
+            segments.append(sig[:, lo:lo + window])
+    sl_last = ml_last = float("nan")
+    for cr in crs:
+        sl_encoder = CsEncoder(n=window, cr_percent=cr, seed=3)
+        sl_decoder = CsDecoder(sl_encoder.sensing)
+        ml_encoder = MultiLeadCsEncoder(n_leads=3, n=window,
+                                        cr_percent=cr, seed=100)
+        ml_decoder = JointCsDecoder(ml_encoder.sensing_matrices)
+        sl_values = [reconstruction_snr_db(
+            seg[1], sl_decoder.recover(sl_encoder.encode(seg[1])).window)
+            for seg in segments]
+        ml_frames = [ml_encoder.encode(seg) for seg in segments]
+        ml_values = [
+            float(np.mean([reconstruction_snr_db(seg[lead],
+                                                 rec.windows[lead])
+                           for lead in range(3)]))
+            for seg, rec in zip(segments,
+                                ml_decoder.recover_batch(ml_frames))]
+        sl_last, ml_last = (float(np.mean(sl_values)),
+                            float(np.mean(ml_values)))
+    return {
+        "samples": len(segments) * window * len(crs),
+        "windows": len(segments) * len(crs),
+        "sl_snr_db_at_max_cr": sl_last,
+        "ml_snr_db_at_max_cr": ml_last,
+    }
+
+
+@register("fig6-energy-breakdown",
+          "Fig. 6 node energy bars (no-comp vs SL-CS vs ML-CS)",
+          legacy="test_fig6_energy_breakdown", tags=("figure",))
+def fig6_energy_breakdown(ctx: BenchContext) -> dict:
+    model = NodeEnergyModel()
+    bars = figure6_breakdowns(50.0, 63.0)
+    return {
+        "sl_reduction_percent": model.power_reduction_percent(
+            bars["single_lead_cs"], bars["no_comp_1lead"]),
+        "ml_reduction_percent": model.power_reduction_percent(
+            bars["multi_lead_cs"], bars["no_comp"]),
+    }
+
+
+@register("fig7-multicore-power",
+          "Fig. 7 SC vs MC cycle-accurate power decomposition",
+          legacy="test_fig7_multicore_power", tags=("figure",))
+def fig7_multicore_power(ctx: BenchContext) -> dict:
+    corpus = make_corpus("nsr", n_records=1, duration_s=20.0, seed=77)
+    record = corpus.records[0]
+    block = record.signals[:, 500:750]
+    beat = record.lead(1).beat_window(record.beats[3])
+    comparisons = compare_all(block, beat, record.fs)
+    return {
+        "samples": block.shape[0] * block.shape[1],
+        "apps": len(comparisons),
+        "max_mc_savings_percent": max(cmp.savings_percent
+                                      for cmp in comparisons),
+    }
+
+
+@register("t1-delineation-accuracy",
+          "T1 wavelet delineation Se/PPV over an NSR corpus",
+          legacy="test_t1_delineation_accuracy", tags=("table",))
+def t1_delineation_accuracy(ctx: BenchContext) -> dict:
+    n_records = 2 if ctx.quick else 6
+    duration = 30.0 if ctx.quick else 60.0
+    corpus = make_corpus("nsr", n_records=n_records, duration_s=duration,
+                         seed=77)
+    n_samples = 0
+    sensitivities = []
+    for record in corpus:
+        ecg = record.lead(1)
+        n_samples += ecg.signal.shape[0]
+        peaks = RPeakDetector(ecg.fs).detect(ecg.signal)
+        detected = WaveletDelineator(ecg.fs).delineate(ecg.signal, peaks)
+        report = evaluate_delineation(ecg.beats, detected, ecg.fs)
+        sensitivities.append(report.beat_sensitivity)
+    return {
+        "samples": n_samples,
+        "records": n_records,
+        "beat_sensitivity": float(np.mean(sensitivities)),
+    }
+
+
+@register("t2-delineation-resources",
+          "T2 delineator duty-cycle/memory footprint estimates",
+          legacy="test_t2_delineation_resources", tags=("table",))
+def t2_delineation_resources(ctx: BenchContext) -> dict:
+    wavelet = wavelet_delineator_resources(fs=FS)
+    mmd = mmd_delineator_resources(fs=FS)
+    return {
+        "wavelet_duty_percent": 100 * wavelet.duty_cycle,
+        "wavelet_memory_kb": wavelet.memory_kb,
+        "mmd_cycles_per_sample": mmd.cycles_per_sample,
+    }
+
+
+@register("t3-af-detection",
+          "T3 AF detector train + held-out evaluation",
+          legacy="test_t3_af_detection", tags=("table",))
+def t3_af_detection(ctx: BenchContext) -> dict:
+    n_records = 2 if ctx.quick else 4
+    duration = 60.0 if ctx.quick else 120.0
+    train = make_corpus("af_mix", n_records=n_records,
+                        duration_s=duration, seed=1)
+    test = make_corpus("af_mix", n_records=n_records,
+                       duration_s=duration, seed=2)
+    detector = AfDetector().fit(list(train))
+    report = detector.evaluate(list(test))
+    return {
+        "samples": int(2 * n_records * duration * FS),
+        "sensitivity": report.sensitivity(AF_LABEL),
+        "specificity": report.specificity(AF_LABEL),
+    }
+
+
+@register("t4-rp-classification",
+          "T4 random-projection heartbeat classifier design point",
+          legacy="test_t4_rp_classification", tags=("table",))
+def t4_rp_classification(ctx: BenchContext) -> dict:
+    n_records = 3 if ctx.quick else 6
+    corpus = make_corpus("ectopy", n_records=n_records, duration_s=60.0,
+                         seed=42)
+    X, y = corpus_beat_dataset(corpus, rr_features=True)
+    Xtr, ytr, Xte, yte = train_test_split(X, y, test_fraction=0.4, seed=5)
+    clf = HeartbeatClassifier(window=X.shape[1] - 2,
+                              projection_kind="ternary",
+                              membership="pwl",
+                              extra_features=2).fit(Xtr, ytr)
+    report = evaluate_classification(yte, clf.predict(Xte))
+    return {
+        "beats": int(X.shape[0]),
+        "accuracy": report.accuracy,
+        "pvc_sensitivity": report.sensitivity("V"),
+    }
+
+
+@register("t5-multimodal-filtering",
+          "T5 beat-locked filtering + PAT multimodal chain",
+          legacy="test_t5_multimodal_filtering", tags=("table",))
+def t5_multimodal_filtering(ctx: BenchContext) -> dict:
+    rng = np.random.default_rng(17)
+    n_beats, period = (40, 100) if ctx.quick else (80, 100)
+    n = (n_beats + 1) * period
+    clean = np.zeros(n)
+    impulses = np.arange(1, n_beats + 1) * period
+    t = np.arange(-30, 30)
+    pulse = np.exp(-0.5 * (t / 8.0) ** 2)
+    for k, center in enumerate(impulses):
+        clean[center - 30:center + 30] += (1.0 + 0.02 * k) * pulse
+    noisy = clean + rng.normal(0.0, 0.15, n)
+    ea_gain = ensemble_noise_reduction_db(noisy, clean, impulses, 30, 30)
+    err_aicf, err_ea = tracking_gain_vs_ea(noisy, clean, impulses, 30, 30,
+                                           mu=0.2)
+    record = make_record(RecordSpec(name="pat", duration_s=30.0,
+                                    snr_db=25.0, seed=5))
+    ppg = synthesize_ppg(record, rng=np.random.default_rng(3))
+    series = measure_pat(ppg, record.lead(1).r_peaks)
+    return {
+        "samples": n + record.n_samples,
+        "ea_gain_db": ea_gain,
+        "aicf_over_ea_rmse_ratio": err_aicf / err_ea,
+        "pat_beats_matched": int(series.pat_s.shape[0]),
+    }
+
+
+@register("fleet-throughput",
+          "End-to-end fleet run: nodes, batched CS uplink, gateway, triage",
+          legacy="test_fleet_throughput", tags=("systems",))
+def fleet_throughput(ctx: BenchContext) -> dict:
+    n_patients = 4 if ctx.quick else 12
+    duration = 60.0 if ctx.quick else 120.0
+    cohort = make_cohort(CohortConfig(n_patients=n_patients, seed=7))
+    scheduler = FleetScheduler(
+        cohort,
+        SchedulerConfig(duration_s=duration, fs=FS),
+        node_config=NodeProxyConfig(stream_telemetry=False),
+    )
+    report = scheduler.run()
+    return {
+        "patients": n_patients,
+        "samples": int(n_patients * duration * FS) * 3,
+        "packets": report.packets_sent,
+        "snr_p50_db": report.summary.snr_p50_db,
+        "dropped": report.summary.dropped_packets,
+    }
+
+
+@register("scenario-campaign",
+          "Fault-injection campaign grid over a sentinel cohort",
+          legacy="test_scenario_campaign", tags=("systems",))
+def scenario_campaign(ctx: BenchContext) -> dict:
+    n_patients = 5 if ctx.quick else 20
+    grid = default_grid(60.0)
+    if ctx.quick:
+        grid = grid[:2]
+    config = CampaignConfig(n_patients=n_patients, n_sentinels=2,
+                            duration_s=60.0, master_seed=ctx.seed)
+    report = CampaignRunner(grid, config).run()
+    false_drop = max(res.sentinel_false_drop_rate
+                     for res in report.results)
+    return {
+        "patients": n_patients * len(report.results),
+        "samples": int(n_patients * len(report.results) * 60.0 * FS) * 3,
+        "scenarios": len(report.results),
+        "worst_sentinel_false_drop": false_drop,
+    }

@@ -1,0 +1,95 @@
+"""BenchCase registry: every benchmark behind one callable API.
+
+A case is a plain function ``workload(ctx) -> dict`` registered with
+:func:`register`.  The returned dict carries the case's *work counts*
+under the reserved keys ``samples`` and ``patients`` (used by the runner
+to derive throughput) plus any case-specific quality metrics (SNR,
+sensitivity, ...), all JSON-scalar.
+
+Each case names the legacy pytest benchmark module it mirrors
+(``legacy``), so the registry is checkable against ``benchmarks/`` —
+the discovery test asserts every ``benchmarks/test_*.py`` has exactly
+one case wrapping it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Reserved workload-result keys the runner turns into throughput.
+COUNT_KEYS = ("samples", "patients")
+
+
+@dataclass(frozen=True)
+class BenchContext:
+    """Execution context handed to every workload.
+
+    Attributes:
+        quick: CI-sized workload (seconds) instead of the full one.
+        seed: Base seed; workloads must derive all randomness from it
+            so repeated runs time identical work.
+    """
+
+    quick: bool = False
+    seed: int = 2014
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One registered benchmark.
+
+    Attributes:
+        name: Stable kebab-case identifier (key in baselines.json).
+        summary: One-line description for the report table.
+        legacy: Module stem of the ``benchmarks/`` pytest file this case
+            wraps (e.g. ``"test_fleet_throughput"``).
+        workload: ``fn(ctx) -> dict`` — runs the benchmark once and
+            returns counts + metrics (see module docstring).
+        tags: Free-form grouping labels (``"figure"``, ``"table"``,
+            ``"systems"``).
+    """
+
+    name: str
+    summary: str
+    legacy: str
+    workload: Callable[[BenchContext], dict]
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+
+_REGISTRY: dict[str, BenchCase] = {}
+
+
+def register(name: str, summary: str, legacy: str,
+             tags: tuple[str, ...] = ()) -> Callable:
+    """Decorator registering one workload function as a bench case."""
+
+    def wrap(fn: Callable[[BenchContext], dict]) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"bench case {name!r} already registered")
+        _REGISTRY[name] = BenchCase(name=name, summary=summary,
+                                    legacy=legacy, workload=fn,
+                                    tags=tuple(tags))
+        return fn
+
+    return wrap
+
+
+def all_cases() -> dict[str, BenchCase]:
+    """Name -> case for every registered benchmark (discovery import)."""
+    from . import cases  # noqa: F401  (import populates the registry)
+
+    return dict(_REGISTRY)
+
+
+def get_case(name: str) -> BenchCase:
+    """Look one case up by name.
+
+    Raises:
+        KeyError: Unknown case name (message lists what exists).
+    """
+    cases = all_cases()
+    if name not in cases:
+        known = ", ".join(sorted(cases))
+        raise KeyError(f"unknown bench case {name!r}; known: {known}")
+    return cases[name]

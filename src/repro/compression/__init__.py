@@ -34,6 +34,7 @@ from .multilead import (
     JointCsDecoder,
     MultiLeadRecovery,
     group_fista,
+    group_fista_batch,
     group_soft_threshold,
 )
 from .structured import (
@@ -73,6 +74,7 @@ __all__ = [
     "fista",
     "gaussian_matrix",
     "group_fista",
+    "group_fista_batch",
     "group_soft_threshold",
     "measurements_for_cr",
     "omp",

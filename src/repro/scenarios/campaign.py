@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import json
 import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +38,7 @@ from ..fleet.cohort import CohortConfig, PatientProfile, make_cohort
 from ..fleet.gateway import Gateway, GatewayConfig
 from ..fleet.node_proxy import NodeProxyConfig
 from ..fleet.scheduler import FleetReport, FleetScheduler, SchedulerConfig
+from ..fleet.triage import STATES
 from ..signals.dataset import make_corpus
 from ..signals.types import MultiLeadEcg
 from .channel import ImpairedLink
@@ -65,6 +68,18 @@ class CampaignConfig:
         excerpt_period_s: Node excerpt period.
         stream_telemetry: Run the per-node streaming monitor (off by
             default for campaign speed).
+        patient_workers: Opt-in process-pool sweep.  ``0`` (default)
+            keeps the joint single-process path: one scheduler per
+            scenario over the whole cohort, one shared link RNG drawn in
+            packet order.  ``>= 1`` decomposes the grid into independent
+            ``(patient, scenario)`` units — each with its own gateway,
+            triage machine and per-patient link seed
+            (``derive_seed(master, scenario, "link", patient_id)``) —
+            executed on up to ``patient_workers`` processes and merged
+            by ``(patient_id, scenario)`` key in cohort x grid order.
+            Reports are byte-identical across any worker count >= 1
+            (tested); they differ from the joint path only in the
+            (equally valid) per-patient channel draws.
     """
 
     n_patients: int = 20
@@ -76,12 +91,15 @@ class CampaignConfig:
     gateway_n_iter: int = 80
     excerpt_period_s: float = 60.0
     stream_telemetry: bool = False
+    patient_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.n_patients < 1:
             raise ValueError("need at least one patient")
         if not 0 <= self.n_sentinels <= self.n_patients:
             raise ValueError("n_sentinels must be within the cohort")
+        if self.patient_workers < 0:
+            raise ValueError("patient_workers must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -155,6 +173,87 @@ def _round(value: float, digits: int = 6) -> float | None:
     if not np.isfinite(value):
         return None
     return round(float(value), digits)
+
+
+@dataclass(frozen=True)
+class _PatientOutcome:
+    """Result of one ``(patient, scenario)`` unit of a decomposed sweep.
+
+    Only the (picklable) numbers the merged :class:`ScenarioResult`
+    needs cross the process boundary — never the reconstructed signals.
+    """
+
+    patient_id: str
+    scenario: str
+    packets_sent: int
+    packets_reconstructed: int
+    node_alarms: int
+    confirmed_alarms: int
+    payload_bits: int
+    duplicates: int
+    gaps: int
+    queue_dropped: int
+    snrs: tuple[float, ...]
+    state: str
+    stale: bool
+    link_stats: dict[str, int]
+    runtime_s: float
+
+
+def _patient_unit(spec: ScenarioSpec, profile: PatientProfile,
+                  config: CampaignConfig,
+                  detector: AfDetector) -> _PatientOutcome:
+    """Run one patient through one scenario, fully self-contained.
+
+    Module-level so a :class:`ProcessPoolExecutor` can pickle it.  Every
+    random stream is derived from the master seed plus the scenario and
+    patient names — the outcome is a pure function of its arguments, so
+    any process/worker assignment computes identical numbers.
+    """
+    t0 = time.perf_counter()
+    link = (ImpairedLink(spec.link,
+                         seed=derive_seed(config.master_seed, spec.name,
+                                          "link", profile.patient_id))
+            if spec.link.impaired else None)
+
+    def inject(prof: PatientProfile, record: MultiLeadEcg) -> MultiLeadEcg:
+        rng = np.random.default_rng(
+            derive_seed(config.master_seed, spec.name, "faults",
+                        prof.patient_id))
+        return apply_faults(record, spec.faults, rng)
+
+    scheduler = FleetScheduler(
+        [profile],
+        SchedulerConfig(duration_s=config.duration_s, fs=config.fs),
+        node_config=NodeProxyConfig(
+            excerpt_period_s=config.excerpt_period_s,
+            stream_telemetry=config.stream_telemetry),
+        gateway=Gateway(GatewayConfig(n_iter=config.gateway_n_iter)),
+        af_detector=detector,
+        link=link,
+        record_transform=inject if spec.faults else None,
+    )
+    fleet = scheduler.run()
+    gateway = scheduler.gateway
+    channel = gateway.channels.get(profile.patient_id)
+    triage = scheduler.board.patients[profile.patient_id]
+    return _PatientOutcome(
+        patient_id=profile.patient_id,
+        scenario=spec.name,
+        packets_sent=fleet.packets_sent,
+        packets_reconstructed=len(fleet.excerpts),
+        node_alarms=len(fleet.node_reports[profile.patient_id].alarms),
+        confirmed_alarms=channel.n_confirmed if channel else 0,
+        payload_bits=channel.payload_bits if channel else 0,
+        duplicates=channel.n_duplicates if channel else 0,
+        gaps=channel.n_gaps if channel else 0,
+        queue_dropped=gateway.dropped,
+        snrs=tuple(channel.snrs) if channel else (),
+        state=triage.state,
+        stale=triage.stale,
+        link_stats=dict(fleet.link_stats),
+        runtime_s=time.perf_counter() - t0,
+    )
 
 
 @dataclass
@@ -270,14 +369,113 @@ class CampaignRunner:
         cohort = self.cohort()
         report = CampaignReport(config=cfg)
         clean_p50: float | None = None
+        outcomes = (self._run_decomposed(cohort, detector)
+                    if cfg.patient_workers >= 1 else None)
         for spec in self.scenarios:
-            result = self._run_scenario(spec, cohort, detector, clean_p50)
+            if outcomes is not None:
+                result = self._merge_scenario(spec, cohort, outcomes,
+                                              clean_p50)
+            else:
+                result = self._run_scenario(spec, cohort, detector,
+                                            clean_p50)
             if clean_p50 is None and np.isfinite(result.snr_p50_db):
                 # First scenario anchors the SNR-degradation column
                 # (put the clean control first).
                 clean_p50 = result.snr_p50_db
             report.results.append(result)
         return report
+
+    def _run_decomposed(self, cohort: list[PatientProfile],
+                        detector: AfDetector,
+                        ) -> dict[tuple[str, str], _PatientOutcome]:
+        """Run every ``(patient, scenario)`` unit, keyed — not ordered.
+
+        Results are collected into a dict keyed by ``(patient_id,
+        scenario)`` as they *complete* (arbitrary arrival order under a
+        process pool); :meth:`_merge_scenario` then reads them back in
+        cohort x grid order.  Merging must never depend on arrival
+        order — that is what makes a 4-worker run byte-identical to
+        ``patient_workers=1`` (tested).
+        """
+        cfg = self.config
+        units = [(spec, profile) for spec in self.scenarios
+                 for profile in cohort]
+        outcomes: dict[tuple[str, str], _PatientOutcome] = {}
+        if cfg.patient_workers == 1:
+            for spec, profile in units:
+                outcome = _patient_unit(spec, profile, cfg, detector)
+                outcomes[(profile.patient_id, spec.name)] = outcome
+            return outcomes
+        with ProcessPoolExecutor(max_workers=cfg.patient_workers) as pool:
+            futures = [pool.submit(_patient_unit, spec, profile, cfg,
+                                   detector) for spec, profile in units]
+            for future in as_completed(futures):
+                outcome = future.result()
+                outcomes[(outcome.patient_id, outcome.scenario)] = outcome
+        return outcomes
+
+    def _merge_scenario(self, spec: ScenarioSpec,
+                        cohort: list[PatientProfile],
+                        outcomes: dict[tuple[str, str], _PatientOutcome],
+                        clean_p50: float | None) -> ScenarioResult:
+        """Fold one scenario's per-patient outcomes into a result.
+
+        Iterates the cohort in its (seed-derived) order and looks every
+        outcome up by ``(patient_id, scenario)`` key, so the merge is
+        independent of completion order.
+        """
+        cfg = self.config
+        rows = [outcomes[(profile.patient_id, spec.name)]
+                for profile in cohort]
+        n = len(rows)
+        scale_day = 86400.0 / cfg.duration_s
+        node_alarms = sum(r.node_alarms for r in rows)
+        confirmed = sum(r.confirmed_alarms for r in rows)
+        snrs = np.array([s for r in rows for s in r.snrs], dtype=float)
+        p10, p50, p90 = (np.percentile(snrs, (10, 50, 90)) if snrs.size
+                         else (float("nan"),) * 3)
+        sentinel_rows = [r for r in rows
+                         if r.patient_id.startswith(SENTINEL_PREFIX)]
+        sent_node = sum(r.node_alarms for r in sentinel_rows)
+        sent_conf = sum(r.confirmed_alarms for r in sentinel_rows)
+        false_drop = (1.0 - min(sent_conf, sent_node) / sent_node
+                      if sent_node else 0.0)
+        delivery = confirmed / node_alarms if node_alarms else 1.0
+        drop_p50 = (clean_p50 - float(p50)
+                    if clean_p50 is not None and np.isfinite(p50) else 0.0)
+        states = Counter(r.state for r in rows)
+        link_stats: Counter[str] = Counter()
+        for r in rows:
+            link_stats.update(r.link_stats)
+        return ScenarioResult(
+            scenario=spec.name,
+            description=spec.description,
+            n_patients=n,
+            duration_s=cfg.duration_s,
+            packets_sent=sum(r.packets_sent for r in rows),
+            packets_reconstructed=sum(r.packets_reconstructed
+                                      for r in rows),
+            node_alarms=node_alarms,
+            confirmed_alarms=confirmed,
+            alarm_delivery_rate=delivery,
+            sentinel_node_alarms=sent_node,
+            sentinel_confirmed_alarms=sent_conf,
+            sentinel_false_drop_rate=false_drop,
+            snr_p10_db=float(p10),
+            snr_p50_db=float(p50),
+            snr_p90_db=float(p90),
+            snr_drop_p50_db=drop_p50,
+            uplink_bytes_per_patient_day=sum(r.payload_bits for r in rows)
+            / 8.0 / n * scale_day,
+            state_counts={state: states.get(state, 0)
+                          for state in STATES},
+            stale_patients=sum(1 for r in rows if r.stale),
+            duplicate_packets=sum(r.duplicates for r in rows),
+            reassembly_gaps=sum(r.gaps for r in rows),
+            queue_dropped=sum(r.queue_dropped for r in rows),
+            link_stats=dict(link_stats),
+            runtime_s=sum(r.runtime_s for r in rows),
+        )
 
     def _train_detector(self) -> AfDetector:
         """Train the fleet AF detector from a seed-derived corpus."""

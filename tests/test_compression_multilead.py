@@ -12,6 +12,7 @@ from repro.compression import (
     JointCsDecoder,
     MultiLeadCsEncoder,
     group_fista,
+    group_fista_batch,
     group_soft_threshold,
     reconstruction_snr_db,
 )
@@ -50,19 +51,19 @@ class TestGroupFista:
         truth = np.zeros((n, leads))
         support = rng.choice(n, size=k, replace=False)
         truth[support] = rng.uniform(1, 3, size=(k, leads))
-        ys = [operators[l] @ truth[:, l] for l in range(leads)]
-        correlations = np.stack([operators[l].T @ ys[l]
-                                 for l in range(leads)], axis=1)
+        ys = [operators[lead] @ truth[:, lead] for lead in range(leads)]
+        correlations = np.stack([operators[lead].T @ ys[lead]
+                                 for lead in range(leads)], axis=1)
         lam = 0.02 * np.max(np.linalg.norm(correlations, axis=1))
         estimate = group_fista(operators, ys, lam, n_iter=800)
         # Debias on the detected union support (as the decoder does).
         rows = np.linalg.norm(estimate, axis=1)
         detected = np.flatnonzero(rows > 0.01 * rows.max())
         refined = np.zeros_like(estimate)
-        for l in range(leads):
-            coef, *_ = np.linalg.lstsq(operators[l][:, detected], ys[l],
+        for lead in range(leads):
+            coef, *_ = np.linalg.lstsq(operators[lead][:, detected], ys[lead],
                                        rcond=None)
-            refined[detected, l] = coef
+            refined[detected, lead] = coef
         assert sorted(detected.tolist()) == sorted(support.tolist())
         assert np.max(np.abs(refined - truth)) < 0.05
 
@@ -86,8 +87,8 @@ class TestJointCsDecoder:
                                         seed=100)
         ml_decoder = JointCsDecoder(ml_encoder.sensing_matrices)
         recovery = ml_decoder.recover(ml_encoder.encode(seg))
-        ml = np.mean([reconstruction_snr_db(seg[l], recovery.windows[l])
-                      for l in range(3)])
+        ml = np.mean([reconstruction_snr_db(seg[lead], recovery.windows[lead])
+                      for lead in range(3)])
         assert ml > sl + 2.0  # the Fig. 5 multi-lead gain
 
     def test_replicated_single_matrix_accepted(self, clean_record):
@@ -95,7 +96,7 @@ class TestJointCsDecoder:
         seg = clean_record.signals[:, 1000:1000 + n]
         encoder = CsEncoder(n=n, cr_percent=40.0, seed=3)
         decoder = JointCsDecoder(encoder.sensing, n_leads=3)
-        Y = np.vstack([encoder.sensing.matrix @ seg[l] for l in range(3)])
+        Y = np.vstack([encoder.sensing.matrix @ seg[lead] for lead in range(3)])
         recovery = decoder.recover(Y)
         assert recovery.windows.shape == (3, n)
 
@@ -127,3 +128,40 @@ class TestJointCsDecoder:
         rows_any = nonzero.any(axis=1)
         rows_all = nonzero.all(axis=1)
         assert np.array_equal(rows_any, rows_all)
+
+
+class TestRecoverBatch:
+    """Batched joint recovery vs the per-window scalar path."""
+
+    @pytest.fixture(scope="class")
+    def decoder_and_frames(self, clean_record):
+        encoder = MultiLeadCsEncoder(n_leads=3, n=256, cr_percent=60.0,
+                                     seed=11)
+        decoder = JointCsDecoder(encoder.sensing_matrices, n_iter=120)
+        frames = [encoder.encode(clean_record.signals[:, lo:lo + 256])
+                  for lo in range(500, 500 + 4 * 256, 256)]
+        return decoder, frames
+
+    def test_matches_scalar_recover(self, decoder_and_frames):
+        decoder, frames = decoder_and_frames
+        batch = decoder.recover_batch(frames)
+        assert len(batch) == len(frames)
+        for frame, got in zip(frames, batch):
+            want = decoder.recover(frame)
+            assert np.allclose(got.windows, want.windows,
+                               rtol=1e-9, atol=1e-12)
+            assert got.support_size == want.support_size
+
+    def test_empty_batch(self, decoder_and_frames):
+        decoder, _ = decoder_and_frames
+        assert decoder.recover_batch([]) == []
+
+    def test_lead_count_mismatch_rejected(self, decoder_and_frames):
+        decoder, frames = decoder_and_frames
+        with pytest.raises(ValueError, match="measurement vectors"):
+            decoder.recover_batch([frames[0][:2]])
+
+    def test_batch_fista_shape_validation(self):
+        ops = [np.eye(4)]
+        with pytest.raises(ValueError, match="shape"):
+            group_fista_batch(ops, np.zeros((2, 3, 4)), np.zeros(2))

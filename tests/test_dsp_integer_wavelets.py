@@ -1,7 +1,6 @@
 """Tests for the integer-only à-trous bank and its delineation fidelity."""
 
 import numpy as np
-import pytest
 
 from repro.delineation import (
     RPeakDetector,

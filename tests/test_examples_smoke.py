@@ -51,6 +51,10 @@ EXAMPLES = {
         ["campaign grid:", "clean", "loss-10pct",
          "reproduce this exact report"],
     ),
+    "bench_report.py": (
+        ["--cases", "fig1-abstraction-ladder,t2-delineation-resources"],
+        ["running 2 bench case(s)", "verdict:"],
+    ),
 }
 
 

@@ -130,3 +130,26 @@ class TestAlarmConfirmation:
         gateway = Gateway()
         flat = np.zeros((3, 512))
         assert gateway._confirm(flat, fs=250.0) is True
+
+
+class TestBatchedDrain:
+    """drain() batches FISTA by geometry; outputs must match the
+    one-packet-at-a-time path."""
+
+    def test_full_drain_equals_budgeted_drain(self, clean_af_uplink):
+        _, packets = clean_af_uplink
+        batched = Gateway(GatewayConfig(n_iter=60))
+        stepwise = Gateway(GatewayConfig(n_iter=60))
+        for gateway in (batched, stepwise):
+            for packet in packets:
+                gateway.ingest(packet)
+        all_at_once = batched.drain()
+        one_by_one = []
+        while stepwise.pending:
+            one_by_one.extend(stepwise.drain(1))
+        assert len(all_at_once) == len(one_by_one) == len(packets)
+        for a, b in zip(all_at_once, one_by_one):
+            assert a.patient_id == b.patient_id
+            assert a.kind == b.kind
+            assert a.confirmed == b.confirmed
+            assert np.allclose(a.signal, b.signal, rtol=1e-9, atol=1e-12)

@@ -1,7 +1,6 @@
 """Unit tests for the WBSN platform simulator (ISA semantics, SIMD fetch,
 barriers, broadcast merging)."""
 
-import numpy as np
 import pytest
 
 from repro.hwsim import Assembler, Instruction, Op, Platform, SHARED_BASE

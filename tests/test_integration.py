@@ -1,7 +1,6 @@
 """Cross-module integration tests: the paper's processing chains."""
 
 import numpy as np
-import pytest
 
 from repro.compression import (
     CsDecoder,
@@ -86,8 +85,8 @@ class TestFig5MiniSweep:
                                         seed=100)
             recovery = JointCsDecoder(ml_enc.sensing_matrices).recover(
                 ml_enc.encode(seg))
-            ml = np.mean([reconstruction_snr_db(seg[l], recovery.windows[l])
-                          for l in range(3)])
+            ml = np.mean([reconstruction_snr_db(seg[lead], recovery.windows[lead])
+                          for lead in range(3)])
             results[cr] = (sl, ml)
         # SNR falls with CR for both curves; ML dominates SL at high CR.
         assert results[55.0][0] > results[75.0][0]

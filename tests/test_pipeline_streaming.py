@@ -114,3 +114,40 @@ class TestEdgeCases:
             if np.any(np.abs(streamed_peaks - beat.r_peak)
                       <= int(0.05 * ecg.fs)))
         assert matched / len(batch) >= 0.95
+
+
+class TestPushBlock:
+    """Vectorized block ingest must mirror the per-sample path."""
+
+    def test_block_equals_per_sample(self, nsr_record):
+        signal = nsr_record.lead(1).signal
+        config = StreamingConfig(fs=nsr_record.fs)
+        scalar = StreamingMonitor(config)
+        block = StreamingMonitor(config)
+        expected = []
+        for sample in signal:
+            expected.extend(scalar.push(sample))
+        expected.extend(scalar.flush())
+        got = block.push_block(signal)
+        got.extend(block.flush())
+        assert got == expected
+        assert block.samples_consumed == scalar.samples_consumed
+
+    def test_split_blocks_equal_one_block(self, nsr_record):
+        signal = nsr_record.lead(1).signal
+        config = StreamingConfig(fs=nsr_record.fs)
+        one = StreamingMonitor(config)
+        beats_one = one.push_block(signal)
+        beats_one.extend(one.flush())
+        many = StreamingMonitor(config)
+        beats_many = []
+        # Awkward chunk sizes stress the ring wrap-around writes.
+        for lo in range(0, signal.shape[0], 333):
+            beats_many.extend(many.push_block(signal[lo:lo + 333]))
+        beats_many.extend(many.flush())
+        assert beats_many == beats_one
+
+    def test_rejects_multilead_block(self, nsr_record):
+        monitor = StreamingMonitor(StreamingConfig(fs=nsr_record.fs))
+        with pytest.raises(ValueError, match="1-D"):
+            monitor.push_block(nsr_record.signals)

@@ -1,6 +1,5 @@
 """Unit tests for the Fig. 6 node-energy scenarios and the Fig. 1 ladder."""
 
-import numpy as np
 import pytest
 
 from repro.power import (

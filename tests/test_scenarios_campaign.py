@@ -134,3 +134,48 @@ class TestConfigValidation:
         result = report.result("wobble")
         assert result.packets_sent > 0
         assert result.n_patients == 2
+
+
+class TestPatientWorkers:
+    """The opt-in (patient, scenario) process-pool sweep."""
+
+    CFG = dict(n_patients=2, n_sentinels=1, duration_s=60.0,
+               master_seed=21, gateway_n_iter=40)
+
+    def test_four_workers_byte_identical_to_one(self, trained_af_detector):
+        # Worker results are merged by (patient_id, scenario) key in
+        # cohort x grid order, never completion order — so the report
+        # cannot depend on process scheduling.
+        grid = (clean_scenario(), packet_loss_scenario(0.15))
+        reports = []
+        for workers in (1, 4):
+            config = CampaignConfig(patient_workers=workers, **self.CFG)
+            reports.append(CampaignRunner(
+                grid, config, af_detector=trained_af_detector).run())
+        assert reports[0].to_json() == reports[1].to_json()
+
+    def test_clean_scenario_matches_joint_path(self, trained_af_detector):
+        # Without link impairments the decomposed sweep computes the
+        # exact numbers of the joint single-process path.
+        grid = (clean_scenario(),)
+        results = []
+        for workers in (0, 1):
+            config = CampaignConfig(patient_workers=workers, **self.CFG)
+            report = CampaignRunner(grid, config,
+                                    af_detector=trained_af_detector).run()
+            results.append(report.result("clean").to_dict())
+        assert results[0] == results[1]
+
+    def test_sentinels_survive_loss_in_decomposed_mode(
+            self, trained_af_detector):
+        config = CampaignConfig(patient_workers=1, **self.CFG)
+        report = CampaignRunner((packet_loss_scenario(0.15),), config,
+                                af_detector=trained_af_detector).run()
+        result = report.results[0]
+        assert result.sentinel_node_alarms >= 1
+        assert result.sentinel_false_drop_rate == 0.0
+        assert result.link_stats["offered"] > 0
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="patient_workers"):
+            CampaignConfig(patient_workers=-1)

@@ -1,7 +1,5 @@
 """Tests for the deterministic lossy uplink channel model."""
 
-import numpy as np
-import pytest
 
 from repro.fleet import PACKET_ALARM, PACKET_EXCERPT, UplinkPacket
 from repro.scenarios import ImpairedLink, LinkSpec

@@ -12,7 +12,6 @@ from repro.signals import (
     make_corpus,
     make_record,
     sinus_rhythm,
-    standard_3lead,
     synthesize,
 )
 from repro.signals.rhythms import RhythmSequence
