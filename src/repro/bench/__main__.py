@@ -17,6 +17,7 @@ DEFAULT_BASELINES = Path("benchmarks") / "baselines.json"
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse the CLI, run the grid, emit the artifact; 1 on regression."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Unified performance harness (see README §Benchmarks)")

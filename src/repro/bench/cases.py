@@ -45,7 +45,16 @@ from ..fleet import (
 )
 from ..hwsim import compare_all
 from ..multimodal import measure_pat
-from ..power import AbstractionLadder, Battery, NodeEnergyModel, figure6_breakdowns
+from ..power import (
+    AbstractionLadder,
+    Battery,
+    ModePowerTable,
+    NodeEnergyModel,
+    best_admissible_static_cohort,
+    compare_policies,
+    figure6_breakdowns,
+    mixed_acuity_trace,
+)
 from ..scenarios import CampaignConfig, CampaignRunner, default_grid
 from ..signals import RecordSpec, make_corpus, make_record, synthesize_ppg
 from .registry import BenchContext, register
@@ -57,6 +66,7 @@ FS = 250.0
           "Fig. 1 bandwidth/energy ladder over all abstraction rungs",
           legacy="test_fig1_abstraction_ladder", tags=("figure",))
 def fig1_abstraction_ladder(ctx: BenchContext) -> dict:
+    """Walk every abstraction rung of the Fig. 1 ladder once."""
     ladder = AbstractionLadder()
     battery = Battery()
     rungs = ladder.table()
@@ -72,6 +82,7 @@ def fig1_abstraction_ladder(ctx: BenchContext) -> dict:
           "Fig. 5 SL vs ML reconstruction-SNR sweep over CR",
           legacy="test_fig5_cs_snr", tags=("figure",))
 def fig5_cs_snr(ctx: BenchContext) -> dict:
+    """Sweep CR and score SL vs joint ML reconstruction SNR (Fig. 5)."""
     window = 512
     crs = (50.0, 70.0) if ctx.quick else (40.0, 55.0, 70.0, 85.0)
     n_records = 1 if ctx.quick else 2
@@ -115,6 +126,7 @@ def fig5_cs_snr(ctx: BenchContext) -> dict:
           "Fig. 6 node energy bars (no-comp vs SL-CS vs ML-CS)",
           legacy="test_fig6_energy_breakdown", tags=("figure",))
 def fig6_energy_breakdown(ctx: BenchContext) -> dict:
+    """Price the three Fig. 6 transmission strategies."""
     model = NodeEnergyModel()
     bars = figure6_breakdowns(50.0, 63.0)
     return {
@@ -129,6 +141,7 @@ def fig6_energy_breakdown(ctx: BenchContext) -> dict:
           "Fig. 7 SC vs MC cycle-accurate power decomposition",
           legacy="test_fig7_multicore_power", tags=("figure",))
 def fig7_multicore_power(ctx: BenchContext) -> dict:
+    """Run the cycle-accurate SC vs MC kernel comparison (Fig. 7)."""
     corpus = make_corpus("nsr", n_records=1, duration_s=20.0, seed=77)
     record = corpus.records[0]
     block = record.signals[:, 500:750]
@@ -146,6 +159,7 @@ def fig7_multicore_power(ctx: BenchContext) -> dict:
           "T1 wavelet delineation Se/PPV over an NSR corpus",
           legacy="test_t1_delineation_accuracy", tags=("table",))
 def t1_delineation_accuracy(ctx: BenchContext) -> dict:
+    """Delineate an NSR corpus and score beat sensitivity (T1)."""
     n_records = 2 if ctx.quick else 6
     duration = 30.0 if ctx.quick else 60.0
     corpus = make_corpus("nsr", n_records=n_records, duration_s=duration,
@@ -170,6 +184,7 @@ def t1_delineation_accuracy(ctx: BenchContext) -> dict:
           "T2 delineator duty-cycle/memory footprint estimates",
           legacy="test_t2_delineation_resources", tags=("table",))
 def t2_delineation_resources(ctx: BenchContext) -> dict:
+    """Estimate delineator duty-cycle/memory footprints (T2)."""
     wavelet = wavelet_delineator_resources(fs=FS)
     mmd = mmd_delineator_resources(fs=FS)
     return {
@@ -183,6 +198,7 @@ def t2_delineation_resources(ctx: BenchContext) -> dict:
           "T3 AF detector train + held-out evaluation",
           legacy="test_t3_af_detection", tags=("table",))
 def t3_af_detection(ctx: BenchContext) -> dict:
+    """Train the AF detector and evaluate on held-out records (T3)."""
     n_records = 2 if ctx.quick else 4
     duration = 60.0 if ctx.quick else 120.0
     train = make_corpus("af_mix", n_records=n_records,
@@ -202,6 +218,7 @@ def t3_af_detection(ctx: BenchContext) -> dict:
           "T4 random-projection heartbeat classifier design point",
           legacy="test_t4_rp_classification", tags=("table",))
 def t4_rp_classification(ctx: BenchContext) -> dict:
+    """Fit and score the random-projection beat classifier (T4)."""
     n_records = 3 if ctx.quick else 6
     corpus = make_corpus("ectopy", n_records=n_records, duration_s=60.0,
                          seed=42)
@@ -223,6 +240,7 @@ def t4_rp_classification(ctx: BenchContext) -> dict:
           "T5 beat-locked filtering + PAT multimodal chain",
           legacy="test_t5_multimodal_filtering", tags=("table",))
 def t5_multimodal_filtering(ctx: BenchContext) -> dict:
+    """Run beat-locked filtering plus the PAT chain (T5)."""
     rng = np.random.default_rng(17)
     n_beats, period = (40, 100) if ctx.quick else (80, 100)
     n = (n_beats + 1) * period
@@ -252,6 +270,7 @@ def t5_multimodal_filtering(ctx: BenchContext) -> dict:
           "End-to-end fleet run: nodes, batched CS uplink, gateway, triage",
           legacy="test_fleet_throughput", tags=("systems",))
 def fleet_throughput(ctx: BenchContext) -> dict:
+    """Drive a mid-size cohort end to end through the fleet stack."""
     n_patients = 4 if ctx.quick else 12
     duration = 60.0 if ctx.quick else 120.0
     cohort = make_cohort(CohortConfig(n_patients=n_patients, seed=7))
@@ -270,10 +289,51 @@ def fleet_throughput(ctx: BenchContext) -> dict:
     }
 
 
+@register("fleet-lifetime",
+          "Hours-to-empty per policy: EnergyGovernor vs static modes",
+          legacy="test_fleet_lifetime", tags=("systems",))
+def fleet_lifetime(ctx: BenchContext) -> dict:
+    """Simulated battery lifetime of a mixed-acuity cohort per policy.
+
+    For every patient the closed-loop governor and each static Fig. 6
+    mode run the same deterministic daily acuity trace to end of
+    discharge; the headline metric is the governor's lifetime over the
+    best *admissible* static mode (one that never streams below its
+    acuity floor).
+    """
+    n_patients = 3 if ctx.quick else 8
+    step_s = 1200.0 if ctx.quick else 600.0
+    horizon_s = (35 if ctx.quick else 40) * 86400.0
+    table = ModePowerTable()
+    cohort = [compare_policies(mixed_acuity_trace(i), table=table,
+                               step_s=step_s, horizon_s=horizon_s)
+              for i in range(n_patients)]
+    hours: dict[str, list[float]] = {}
+    steps = 0
+    for results in cohort:
+        for name, res in results.items():
+            hours.setdefault(name, []).append(res.hours)
+            steps += int(res.hours * 3600.0 / step_s)
+    switches = [results["governor"].n_switches for results in cohort]
+    mean_hours = {name: float(np.mean(values))
+                  for name, values in hours.items()}
+    best = best_admissible_static_cohort(cohort)
+    return {
+        "patients": n_patients,
+        "samples": steps,
+        "governor_hours": mean_hours["governor"],
+        "best_static": best,
+        "best_static_hours": mean_hours[best],
+        "lifetime_gain": mean_hours["governor"] / mean_hours[best],
+        "mean_switches": float(np.mean(switches)),
+    }
+
+
 @register("scenario-campaign",
           "Fault-injection campaign grid over a sentinel cohort",
           legacy="test_scenario_campaign", tags=("systems",))
 def scenario_campaign(ctx: BenchContext) -> dict:
+    """Sweep a sentinel cohort across the fault-injection grid."""
     n_patients = 5 if ctx.quick else 20
     grid = default_grid(60.0)
     if ctx.quick:

@@ -107,6 +107,7 @@ class BenchReport:
                 if c["status"] == "regression"]
 
     def to_dict(self) -> dict:
+        """The schema-validated ``BENCH_<rev>.json`` payload."""
         payload = {
             "schema_version": SCHEMA_VERSION,
             "revision": self.revision,
@@ -124,6 +125,7 @@ class BenchReport:
         return payload
 
     def to_json(self) -> str:
+        """Serialized artifact (stable key order, trailing newline)."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
     def write(self, out_dir: str | Path = ".") -> Path:

@@ -27,14 +27,19 @@ from .gateway import (
 from .node_proxy import (
     PACKET_ALARM,
     PACKET_EXCERPT,
+    PACKET_TELEMETRY,
+    TELEMETRY_BITS,
     NodeProxy,
     NodeProxyConfig,
     UplinkPacket,
 )
 from .scheduler import (
+    AcuityOverride,
     BatchExcerptEncoder,
+    ExtraLoad,
     FleetReport,
     FleetScheduler,
+    GovernorFactory,
     SchedulerConfig,
     UplinkChannel,
 )
@@ -50,17 +55,22 @@ from .triage import (
 )
 
 __all__ = [
+    "AcuityOverride",
     "BatchExcerptEncoder",
     "CohortConfig",
+    "ExtraLoad",
     "FleetReport",
     "FleetScheduler",
     "FleetSummary",
     "Gateway",
     "GatewayConfig",
+    "GovernorFactory",
     "NodeProxy",
     "NodeProxyConfig",
     "PACKET_ALARM",
     "PACKET_EXCERPT",
+    "PACKET_TELEMETRY",
+    "TELEMETRY_BITS",
     "PatientChannel",
     "PatientProfile",
     "PatientTriage",

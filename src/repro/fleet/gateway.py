@@ -36,7 +36,8 @@ from ..compression.encoder import MultiLeadCsEncoder
 from ..compression.metrics import reconstruction_snr_db
 from ..compression.multilead import JointCsDecoder, MultiLeadRecovery
 from ..delineation.rpeak import RPeakDetector
-from .node_proxy import PACKET_ALARM, UplinkPacket
+from ..power.governor import MODE_MULTI_LEAD_CS, MODE_RAW
+from .node_proxy import PACKET_ALARM, PACKET_TELEMETRY, UplinkPacket
 
 
 @dataclass(frozen=True)
@@ -87,6 +88,9 @@ class ReconstructedExcerpt:
         confirmed: Alarm packets only — ``True`` when the gateway
             upholds the node alarm; ``None`` for routine excerpts.
         mean_hr_bpm: Node-streamed telemetry passed through.
+        mode: Node operating mode stamped on the packet (governed
+            fleets; ungoverned nodes always report multi-lead CS).
+        soc: Battery state-of-charge telemetry (nan when ungoverned).
     """
 
     patient_id: str
@@ -96,6 +100,8 @@ class ReconstructedExcerpt:
     snr_db: float
     confirmed: bool | None
     mean_hr_bpm: float = float("nan")
+    mode: str = MODE_MULTI_LEAD_CS
+    soc: float = float("nan")
 
 
 @dataclass
@@ -109,6 +115,11 @@ class PatientChannel:
             wait in the reassembly window.
         n_gaps: Sequence numbers skipped when the window force-released
             (packets lost on the link and never retransmitted).
+        n_telemetry: Events-only telemetry packets received (governed
+            nodes coasting in ``delineation_only`` mode).
+        last_mode: Most recent operating-mode telemetry.
+        last_soc: Most recent battery state-of-charge telemetry (nan
+            until a governed packet arrives).
     """
 
     patient_id: str
@@ -121,6 +132,9 @@ class PatientChannel:
     n_out_of_order: int = 0
     n_gaps: int = 0
     snrs: list[float] = field(default_factory=list)
+    n_telemetry: int = 0
+    last_mode: str = MODE_MULTI_LEAD_CS
+    last_soc: float = float("nan")
 
     @property
     def mean_snr_db(self) -> float:
@@ -344,18 +358,27 @@ class Gateway:
         channel.payload_bits += packet.payload_bits
         channel.last_timestamp_s = max(channel.last_timestamp_s,
                                        packet.timestamp_s)
-        decoder = self._decoder_for(packet)
+        channel.last_mode = packet.mode
+        if np.isfinite(packet.soc):
+            channel.last_soc = packet.soc
         pieces = []
         snrs = []
-        for f, frame in enumerate(packet.frames):
-            recovery = (recoveries[f] if recoveries is not None
-                        else decoder.recover(frame))
-            pieces.append(recovery.windows)
-            if packet.reference is not None:
-                snrs.extend(
-                    reconstruction_snr_db(packet.reference[f, lead],
-                                          recovery.windows[lead])
-                    for lead in range(packet.n_leads))
+        if packet.frames:
+            decoder = self._decoder_for(packet)
+            for f, frame in enumerate(packet.frames):
+                recovery = (recoveries[f] if recoveries is not None
+                            else decoder.recover(frame))
+                pieces.append(recovery.windows)
+                if packet.reference is not None:
+                    snrs.extend(
+                        reconstruction_snr_db(packet.reference[f, lead],
+                                              recovery.windows[lead])
+                        for lead in range(packet.n_leads))
+        elif packet.mode == MODE_RAW and packet.reference is not None:
+            # Raw-mode excerpts ship verbatim samples: nothing to
+            # reconstruct, nothing to score (the copy is exact).
+            pieces = [packet.reference[f]
+                      for f in range(packet.reference.shape[0])]
         signal = np.concatenate(pieces, axis=1) if pieces \
             else np.zeros((packet.n_leads, 0))
         snr = float(np.mean(snrs)) if snrs else float("nan")
@@ -367,6 +390,8 @@ class Gateway:
                          if self.config.confirm_alarms else True)
             if confirmed:
                 channel.n_confirmed += 1
+        elif packet.kind == PACKET_TELEMETRY:
+            channel.n_telemetry += 1
         else:
             channel.n_excerpts += 1
         if np.isfinite(snr):
@@ -379,6 +404,8 @@ class Gateway:
             snr_db=snr,
             confirmed=confirmed,
             mean_hr_bpm=packet.mean_hr_bpm,
+            mode=packet.mode,
+            soc=packet.soc,
         )
 
     @staticmethod

@@ -26,15 +26,28 @@ from ..compression.encoder import EncodedWindow, MultiLeadCsEncoder
 from ..filtering.combination import combine_leads
 from ..pipeline.node_app import CardiacMonitorNode, NodeReport
 from ..pipeline.streaming import StreamingConfig, StreamingMonitor
+from ..power.governor import (
+    MODE_EVENTS_ONLY,
+    MODE_MULTI_LEAD_CS,
+    MODE_RAW,
+    MODE_SINGLE_LEAD_CS,
+)
 from ..signals.types import MultiLeadEcg
 from .cohort import PatientProfile
 
 PACKET_EXCERPT = "excerpt"
 PACKET_ALARM = "alarm"
+#: Events-only uplink: no waveform, just telemetry (heart rate, mode,
+#: battery state of charge) — what a governed node sends while coasting
+#: in ``delineation_only`` mode.
+PACKET_TELEMETRY = "telemetry"
 
 #: Per-packet link-layer header charged on top of the CS payload
 #: (patient id, sequence number, timestamp, kind).
 PACKET_HEADER_BITS = 64
+
+#: Telemetry body bits (heart rate, state of charge, mode, beat count).
+TELEMETRY_BITS = 96
 
 
 @dataclass(frozen=True)
@@ -59,6 +72,11 @@ class UplinkPacket:
         mean_hr_bpm: Streamed heart-rate telemetry (nan when unknown).
         reference: Original samples ``(frames, leads, window_n)`` for
             SNR scoring; evaluation-only, excluded from ``payload_bits``.
+        mode: Operating mode the node was in when it emitted this packet
+            (see :data:`repro.power.MODES`).  ``raw``-mode excerpts ship
+            uncompressed samples in ``reference`` with no CS frames.
+        soc: Battery state-of-charge telemetry at emission (nan when the
+            node runs ungoverned).
     """
 
     patient_id: str
@@ -76,6 +94,8 @@ class UplinkPacket:
     fs: float
     mean_hr_bpm: float = float("nan")
     reference: np.ndarray | None = None
+    mode: str = MODE_MULTI_LEAD_CS
+    soc: float = float("nan")
 
     @property
     def n_frames(self) -> int:
@@ -142,10 +162,49 @@ class NodeProxy:
         )
         self._seq = 0
         self._fs = 250.0
+        self._sl_encoder: MultiLeadCsEncoder | None = None
         #: Per-excerpt-period mean heart rate from the streaming pass of
         #: the last :meth:`run` (the scheduler reads this for batched
         #: excerpt packets).
         self.heart_rates: dict[int, float] = {}
+
+    @property
+    def delineation_lead(self) -> int:
+        """Lead index carrying the lead II morphology (repo convention)."""
+        return min(1, self.profile.n_leads - 1)
+
+    @property
+    def sl_encoder(self) -> MultiLeadCsEncoder:
+        """Single-lead encoder for ``single_lead_cs`` mode (same matrix
+        family/seed as the fleet, 1-lead geometry)."""
+        if self._sl_encoder is None:
+            cfg = self.config
+            self._sl_encoder = MultiLeadCsEncoder(
+                n_leads=1, n=cfg.window_n, cr_percent=cfg.cr_percent,
+                quant_bits=cfg.quant_bits, seed=cfg.cs_seed)
+        return self._sl_encoder
+
+    def single_lead_packet(self, record: MultiLeadEcg, start: int,
+                           timestamp_s: float,
+                           mean_hr_bpm: float = float("nan"),
+                           soc: float = float("nan")) -> UplinkPacket:
+        """Single-lead-CS excerpt: only the delineation lead goes up."""
+        cfg = self.config
+        window = record.signals[self.delineation_lead:
+                                self.delineation_lead + 1,
+                                start:start + cfg.window_n]
+        return self.packet_from_frames(
+            kind=PACKET_EXCERPT,
+            timestamp_s=timestamp_s,
+            start=start,
+            frames=[self.sl_encoder.encode(window)],
+            reference=(window[np.newaxis] if cfg.attach_reference
+                       else None),
+            mean_hr_bpm=mean_hr_bpm,
+            mode=MODE_SINGLE_LEAD_CS,
+            soc=soc,
+            n_leads=1,
+        )
 
     def run(self, record: MultiLeadEcg,
             emit_excerpts: bool = True,
@@ -234,8 +293,24 @@ class NodeProxy:
                            frames: list[list[EncodedWindow]],
                            reference: np.ndarray | None = None,
                            mean_hr_bpm: float = float("nan"),
+                           mode: str = MODE_MULTI_LEAD_CS,
+                           soc: float = float("nan"),
+                           n_leads: int | None = None,
                            ) -> UplinkPacket:
-        """Assemble one packet from already-encoded frames."""
+        """Assemble one packet from already-encoded frames.
+
+        Args:
+            kind: Packet kind constant.
+            timestamp_s: Emission time.
+            start: First covered sample.
+            frames: Per-frame, per-lead encoded windows.
+            reference: Evaluation-only original samples.
+            mean_hr_bpm: Heart-rate telemetry.
+            mode: Operating-mode telemetry stamped on the packet.
+            soc: Battery state-of-charge telemetry.
+            n_leads: Leads carried per frame; defaults to the node's
+                lead count (``single_lead_cs`` packets carry 1).
+        """
         cfg = self.config
         payload = sum(w.payload_bits for frame in frames for w in frame)
         packet = UplinkPacket(
@@ -246,7 +321,7 @@ class NodeProxy:
             start=start,
             frames=tuple(tuple(frame) for frame in frames),
             payload_bits=payload + PACKET_HEADER_BITS,
-            n_leads=self.profile.n_leads,
+            n_leads=self.profile.n_leads if n_leads is None else n_leads,
             window_n=cfg.window_n,
             cr_percent=cfg.cr_percent,
             quant_bits=cfg.quant_bits,
@@ -254,6 +329,74 @@ class NodeProxy:
             fs=self._fs,
             mean_hr_bpm=mean_hr_bpm,
             reference=reference,
+            mode=mode,
+            soc=soc,
+        )
+        self._seq += 1
+        return packet
+
+    def telemetry_packet(self, timestamp_s: float,
+                         mean_hr_bpm: float = float("nan"),
+                         soc: float = float("nan")) -> UplinkPacket:
+        """Events-only uplink: heart rate, mode and SoC, no waveform.
+
+        What a governed node sends at each tick while coasting in
+        ``delineation_only`` mode — a fixed :data:`TELEMETRY_BITS` body
+        instead of a CS excerpt.
+        """
+        packet = UplinkPacket(
+            patient_id=self.profile.patient_id,
+            seq=self._seq,
+            timestamp_s=timestamp_s,
+            kind=PACKET_TELEMETRY,
+            start=0,
+            frames=(),
+            payload_bits=TELEMETRY_BITS + PACKET_HEADER_BITS,
+            n_leads=self.profile.n_leads,
+            window_n=self.config.window_n,
+            cr_percent=self.config.cr_percent,
+            quant_bits=self.config.quant_bits,
+            cs_seed=self.config.cs_seed,
+            fs=self._fs,
+            mean_hr_bpm=mean_hr_bpm,
+            mode=MODE_EVENTS_ONLY,
+            soc=soc,
+        )
+        self._seq += 1
+        return packet
+
+    def raw_packet(self, record: MultiLeadEcg, start: int,
+                   timestamp_s: float,
+                   mean_hr_bpm: float = float("nan"),
+                   soc: float = float("nan")) -> UplinkPacket:
+        """Raw-mode excerpt: uncompressed samples, no CS frames.
+
+        The window rides in ``reference`` (shape ``(1, leads, n)``) and
+        the gateway passes it through verbatim — there is nothing to
+        reconstruct, and no SNR is scored (the copy is exact).
+        ``payload_bits`` charges the full uncompressed word size.
+        """
+        cfg = self.config
+        window = record.signals[:, start:start + cfg.window_n]
+        payload = window.shape[0] * window.shape[1] * cfg.quant_bits
+        packet = UplinkPacket(
+            patient_id=self.profile.patient_id,
+            seq=self._seq,
+            timestamp_s=timestamp_s,
+            kind=PACKET_EXCERPT,
+            start=start,
+            frames=(),
+            payload_bits=payload + PACKET_HEADER_BITS,
+            n_leads=self.profile.n_leads,
+            window_n=cfg.window_n,
+            cr_percent=cfg.cr_percent,
+            quant_bits=cfg.quant_bits,
+            cs_seed=cfg.cs_seed,
+            fs=self._fs,
+            mean_hr_bpm=mean_hr_bpm,
+            reference=window[np.newaxis].copy(),
+            mode=MODE_RAW,
+            soc=soc,
         )
         self._seq += 1
         return packet

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Protocol
 
 import numpy as np
@@ -32,6 +32,14 @@ import numpy as np
 from ..classification.afib import AfDetector
 from ..compression.encoder import EncodedWindow, MultiLeadCsEncoder
 from ..pipeline.node_app import NodeReport
+from ..power.governor import (
+    MODE_EVENTS_ONLY,
+    MODE_MULTI_LEAD_CS,
+    MODE_RAW,
+    MODE_SINGLE_LEAD_CS,
+    EnergyGovernor,
+    GovernorDecision,
+)
 from ..signals.types import MultiLeadEcg
 from .cohort import PatientProfile, synthesize_patient
 from .gateway import Gateway, GatewayConfig, ReconstructedExcerpt
@@ -64,6 +72,19 @@ class UplinkChannel(Protocol):
 #: Hook applied to each freshly synthesized record before the node runs
 #: (scenario fault injection); receives the profile and the record.
 RecordTransform = Callable[[PatientProfile, MultiLeadEcg], MultiLeadEcg]
+
+#: Builds one :class:`~repro.power.EnergyGovernor` per patient; passing
+#: a factory to the scheduler turns the fleet run into a *governed* run
+#: (closed-loop mode adaptation per tick).
+GovernorFactory = Callable[[PatientProfile], EnergyGovernor]
+
+#: Scenario hook: parasitic battery drain in watts for one patient at
+#: one tick start (``battery_drain`` fault events).
+ExtraLoad = Callable[[str, float], float]
+
+#: Scenario hook: forced triage acuity for one patient at one tick
+#: start, or ``None`` to use the board state (``governor_stress``).
+AcuityOverride = Callable[[str, float], "str | None"]
 
 
 class BatchExcerptEncoder:
@@ -178,6 +199,9 @@ class FleetReport:
     packets_sent: int = 0
     timings_s: dict[str, float] = field(default_factory=dict)
     link_stats: dict[str, int] = field(default_factory=dict)
+    #: Per-patient governors of a governed run (empty when ungoverned);
+    #: each carries its decision history and final battery state.
+    governors: dict[str, EnergyGovernor] = field(default_factory=dict)
 
     @property
     def patients_per_second(self) -> float:
@@ -200,6 +224,18 @@ class FleetScheduler:
             perfect link).  See :class:`UplinkChannel`.
         record_transform: Hook applied to each synthesized record before
             the node processes it (scenario fault injection).
+        governor_factory: Builds one per-patient
+            :class:`~repro.power.EnergyGovernor`; when given, each tick
+            closes the loop gateway-side: the patient's triage state
+            feeds the governor, the governor picks the node's operating
+            mode, and the tick's uplink (raw excerpt / CS excerpt /
+            events-only telemetry) follows that mode, stamped with
+            mode + SoC telemetry.
+        extra_load: Scenario hook — parasitic watts per (patient, tick
+            start) drained on top of the mode power (``battery_drain``).
+        acuity_override: Scenario hook — forces a patient's acuity at a
+            tick (``governor_stress``); ``None`` returns mean "use the
+            board state".
     """
 
     def __init__(self, cohort: list[PatientProfile],
@@ -209,7 +245,10 @@ class FleetScheduler:
                  board: TriageBoard | None = None,
                  af_detector: AfDetector | None = None,
                  link: UplinkChannel | None = None,
-                 record_transform: RecordTransform | None = None) -> None:
+                 record_transform: RecordTransform | None = None,
+                 governor_factory: GovernorFactory | None = None,
+                 extra_load: ExtraLoad | None = None,
+                 acuity_override: AcuityOverride | None = None) -> None:
         if not cohort:
             raise ValueError("cohort must not be empty")
         self.cohort = cohort
@@ -220,6 +259,10 @@ class FleetScheduler:
         self.af_detector = af_detector
         self.link = link
         self.record_transform = record_transform
+        self.governor_factory = governor_factory
+        self.extra_load = extra_load
+        self.acuity_override = acuity_override
+        self.governors: dict[str, EnergyGovernor] = {}
         self._batch_encoders: dict[int, BatchExcerptEncoder] = {}
 
     def run(self) -> FleetReport:
@@ -250,6 +293,10 @@ class FleetScheduler:
         records = [r[1] for r in results]
         reports = {proxy.profile.patient_id: report
                    for proxy, _, report in results}
+        if self.governor_factory is not None:
+            self.governors = {profile.patient_id:
+                              self.governor_factory(profile)
+                              for profile in self.cohort}
 
         # Phase 2 — tick loop: batched uplink, gateway drain, triage.
         # Alarm packets are *built at the tick that uplinks them* (early
@@ -263,12 +310,18 @@ class FleetScheduler:
         excerpts: list[ReconstructedExcerpt] = []
         for tick in range(1, n_ticks + 1):
             now = tick * period
+            # Closed loop: last tick's triage states feed this tick's
+            # governor decisions (one-tick feedback latency, like a real
+            # gateway round trip).
+            decisions = (self._step_governors(now)
+                         if self.governors else None)
             bucket = alarms_by_tick.get(tick, [])
             early = [a for a in bucket if a[2] < now]
             late = [a for a in bucket if a[2] >= now]
             packets_sent += self._send_alarms(early, now)
             packets_sent += self._send_excerpt_batch(proxies, records,
-                                                     tick - 1, now)
+                                                     tick - 1, now,
+                                                     decisions)
             packets_sent += self._send_alarms(late, now)
             self._deliver_due(now)
             self.gateway.expire_reassembly()
@@ -291,10 +344,12 @@ class FleetScheduler:
             self.board.observe(excerpt)
             excerpts.append(excerpt)
         self.board.tick(cfg.duration_s)
+        self._fold_governed_power(reports)
         t_end = time.perf_counter()
 
         summary = fleet_summary(reports, self.gateway, self.board,
-                                cfg.duration_s)
+                                cfg.duration_s,
+                                governors=self.governors or None)
         return FleetReport(
             profiles=list(self.cohort),
             node_reports=reports,
@@ -307,7 +362,53 @@ class FleetScheduler:
                 "total": t_end - t_start,
             },
             link_stats=dict(getattr(self.link, "stats", {}) or {}),
+            governors=dict(self.governors),
         )
+
+    def _step_governors(self, now_s: float) -> dict[str, GovernorDecision]:
+        """Advance every patient's governor by one tick interval.
+
+        The acuity fed in is the triage board's state from the previous
+        tick (or the scenario override); the decision covers the
+        interval *ending* at ``now_s``.
+        """
+        period = self.node_config.excerpt_period_s
+        t0 = now_s - period
+        decisions: dict[str, GovernorDecision] = {}
+        for profile in self.cohort:
+            pid = profile.patient_id
+            acuity = (self.acuity_override(pid, t0)
+                      if self.acuity_override is not None else None)
+            if acuity is None:
+                acuity = self.board.patient(pid).state
+            extra = (self.extra_load(pid, t0)
+                     if self.extra_load is not None else 0.0)
+            decisions[pid] = self.governors[pid].step(
+                period, acuity, extra_load_w=extra)
+        return decisions
+
+    def _fold_governed_power(self, reports: dict[str, NodeReport]) -> None:
+        """Replace static node power with the governor's mode schedule.
+
+        An ungoverned :class:`NodeReport` prices the fixed §V policy;
+        under a governor the node's actual power follows the mode dwell
+        times, so the per-patient power and battery projections (which
+        triage aggregates) are recomputed from them.  Both sides of the
+        fleet accounting deliberately use the *mode schedule only*
+        (alarm-packet energy — microjoules against a tick's
+        milliJoules of streaming — is excluded from the drain and from
+        this power alike, keeping SoC and power mutually consistent).
+        """
+        for pid, governor in self.governors.items():
+            total = sum(governor.mode_seconds.values())
+            if total <= 0 or pid not in reports:
+                continue
+            power = sum(governor.table.power_w(mode) * sec
+                        for mode, sec in governor.mode_seconds.items()
+                        ) / total
+            reports[pid].average_power_w = power
+            reports[pid].battery_days = (
+                governor.battery.cell.lifetime_days(power))
 
     def _batch_encoder(self, n_leads: int) -> BatchExcerptEncoder:
         """Cached batch encoder of one lead-count group."""
@@ -320,27 +421,61 @@ class FleetScheduler:
 
     def _send_excerpt_batch(self, proxies: list[NodeProxy],
                             records: list[MultiLeadEcg],
-                            period_idx: int, now_s: float) -> int:
-        """Encode + ingest every patient's periodic excerpt for one tick.
+                            period_idx: int, now_s: float,
+                            decisions: dict[str, GovernorDecision]
+                            | None = None) -> int:
+        """Encode + ingest every patient's periodic uplink for one tick.
 
-        Patients are grouped by lead count; each group is one vectorized
-        :meth:`BatchExcerptEncoder.encode_batch` call.
+        Ungoverned runs keep the legacy behavior: every patient sends a
+        multi-lead CS excerpt, grouped by lead count into one vectorized
+        :meth:`BatchExcerptEncoder.encode_batch` call per group.  In a
+        governed run each patient's tick uplink follows its governor
+        decision instead: raw excerpt / multi- or single-lead CS
+        excerpt / events-only telemetry, all stamped with mode and SoC.
+        Single-lead-CS members batch together with 1-lead patients —
+        same encoder geometry, one matrix product.
         """
-        groups: dict[int, list[tuple[NodeProxy, np.ndarray, int]]] = {}
+        groups: dict[int, list[tuple]] = {}
         n = self.node_config.window_n
+        sent = 0
         for proxy, record in zip(proxies, records):
             starts = proxy.excerpt_starts(record.n_samples, record.fs)
             if period_idx >= len(starts):
                 continue  # recording too short for this period
             start = starts[period_idx]
-            window = record.signals[:, start:start + n]
-            groups.setdefault(record.n_leads, []).append(
-                (proxy, window, start))
-        sent = 0
+            hr = proxy.heart_rates.get(period_idx, float("nan"))
+            decision = (decisions.get(proxy.profile.patient_id)
+                        if decisions is not None else None)
+            if decision is None:
+                window = record.signals[:, start:start + n]
+                groups.setdefault(record.n_leads, []).append(
+                    (proxy, window, start, MODE_MULTI_LEAD_CS,
+                     float("nan"), hr, None))
+            elif decision.mode == MODE_EVENTS_ONLY:
+                self._transmit(proxy.telemetry_packet(
+                    now_s, mean_hr_bpm=hr, soc=decision.soc), now_s)
+                sent += 1
+            elif decision.mode == MODE_RAW:
+                self._transmit(proxy.raw_packet(
+                    record, start, now_s, mean_hr_bpm=hr,
+                    soc=decision.soc), now_s)
+                sent += 1
+            elif decision.mode == MODE_SINGLE_LEAD_CS:
+                lead = proxy.delineation_lead
+                window = record.signals[lead:lead + 1, start:start + n]
+                groups.setdefault(1, []).append(
+                    (proxy, window, start, MODE_SINGLE_LEAD_CS,
+                     decision.soc, hr, 1))
+            else:
+                window = record.signals[:, start:start + n]
+                groups.setdefault(record.n_leads, []).append(
+                    (proxy, window, start, MODE_MULTI_LEAD_CS,
+                     decision.soc, hr, None))
         for n_leads, members in groups.items():
-            batch = np.stack([window for _, window, _ in members])
+            batch = np.stack([member[1] for member in members])
             frames = self._batch_encoder(n_leads).encode_batch(batch)
-            for (proxy, window, start), frame in zip(members, frames):
+            for (proxy, window, start, mode, soc, hr,
+                 packet_leads), frame in zip(members, frames):
                 packet = proxy.packet_from_frames(
                     kind=PACKET_EXCERPT,
                     timestamp_s=now_s,
@@ -348,8 +483,10 @@ class FleetScheduler:
                     frames=[frame],
                     reference=window[np.newaxis]
                     if self.node_config.attach_reference else None,
-                    mean_hr_bpm=proxy.heart_rates.get(period_idx,
-                                                      float("nan")),
+                    mean_hr_bpm=hr,
+                    mode=mode,
+                    soc=soc,
+                    n_leads=packet_leads,
                 )
                 self._transmit(packet, now_s)
                 sent += 1
@@ -360,10 +497,17 @@ class FleetScheduler:
 
         ``items`` holds ``(proxy, record, timestamp_s, alarm_start)``
         tuples sorted by timestamp, so per-patient sequence numbers are
-        assigned in timestamp order.
+        assigned in timestamp order.  Alarms always carry CS context in
+        every governed mode; governed runs stamp the node's current
+        mode and SoC telemetry on the packet.
         """
         for proxy, record, _, alarm_start in items:
-            self._transmit(proxy.alarm_packet(record, alarm_start), now_s)
+            packet = proxy.alarm_packet(record, alarm_start)
+            governor = self.governors.get(proxy.profile.patient_id)
+            if governor is not None:
+                packet = replace(packet, mode=governor.mode,
+                                 soc=governor.battery.soc)
+            self._transmit(packet, now_s)
         return len(items)
 
     def _transmit(self, packet: UplinkPacket, now_s: float) -> None:

@@ -79,6 +79,11 @@ class PatientTriage:
     stale: bool = False
     last_seen_s: float = 0.0
     n_stale_events: int = 0
+    #: Latest battery state-of-charge telemetry (nan until a governed
+    #: packet arrives).
+    soc: float = float("nan")
+    #: Latest operating-mode telemetry ("" until a packet arrives).
+    mode: str = ""
 
     def _escalate(self, target: str, now_s: float) -> None:
         if STATES.index(target) > STATES.index(self.state):
@@ -92,6 +97,9 @@ class PatientTriage:
         now = excerpt.timestamp_s
         self.last_seen_s = max(self.last_seen_s, now)
         self.stale = False
+        self.mode = excerpt.mode
+        if np.isfinite(excerpt.soc):
+            self.soc = excerpt.soc
         if excerpt.kind == PACKET_ALARM:
             if excerpt.confirmed:
                 self.n_alerts += 1
@@ -196,6 +204,14 @@ class FleetSummary:
         stale_patients: Patients whose link is stale at end of run.
         duplicate_packets: Duplicates dropped by gateway reassembly.
         reassembly_gaps: Sequence numbers lost for good on the uplink.
+        governed: Whether the fleet ran under per-node EnergyGovernors.
+        mode_seconds: Fleet-wide seconds spent per operating mode
+            (governed runs only; empty otherwise).
+        governor_switches: Mode changes across the fleet.
+        mean_final_soc: Mean battery state of charge at end of run (nan
+            when ungoverned).
+        projected_lifetime_h_p50: Median projected hours-to-empty if
+            each node's final mode held (nan when ungoverned).
     """
 
     n_patients: int
@@ -214,6 +230,11 @@ class FleetSummary:
     stale_patients: int = 0
     duplicate_packets: int = 0
     reassembly_gaps: int = 0
+    governed: bool = False
+    mode_seconds: dict[str, float] = field(default_factory=dict)
+    governor_switches: int = 0
+    mean_final_soc: float = float("nan")
+    projected_lifetime_h_p50: float = float("nan")
 
     def describe(self) -> str:
         """Multi-line human-readable summary (what the example prints)."""
@@ -237,11 +258,19 @@ class FleetSummary:
             f"{self.reassembly_gaps} gaps",
             f"  node power: {self.mean_node_power_uw:.0f} uW mean, "
             f"battery {self.mean_battery_days:.1f} days",
-        ])
+        ] + ([
+            f"  governor: {self.governor_switches} mode switches, "
+            f"SoC {100 * self.mean_final_soc:.0f} % mean, projected "
+            f"lifetime {self.projected_lifetime_h_p50:.0f} h (p50); "
+            + ", ".join(f"{mode} {sec / 3600.0:.1f} h"
+                        for mode, sec in sorted(self.mode_seconds.items())
+                        if sec > 0)
+        ] if self.governed else []))
 
 
 def fleet_summary(reports: dict[str, NodeReport], gateway: Gateway,
-                  board: TriageBoard, duration_s: float) -> FleetSummary:
+                  board: TriageBoard, duration_s: float,
+                  governors: dict | None = None) -> FleetSummary:
     """Fold per-node reports, gateway channels and triage into one view.
 
     Args:
@@ -250,10 +279,25 @@ def fleet_summary(reports: dict[str, NodeReport], gateway: Gateway,
         gateway: The gateway after draining (channels + drop counter).
         board: The triage board after the run.
         duration_s: Simulated duration each report covers.
+        governors: Per-patient :class:`~repro.power.EnergyGovernor`
+            instances of a governed run (``None`` = ungoverned fleet);
+            folds mode dwell, switch counts, final SoC and projected
+            battery lifetime into the summary.
     """
     n = len(reports)
     if n == 0:
         raise ValueError("need at least one node report")
+    governed = bool(governors)
+    mode_seconds: dict[str, float] = {}
+    switches = 0
+    socs: list[float] = []
+    lifetimes: list[float] = []
+    for governor in (governors or {}).values():
+        for mode, sec in governor.mode_seconds.items():
+            mode_seconds[mode] = mode_seconds.get(mode, 0.0) + sec
+        switches += governor.n_switches
+        socs.append(governor.battery.soc)
+        lifetimes.append(governor.projected_hours_to_empty())
     scale_day = 86400.0 / duration_s
     node_alarms = sum(len(r.alarms) for r in reports.values())
     confirmed = sum(ch.n_confirmed for ch in gateway.channels.values())
@@ -284,4 +328,11 @@ def fleet_summary(reports: dict[str, NodeReport], gateway: Gateway,
         stale_patients=stale,
         duplicate_packets=duplicates,
         reassembly_gaps=gaps,
+        governed=governed,
+        mode_seconds=mode_seconds,
+        governor_switches=switches,
+        mean_final_soc=(float(np.mean(socs)) if socs else float("nan")),
+        projected_lifetime_h_p50=(
+            float(np.percentile(np.asarray(lifetimes), 50))
+            if lifetimes else float("nan")),
     )

@@ -1,11 +1,21 @@
 """End-to-end node application pipeline (paper §V)."""
 
-from .node_app import AlarmEvent, CardiacMonitorNode, NodeReport
+from .node_app import (
+    AlarmEvent,
+    BEAT_EVENT_BITS,
+    CardiacMonitorNode,
+    GovernedNodeReport,
+    ModeSegment,
+    NodeReport,
+)
 from .streaming import StreamingConfig, StreamingMonitor, stream_record
 
 __all__ = [
     "AlarmEvent",
+    "BEAT_EVENT_BITS",
     "CardiacMonitorNode",
+    "GovernedNodeReport",
+    "ModeSegment",
     "NodeReport",
     "StreamingConfig",
     "StreamingMonitor",

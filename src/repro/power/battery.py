@@ -3,12 +3,15 @@ one week", paper §V).
 
 Small wearables carry 100-200 mAh lithium-polymer cells; this module turns
 an average node power into a recharge interval, including self-discharge
-and a usable-capacity derating.
+and a usable-capacity derating.  :class:`Battery` is the immutable cell
+spec; :class:`BatteryModel` tracks a state of charge over a simulated
+stretch so closed-loop policies (:mod:`repro.power.governor`) can react
+to the remaining budget.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -53,3 +56,68 @@ class Battery:
         if drain == 0:
             return float("inf")
         return self.usable_energy_j / drain / 86400.0
+
+
+@dataclass
+class BatteryModel:
+    """Stateful battery: a :class:`Battery` cell plus a state of charge.
+
+    The state of charge (SoC) is the fraction of *usable* energy
+    remaining, so ``soc == 0`` is the protection cutoff, not a damaged
+    cell.  Draining past empty clamps at zero (end of discharge): the
+    converter browns the node out and no further energy can be drawn —
+    callers should treat an :attr:`empty` battery as a dead radio.
+
+    Attributes:
+        cell: The immutable cell specification.
+        soc: State of charge in ``[0, 1]`` (fraction of usable energy).
+    """
+
+    cell: Battery = field(default_factory=Battery)
+    soc: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.soc <= 1.0:
+            raise ValueError("soc must lie in [0, 1]")
+
+    @property
+    def energy_remaining_j(self) -> float:
+        """Usable joules left at the current state of charge."""
+        return self.soc * self.cell.usable_energy_j
+
+    @property
+    def empty(self) -> bool:
+        """End of discharge reached (protection cutoff)."""
+        return self.soc <= 0.0
+
+    def drain(self, power_w: float, dt_s: float) -> float:
+        """Draw ``power_w`` for ``dt_s`` seconds; return the new SoC.
+
+        Self-discharge is charged on top of the load.  The SoC clamps at
+        zero — once empty, further draining is a no-op (the node is
+        browned out, it cannot draw more than the cell holds).
+        """
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        if self.empty:
+            return self.soc
+        drawn = (power_w + self.cell.self_discharge_power_w()) * dt_s
+        self.soc = max(0.0, self.soc - drawn / self.cell.usable_energy_j)
+        return self.soc
+
+    def recharge(self, soc: float = 1.0) -> None:
+        """Reset the state of charge (a charging dock visit)."""
+        if not 0.0 <= soc <= 1.0:
+            raise ValueError("soc must lie in [0, 1]")
+        self.soc = soc
+
+    def hours_to_empty(self, power_w: float) -> float:
+        """Projected hours until end of discharge at a constant load."""
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        drain = power_w + self.cell.self_discharge_power_w()
+        if drain == 0:
+            return float("inf")
+        return self.energy_remaining_j / drain / 3600.0

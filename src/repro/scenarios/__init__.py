@@ -32,17 +32,24 @@ from .campaign import (
 from .channel import ImpairedLink
 from .inject import LEAD_OFF_RESIDUAL_MV, apply_faults
 from .spec import (
+    FAULT_BATTERY_DRAIN,
+    FAULT_GOVERNOR_STRESS,
     FAULT_KINDS,
     FAULT_LEAD_OFF,
     FAULT_MOTION,
     FAULT_SATURATION,
     FAULT_WANDER,
+    NODE_FAULT_KINDS,
+    SIGNAL_FAULT_KINDS,
     FaultEvent,
     LinkSpec,
     ScenarioSpec,
+    battery_drain_scenario,
     clean_scenario,
     default_grid,
     derive_seed,
+    governed_grid,
+    governor_stress_scenario,
     lead_off_scenario,
     motion_burst_scenario,
     packet_loss_scenario,
@@ -53,6 +60,8 @@ __all__ = [
     "CampaignConfig",
     "CampaignReport",
     "CampaignRunner",
+    "FAULT_BATTERY_DRAIN",
+    "FAULT_GOVERNOR_STRESS",
     "FAULT_KINDS",
     "FAULT_LEAD_OFF",
     "FAULT_MOTION",
@@ -62,13 +71,18 @@ __all__ = [
     "ImpairedLink",
     "LEAD_OFF_RESIDUAL_MV",
     "LinkSpec",
+    "NODE_FAULT_KINDS",
     "SENTINEL_PREFIX",
+    "SIGNAL_FAULT_KINDS",
     "ScenarioResult",
     "ScenarioSpec",
     "apply_faults",
+    "battery_drain_scenario",
     "clean_scenario",
     "default_grid",
     "derive_seed",
+    "governed_grid",
+    "governor_stress_scenario",
     "lead_off_scenario",
     "motion_burst_scenario",
     "packet_loss_scenario",

@@ -38,12 +38,19 @@ from ..fleet.cohort import CohortConfig, PatientProfile, make_cohort
 from ..fleet.gateway import Gateway, GatewayConfig
 from ..fleet.node_proxy import NodeProxyConfig
 from ..fleet.scheduler import FleetReport, FleetScheduler, SchedulerConfig
-from ..fleet.triage import STATES
+from ..fleet.triage import STATE_ALERT, STATES
+from ..power.battery import Battery, BatteryModel
+from ..power.governor import EnergyGovernor, GovernorConfig, ModePowerTable
 from ..signals.dataset import make_corpus
 from ..signals.types import MultiLeadEcg
 from .channel import ImpairedLink
 from .inject import apply_faults
-from .spec import ScenarioSpec, derive_seed
+from .spec import (
+    FAULT_BATTERY_DRAIN,
+    FAULT_GOVERNOR_STRESS,
+    ScenarioSpec,
+    derive_seed,
+)
 
 #: Patient-id prefix of the clean-AF sentinel patients.
 SENTINEL_PREFIX = "sentinel"
@@ -80,6 +87,23 @@ class CampaignConfig:
             Reports are byte-identical across any worker count >= 1
             (tested); they differ from the joint path only in the
             (equally valid) per-patient channel draws.
+        governed: Run every node under a per-patient
+            :class:`~repro.power.EnergyGovernor` (closed-loop mode
+            adaptation); enables the ``battery_drain`` /
+            ``governor_stress`` fault kinds and the governed columns of
+            the report.
+        governor_capacity_mah: Cell capacity of governed nodes.  The
+            default is deliberately tiny so a minutes-long campaign
+            walks the whole mode ladder; realistic cells need
+            multi-day simulations (see the ``fleet-lifetime`` bench).
+        governor_initial_soc: Upper bound of the per-patient starting
+            state of charge.
+        governor_soc_span: Width of the (seed-derived, per-patient)
+            starting-SoC spread below ``governor_initial_soc`` — a
+            cohort that all starts at the same SoC switches modes in
+            lockstep and exercises nothing.
+        governor_min_dwell_s: Governor dwell damping; 0 lets a short
+            campaign switch every tick.
     """
 
     n_patients: int = 20
@@ -92,6 +116,11 @@ class CampaignConfig:
     excerpt_period_s: float = 60.0
     stream_telemetry: bool = False
     patient_workers: int = 0
+    governed: bool = False
+    governor_capacity_mah: float = 0.05
+    governor_initial_soc: float = 0.9
+    governor_soc_span: float = 0.5
+    governor_min_dwell_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_patients < 1:
@@ -100,6 +129,12 @@ class CampaignConfig:
             raise ValueError("n_sentinels must be within the cohort")
         if self.patient_workers < 0:
             raise ValueError("patient_workers must be >= 0")
+        if self.governor_capacity_mah <= 0:
+            raise ValueError("governor_capacity_mah must be positive")
+        if not 0 < self.governor_initial_soc <= 1:
+            raise ValueError("governor_initial_soc must be in (0, 1]")
+        if self.governor_soc_span < 0:
+            raise ValueError("governor_soc_span must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -135,6 +170,11 @@ class ScenarioResult:
     queue_dropped: int
     link_stats: dict[str, int]
     runtime_s: float = 0.0
+    governed: bool = False
+    mode_seconds: dict[str, float] = field(default_factory=dict)
+    governor_switches: int = 0
+    mean_final_soc: float = float("nan")
+    telemetry_packets: int = 0
 
     def to_dict(self) -> dict:
         """Deterministic dict view (excludes wall-clock runtime)."""
@@ -164,6 +204,14 @@ class ScenarioResult:
             "reassembly_gaps": self.reassembly_gaps,
             "queue_dropped": self.queue_dropped,
             "link_stats": dict(sorted(self.link_stats.items())),
+            "governed": self.governed,
+            "mode_seconds": {mode: _round(sec)
+                             for mode, sec
+                             in sorted(self.mode_seconds.items())
+                             if sec > 0},
+            "governor_switches": self.governor_switches,
+            "mean_final_soc": _round(self.mean_final_soc),
+            "telemetry_packets": self.telemetry_packets,
         }
         return out
 
@@ -173,6 +221,57 @@ def _round(value: float, digits: int = 6) -> float | None:
     if not np.isfinite(value):
         return None
     return round(float(value), digits)
+
+
+def _governed_kit(spec: ScenarioSpec, config: CampaignConfig):
+    """Scheduler wiring of one governed scenario run.
+
+    Returns ``(governor_factory, extra_load, acuity_override)`` — all
+    ``None`` when the campaign is ungoverned.  Per-patient starting SoC
+    is seed-derived from the master seed (the cohort must not switch
+    modes in lockstep), ``battery_drain`` events become a parasitic
+    load averaged over each tick's overlap with the episode, and
+    ``governor_stress`` events force the patient's acuity to ``alert``
+    for every tick they touch.
+    """
+    if not config.governed:
+        return None, None, None
+    table = ModePowerTable()
+    gov_config = GovernorConfig(min_dwell_s=config.governor_min_dwell_s)
+
+    def factory(profile: PatientProfile) -> EnergyGovernor:
+        frac = derive_seed(config.master_seed, "governor-soc",
+                           profile.patient_id) % 10_000 / 10_000.0
+        soc = max(0.05, config.governor_initial_soc
+                  - config.governor_soc_span * frac)
+        return EnergyGovernor(
+            config=gov_config, table=table,
+            battery=BatteryModel(
+                cell=Battery(capacity_mah=config.governor_capacity_mah),
+                soc=soc))
+
+    drains = [f for f in spec.faults if f.kind == FAULT_BATTERY_DRAIN]
+    stresses = [f for f in spec.faults
+                if f.kind == FAULT_GOVERNOR_STRESS]
+    period = config.excerpt_period_s
+
+    def extra_load(pid: str, t0: float) -> float:
+        total = 0.0
+        for fault in drains:
+            overlap = (min(fault.stop_s, t0 + period)
+                       - max(fault.start_s, t0))
+            total += fault.severity * max(0.0, overlap) / period
+        return total
+
+    def acuity_override(pid: str, t0: float) -> str | None:
+        for fault in stresses:
+            if fault.start_s < t0 + period and fault.stop_s > t0:
+                return STATE_ALERT
+        return None
+
+    return (factory,
+            extra_load if drains else None,
+            acuity_override if stresses else None)
 
 
 @dataclass(frozen=True)
@@ -198,6 +297,10 @@ class _PatientOutcome:
     stale: bool
     link_stats: dict[str, int]
     runtime_s: float
+    mode_seconds: dict[str, float]
+    governor_switches: int
+    final_soc: float
+    telemetry_packets: int
 
 
 def _patient_unit(spec: ScenarioSpec, profile: PatientProfile,
@@ -222,6 +325,7 @@ def _patient_unit(spec: ScenarioSpec, profile: PatientProfile,
                         prof.patient_id))
         return apply_faults(record, spec.faults, rng)
 
+    factory, extra_load, acuity_override = _governed_kit(spec, config)
     scheduler = FleetScheduler(
         [profile],
         SchedulerConfig(duration_s=config.duration_s, fs=config.fs),
@@ -231,12 +335,16 @@ def _patient_unit(spec: ScenarioSpec, profile: PatientProfile,
         gateway=Gateway(GatewayConfig(n_iter=config.gateway_n_iter)),
         af_detector=detector,
         link=link,
-        record_transform=inject if spec.faults else None,
+        record_transform=inject if spec.signal_faults else None,
+        governor_factory=factory,
+        extra_load=extra_load,
+        acuity_override=acuity_override,
     )
     fleet = scheduler.run()
     gateway = scheduler.gateway
     channel = gateway.channels.get(profile.patient_id)
     triage = scheduler.board.patients[profile.patient_id]
+    governor = scheduler.governors.get(profile.patient_id)
     return _PatientOutcome(
         patient_id=profile.patient_id,
         scenario=spec.name,
@@ -253,6 +361,13 @@ def _patient_unit(spec: ScenarioSpec, profile: PatientProfile,
         stale=triage.stale,
         link_stats=dict(fleet.link_stats),
         runtime_s=time.perf_counter() - t0,
+        mode_seconds=(dict(governor.mode_seconds)
+                      if governor is not None else {}),
+        governor_switches=(governor.n_switches
+                           if governor is not None else 0),
+        final_soc=(governor.battery.soc
+                   if governor is not None else float("nan")),
+        telemetry_packets=channel.n_telemetry if channel else 0,
     )
 
 
@@ -447,6 +562,11 @@ class CampaignRunner:
         link_stats: Counter[str] = Counter()
         for r in rows:
             link_stats.update(r.link_stats)
+        mode_seconds: dict[str, float] = {}
+        for r in rows:
+            for mode, sec in r.mode_seconds.items():
+                mode_seconds[mode] = mode_seconds.get(mode, 0.0) + sec
+        socs = [r.final_soc for r in rows if np.isfinite(r.final_soc)]
         return ScenarioResult(
             scenario=spec.name,
             description=spec.description,
@@ -475,6 +595,12 @@ class CampaignRunner:
             queue_dropped=sum(r.queue_dropped for r in rows),
             link_stats=dict(link_stats),
             runtime_s=sum(r.runtime_s for r in rows),
+            governed=cfg.governed,
+            mode_seconds=mode_seconds,
+            governor_switches=sum(r.governor_switches for r in rows),
+            mean_final_soc=(float(np.mean(socs)) if socs
+                            else float("nan")),
+            telemetry_packets=sum(r.telemetry_packets for r in rows),
         )
 
     def _train_detector(self) -> AfDetector:
@@ -501,6 +627,7 @@ class CampaignRunner:
                             profile.patient_id))
             return apply_faults(record, spec.faults, rng)
 
+        factory, extra_load, acuity_override = _governed_kit(spec, cfg)
         scheduler = FleetScheduler(
             cohort,
             SchedulerConfig(duration_s=cfg.duration_s, fs=cfg.fs,
@@ -511,7 +638,10 @@ class CampaignRunner:
             gateway=Gateway(GatewayConfig(n_iter=cfg.gateway_n_iter)),
             af_detector=detector,
             link=link,
-            record_transform=inject if spec.faults else None,
+            record_transform=inject if spec.signal_faults else None,
+            governor_factory=factory,
+            extra_load=extra_load,
+            acuity_override=acuity_override,
         )
         t0 = time.perf_counter()
         fleet = scheduler.run()
@@ -565,4 +695,11 @@ class CampaignRunner:
             queue_dropped=summary.dropped_packets,
             link_stats=fleet.link_stats,
             runtime_s=runtime,
+            governed=summary.governed,
+            mode_seconds=dict(summary.mode_seconds),
+            governor_switches=summary.governor_switches,
+            mean_final_soc=summary.mean_final_soc,
+            telemetry_packets=sum(
+                ch.n_telemetry
+                for ch in scheduler.gateway.channels.values()),
         )

@@ -21,6 +21,7 @@ from .spec import (
     FAULT_MOTION,
     FAULT_SATURATION,
     FAULT_WANDER,
+    SIGNAL_FAULT_KINDS,
     FaultEvent,
 )
 
@@ -36,9 +37,13 @@ def apply_faults(record: MultiLeadEcg,
     Args:
         record: The clean synthesized recording.
         faults: Episodes to inject (applied in the given order).
+            Node-state faults (``battery_drain``, ``governor_stress``)
+            do not touch the waveform and are skipped here — the
+            governed scheduler consumes them instead.
         rng: Seeded generator — same record + faults + seed replays the
             exact same corrupted waveform.
     """
+    faults = [f for f in faults if f.kind in SIGNAL_FAULT_KINDS]
     if not faults:
         return record
     signals = record.signals.copy()

@@ -26,7 +26,20 @@ FAULT_WANDER = "baseline_wander"
 FAULT_LEAD_OFF = "lead_off"
 FAULT_SATURATION = "saturation"
 
-FAULT_KINDS = (FAULT_MOTION, FAULT_WANDER, FAULT_LEAD_OFF, FAULT_SATURATION)
+#: Node-state fault kinds: they do not corrupt the waveform — they act
+#: on the node's EnergyGovernor loop (battery drain, forced acuity).
+FAULT_BATTERY_DRAIN = "battery_drain"
+FAULT_GOVERNOR_STRESS = "governor_stress"
+
+#: Faults applied to the synthesized waveform by
+#: :func:`repro.scenarios.apply_faults`.
+SIGNAL_FAULT_KINDS = (FAULT_MOTION, FAULT_WANDER, FAULT_LEAD_OFF,
+                      FAULT_SATURATION)
+
+#: Faults routed to the governed scheduler's battery/acuity hooks.
+NODE_FAULT_KINDS = (FAULT_BATTERY_DRAIN, FAULT_GOVERNOR_STRESS)
+
+FAULT_KINDS = SIGNAL_FAULT_KINDS + NODE_FAULT_KINDS
 
 
 def derive_seed(master_seed: int, *names: object) -> int:
@@ -56,12 +69,18 @@ class FaultEvent:
         kind: One of :data:`FAULT_KINDS`.
         start_s: Episode start within the recording.
         duration_s: Episode length.
-        severity: Fault amplitude in mV — the added-artifact amplitude
-            for ``motion_burst``/``baseline_wander``, the rail level for
+        severity: Fault magnitude.  For the signal faults it is an
+            amplitude in mV — the added-artifact amplitude for
+            ``motion_burst``/``baseline_wander``, the rail level for
             ``saturation`` (samples clip to ±severity); ignored for
-            ``lead_off`` (the lead reads ~0 while detached).
+            ``lead_off`` (the lead reads ~0 while detached).  For
+            ``battery_drain`` it is the parasitic load in **watts**
+            drawn on top of the node's mode power while the episode
+            lasts; ignored for ``governor_stress`` (the episode forces
+            the patient's acuity to ``alert``).
         lead: Affected lead index, or ``None`` for every lead (a 1-lead
-            node simply clamps to its available leads).
+            node simply clamps to its available leads); meaningless for
+            the node-state faults.
     """
 
     kind: str
@@ -155,6 +174,17 @@ class ScenarioSpec:
             raise ValueError("scenario name must not be empty")
         object.__setattr__(self, "faults", tuple(self.faults))
 
+    @property
+    def signal_faults(self) -> tuple[FaultEvent, ...]:
+        """Waveform-corrupting episodes (fed to ``apply_faults``)."""
+        return tuple(f for f in self.faults
+                     if f.kind in SIGNAL_FAULT_KINDS)
+
+    @property
+    def node_faults(self) -> tuple[FaultEvent, ...]:
+        """Node-state episodes (fed to the governed scheduler hooks)."""
+        return tuple(f for f in self.faults if f.kind in NODE_FAULT_KINDS)
+
 
 def clean_scenario() -> ScenarioSpec:
     """The control: clean electrodes, perfect link."""
@@ -236,6 +266,66 @@ def stress_scenario(duration_s: float) -> ScenarioSpec:
         link=LinkSpec(loss_rate=0.20, duplicate_rate=0.05,
                       reorder_rate=0.10, reorder_delay_s=30.0,
                       jitter_s=10.0),
+    )
+
+
+def battery_drain_scenario(duration_s: float,
+                           drain_w: float = 0.02,
+                           onset_fraction: float = 0.2) -> ScenarioSpec:
+    """A parasitic battery drain forcing the governor down-mode.
+
+    From ``onset_fraction`` of the recording onward the node's battery
+    drains at ``drain_w`` on top of the operating-mode power (cold
+    weather, a stuck peripheral, radio interference retries).  A
+    governed node must walk down the mode ladder as the state of charge
+    collapses; an ungoverned node just runs flat.  The waveform is left
+    untouched — any detection change under this scenario is a bug.
+    """
+    if drain_w < 0:
+        raise ValueError("drain_w must be non-negative")
+    onset = onset_fraction * duration_s
+    return ScenarioSpec(
+        name="battery-drain",
+        description=f"{1e3 * drain_w:.0f} mW parasitic battery drain "
+                    f"from {onset:.0f} s onward",
+        faults=(
+            FaultEvent(FAULT_BATTERY_DRAIN, start_s=onset,
+                       duration_s=duration_s - onset, severity=drain_w),
+        ),
+    )
+
+
+def governor_stress_scenario(duration_s: float,
+                             drain_w: float = 0.02) -> ScenarioSpec:
+    """Acuity and budget pulling the governor in opposite directions.
+
+    A forced-``alert`` episode mid-recording (a deteriorating patient)
+    demands high-fidelity streaming exactly while a parasitic drain is
+    collapsing the battery — the governor must upshift for the alert
+    regardless of budget, then fall back down the ladder once the
+    episode clears.  Exercises every transition edge deterministically.
+    """
+    third = duration_s / 3.0
+    return ScenarioSpec(
+        name="governor-stress",
+        description="forced-alert episode during a "
+                    f"{1e3 * drain_w:.0f} mW battery drain",
+        faults=(
+            FaultEvent(FAULT_BATTERY_DRAIN, start_s=0.0,
+                       duration_s=duration_s, severity=drain_w),
+            FaultEvent(FAULT_GOVERNOR_STRESS, start_s=third,
+                       duration_s=third),
+        ),
+    )
+
+
+def governed_grid(duration_s: float) -> tuple[ScenarioSpec, ...]:
+    """The governed-campaign grid: clean control plus the two
+    governor-exercising scenarios (battery drain, governor stress)."""
+    return (
+        clean_scenario(),
+        battery_drain_scenario(duration_s),
+        governor_stress_scenario(duration_s),
     )
 
 

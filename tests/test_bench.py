@@ -178,6 +178,30 @@ class TestBaselinesFile:
         assert speedup["scenario-campaign"] >= 2.0
 
 
+class TestFleetLifetimeCase:
+    """The governed-lifetime case: schema-valid and claim-checked."""
+
+    def test_fleet_lifetime_report_validates_against_schema(self):
+        runner = BenchRunner(cases=[get_case("fleet-lifetime")],
+                             quick=True, warmup=0, repeats=1)
+        payload = runner.run().to_dict()
+        validate_report(payload)  # raises on violation
+        (case,) = payload["cases"]
+        assert case["name"] == "fleet-lifetime"
+        assert case["legacy"] == "test_fleet_lifetime"
+        assert case["throughput"]["patients_per_s"] > 0
+
+    def test_governor_beats_best_admissible_static(self):
+        result = get_case("fleet-lifetime").workload(
+            BenchContext(quick=True))
+        # Acceptance bar: closed-loop lifetime >= the best static mode
+        # that honors the acuity floor, on the mixed-acuity cohort.
+        assert result["governor_hours"] >= result["best_static_hours"]
+        assert result["lifetime_gain"] > 1.0
+        assert result["best_static"] in ("multi_lead_cs", "raw")
+        assert result["mean_switches"] > 0
+
+
 class TestSchemaValidator:
     def _minimal(self) -> dict:
         runner = BenchRunner(cases=[_fast_case("a")], warmup=0, repeats=1)

@@ -55,6 +55,11 @@ EXAMPLES = {
         ["--cases", "fig1-abstraction-ladder,t2-delineation-resources"],
         ["running 2 bench case(s)", "verdict:"],
     ),
+    "energy_governor.py": (
+        ["--duration", "120", "--lifetime-patients", "2"],
+        ["mode power table", "mode timeline:", "mode switches:",
+         "best admissible static"],
+    ),
 }
 
 

@@ -55,3 +55,49 @@ class TestPayload:
         light = radio.batching_gain(100.0)
         heavy = radio.batching_gain(50_000.0)
         assert heavy < light
+
+
+class TestEdgeCases:
+    def test_zero_payload_batch_has_zero_gain(self):
+        # An idle node never wakes the radio for payload: the batching
+        # comparison degenerates to exactly 1 (no divide-by-zero).
+        radio = DutyCycledRadio()
+        assert radio.payload_power_w(0.0) == 0.0
+        assert radio.batching_gain(0.0) == 1.0
+
+    def test_tiny_rate_rounds_to_at_least_a_frame(self):
+        # Sub-bit batches still round to one transmitted frame's cost
+        # once they round to >= 1 bit; below that they cost nothing.
+        radio = DutyCycledRadio(
+            policy=DutyCyclePolicy(batch_interval_s=2.0))
+        assert radio.payload_power_w(0.1) == 0.0  # rounds to 0 bits
+        assert radio.payload_power_w(1.0) > 0.0
+
+    def test_beacon_interval_much_longer_than_batch_interval(self):
+        # Beacons every 10 min with 1 s batches: maintenance amortizes
+        # to almost nothing and total power is payload-dominated.
+        policy = DutyCyclePolicy(beacon_interval_s=600.0,
+                                 beacon_listen_s=0.004,
+                                 batch_interval_s=1.0)
+        radio = DutyCycledRadio(policy=policy)
+        maintenance = radio.maintenance_power_w()
+        payload = radio.payload_power_w(9000.0)
+        assert maintenance < 1e-6
+        assert payload > 100 * maintenance
+        assert radio.average_power_w(9000.0) == pytest.approx(
+            payload + maintenance)
+
+    def test_zero_listen_window_costs_only_startup(self):
+        # listen window = 0: each beacon still pays the wake-up energy.
+        policy = DutyCyclePolicy(beacon_interval_s=5.0,
+                                 beacon_listen_s=0.0)
+        radio = DutyCycledRadio(policy=policy)
+        expected = radio.link.radio.startup_energy_j / 5.0
+        assert radio.maintenance_power_w() == pytest.approx(expected)
+
+    def test_zero_listen_zero_payload_is_pure_wakeup_budget(self):
+        policy = DutyCyclePolicy(beacon_interval_s=5.0,
+                                 beacon_listen_s=0.0)
+        radio = DutyCycledRadio(policy=policy)
+        assert radio.average_power_w(0.0) == pytest.approx(
+            radio.link.radio.startup_energy_j / 5.0)

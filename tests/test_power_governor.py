@@ -1,0 +1,204 @@
+"""Unit tests for the closed-loop EnergyGovernor (`repro.power.governor`)."""
+
+import pytest
+
+from repro.power import (
+    ACUITY_ALERT,
+    ACUITY_OK,
+    ACUITY_WATCH,
+    Battery,
+    BatteryModel,
+    EnergyGovernor,
+    GovernorConfig,
+    MODE_EVENTS_ONLY,
+    MODE_MULTI_LEAD_CS,
+    MODE_RAW,
+    MODE_SINGLE_LEAD_CS,
+    MODES,
+    ModePowerTable,
+    best_admissible_static,
+    compare_policies,
+    mixed_acuity_trace,
+    mode_fidelity,
+    simulate_lifetime,
+)
+
+TABLE = ModePowerTable()  # shared: construction builds CS matrices
+
+
+def make_governor(soc: float = 1.0, mode: str = MODE_MULTI_LEAD_CS,
+                  **config) -> EnergyGovernor:
+    return EnergyGovernor(
+        config=GovernorConfig(**config),
+        table=TABLE,
+        battery=BatteryModel(cell=Battery(capacity_mah=0.05), soc=soc),
+        mode=mode,
+    )
+
+
+class TestModePowerTable:
+    def test_power_strictly_ordered_by_fidelity(self):
+        powers = [TABLE.power_w(mode) for mode in MODES]
+        assert powers[0] > powers[1] > powers[2] > powers[3]
+
+    def test_every_mode_pays_the_standing_costs(self):
+        common = TABLE.common_power_w()
+        for mode in MODES:
+            assert TABLE.power_w(mode) > common
+
+    def test_raw_payload_rate_is_all_leads_all_bits(self):
+        node = TABLE.node
+        assert TABLE.payload_bits_per_s(MODE_RAW) == pytest.approx(
+            node.n_leads * node.sample_bits * node.fs)
+
+    def test_events_only_carries_no_compression_cost(self):
+        assert TABLE.compression_power_w(MODE_EVENTS_ONLY) == 0.0
+        assert TABLE.compression_power_w(MODE_RAW) == 0.0
+        assert (TABLE.compression_power_w(MODE_MULTI_LEAD_CS)
+                > TABLE.compression_power_w(MODE_SINGLE_LEAD_CS) > 0.0)
+
+    def test_table_lists_every_mode(self):
+        assert set(TABLE.table()) == set(MODES)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            TABLE.power_w("turbo")
+        with pytest.raises(ValueError, match="unknown mode"):
+            mode_fidelity("turbo")
+
+
+class TestGovernorConfig:
+    def test_floors_must_cover_all_modes(self):
+        with pytest.raises(ValueError, match="cover exactly"):
+            GovernorConfig(soc_floors={MODE_RAW: 0.5})
+
+    def test_floors_must_be_monotone(self):
+        floors = {MODE_RAW: 0.2, MODE_MULTI_LEAD_CS: 0.5,
+                  MODE_SINGLE_LEAD_CS: 0.1, MODE_EVENTS_ONLY: 0.0}
+        with pytest.raises(ValueError, match="non-increasing"):
+            GovernorConfig(soc_floors=floors)
+
+    def test_lowest_mode_floor_must_be_zero(self):
+        floors = {MODE_RAW: 0.7, MODE_MULTI_LEAD_CS: 0.5,
+                  MODE_SINGLE_LEAD_CS: 0.3, MODE_EVENTS_ONLY: 0.1}
+        with pytest.raises(ValueError, match="must be 0"):
+            GovernorConfig(soc_floors=floors)
+
+    def test_unknown_acuity_falls_back_to_no_constraint(self):
+        config = GovernorConfig()
+        assert config.acuity_floor_index("???") == mode_fidelity(
+            MODE_EVENTS_ONLY)
+
+
+class TestDecide:
+    def test_full_battery_affords_raw(self):
+        governor = make_governor(soc=1.0)
+        mode, reason = governor.decide(1000.0, ACUITY_OK)
+        assert mode == MODE_RAW and reason == "budget"
+
+    def test_low_battery_coasts_on_events(self):
+        governor = make_governor(soc=0.1, mode=MODE_SINGLE_LEAD_CS)
+        mode, _ = governor.decide(1000.0, ACUITY_OK)
+        assert mode == MODE_EVENTS_ONLY
+
+    def test_alert_floor_wins_over_budget(self):
+        governor = make_governor(soc=0.1, mode=MODE_EVENTS_ONLY)
+        mode, reason = governor.decide(0.0, ACUITY_ALERT)
+        assert mode == MODE_MULTI_LEAD_CS and reason == "acuity-floor"
+
+    def test_watch_floor_is_single_lead(self):
+        governor = make_governor(soc=0.1, mode=MODE_EVENTS_ONLY)
+        mode, _ = governor.decide(0.0, ACUITY_WATCH)
+        assert mode == MODE_SINGLE_LEAD_CS
+
+    def test_empty_battery_forces_events_only_even_on_alert(self):
+        governor = make_governor(soc=0.0, mode=MODE_MULTI_LEAD_CS)
+        mode, reason = governor.decide(0.0, ACUITY_ALERT)
+        assert mode == MODE_EVENTS_ONLY and reason == "battery-empty"
+
+    def test_upgrade_needs_hysteresis_headroom(self):
+        # SoC sits exactly on the raw floor: entering raw also needs
+        # the hysteresis margin, so the governor holds multi-lead.
+        governor = make_governor(soc=0.70, hysteresis_soc=0.05)
+        mode, reason = governor.decide(1000.0, ACUITY_OK)
+        assert mode == MODE_MULTI_LEAD_CS and reason == "hold"
+        # With the margin cleared, the upgrade goes through.
+        governor.battery.soc = 0.76
+        mode, _ = governor.decide(1000.0, ACUITY_OK)
+        assert mode == MODE_RAW
+
+    def test_dwell_damps_budget_switches_but_not_alerts(self):
+        governor = make_governor(soc=1.0, min_dwell_s=300.0,
+                                 mode=MODE_MULTI_LEAD_CS)
+        mode, reason = governor.decide(10.0, ACUITY_OK)
+        assert mode == MODE_MULTI_LEAD_CS and reason == "dwell"
+        # A deteriorating patient bypasses the dwell; with a full
+        # battery the upgrade goes all the way to the budget target.
+        governor.mode = MODE_EVENTS_ONLY
+        mode, reason = governor.decide(10.0, ACUITY_ALERT)
+        assert mode == MODE_RAW and reason == "acuity-floor"
+
+
+class TestStep:
+    def test_step_drains_battery_and_records(self):
+        governor = make_governor(soc=0.5)
+        before = governor.battery.soc
+        decision = governor.step(60.0, ACUITY_OK)
+        assert governor.battery.soc < before
+        assert decision.soc == governor.battery.soc
+        assert decision.power_w > 0
+        assert governor.mode_seconds[decision.mode] == 60.0
+        assert governor.decisions == [decision]
+
+    def test_extra_load_accelerates_drain(self):
+        plain = make_governor(soc=0.5)
+        loaded = make_governor(soc=0.5)
+        plain.step(60.0, ACUITY_OK)
+        loaded.step(60.0, ACUITY_OK, extra_load_w=0.01)
+        assert loaded.battery.soc < plain.battery.soc
+
+    def test_drained_governor_walks_down_the_ladder(self):
+        governor = make_governor(soc=0.95, mode=MODE_RAW,
+                                 min_dwell_s=0.0)
+        modes = [governor.step(60.0, ACUITY_OK).mode
+                 for _ in range(60)]
+        seen = [m for i, m in enumerate(modes)
+                if i == 0 or m != modes[i - 1]]
+        # Monotone descent: raw -> multi -> single -> events, no thrash.
+        assert seen == [MODE_RAW, MODE_MULTI_LEAD_CS,
+                        MODE_SINGLE_LEAD_CS, MODE_EVENTS_ONLY]
+        assert governor.n_switches == 3
+
+    def test_invalid_step_arguments_rejected(self):
+        governor = make_governor()
+        with pytest.raises(ValueError, match="dt"):
+            governor.step(0.0)
+        with pytest.raises(ValueError, match="extra load"):
+            governor.step(1.0, extra_load_w=-1.0)
+
+
+class TestLifetime:
+    def test_governor_meets_or_beats_best_admissible_static(self):
+        results = compare_policies(mixed_acuity_trace(0), table=TABLE,
+                                   step_s=1800.0,
+                                   horizon_s=45 * 86400.0)
+        best = best_admissible_static(results)
+        assert results["governor"].hours >= results[best].hours
+        assert results["governor"].acuity_violation_hours == 0.0
+
+    def test_static_low_modes_violate_mixed_acuity(self):
+        result = simulate_lifetime(MODE_EVENTS_ONLY,
+                                   mixed_acuity_trace(1), table=TABLE,
+                                   step_s=3600.0,
+                                   horizon_s=2 * 86400.0)
+        assert result.acuity_violation_hours > 0.0
+
+    def test_trace_is_deterministic_and_mixed(self):
+        trace = mixed_acuity_trace(2)
+        values = [trace(t * 600.0) for t in range(144)]
+        assert values == [trace(t * 600.0) for t in range(144)]
+        assert {ACUITY_ALERT, ACUITY_WATCH, ACUITY_OK} <= set(values)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            simulate_lifetime("nope", mixed_acuity_trace(0), table=TABLE)

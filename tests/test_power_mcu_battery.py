@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.power import Battery, FrontEndModel, McuModel
+from repro.power import Battery, BatteryModel, FrontEndModel, McuModel
 
 
 class TestMcuModel:
@@ -78,3 +78,78 @@ class TestBattery:
             Battery(usable_fraction=1.5)
         with pytest.raises(ValueError):
             Battery().lifetime_days(-1.0)
+
+
+class TestBatteryModel:
+    def test_full_cell_energy_matches_spec(self):
+        model = BatteryModel(cell=Battery(), soc=1.0)
+        assert model.energy_remaining_j == pytest.approx(
+            model.cell.usable_energy_j)
+        assert not model.empty
+
+    def test_drain_is_linear_in_power_and_time(self):
+        cell = Battery(self_discharge_per_month=0.0)
+        a = BatteryModel(cell=cell, soc=1.0)
+        b = BatteryModel(cell=cell, soc=1.0)
+        a.drain(2e-3, 3600.0)
+        b.drain(1e-3, 3600.0)
+        b.drain(1e-3, 3600.0)
+        assert a.soc == pytest.approx(b.soc)
+
+    def test_drain_charges_self_discharge_on_top(self):
+        leaky = BatteryModel(cell=Battery(self_discharge_per_month=0.5),
+                             soc=1.0)
+        tight = BatteryModel(cell=Battery(self_discharge_per_month=0.0),
+                             soc=1.0)
+        leaky.drain(1e-3, 86400.0)
+        tight.drain(1e-3, 86400.0)
+        assert leaky.soc < tight.soc
+
+    def test_end_of_discharge_clamps_at_zero(self):
+        model = BatteryModel(cell=Battery(capacity_mah=0.001), soc=0.5)
+        soc = model.drain(1.0, 3600.0)  # far more than the cell holds
+        assert soc == 0.0
+        assert model.empty
+        assert model.energy_remaining_j == 0.0
+
+    def test_empty_battery_drains_no_further(self):
+        model = BatteryModel(soc=0.0)
+        assert model.drain(1.0, 3600.0) == 0.0
+        assert model.hours_to_empty(1e-3) == 0.0
+
+    def test_recharge_resets_state_of_charge(self):
+        model = BatteryModel(soc=0.0)
+        model.recharge(0.8)
+        assert model.soc == 0.8
+        assert not model.empty
+
+    def test_hours_to_empty_scales_with_soc(self):
+        cell = Battery(self_discharge_per_month=0.0)
+        full = BatteryModel(cell=cell, soc=1.0)
+        half = BatteryModel(cell=cell, soc=0.5)
+        assert full.hours_to_empty(1e-3) == pytest.approx(
+            2 * half.hours_to_empty(1e-3))
+
+    def test_hours_to_empty_matches_lifetime_days(self):
+        model = BatteryModel(soc=1.0)
+        assert model.hours_to_empty(2.8e-3) == pytest.approx(
+            24.0 * model.cell.lifetime_days(2.8e-3))
+
+    def test_zero_load_is_self_discharge_limited(self):
+        leaky = BatteryModel(cell=Battery(self_discharge_per_month=0.05))
+        assert leaky.hours_to_empty(0.0) < float("inf")
+        tight = BatteryModel(cell=Battery(self_discharge_per_month=0.0))
+        assert tight.hours_to_empty(0.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatteryModel(soc=1.5)
+        model = BatteryModel()
+        with pytest.raises(ValueError):
+            model.drain(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.drain(1.0, -1.0)
+        with pytest.raises(ValueError):
+            model.recharge(-0.1)
+        with pytest.raises(ValueError):
+            model.hours_to_empty(-1.0)

@@ -8,7 +8,10 @@ from repro.scenarios import (
     CampaignConfig,
     CampaignRunner,
     ScenarioSpec,
+    battery_drain_scenario,
     clean_scenario,
+    governed_grid,
+    governor_stress_scenario,
     packet_loss_scenario,
 )
 
@@ -179,3 +182,73 @@ class TestPatientWorkers:
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError, match="patient_workers"):
             CampaignConfig(patient_workers=-1)
+
+
+class TestGovernedCampaigns:
+    """Governed campaigns: battery/acuity fault kinds, reproducibility."""
+
+    CFG = dict(n_patients=3, n_sentinels=1, duration_s=120.0,
+               master_seed=31, gateway_n_iter=40,
+               excerpt_period_s=30.0, governed=True)
+
+    def test_battery_drain_campaign_byte_reproducible(
+            self, trained_af_detector):
+        # Acceptance bar: one master seed -> byte-identical report for
+        # the battery_drain scenario, with N-worker == 1-worker.
+        grid = (battery_drain_scenario(120.0),)
+        reports = []
+        for workers in (1, 3):
+            config = CampaignConfig(patient_workers=workers, **self.CFG)
+            reports.append(CampaignRunner(
+                grid, config, af_detector=trained_af_detector).run())
+        assert reports[0].to_json() == reports[1].to_json()
+        result = reports[0].result("battery-drain")
+        assert result.governed
+        assert result.governor_switches > 0
+        # The drain pushes nodes down the ladder into events-only.
+        assert result.mode_seconds.get("delineation_only", 0.0) > 0
+        assert result.telemetry_packets > 0
+
+    def test_governed_joint_path_matches_reruns(self,
+                                                trained_af_detector):
+        config = CampaignConfig(**self.CFG)
+        grid = governed_grid(120.0)
+        one = CampaignRunner(grid, config,
+                             af_detector=trained_af_detector).run()
+        two = CampaignRunner(grid, config,
+                             af_detector=trained_af_detector).run()
+        assert one.to_json() == two.to_json()
+
+    def test_governor_stress_forces_mode_upshift(self,
+                                                 trained_af_detector):
+        config = CampaignConfig(**self.CFG)
+        report = CampaignRunner((governor_stress_scenario(120.0),),
+                                config,
+                                af_detector=trained_af_detector).run()
+        result = report.result("governor-stress")
+        # The forced-alert episode keeps high-fidelity streaming alive
+        # despite the parasitic drain.
+        assert result.mode_seconds.get("multi_lead_cs", 0.0) > 0
+        assert result.governor_switches > 0
+
+    def test_node_faults_leave_the_waveform_alone(self,
+                                                  trained_af_detector):
+        # battery_drain must not change what the chain detects: alarms
+        # and SNR match the clean control exactly (same seeds).
+        config = CampaignConfig(**self.CFG)
+        grid = (clean_scenario(), battery_drain_scenario(120.0))
+        report = CampaignRunner(grid, config,
+                                af_detector=trained_af_detector).run()
+        clean = report.result("clean")
+        drained = report.result("battery-drain")
+        assert drained.node_alarms == clean.node_alarms
+        assert drained.sentinel_false_drop_rate == 0.0
+
+    def test_ungoverned_reports_carry_empty_governed_columns(
+            self, small_report):
+        result = small_report.results[0]
+        assert not result.governed
+        assert result.mode_seconds == {}
+        payload = result.to_dict()
+        assert payload["governed"] is False
+        assert payload["mean_final_soc"] is None
