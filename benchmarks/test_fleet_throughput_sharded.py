@@ -1,0 +1,83 @@
+"""Sharded fleet throughput — N worker processes vs one, byte-checked.
+
+Not a paper figure: this benchmarks the `repro.fleet.sharding` layer
+that lifts the fleet runtime past one core.  The same cohort runs as a
+single stripe and as 4 process shards; the merged `FleetSummary` must
+be **byte-identical** between the two layouts (the sharding determinism
+contract), and on a machine with >= 4 cores the sharded run must clear
+a 2x speedup over the single-process one.  On smaller runners the
+speedup assertion is skipped — the byte-equivalence check always runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from conftest import print_table
+
+from repro.fleet import (
+    CohortConfig,
+    GatewayConfig,
+    NodeProxyConfig,
+    SchedulerConfig,
+    ShardedFleetRunner,
+    make_cohort,
+)
+
+N_PATIENTS = 12
+DURATION_S = 120.0
+FS = 250.0
+N_SHARDS = 4
+#: Required sharded-over-single speedup on a >= 4-core machine.
+MIN_SPEEDUP = 2.0
+
+
+def run_both():
+    """Run the cohort in 1-shard and 4-shard layouts."""
+    cohort = make_cohort(CohortConfig(n_patients=N_PATIENTS, seed=7))
+    kwargs = dict(
+        config=SchedulerConfig(duration_s=DURATION_S, fs=FS),
+        node_config=NodeProxyConfig(stream_telemetry=False),
+        gateway_config=GatewayConfig(n_iter=80),
+    )
+    single = ShardedFleetRunner(cohort, n_shards=1, **kwargs).run()
+    sharded = ShardedFleetRunner(cohort, n_shards=N_SHARDS,
+                                 **kwargs).run()
+    return single, sharded
+
+
+def test_fleet_throughput_sharded(benchmark):
+    single, sharded = benchmark.pedantic(run_both, rounds=1,
+                                         iterations=1)
+    speedup = single.timings_s["total"] / sharded.timings_s["total"]
+
+    print_table(
+        f"Sharded fleet ({N_PATIENTS} patients x {DURATION_S:.0f} s, "
+        f"{N_SHARDS} shards)",
+        ["metric", "value"],
+        [
+            ("single-process wall [s]", single.timings_s["total"]),
+            (f"{N_SHARDS}-shard wall [s]", sharded.timings_s["total"]),
+            ("speedup [x]", speedup),
+            ("patients/sec (sharded)", sharded.patients_per_second),
+            ("packets sent", sharded.packets_sent),
+            ("SNR p50 [dB]", sharded.summary.snr_p50_db),
+            ("cores available", os.cpu_count() or 1),
+        ],
+    )
+
+    # The determinism contract gates unconditionally.
+    assert sharded.summary.to_json() == single.summary.to_json(), \
+        "4-shard FleetSummary diverged from the 1-shard run"
+    assert sharded.packets_sent == single.packets_sent
+    assert sharded.summary.n_patients == N_PATIENTS
+    assert sharded.summary.dropped_packets == 0
+
+    if (os.cpu_count() or 1) < N_SHARDS:
+        pytest.skip(f"speedup assertion needs >= {N_SHARDS} cores "
+                    f"(have {os.cpu_count() or 1}); byte-equivalence "
+                    "already checked")
+    assert speedup >= MIN_SPEEDUP, (
+        f"{N_SHARDS}-shard run only {speedup:.2f}x faster than "
+        f"single-process (need >= {MIN_SPEEDUP}x)")

@@ -39,8 +39,10 @@ from ..filtering import ensemble_noise_reduction_db, tracking_gain_vs_ea
 from ..fleet import (
     CohortConfig,
     FleetScheduler,
+    GatewayConfig,
     NodeProxyConfig,
     SchedulerConfig,
+    ShardedFleetRunner,
     make_cohort,
 )
 from ..hwsim import compare_all
@@ -286,6 +288,46 @@ def fleet_throughput(ctx: BenchContext) -> dict:
         "packets": report.packets_sent,
         "snr_p50_db": report.summary.snr_p50_db,
         "dropped": report.summary.dropped_packets,
+    }
+
+
+@register("fleet-throughput-sharded",
+          "Sharded fleet run: 4 worker processes vs 1, byte-checked",
+          legacy="test_fleet_throughput_sharded", tags=("systems",))
+def fleet_throughput_sharded(ctx: BenchContext) -> dict:
+    """Drive one cohort through 1-shard and 4-shard runs and compare.
+
+    Times both layouts over the same cohort and **asserts** the merged
+    summaries are byte-identical — a codec or determinism regression
+    fails the bench (and therefore the CI quick gate), not just a unit
+    test.  The headline metric is the 4-process speedup over the
+    single-process run; on the 1-core containers that record baselines
+    it hovers near 1.0, on a 4-core runner it must clear 2x.
+    """
+    n_patients = 6 if ctx.quick else 16
+    duration = 60.0 if ctx.quick else 120.0
+    cohort = make_cohort(CohortConfig(n_patients=n_patients, seed=7))
+    kwargs = dict(
+        config=SchedulerConfig(duration_s=duration, fs=FS),
+        node_config=NodeProxyConfig(stream_telemetry=False),
+        gateway_config=GatewayConfig(n_iter=80),
+    )
+    single = ShardedFleetRunner(cohort, n_shards=1, **kwargs).run()
+    sharded = ShardedFleetRunner(cohort, n_shards=4, **kwargs).run()
+    if sharded.summary.to_json() != single.summary.to_json():
+        raise AssertionError(
+            "4-shard FleetSummary diverged from the 1-shard run — "
+            "sharding determinism regression")
+    wall_single = single.timings_s["total"]
+    wall_sharded = sharded.timings_s["total"]
+    return {
+        "patients": n_patients,
+        "samples": int(n_patients * duration * FS) * 3 * 2,
+        "packets": sharded.packets_sent,
+        "byte_identical": True,
+        "speedup_vs_single_process": wall_single / wall_sharded,
+        "single_process_wall_s": wall_single,
+        "sharded_wall_s": wall_sharded,
     }
 
 

@@ -36,6 +36,7 @@ from .multilead import (
     group_fista,
     group_fista_batch,
     group_soft_threshold,
+    row_stable_matmul,
 )
 from .structured import (
     TreeCsDecoder,
@@ -82,6 +83,7 @@ __all__ = [
     "prd_percent",
     "raw_payload_bits",
     "reconstruction_snr_db",
+    "row_stable_matmul",
     "snr_crossing_cr",
     "soft_threshold",
     "sparse_binary_matrix",

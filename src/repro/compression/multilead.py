@@ -33,6 +33,53 @@ from .encoder import EncodedWindow
 from .matrices import SensingMatrix
 
 
+#: Row-block height of :func:`row_stable_matmul`.  Fixed so every
+#: product runs the same BLAS kernel path no matter how many rows the
+#: caller batched together; 4 keeps zero-padding waste low at the
+#: FISTA active-set sizes the fleet actually sees.
+_MATMUL_TILE = 4
+
+
+def row_stable_matmul(a: np.ndarray, b: np.ndarray,
+                      out: np.ndarray | None = None) -> np.ndarray:
+    """``a @ b`` whose per-row results are independent of the batch.
+
+    BLAS chooses different kernels — and therefore different summation
+    orders — for different left-operand heights, so ``(a @ b)[i]`` can
+    move by an ulp depending on how many rows ride along in the same
+    call.  That breaks any equivalence built on batch *partitioning*:
+    the sharded fleet runner must produce byte-identical summaries for
+    every shard layout, which requires each window's products to be a
+    pure function of that window.
+
+    Computing the product in fixed-height row tiles (zero padded to a
+    multiple of :data:`_MATMUL_TILE`) pins the kernel path: every row
+    is evaluated by the same fixed-shape ``(tile, k) @ (k, m)`` call,
+    so its result depends only on the row itself and ``b`` (tested in
+    ``tests/test_compression_multilead.py``).  Within a few percent of
+    a single full-height gemm at fleet batch sizes.
+
+    Args:
+        a: Left operand, shape ``(rows, k)`` (any strides).
+        b: Right operand, shape ``(k, m)``.
+        out: Optional destination of shape ``(rows, m)`` (any strides).
+    """
+    a = np.ascontiguousarray(a, dtype=float)
+    rows = a.shape[0]
+    padded_rows = -(-max(rows, 1) // _MATMUL_TILE) * _MATMUL_TILE
+    if padded_rows != rows:
+        padded = np.zeros((padded_rows, a.shape[1]), dtype=a.dtype)
+        padded[:rows] = a
+        a = padded
+    tiles = [a[i:i + _MATMUL_TILE] @ b
+             for i in range(0, padded_rows, _MATMUL_TILE)]
+    full = tiles[0] if len(tiles) == 1 else np.concatenate(tiles)
+    if out is not None:
+        out[...] = full[:rows]
+        return out
+    return full[:rows]
+
+
 def group_soft_threshold(rows: np.ndarray, threshold: float) -> np.ndarray:
     """Row-wise group shrinkage (the l2,1 proximal operator).
 
@@ -100,7 +147,10 @@ def group_fista_batch(operators: Sequence[np.ndarray],
     and its own stopping test: a window whose relative motion falls
     below ``tol`` is frozen (dropped from the active set) exactly where
     the scalar loop would have stopped it, so results match the
-    one-window path to float round-off.
+    one-window path to float round-off.  The stacked products run
+    through :func:`row_stable_matmul`, so each window's trajectory is
+    *bit-identical* under any batch partition — the property the
+    sharded fleet runner's byte-equivalence rests on.
 
     Args:
         operators: Per-lead measurement operators, each ``(m, n)``.
@@ -134,9 +184,10 @@ def group_fista_batch(operators: Sequence[np.ndarray],
         mom = momentum[active]
         grad_act = grad[:active.shape[0]]
         for lead in range(n_leads):
-            residual = mom[:, :, lead] @ ops_t[lead] - ys[active, lead, :]
-            np.matmul(residual, operators[lead],
-                      out=grad_act[:, :, lead])
+            residual = row_stable_matmul(mom[:, :, lead], ops_t[lead]) \
+                - ys[active, lead, :]
+            row_stable_matmul(residual, operators[lead],
+                              out=grad_act[:, :, lead])
         shifted = mom - step * grad_act
         norms = np.linalg.norm(shifted, axis=2, keepdims=True)
         thresholds = (lams[active] * step)[:, None, None]
@@ -273,7 +324,8 @@ class JointCsDecoder:
                 ys[w, lead, :] = y
         # Per-window lam from the stacked correlations (same formula as
         # the scalar path): corr[w, :, l] = operators[l].T @ y[w, l].
-        corr = np.stack([ys[:, lead, :] @ self.operators[lead]
+        corr = np.stack([row_stable_matmul(ys[:, lead, :],
+                                           self.operators[lead])
                          for lead in range(self.n_leads)], axis=2)
         lams = self.lam_rel * np.max(
             np.linalg.norm(corr, axis=2), axis=1)

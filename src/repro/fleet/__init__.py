@@ -10,6 +10,13 @@ and re-checks node alarms (:mod:`repro.fleet.gateway`), per-patient
 triage state machines with fleet aggregates (:mod:`repro.fleet.triage`),
 and a batched scheduler that drives many patients per tick
 (:mod:`repro.fleet.scheduler`).
+
+Packets also have an exact binary form (:mod:`repro.fleet.wire`), which
+is what lets the whole runtime shard across worker processes:
+:class:`~repro.fleet.ShardedFleetRunner` (:mod:`repro.fleet.sharding`)
+partitions a cohort into per-process scheduler+gateway stripes and
+merges their wire-encoded results into one byte-identical
+:class:`FleetSummary`.
 """
 
 from .cohort import (
@@ -43,6 +50,15 @@ from .scheduler import (
     SchedulerConfig,
     UplinkChannel,
 )
+from .sharding import (
+    PerPatientLink,
+    ShardedFleetReport,
+    ShardedFleetRunner,
+    ShardHookFactory,
+    ShardHooks,
+    ShardPatientRow,
+    partition_cohort,
+)
 from .triage import (
     STATE_ALERT,
     STATE_OK,
@@ -52,6 +68,15 @@ from .triage import (
     TriageBoard,
     TriageConfig,
     fleet_summary,
+)
+from .wire import (
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    WireFormatError,
+    decode_packet,
+    decode_packets,
+    encode_packet,
+    encode_packets,
 )
 
 __all__ = [
@@ -74,16 +99,30 @@ __all__ = [
     "PatientChannel",
     "PatientProfile",
     "PatientTriage",
+    "PerPatientLink",
     "ReconstructedExcerpt",
     "STATE_ALERT",
     "STATE_OK",
     "STATE_WATCH",
     "SchedulerConfig",
+    "ShardHookFactory",
+    "ShardHooks",
+    "ShardPatientRow",
+    "ShardedFleetReport",
+    "ShardedFleetRunner",
     "TriageBoard",
     "TriageConfig",
     "UplinkChannel",
     "UplinkPacket",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "WireFormatError",
+    "decode_packet",
+    "decode_packets",
+    "encode_packet",
+    "encode_packets",
     "fleet_summary",
     "make_cohort",
+    "partition_cohort",
     "synthesize_patient",
 ]

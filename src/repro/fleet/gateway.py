@@ -110,11 +110,17 @@ class PatientChannel:
 
     Attributes (beyond the processing counters):
         n_duplicates: Packets dropped because their sequence number was
-            already delivered or buffered (duplicated uplink).
+            already delivered, buffered, or recovered late (duplicated
+            uplink).
         n_out_of_order: Packets that arrived ahead of a gap and had to
-            wait in the reassembly window.
-        n_gaps: Sequence numbers skipped when the window force-released
-            (packets lost on the link and never retransmitted).
+            wait in the reassembly window, plus stragglers delivered
+            after their number was written off.
+        n_gaps: Sequence numbers currently written off as lost (skipped
+            at a force-release and not recovered since); decremented
+            when a straggler recovers its number.
+        n_late_recovered: Stragglers delivered after their sequence
+            number had been written off as a gap (first copy only;
+            further copies count as duplicates).
         n_telemetry: Events-only telemetry packets received (governed
             nodes coasting in ``delineation_only`` mode).
         last_mode: Most recent operating-mode telemetry.
@@ -131,6 +137,7 @@ class PatientChannel:
     n_duplicates: int = 0
     n_out_of_order: int = 0
     n_gaps: int = 0
+    n_late_recovered: int = 0
     snrs: list[float] = field(default_factory=list)
     n_telemetry: int = 0
     last_mode: str = MODE_MULTI_LEAD_CS
@@ -153,6 +160,18 @@ class _ReassemblyBuffer:
     *written off as a gap* (force-release) is delivered immediately —
     late and out of order, but never dropped: it could be an
     ARQ-retransmitted alarm.
+
+    Accounting invariants (fuzz-tested against a brute-force oracle in
+    ``tests/test_fleet_gateway.py``):
+
+    * every distinct sequence number that arrives is delivered exactly
+      once, regardless of reordering, duplication or loss;
+    * ``n_duplicates`` equals arrivals minus distinct arrivals — the
+      first copy of a written-off number is a late recovery, every
+      further copy a duplicate;
+    * after a final flush, ``n_gaps`` equals the numbers below
+      ``next_seq`` that never arrived, and ``missing`` holds exactly
+      those numbers (always ``< next_seq``).
     """
 
     def __init__(self, window: int) -> None:
@@ -168,10 +187,15 @@ class _ReassemblyBuffer:
               channel: PatientChannel) -> list[UplinkPacket]:
         """Accept one arrival; return the packets now releasable."""
         if packet.seq in self.missing:  # late recovery of a written-off
+            # Deliberately does NOT reset gap_ticks: a straggler below
+            # ``next_seq`` is no progress for packets stalled behind the
+            # *current* gap, and resetting here let a link replaying old
+            # stragglers extend head-of-line blocking past the
+            # ``reassembly_gap_ticks`` bound indefinitely.
             self.missing.discard(packet.seq)
             channel.n_gaps -= 1
             channel.n_out_of_order += 1
-            self.gap_ticks = 0
+            channel.n_late_recovered += 1
             return [packet]
         if packet.seq < self.next_seq or packet.seq in self.buffer:
             channel.n_duplicates += 1
@@ -187,15 +211,25 @@ class _ReassemblyBuffer:
         return released
 
     def flush(self, channel: PatientChannel) -> list[UplinkPacket]:
-        """Release everything buffered in seq order, recording gaps."""
+        """Release everything buffered in seq order, recording gaps.
+
+        A single pass over the sorted sequence numbers: each hole in
+        front of a buffered packet is written off exactly once (added
+        to ``missing`` and counted on the channel), then the packet is
+        released.  The earlier implementation interleaved
+        ``_release_contiguous`` with mutation of the iteration state,
+        which made double-counting a code-review question every time it
+        changed; this form cannot count a gap twice by construction.
+        The buffer is empty afterwards.
+        """
         released: list[UplinkPacket] = []
         for seq in sorted(self.buffer):
-            if seq not in self.buffer:  # swept up by an earlier release
-                continue
-            self.missing.update(range(self.next_seq, seq))
-            channel.n_gaps += seq - self.next_seq
-            self.next_seq = seq
-            released.extend(self._release_contiguous())
+            if seq > self.next_seq:  # hole in front of this packet
+                self.missing.update(range(self.next_seq, seq))
+                channel.n_gaps += seq - self.next_seq
+                self.next_seq = seq
+            released.append(self.buffer.pop(seq))
+            self.next_seq += 1
         self.gap_ticks = 0
         return released
 
@@ -244,6 +278,22 @@ class Gateway:
         self._enqueue(self._reassembly_for(packet.patient_id).offer(
             packet, self.channel(packet.patient_id)))
         return True
+
+    def ingest_bytes(self, data: bytes | bytearray | memoryview) -> bool:
+        """Decode one wire frame and ingest the packet it carries.
+
+        The socket-boundary twin of :meth:`ingest`: shard workers and
+        remote nodes hand the gateway raw
+        :func:`~repro.fleet.wire.encode_packet` frames instead of
+        Python objects.
+
+        Raises:
+            ~repro.fleet.wire.WireFormatError: The buffer does not
+                parse as a valid packet frame.
+        """
+        from .wire import decode_packet
+
+        return self.ingest(decode_packet(data))
 
     def flush_reassembly(self) -> int:
         """Force-release every reassembly buffer (end of run / timeout).

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..classification.afib import AfDetector
 from ..compression.encoder import EncodedWindow, MultiLeadCsEncoder
+from ..compression.multilead import row_stable_matmul
 from ..pipeline.node_app import NodeReport
 from ..power.governor import (
     MODE_EVENTS_ONLY,
@@ -137,7 +138,9 @@ class BatchExcerptEncoder:
         levels = 2 ** (self.quant_bits - 1) - 1
         per_lead: list[tuple[np.ndarray, np.ndarray]] = []
         for lead, matrix_t in enumerate(self._matrices):
-            y = windows[:, lead, :] @ matrix_t          # (P, m)
+            # Row-stable so a patient's measurements do not depend on
+            # who shares the batch (shard-layout equivalence).
+            y = row_stable_matmul(windows[:, lead, :], matrix_t)  # (P, m)
             peak = np.max(np.abs(y), axis=1)
             scale = np.where(peak == 0.0, 1.0, peak / levels)
             quantized = np.rint(y / scale[:, None]) * scale[:, None]
@@ -168,12 +171,19 @@ class SchedulerConfig:
             (``0`` = run inline).
         drain_per_tick: Gateway packets processed per tick (``None`` =
             drain fully; a finite budget exercises the bounded queue).
+        wire_loopback: Route every delivered packet through the binary
+            wire codec (:mod:`repro.fleet.wire`) before the gateway
+            ingests it — encode to bytes, decode, ingest.  The codec's
+            round trip is exact, so results are byte-identical to the
+            object path (tested); enabling this in a run proves the
+            packets could have crossed a socket.
     """
 
     duration_s: float = 120.0
     fs: float = 250.0
     workers: int = 0
     drain_per_tick: int | None = None
+    wire_loopback: bool = False
 
 
 @dataclass
@@ -264,6 +274,10 @@ class FleetScheduler:
         self.acuity_override = acuity_override
         self.governors: dict[str, EnergyGovernor] = {}
         self._batch_encoders: dict[int, BatchExcerptEncoder] = {}
+        #: Uplink packets offered per patient (before any channel
+        #: impairment) — the per-patient split of ``packets_sent``,
+        #: which shard workers report row by row.
+        self.sent_by_patient: dict[str, int] = {}
 
     def run(self) -> FleetReport:
         """Simulate the full stretch and return the fleet report."""
@@ -338,7 +352,7 @@ class FleetScheduler:
                                                   cfg.duration_s)
         if self.link is not None:  # packets still in flight land now
             for packet in self.link.drain():
-                self.gateway.ingest(packet)
+                self._ingest(packet)
         self.gateway.flush_reassembly()
         for excerpt in self.gateway.drain():  # leftovers from budgeting
             self.board.observe(excerpt)
@@ -512,18 +526,33 @@ class FleetScheduler:
 
     def _transmit(self, packet: UplinkPacket, now_s: float) -> None:
         """Offer one packet to the link (or straight to the gateway)."""
+        self.sent_by_patient[packet.patient_id] = \
+            self.sent_by_patient.get(packet.patient_id, 0) + 1
         if self.link is None:
-            self.gateway.ingest(packet)
+            self._ingest(packet)
             return
         for delivered in self.link.send(packet, now_s):
-            self.gateway.ingest(delivered)
+            self._ingest(delivered)
+
+    def _ingest(self, packet: UplinkPacket) -> None:
+        """Hand one delivered packet to the gateway.
+
+        With ``wire_loopback`` the packet crosses the binary codec
+        first (encode, then :meth:`Gateway.ingest_bytes`) — the run
+        then exercises exactly what a socket-separated gateway would
+        see.
+        """
+        if self.config.wire_loopback:
+            self.gateway.ingest_bytes(packet.to_bytes())
+        else:
+            self.gateway.ingest(packet)
 
     def _deliver_due(self, now_s: float) -> None:
         """Hand delayed link deliveries whose time has come to ingest."""
         if self.link is None:
             return
         for packet in self.link.due(now_s):
-            self.gateway.ingest(packet)
+            self._ingest(packet)
 
     @staticmethod
     def _bucket_alarms(results: list[tuple], period_s: float,

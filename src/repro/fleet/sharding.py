@@ -1,0 +1,666 @@
+"""Sharded fleet runtime: one cohort, N worker processes, one summary.
+
+:class:`~repro.fleet.FleetScheduler` drives its whole cohort inside one
+process, which caps fleet throughput at a single core no matter how
+vectorized the tick loop gets.  This module partitions a cohort across
+``n_shards`` worker processes — each running its own full
+``FleetScheduler`` + ``Gateway`` + ``TriageBoard`` over its patient
+stripe — and merges the per-shard results into a single
+:class:`~repro.fleet.FleetSummary`.
+
+Every value that crosses the process boundary is **wire-encoded**: a
+shard worker returns one binary blob (:data:`SHARD_MAGIC` header, then
+little-endian per-patient rows with raw float64 SNR buffers), built
+with the same primitives as the packet codec in
+:mod:`repro.fleet.wire`.  Nothing pickles numpy object graphs, and the
+blob is exactly what a remote shard would send over a socket.
+
+Determinism contract (tested, and gated in CI by the
+``fleet-throughput-sharded`` bench case):
+
+* patient work is a pure function of the patient profile — synthesis
+  seeds live on the profile, per-patient stream seeds are derived from
+  the master seed and the patient id, never from the shard index;
+* the batched encode/recover paths are row-independent, so a patient's
+  numbers do not depend on who shares its batch;
+* the merge rebuilds per-patient channels, triage machines, reports
+  and governor aggregates **in cohort order** and folds them with the
+  same :func:`~repro.fleet.triage.fleet_summary` as the single-process
+  path.
+
+Together these make the merged summary byte-identical
+(`FleetSummary.to_json`) across any shard count — ``n_shards=4`` equals
+``n_shards=1`` equals a plain ``FleetScheduler`` run.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..classification.afib import AfDetector
+from ..pipeline.node_app import NodeReport
+from .cohort import PatientProfile
+from .gateway import Gateway, GatewayConfig, PatientChannel
+from .node_proxy import NodeProxyConfig, UplinkPacket
+from .scheduler import (
+    AcuityOverride,
+    ExtraLoad,
+    FleetScheduler,
+    GovernorFactory,
+    RecordTransform,
+    SchedulerConfig,
+    UplinkChannel,
+)
+from .triage import FleetSummary, PatientTriage, TriageBoard, fleet_summary
+from .wire import WireFormatError, _pack_str, _unpack_str
+
+#: First bytes of a shard-result blob.
+SHARD_MAGIC = b"RPS1"
+
+#: Shard-result layout version (bump on any change).
+SHARD_VERSION = 1
+
+_SHARD_HEAD = struct.Struct("<4sBIQQdddI")
+_ROW_NODE = struct.Struct("<IddII")
+_ROW_CHANNEL = struct.Struct("<BIIIQdIIIIId")
+_ROW_TRIAGE = struct.Struct("<ddIIBdId")
+_ROW_GOVERNOR = struct.Struct("<BIdd")
+
+
+@dataclass(frozen=True)
+class ShardHooks:
+    """Per-shard scheduler wiring built *inside* the worker process.
+
+    A hook factory (see :class:`ShardedFleetRunner`) returns one of
+    these per shard; the closures it carries never cross a process
+    boundary, so they may capture anything.
+
+    Attributes:
+        link: Channel model between the shard's nodes and its gateway
+            (``None`` = perfect link).  Use :class:`PerPatientLink` to
+            keep channel draws shard-layout independent.
+        record_transform: Signal-fault hook (scenario injection).
+        governor_factory: Per-patient governor builder (governed runs).
+        extra_load: Parasitic-watts hook (``battery_drain``).
+        acuity_override: Forced-acuity hook (``governor_stress``).
+    """
+
+    link: UplinkChannel | None = None
+    record_transform: RecordTransform | None = None
+    governor_factory: GovernorFactory | None = None
+    extra_load: ExtraLoad | None = None
+    acuity_override: AcuityOverride | None = None
+
+
+#: Builds the scenario wiring of one shard, inside the worker process.
+#: Must be picklable (a module-level function or a ``functools.partial``
+#: of one); receives the shard's patient stripe and the master seed.
+#: Any randomness it sets up must be derived per *patient*, never per
+#: shard, or the N-shard == 1-shard equivalence breaks.
+ShardHookFactory = Callable[[list[PatientProfile], int], ShardHooks]
+
+
+class PerPatientLink:
+    """Demux adapter: one independent channel model per patient.
+
+    A single shared link draws its RNG in global send order, which
+    depends on who shares the shard — per-patient links keep every
+    channel draw a pure function of ``(master seed, patient id)``, so
+    outcomes are identical under any shard layout.  Implements the
+    :class:`~repro.fleet.UplinkChannel` protocol by routing each packet
+    to its patient's own link (built lazily by ``link_for``).
+
+    Args:
+        link_for: Returns the channel model of one patient id.
+    """
+
+    def __init__(self, link_for: Callable[[str], UplinkChannel]) -> None:
+        self._link_for = link_for
+        self._links: dict[str, UplinkChannel] = {}
+
+    def _link(self, patient_id: str) -> UplinkChannel:
+        """The (created-on-demand) channel of one patient."""
+        if patient_id not in self._links:
+            self._links[patient_id] = self._link_for(patient_id)
+        return self._links[patient_id]
+
+    def send(self, packet: UplinkPacket,
+             now_s: float) -> list[UplinkPacket]:
+        """Offer one packet to its patient's own channel."""
+        return self._link(packet.patient_id).send(packet, now_s)
+
+    def due(self, now_s: float) -> list[UplinkPacket]:
+        """Due deliveries across every patient channel (id order)."""
+        out: list[UplinkPacket] = []
+        for patient_id in sorted(self._links):
+            out.extend(self._links[patient_id].due(now_s))
+        return out
+
+    def drain(self) -> list[UplinkPacket]:
+        """Everything still in flight, across every patient channel."""
+        out: list[UplinkPacket] = []
+        for patient_id in sorted(self._links):
+            out.extend(self._links[patient_id].drain())
+        return out
+
+    def stats_for(self, patient_id: str) -> dict[str, int]:
+        """Channel counters of one patient (empty before first send)."""
+        link = self._links.get(patient_id)
+        return dict(getattr(link, "stats", {}) or {}) if link else {}
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Summed channel counters across every patient link."""
+        totals: dict[str, int] = {}
+        for link in self._links.values():
+            for key, value in (getattr(link, "stats", {}) or {}).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+
+@dataclass(frozen=True)
+class ShardPatientRow:
+    """Everything one shard reports about one patient.
+
+    The wire-level unit of the shard result: channel counters and SNR
+    samples, triage state, node-report aggregates, governor aggregates
+    and per-patient link statistics — all the merge (and the campaign's
+    shard-backed mode) needs, and nothing heavier.
+    """
+
+    patient_id: str
+    n_sent: int
+    n_reconstructed: int
+    n_node_alarms: int
+    average_power_w: float
+    battery_days: float
+    channel: PatientChannel | None
+    triage: PatientTriage
+    governed: bool
+    mode_seconds: dict[str, float]
+    governor_switches: int
+    final_soc: float
+    projected_hours: float
+    link_stats: dict[str, int]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Decoded outcome of one shard worker.
+
+    Attributes:
+        shard_index: Position in the shard layout.
+        packets_sent: Uplink packets offered by this shard's nodes.
+        dropped: Packets lost to this shard gateway's bounded queue.
+        timings_s: The shard scheduler's phase timings.
+        rows: Per-patient rows, in the shard's cohort-stripe order.
+    """
+
+    shard_index: int
+    packets_sent: int
+    dropped: int
+    timings_s: dict[str, float]
+    rows: list[ShardPatientRow] = field(default_factory=list)
+
+
+def partition_cohort(cohort: list[PatientProfile],
+                     n_shards: int) -> list[list[PatientProfile]]:
+    """Round-robin patient stripes: shard ``i`` gets ``cohort[i::n]``.
+
+    Striping balances heterogeneous patients (long AF records cost more
+    than quiet sinus ones) better than contiguous chunks; the merge
+    never depends on the layout, only on cohort order.
+
+    Raises:
+        ValueError: ``n_shards`` below 1 or an empty cohort.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if not cohort:
+        raise ValueError("cohort must not be empty")
+    n_shards = min(n_shards, len(cohort))
+    return [cohort[i::n_shards] for i in range(n_shards)]
+
+
+def _pack_counter(counts: dict) -> bytes:
+    """Serialize a small str -> int counter (u16 count, i64 values)."""
+    parts = [struct.pack("<H", len(counts))]
+    for key, value in counts.items():
+        parts.append(_pack_str(key))
+        parts.append(struct.pack("<q", int(value)))
+    return b"".join(parts)
+
+
+def _unpack_counter(buf: memoryview,
+                    offset: int) -> tuple[dict[str, int], int]:
+    """Inverse of :func:`_pack_counter`."""
+    (count,) = struct.unpack_from("<H", buf, offset)
+    offset += 2
+    out: dict[str, int] = {}
+    for _ in range(count):
+        key, offset = _unpack_str(buf, offset)
+        (value,) = struct.unpack_from("<q", buf, offset)
+        out[key] = value
+        offset += 8
+    return out, offset
+
+
+def _pack_float_map(values: dict) -> bytes:
+    """Serialize a str -> float map preserving insertion order."""
+    parts = [struct.pack("<H", len(values))]
+    for key, value in values.items():
+        parts.append(_pack_str(key))
+        parts.append(struct.pack("<d", float(value)))
+    return b"".join(parts)
+
+
+def _unpack_float_map(buf: memoryview,
+                      offset: int) -> tuple[dict[str, float], int]:
+    """Inverse of :func:`_pack_float_map` (order preserved)."""
+    (count,) = struct.unpack_from("<H", buf, offset)
+    offset += 2
+    out: dict[str, float] = {}
+    for _ in range(count):
+        key, offset = _unpack_str(buf, offset)
+        (value,) = struct.unpack_from("<d", buf, offset)
+        out[key] = value
+        offset += 8
+    return out, offset
+
+
+def encode_shard_result(result: ShardResult) -> bytes:
+    """Serialize one shard outcome to its binary blob."""
+    timings = result.timings_s
+    parts = [_SHARD_HEAD.pack(
+        SHARD_MAGIC, SHARD_VERSION, result.shard_index,
+        result.packets_sent, result.dropped,
+        timings.get("synthesis+node", 0.0),
+        timings.get("uplink+gateway", 0.0),
+        timings.get("total", 0.0),
+        len(result.rows))]
+    for row in result.rows:
+        parts.append(_pack_str(row.patient_id))
+        parts.append(_ROW_NODE.pack(row.n_node_alarms,
+                                    row.average_power_w,
+                                    row.battery_days, row.n_sent,
+                                    row.n_reconstructed))
+        channel = row.channel
+        if channel is None:
+            parts.append(struct.pack("<B", 0))
+        else:
+            parts.append(_ROW_CHANNEL.pack(
+                1, channel.n_excerpts, channel.n_alarms,
+                channel.n_confirmed, channel.payload_bits,
+                channel.last_timestamp_s, channel.n_duplicates,
+                channel.n_out_of_order, channel.n_gaps,
+                channel.n_late_recovered, channel.n_telemetry,
+                channel.last_soc))
+            parts.append(_pack_str(channel.last_mode))
+            snrs = np.asarray(channel.snrs, dtype=np.float64)
+            parts.append(struct.pack("<I", snrs.shape[0]))
+            parts.append(snrs.tobytes())
+        triage = row.triage
+        parts.append(_pack_str(triage.state))
+        parts.append(_ROW_TRIAGE.pack(
+            triage.since_s, triage.last_event_s, triage.n_alerts,
+            triage.n_watches, int(triage.stale), triage.last_seen_s,
+            triage.n_stale_events, triage.soc))
+        parts.append(_pack_str(triage.mode))
+        parts.append(_ROW_GOVERNOR.pack(
+            int(row.governed), row.governor_switches, row.final_soc,
+            row.projected_hours))
+        parts.append(_pack_float_map(row.mode_seconds))
+        parts.append(_pack_counter(row.link_stats))
+    return b"".join(parts)
+
+
+def decode_shard_result(data: bytes | bytearray | memoryview,
+                        ) -> ShardResult:
+    """Parse a shard blob back into a :class:`ShardResult`.
+
+    Raises:
+        WireFormatError: Bad magic, version mismatch or truncation.
+    """
+    buf = memoryview(data)
+    if len(buf) < _SHARD_HEAD.size:
+        raise WireFormatError("truncated shard result: header missing")
+    (magic, version, shard_index, packets_sent, dropped, t_node,
+     t_gateway, t_total, n_rows) = _SHARD_HEAD.unpack_from(buf, 0)
+    if magic != SHARD_MAGIC:
+        raise WireFormatError(f"bad shard magic {magic!r}")
+    if version != SHARD_VERSION:
+        raise WireFormatError(f"unsupported shard version {version}")
+    offset = _SHARD_HEAD.size
+    rows: list[ShardPatientRow] = []
+    try:
+        for _ in range(n_rows):
+            patient_id, offset = _unpack_str(buf, offset)
+            (n_node_alarms, average_power_w, battery_days, n_sent,
+             n_reconstructed) = _ROW_NODE.unpack_from(buf, offset)
+            offset += _ROW_NODE.size
+            (has_channel,) = struct.unpack_from("<B", buf, offset)
+            channel: PatientChannel | None = None
+            if has_channel:
+                (_, n_excerpts, n_alarms, n_confirmed, payload_bits,
+                 last_timestamp_s, n_duplicates, n_out_of_order, n_gaps,
+                 n_late_recovered, n_telemetry,
+                 last_soc) = _ROW_CHANNEL.unpack_from(buf, offset)
+                offset += _ROW_CHANNEL.size
+                last_mode, offset = _unpack_str(buf, offset)
+                (n_snrs,) = struct.unpack_from("<I", buf, offset)
+                offset += 4
+                if offset + 8 * n_snrs > len(buf):
+                    raise WireFormatError(
+                        "truncated shard result: SNR buffer")
+                snrs = np.frombuffer(
+                    buf[offset:offset + 8 * n_snrs],
+                    dtype=np.float64)
+                offset += 8 * n_snrs
+                channel = PatientChannel(
+                    patient_id=patient_id, n_excerpts=n_excerpts,
+                    n_alarms=n_alarms, n_confirmed=n_confirmed,
+                    payload_bits=payload_bits,
+                    last_timestamp_s=last_timestamp_s,
+                    n_duplicates=n_duplicates,
+                    n_out_of_order=n_out_of_order, n_gaps=n_gaps,
+                    n_late_recovered=n_late_recovered,
+                    snrs=[float(s) for s in snrs],
+                    n_telemetry=n_telemetry, last_mode=last_mode,
+                    last_soc=last_soc)
+            else:
+                offset += 1
+            state, offset = _unpack_str(buf, offset)
+            (since_s, last_event_s, n_alerts, n_watches, stale,
+             last_seen_s, n_stale_events,
+             soc) = _ROW_TRIAGE.unpack_from(buf, offset)
+            offset += _ROW_TRIAGE.size
+            mode, offset = _unpack_str(buf, offset)
+            triage = PatientTriage(
+                patient_id=patient_id, state=state, since_s=since_s,
+                last_event_s=last_event_s, n_alerts=n_alerts,
+                n_watches=n_watches, stale=bool(stale),
+                last_seen_s=last_seen_s, n_stale_events=n_stale_events,
+                soc=soc, mode=mode)
+            (governed, governor_switches, final_soc,
+             projected_hours) = _ROW_GOVERNOR.unpack_from(buf, offset)
+            offset += _ROW_GOVERNOR.size
+            mode_seconds, offset = _unpack_float_map(buf, offset)
+            link_stats, offset = _unpack_counter(buf, offset)
+            rows.append(ShardPatientRow(
+                patient_id=patient_id, n_sent=n_sent,
+                n_reconstructed=n_reconstructed,
+                n_node_alarms=n_node_alarms,
+                average_power_w=average_power_w,
+                battery_days=battery_days, channel=channel,
+                triage=triage, governed=bool(governed),
+                mode_seconds=mode_seconds,
+                governor_switches=governor_switches,
+                final_soc=final_soc, projected_hours=projected_hours,
+                link_stats=link_stats))
+    except struct.error as exc:
+        raise WireFormatError("truncated shard result") from exc
+    if offset != len(buf):
+        raise WireFormatError(
+            f"{len(buf) - offset} trailing bytes after shard result")
+    return ShardResult(
+        shard_index=shard_index, packets_sent=packets_sent,
+        dropped=dropped,
+        timings_s={"synthesis+node": t_node, "uplink+gateway": t_gateway,
+                   "total": t_total},
+        rows=rows)
+
+
+@dataclass(frozen=True)
+class _SocView:
+    """Battery stand-in carrying only the final state of charge."""
+
+    soc: float
+
+
+@dataclass(frozen=True)
+class _GovernorView:
+    """Merged-side stand-in for one shard patient's governor.
+
+    Duck-types exactly what :func:`~repro.fleet.triage.fleet_summary`
+    reads from a live :class:`~repro.power.EnergyGovernor`: mode dwell
+    (insertion-ordered), switch count, final SoC and the projected
+    hours-to-empty.
+    """
+
+    mode_seconds: dict[str, float]
+    n_switches: int
+    battery: _SocView
+    _projected_hours: float
+
+    def projected_hours_to_empty(self) -> float:
+        """The worker-side projection, carried over the wire."""
+        return self._projected_hours
+
+
+def _node_report_view(duration_s: float, fs: float, n_alarms: int,
+                      average_power_w: float,
+                      battery_days: float) -> NodeReport:
+    """A :class:`NodeReport` carrying the merged-side aggregates.
+
+    Only ``len(alarms)``, ``average_power_w`` and ``battery_days`` are
+    read by :func:`~repro.fleet.triage.fleet_summary`; the alarm list
+    holds placeholders purely so its length is right.
+    """
+    return NodeReport(
+        duration_s=duration_s, beats=[], alarms=[None] * n_alarms,
+        periodic_excerpts=0, transmitted_bits=0, processing_cycles=0.0,
+        average_power_w=average_power_w, battery_days=battery_days,
+        fs=fs)
+
+
+@dataclass
+class ShardedFleetReport:
+    """Outcome of one sharded fleet run.
+
+    Attributes:
+        summary: The merged fleet summary — byte-identical
+            (:meth:`~repro.fleet.FleetSummary.to_json`) across shard
+            counts.
+        n_shards: Shard layout actually used.
+        packets_sent: Uplink packets offered across every shard.
+        dropped_packets: Bounded-queue drops across every shard.
+        rows: Per-patient rows in cohort order (what the campaign's
+            shard-backed mode consumes).
+        shard_timings_s: Each shard scheduler's phase timings.
+        timings_s: Parent-side wall clock (``total`` spans fork to
+            merge).
+    """
+
+    summary: FleetSummary
+    n_shards: int
+    packets_sent: int
+    dropped_packets: int
+    rows: dict[str, ShardPatientRow] = field(default_factory=dict)
+    shard_timings_s: list[dict[str, float]] = field(default_factory=list)
+    timings_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def patients_per_second(self) -> float:
+        """End-to-end fleet throughput of this run."""
+        total = self.timings_s.get("total", 0.0)
+        return (self.summary.n_patients / total if total > 0
+                else float("nan"))
+
+
+def _run_shard(shard_index: int, profiles: list[PatientProfile],
+               config: SchedulerConfig, node_config: NodeProxyConfig,
+               gateway_config: GatewayConfig, master_seed: int,
+               hook_factory: ShardHookFactory | None,
+               af_detector: AfDetector | None) -> bytes:
+    """Worker body: run one shard's scheduler, return its wire blob.
+
+    Module-level so a :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle the call; every argument is a plain dataclass (or a
+    picklable callable), every return crosses the boundary as bytes.
+    """
+    hooks = (hook_factory(profiles, master_seed)
+             if hook_factory is not None else ShardHooks())
+    scheduler = FleetScheduler(
+        profiles, config, node_config=node_config,
+        gateway=Gateway(gateway_config), af_detector=af_detector,
+        link=hooks.link, record_transform=hooks.record_transform,
+        governor_factory=hooks.governor_factory,
+        extra_load=hooks.extra_load,
+        acuity_override=hooks.acuity_override)
+    fleet = scheduler.run()
+    reconstructed: dict[str, int] = {}
+    for excerpt in fleet.excerpts:
+        reconstructed[excerpt.patient_id] = \
+            reconstructed.get(excerpt.patient_id, 0) + 1
+    link = hooks.link
+    rows = []
+    for profile in profiles:
+        pid = profile.patient_id
+        report = fleet.node_reports[pid]
+        governor = scheduler.governors.get(pid)
+        if isinstance(link, PerPatientLink):
+            link_stats = link.stats_for(pid)
+        else:
+            link_stats = {}
+        rows.append(ShardPatientRow(
+            patient_id=pid,
+            n_sent=scheduler.sent_by_patient.get(pid, 0),
+            n_reconstructed=reconstructed.get(pid, 0),
+            n_node_alarms=len(report.alarms),
+            average_power_w=report.average_power_w,
+            battery_days=report.battery_days,
+            channel=scheduler.gateway.channels.get(pid),
+            triage=scheduler.board.patients[pid],
+            governed=governor is not None,
+            mode_seconds=(dict(governor.mode_seconds)
+                          if governor is not None else {}),
+            governor_switches=(governor.n_switches
+                               if governor is not None else 0),
+            final_soc=(governor.battery.soc
+                       if governor is not None else float("nan")),
+            projected_hours=(governor.projected_hours_to_empty()
+                             if governor is not None else float("nan")),
+            link_stats=link_stats))
+    result = ShardResult(
+        shard_index=shard_index,
+        packets_sent=fleet.packets_sent,
+        dropped=scheduler.gateway.dropped,
+        timings_s=dict(fleet.timings_s),
+        rows=rows)
+    return encode_shard_result(result)
+
+
+class ShardedFleetRunner:
+    """Partition a cohort across worker processes and merge the run.
+
+    Args:
+        cohort: Patient profiles, in the order the merge preserves.
+        n_shards: Worker processes (capped at the cohort size;
+            ``1`` runs the single stripe inline, no pool).
+        config: Scheduler parameters shared by every shard.
+        node_config: Uplink policy shared by every node.
+        gateway_config: Per-shard gateway parameters.
+        master_seed: Seed handed to the hook factory; per-patient
+            streams must derive from it plus the patient id.
+        hook_factory: Optional per-shard scenario wiring (see
+            :data:`ShardHookFactory`); must be picklable.
+        af_detector: Trained fleet AF detector (pickled to workers).
+    """
+
+    def __init__(self, cohort: list[PatientProfile], n_shards: int = 4,
+                 config: SchedulerConfig | None = None,
+                 node_config: NodeProxyConfig | None = None,
+                 gateway_config: GatewayConfig | None = None,
+                 master_seed: int = 2014,
+                 hook_factory: ShardHookFactory | None = None,
+                 af_detector: AfDetector | None = None) -> None:
+        self.shards = partition_cohort(cohort, n_shards)
+        self.cohort = list(cohort)
+        self.config = config or SchedulerConfig()
+        self.node_config = node_config or NodeProxyConfig()
+        self.gateway_config = gateway_config or GatewayConfig()
+        self.master_seed = master_seed
+        self.hook_factory = hook_factory
+        self.af_detector = af_detector
+
+    @property
+    def n_shards(self) -> int:
+        """Shard layout actually used (cohort-size capped)."""
+        return len(self.shards)
+
+    def run(self) -> ShardedFleetReport:
+        """Run every shard, decode the blobs and merge in cohort order."""
+        t_start = time.perf_counter()
+        tasks = [(i, profiles, self.config, self.node_config,
+                  self.gateway_config, self.master_seed,
+                  self.hook_factory, self.af_detector)
+                 for i, profiles in enumerate(self.shards)]
+        if len(tasks) == 1:
+            blobs = [_run_shard(*tasks[0])]
+        else:
+            with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                futures = [pool.submit(_run_shard, *task)
+                           for task in tasks]
+                blobs = [future.result() for future in futures]
+        results = [decode_shard_result(blob) for blob in blobs]
+        report = self._merge(results)
+        report.timings_s["total"] = time.perf_counter() - t_start
+        return report
+
+    def _merge(self, results: list[ShardResult]) -> ShardedFleetReport:
+        """Fold decoded shard results into one fleet view.
+
+        Rebuilds channels, triage machines, node reports and governor
+        views **in cohort order** and folds them with the very same
+        :func:`~repro.fleet.triage.fleet_summary` the single-process
+        scheduler uses — so equivalence is structural, not coincidental.
+        """
+        rows: dict[str, ShardPatientRow] = {}
+        for result in results:
+            for row in result.rows:
+                rows[row.patient_id] = row
+        missing = [p.patient_id for p in self.cohort
+                   if p.patient_id not in rows]
+        if missing:
+            raise WireFormatError(
+                f"shard results missing patients: {missing[:5]}")
+        gateway = Gateway(self.gateway_config)
+        gateway.dropped = sum(r.dropped for r in results)
+        board = TriageBoard()
+        reports: dict[str, NodeReport] = {}
+        governors: dict[str, _GovernorView] = {}
+        for profile in self.cohort:
+            row = rows[profile.patient_id]
+            if row.channel is not None:
+                gateway.channels[row.patient_id] = row.channel
+            board.patients[row.patient_id] = row.triage
+            reports[row.patient_id] = _node_report_view(
+                self.config.duration_s, self.config.fs,
+                row.n_node_alarms, row.average_power_w,
+                row.battery_days)
+            if row.governed:
+                governors[row.patient_id] = _GovernorView(
+                    mode_seconds=row.mode_seconds,
+                    n_switches=row.governor_switches,
+                    battery=_SocView(row.final_soc),
+                    _projected_hours=row.projected_hours)
+        summary = fleet_summary(reports, gateway, board,
+                                self.config.duration_s,
+                                governors=governors or None)
+        return ShardedFleetReport(
+            summary=summary,
+            n_shards=len(self.shards),
+            packets_sent=sum(r.packets_sent for r in results),
+            dropped_packets=gateway.dropped,
+            rows={p.patient_id: rows[p.patient_id]
+                  for p in self.cohort},
+            shard_timings_s=[r.timings_s for r in
+                             sorted(results,
+                                    key=lambda r: r.shard_index)],
+        )

@@ -24,6 +24,7 @@ packet is lost still shows up stale instead of simply not existing.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -235,6 +236,58 @@ class FleetSummary:
     governor_switches: int = 0
     mean_final_soc: float = float("nan")
     projected_lifetime_h_p50: float = float("nan")
+
+    def to_dict(self) -> dict:
+        """Canonical dict view: sorted sub-keys, NaN folded to None.
+
+        No rounding is applied — two summaries serialize identically
+        *iff* every aggregate matches bit for bit, which is exactly the
+        equivalence the sharded runner is tested against
+        (N-shard == 1-shard).
+        """
+
+        def scrub(value: float) -> float | None:
+            """NaN/inf are not JSON; fold them to None determinstically."""
+            if isinstance(value, float) and not np.isfinite(value):
+                return None
+            return value
+
+        return {
+            "n_patients": self.n_patients,
+            "duration_s": scrub(self.duration_s),
+            "state_counts": dict(sorted(self.state_counts.items())),
+            "node_alarms": self.node_alarms,
+            "confirmed_alarms": self.confirmed_alarms,
+            "alarm_rate_per_patient_day":
+                scrub(self.alarm_rate_per_patient_day),
+            "snr_p10_db": scrub(self.snr_p10_db),
+            "snr_p50_db": scrub(self.snr_p50_db),
+            "snr_p90_db": scrub(self.snr_p90_db),
+            "uplink_bytes_per_patient_day":
+                scrub(self.uplink_bytes_per_patient_day),
+            "mean_node_power_uw": scrub(self.mean_node_power_uw),
+            "mean_battery_days": scrub(self.mean_battery_days),
+            "dropped_packets": self.dropped_packets,
+            "stale_patients": self.stale_patients,
+            "duplicate_packets": self.duplicate_packets,
+            "reassembly_gaps": self.reassembly_gaps,
+            "governed": self.governed,
+            "mode_seconds": {mode: scrub(sec) for mode, sec
+                             in sorted(self.mode_seconds.items())},
+            "governor_switches": self.governor_switches,
+            "mean_final_soc": scrub(self.mean_final_soc),
+            "projected_lifetime_h_p50":
+                scrub(self.projected_lifetime_h_p50),
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable serialization of :meth:`to_dict` (sorted keys).
+
+        The byte-equivalence surface of the sharding tests and the
+        ``fleet-throughput-sharded`` bench gate.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
 
     def describe(self) -> str:
         """Multi-line human-readable summary (what the example prints)."""

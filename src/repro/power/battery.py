@@ -11,7 +11,26 @@ to the remaining budget.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+#: Tolerance for snapping a state of charge back onto ``[0, 1]``:
+#: repeated tiny drains (or caller arithmetic like ``1 - span * frac``)
+#: can land an SoC a few ulps outside the interval; anything within
+#: this band is floating-point noise, anything beyond is a caller bug.
+_SOC_EPS = 1e-9
+
+
+def _clamped_soc(soc: float, context: str) -> float:
+    """Validate and clamp one state-of-charge value onto ``[0, 1]``.
+
+    Raises:
+        ValueError: ``soc`` is NaN or lies outside the interval by more
+            than :data:`_SOC_EPS`.
+    """
+    if not math.isfinite(soc) or soc < -_SOC_EPS or soc > 1.0 + _SOC_EPS:
+        raise ValueError(f"{context} must lie in [0, 1], got {soc}")
+    return min(1.0, max(0.0, soc))
 
 
 @dataclass(frozen=True)
@@ -49,9 +68,16 @@ class Battery:
         return self.usable_energy_j * self.self_discharge_per_month / month_s
 
     def lifetime_days(self, average_power_w: float) -> float:
-        """Days between charges at a given average node power."""
-        if average_power_w < 0:
-            raise ValueError("average power must be non-negative")
+        """Days between charges at a given average node power.
+
+        Raises:
+            ValueError: ``average_power_w`` is negative or NaN.
+        """
+        if math.isnan(average_power_w) or average_power_w < 0:
+            raise ValueError("average power must be non-negative, got "
+                             f"{average_power_w}")
+        if math.isinf(average_power_w):
+            return 0.0
         drain = average_power_w + self.self_discharge_power_w()
         if drain == 0:
             return float("inf")
@@ -77,8 +103,7 @@ class BatteryModel:
     soc: float = 1.0
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.soc <= 1.0:
-            raise ValueError("soc must lie in [0, 1]")
+        self.soc = _clamped_soc(self.soc, "soc")
 
     @property
     def energy_remaining_j(self) -> float:
@@ -93,30 +118,44 @@ class BatteryModel:
     def drain(self, power_w: float, dt_s: float) -> float:
         """Draw ``power_w`` for ``dt_s`` seconds; return the new SoC.
 
-        Self-discharge is charged on top of the load.  The SoC clamps at
-        zero — once empty, further draining is a no-op (the node is
-        browned out, it cannot draw more than the cell holds).
+        Self-discharge is charged on top of the load.  The SoC clamps
+        onto ``[0, 1]`` — once empty, further draining is a no-op (the
+        node is browned out, it cannot draw more than the cell holds),
+        and floating-point accumulation over many tiny drains can never
+        push the SoC marginally outside the interval.
+
+        Raises:
+            ValueError: ``power_w`` or ``dt_s`` is negative or NaN
+                (e.g. a corrupt parasitic-watts value from
+                ``battery_drain`` fault injection); a NaN here would
+                otherwise silently zero the SoC and poison every
+                hours-to-empty projection downstream.
         """
-        if power_w < 0:
-            raise ValueError("power must be non-negative")
-        if dt_s < 0:
-            raise ValueError("dt must be non-negative")
+        if math.isnan(power_w) or power_w < 0:
+            raise ValueError(f"power must be non-negative, got {power_w}")
+        if math.isnan(dt_s) or dt_s < 0:
+            raise ValueError(f"dt must be non-negative, got {dt_s}")
         if self.empty:
             return self.soc
         drawn = (power_w + self.cell.self_discharge_power_w()) * dt_s
-        self.soc = max(0.0, self.soc - drawn / self.cell.usable_energy_j)
+        self.soc = min(1.0, max(0.0,
+                                self.soc - drawn
+                                / self.cell.usable_energy_j))
         return self.soc
 
     def recharge(self, soc: float = 1.0) -> None:
         """Reset the state of charge (a charging dock visit)."""
-        if not 0.0 <= soc <= 1.0:
-            raise ValueError("soc must lie in [0, 1]")
-        self.soc = soc
+        self.soc = _clamped_soc(soc, "soc")
 
     def hours_to_empty(self, power_w: float) -> float:
-        """Projected hours until end of discharge at a constant load."""
-        if power_w < 0:
-            raise ValueError("power must be non-negative")
+        """Projected hours until end of discharge at a constant load.
+
+        Raises:
+            ValueError: ``power_w`` is negative or NaN (a corrupt load
+                must fail loudly, not project a NaN lifetime).
+        """
+        if math.isnan(power_w) or power_w < 0:
+            raise ValueError(f"power must be non-negative, got {power_w}")
         drain = power_w + self.cell.self_discharge_power_w()
         if drain == 0:
             return float("inf")

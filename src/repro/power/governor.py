@@ -30,6 +30,7 @@ This module turns the static Fig. 6 comparison into a policy:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..compression.encoder import CsEncoder, MultiLeadCsEncoder
@@ -338,11 +339,19 @@ class EnergyGovernor:
 
         Returns:
             The decision record, with the post-interval state of charge.
+
+        Raises:
+            ValueError: ``dt_s`` is not positive, or ``extra_load_w``
+                is negative or not finite — a NaN parasitic load from a
+                corrupt ``battery_drain`` fault would otherwise
+                silently drain the battery to zero and poison the
+                hours-to-empty projection.
         """
         if dt_s <= 0:
             raise ValueError("dt must be positive")
-        if extra_load_w < 0:
-            raise ValueError("extra load must be non-negative")
+        if not math.isfinite(extra_load_w) or extra_load_w < 0:
+            raise ValueError("extra load must be a non-negative finite "
+                             f"wattage, got {extra_load_w}")
         prev = self.mode
         mode, reason = self.decide(self.now_s, acuity)
         switched = mode != prev

@@ -25,6 +25,7 @@ the signal itself.
 
 from __future__ import annotations
 
+import functools
 import json
 import time
 from collections import Counter
@@ -38,6 +39,7 @@ from ..fleet.cohort import CohortConfig, PatientProfile, make_cohort
 from ..fleet.gateway import Gateway, GatewayConfig
 from ..fleet.node_proxy import NodeProxyConfig
 from ..fleet.scheduler import FleetReport, FleetScheduler, SchedulerConfig
+from ..fleet.sharding import PerPatientLink, ShardedFleetRunner, ShardHooks
 from ..fleet.triage import STATE_ALERT, STATES
 from ..power.battery import Battery, BatteryModel
 from ..power.governor import EnergyGovernor, GovernorConfig, ModePowerTable
@@ -87,6 +89,15 @@ class CampaignConfig:
             Reports are byte-identical across any worker count >= 1
             (tested); they differ from the joint path only in the
             (equally valid) per-patient channel draws.
+        shard_workers: Opt-in shard-backed sweep: each scenario runs
+            once through a :class:`~repro.fleet.ShardedFleetRunner`
+            with this many worker processes, per-patient links seeded
+            exactly like the decomposed path, and the per-patient shard
+            rows are folded by the same merge machinery.  Byte-identical
+            to the ``patient_workers`` path (tested) while running whole
+            patient stripes per process instead of one ``(patient,
+            scenario)`` unit per task.  Mutually exclusive with
+            ``patient_workers``.
         governed: Run every node under a per-patient
             :class:`~repro.power.EnergyGovernor` (closed-loop mode
             adaptation); enables the ``battery_drain`` /
@@ -116,6 +127,7 @@ class CampaignConfig:
     excerpt_period_s: float = 60.0
     stream_telemetry: bool = False
     patient_workers: int = 0
+    shard_workers: int = 0
     governed: bool = False
     governor_capacity_mah: float = 0.05
     governor_initial_soc: float = 0.9
@@ -129,6 +141,11 @@ class CampaignConfig:
             raise ValueError("n_sentinels must be within the cohort")
         if self.patient_workers < 0:
             raise ValueError("patient_workers must be >= 0")
+        if self.shard_workers < 0:
+            raise ValueError("shard_workers must be >= 0")
+        if self.patient_workers and self.shard_workers:
+            raise ValueError("patient_workers and shard_workers are "
+                             "mutually exclusive sweep modes")
         if self.governor_capacity_mah <= 0:
             raise ValueError("governor_capacity_mah must be positive")
         if not 0 < self.governor_initial_soc <= 1:
@@ -303,6 +320,36 @@ class _PatientOutcome:
     telemetry_packets: int
 
 
+def _patient_link(spec: ScenarioSpec, master_seed: int,
+                  patient_id: str) -> ImpairedLink:
+    """One patient's channel model, seeded per patient.
+
+    The single seed-derivation site shared by the decomposed
+    (``patient_workers``) and shard-backed (``shard_workers``) sweeps —
+    their byte-identity depends on both drawing from exactly these
+    streams.
+    """
+    return ImpairedLink(spec.link,
+                        seed=derive_seed(master_seed, spec.name,
+                                         "link", patient_id))
+
+
+def _fault_injector(spec: ScenarioSpec, master_seed: int):
+    """Per-patient fault injection hook with seed-derived streams.
+
+    Shared by both sweep modes for the same reason as
+    :func:`_patient_link`.
+    """
+
+    def inject(prof: PatientProfile, record: MultiLeadEcg) -> MultiLeadEcg:
+        rng = np.random.default_rng(
+            derive_seed(master_seed, spec.name, "faults",
+                        prof.patient_id))
+        return apply_faults(record, spec.faults, rng)
+
+    return inject
+
+
 def _patient_unit(spec: ScenarioSpec, profile: PatientProfile,
                   config: CampaignConfig,
                   detector: AfDetector) -> _PatientOutcome:
@@ -314,17 +361,9 @@ def _patient_unit(spec: ScenarioSpec, profile: PatientProfile,
     any process/worker assignment computes identical numbers.
     """
     t0 = time.perf_counter()
-    link = (ImpairedLink(spec.link,
-                         seed=derive_seed(config.master_seed, spec.name,
-                                          "link", profile.patient_id))
+    link = (_patient_link(spec, config.master_seed, profile.patient_id)
             if spec.link.impaired else None)
-
-    def inject(prof: PatientProfile, record: MultiLeadEcg) -> MultiLeadEcg:
-        rng = np.random.default_rng(
-            derive_seed(config.master_seed, spec.name, "faults",
-                        prof.patient_id))
-        return apply_faults(record, spec.faults, rng)
-
+    inject = _fault_injector(spec, config.master_seed)
     factory, extra_load, acuity_override = _governed_kit(spec, config)
     scheduler = FleetScheduler(
         [profile],
@@ -368,6 +407,34 @@ def _patient_unit(spec: ScenarioSpec, profile: PatientProfile,
         final_soc=(governor.battery.soc
                    if governor is not None else float("nan")),
         telemetry_packets=channel.n_telemetry if channel else 0,
+    )
+
+
+def _scenario_shard_hooks(spec: ScenarioSpec, config: CampaignConfig,
+                          profiles: list[PatientProfile],
+                          master_seed: int) -> ShardHooks:
+    """Shard wiring of one scenario: built inside each worker process.
+
+    Module-level (pickled as a :func:`functools.partial` over ``spec``
+    and ``config``) so the :class:`~repro.fleet.ShardedFleetRunner` can
+    ship it to workers.  Every random stream comes from the *same*
+    per-patient derivation sites as the decomposed path
+    (:func:`_patient_link`, :func:`_fault_injector`), which is what
+    makes the two sweep modes byte-identical by construction.
+    """
+
+    def link_for(patient_id: str):
+        """One independent channel per patient, decomposed-path seeds."""
+        return _patient_link(spec, master_seed, patient_id)
+
+    factory, extra_load, acuity_override = _governed_kit(spec, config)
+    return ShardHooks(
+        link=PerPatientLink(link_for) if spec.link.impaired else None,
+        record_transform=(_fault_injector(spec, master_seed)
+                          if spec.signal_faults else None),
+        governor_factory=factory,
+        extra_load=extra_load,
+        acuity_override=acuity_override,
     )
 
 
@@ -484,8 +551,12 @@ class CampaignRunner:
         cohort = self.cohort()
         report = CampaignReport(config=cfg)
         clean_p50: float | None = None
-        outcomes = (self._run_decomposed(cohort, detector)
-                    if cfg.patient_workers >= 1 else None)
+        if cfg.shard_workers >= 1:
+            outcomes = self._run_sharded(cohort, detector)
+        elif cfg.patient_workers >= 1:
+            outcomes = self._run_decomposed(cohort, detector)
+        else:
+            outcomes = None
         for spec in self.scenarios:
             if outcomes is not None:
                 result = self._merge_scenario(spec, cohort, outcomes,
@@ -527,6 +598,74 @@ class CampaignRunner:
             for future in as_completed(futures):
                 outcome = future.result()
                 outcomes[(outcome.patient_id, outcome.scenario)] = outcome
+        return outcomes
+
+    def _run_sharded(self, cohort: list[PatientProfile],
+                     detector: AfDetector,
+                     ) -> dict[tuple[str, str], _PatientOutcome]:
+        """Shard-backed sweep: one sharded fleet run per scenario.
+
+        Each scenario's cohort is striped across ``shard_workers``
+        processes by a :class:`~repro.fleet.ShardedFleetRunner`; the
+        decoded per-patient shard rows become the same
+        :class:`_PatientOutcome` units the decomposed path produces, so
+        :meth:`_merge_scenario` is reused unchanged.  Per-patient link
+        and fault seeds match the decomposed path, making the two modes
+        byte-identical (tested).  The per-shard gateway's queue-drop
+        counter has no per-patient attribution; it is carried on the
+        scenario's first cohort row (zero in practice — the merge only
+        ever sums it).
+        """
+        cfg = self.config
+        outcomes: dict[tuple[str, str], _PatientOutcome] = {}
+        for spec in self.scenarios:
+            runner = ShardedFleetRunner(
+                cohort,
+                n_shards=cfg.shard_workers,
+                config=SchedulerConfig(duration_s=cfg.duration_s,
+                                       fs=cfg.fs),
+                node_config=NodeProxyConfig(
+                    excerpt_period_s=cfg.excerpt_period_s,
+                    stream_telemetry=cfg.stream_telemetry),
+                gateway_config=GatewayConfig(n_iter=cfg.gateway_n_iter),
+                master_seed=cfg.master_seed,
+                hook_factory=functools.partial(_scenario_shard_hooks,
+                                               spec, cfg),
+                af_detector=detector,
+            )
+            fleet = runner.run()
+            per_row_runtime = (fleet.timings_s.get("total", 0.0)
+                               / max(1, len(cohort)))
+            for i, profile in enumerate(cohort):
+                row = fleet.rows[profile.patient_id]
+                channel = row.channel
+                outcomes[(profile.patient_id, spec.name)] = \
+                    _PatientOutcome(
+                        patient_id=profile.patient_id,
+                        scenario=spec.name,
+                        packets_sent=row.n_sent,
+                        packets_reconstructed=row.n_reconstructed,
+                        node_alarms=row.n_node_alarms,
+                        confirmed_alarms=(channel.n_confirmed
+                                          if channel else 0),
+                        payload_bits=(channel.payload_bits
+                                      if channel else 0),
+                        duplicates=(channel.n_duplicates
+                                    if channel else 0),
+                        gaps=channel.n_gaps if channel else 0,
+                        queue_dropped=(fleet.dropped_packets
+                                       if i == 0 else 0),
+                        snrs=tuple(channel.snrs) if channel else (),
+                        state=row.triage.state,
+                        stale=row.triage.stale,
+                        link_stats=dict(row.link_stats),
+                        runtime_s=per_row_runtime,
+                        mode_seconds=dict(row.mode_seconds),
+                        governor_switches=row.governor_switches,
+                        final_soc=row.final_soc,
+                        telemetry_packets=(channel.n_telemetry
+                                           if channel else 0),
+                    )
         return outcomes
 
     def _merge_scenario(self, spec: ScenarioSpec,
@@ -619,14 +758,7 @@ class CampaignRunner:
                              seed=derive_seed(cfg.master_seed, spec.name,
                                               "link"))
                 if spec.link.impaired else None)
-
-        def inject(profile: PatientProfile,
-                   record: MultiLeadEcg) -> MultiLeadEcg:
-            rng = np.random.default_rng(
-                derive_seed(cfg.master_seed, spec.name, "faults",
-                            profile.patient_id))
-            return apply_faults(record, spec.faults, rng)
-
+        inject = _fault_injector(spec, cfg.master_seed)
         factory, extra_load, acuity_override = _governed_kit(spec, cfg)
         scheduler = FleetScheduler(
             cohort,

@@ -18,6 +18,7 @@ from a single integer.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 
 #: Signal-domain fault kinds an event may carry.
@@ -97,8 +98,12 @@ class FaultEvent:
             raise ValueError("fault start_s must be >= 0")
         if self.duration_s <= 0:
             raise ValueError("fault duration_s must be positive")
-        if self.severity < 0:
-            raise ValueError("fault severity must be >= 0")
+        if not math.isfinite(self.severity) or self.severity < 0:
+            # A NaN severity would sail through ``< 0`` and (for
+            # ``battery_drain``) silently corrupt SoC and
+            # hours-to-empty downstream — reject it at the spec.
+            raise ValueError("fault severity must be finite and >= 0, "
+                             f"got {self.severity}")
 
     @property
     def stop_s(self) -> float:

@@ -15,6 +15,7 @@ from repro.compression import (
     group_fista_batch,
     group_soft_threshold,
     reconstruction_snr_db,
+    row_stable_matmul,
 )
 
 
@@ -165,3 +166,52 @@ class TestRecoverBatch:
         ops = [np.eye(4)]
         with pytest.raises(ValueError, match="shape"):
             group_fista_batch(ops, np.zeros((2, 3, 4)), np.zeros(2))
+
+
+class TestRowStableMatmul:
+    """Fixed-tile matmul: the primitive shard equivalence rests on."""
+
+    def test_matches_gemm_values(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(13, 256))
+        b = rng.normal(size=(256, 103))
+        assert np.allclose(row_stable_matmul(a, b), a @ b,
+                           rtol=1e-12, atol=0.0)
+
+    def test_rows_independent_of_batch_size(self):
+        # The property plain ``@`` does NOT have: BLAS switches kernels
+        # (and summation orders) with the left operand's height.
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(23, 256))
+        b = rng.normal(size=(256, 103))
+        full = row_stable_matmul(a, b)
+        for rows in (1, 2, 5, 8, 9, 23):
+            assert np.array_equal(row_stable_matmul(a[:rows], b),
+                                  full[:rows])
+
+    def test_rows_independent_of_companions(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(6, 64))
+        b = rng.normal(size=(64, 32))
+        solo = [row_stable_matmul(a[i:i + 1], b)[0] for i in range(6)]
+        batched = row_stable_matmul(a, b)
+        for i in range(6):
+            assert np.array_equal(batched[i], solo[i])
+
+    def test_out_parameter_fills_views(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(4, 16))
+        b = rng.normal(size=(16, 8))
+        dest = np.zeros((4, 3, 8))
+        result = row_stable_matmul(a, b, out=dest[:, 1, :])
+        assert np.array_equal(dest[:, 1, :], row_stable_matmul(a, b))
+        assert np.array_equal(result, dest[:, 1, :])
+
+    def test_noncontiguous_input_accepted(self):
+        rng = np.random.default_rng(4)
+        stack = rng.normal(size=(5, 3, 64))
+        b = rng.normal(size=(64, 16))
+        view = stack[:, 1, :]  # strided over the middle axis
+        assert np.array_equal(row_stable_matmul(view, b),
+                              row_stable_matmul(np.ascontiguousarray(view),
+                                                b))

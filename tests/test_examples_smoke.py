@@ -60,6 +60,11 @@ EXAMPLES = {
         ["mode power table", "mode timeline:", "mode switches:",
          "best admissible static"],
     ),
+    "fleet_sharded.py": (
+        ["--patients", "4", "--shards", "2", "--duration", "60"],
+        ["striped over 2 shards", "speedup:",
+         "merged summaries byte-identical: True"],
+    ),
 }
 
 

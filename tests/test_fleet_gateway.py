@@ -153,3 +153,138 @@ class TestBatchedDrain:
             assert a.kind == b.kind
             assert a.confirmed == b.confirmed
             assert np.allclose(a.signal, b.signal, rtol=1e-9, atol=1e-12)
+
+
+def _seq_packet(seq: int) -> object:
+    """Minimal stand-in: the reassembly buffer reads only ``.seq``."""
+
+    class _P:
+        """Sequence-number-only packet stub."""
+
+        def __init__(self, s: int) -> None:
+            self.seq = s
+
+    return _P(seq)
+
+
+def _arrival_stream(rng, n_seqs: int, loss: float, dup: float,
+                    shuffle_span: float) -> tuple[list[int], set[int]]:
+    """Randomized reorder/dup/loss arrival order plus the arrived set."""
+    arrivals = []
+    for seq in range(n_seqs):
+        if rng.random() < loss:
+            continue
+        copies = 1 + (rng.random() < dup)
+        for _ in range(copies):
+            arrivals.append((seq + rng.uniform(0, shuffle_span), seq))
+    arrivals.sort()
+    ordered = [seq for _, seq in arrivals]
+    return ordered, set(ordered)
+
+
+class TestReassemblyOracle:
+    """Randomized reorder/dup/loss regression vs a brute-force oracle.
+
+    The oracle is defined on the arrival multiset alone:
+
+    * every distinct arrived seq is delivered exactly once;
+    * ``n_duplicates`` == arrivals - distinct arrivals;
+    * after the final flush, ``missing`` holds exactly the never-arrived
+      numbers below ``next_seq`` and ``n_gaps`` counts them;
+    * ``n_gaps`` never dips below zero along the way.
+    """
+
+    def _run_episode(self, seed: int) -> None:
+        from collections import Counter
+
+        from repro.fleet.gateway import PatientChannel, _ReassemblyBuffer
+
+        rng = np.random.default_rng(seed)
+        window = int(rng.integers(1, 8))
+        expire_every = int(rng.integers(0, 5))
+        ordered, arrived = _arrival_stream(
+            rng, n_seqs=int(rng.integers(5, 60)),
+            loss=rng.uniform(0, 0.4), dup=rng.uniform(0, 0.4),
+            shuffle_span=rng.uniform(0, 12.0))
+        buffer = _ReassemblyBuffer(window)
+        channel = PatientChannel("p")
+        delivered: list[int] = []
+        for i, seq in enumerate(ordered):
+            delivered.extend(p.seq for p in
+                             buffer.offer(_seq_packet(seq), channel))
+            assert channel.n_gaps >= 0
+            if expire_every and i % expire_every == 0 and buffer.buffer:
+                buffer.gap_ticks += 1
+                if buffer.gap_ticks >= 3:
+                    delivered.extend(p.seq for p in
+                                     buffer.flush(channel))
+        delivered.extend(p.seq for p in buffer.flush(channel))
+        counts = Counter(delivered)
+        assert set(counts) == arrived, "lost or invented sequence numbers"
+        assert all(v == 1 for v in counts.values()), "re-delivered seqs"
+        assert channel.n_duplicates == len(ordered) - len(arrived)
+        holes = set(range(buffer.next_seq)) - arrived
+        assert buffer.missing == holes
+        assert channel.n_gaps == len(holes)
+        assert channel.n_late_recovered >= 0
+        assert not buffer.buffer, "flush must empty the window"
+
+    def test_fuzz_against_oracle(self):
+        for seed in range(120):
+            self._run_episode(seed)
+
+    def test_overflow_flush_counts_each_gap_once(self):
+        # Force-release after overflow following a contiguous release:
+        # the rewritten single-sweep flush cannot double-count holes.
+        from repro.fleet.gateway import PatientChannel, _ReassemblyBuffer
+
+        buffer = _ReassemblyBuffer(window=2)
+        channel = PatientChannel("p")
+        assert buffer.offer(_seq_packet(0), channel)  # releases 0
+        for seq in (4, 7, 9):  # third insert overflows the window
+            buffer.offer(_seq_packet(seq), channel)
+        assert channel.n_gaps == 6  # {1, 2, 3} + {5, 6} + {8}
+        assert buffer.missing == {1, 2, 3, 5, 6, 8}
+        assert channel.n_gaps == len(buffer.missing)
+        assert buffer.next_seq == 10
+
+    def test_second_late_copy_is_a_duplicate(self):
+        # First copy of a written-off seq recovers the gap; the second
+        # must land on the duplicate path, never be re-delivered.
+        from repro.fleet.gateway import PatientChannel, _ReassemblyBuffer
+
+        buffer = _ReassemblyBuffer(window=1)
+        channel = PatientChannel("p")
+        buffer.offer(_seq_packet(3), channel)
+        buffer.offer(_seq_packet(5), channel)  # overflow: gaps 0-2, 4
+        assert channel.n_gaps == 4
+        first = buffer.offer(_seq_packet(2), channel)
+        assert [p.seq for p in first] == [2]
+        assert channel.n_gaps == 3
+        assert channel.n_late_recovered == 1
+        second = buffer.offer(_seq_packet(2), channel)
+        assert second == []
+        assert channel.n_duplicates == 1
+        assert channel.n_gaps == 3  # unchanged: no re-recovery
+
+    def test_late_recovery_does_not_reset_stall_clock(self):
+        # A replayed straggler is no progress for packets stalled
+        # behind the *current* gap; the grace countdown must keep
+        # running or head-of-line blocking becomes unbounded.
+        from repro.fleet.gateway import PatientChannel, _ReassemblyBuffer
+
+        buffer = _ReassemblyBuffer(window=8)
+        channel = PatientChannel("p")
+        buffer.offer(_seq_packet(2), channel)
+        buffer.flush(channel)  # writes off 0, 1; next_seq -> 3
+        buffer.offer(_seq_packet(5), channel)  # stalls behind 3, 4
+        buffer.gap_ticks = 2
+        released = buffer.offer(_seq_packet(0), channel)  # late replay
+        assert [p.seq for p in released] == [0]
+        assert buffer.gap_ticks == 2, \
+            "straggler replay must not extend head-of-line blocking"
+        released = buffer.offer(_seq_packet(3), channel)  # real progress
+        assert [p.seq for p in released] == [3]  # head of line moves
+        assert buffer.gap_ticks == 0  # contiguous release resets it
+        released = buffer.offer(_seq_packet(4), channel)
+        assert [p.seq for p in released] == [4, 5]  # stall fully clears

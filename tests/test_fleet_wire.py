@@ -1,0 +1,221 @@
+"""Tests for the binary uplink wire codec (`repro.fleet.wire`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.encoder import EncodedWindow
+from repro.fleet import (
+    Gateway,
+    NodeProxy,
+    NodeProxyConfig,
+    PatientProfile,
+    UplinkPacket,
+    WIRE_MAGIC,
+    WireFormatError,
+    decode_packet,
+    decode_packets,
+    encode_packet,
+    encode_packets,
+    synthesize_patient,
+)
+from repro.power.governor import MODES
+
+PROXY_CONFIG = NodeProxyConfig(stream_telemetry=False,
+                               excerpt_period_s=30.0)
+
+
+def assert_packets_equal(a: UplinkPacket, b: UplinkPacket) -> None:
+    """Field-by-field exactness check (NaN-aware for telemetry)."""
+    for name in ("patient_id", "seq", "timestamp_s", "kind", "start",
+                 "payload_bits", "n_leads", "window_n", "cr_percent",
+                 "quant_bits", "cs_seed", "fs", "mode"):
+        assert getattr(a, name) == getattr(b, name), name
+    for name in ("mean_hr_bpm", "soc"):
+        x, y = getattr(a, name), getattr(b, name)
+        assert x == y or (np.isnan(x) and np.isnan(y)), name
+    assert len(a.frames) == len(b.frames)
+    for frame_a, frame_b in zip(a.frames, b.frames):
+        assert len(frame_a) == len(frame_b)
+        for wa, wb in zip(frame_a, frame_b):
+            assert np.array_equal(wa.measurements, wb.measurements)
+            assert wa.measurements.dtype == wb.measurements.dtype
+            assert wa.scale == wb.scale
+            assert wa.payload_bits == wb.payload_bits
+            assert wa.additions == wb.additions
+    if a.reference is None:
+        assert b.reference is None
+    else:
+        assert b.reference is not None
+        assert a.reference.shape == b.reference.shape
+        assert np.array_equal(a.reference, b.reference)
+
+
+def _synthetic_packet(rng: np.random.Generator) -> UplinkPacket:
+    """One randomized packet across kinds, dtypes and degenerate shapes."""
+    kind = rng.choice(["excerpt", "alarm", "telemetry"])
+    n_leads = int(rng.integers(1, 4))
+    window_n = int(rng.choice([1, 8, 256]))  # single-sample window too
+    n_frames = 0 if kind == "telemetry" else int(rng.integers(0, 4))
+    dtype = rng.choice([np.float64, np.float32, np.int16])
+    frames = tuple(
+        tuple(
+            EncodedWindow(
+                measurements=(rng.normal(size=int(rng.integers(0, 40)))
+                              * 100).astype(dtype),
+                scale=float(rng.normal()),
+                payload_bits=int(rng.integers(0, 4096)),
+                additions=int(rng.integers(0, 10_000)))
+            for _ in range(n_leads))
+        for _ in range(n_frames))
+    reference = None
+    if rng.random() < 0.5:
+        # Degenerate reference shapes included: a 0-window batch.
+        ref_frames = int(rng.integers(0, 3))
+        reference = rng.normal(size=(ref_frames, n_leads, window_n))
+    return UplinkPacket(
+        patient_id=f"p{int(rng.integers(0, 10_000)):04d}",
+        seq=int(rng.integers(0, 2**40)),
+        timestamp_s=float(rng.normal() * 1e3),
+        kind=str(kind),
+        start=int(rng.integers(0, 2**31)),
+        frames=frames,
+        payload_bits=int(rng.integers(0, 2**48)),
+        n_leads=n_leads,
+        window_n=window_n,
+        cr_percent=float(rng.uniform(10, 95)),
+        quant_bits=int(rng.integers(2, 17)),
+        cs_seed=int(rng.integers(-2**31, 2**31)),
+        fs=float(rng.choice([250.0, 256.0, 360.0])),
+        mean_hr_bpm=(float("nan") if rng.random() < 0.3
+                     else float(rng.uniform(40, 180))),
+        reference=reference,
+        mode=str(rng.choice(list(MODES))),
+        soc=(float("nan") if rng.random() < 0.3
+             else float(rng.uniform(0, 1))),
+    )
+
+
+class TestRoundTrip:
+    def test_seeded_fuzz_round_trip(self):
+        # Every packet kind, measurement dtype and degenerate shape
+        # must survive encode -> decode bit for bit.
+        rng = np.random.default_rng(2014)
+        for _ in range(150):
+            packet = _synthetic_packet(rng)
+            assert_packets_equal(packet, decode_packet(
+                encode_packet(packet)))
+
+    def test_real_node_packets_round_trip(self, trained_af_detector):
+        profile = PatientProfile(patient_id="wire", rhythm="af",
+                                 snr_db=None, seed=9)
+        record = synthesize_patient(profile, duration_s=60.0)
+        proxy = NodeProxy(profile, PROXY_CONFIG,
+                          af_detector=trained_af_detector)
+        _, packets = proxy.run(record)
+        packets.append(proxy.telemetry_packet(90.0, mean_hr_bpm=70.0,
+                                              soc=0.4))
+        packets.append(proxy.raw_packet(record, 0, 91.0, soc=0.8))
+        packets.append(proxy.single_lead_packet(record, 0, 92.0,
+                                                soc=0.2))
+        packets.append(proxy.alarm_packet(record, 2000))
+        assert {p.kind for p in packets} == {"excerpt", "telemetry",
+                                             "alarm"}
+        for packet in packets:
+            assert_packets_equal(packet, decode_packet(
+                encode_packet(packet)))
+
+    def test_to_bytes_from_bytes_helpers(self):
+        packet = _synthetic_packet(np.random.default_rng(7))
+        assert_packets_equal(packet,
+                             UplinkPacket.from_bytes(packet.to_bytes()))
+
+    def test_stream_round_trip(self):
+        rng = np.random.default_rng(5)
+        packets = [_synthetic_packet(rng) for _ in range(7)]
+        decoded = decode_packets(encode_packets(packets))
+        assert len(decoded) == len(packets)
+        for a, b in zip(packets, decoded):
+            assert_packets_equal(a, b)
+
+    def test_empty_stream(self):
+        assert decode_packets(encode_packets([])) == []
+
+
+class TestDecodeErrors:
+    def test_every_truncation_raises(self):
+        blob = encode_packet(_synthetic_packet(np.random.default_rng(3)))
+        for cut in range(0, len(blob), max(1, len(blob) // 60)):
+            with pytest.raises(WireFormatError):
+                decode_packet(blob[:cut])
+
+    def test_bad_magic_raises(self):
+        blob = bytearray(encode_packet(
+            _synthetic_packet(np.random.default_rng(4))))
+        blob[0] ^= 0xFF
+        with pytest.raises(WireFormatError, match="magic"):
+            decode_packet(bytes(blob))
+
+    def test_unknown_version_raises(self):
+        blob = bytearray(encode_packet(
+            _synthetic_packet(np.random.default_rng(4))))
+        blob[len(WIRE_MAGIC)] = 0x7F
+        with pytest.raises(WireFormatError, match="version"):
+            decode_packet(bytes(blob))
+
+    def test_trailing_bytes_raise(self):
+        blob = encode_packet(_synthetic_packet(np.random.default_rng(6)))
+        with pytest.raises(WireFormatError, match="trailing"):
+            decode_packet(blob + b"\x00")
+
+    def test_truncated_stream_raises(self):
+        rng = np.random.default_rng(8)
+        stream = encode_packets([_synthetic_packet(rng)
+                                 for _ in range(3)])
+        with pytest.raises(WireFormatError):
+            decode_packets(stream[:-5])
+
+
+class TestGatewayIngestBytes:
+    def test_ingest_bytes_equals_ingest(self, trained_af_detector):
+        profile = PatientProfile(patient_id="ib", rhythm="nsr",
+                                 snr_db=None, seed=2)
+        record = synthesize_patient(profile, duration_s=60.0)
+        proxy = NodeProxy(profile, PROXY_CONFIG,
+                          af_detector=trained_af_detector)
+        _, packets = proxy.run(record)
+        by_object, by_bytes = Gateway(), Gateway()
+        for packet in packets:
+            assert by_object.ingest(packet)
+            assert by_bytes.ingest_bytes(encode_packet(packet))
+        obj_out = by_object.drain()
+        byte_out = by_bytes.drain()
+        assert len(obj_out) == len(byte_out)
+        for a, b in zip(obj_out, byte_out):
+            assert a.patient_id == b.patient_id
+            assert a.snr_db == b.snr_db
+            assert np.array_equal(a.signal, b.signal)
+
+    def test_ingest_bytes_rejects_garbage(self):
+        with pytest.raises(WireFormatError):
+            Gateway().ingest_bytes(b"not a packet")
+
+    def test_hostile_dtype_token_rejected(self):
+        # A crafted frame carrying an object dtype must fail as a
+        # format error, never reach numpy's object-array path.
+        packet = _synthetic_packet(np.random.default_rng(11))
+        blob = encode_packet(packet)
+        victim = None
+        for token in (b"<f8", b"<f4", b"<i2"):
+            idx = blob.find(bytes([len(token)]) + token)
+            if idx >= 0:
+                victim = (idx, token)
+                break
+        if victim is None:
+            pytest.skip("no array field in this packet draw")
+        idx, token = victim
+        forged = bytearray(blob)
+        forged[idx + 1:idx + 1 + len(token)] = b"O" * len(token)
+        with pytest.raises(WireFormatError):
+            decode_packet(bytes(forged))

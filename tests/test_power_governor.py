@@ -202,3 +202,21 @@ class TestLifetime:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError, match="unknown mode"):
             simulate_lifetime("nope", mixed_acuity_trace(0), table=TABLE)
+
+
+class TestExtraLoadValidation:
+    """`battery_drain` injection must fail loudly on corrupt watts."""
+
+    def test_nan_extra_load_rejected(self):
+        governor = EnergyGovernor()
+        with pytest.raises(ValueError, match="extra load"):
+            governor.step(60.0, extra_load_w=float("nan"))
+        assert governor.battery.soc == 1.0  # battery untouched
+
+    def test_infinite_extra_load_rejected(self):
+        with pytest.raises(ValueError, match="extra load"):
+            EnergyGovernor().step(60.0, extra_load_w=float("inf"))
+
+    def test_negative_extra_load_rejected(self):
+        with pytest.raises(ValueError, match="extra load"):
+            EnergyGovernor().step(60.0, extra_load_w=-1e-3)

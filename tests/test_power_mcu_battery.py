@@ -153,3 +153,54 @@ class TestBatteryModel:
             model.recharge(-0.1)
         with pytest.raises(ValueError):
             model.hours_to_empty(-1.0)
+
+
+class TestBatteryModelEdgeCases:
+    """NaN/negative rejection and FP clamping (battery bugfix PR)."""
+
+    def test_nan_power_rejected_not_silently_zeroed(self):
+        # max(0.0, soc - nan) evaluates to 0.0, so before the guard a
+        # single NaN parasitic watt "killed" the battery silently.
+        model = BatteryModel()
+        with pytest.raises(ValueError, match="power"):
+            model.drain(float("nan"), 60.0)
+        assert model.soc == 1.0  # untouched
+
+    def test_nan_dt_rejected(self):
+        with pytest.raises(ValueError, match="dt"):
+            BatteryModel().drain(1e-3, float("nan"))
+
+    def test_hours_to_empty_rejects_nan(self):
+        with pytest.raises(ValueError, match="power"):
+            BatteryModel().hours_to_empty(float("nan"))
+
+    def test_lifetime_days_rejects_nan(self):
+        with pytest.raises(ValueError, match="power"):
+            Battery().lifetime_days(float("nan"))
+
+    def test_lifetime_days_infinite_load_is_zero(self):
+        assert Battery().lifetime_days(float("inf")) == 0.0
+
+    def test_many_tiny_drains_stay_inside_unit_interval(self):
+        model = BatteryModel()
+        for _ in range(20_000):
+            model.drain(1e-9, 1e-6)
+        assert 0.0 <= model.soc <= 1.0
+
+    def test_soc_marginally_outside_is_snapped(self):
+        # Caller arithmetic like 1 - span * frac can land an ulp out.
+        assert BatteryModel(soc=1.0 + 1e-12).soc == 1.0
+        assert BatteryModel(soc=-1e-12).soc == 0.0
+
+    def test_soc_clearly_outside_still_rejected(self):
+        with pytest.raises(ValueError, match="soc"):
+            BatteryModel(soc=1.1)
+        with pytest.raises(ValueError, match="soc"):
+            BatteryModel(soc=float("nan"))
+
+    def test_recharge_snaps_and_validates(self):
+        model = BatteryModel(soc=0.2)
+        model.recharge(1.0 + 1e-13)
+        assert model.soc == 1.0
+        with pytest.raises(ValueError, match="soc"):
+            model.recharge(-0.5)

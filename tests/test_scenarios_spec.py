@@ -124,3 +124,17 @@ class TestBuiltinScenarios:
     def test_stress_combines_signal_and_link(self):
         spec = stress_scenario(60.0)
         assert spec.faults and spec.link.impaired
+
+
+class TestFaultSeverityValidation:
+    """NaN severities must be rejected at the spec boundary."""
+
+    def test_nan_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            FaultEvent(kind="battery_drain", start_s=0.0,
+                       duration_s=10.0, severity=float("nan"))
+
+    def test_infinite_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            FaultEvent(kind="motion_burst", start_s=0.0,
+                       duration_s=10.0, severity=float("inf"))
