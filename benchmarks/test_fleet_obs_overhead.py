@@ -1,0 +1,75 @@
+"""Observability overhead — fleet hot path with vs without repro.obs.
+
+Not a paper figure: this benchmarks the `repro.obs` layer's out-of-band
+contract.  The same cohort runs through the `FleetScheduler` plain and
+with an `Observability` bundle attached (gateway counters, trace
+events, governor hooks all live); the bundle must change **nothing** —
+the `FleetSummary` bytes are compared — and the wall-time overhead of
+keeping it attached must stay under 5 %.  The canonical fleet-scope
+snapshot must also be byte-identical across repeated observed runs
+(virtual-time trace determinism).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from repro.fleet import (
+    CohortConfig,
+    FleetScheduler,
+    NodeProxyConfig,
+    SchedulerConfig,
+    make_cohort,
+)
+from repro.obs import Observability
+
+N_PATIENTS = 8
+DURATION_S = 60.0
+FS = 250.0
+#: Allowed slowdown with the bundle attached (matches the bench case).
+MAX_OVERHEAD = 0.05
+
+
+def run_fleet(obs=None):
+    cohort = make_cohort(CohortConfig(n_patients=N_PATIENTS, seed=7))
+    scheduler = FleetScheduler(
+        cohort,
+        SchedulerConfig(duration_s=DURATION_S, fs=FS),
+        node_config=NodeProxyConfig(stream_telemetry=False),
+        obs=obs,
+    )
+    return scheduler.run()
+
+
+def test_fleet_obs_overhead(benchmark):
+    plain = run_fleet()  # warm + byte reference
+
+    obs = Observability()
+    observed = benchmark.pedantic(run_fleet, args=(obs,),
+                                  rounds=1, iterations=1)
+
+    # Out-of-band: the summary must be byte-identical either way.
+    assert observed.summary.to_json() == plain.summary.to_json()
+
+    # Determinism: a second observed run reproduces the canonical
+    # fleet-scope snapshot byte-for-byte.
+    obs2 = Observability()
+    run_fleet(obs2)
+    assert obs2.canonical_json() == obs.canonical_json()
+
+    snapshot = obs.metrics.snapshot()
+    names = {series["name"] for series in snapshot["series"]}
+    print_table(
+        "Observability overhead "
+        f"({N_PATIENTS} patients x {DURATION_S:.0f} s)",
+        ["metric", "value"],
+        [
+            ("metric series", len(snapshot["series"])),
+            ("metric families", len(names)),
+            ("trace events", len(obs.trace.events)),
+            ("packets sent", observed.packets_sent),
+        ],
+    )
+
+    assert "gateway_packets_ingested_total" in names
+    assert "scheduler_uplink_packets_total" in names
+    assert len(obs.trace.events) > 0

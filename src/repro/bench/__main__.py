@@ -7,9 +7,11 @@ baselines file (CI uses exactly this), 0 otherwise.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from ..obs import Observability, ObsConfig
 from .registry import all_cases, get_case
 from .runner import DEFAULT_TOLERANCE, BenchRunner, load_baselines, write_baselines
 
@@ -46,6 +48,15 @@ def main(argv: list[str] | None = None) -> int:
                              "perf change)")
     parser.add_argument("--no-fail", action="store_true",
                         help="exit 0 even on regressions (reporting only)")
+    parser.add_argument("--obs", action="store_true",
+                        help="thread an Observability bundle through the "
+                             "workloads; attach its snapshot to the BENCH "
+                             "artifact and emit OBS_<rev>.json (flight "
+                             "dumps land in <out>/flight/)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile one extra untimed run per case and "
+                             "write the top-25 cumulative table to "
+                             "PROFILE_<rev>.txt next to the BENCH artifact")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -58,10 +69,15 @@ def main(argv: list[str] | None = None) -> int:
         cases = [get_case(name.strip())
                  for name in args.cases.split(",") if name.strip()]
 
+    obs = None
+    if args.obs:
+        obs = Observability(ObsConfig(
+            flight_dump_dir=str(args.out / "flight")))
     runner = BenchRunner(
         cases=cases, quick=args.quick, warmup=args.warmup,
         repeats=args.repeats, baselines=load_baselines(args.baselines),
-        tolerance=args.tolerance, seed=args.seed)
+        tolerance=args.tolerance, seed=args.seed, obs=obs,
+        profile=args.profile)
     report = runner.run(
         progress=lambda case: print(
             f"  {case['name']}: {case['wall_s']:.3f} s [{case['status']}]",
@@ -69,6 +85,15 @@ def main(argv: list[str] | None = None) -> int:
     print(report.describe())
     path = report.write(args.out)
     print(f"\nwrote {path}")
+    if obs is not None:
+        obs_path = args.out / f"OBS_{report.revision}.json"
+        obs_path.write_text(json.dumps(obs.snapshot_bundle(), indent=2,
+                                       sort_keys=True) + "\n")
+        print(f"wrote {obs_path}")
+    if args.profile:
+        profile_path = args.out / f"PROFILE_{report.revision}.txt"
+        profile_path.write_text(runner.profile_text())
+        print(f"wrote {profile_path}")
 
     if args.update_baselines:
         write_baselines(args.baselines, report)

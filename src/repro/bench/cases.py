@@ -11,6 +11,8 @@ speedup that caused it.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..classification import (
@@ -47,6 +49,7 @@ from ..fleet import (
 )
 from ..hwsim import compare_all
 from ..multimodal import measure_pat
+from ..obs import Observability
 from ..power import (
     AbstractionLadder,
     Battery,
@@ -328,6 +331,121 @@ def fleet_throughput_sharded(ctx: BenchContext) -> dict:
         "speedup_vs_single_process": wall_single / wall_sharded,
         "single_process_wall_s": wall_single,
         "sharded_wall_s": wall_sharded,
+    }
+
+
+#: Allowed fleet-run slowdown with observability attached (5 %).
+MAX_OBS_OVERHEAD = 0.05
+
+
+@register("fleet-obs-overhead",
+          "Fleet run with vs without observability, byte-checked",
+          legacy="test_fleet_obs_overhead", tags=("systems",))
+def fleet_obs_overhead(ctx: BenchContext) -> dict:
+    """Time the fleet hot path with and without an obs bundle attached.
+
+    Interleaves plain and observed runs over one cohort and **asserts**
+    the out-of-band contract: the ``FleetSummary`` bytes must be
+    identical with and without the bundle, the canonical fleet-scope
+    obs snapshot must be byte-identical across observed runs (trace
+    determinism), and the overhead ratio must stay within
+    :data:`MAX_OBS_OVERHEAD`.  Any violation fails the bench — and
+    therefore the CI quick gate — not just a unit test.
+
+    The ratio is the *median of per-pair CPU-time ratios*: each
+    back-to-back (plain, observed) pair shares machine state, so the
+    pairwise ratio cancels the load drift that dwarfs the real
+    overhead on shared runners, and the median damps the rest.  Pair
+    order alternates so the second-run-is-warmer bias cancels too.
+    Unusually for a bench case the full grid scales the *pair count*,
+    not the workload: short runs keep each pair inside one machine
+    state window, which is what makes the ratio tight.
+    """
+    n_pairs = 3 if ctx.quick else 5
+    n_patients = 4
+    duration = 40.0
+    cohort = make_cohort(CohortConfig(n_patients=n_patients, seed=7))
+
+    def run_once(obs: Observability | None):
+        scheduler = FleetScheduler(
+            cohort, SchedulerConfig(duration_s=duration, fs=FS),
+            node_config=NodeProxyConfig(stream_telemetry=False),
+            obs=obs)
+        t0 = time.process_time()
+        fleet = scheduler.run()
+        return time.process_time() - t0, fleet
+
+    run_once(None)  # warm caches outside both timed variants
+    pair_ratios: list[float] = []
+    plain_cpu: list[float] = []
+    obs_cpu: list[float] = []
+    summaries: set[str] = set()
+    canonicals: set[str] = set()
+    n_events = n_series = 0
+
+    def measure_pairs(n: int) -> None:
+        nonlocal n_events, n_series
+        for i in range(n):
+            obs = Observability()
+            if i % 2:  # alternate order to cancel warm-up bias
+                cpu_obs, fleet_obs = run_once(obs)
+                cpu_plain, fleet_plain = run_once(None)
+            else:
+                cpu_plain, fleet_plain = run_once(None)
+                cpu_obs, fleet_obs = run_once(obs)
+            plain_cpu.append(cpu_plain)
+            obs_cpu.append(cpu_obs)
+            pair_ratios.append(cpu_obs / cpu_plain)
+            summaries.add(fleet_plain.summary.to_json())
+            summaries.add(fleet_obs.summary.to_json())
+            canonicals.add(obs.canonical_json())
+            n_events = len(obs.trace.events)
+            n_series = len(obs.metrics.snapshot()["series"])
+
+    def estimate() -> float:
+        # Two consistent estimators of the true overhead: the median
+        # pairwise ratio (robust to load spikes hitting single pairs)
+        # and the ratio of pooled CPU totals (robust to one noisy
+        # denominator inflating a pairwise ratio).  A real regression
+        # inflates both; single-core scheduling jitter rarely does, so
+        # the gate reads the smaller one.
+        return min(float(np.median(pair_ratios)),
+                   sum(obs_cpu) / sum(plain_cpu))
+
+    measure_pairs(n_pairs)
+    ratio = estimate()
+    attempts = 0
+    while ratio > 1.0 + MAX_OBS_OVERHEAD and attempts < 2:
+        # Jitter on a shared runner can still dwarf the real overhead
+        # at this workload size; confirm with more interleaved pairs
+        # before calling it a regression.
+        attempts += 1
+        measure_pairs(n_pairs + 3)
+        ratio = estimate()
+    if len(summaries) != 1:
+        raise AssertionError(
+            "observability changed FleetSummary bytes — "
+            "instrumentation is not out-of-band")
+    if len(canonicals) != 1:
+        raise AssertionError(
+            "canonical obs snapshot varied across identical runs — "
+            "trace determinism regression")
+    # Under the profiler every Python call is surcharged, which
+    # penalizes exactly the variant this case measures — only assert
+    # the budget when the clock is honest.
+    if ratio > 1.0 + MAX_OBS_OVERHEAD and not ctx.profiled:
+        raise AssertionError(
+            f"observability overhead {ratio:.3f}x exceeds the "
+            f"{1.0 + MAX_OBS_OVERHEAD:.2f}x budget")
+    return {
+        "patients": n_patients,
+        "samples": int(n_patients * duration * FS) * 3 * 2
+        * len(plain_cpu),
+        "overhead_ratio": ratio,
+        "plain_cpu_s": float(np.median(plain_cpu)),
+        "obs_cpu_s": float(np.median(obs_cpu)),
+        "trace_events": n_events,
+        "metric_series": n_series,
     }
 
 

@@ -15,7 +15,10 @@ one case wrapping it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from ..obs import Observability
 
 #: Reserved workload-result keys the runner turns into throughput.
 COUNT_KEYS = ("samples", "patients")
@@ -29,10 +32,20 @@ class BenchContext:
         quick: CI-sized workload (seconds) instead of the full one.
         seed: Base seed; workloads must derive all randomness from it
             so repeated runs time identical work.
+        obs: Optional shared :class:`~repro.obs.Observability` bundle
+            (the ``--obs`` CLI flag); workloads that drive the fleet
+            stack may thread it through so the emitted report can
+            attach a metrics snapshot.  ``None`` in plain runs.
+        profiled: This invocation runs under cProfile (the runner's
+            extra untimed pass).  Wall-clock is distorted by tracing
+            overhead, so workloads must skip internal timing
+            assertions when set.
     """
 
     quick: bool = False
     seed: int = 2014
+    obs: "Observability | None" = None
+    profiled: bool = False
 
 
 @dataclass(frozen=True)

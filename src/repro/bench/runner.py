@@ -18,8 +18,12 @@ meaningfully.
 
 from __future__ import annotations
 
+import cProfile
+import dataclasses
+import io
 import json
 import platform
+import pstats
 import resource
 import subprocess
 import sys
@@ -29,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import Observability, SCOPE_SHARD
 from .registry import COUNT_KEYS, BenchCase, BenchContext, all_cases
 from .schema import SCHEMA_VERSION, validate_report
 
@@ -99,6 +104,7 @@ class BenchReport:
     tolerance: float
     cases: list[dict] = field(default_factory=list)
     history: dict = field(default_factory=dict)
+    observability: dict | None = None
 
     @property
     def regressions(self) -> list[str]:
@@ -121,6 +127,8 @@ class BenchReport:
             "history": self.history,
             "cases": self.cases,
         }
+        if self.observability is not None:
+            payload["observability"] = self.observability
         validate_report(payload)
         return payload
 
@@ -181,13 +189,23 @@ class BenchRunner:
             ``no-baseline``.
         tolerance: Allowed fractional slowdown before ``regression``.
         seed: Base seed forwarded to every workload.
+        obs: Optional observability bundle.  Forwarded to workloads via
+            :class:`BenchContext` and stamped with per-case wall-time
+            gauges; the report then attaches its snapshot bundle so
+            ``BENCH_<rev>.json`` carries the run's metrics.
+        profile: Collect a cProfile of one *extra* (untimed) workload
+            run per case.  The timed region is never profiled, so the
+            scored wall times are unaffected; read the table back with
+            :meth:`profile_text`.
     """
 
     def __init__(self, cases: list[BenchCase] | None = None,
                  quick: bool = False, warmup: int = 1, repeats: int = 3,
                  baselines: dict | None = None,
                  tolerance: float = DEFAULT_TOLERANCE,
-                 seed: int = 2014) -> None:
+                 seed: int = 2014,
+                 obs: Observability | None = None,
+                 profile: bool = False) -> None:
         if warmup < 0 or repeats < 1:
             raise ValueError("need warmup >= 0 and repeats >= 1")
         self.cases = (sorted(all_cases().values(), key=lambda c: c.name)
@@ -198,6 +216,8 @@ class BenchRunner:
         self.baselines = baselines or {}
         self.tolerance = tolerance
         self.seed = seed
+        self.obs = obs
+        self.profiler = cProfile.Profile() if profile else None
 
     def run(self, progress=None) -> BenchReport:
         """Execute every case; ``progress`` (optional callable) gets
@@ -209,10 +229,25 @@ class BenchRunner:
             report.cases.append(outcome)
             if progress is not None:
                 progress(outcome)
+        if self.obs is not None:
+            report.observability = self.obs.snapshot_bundle()
         return report
 
+    def profile_text(self, top: int = 25) -> str:
+        """Top-``top`` cumulative-time table of the profiled runs.
+
+        Raises:
+            ValueError: The runner was built without ``profile=True``.
+        """
+        if self.profiler is None:
+            raise ValueError("runner was not profiling; pass profile=True")
+        stream = io.StringIO()
+        stats = pstats.Stats(self.profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(top)
+        return stream.getvalue()
+
     def _run_case(self, case: BenchCase) -> dict:
-        ctx = BenchContext(quick=self.quick, seed=self.seed)
+        ctx = BenchContext(quick=self.quick, seed=self.seed, obs=self.obs)
         for _ in range(self.warmup):
             case.workload(ctx)
         walls: list[float] = []
@@ -221,7 +256,21 @@ class BenchRunner:
             t0 = time.perf_counter()
             result = case.workload(ctx)
             walls.append(time.perf_counter() - t0)
+        if self.profiler is not None:
+            # One extra run under the profiler, after (never inside)
+            # the timed region.  ``profiled=True`` tells the workload
+            # its wall clock is distorted by tracing overhead.
+            profiled_ctx = dataclasses.replace(ctx, profiled=True)
+            self.profiler.enable()
+            case.workload(profiled_ctx)
+            self.profiler.disable()
         best = min(walls)
+        if self.obs is not None:
+            self.obs.metrics.gauge(
+                "bench_case_wall_seconds",
+                "Best scored wall time per bench case",
+                scope=SCOPE_SHARD).set(best, case=case.name,
+                                       quick=self.quick)
         baseline_key = "wall_s_quick" if self.quick else "wall_s"
         baseline = self.baselines.get(case.name, {}).get(baseline_key)
         if not baseline:

@@ -66,6 +66,17 @@ BENCH_SCHEMA = {
         },
         "history": {"type": "object"},
         "cases": {"type": "array", "items": _CASE_SCHEMA},
+        # Optional (--obs runs only): the Observability snapshot bundle
+        # — additive, so SCHEMA_VERSION stays put.
+        "observability": {
+            "type": "object",
+            "required": ["metrics", "trace", "flight"],
+            "properties": {
+                "metrics": {"type": "object"},
+                "trace": {"type": "object"},
+                "flight": {"type": "object"},
+            },
+        },
     },
 }
 

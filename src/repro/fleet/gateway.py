@@ -36,6 +36,9 @@ from ..compression.encoder import MultiLeadCsEncoder
 from ..compression.metrics import reconstruction_snr_db
 from ..compression.multilead import JointCsDecoder, MultiLeadRecovery
 from ..delineation.rpeak import RPeakDetector
+from ..obs import (ANOMALY_ALARM_BURST, ANOMALY_NAN_GUARD,
+                   ANOMALY_REASSEMBLY_STALL, ANOMALY_WIRE_ERROR,
+                   Observability, SCOPE_SHARD)
 from ..power.governor import MODE_MULTI_LEAD_CS, MODE_RAW
 from .node_proxy import PACKET_ALARM, PACKET_TELEMETRY, UplinkPacket
 
@@ -241,21 +244,86 @@ class _ReassemblyBuffer:
         return released
 
 
+class _GatewayMetrics:
+    """Pre-resolved metric families for the gateway's hot paths.
+
+    Family lookup (name -> object) happens once here instead of per
+    packet, keeping the instrumented ingest/drain paths to label-key
+    construction plus a dict update — part of the <5% overhead budget.
+    """
+
+    def __init__(self, obs: Observability) -> None:
+        metrics = obs.metrics
+        self.ingested = metrics.counter(
+            "gateway_packets_ingested_total",
+            "Packets accepted into a reassembly window, by kind.")
+        self.processed = metrics.counter(
+            "gateway_packets_processed_total",
+            "Packets drained and reconstructed, by kind.")
+        self.reassembly = metrics.counter(
+            "gateway_reassembly_events_total",
+            "Reassembly outcomes: duplicate / out_of_order / gap / "
+            "late_recovered.")
+        self.alarms = metrics.counter(
+            "gateway_alarms_total",
+            "Alarm packets by gateway confirmation verdict.")
+        self.stalls = metrics.counter(
+            "gateway_reassembly_stalls_total",
+            "Force-released reassembly buffers (head-of-line timeouts).")
+        self.nan_guard = metrics.counter(
+            "gateway_nan_guard_total",
+            "Reconstructed excerpts rejected by the non-finite guard.")
+        self.snr = metrics.histogram(
+            "gateway_snr_db",
+            "Reconstruction SNR of scored excerpts (dB).",
+            buckets=(0.0, 5.0, 10.0, 15.0, 20.0, 30.0, 50.0))
+        self.queue_dropped = metrics.counter(
+            "gateway_queue_dropped_total",
+            "Arrivals rejected by the bounded ingest queue "
+            "(process-local back-pressure).", scope=SCOPE_SHARD)
+        self.batch_windows = metrics.histogram(
+            "gateway_drain_batch_windows",
+            "CS windows recovered per batched FISTA call "
+            "(process-local batch shape).", scope=SCOPE_SHARD,
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0))
+
+
 class Gateway:
     """Multi-patient ingest and server-side reconstruction.
 
     Decoders are cached per encoder geometry ``(n_leads, window_n, m,
     seed)`` — the fleet shares one matrix family per lead count, so in
     practice a handful of decoders serve any cohort size.
+
+    When built with an :class:`~repro.obs.Observability` handle the
+    gateway also keeps out-of-band accounting: fleet-scope counters for
+    ingest/reassembly/alarm outcomes, trace instants stamped with
+    **packet virtual time**, a per-channel flight-recorder ring of wire
+    frames, and anomaly dumps on reassembly stalls, non-finite
+    reconstructions, alarm bursts and undecodable frames.  All of it is
+    skipped entirely when ``obs`` is ``None``, and none of it feeds
+    back into processing decisions.
     """
 
-    def __init__(self, config: GatewayConfig | None = None) -> None:
+    def __init__(self, config: GatewayConfig | None = None,
+                 obs: Observability | None = None) -> None:
         self.config = config or GatewayConfig()
         self.channels: dict[str, PatientChannel] = {}
         self.dropped = 0
         self._queue: deque[UplinkPacket] = deque()
         self._decoders: dict[tuple, JointCsDecoder] = {}
         self._reassembly: dict[str, _ReassemblyBuffer] = {}
+        self.obs = obs
+        self._m = _GatewayMetrics(obs) if obs is not None else None
+
+    def attach_obs(self, obs: Observability | None) -> None:
+        """Enable (or disable) observability on a built gateway.
+
+        Lets the scheduler share one bundle with a gateway it did not
+        construct.  Passing ``None`` detaches instrumentation.
+        """
+        self.obs = obs
+        self._m = _GatewayMetrics(obs) if obs is not None else None
 
     @property
     def pending(self) -> int:
@@ -274,10 +342,56 @@ class Gateway:
         """
         if len(self._queue) >= self.config.queue_capacity:
             self.dropped += 1
+            if self._m is not None:
+                self.queue_dropped_inc(packet.patient_id)
             return False
+        channel = self.channel(packet.patient_id)
+        if self._m is None:
+            self._enqueue(self._reassembly_for(packet.patient_id).offer(
+                packet, channel))
+            return True
+        before = self._reassembly_counters(channel)
         self._enqueue(self._reassembly_for(packet.patient_id).offer(
-            packet, self.channel(packet.patient_id)))
+            packet, channel))
+        self._note_reassembly(channel, before)
+        self._m.ingested.inc(patient=packet.patient_id, kind=packet.kind)
+        if self.obs.trace is not None:
+            self.obs.trace.instant(
+                packet.timestamp_s, "gateway.ingest",
+                subject=packet.patient_id, kind=packet.kind,
+                seq=packet.seq)
         return True
+
+    def queue_dropped_inc(self, patient_id: str) -> None:
+        """Account one back-pressure drop (shard-scope: local queue)."""
+        self._m.queue_dropped.inc(patient=patient_id)
+
+    @staticmethod
+    def _reassembly_counters(channel: PatientChannel,
+                             ) -> tuple[int, int, int, int]:
+        """Snapshot the four reassembly counters of one channel."""
+        return (channel.n_duplicates, channel.n_out_of_order,
+                channel.n_gaps, channel.n_late_recovered)
+
+    def _note_reassembly(self, channel: PatientChannel,
+                         before: tuple[int, int, int, int]) -> None:
+        """Convert channel-counter deltas into monotonic metric events.
+
+        ``n_gaps`` alone is not monotonic (a late recovery decrements
+        it), so the gap *write-off* count is reconstructed as
+        ``Δn_gaps + Δn_late_recovered`` — a late recovery moves one
+        unit from gaps to late_recovered and adds no new write-off.
+        """
+        dup, ooo, gaps, late = self._reassembly_counters(channel)
+        events = (("duplicate", dup - before[0]),
+                  ("out_of_order", ooo - before[1]),
+                  ("gap", (gaps - before[2]) + (late - before[3])),
+                  ("late_recovered", late - before[3]))
+        for event, delta in events:
+            if delta > 0:
+                self._m.reassembly.inc(delta,
+                                       patient=channel.patient_id,
+                                       event=event)
 
     def ingest_bytes(self, data: bytes | bytearray | memoryview) -> bool:
         """Decode one wire frame and ingest the packet it carries.
@@ -291,9 +405,22 @@ class Gateway:
             ~repro.fleet.wire.WireFormatError: The buffer does not
                 parse as a valid packet frame.
         """
-        from .wire import decode_packet
+        from .wire import decode_packet, WireFormatError
 
-        return self.ingest(decode_packet(data))
+        if self._m is None:
+            return self.ingest(decode_packet(data))
+        try:
+            packet = decode_packet(data)
+        except WireFormatError as exc:
+            import base64
+
+            self.obs.flight.anomaly(
+                ANOMALY_WIRE_ERROR, "unknown", self.obs.virtual_time_s,
+                error=str(exc),
+                frame_b64=base64.b64encode(bytes(data)).decode("ascii"))
+            raise
+        self.obs.flight.record_frame(packet.patient_id, bytes(data))
+        return self.ingest(packet)
 
     def flush_reassembly(self) -> int:
         """Force-release every reassembly buffer (end of run / timeout).
@@ -303,8 +430,12 @@ class Gateway:
         """
         released = 0
         for patient_id, buffer in self._reassembly.items():
-            released += self._enqueue(
-                buffer.flush(self.channel(patient_id)))
+            channel = self.channel(patient_id)
+            before = (self._reassembly_counters(channel)
+                      if self._m is not None else None)
+            released += self._enqueue(buffer.flush(channel))
+            if before is not None:
+                self._note_reassembly(channel, before)
         return released
 
     def expire_reassembly(self) -> int:
@@ -326,8 +457,23 @@ class Gateway:
                 continue
             buffer.gap_ticks += 1
             if buffer.gap_ticks >= self.config.reassembly_gap_ticks:
-                released += self._enqueue(
-                    buffer.flush(self.channel(patient_id)))
+                channel = self.channel(patient_id)
+                n_stalled = len(buffer.buffer)
+                before = (self._reassembly_counters(channel)
+                          if self._m is not None else None)
+                released += self._enqueue(buffer.flush(channel))
+                if before is not None:
+                    self._note_reassembly(channel, before)
+                    self._m.stalls.inc(patient=patient_id)
+                    now = self.obs.virtual_time_s
+                    if self.obs.trace is not None:
+                        self.obs.trace.instant(
+                            now, "gateway.reassembly_stall",
+                            subject=patient_id, n_released=n_stalled)
+                    self.obs.flight.anomaly(
+                        ANOMALY_REASSEMBLY_STALL, patient_id, now,
+                        n_released=n_stalled,
+                        gap_ticks=self.config.reassembly_gap_ticks)
         return released
 
     def _enqueue(self, packets: list[UplinkPacket]) -> int:
@@ -382,6 +528,11 @@ class Gateway:
         for key, refs in groups.items():
             decoder = self._decoder_for(packets[refs[0][0]])
             frames = [packets[i].frames[f] for i, f in refs]
+            if self._m is not None:
+                self._m.batch_windows.observe(
+                    len(frames),
+                    n_leads=str(key[0]), window_n=str(key[1]),
+                    cr_percent=str(key[2]))
             for (i, f), recovery in zip(refs,
                                         decoder.recover_batch(frames)):
                 out[i][f] = recovery
@@ -446,6 +597,8 @@ class Gateway:
             channel.n_excerpts += 1
         if np.isfinite(snr):
             channel.snrs.append(snr)
+        if self._m is not None:
+            self._note_processed(packet, signal, snr, confirmed)
         return ReconstructedExcerpt(
             patient_id=packet.patient_id,
             timestamp_s=packet.timestamp_s,
@@ -457,6 +610,87 @@ class Gateway:
             mode=packet.mode,
             soc=packet.soc,
         )
+
+    def _note_processed(self, packet: UplinkPacket, signal: np.ndarray,
+                        snr: float, confirmed: bool | None) -> None:
+        """Out-of-band accounting for one drained packet.
+
+        Counters, the SNR histogram, trace instants at the packet's
+        virtual timestamp, and the three anomaly detectors (non-finite
+        reconstruction, alarm burst) — called only when observability
+        is enabled, after processing is complete, so it cannot alter
+        any processing outcome.
+        """
+        pid = packet.patient_id
+        t_s = packet.timestamp_s
+        self._m.processed.inc(patient=pid, kind=packet.kind)
+        if np.isfinite(snr):
+            self._m.snr.observe(snr, patient=pid)
+        if signal.size and not np.all(np.isfinite(signal)):
+            self._m.nan_guard.inc(patient=pid)
+            if self.obs.trace is not None:
+                self.obs.trace.instant(t_s, "gateway.nan_guard",
+                                       subject=pid, kind=packet.kind)
+            self.obs.flight.anomaly(ANOMALY_NAN_GUARD, pid, t_s,
+                                    kind=packet.kind, seq=packet.seq)
+        if confirmed is not None:
+            verdict = "confirmed" if confirmed else "refuted"
+            self._m.alarms.inc(patient=pid, verdict=verdict)
+            if self.obs.trace is not None:
+                self.obs.trace.instant(t_s, "gateway.alarm", subject=pid,
+                                       verdict=verdict)
+            if self.obs.flight.note_alarm(pid, t_s):
+                self.obs.flight.anomaly(
+                    ANOMALY_ALARM_BURST, pid, t_s,
+                    threshold=self.obs.flight.alarm_burst_threshold,
+                    window_s=self.obs.flight.alarm_burst_window_s)
+
+    def diagnostics(self) -> dict:
+        """Structured snapshot of every channel's link-health counters.
+
+        The supported way to read reassembly and confirmation state —
+        triage and operators should use this instead of spelunking
+        :class:`PatientChannel` attributes.
+
+        Returns:
+            ``{"channels": {pid: {...}}, "totals": {...}, "queue":
+            {...}}`` with patients sorted by id.  Channel entries carry
+            the ingest counters (``n_excerpts``/``n_alarms``/
+            ``n_confirmed``/``n_telemetry``/``payload_bits``), the
+            reassembly counters (``n_duplicates``/``n_out_of_order``/
+            ``n_gaps``/``n_late_recovered``), live reassembly state
+            (``pending_reassembly``/``stalled_ticks``) and telemetry
+            (``last_timestamp_s``/``mean_snr_db``/``last_mode``/
+            ``last_soc``).  ``totals`` sums the integer counters across
+            channels.
+        """
+        counter_keys = ("n_excerpts", "n_alarms", "n_confirmed",
+                        "n_telemetry", "payload_bits", "n_duplicates",
+                        "n_out_of_order", "n_gaps", "n_late_recovered")
+        channels: dict[str, dict] = {}
+        totals = dict.fromkeys(counter_keys, 0)
+        for pid in sorted(self.channels):
+            ch = self.channels[pid]
+            buf = self._reassembly.get(pid)
+            entry = {key: getattr(ch, key) for key in counter_keys}
+            entry.update(
+                pending_reassembly=len(buf.buffer) if buf else 0,
+                stalled_ticks=buf.gap_ticks if buf else 0,
+                last_timestamp_s=ch.last_timestamp_s,
+                mean_snr_db=ch.mean_snr_db,
+                last_mode=ch.last_mode,
+                last_soc=ch.last_soc,
+            )
+            channels[pid] = entry
+            for key in counter_keys:
+                totals[key] += entry[key]
+        return {
+            "channels": channels,
+            "totals": totals,
+            "queue": {"pending": len(self._queue),
+                      "capacity": self.config.queue_capacity,
+                      "dropped": self.dropped},
+        }
 
     @staticmethod
     def _decoder_key(packet: UplinkPacket) -> tuple:

@@ -32,6 +32,7 @@ import numpy as np
 from ..classification.afib import AfDetector
 from ..compression.encoder import EncodedWindow, MultiLeadCsEncoder
 from ..compression.multilead import row_stable_matmul
+from ..obs import Observability, SCOPE_SHARD
 from ..pipeline.node_app import NodeReport
 from ..power.governor import (
     MODE_EVENTS_ONLY,
@@ -220,6 +221,26 @@ class FleetReport:
         return len(self.profiles) / total if total > 0 else float("nan")
 
 
+class _SchedulerMetrics:
+    """Pre-resolved metric families for the scheduler's hot paths."""
+
+    def __init__(self, obs: Observability) -> None:
+        metrics = obs.metrics
+        self.uplink = metrics.counter(
+            "scheduler_uplink_packets_total",
+            "Packets offered to the uplink, by kind and governed mode.")
+        self.transitions = metrics.counter(
+            "governor_transitions_total",
+            "Governor mode switches, by from/to mode and cause.")
+        self.soc = metrics.gauge(
+            "governor_soc",
+            "Latest battery state of charge per governed patient.")
+        self.wall = metrics.gauge(
+            "scheduler_wall_seconds",
+            "Wall-clock seconds per scheduler phase (process-local).",
+            scope=SCOPE_SHARD)
+
+
 class FleetScheduler:
     """Drives a cohort through nodes, uplink, gateway and triage.
 
@@ -246,6 +267,13 @@ class FleetScheduler:
         acuity_override: Scenario hook — forces a patient's acuity at a
             tick (``governor_stress``); ``None`` returns mean "use the
             board state".
+        obs: Optional :class:`~repro.obs.Observability` bundle.  When
+            given, the scheduler advances the bundle's virtual clock
+            each tick, counts the uplink mix by mode, wires per-patient
+            governor decision observers, and shares the bundle with the
+            gateway (unless the gateway already carries its own).  All
+            instrumentation is out-of-band: run results are
+            byte-identical with and without it.
     """
 
     def __init__(self, cohort: list[PatientProfile],
@@ -258,13 +286,18 @@ class FleetScheduler:
                  record_transform: RecordTransform | None = None,
                  governor_factory: GovernorFactory | None = None,
                  extra_load: ExtraLoad | None = None,
-                 acuity_override: AcuityOverride | None = None) -> None:
+                 acuity_override: AcuityOverride | None = None,
+                 obs: Observability | None = None) -> None:
         if not cohort:
             raise ValueError("cohort must not be empty")
         self.cohort = cohort
         self.config = config or SchedulerConfig()
         self.node_config = node_config or NodeProxyConfig()
-        self.gateway = gateway or Gateway(GatewayConfig())
+        self.obs = obs
+        self._obs_m = _SchedulerMetrics(obs) if obs is not None else None
+        self.gateway = gateway or Gateway(GatewayConfig(), obs=obs)
+        if obs is not None and self.gateway.obs is None:
+            self.gateway.attach_obs(obs)
         self.board = board or TriageBoard()
         self.af_detector = af_detector
         self.link = link
@@ -311,6 +344,9 @@ class FleetScheduler:
             self.governors = {profile.patient_id:
                               self.governor_factory(profile)
                               for profile in self.cohort}
+            if self._obs_m is not None:
+                for pid, governor in self.governors.items():
+                    governor.on_decision = self._governor_observer(pid)
 
         # Phase 2 — tick loop: batched uplink, gateway drain, triage.
         # Alarm packets are *built at the tick that uplinks them* (early
@@ -324,6 +360,9 @@ class FleetScheduler:
         excerpts: list[ReconstructedExcerpt] = []
         for tick in range(1, n_ticks + 1):
             now = tick * period
+            if self.obs is not None:
+                self.obs.set_virtual_time(now)
+            sent_before = packets_sent
             # Closed loop: last tick's triage states feed this tick's
             # governor decisions (one-tick feedback latency, like a real
             # gateway round trip).
@@ -343,6 +382,10 @@ class FleetScheduler:
                 self.board.observe(excerpt)
                 excerpts.append(excerpt)
             self.board.tick(now)
+            if self.obs is not None and self.obs.trace is not None:
+                self.obs.trace.instant(
+                    now, "scheduler.tick", scope=SCOPE_SHARD,
+                    n_sent=packets_sent - sent_before)
         # Alarm buckets past the last tick exist only when the run is
         # shorter than one excerpt period (n_ticks == 0); uplink them
         # before the final drain so no alarm is silently lost.
@@ -364,20 +407,55 @@ class FleetScheduler:
         summary = fleet_summary(reports, self.gateway, self.board,
                                 cfg.duration_s,
                                 governors=self.governors or None)
+        timings = {
+            "synthesis+node": t_node - t_start,
+            "uplink+gateway": t_end - t_node,
+            "total": t_end - t_start,
+        }
+        if self._obs_m is not None:
+            for phase, seconds in timings.items():
+                self._obs_m.wall.set(seconds, phase=phase)
         return FleetReport(
             profiles=list(self.cohort),
             node_reports=reports,
             summary=summary,
             excerpts=excerpts,
             packets_sent=packets_sent,
-            timings_s={
-                "synthesis+node": t_node - t_start,
-                "uplink+gateway": t_end - t_node,
-                "total": t_end - t_start,
-            },
+            timings_s=timings,
             link_stats=dict(getattr(self.link, "stats", {}) or {}),
             governors=dict(self.governors),
         )
+
+    def _governor_observer(self, pid: str):
+        """Build one patient's out-of-band governor decision observer.
+
+        The returned callable feeds the SoC gauge on every decision and,
+        on a mode switch, the transition counter plus a
+        ``governor.switch`` trace instant stamped at the decision's
+        virtual time with the full cause (from/to mode, reason, acuity,
+        state of charge).
+        """
+        m = self._obs_m
+        trace = self.obs.trace
+
+        def observe(decision: GovernorDecision) -> None:
+            m.soc.set(decision.soc, patient=pid)
+            if not decision.switched:
+                return
+            m.transitions.inc(patient=pid,
+                              from_mode=decision.prev_mode,
+                              to_mode=decision.mode,
+                              reason=decision.reason)
+            if trace is not None:
+                trace.instant(decision.t_s, "governor.switch",
+                              subject=pid,
+                              from_mode=decision.prev_mode,
+                              to_mode=decision.mode,
+                              reason=decision.reason,
+                              acuity=decision.acuity,
+                              soc=decision.soc)
+
+        return observe
 
     def _step_governors(self, now_s: float) -> dict[str, GovernorDecision]:
         """Advance every patient's governor by one tick interval.
@@ -528,6 +606,9 @@ class FleetScheduler:
         """Offer one packet to the link (or straight to the gateway)."""
         self.sent_by_patient[packet.patient_id] = \
             self.sent_by_patient.get(packet.patient_id, 0) + 1
+        if self._obs_m is not None:
+            self._obs_m.uplink.inc(patient=packet.patient_id,
+                                   kind=packet.kind, mode=packet.mode)
         if self.link is None:
             self._ingest(packet)
             return

@@ -35,6 +35,7 @@ Together these make the merged summary byte-identical
 
 from __future__ import annotations
 
+import json
 import struct
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -44,6 +45,8 @@ from typing import Callable
 import numpy as np
 
 from ..classification.afib import AfDetector
+from ..obs import (Observability, ObsConfig, SCOPE_SHARD,
+                   canonical_bundle_json, canonical_view, merge_bundles)
 from ..pipeline.node_app import NodeReport
 from .cohort import PatientProfile
 from .gateway import Gateway, GatewayConfig, PatientChannel
@@ -63,8 +66,9 @@ from .wire import WireFormatError, _pack_str, _unpack_str
 #: First bytes of a shard-result blob.
 SHARD_MAGIC = b"RPS1"
 
-#: Shard-result layout version (bump on any change).
-SHARD_VERSION = 1
+#: Shard-result layout version (bump on any change).  v2 appended the
+#: u32-length-prefixed observability bundle after the patient rows.
+SHARD_VERSION = 2
 
 _SHARD_HEAD = struct.Struct("<4sBIQQdddI")
 _ROW_NODE = struct.Struct("<IddII")
@@ -200,6 +204,9 @@ class ShardResult:
         dropped: Packets lost to this shard gateway's bounded queue.
         timings_s: The shard scheduler's phase timings.
         rows: Per-patient rows, in the shard's cohort-stripe order.
+        obs_bundle: The worker's observability snapshot bundle
+            (metrics + trace + flight summary), ``None`` when the run
+            was not observed.
     """
 
     shard_index: int
@@ -207,6 +214,7 @@ class ShardResult:
     dropped: int
     timings_s: dict[str, float]
     rows: list[ShardPatientRow] = field(default_factory=list)
+    obs_bundle: dict | None = None
 
 
 def partition_cohort(cohort: list[PatientProfile],
@@ -317,6 +325,13 @@ def encode_shard_result(result: ShardResult) -> bytes:
             row.projected_hours))
         parts.append(_pack_float_map(row.mode_seconds))
         parts.append(_pack_counter(row.link_stats))
+    # v2 trailer: the worker's observability bundle as canonical JSON
+    # (u32 length prefix; zero when the run was not observed).
+    obs_json = (b"" if result.obs_bundle is None
+                else json.dumps(result.obs_bundle, sort_keys=True,
+                                separators=(",", ":")).encode("utf-8"))
+    parts.append(struct.pack("<I", len(obs_json)))
+    parts.append(obs_json)
     return b"".join(parts)
 
 
@@ -403,8 +418,22 @@ def decode_shard_result(data: bytes | bytearray | memoryview,
                 governor_switches=governor_switches,
                 final_soc=final_soc, projected_hours=projected_hours,
                 link_stats=link_stats))
+        (obs_len,) = struct.unpack_from("<I", buf, offset)
+        offset += 4
     except struct.error as exc:
         raise WireFormatError("truncated shard result") from exc
+    obs_bundle: dict | None = None
+    if obs_len:
+        if offset + obs_len > len(buf):
+            raise WireFormatError(
+                "truncated shard result: observability bundle")
+        try:
+            obs_bundle = json.loads(
+                bytes(buf[offset:offset + obs_len]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireFormatError(
+                "corrupt shard observability bundle") from exc
+        offset += obs_len
     if offset != len(buf):
         raise WireFormatError(
             f"{len(buf) - offset} trailing bytes after shard result")
@@ -413,7 +442,7 @@ def decode_shard_result(data: bytes | bytearray | memoryview,
         dropped=dropped,
         timings_s={"synthesis+node": t_node, "uplink+gateway": t_gateway,
                    "total": t_total},
-        rows=rows)
+        rows=rows, obs_bundle=obs_bundle)
 
 
 @dataclass(frozen=True)
@@ -475,6 +504,9 @@ class ShardedFleetReport:
         shard_timings_s: Each shard scheduler's phase timings.
         timings_s: Parent-side wall clock (``total`` spans fork to
             merge).
+        obs_bundle: Merged observability bundle across every shard
+            plus the parent's merge-cost gauges (``None`` when the run
+            was not observed).
     """
 
     summary: FleetSummary
@@ -484,6 +516,7 @@ class ShardedFleetReport:
     rows: dict[str, ShardPatientRow] = field(default_factory=dict)
     shard_timings_s: list[dict[str, float]] = field(default_factory=list)
     timings_s: dict[str, float] = field(default_factory=dict)
+    obs_bundle: dict | None = None
 
     @property
     def patients_per_second(self) -> float:
@@ -492,28 +525,63 @@ class ShardedFleetReport:
         return (self.summary.n_patients / total if total > 0
                 else float("nan"))
 
+    def canonical_obs_json(self) -> str:
+        """Byte-stable fleet-scope view of the merged observability.
+
+        The shard-equivalence surface for metrics and traces: for the
+        same master seed this string is byte-identical across shard
+        counts and equal to
+        :meth:`~repro.obs.Observability.canonical_json` of a plain
+        in-process run.
+
+        Raises:
+            ValueError: The run was not observed (no ``obs_config``).
+        """
+        if self.obs_bundle is None:
+            raise ValueError("run was not observed: pass obs_config to "
+                             "ShardedFleetRunner")
+        return canonical_bundle_json(canonical_view(self.obs_bundle))
+
 
 def _run_shard(shard_index: int, profiles: list[PatientProfile],
                config: SchedulerConfig, node_config: NodeProxyConfig,
                gateway_config: GatewayConfig, master_seed: int,
                hook_factory: ShardHookFactory | None,
-               af_detector: AfDetector | None) -> bytes:
+               af_detector: AfDetector | None,
+               obs_config: ObsConfig | None = None) -> bytes:
     """Worker body: run one shard's scheduler, return its wire blob.
 
     Module-level so a :class:`~concurrent.futures.ProcessPoolExecutor`
     can pickle the call; every argument is a plain dataclass (or a
     picklable callable), every return crosses the boundary as bytes.
+    The live :class:`~repro.obs.Observability` bundle is built *here*
+    from the picklable ``obs_config`` and returns as a JSON snapshot in
+    the blob's v2 trailer.
     """
     hooks = (hook_factory(profiles, master_seed)
              if hook_factory is not None else ShardHooks())
+    obs = Observability.from_config(obs_config)
     scheduler = FleetScheduler(
         profiles, config, node_config=node_config,
-        gateway=Gateway(gateway_config), af_detector=af_detector,
+        gateway=Gateway(gateway_config, obs=obs),
+        af_detector=af_detector,
         link=hooks.link, record_transform=hooks.record_transform,
         governor_factory=hooks.governor_factory,
         extra_load=hooks.extra_load,
-        acuity_override=hooks.acuity_override)
+        acuity_override=hooks.acuity_override, obs=obs)
     fleet = scheduler.run()
+    if obs is not None:
+        wall = obs.metrics.gauge(
+            "shard_wall_seconds",
+            "Wall-clock seconds per phase of one shard scheduler.",
+            scope=SCOPE_SHARD)
+        for phase, seconds in fleet.timings_s.items():
+            wall.set(seconds, shard=str(shard_index), phase=phase)
+        obs.metrics.gauge(
+            "shard_virtual_seconds",
+            "Simulated seconds covered by one shard scheduler.",
+            scope=SCOPE_SHARD).set(config.duration_s,
+                                   shard=str(shard_index))
     reconstructed: dict[str, int] = {}
     for excerpt in fleet.excerpts:
         reconstructed[excerpt.patient_id] = \
@@ -552,7 +620,8 @@ def _run_shard(shard_index: int, profiles: list[PatientProfile],
         packets_sent=fleet.packets_sent,
         dropped=scheduler.gateway.dropped,
         timings_s=dict(fleet.timings_s),
-        rows=rows)
+        rows=rows,
+        obs_bundle=(obs.snapshot_bundle() if obs is not None else None))
     return encode_shard_result(result)
 
 
@@ -571,6 +640,11 @@ class ShardedFleetRunner:
         hook_factory: Optional per-shard scenario wiring (see
             :data:`ShardHookFactory`); must be picklable.
         af_detector: Trained fleet AF detector (pickled to workers).
+        obs_config: Optional :class:`~repro.obs.ObsConfig`.  Each
+            worker builds its own :class:`~repro.obs.Observability`
+            bundle from it and ships a snapshot home in the blob; the
+            parent merges them (plus its own merge-cost gauges) into
+            :attr:`ShardedFleetReport.obs_bundle`.
     """
 
     def __init__(self, cohort: list[PatientProfile], n_shards: int = 4,
@@ -579,7 +653,8 @@ class ShardedFleetRunner:
                  gateway_config: GatewayConfig | None = None,
                  master_seed: int = 2014,
                  hook_factory: ShardHookFactory | None = None,
-                 af_detector: AfDetector | None = None) -> None:
+                 af_detector: AfDetector | None = None,
+                 obs_config: ObsConfig | None = None) -> None:
         self.shards = partition_cohort(cohort, n_shards)
         self.cohort = list(cohort)
         self.config = config or SchedulerConfig()
@@ -588,6 +663,7 @@ class ShardedFleetRunner:
         self.master_seed = master_seed
         self.hook_factory = hook_factory
         self.af_detector = af_detector
+        self.obs_config = obs_config
 
     @property
     def n_shards(self) -> int:
@@ -599,7 +675,7 @@ class ShardedFleetRunner:
         t_start = time.perf_counter()
         tasks = [(i, profiles, self.config, self.node_config,
                   self.gateway_config, self.master_seed,
-                  self.hook_factory, self.af_detector)
+                  self.hook_factory, self.af_detector, self.obs_config)
                  for i, profiles in enumerate(self.shards)]
         if len(tasks) == 1:
             blobs = [_run_shard(*tasks[0])]
@@ -609,9 +685,30 @@ class ShardedFleetRunner:
                            for task in tasks]
                 blobs = [future.result() for future in futures]
         results = [decode_shard_result(blob) for blob in blobs]
+        t_merge = time.perf_counter()
         report = self._merge(results)
+        if self.obs_config is not None:
+            report.obs_bundle = self._merge_obs(
+                results, time.perf_counter() - t_merge)
         report.timings_s["total"] = time.perf_counter() - t_start
         return report
+
+    def _merge_obs(self, results: list[ShardResult],
+                   merge_seconds: float) -> dict:
+        """Fold worker bundles with the parent's shard-scope gauges."""
+        parent = Observability(ObsConfig(trace=False))
+        parent.metrics.gauge(
+            "shard_merge_seconds",
+            "Parent-side wall seconds to merge shard results.",
+            scope=SCOPE_SHARD).set(merge_seconds)
+        parent.metrics.gauge(
+            "shard_count", "Shard layout of this run.",
+            scope=SCOPE_SHARD).set(float(len(results)))
+        ordered = sorted(results, key=lambda r: r.shard_index)
+        bundles = [r.obs_bundle for r in ordered
+                   if r.obs_bundle is not None]
+        bundles.append(parent.snapshot_bundle())
+        return merge_bundles(bundles)
 
     def _merge(self, results: list[ShardResult]) -> ShardedFleetReport:
         """Fold decoded shard results into one fleet view.

@@ -183,6 +183,35 @@ class TriageBoard:
             out[triage.state] += 1
         return out
 
+    def link_health(self, diagnostics: dict) -> dict[str, dict]:
+        """One link-health row per patient, sorted by id.
+
+        Joins the board's staleness view with the reassembly counters
+        from :meth:`~repro.fleet.gateway.Gateway.diagnostics` — the
+        supported way to ask "which links are hurting and why" without
+        spelunking channel attributes.  A patient known to the gateway
+        but never registered on the board reports ``stale=True`` (its
+        state machine never existed, so nothing ever cleared it).
+        """
+        channels = diagnostics.get("channels", {})
+        out: dict[str, dict] = {}
+        for pid in sorted(set(self.patients) | set(channels)):
+            triage = self.patients.get(pid)
+            ch = channels.get(pid, {})
+            out[pid] = {
+                "state": triage.state if triage else STATE_OK,
+                "stale": triage.stale if triage else True,
+                "n_stale_events":
+                    triage.n_stale_events if triage else 0,
+                "n_gaps": ch.get("n_gaps", 0),
+                "n_duplicates": ch.get("n_duplicates", 0),
+                "n_out_of_order": ch.get("n_out_of_order", 0),
+                "n_late_recovered": ch.get("n_late_recovered", 0),
+                "pending_reassembly": ch.get("pending_reassembly", 0),
+                "stalled_ticks": ch.get("stalled_ticks", 0),
+            }
+        return out
+
 
 @dataclass(frozen=True)
 class FleetSummary:
@@ -353,8 +382,13 @@ def fleet_summary(reports: dict[str, NodeReport], gateway: Gateway,
         lifetimes.append(governor.projected_hours_to_empty())
     scale_day = 86400.0 / duration_s
     node_alarms = sum(len(r.alarms) for r in reports.values())
-    confirmed = sum(ch.n_confirmed for ch in gateway.channels.values())
-    payload_bits = sum(ch.payload_bits for ch in gateway.channels.values())
+    # Link-health counters come through the gateway's supported
+    # diagnostics surface (same integers as the channel attributes, so
+    # the summary bytes are unchanged by the indirection).
+    diagnostics = gateway.diagnostics()
+    totals = diagnostics["totals"]
+    confirmed = totals["n_confirmed"]
+    payload_bits = totals["payload_bits"]
     snrs = np.array([s for ch in gateway.channels.values()
                      for s in ch.snrs], dtype=float)
     p10, p50, p90 = (np.percentile(snrs, (10, 50, 90)) if snrs.size
@@ -362,8 +396,8 @@ def fleet_summary(reports: dict[str, NodeReport], gateway: Gateway,
     powers = [r.average_power_w for r in reports.values()]
     batteries = [r.battery_days for r in reports.values()]
     stale = sum(1 for p in board.patients.values() if p.stale)
-    duplicates = sum(ch.n_duplicates for ch in gateway.channels.values())
-    gaps = sum(ch.n_gaps for ch in gateway.channels.values())
+    duplicates = totals["n_duplicates"]
+    gaps = totals["n_gaps"]
     return FleetSummary(
         n_patients=n,
         duration_s=duration_s,

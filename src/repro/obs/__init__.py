@@ -1,0 +1,65 @@
+"""repro.obs — deterministic observability for the fleet stack.
+
+Zero-dependency metrics, virtual-time tracing, and a gateway flight
+recorder.  Everything here is opt-in and out-of-band: the signal path,
+`FleetSummary.to_json()` bytes and golden records are unchanged when no
+:class:`Observability` handle is passed, and byte-identical even when
+one is.
+
+Determinism contract (mirrors the `FleetSummary` shard-equivalence
+guarantee): with the same master seed, the canonical fleet-scope
+metric and trace snapshots of an N-shard run are byte-identical to a
+1-shard run and to a plain in-process `FleetScheduler` run.
+
+See ``docs/observability.md`` for the metric catalog, trace event
+schema and flight-recorder dump format.
+"""
+
+from repro.obs.context import (Observability, ObsConfig,
+                               canonical_bundle_json, canonical_view,
+                               merge_bundles)
+from repro.obs.flight import (ANOMALY_ALARM_BURST, ANOMALY_NAN_GUARD,
+                              ANOMALY_REASSEMBLY_STALL,
+                              ANOMALY_WIRE_ERROR, AnomalyRecord,
+                              FlightRecorder, load_flight_dump)
+from repro.obs.metrics import (Counter, DEFAULT_BUCKETS, Gauge,
+                               Histogram, MetricsError, MetricsRegistry,
+                               SCOPE_FLEET, SCOPE_SHARD,
+                               canonical_metrics_json,
+                               merge_metric_snapshots)
+from repro.obs.trace import (KIND_INSTANT, KIND_SPAN, TraceError,
+                             TraceEvent, TraceRecorder,
+                             canonical_trace_json,
+                             merge_trace_snapshots)
+
+__all__ = [
+    "ANOMALY_ALARM_BURST",
+    "ANOMALY_NAN_GUARD",
+    "ANOMALY_REASSEMBLY_STALL",
+    "ANOMALY_WIRE_ERROR",
+    "AnomalyRecord",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "KIND_INSTANT",
+    "KIND_SPAN",
+    "MetricsError",
+    "MetricsRegistry",
+    "Observability",
+    "ObsConfig",
+    "SCOPE_FLEET",
+    "SCOPE_SHARD",
+    "TraceError",
+    "TraceEvent",
+    "TraceRecorder",
+    "canonical_bundle_json",
+    "canonical_metrics_json",
+    "canonical_view",
+    "canonical_trace_json",
+    "load_flight_dump",
+    "merge_bundles",
+    "merge_metric_snapshots",
+    "merge_trace_snapshots",
+]

@@ -285,6 +285,14 @@ class EnergyGovernor:
         self._last_switch_s = now_s
         self.decisions: list[GovernorDecision] = []
         self.mode_seconds: dict[str, float] = {m: 0.0 for m in MODES}
+        #: Optional observer called with each completed
+        #: :class:`GovernorDecision` at the end of :meth:`step` — the
+        #: observability layer's attachment point.  Strictly
+        #: out-of-band: the return value is ignored and the governor
+        #: never consults it.  This module stays importable without the
+        #: fleet layer, so the hook is a bare callable, not an
+        #: Observability handle.
+        self.on_decision = None
 
     @property
     def n_switches(self) -> int:
@@ -367,6 +375,8 @@ class EnergyGovernor:
             switched=switched, reason=reason, acuity=acuity,
             soc=soc, power_w=power)
         self.decisions.append(decision)
+        if self.on_decision is not None:
+            self.on_decision(decision)
         return decision
 
 

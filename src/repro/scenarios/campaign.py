@@ -41,6 +41,7 @@ from ..fleet.node_proxy import NodeProxyConfig
 from ..fleet.scheduler import FleetReport, FleetScheduler, SchedulerConfig
 from ..fleet.sharding import PerPatientLink, ShardedFleetRunner, ShardHooks
 from ..fleet.triage import STATE_ALERT, STATES
+from ..obs import Observability, SCOPE_SHARD
 from ..power.battery import Battery, BatteryModel
 from ..power.governor import EnergyGovernor, GovernorConfig, ModePowerTable
 from ..signals.dataset import make_corpus
@@ -159,8 +160,10 @@ class ScenarioResult:
     """Structured outcome of one scenario over the cohort.
 
     All float metrics are rounded to 6 decimals so the serialized
-    report is byte-stable.  ``runtime_s`` is wall-clock and therefore
-    excluded from :meth:`to_dict` (the determinism surface).
+    report is byte-stable.  ``runtime_s`` and ``unit_runtimes_s`` are
+    wall-clock and therefore excluded from :meth:`to_dict` (the
+    determinism surface); :meth:`CampaignReport.to_json` can attach
+    them out-of-band via ``include_timings=True``.
     """
 
     scenario: str
@@ -192,6 +195,7 @@ class ScenarioResult:
     governor_switches: int = 0
     mean_final_soc: float = float("nan")
     telemetry_packets: int = 0
+    unit_runtimes_s: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Deterministic dict view (excludes wall-clock runtime)."""
@@ -457,20 +461,48 @@ class CampaignReport:
         """Wall-clock seconds across every scenario run."""
         return sum(res.runtime_s for res in self.results)
 
-    def to_dict(self) -> dict:
+    def to_dict(self, include_timings: bool = False) -> dict:
         """Deterministic dict view — identical across reruns of the
-        same config (the campaign's reproducibility surface)."""
-        return {
+        same config (the campaign's reproducibility surface).
+
+        Args:
+            include_timings: Attach a ``"timings"`` block with
+                per-scenario and per-``(patient, scenario)`` wall-clock
+                durations.  Off by default: wall time varies across
+                reruns, so the block is excluded from the
+                byte-reproducibility comparison fields.
+        """
+        out = {
             "master_seed": self.config.master_seed,
             "n_patients": self.config.n_patients,
             "n_sentinels": self.config.n_sentinels,
             "duration_s": _round(self.config.duration_s),
             "scenarios": [res.to_dict() for res in self.results],
         }
+        if include_timings:
+            out["timings"] = self.timings_dict()
+        return out
 
-    def to_json(self, indent: int | None = 2) -> str:
-        """Serialized deterministic report."""
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+    def timings_dict(self) -> dict:
+        """Wall-clock attribution: per-scenario and per-unit seconds.
+
+        Keys are sorted for a stable layout, but the values are real
+        wall time — never compare this block byte-for-byte.
+        """
+        return {
+            res.scenario: {
+                "runtime_s": _round(res.runtime_s),
+                "units": {pid: _round(sec) for pid, sec
+                          in sorted(res.unit_runtimes_s.items())},
+            }
+            for res in self.results
+        }
+
+    def to_json(self, indent: int | None = 2,
+                include_timings: bool = False) -> str:
+        """Serialized report (deterministic unless timings included)."""
+        return json.dumps(self.to_dict(include_timings=include_timings),
+                          indent=indent, sort_keys=True)
 
     def describe(self) -> str:
         """Fixed-width text table (what the example prints)."""
@@ -510,11 +542,17 @@ class CampaignRunner:
         config: Campaign parameters.
         af_detector: Trained fleet AF detector; trained internally from
             a seed-derived corpus when omitted.
+        obs: Optional observability bundle.  The joint in-process path
+            threads it through the gateway/scheduler/governor hot
+            joints; the decomposed and sharded paths keep it
+            parent-side (workers are separate processes) where it
+            records per-scenario and per-unit wall-time gauges.
     """
 
     def __init__(self, scenarios: tuple[ScenarioSpec, ...] | list,
                  config: CampaignConfig | None = None,
-                 af_detector: AfDetector | None = None) -> None:
+                 af_detector: AfDetector | None = None,
+                 obs: Observability | None = None) -> None:
         self.scenarios = tuple(scenarios)
         if not self.scenarios:
             raise ValueError("need at least one scenario")
@@ -523,6 +561,7 @@ class CampaignRunner:
             raise ValueError(f"scenario names must be unique, got {names}")
         self.config = config or CampaignConfig()
         self.af_detector = af_detector
+        self.obs = obs
 
     def cohort(self) -> list[PatientProfile]:
         """The campaign cohort: drawn mix + clean-AF sentinels."""
@@ -568,8 +607,24 @@ class CampaignRunner:
                 # First scenario anchors the SNR-degradation column
                 # (put the clean control first).
                 clean_p50 = result.snr_p50_db
+            if self.obs is not None:
+                self._note_runtimes(result)
             report.results.append(result)
         return report
+
+    def _note_runtimes(self, result: ScenarioResult) -> None:
+        """Stamp wall-time attribution gauges (shard scope: wall clock
+        is never part of the canonical fleet-scope surface)."""
+        scenario_g = self.obs.metrics.gauge(
+            "campaign_scenario_runtime_seconds",
+            "Wall seconds spent on one scenario", scope=SCOPE_SHARD)
+        scenario_g.set(result.runtime_s, scenario=result.scenario)
+        unit_g = self.obs.metrics.gauge(
+            "campaign_unit_runtime_seconds",
+            "Wall seconds per (patient, scenario) unit",
+            scope=SCOPE_SHARD)
+        for pid, sec in sorted(result.unit_runtimes_s.items()):
+            unit_g.set(sec, patient=pid, scenario=result.scenario)
 
     def _run_decomposed(self, cohort: list[PatientProfile],
                         detector: AfDetector,
@@ -740,6 +795,7 @@ class CampaignRunner:
             mean_final_soc=(float(np.mean(socs)) if socs
                             else float("nan")),
             telemetry_packets=sum(r.telemetry_packets for r in rows),
+            unit_runtimes_s={r.patient_id: r.runtime_s for r in rows},
         )
 
     def _train_detector(self) -> AfDetector:
@@ -767,13 +823,15 @@ class CampaignRunner:
             node_config=NodeProxyConfig(
                 excerpt_period_s=cfg.excerpt_period_s,
                 stream_telemetry=cfg.stream_telemetry),
-            gateway=Gateway(GatewayConfig(n_iter=cfg.gateway_n_iter)),
+            gateway=Gateway(GatewayConfig(n_iter=cfg.gateway_n_iter),
+                            obs=self.obs),
             af_detector=detector,
             link=link,
             record_transform=inject if spec.signal_faults else None,
             governor_factory=factory,
             extra_load=extra_load,
             acuity_override=acuity_override,
+            obs=self.obs,
         )
         t0 = time.perf_counter()
         fleet = scheduler.run()
@@ -834,4 +892,11 @@ class CampaignRunner:
             telemetry_packets=sum(
                 ch.n_telemetry
                 for ch in scheduler.gateway.channels.values()),
+            # The joint path runs the whole cohort in one scheduler
+            # loop, so the per-unit split is an even share of the
+            # scenario wall time (exact attribution needs the
+            # decomposed or sharded path).
+            unit_runtimes_s={
+                p.patient_id: runtime / max(1, summary.n_patients)
+                for p in fleet.profiles},
         )

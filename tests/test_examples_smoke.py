@@ -46,6 +46,11 @@ EXAMPLES = {
         ["--patients", "3", "--duration", "60", "--train-records", "2"],
         ["fleet of 3 patients", "triage:", "throughput:"],
     ),
+    "fleet_observability.py": (
+        ["--patients", "3", "--duration", "60", "--shards", "2"],
+        ["metrics:", "canonical snapshot matches",
+         "flight dump written:"],
+    ),
     "scenario_campaign.py": (
         ["--patients", "3", "--sentinels", "1", "--duration", "60"],
         ["campaign grid:", "clean", "loss-10pct",

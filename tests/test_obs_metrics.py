@@ -1,0 +1,211 @@
+"""Tests for the deterministic metrics layer (`repro.obs.metrics`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+    SCOPE_FLEET,
+    SCOPE_SHARD,
+    canonical_metrics_json,
+    merge_metric_snapshots,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("packets_total")
+        c.inc(patient="p0")
+        c.inc(3, patient="p0")
+        c.inc(patient="p1")
+        assert c.value(patient="p0") == 4
+        assert c.value(patient="p1") == 1
+        assert c.value(patient="p9") == 0
+
+    def test_label_order_is_irrelevant(self):
+        c = MetricsRegistry().counter("x")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(b="2", a="1") == 2
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, "2"])
+    def test_non_integer_or_negative_increments_rejected(self, bad):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(MetricsError, match="non-negative"):
+            c.inc(bad)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = MetricsRegistry().gauge("soc")
+        g.set(0.9, patient="p0")
+        g.set(0.4, patient="p0")
+        assert g.value(patient="p0") == 0.4
+
+    def test_unset_series_is_nan(self):
+        g = MetricsRegistry().gauge("soc")
+        assert g.value(patient="p0") != g.value(patient="p0")  # nan
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_rejected(self, bad):
+        g = MetricsRegistry().gauge("soc")
+        with pytest.raises(MetricsError, match="finite"):
+            g.set(bad)
+
+
+class TestHistogram:
+    def test_each_observation_lands_in_one_bucket(self):
+        h = MetricsRegistry().histogram("snr", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(1.0)   # boundary: value <= bound -> first bucket
+        h.observe(5.0)
+        h.observe(99.0)  # +Inf catch-all
+        key = ()
+        assert h.series[key] == [2, 1, 1]
+        assert h.count() == 4
+
+    def test_default_buckets(self):
+        h = MetricsRegistry().histogram("x")
+        assert h.buckets == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(MetricsError, match="re-declared"):
+            reg.gauge("a")
+
+    def test_scope_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a", scope=SCOPE_FLEET)
+        with pytest.raises(MetricsError, match="re-declared"):
+            reg.counter("a", scope=SCOPE_SHARD)
+
+    def test_bucket_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(MetricsError, match="buckets"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(MetricsError, match="scope"):
+            MetricsRegistry().counter("a", scope="galaxy")
+
+    def test_snapshot_sorted_and_scope_filtered(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", scope=SCOPE_SHARD).inc()
+        reg.counter("a_total").inc(patient="p1")
+        reg.counter("a_total").inc(patient="p0")
+        snap = reg.snapshot()
+        keys = [(s["name"], tuple(sorted(s["labels"].items())))
+                for s in snap["series"]]
+        assert keys == sorted(keys)
+        fleet_only = reg.snapshot(scope=SCOPE_FLEET)
+        assert {s["name"] for s in fleet_only["series"]} == {"a_total"}
+
+    def test_canonical_json_is_byte_stable(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("a", help="h").inc(2, patient="p0")
+            reg.gauge("g").set(1.25, mode="lead1")
+            reg.histogram("h", buckets=(1.0,)).observe(0.5)
+            return canonical_metrics_json(reg.snapshot())
+
+        assert build() == build()
+
+
+class TestPrometheus:
+    def test_exposition_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("packets_total", help="Packets seen").inc(
+            2, patient="p0")
+        reg.histogram("snr_db", buckets=(10.0, 20.0)).observe(15.0)
+        text = reg.to_prometheus()
+        assert "# HELP packets_total Packets seen" in text
+        assert "# TYPE packets_total counter" in text
+        assert 'packets_total{patient="p0"} 2' in text
+        # Histogram buckets render cumulatively with a +Inf catch-all.
+        assert 'snr_db_bucket{le="10"} 0' in text
+        assert 'snr_db_bucket{le="20"} 1' in text
+        assert 'snr_db_bucket{le="+Inf"} 1' in text
+        assert "snr_db_count 1" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(reason='say "hi"\n')
+        assert r'reason="say \"hi\"\n"' in reg.to_prometheus()
+
+
+class TestMerge:
+    def _snap(self, *incs):
+        reg = MetricsRegistry()
+        for amount, labels in incs:
+            reg.counter("n_total").inc(amount, **labels)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        return reg.snapshot()
+
+    def test_counters_and_histograms_add(self):
+        a = self._snap((2, {"patient": "p0"}))
+        b = self._snap((3, {"patient": "p0"}), (1, {"patient": "p1"}))
+        merged = merge_metric_snapshots([a, b])
+        by_key = {(s["name"], tuple(sorted(s["labels"].items()))): s
+                  for s in merged["series"]}
+        assert by_key[("n_total", (("patient", "p0"),))]["value"] == 5
+        assert by_key[("n_total", (("patient", "p1"),))]["value"] == 1
+        assert by_key[("h", ())]["value"] == [2, 0]
+
+    def test_merge_is_order_independent_for_fleet_series(self):
+        a = self._snap((2, {"patient": "p0"}))
+        b = self._snap((3, {"patient": "p1"}))
+        ab = canonical_metrics_json(merge_metric_snapshots([a, b]))
+        ba = canonical_metrics_json(merge_metric_snapshots([b, a]))
+        assert ab == ba
+
+    def test_merge_is_associative(self):
+        a = self._snap((1, {"p": "0"}))
+        b = self._snap((2, {"p": "1"}))
+        c = self._snap((4, {"p": "0"}))
+        left = merge_metric_snapshots(
+            [merge_metric_snapshots([a, b]), c])
+        right = merge_metric_snapshots(
+            [a, merge_metric_snapshots([b, c])])
+        assert canonical_metrics_json(left) \
+            == canonical_metrics_json(right)
+
+    def test_gauge_last_write_wins_in_input_order(self):
+        def gauge_snap(value):
+            reg = MetricsRegistry()
+            reg.gauge("soc").set(value, patient="p0")
+            return reg.snapshot()
+
+        merged = merge_metric_snapshots(
+            [gauge_snap(0.9), gauge_snap(0.4)])
+        assert merged["series"][0]["value"] == 0.4
+
+    def test_type_conflict_raises(self):
+        reg_a = MetricsRegistry()
+        reg_a.counter("x").inc()
+        reg_b = MetricsRegistry()
+        reg_b.gauge("x").set(1.0)
+        with pytest.raises(MetricsError, match="conflict"):
+            merge_metric_snapshots([reg_a.snapshot(), reg_b.snapshot()])
+
+    def test_merged_snapshot_roundtrips_through_json(self):
+        # The shard blob carries snapshots as JSON; merging the decoded
+        # form must equal merging the in-memory form byte-for-byte.
+        a = self._snap((2, {"patient": "p0"}))
+        b = self._snap((1, {"patient": "p1"}))
+        via_json = [json.loads(json.dumps(s)) for s in (a, b)]
+        assert canonical_metrics_json(merge_metric_snapshots(via_json)) \
+            == canonical_metrics_json(merge_metric_snapshots([a, b]))

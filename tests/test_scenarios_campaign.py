@@ -85,6 +85,32 @@ class TestCampaignReport:
         text = small_report.describe()
         assert "clean" in text and "loss-10pct" in text
 
+    def test_unit_runtimes_cover_the_cohort(self, small_report):
+        cohort_ids = {p.patient_id for p in CampaignRunner(
+            (clean_scenario(),), SMALL).cohort()}
+        for result in small_report.results:
+            assert set(result.unit_runtimes_s) == cohort_ids
+            assert all(sec >= 0.0
+                       for sec in result.unit_runtimes_s.values())
+            assert result.unit_runtimes_s not in \
+                result.to_dict().values()
+
+    def test_timings_block_is_opt_in(self, small_report):
+        assert "timings" not in json.loads(small_report.to_json())
+        payload = json.loads(small_report.to_json(include_timings=True))
+        timings = payload["timings"]
+        assert set(timings) == {"clean", "loss-10pct"}
+        for scenario, block in timings.items():
+            units = block["units"]
+            assert list(units) == sorted(units)
+            assert block["runtime_s"] >= 0.0
+            assert set(units) == set(
+                small_report.result(scenario).unit_runtimes_s)
+        # The deterministic surface is unchanged by the timings block.
+        with_block = dict(payload)
+        with_block.pop("timings")
+        assert with_block == json.loads(small_report.to_json())
+
 
 class TestDeterminism:
     def test_identical_reports_across_two_runs(self, trained_af_detector):
