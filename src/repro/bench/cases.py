@@ -449,6 +449,94 @@ def fleet_obs_overhead(ctx: BenchContext) -> dict:
     }
 
 
+#: Required kernel-event efficiency on the sparse cohort: the event
+#: engine must process at least this many times fewer events than the
+#: tick loop spends per-patient visits on the same virtual stretch.
+MIN_EVENT_RATIO = 3.0
+
+
+@register("fleet-event-kernel",
+          "Event-heap kernel vs tick loop: byte-checked + sparse-cohort"
+          " event efficiency",
+          legacy="test_fleet_event_kernel", tags=("systems",))
+def fleet_event_kernel(ctx: BenchContext) -> dict:
+    """Benchmark the simulation kernel's two contracts at once.
+
+    First the *lockstep façade*: one cohort runs under the legacy
+    ``engine="ticks"`` loop and under ``engine="kernel"``, and the
+    ``FleetSummary`` bytes must match exactly — a determinism
+    regression fails the bench (and the CI quick gate), not just a
+    unit test.  Then the *sparse cohort*: 90 % of the nodes are
+    delineation-only, uplinking at 10x the base period; the kernel
+    visits them only when they uplink, so its event count must be at
+    least :data:`MIN_EVENT_RATIO` times smaller than the per-patient
+    visits the tick loop would spend (``tick_loop_iterations``) — the
+    ratio the BENCH artifact records.
+    """
+    from dataclasses import replace
+
+    # --- lockstep façade: byte-equivalence under both engines -------
+    eq_patients = 4 if ctx.quick else 8
+    eq_duration = 60.0 if ctx.quick else 120.0
+    cohort = make_cohort(CohortConfig(n_patients=eq_patients, seed=7))
+    node_config = NodeProxyConfig(stream_telemetry=False)
+    summaries = {}
+    walls = {}
+    for engine in ("ticks", "kernel"):
+        scheduler = FleetScheduler(
+            cohort,
+            SchedulerConfig(duration_s=eq_duration, fs=FS,
+                            engine=engine),
+            node_config=node_config, obs=ctx.obs)
+        report = scheduler.run()
+        summaries[engine] = report.summary.to_json()
+        walls[engine] = report.timings_s["uplink+gateway"]
+    if summaries["kernel"] != summaries["ticks"]:
+        raise AssertionError(
+            "kernel lockstep façade diverged from the tick loop — "
+            "simulation determinism regression")
+
+    # --- sparse cohort: cost proportional to events, not ticks ------
+    period = 20.0 if ctx.quick else 30.0
+    n_patients = 24 if ctx.quick else 30
+    n_dense = 2 if ctx.quick else 3
+    duration = period * 10.0  # ten base ticks
+    base = make_cohort(CohortConfig(n_patients=n_patients, seed=3))
+    sparse_cohort = [
+        p if i < n_dense else replace(p, uplink_period_s=duration)
+        for i, p in enumerate(base)]
+    scheduler = FleetScheduler(
+        sparse_cohort,
+        SchedulerConfig(duration_s=duration, fs=FS),
+        node_config=NodeProxyConfig(excerpt_period_s=period,
+                                    stream_telemetry=False),
+        obs=ctx.obs)
+    report = scheduler.run()
+    stats = report.kernel_stats
+    ratio = stats["tick_loop_iterations"] / stats["n_events"]
+    if ratio < MIN_EVENT_RATIO:
+        raise AssertionError(
+            f"sparse cohort processed only {ratio:.2f}x fewer kernel "
+            f"events than tick-loop iterations (need >= "
+            f"{MIN_EVENT_RATIO}x): {stats}")
+    if report.summary.stale_patients:
+        raise AssertionError(
+            "sparse nodes flagged stale — expected-period staleness "
+            "accounting regression")
+    return {
+        "patients": eq_patients + n_patients,
+        "samples": int((eq_patients * eq_duration * 2
+                        + n_patients * duration) * FS) * 3,
+        "byte_identical": True,
+        "ticks_wall_s": walls["ticks"],
+        "kernel_wall_s": walls["kernel"],
+        "sparse_events": stats["n_events"],
+        "tick_loop_iterations": stats["tick_loop_iterations"],
+        "event_ratio": ratio,
+        "sparse_packets": report.packets_sent,
+    }
+
+
 @register("fleet-lifetime",
           "Hours-to-empty per policy: EnergyGovernor vs static modes",
           legacy="test_fleet_lifetime", tags=("systems",))

@@ -9,7 +9,10 @@ that demultiplexes the uplink, reconstructs the CS excerpts server-side
 and re-checks node alarms (:mod:`repro.fleet.gateway`), per-patient
 triage state machines with fleet aggregates (:mod:`repro.fleet.triage`),
 and a batched scheduler that drives many patients per tick
-(:mod:`repro.fleet.scheduler`).
+(:mod:`repro.fleet.scheduler`) — by default as a lockstep façade over
+the discrete-event kernel of :mod:`repro.fleet.kernel`, which also
+runs heterogeneous per-node uplink schedules (sparse cohorts) with
+cost proportional to events rather than ticks.
 
 Packets also have an exact binary form (:mod:`repro.fleet.wire`), which
 is what lets the whole runtime shard across worker processes:
@@ -30,6 +33,12 @@ from .gateway import (
     GatewayConfig,
     PatientChannel,
     ReconstructedExcerpt,
+)
+from .kernel import (
+    PRIORITIES,
+    Event,
+    EventKernel,
+    KernelError,
 )
 from .node_proxy import (
     PACKET_ALARM,
@@ -83,6 +92,8 @@ __all__ = [
     "AcuityOverride",
     "BatchExcerptEncoder",
     "CohortConfig",
+    "Event",
+    "EventKernel",
     "ExtraLoad",
     "FleetReport",
     "FleetScheduler",
@@ -90,6 +101,8 @@ __all__ = [
     "Gateway",
     "GatewayConfig",
     "GovernorFactory",
+    "KernelError",
+    "PRIORITIES",
     "NodeProxy",
     "NodeProxyConfig",
     "PACKET_ALARM",

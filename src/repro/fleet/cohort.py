@@ -46,6 +46,13 @@ class PatientProfile:
         pvc_fraction: PVC fraction (``ectopy`` only).
         apc_fraction: APC fraction (``ectopy`` only).
         seed: Deterministic per-patient seed.
+        uplink_period_s: Optional per-node uplink period override in
+            seconds (``None`` = the fleet-wide
+            :attr:`~repro.fleet.NodeProxyConfig.excerpt_period_s`).
+            Sparse delineation-only nodes set this much higher than
+            the base period; the scheduler's event kernel then visits
+            them only when they actually uplink, instead of every
+            tick.
     """
 
     patient_id: str
@@ -58,12 +65,16 @@ class PatientProfile:
     pvc_fraction: float = 0.0
     apc_fraction: float = 0.0
     seed: int = 0
+    uplink_period_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.rhythm not in RHYTHM_KINDS:
             raise ValueError(f"unknown rhythm kind {self.rhythm!r}")
         if self.n_leads not in _LEAD_SUBSETS:
             raise ValueError("n_leads must be 1, 2 or 3")
+        if self.uplink_period_s is not None \
+                and not self.uplink_period_s > 0:
+            raise ValueError("uplink_period_s must be positive")
 
     def record_spec(self, duration_s: float) -> RecordSpec:
         """The :class:`RecordSpec` synthesizing this patient's ECG."""

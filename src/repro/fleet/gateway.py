@@ -27,6 +27,7 @@ whatever is still buffered at end of run.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -64,7 +65,18 @@ class GatewayConfig:
         reassembly_gap_ticks: :meth:`Gateway.expire_reassembly` calls
             (scheduler ticks) a gap may stall a patient's buffer before
             it is force-released — bounds head-of-line blocking behind a
-            permanently lost packet to a few excerpt periods.
+            permanently lost packet to a few excerpt periods.  The
+            stall clock is anchored to the buffer's *head of line*
+            (oldest buffered seq): it counts only while that same
+            packet stays stalled.
+        reassembly_grace_s: Optional virtual-time grace.  When set and
+            the expiry sweep passes its time, a head-of-line stall is
+            force-released once it has been *observed* stalled for this
+            many virtual seconds, instead of counting sweeps — the
+            natural unit under the event kernel, where sweep cadence
+            need not be uniform.  On a uniform sweep grid of period
+            ``P``, a grace of ``(reassembly_gap_ticks - 1) * P``
+            expires at exactly the same sweep as the counter would.
     """
 
     queue_capacity: int = 4096
@@ -75,6 +87,7 @@ class GatewayConfig:
     min_confirm_beats: int = 5
     reassembly_window: int = 32
     reassembly_gap_ticks: int = 3
+    reassembly_grace_s: float | None = None
 
 
 @dataclass(frozen=True)
@@ -182,19 +195,28 @@ class _ReassemblyBuffer:
         self.next_seq = 0
         self.buffer: dict[int, UplinkPacket] = {}
         self.missing: set[int] = set()
-        #: Consecutive :meth:`Gateway.expire_reassembly` sweeps this
-        #: buffer has been stalled behind a gap (reset on any release).
+        #: Consecutive :meth:`Gateway.expire_reassembly` sweeps the
+        #: current head-of-line packet has been observed stalled
+        #: (head-anchored: reset only when the oldest buffered seq is
+        #: released, never by a partial release behind it).
         self.gap_ticks = 0
+        #: Oldest buffered seq the stall clock is anchored to
+        #: (``None`` = no stall observed yet).
+        self.stall_head: int | None = None
+        #: Virtual time of the sweep that first observed
+        #: ``stall_head`` waiting (nan until then) — the anchor the
+        #: time-based ``reassembly_grace_s`` expiry measures from.
+        self.stall_since_s = float("nan")
 
     def offer(self, packet: UplinkPacket,
               channel: PatientChannel) -> list[UplinkPacket]:
         """Accept one arrival; return the packets now releasable."""
         if packet.seq in self.missing:  # late recovery of a written-off
-            # Deliberately does NOT reset gap_ticks: a straggler below
-            # ``next_seq`` is no progress for packets stalled behind the
-            # *current* gap, and resetting here let a link replaying old
-            # stragglers extend head-of-line blocking past the
-            # ``reassembly_gap_ticks`` bound indefinitely.
+            # Deliberately no stall-clock interaction: a straggler
+            # below ``next_seq`` is no progress for packets stalled
+            # behind the *current* gap, and crediting it would let a
+            # link replaying old stragglers extend head-of-line
+            # blocking past the configured grace indefinitely.
             self.missing.discard(packet.seq)
             channel.n_gaps -= 1
             channel.n_out_of_order += 1
@@ -209,8 +231,15 @@ class _ReassemblyBuffer:
         released = self._release_contiguous()
         if len(self.buffer) > self.window:
             released.extend(self.flush(channel))
-        if released:
-            self.gap_ticks = 0
+        # The stall clock is anchored to the head of line: it resets
+        # only when the *oldest pending* packet made it out (a partial
+        # release behind a still-missing head is no progress for the
+        # packets stalled on it — the head-of-line bound must keep
+        # counting or a trickle of later packets could extend the
+        # stall forever).
+        if self.stall_head is not None \
+                and self.stall_head not in self.buffer:
+            self._clear_stall()
         return released
 
     def flush(self, channel: PatientChannel) -> list[UplinkPacket]:
@@ -233,7 +262,7 @@ class _ReassemblyBuffer:
                 self.next_seq = seq
             released.append(self.buffer.pop(seq))
             self.next_seq += 1
-        self.gap_ticks = 0
+        self._clear_stall()
         return released
 
     def _release_contiguous(self) -> list[UplinkPacket]:
@@ -242,6 +271,39 @@ class _ReassemblyBuffer:
             released.append(self.buffer.pop(self.next_seq))
             self.next_seq += 1
         return released
+
+    def _clear_stall(self) -> None:
+        """Forget the stall anchor (head released or buffer flushed)."""
+        self.gap_ticks = 0
+        self.stall_head = None
+        self.stall_since_s = float("nan")
+
+    def note_sweep(self, now_s: float | None) -> None:
+        """Account one expiry sweep against the current head of line.
+
+        Re-anchors the stall clock whenever the oldest buffered seq
+        changed since the last sweep (that packet made it out, or a
+        new older straggler arrived and is now the blocking head);
+        otherwise counts one more sweep against the same stalled
+        packet.  ``now_s`` (the sweep's virtual time) anchors
+        :attr:`stall_since_s` so the time-based grace measures real
+        stalled virtual seconds rather than loop iterations.
+        """
+        head = min(self.buffer)
+        if head != self.stall_head:
+            self.stall_head = head
+            self.stall_since_s = (float(now_s) if now_s is not None
+                                  else float("nan"))
+            self.gap_ticks = 1
+        else:
+            self.gap_ticks += 1
+
+    def stalled_for_s(self, now_s: float) -> float:
+        """Virtual seconds the current head has been observed stalled."""
+        if self.stall_head is None \
+                or not math.isfinite(self.stall_since_s):
+            return 0.0
+        return float(now_s) - self.stall_since_s
 
 
 class _GatewayMetrics:
@@ -438,25 +500,43 @@ class Gateway:
                 self._note_reassembly(channel, before)
         return released
 
-    def expire_reassembly(self) -> int:
+    def expire_reassembly(self, now_s: float | None = None) -> int:
         """Write off gaps that stalled longer than the configured grace.
 
-        Call once per scheduler tick: a buffer that made no release
-        progress for ``reassembly_gap_ticks`` consecutive calls is
-        force-released, bounding head-of-line blocking behind a
-        permanently lost packet.  Stragglers arriving after their number
+        Call once per scheduler sweep.  Each buffer's stall clock is
+        anchored to its *head of line* (oldest buffered seq): the
+        clock advances only while that same packet stays stalled and
+        re-anchors when the head changes, so a partial release that
+        does not free the head no longer resets it — head-of-line
+        blocking stays bounded even behind multiple gaps.  With
+        ``now_s`` given and ``reassembly_grace_s`` configured, expiry
+        triggers once the head has been observed stalled for that many
+        virtual seconds; otherwise after ``reassembly_gap_ticks``
+        consecutive sweeps.  Stragglers arriving after their number
         was written off are still delivered (late) by the buffer.
+
+        Args:
+            now_s: Virtual time of this sweep (the scheduler passes
+                its tick/event time); ``None`` falls back to pure
+                sweep counting.
 
         Returns:
             Packets moved into the processing queue.
         """
+        grace = self.config.reassembly_grace_s
         released = 0
         for patient_id, buffer in self._reassembly.items():
             if not buffer.buffer:
-                buffer.gap_ticks = 0
+                buffer._clear_stall()
                 continue
-            buffer.gap_ticks += 1
-            if buffer.gap_ticks >= self.config.reassembly_gap_ticks:
+            buffer.note_sweep(now_s)
+            if grace is not None and now_s is not None \
+                    and math.isfinite(buffer.stall_since_s):
+                expired = buffer.stalled_for_s(now_s) >= grace
+            else:
+                expired = (buffer.gap_ticks
+                           >= self.config.reassembly_gap_ticks)
+            if expired:
                 channel = self.channel(patient_id)
                 n_stalled = len(buffer.buffer)
                 before = (self._reassembly_counters(channel)
@@ -465,7 +545,8 @@ class Gateway:
                 if before is not None:
                     self._note_reassembly(channel, before)
                     self._m.stalls.inc(patient=patient_id)
-                    now = self.obs.virtual_time_s
+                    now = (self.obs.virtual_time_s if now_s is None
+                           else now_s)
                     if self.obs.trace is not None:
                         self.obs.trace.instant(
                             now, "gateway.reassembly_stall",

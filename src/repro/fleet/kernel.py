@@ -1,0 +1,201 @@
+"""Discrete-event simulation kernel: a single heap of virtual-time events.
+
+The tick loop the fleet started with charges every patient for every
+tick — cohort size × tick rate bounds everything, even when 90 % of the
+nodes are delineation-only and uplink once per ten minutes.  This
+module replaces the loop's *clock* with an event heap: node uplinks,
+governor decisions, link deliveries, reassembly-grace expiries and
+triage sweeps are :class:`Event` records ordered by the total key
+``(t_s, priority, subject, seq)``, and the kernel simply pops and runs
+them.  Virtual time is whatever the head of the heap says; wall time
+never appears.
+
+Why the key is a *total* order (no tie-breaking left to the heap):
+
+* ``t_s`` — virtual seconds; events fire in simulated-time order.
+* ``priority`` — phase rank within one timestamp (see the ``PRIO_*``
+  constants): governor decisions land before the uplinks they steer,
+  link deliveries before the reassembly-expiry sweep that would write
+  their gap off, drains before the triage decay that reads them —
+  exactly the phase order of the legacy tick loop, so a kernel run
+  over a lockstep schedule replays the loop byte for byte.
+* ``subject`` — the entity (patient id, or ``""`` for fleet-wide
+  sweeps); same-priority events at one instant fire in subject order,
+  which is shard-layout independent.
+* ``seq`` — per-subject emission counter (mirroring the trace
+  recorder's), so two events on one subject can never collide.
+
+Because every component of the key is assigned deterministically at
+:meth:`EventKernel.schedule` time, the processing order is a pure
+function of the schedule — fuzzed in ``tests/test_fleet_kernel.py`` to
+contain no duplicate keys across governed + impaired cohorts.
+
+:class:`~repro.fleet.FleetScheduler` is the only in-repo client today:
+its ``engine="kernel"`` mode schedules the legacy loop as per-tick
+sweep events (the *lockstep façade*, byte-identical by construction)
+and switches to per-node uplink events when any profile carries an
+``uplink_period_s`` override — cost proportional to events, not ticks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Phase ranks within one virtual timestamp, mirroring the legacy tick
+#: loop's statement order.  Governor decisions steer the uplinks that
+#: follow them; deliveries land before the expiry sweep that would
+#: write them off; drains feed the triage decay that closes the tick.
+PRIO_GOVERNOR = 0
+PRIO_ALARM_EARLY = 1
+PRIO_UPLINK = 2
+PRIO_ALARM_LATE = 3
+PRIO_DELIVERY = 4
+PRIO_REASSEMBLY = 5
+PRIO_DRAIN = 6
+PRIO_TRIAGE = 7
+
+#: Every rank the kernel accepts, in firing order.
+PRIORITIES = (PRIO_GOVERNOR, PRIO_ALARM_EARLY, PRIO_UPLINK,
+              PRIO_ALARM_LATE, PRIO_DELIVERY, PRIO_REASSEMBLY,
+              PRIO_DRAIN, PRIO_TRIAGE)
+
+
+class KernelError(ValueError):
+    """Event contract violation: bad time, unknown priority, time travel."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled action stamped with its full ordering key.
+
+    Attributes:
+        t_s: Virtual firing time in seconds.
+        priority: Phase rank (one of :data:`PRIORITIES`).
+        subject: Entity the event belongs to (patient id, or ``""``
+            for fleet-wide sweeps).
+        seq: Per-subject emission sequence number — the component that
+            makes the key a total order.
+        name: Dotted event name for stats and traces
+            (e.g. ``"node.uplink"``).
+        action: Zero-argument callable run when the event fires; it may
+            schedule further events at or after its own ``t_s``.
+    """
+
+    t_s: float
+    priority: int
+    subject: str
+    seq: int
+    name: str
+    action: Callable[[], None] = field(repr=False)
+
+    @property
+    def key(self) -> tuple[float, int, str, int]:
+        """The ``(t_s, priority, subject, seq)`` total-order key."""
+        return (self.t_s, self.priority, self.subject, self.seq)
+
+
+class EventKernel:
+    """A heap of :class:`Event` records processed in total-key order.
+
+    Args:
+        record_keys: Keep every processed event's ordering key in
+            :attr:`processed_keys` (the total-order property test's
+            input); off by default to keep long runs lean.
+
+    Attributes:
+        now_s: Virtual time of the event being (or last) processed.
+        n_scheduled: Events accepted by :meth:`schedule` so far.
+        n_processed: Events fired by :meth:`run` so far.
+        counts_by_name: Processed-event tally per event name.
+        processed_keys: Ordering keys in firing order (only populated
+            with ``record_keys=True``).
+    """
+
+    def __init__(self, record_keys: bool = False) -> None:
+        self.now_s = 0.0
+        self.n_scheduled = 0
+        self.n_processed = 0
+        self.counts_by_name: dict[str, int] = {}
+        self.processed_keys: list[tuple] | None = \
+            [] if record_keys else None
+        self._heap: list[tuple[tuple, Event]] = []
+        self._seq: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        """Events still pending on the heap."""
+        return len(self._heap)
+
+    def schedule(self, t_s: float, priority: int, name: str,
+                 action: Callable[[], None],
+                 subject: str = "") -> Event:
+        """Enqueue one action at virtual time ``t_s``.
+
+        The per-subject sequence number is assigned here, in emission
+        order — two calls can never produce the same key, so the heap
+        never has to break a tie non-deterministically.
+
+        Raises:
+            KernelError: Non-finite time, unknown priority, or a time
+                earlier than the event currently being processed
+                (events must not travel into the simulated past).
+        """
+        t_s = float(t_s)
+        if not math.isfinite(t_s):
+            raise KernelError(f"event {name!r}: time must be finite, "
+                              f"got {t_s}")
+        if priority not in PRIORITIES:
+            raise KernelError(f"event {name!r}: unknown priority "
+                              f"{priority!r}; choose from {PRIORITIES}")
+        if t_s < self.now_s:
+            raise KernelError(
+                f"event {name!r} at t={t_s} scheduled behind virtual "
+                f"time {self.now_s} (no time travel)")
+        seq = self._seq.get(subject, 0)
+        self._seq[subject] = seq + 1
+        event = Event(t_s=t_s, priority=priority, subject=subject,
+                      seq=seq, name=name, action=action)
+        heapq.heappush(self._heap, (event.key, event))
+        self.n_scheduled += 1
+        return event
+
+    def peek_s(self) -> float | None:
+        """Firing time of the next pending event (``None`` when idle)."""
+        return self._heap[0][0][0] if self._heap else None
+
+    def run(self, until_s: float | None = None) -> int:
+        """Fire pending events in key order; return how many fired.
+
+        Args:
+            until_s: Stop before the first event strictly later than
+                this virtual time (``None`` = drain the heap).  Events
+                scheduled by running actions join the same heap and
+                fire in their proper order.
+        """
+        fired = 0
+        while self._heap:
+            key, event = self._heap[0]
+            if until_s is not None and key[0] > until_s:
+                break
+            heapq.heappop(self._heap)
+            self.now_s = event.t_s
+            event.action()
+            self.n_processed += 1
+            self.counts_by_name[event.name] = \
+                self.counts_by_name.get(event.name, 0) + 1
+            if self.processed_keys is not None:
+                self.processed_keys.append(key)
+            fired += 1
+        return fired
+
+    def stats(self) -> dict:
+        """JSON-safe snapshot of the kernel's work counters."""
+        return {
+            "n_scheduled": self.n_scheduled,
+            "n_processed": self.n_processed,
+            "pending": len(self._heap),
+            "now_s": self.now_s,
+            "by_name": dict(sorted(self.counts_by_name.items())),
+        }

@@ -45,8 +45,22 @@ from ..power.governor import (
 from ..signals.types import MultiLeadEcg
 from .cohort import PatientProfile, synthesize_patient
 from .gateway import Gateway, GatewayConfig, ReconstructedExcerpt
+from .kernel import (
+    PRIO_ALARM_EARLY,
+    PRIO_ALARM_LATE,
+    PRIO_DELIVERY,
+    PRIO_DRAIN,
+    PRIO_GOVERNOR,
+    PRIO_REASSEMBLY,
+    PRIO_TRIAGE,
+    PRIO_UPLINK,
+    EventKernel,
+)
 from .node_proxy import PACKET_EXCERPT, NodeProxy, NodeProxyConfig, UplinkPacket
 from .triage import FleetSummary, TriageBoard, fleet_summary
+
+#: Simulation clocks :class:`SchedulerConfig.engine` may name.
+ENGINES = ("kernel", "ticks")
 
 
 class UplinkChannel(Protocol):
@@ -178,6 +192,15 @@ class SchedulerConfig:
             round trip is exact, so results are byte-identical to the
             object path (tested); enabling this in a run proves the
             packets could have crossed a socket.
+        engine: Simulation clock driving the uplink/gateway stretch.
+            ``"kernel"`` (default) runs the event-heap kernel of
+            :mod:`repro.fleet.kernel`: a lockstep sweep schedule when
+            every node shares the base uplink period (byte-identical
+            to the legacy loop by construction), switching to per-node
+            uplink events when any profile carries an
+            ``uplink_period_s`` override.  ``"ticks"`` keeps the
+            legacy per-tick loop — the regression oracle the kernel
+            façade is tested against.
     """
 
     duration_s: float = 120.0
@@ -185,6 +208,7 @@ class SchedulerConfig:
     workers: int = 0
     drain_per_tick: int | None = None
     wire_loopback: bool = False
+    engine: str = "kernel"
 
 
 @dataclass
@@ -213,6 +237,12 @@ class FleetReport:
     #: Per-patient governors of a governed run (empty when ungoverned);
     #: each carries its decision history and final battery state.
     governors: dict[str, EnergyGovernor] = field(default_factory=dict)
+    #: Simulation-clock accounting: engine name, kernel event counts
+    #: (by event name) and ``tick_loop_iterations`` — the per-patient
+    #: visits the legacy lockstep loop would spend on the same virtual
+    #: stretch, the denominator of the event-efficiency ratio the
+    #: ``fleet-event-kernel`` bench records.
+    kernel_stats: dict = field(default_factory=dict)
 
     @property
     def patients_per_second(self) -> float:
@@ -239,6 +269,28 @@ class _SchedulerMetrics:
             "scheduler_wall_seconds",
             "Wall-clock seconds per scheduler phase (process-local).",
             scope=SCOPE_SHARD)
+
+
+class _RunState:
+    """Mutable accounting threaded through one run's phase methods.
+
+    Both engines (tick loop and event kernel) mutate the same state
+    object, so the phase methods they share are engine-agnostic.
+    """
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.excerpts: list[ReconstructedExcerpt] = []
+        #: Governor decisions of the current sweep (lockstep engines).
+        self.decisions: dict[str, GovernorDecision] | None = None
+        #: Per-node pending decisions (event engine: the governor
+        #: event stores here, the same node's uplink event pops).
+        self.node_decisions: dict[str, GovernorDecision] = {}
+        #: Packets counted by the last ``scheduler.tick`` trace.
+        self.last_traced_sent = 0
+        #: Exact delivery times already carrying a link event.
+        self.scheduled_deliveries: set[float] = set()
+        self.kernel_stats: dict = {}
 
 
 class FleetScheduler:
@@ -292,7 +344,19 @@ class FleetScheduler:
             raise ValueError("cohort must not be empty")
         self.cohort = cohort
         self.config = config or SchedulerConfig()
+        if self.config.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.config.engine!r}; "
+                             f"choose from {ENGINES}")
         self.node_config = node_config or NodeProxyConfig()
+        #: Per-node uplink periods diverging from the base schedule.
+        self._uplink_overrides = {
+            p.patient_id: float(p.uplink_period_s) for p in cohort
+            if p.uplink_period_s is not None}
+        if self._uplink_overrides and self.config.engine == "ticks":
+            raise ValueError(
+                "per-node uplink_period_s overrides need the event "
+                "kernel; the tick loop visits every node every tick "
+                "(use engine='kernel')")
         self.obs = obs
         self._obs_m = _SchedulerMetrics(obs) if obs is not None else None
         self.gateway = gateway or Gateway(GatewayConfig(), obs=obs)
@@ -317,6 +381,8 @@ class FleetScheduler:
         cfg = self.config
         t_start = time.perf_counter()
         self.board.register(p.patient_id for p in self.cohort)
+        for pid, period in sorted(self._uplink_overrides.items()):
+            self.board.set_expected_period(pid, period)
 
         # Phase 1 — per-patient node processing (parallelizable).
         def node_phase(profile: PatientProfile,
@@ -324,7 +390,8 @@ class FleetScheduler:
             record = synthesize_patient(profile, cfg.duration_s, cfg.fs)
             if self.record_transform is not None:
                 record = self.record_transform(profile, record)
-            proxy = NodeProxy(profile, self.node_config, self.af_detector)
+            proxy = NodeProxy(profile, self._node_config_for(profile),
+                              self.af_detector)
             report, _ = proxy.run(record, emit_excerpts=False,
                                   emit_alarms=False)
             return proxy, record, report
@@ -336,8 +403,6 @@ class FleetScheduler:
             results = [node_phase(profile) for profile in self.cohort]
         t_node = time.perf_counter()
 
-        proxies = [r[0] for r in results]
-        records = [r[1] for r in results]
         reports = {proxy.profile.patient_id: report
                    for proxy, _, report in results}
         if self.governor_factory is not None:
@@ -348,58 +413,25 @@ class FleetScheduler:
                 for pid, governor in self.governors.items():
                     governor.on_decision = self._governor_observer(pid)
 
-        # Phase 2 — tick loop: batched uplink, gateway drain, triage.
-        # Alarm packets are *built at the tick that uplinks them* (early
-        # alarms before the tick's excerpts, late ones after), so each
-        # node's sequence numbers follow timestamp order and the
-        # gateway's seq-ordered reassembly restores the timeline.
-        period = self.node_config.excerpt_period_s
-        n_ticks = int(cfg.duration_s // period)
-        alarms_by_tick = self._bucket_alarms(results, period, n_ticks)
-        packets_sent = 0
-        excerpts: list[ReconstructedExcerpt] = []
-        for tick in range(1, n_ticks + 1):
-            now = tick * period
-            if self.obs is not None:
-                self.obs.set_virtual_time(now)
-            sent_before = packets_sent
-            # Closed loop: last tick's triage states feed this tick's
-            # governor decisions (one-tick feedback latency, like a real
-            # gateway round trip).
-            decisions = (self._step_governors(now)
-                         if self.governors else None)
-            bucket = alarms_by_tick.get(tick, [])
-            early = [a for a in bucket if a[2] < now]
-            late = [a for a in bucket if a[2] >= now]
-            packets_sent += self._send_alarms(early, now)
-            packets_sent += self._send_excerpt_batch(proxies, records,
-                                                     tick - 1, now,
-                                                     decisions)
-            packets_sent += self._send_alarms(late, now)
-            self._deliver_due(now)
-            self.gateway.expire_reassembly()
-            for excerpt in self.gateway.drain(cfg.drain_per_tick):
-                self.board.observe(excerpt)
-                excerpts.append(excerpt)
-            self.board.tick(now)
-            if self.obs is not None and self.obs.trace is not None:
-                self.obs.trace.instant(
-                    now, "scheduler.tick", scope=SCOPE_SHARD,
-                    n_sent=packets_sent - sent_before)
-        # Alarm buckets past the last tick exist only when the run is
-        # shorter than one excerpt period (n_ticks == 0); uplink them
-        # before the final drain so no alarm is silently lost.
-        for tick in sorted(alarms_by_tick):
-            if tick > n_ticks:
-                packets_sent += self._send_alarms(alarms_by_tick[tick],
-                                                  cfg.duration_s)
+        # Phase 2 — uplink, gateway drain and triage on the configured
+        # simulation clock.  Alarm packets are *built at the sweep that
+        # uplinks them* (early alarms before the excerpts, late ones
+        # after), so each node's sequence numbers follow timestamp
+        # order and the gateway's seq-ordered reassembly restores the
+        # timeline.
+        state = _RunState()
+        if cfg.engine == "ticks":
+            self._run_ticks(results, state)
+        else:
+            self._run_kernel(results, state)
+
         if self.link is not None:  # packets still in flight land now
             for packet in self.link.drain():
                 self._ingest(packet)
         self.gateway.flush_reassembly()
         for excerpt in self.gateway.drain():  # leftovers from budgeting
             self.board.observe(excerpt)
-            excerpts.append(excerpt)
+            state.excerpts.append(excerpt)
         self.board.tick(cfg.duration_s)
         self._fold_governed_power(reports)
         t_end = time.perf_counter()
@@ -419,12 +451,352 @@ class FleetScheduler:
             profiles=list(self.cohort),
             node_reports=reports,
             summary=summary,
-            excerpts=excerpts,
-            packets_sent=packets_sent,
+            excerpts=state.excerpts,
+            packets_sent=state.packets_sent,
             timings_s=timings,
             link_stats=dict(getattr(self.link, "stats", {}) or {}),
             governors=dict(self.governors),
+            kernel_stats=state.kernel_stats,
         )
+
+    # ------------------------------------------------------------------
+    # Phase methods shared by both engines.  The tick loop calls them
+    # inline; the kernel schedules them as events — same code, same
+    # per-timestamp order, so the lockstep façade is byte-identical to
+    # the loop by construction.
+    # ------------------------------------------------------------------
+
+    def _set_vt(self, now_s: float) -> None:
+        """Stamp the ambient virtual clock (no-op without obs)."""
+        if self.obs is not None:
+            self.obs.set_virtual_time(now_s)
+
+    def _phase_governors(self, now: float, state: _RunState) -> None:
+        """Sweep every governor; stash decisions for the uplink phase."""
+        state.decisions = self._step_governors(now)
+
+    def _phase_alarms(self, items: list[tuple], now: float,
+                      state: _RunState) -> None:
+        """Uplink one alarm bucket."""
+        state.packets_sent += self._send_alarms(items, now)
+
+    def _phase_excerpts(self, proxies: list[NodeProxy],
+                        records: list[MultiLeadEcg], period_idx: int,
+                        now: float, state: _RunState,
+                        decisions: dict[str, GovernorDecision] | None,
+                        ) -> None:
+        """Uplink the periodic excerpts of one sweep's member set."""
+        state.packets_sent += self._send_excerpt_batch(
+            proxies, records, period_idx, now, decisions)
+
+    def _phase_reassembly(self, now: float) -> None:
+        """Expire reassembly gaps stalled past the configured grace."""
+        self.gateway.expire_reassembly(now)
+
+    def _phase_drain(self, state: _RunState) -> None:
+        """Drain the gateway queue (per-sweep budget) into triage."""
+        for excerpt in self.gateway.drain(self.config.drain_per_tick):
+            self.board.observe(excerpt)
+            state.excerpts.append(excerpt)
+
+    def _phase_triage(self, now: float, state: _RunState) -> None:
+        """Decay triage states and close the sweep's trace record."""
+        self.board.tick(now)
+        if self.obs is not None and self.obs.trace is not None:
+            self.obs.trace.instant(
+                now, "scheduler.tick", scope=SCOPE_SHARD,
+                n_sent=state.packets_sent - state.last_traced_sent)
+        state.last_traced_sent = state.packets_sent
+
+    def _send_overflow_alarms(self, alarms_by_tick: dict[int, list],
+                              n_ticks: int, state: _RunState) -> None:
+        """Uplink alarm buckets past the last tick before final drain.
+
+        Buckets past ``n_ticks`` exist only when the run is shorter
+        than one uplink period (``n_ticks == 0``); sending them at end
+        of run means no alarm is silently lost.
+        """
+        for tick in sorted(alarms_by_tick):
+            if tick > n_ticks:
+                state.packets_sent += self._send_alarms(
+                    alarms_by_tick[tick], self.config.duration_s)
+
+    def _run_ticks(self, results: list[tuple], state: _RunState) -> None:
+        """Legacy lockstep loop: every patient visited every tick."""
+        cfg = self.config
+        proxies = [r[0] for r in results]
+        records = [r[1] for r in results]
+        period = self.node_config.excerpt_period_s
+        n_ticks = int(cfg.duration_s // period)
+        alarms_by_tick = self._bucket_alarms(results, period, n_ticks)
+        for tick in range(1, n_ticks + 1):
+            now = tick * period
+            self._set_vt(now)
+            # Closed loop: last tick's triage states feed this tick's
+            # governor decisions (one-tick feedback latency, like a
+            # real gateway round trip).
+            if self.governors:
+                self._phase_governors(now, state)
+            bucket = alarms_by_tick.get(tick, [])
+            early = [a for a in bucket if a[2] < now]
+            late = [a for a in bucket if a[2] >= now]
+            self._phase_alarms(early, now, state)
+            self._phase_excerpts(proxies, records, tick - 1, now, state,
+                                 state.decisions)
+            self._phase_alarms(late, now, state)
+            self._deliver_due(now)
+            self._phase_reassembly(now)
+            self._phase_drain(state)
+            self._phase_triage(now, state)
+        self._send_overflow_alarms(alarms_by_tick, n_ticks, state)
+        state.kernel_stats = {
+            "engine": "ticks",
+            "n_events": 0,
+            "tick_loop_iterations": n_ticks * len(self.cohort),
+        }
+
+    def _run_kernel(self, results: list[tuple], state: _RunState) -> None:
+        """Phase 2 on the event-heap kernel of :mod:`.kernel`.
+
+        Without per-node period overrides the schedule is the
+        *lockstep façade*: one sweep event per legacy tick phase,
+        firing in the exact statement order of :meth:`_run_ticks`
+        (same code, same order — byte-identical by construction).
+        With overrides each node gets its own uplink (and governor)
+        event chain at its own period while the gateway-side sweeps
+        stay on the base grid, so cost is proportional to events
+        rather than ticks × cohort.
+        """
+        cfg = self.config
+        kernel = EventKernel()
+        period = self.node_config.excerpt_period_s
+        n_ticks = int(cfg.duration_s // period)
+        if self._uplink_overrides:
+            overflow = self._schedule_node_events(kernel, results, state)
+            kernel.run()
+            if overflow:
+                state.packets_sent += self._send_alarms(
+                    overflow, cfg.duration_s)
+            engine = "kernel-events"
+        else:
+            alarms_by_tick = self._schedule_lockstep(
+                kernel, results, state, period, n_ticks)
+            kernel.run()
+            self._send_overflow_alarms(alarms_by_tick, n_ticks, state)
+            engine = "kernel-lockstep"
+        state.kernel_stats = {
+            "engine": engine,
+            "n_events": kernel.n_processed,
+            "by_name": dict(sorted(kernel.counts_by_name.items())),
+            "tick_loop_iterations": n_ticks * len(self.cohort),
+        }
+
+    def _schedule_lockstep(self, kernel: EventKernel,
+                           results: list[tuple], state: _RunState,
+                           period: float, n_ticks: int,
+                           ) -> dict[int, list]:
+        """Schedule the legacy tick grid as per-phase sweep events."""
+        proxies = [r[0] for r in results]
+        records = [r[1] for r in results]
+        alarms_by_tick = self._bucket_alarms(results, period, n_ticks)
+        for tick in range(1, n_ticks + 1):
+            now = tick * period
+            bucket = alarms_by_tick.get(tick, [])
+            self._schedule_tick_sweeps(kernel, tick, now, proxies,
+                                       records, bucket, state)
+        return alarms_by_tick
+
+    def _schedule_tick_sweeps(self, kernel: EventKernel, tick: int,
+                              now: float, proxies: list[NodeProxy],
+                              records: list[MultiLeadEcg],
+                              bucket: list[tuple],
+                              state: _RunState) -> None:
+        """One lockstep tick as events: phase order via priorities."""
+        early = [a for a in bucket if a[2] < now]
+        late = [a for a in bucket if a[2] >= now]
+
+        def governors() -> None:
+            self._set_vt(now)
+            self._phase_governors(now, state)
+
+        def alarms_early() -> None:
+            self._set_vt(now)
+            self._phase_alarms(early, now, state)
+
+        def uplinks() -> None:
+            self._set_vt(now)
+            self._phase_excerpts(proxies, records, tick - 1, now, state,
+                                 state.decisions)
+
+        def alarms_late() -> None:
+            self._set_vt(now)
+            self._phase_alarms(late, now, state)
+
+        def delivery() -> None:
+            self._set_vt(now)
+            self._deliver_due(now)
+
+        def reassembly() -> None:
+            self._set_vt(now)
+            self._phase_reassembly(now)
+
+        def drain() -> None:
+            self._set_vt(now)
+            self._phase_drain(state)
+
+        def triage() -> None:
+            self._set_vt(now)
+            self._phase_triage(now, state)
+
+        if self.governors:
+            kernel.schedule(now, PRIO_GOVERNOR, "sweep.governors",
+                            governors)
+        if early:
+            kernel.schedule(now, PRIO_ALARM_EARLY, "sweep.alarms_early",
+                            alarms_early)
+        kernel.schedule(now, PRIO_UPLINK, "sweep.uplinks", uplinks)
+        if late:
+            kernel.schedule(now, PRIO_ALARM_LATE, "sweep.alarms_late",
+                            alarms_late)
+        if self.link is not None:
+            kernel.schedule(now, PRIO_DELIVERY, "link.due_sweep",
+                            delivery)
+        kernel.schedule(now, PRIO_REASSEMBLY, "gateway.expire",
+                        reassembly)
+        kernel.schedule(now, PRIO_DRAIN, "gateway.drain", drain)
+        kernel.schedule(now, PRIO_TRIAGE, "triage.sweep", triage)
+
+    def _schedule_node_events(self, kernel: EventKernel,
+                              results: list[tuple], state: _RunState,
+                              ) -> list[tuple]:
+        """Per-node uplink event chains plus base-grid gateway sweeps.
+
+        Each node is visited only at its own ``uplink_period_s`` (its
+        governor decision, alarms and excerpt ride one event), so a
+        sparse delineation-only node costs events proportional to its
+        uplinks.  Gateway-side sweeps (link due, grace expiry, drain,
+        triage decay) stay on the base excerpt grid — cohort-wide work
+        independent of cohort size per sweep.
+
+        Returns:
+            Alarm tuples falling past their node's last tick, sorted by
+            timestamp (the caller uplinks them at end of run).
+        """
+        cfg = self.config
+        base = self.node_config.excerpt_period_s
+        overflow: list[tuple] = []
+        for result in results:
+            proxy, record, _ = result
+            pid = proxy.profile.patient_id
+            period = self._uplink_overrides.get(pid, base)
+            n_ticks = int(cfg.duration_s // period)
+            buckets = self._bucket_alarms([result], period, n_ticks)
+            for tick in range(1, n_ticks + 1):
+                self._schedule_node_uplink(
+                    kernel, proxy, record, tick, tick * period, period,
+                    buckets.get(tick, []), state)
+            for tick in sorted(buckets):
+                if tick > n_ticks:
+                    overflow.extend(buckets[tick])
+        for tick in range(1, int(cfg.duration_s // base) + 1):
+            self._schedule_gateway_sweeps(kernel, tick * base, state)
+        overflow.sort(key=lambda item: item[2])
+        return overflow
+
+    def _schedule_node_uplink(self, kernel: EventKernel,
+                              proxy: NodeProxy, record: MultiLeadEcg,
+                              tick: int, now: float, period: float,
+                              bucket: list[tuple],
+                              state: _RunState) -> None:
+        """Schedule one node's uplink (and governor) event at ``now``.
+
+        The governor decision is its own event one priority rank ahead
+        of the uplink, mirroring the lockstep phase order: decisions at
+        a timestamp always land before the uplinks they steer.
+        """
+        pid = proxy.profile.patient_id
+        early = [a for a in bucket if a[2] < now]
+        late = [a for a in bucket if a[2] >= now]
+
+        def decide() -> None:
+            self._set_vt(now)
+            state.node_decisions[pid] = self._decide_one(
+                pid, period, now - period)
+
+        def uplink() -> None:
+            self._set_vt(now)
+            decisions = ({pid: state.node_decisions.pop(pid)}
+                         if self.governors else None)
+            self._phase_alarms(early, now, state)
+            self._phase_excerpts([proxy], [record], tick - 1, now,
+                                 state, decisions)
+            self._phase_alarms(late, now, state)
+            self._schedule_link_events(kernel, state)
+
+        if self.governors:
+            kernel.schedule(now, PRIO_GOVERNOR, "governor.decide",
+                            decide, subject=pid)
+        kernel.schedule(now, PRIO_UPLINK, "node.uplink", uplink,
+                        subject=pid)
+
+    def _schedule_gateway_sweeps(self, kernel: EventKernel, now: float,
+                                 state: _RunState) -> None:
+        """Schedule the gateway-side sweeps of one base-grid instant."""
+
+        def delivery() -> None:
+            self._set_vt(now)
+            self._deliver_due(now)
+            self._schedule_link_events(kernel, state)
+
+        def reassembly() -> None:
+            self._set_vt(now)
+            self._phase_reassembly(now)
+
+        def drain() -> None:
+            self._set_vt(now)
+            self._phase_drain(state)
+
+        def triage() -> None:
+            self._set_vt(now)
+            self._phase_triage(now, state)
+
+        if self.link is not None:
+            kernel.schedule(now, PRIO_DELIVERY, "link.due_sweep",
+                            delivery)
+        kernel.schedule(now, PRIO_REASSEMBLY, "gateway.expire",
+                        reassembly)
+        kernel.schedule(now, PRIO_DRAIN, "gateway.drain", drain)
+        kernel.schedule(now, PRIO_TRIAGE, "triage.sweep", triage)
+
+    def _schedule_link_events(self, kernel: EventKernel,
+                              state: _RunState) -> None:
+        """Schedule an exact-time delivery event for the link's next due.
+
+        Links exposing ``next_due_s`` (the
+        :class:`~repro.scenarios.ImpairedLink` family) get their
+        delayed copies popped at the exact jittered delivery time
+        instead of waiting for the next base-grid sweep; one event per
+        distinct due time is kept outstanding, and dues past the run's
+        end fall through to the end-of-run drain as before.
+        """
+        if self.link is None:
+            return
+        next_due = getattr(self.link, "next_due_s", None)
+        if next_due is None:
+            return
+        t_due = next_due()
+        if t_due is None or t_due > self.config.duration_s \
+                or t_due in state.scheduled_deliveries:
+            return
+        state.scheduled_deliveries.add(t_due)
+        t_fire = max(t_due, kernel.now_s)
+
+        def deliver() -> None:
+            self._set_vt(t_fire)
+            self._deliver_due(t_fire)
+            self._schedule_link_events(kernel, state)
+
+        kernel.schedule(t_fire, PRIO_DELIVERY, "link.delivery", deliver)
 
     def _governor_observer(self, pid: str):
         """Build one patient's out-of-band governor decision observer.
@@ -466,18 +838,33 @@ class FleetScheduler:
         """
         period = self.node_config.excerpt_period_s
         t0 = now_s - period
-        decisions: dict[str, GovernorDecision] = {}
-        for profile in self.cohort:
-            pid = profile.patient_id
-            acuity = (self.acuity_override(pid, t0)
-                      if self.acuity_override is not None else None)
-            if acuity is None:
-                acuity = self.board.patient(pid).state
-            extra = (self.extra_load(pid, t0)
-                     if self.extra_load is not None else 0.0)
-            decisions[pid] = self.governors[pid].step(
-                period, acuity, extra_load_w=extra)
-        return decisions
+        return {profile.patient_id:
+                self._decide_one(profile.patient_id, period, t0)
+                for profile in self.cohort}
+
+    def _decide_one(self, pid: str, period_s: float,
+                    t0: float) -> GovernorDecision:
+        """One patient's governor decision for the interval from ``t0``.
+
+        Shared by the cohort-wide lockstep sweep and the per-node
+        governor events of the kernel's heterogeneous schedule (where
+        ``period_s`` is the node's own uplink period).
+        """
+        acuity = (self.acuity_override(pid, t0)
+                  if self.acuity_override is not None else None)
+        if acuity is None:
+            acuity = self.board.patient(pid).state
+        extra = (self.extra_load(pid, t0)
+                 if self.extra_load is not None else 0.0)
+        return self.governors[pid].step(period_s, acuity,
+                                        extra_load_w=extra)
+
+    def _node_config_for(self, profile: PatientProfile) -> NodeProxyConfig:
+        """The node config of one profile, with its period override."""
+        period = self._uplink_overrides.get(profile.patient_id)
+        if period is None:
+            return self.node_config
+        return replace(self.node_config, excerpt_period_s=period)
 
     def _fold_governed_power(self, reports: dict[str, NodeReport]) -> None:
         """Replace static node power with the governor's mode schedule.

@@ -153,6 +153,21 @@ class PerPatientLink:
             out.extend(self._links[patient_id].drain())
         return out
 
+    def next_due_s(self) -> float | None:
+        """Earliest in-flight delivery time across patient channels.
+
+        ``None`` when nothing is in flight or no underlying link
+        exposes a due time — the event kernel then falls back to its
+        base-grid delivery sweeps.
+        """
+        dues = []
+        for link in self._links.values():
+            peek = getattr(link, "next_due_s", None)
+            due = peek() if peek is not None else None
+            if due is not None:
+                dues.append(due)
+        return min(dues) if dues else None
+
     def stats_for(self, patient_id: str) -> dict[str, int]:
         """Channel counters of one patient (empty before first send)."""
         link = self._links.get(patient_id)

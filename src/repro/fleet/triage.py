@@ -85,6 +85,12 @@ class PatientTriage:
     soc: float = float("nan")
     #: Latest operating-mode telemetry ("" until a packet arrives).
     mode: str = ""
+    #: Expected uplink period of this patient's node in seconds (nan =
+    #: the fleet-wide default).  Sparse delineation-only nodes
+    #: legitimately stay silent for their whole period, so staleness
+    #: waits ``max(stale_after_s, 1.5 x expected_period_s)`` before
+    #: flagging them detached.
+    expected_period_s: float = float("nan")
 
     def _escalate(self, target: str, now_s: float) -> None:
         if STATES.index(target) > STATES.index(self.state):
@@ -122,8 +128,14 @@ class PatientTriage:
         A stale link keeps the patient at ``watch`` or above for as long
         as the silence lasts (re-asserted every tick, so the quiet-decay
         rule below cannot quietly lower a patient nobody can observe).
+        A declared :attr:`expected_period_s` stretches the silence
+        allowance so a sparse node between scheduled uplinks is not
+        mistaken for a detached one.
         """
-        if now_s - self.last_seen_s >= config.stale_after_s:
+        stale_after = config.stale_after_s
+        if np.isfinite(self.expected_period_s):
+            stale_after = max(stale_after, 1.5 * self.expected_period_s)
+        if now_s - self.last_seen_s >= stale_after:
             if not self.stale:
                 self.stale = True
                 self.n_stale_events += 1
@@ -161,6 +173,17 @@ class TriageBoard:
         """
         for patient_id in patient_ids:
             self.patient(patient_id)
+
+    def set_expected_period(self, patient_id: str,
+                            period_s: float) -> None:
+        """Declare one node's expected uplink period (sparse cohorts).
+
+        Lets staleness detection distinguish a detached node from one
+        that is simply between sparse scheduled uplinks; the scheduler
+        calls this for every profile carrying an ``uplink_period_s``
+        override.
+        """
+        self.patient(patient_id).expected_period_s = float(period_s)
 
     def stale_ids(self) -> list[str]:
         """Patients whose link is currently flagged stale (sorted)."""

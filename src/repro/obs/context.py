@@ -18,6 +18,7 @@ contracts.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 
 from repro.obs.flight import FlightRecorder
@@ -88,8 +89,19 @@ class Observability:
         return cls(config) if config is not None else None
 
     def set_virtual_time(self, t_s: float) -> None:
-        """Advance the ambient virtual clock (scheduler tick time)."""
-        self.virtual_time_s = float(t_s)
+        """Advance the ambient virtual clock (tick or kernel event time).
+
+        Both simulation clocks — the legacy tick loop and the event
+        kernel of :mod:`repro.fleet.kernel` — stamp this before running
+        a phase, so instrumentation sites without their own event time
+        read a consistent virtual *now*.  Non-finite stamps are
+        rejected: a NaN ambient clock would silently propagate into
+        trace sort keys and anomaly records.
+        """
+        t_s = float(t_s)
+        if not math.isfinite(t_s):
+            raise ValueError(f"virtual time must be finite, got {t_s}")
+        self.virtual_time_s = t_s
 
     def snapshot_bundle(self, scope: str | None = None) -> dict:
         """Dict bundle of metric + trace snapshots (one worker's view)."""

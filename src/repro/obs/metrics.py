@@ -30,6 +30,7 @@ each series.
 
 from __future__ import annotations
 
+import bisect
 import json
 import math
 from dataclasses import dataclass, field
@@ -108,11 +109,13 @@ class Gauge:
 class Histogram:
     """One labeled family of bucketed integer observation counts.
 
-    Buckets are cumulative-exclusive at storage time (each observation
-    lands in exactly one bucket, the first whose upper bound it does
-    not exceed; ``+Inf`` catches the rest) and rendered cumulatively in
-    the Prometheus exposition.  There is deliberately no float ``sum``
-    field — integer bucket counts merge exactly across shards.
+    Buckets are cumulative-exclusive at storage time — each observation
+    lands in exactly one bucket, the first whose upper bound is **>=**
+    the value (Prometheus ``le`` semantics: a value exactly equal to a
+    bound belongs to that bound's bucket; ``+Inf`` catches the rest) —
+    and rendered cumulatively in the Prometheus exposition.  There is
+    deliberately no float ``sum`` field — integer bucket counts merge
+    exactly across shards.
     """
 
     name: str
@@ -123,17 +126,31 @@ class Histogram:
         field(default_factory=dict)
 
     def observe(self, value: float, **labels: str) -> None:
-        """Record one observation into its bucket."""
+        """Record one observation into its bucket.
+
+        Bucket upper bounds are inclusive: ``observe(5.0)`` against
+        bounds ``(1, 5, 10)`` lands in the ``le=5`` bucket, matching
+        the cumulative Prometheus rendering.
+
+        Raises:
+            MetricsError: NaN observation — NaN compares false against
+                every bound, so it would otherwise fall through into
+                ``+Inf`` and silently poison the tail count.  Guard
+                the call site instead.
+        """
+        value = float(value)
+        if math.isnan(value):
+            raise MetricsError(
+                f"histogram {self.name}: NaN is not bucketable; "
+                f"guard the call site instead of observing it")
         key = _label_key(labels)
         counts = self.series.get(key)
         if counts is None:
             counts = [0] * (len(self.buckets) + 1)
             self.series[key] = counts
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[i] += 1
-                return
-        counts[-1] += 1  # +Inf bucket
+        # bisect_left finds the first bound >= value: the inclusive
+        # ``le`` bucket; values above every bound index the +Inf slot.
+        counts[bisect.bisect_left(self.buckets, value)] += 1
 
     def count(self, **labels: str) -> int:
         """Total observations of one labeled series."""

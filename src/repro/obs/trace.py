@@ -26,6 +26,7 @@ when merging.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import SCOPE_FLEET, SCOPE_SHARD
@@ -137,6 +138,11 @@ class TraceRecorder:
         """Validate and append one event."""
         if scope not in (SCOPE_FLEET, SCOPE_SHARD):
             raise TraceError(f"unknown scope {scope!r}")
+        if not math.isfinite(float(t_s)):
+            raise TraceError(
+                f"event {name!r}: virtual timestamp must be finite "
+                f"(got {t_s}) — a NaN stamp breaks the canonical "
+                f"(t_s, subject, seq) sort")
         if scope == SCOPE_FLEET and not subject:
             raise TraceError(
                 f"fleet-scope event {name!r} needs a subject so the "

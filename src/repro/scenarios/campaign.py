@@ -116,6 +116,12 @@ class CampaignConfig:
             lockstep and exercises nothing.
         governor_min_dwell_s: Governor dwell damping; 0 lets a short
             campaign switch every tick.
+        scheduler_engine: Simulation engine of every per-scenario
+            :class:`~repro.fleet.FleetScheduler` (``"kernel"`` — the
+            event-heap lockstep façade — or the legacy ``"ticks"``
+            loop).  The two are byte-identical by contract (tested);
+            the knob exists so that contract can be asserted at
+            campaign level against the pinned PR-2 goldens.
     """
 
     n_patients: int = 20
@@ -134,6 +140,7 @@ class CampaignConfig:
     governor_initial_soc: float = 0.9
     governor_soc_span: float = 0.5
     governor_min_dwell_s: float = 0.0
+    scheduler_engine: str = "kernel"
 
     def __post_init__(self) -> None:
         if self.n_patients < 1:
@@ -371,7 +378,8 @@ def _patient_unit(spec: ScenarioSpec, profile: PatientProfile,
     factory, extra_load, acuity_override = _governed_kit(spec, config)
     scheduler = FleetScheduler(
         [profile],
-        SchedulerConfig(duration_s=config.duration_s, fs=config.fs),
+        SchedulerConfig(duration_s=config.duration_s, fs=config.fs,
+                        engine=config.scheduler_engine),
         node_config=NodeProxyConfig(
             excerpt_period_s=config.excerpt_period_s,
             stream_telemetry=config.stream_telemetry),
@@ -678,7 +686,8 @@ class CampaignRunner:
                 cohort,
                 n_shards=cfg.shard_workers,
                 config=SchedulerConfig(duration_s=cfg.duration_s,
-                                       fs=cfg.fs),
+                                       fs=cfg.fs,
+                                       engine=cfg.scheduler_engine),
                 node_config=NodeProxyConfig(
                     excerpt_period_s=cfg.excerpt_period_s,
                     stream_telemetry=cfg.stream_telemetry),
@@ -819,7 +828,8 @@ class CampaignRunner:
         scheduler = FleetScheduler(
             cohort,
             SchedulerConfig(duration_s=cfg.duration_s, fs=cfg.fs,
-                            workers=cfg.workers),
+                            workers=cfg.workers,
+                            engine=cfg.scheduler_engine),
             node_config=NodeProxyConfig(
                 excerpt_period_s=cfg.excerpt_period_s,
                 stream_telemetry=cfg.stream_telemetry),

@@ -41,7 +41,16 @@ class ImpairedLink:
                  seed: int = 0) -> None:
         self.spec = spec or LinkSpec()
         self._rng = np.random.default_rng(seed)
-        self._pending: list[tuple[float, int, UplinkPacket]] = []
+        #: Delivery heap keyed ``(t_s, patient_id, seq, order)`` — two
+        #: packets colliding on the same virtual delivery time pop in
+        #: deterministic ``(patient, seq)`` order regardless of how
+        #: they were interleaved at send time, so jittered links stay
+        #: byte-reproducible under any send schedule (the kernel's
+        #: per-node event order differs from the tick loop's batch
+        #: order).  ``order`` (insertion counter) breaks the final tie
+        #: between duplicate copies of one packet.
+        self._pending: list[
+            tuple[float, str, int, int, UplinkPacket]] = []
         self._order = 0
         self.stats: dict[str, int] = {
             "offered": 0,
@@ -79,14 +88,23 @@ class ImpairedLink:
         """Pop the delayed packets whose delivery time has arrived."""
         out: list[UplinkPacket] = []
         while self._pending and self._pending[0][0] <= now_s:
-            out.append(heapq.heappop(self._pending)[2])
+            out.append(heapq.heappop(self._pending)[-1])
         return out
 
     def drain(self) -> list[UplinkPacket]:
         """Everything still in flight, in delivery order (end of run)."""
-        out = [heapq.heappop(self._pending)[2] for _ in
+        out = [heapq.heappop(self._pending)[-1] for _ in
                range(len(self._pending))]
         return out
+
+    def next_due_s(self) -> float | None:
+        """Delivery time of the earliest in-flight packet.
+
+        The event kernel uses this to schedule an exact-time delivery
+        event for jittered copies instead of polling every sweep;
+        ``None`` means nothing is in flight.
+        """
+        return self._pending[0][0] if self._pending else None
 
     def _delivery_delay(self, packet: UplinkPacket) -> float | None:
         """Delay of this packet's first copy; ``None`` when lost."""
@@ -118,5 +136,6 @@ class ImpairedLink:
             immediate.append(packet)
             return
         heapq.heappush(self._pending,
-                       (now_s + delay, self._order, packet))
+                       (now_s + delay, packet.patient_id, packet.seq,
+                        self._order, packet))
         self._order += 1

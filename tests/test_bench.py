@@ -167,6 +167,18 @@ class TestBaselinesFile:
         for artifact in artifacts:
             validate_report(json.loads(artifact.read_text()))
 
+    def test_kernel_artifact_records_event_efficiency(self):
+        # The acceptance bar of the event-kernel issue: byte-identical
+        # tick/kernel summaries plus >= 3x fewer kernel events than
+        # tick-loop iterations on the 90 %-sparse cohort, recorded in
+        # the committed artifact (pinned by name, like the PR-3 one).
+        payload = json.loads(
+            (BENCHMARKS_DIR / "BENCH_pr7-event-kernel.json").read_text())
+        case = next(c for c in payload["cases"]
+                    if c["name"] == "fleet-event-kernel")
+        assert case["metrics"]["byte_identical"] is True
+        assert case["metrics"]["event_ratio"] >= 3.0
+
     def test_seed_artifact_records_vectorization_speedup(self):
         # The acceptance bar of the bench issue: >= 2x on both systems
         # cases, recorded in the first committed artifact (pinned by

@@ -46,6 +46,11 @@ EXAMPLES = {
         ["--patients", "3", "--duration", "60", "--train-records", "2"],
         ["fleet of 3 patients", "triage:", "throughput:"],
     ),
+    "fleet_event_kernel.py": (
+        ["--patients", "4", "--duration", "60"],
+        ["summaries byte-identical: True", "kernel-events",
+         "event ratio"],
+    ),
     "fleet_observability.py": (
         ["--patients", "3", "--duration", "60", "--shards", "2"],
         ["metrics:", "canonical snapshot matches",

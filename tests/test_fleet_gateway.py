@@ -214,7 +214,7 @@ class TestReassemblyOracle:
                              buffer.offer(_seq_packet(seq), channel))
             assert channel.n_gaps >= 0
             if expire_every and i % expire_every == 0 and buffer.buffer:
-                buffer.gap_ticks += 1
+                buffer.note_sweep(float(i))
                 if buffer.gap_ticks >= 3:
                     delivered.extend(p.seq for p in
                                      buffer.flush(channel))
@@ -278,13 +278,52 @@ class TestReassemblyOracle:
         buffer.offer(_seq_packet(2), channel)
         buffer.flush(channel)  # writes off 0, 1; next_seq -> 3
         buffer.offer(_seq_packet(5), channel)  # stalls behind 3, 4
-        buffer.gap_ticks = 2
+        buffer.note_sweep(10.0)  # anchor: head 5 observed waiting
+        buffer.note_sweep(40.0)
+        assert buffer.gap_ticks == 2
+        assert buffer.stall_head == 5
+        assert buffer.stalled_for_s(70.0) == 60.0
         released = buffer.offer(_seq_packet(0), channel)  # late replay
         assert [p.seq for p in released] == [0]
         assert buffer.gap_ticks == 2, \
             "straggler replay must not extend head-of-line blocking"
-        released = buffer.offer(_seq_packet(3), channel)  # real progress
-        assert [p.seq for p in released] == [3]  # head of line moves
-        assert buffer.gap_ticks == 0  # contiguous release resets it
+        released = buffer.offer(_seq_packet(3), channel)  # partial fill
+        assert [p.seq for p in released] == [3]
+        assert buffer.gap_ticks == 2, \
+            "head of line (5) is still stuck: a partial release " \
+            "behind it must not reset the stall clock"
+        assert buffer.stalled_for_s(70.0) == 60.0  # clock kept running
         released = buffer.offer(_seq_packet(4), channel)
         assert [p.seq for p in released] == [4, 5]  # stall fully clears
+        assert buffer.gap_ticks == 0  # head released: anchor dropped
+        assert buffer.stall_head is None
+
+    def test_straggler_behind_two_gaps_keeps_stall_anchor(self):
+        # Regression for the head-of-line accounting bug: with two
+        # separate gaps ({1} and {3, 4}) in front of buffered packets,
+        # the in-order arrival of seq 0 releases [0] — but the oldest
+        # pending seq (2) did not move, so the stall clock must keep
+        # counting from its original anchor.
+        from repro.fleet.gateway import PatientChannel, _ReassemblyBuffer
+
+        buffer = _ReassemblyBuffer(window=8)
+        channel = PatientChannel("p")
+        buffer.offer(_seq_packet(2), channel)
+        buffer.offer(_seq_packet(5), channel)  # buffer {2, 5}; next 0
+        buffer.note_sweep(30.0)  # head 2 anchored at t=30
+        buffer.note_sweep(60.0)
+        assert (buffer.stall_head, buffer.gap_ticks) == (2, 2)
+        released = buffer.offer(_seq_packet(0), channel)
+        assert [p.seq for p in released] == [0]  # in-order release
+        assert buffer.gap_ticks == 2, \
+            "release of seq 0 is progress, but head 2 is still stuck"
+        assert buffer.stall_since_s == 30.0
+        assert buffer.stalled_for_s(90.0) == 60.0
+        buffer.note_sweep(90.0)  # same head: one more sweep counted
+        assert buffer.gap_ticks == 3
+        released = buffer.offer(_seq_packet(1), channel)
+        assert [p.seq for p in released] == [1, 2]  # head 2 makes it out
+        assert buffer.gap_ticks == 0
+        buffer.note_sweep(120.0)  # next sweep re-anchors on new head 5
+        assert (buffer.stall_head, buffer.gap_ticks) == (5, 1)
+        assert buffer.stall_since_s == 120.0

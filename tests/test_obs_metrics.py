@@ -74,6 +74,35 @@ class TestHistogram:
         h = MetricsRegistry().histogram("x")
         assert h.buckets == DEFAULT_BUCKETS
 
+    def test_boundary_values_are_le_inclusive(self):
+        # Prometheus `le` semantics: an observation exactly on a bucket
+        # bound belongs to that bucket, for every bound — not just the
+        # first.  Pinned so a refactor of the bucket search can't
+        # silently shift boundary observations into the next bucket.
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 5.0, 10.0))
+        for bound in (1.0, 5.0, 10.0):
+            h.observe(bound)
+        assert h.series[()] == [1, 1, 1, 0]
+
+    def test_observation_just_above_bound_goes_to_next_bucket(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 5.0))
+        h.observe(1.0000001)
+        h.observe(5.0000001)
+        assert h.series[()] == [0, 1, 1]
+
+    def test_nan_observation_rejected(self):
+        # NaN compares false with every bound, so it would silently
+        # land in the +Inf catch-all and skew count() and percentiles.
+        h = MetricsRegistry().histogram("lat")
+        with pytest.raises(MetricsError, match="NaN"):
+            h.observe(float("nan"))
+        assert h.count() == 0  # the bad observation left no trace
+
+    def test_infinity_lands_in_catch_all(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        h.observe(float("inf"))
+        assert h.series[()] == [0, 1]
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_family(self):

@@ -126,9 +126,49 @@ class TestReorderingAndJitter:
         link = ImpairedLink(LinkSpec(jitter_s=30.0), seed=6)
         for i in range(20):
             link.send(packet(i, ts=0.0), now_s=0.0)
-        # Expected order: the pending heap sorted by (deliver_at, order).
-        expected = [entry[2].seq for entry in sorted(link._pending)]
+        # Expected order: the pending heap sorted by
+        # (deliver_at, patient, seq, order).
+        expected = [entry[-1].seq for entry in sorted(link._pending)]
         drained = link.drain()
         assert link.in_flight == 0
         assert [p.seq for p in drained] == expected
         assert len(set(expected)) == 20  # jitter actually delayed all
+
+    def test_equal_timestamp_deliveries_sort_by_patient_then_seq(self):
+        # Two packets landing at the same virtual instant must come out
+        # in (patient_id, seq) order, not insertion order — the event
+        # kernel schedules deliveries at their due times, so the heap's
+        # tie-break is part of the determinism contract.
+        link = ImpairedLink(LinkSpec(), seed=0)
+        # Bypass the impairment draws: seed the pending heap directly
+        # with four same-instant deliveries inserted "backwards".
+        for pid, seq in [("p0001", 7), ("p0001", 2),
+                         ("p0000", 9), ("p0000", 1)]:
+            link._deliver(packet(seq, ts=0.0, patient=pid),
+                          now_s=0.0, delay=5.0, immediate=[])
+        out = [(p.patient_id, p.seq) for p in link.due(now_s=5.0)]
+        assert out == [("p0000", 1), ("p0000", 9),
+                       ("p0001", 2), ("p0001", 7)]
+
+    def test_duplicate_copies_tie_break_by_insertion_order(self):
+        # Same (t, patient, seq) — only a duplicated packet can do
+        # this — falls back to insertion order, keeping heap
+        # comparisons away from the (uncomparable) packets themselves.
+        link = ImpairedLink(LinkSpec(), seed=0)
+        first = packet(3)
+        link._deliver(first, now_s=0.0, delay=2.0, immediate=[])
+        link._deliver(packet(3), now_s=0.0, delay=2.0, immediate=[])
+        out = link.due(now_s=2.0)
+        assert [p.seq for p in out] == [3, 3]
+        assert out[0] is first
+
+    def test_next_due_s_tracks_pending_head(self):
+        link = ImpairedLink(LinkSpec(), seed=0)
+        assert link.next_due_s() is None
+        link._deliver(packet(1), now_s=0.0, delay=8.0, immediate=[])
+        link._deliver(packet(0), now_s=0.0, delay=3.0, immediate=[])
+        assert link.next_due_s() == 3.0
+        link.due(now_s=3.0)
+        assert link.next_due_s() == 8.0
+        link.drain()
+        assert link.next_due_s() is None
