@@ -1,0 +1,82 @@
+"""Served fleet throughput — loopback TCP gateway vs in-process.
+
+Not a paper figure: this benchmarks the `repro.fleet.serve` layer that
+moves the gateway behind a real socket.  The same cohort runs through
+the in-process scheduler and through `run_served_fleet` (one concurrent
+TCP client per patient against the asyncio gateway service); the merged
+`FleetSummary` must be **byte-identical** between the two paths (the
+serving determinism contract), and the socket tax — served wall over
+in-process wall — is the headline number.  No speedup bar: serving
+adds framing, syscalls and thread hops on purpose; the bench exists to
+keep that tax visible and the byte contract enforced.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_table
+
+from repro.fleet import (
+    CohortConfig,
+    FleetScheduler,
+    Gateway,
+    GatewayConfig,
+    NodeProxyConfig,
+    SchedulerConfig,
+    make_cohort,
+    run_served_fleet,
+)
+
+N_PATIENTS = 8
+DURATION_S = 120.0
+FS = 250.0
+
+
+def run_both():
+    """Run the cohort in-process and through loopback sockets."""
+    cohort = make_cohort(CohortConfig(n_patients=N_PATIENTS, seed=7))
+    config = SchedulerConfig(duration_s=DURATION_S, fs=FS)
+    node_config = NodeProxyConfig(stream_telemetry=False)
+    gateway_config = GatewayConfig(n_iter=80)
+    t0 = time.perf_counter()
+    local = FleetScheduler(
+        cohort, config, node_config=node_config,
+        gateway=Gateway(gateway_config)).run()
+    wall_local = time.perf_counter() - t0
+    served = run_served_fleet(
+        cohort, config=config, node_config=node_config,
+        gateway_config=gateway_config)
+    return local, wall_local, served
+
+
+def test_fleet_serve_throughput(benchmark):
+    local, wall_local, served = benchmark.pedantic(run_both, rounds=1,
+                                                   iterations=1)
+    wall_served = served.timings_s["total"]
+
+    print_table(
+        f"Served fleet ({N_PATIENTS} patients x {DURATION_S:.0f} s, "
+        "loopback TCP)",
+        ["metric", "value"],
+        [
+            ("in-process wall [s]", wall_local),
+            ("served wall [s]", wall_served),
+            ("socket tax [x]", wall_served / wall_local),
+            ("served packets/sec", served.packets_sent / wall_served),
+            ("packets sent", served.packets_sent),
+            ("connections opened",
+             served.server_stats["connections"]["open"]),
+            ("max queue depth", served.server_stats["max_queue_depth"]),
+            ("SNR p50 [dB]", served.summary.snr_p50_db),
+        ],
+    )
+
+    # The determinism contract gates unconditionally.
+    assert served.summary.to_json() == local.summary.to_json(), \
+        "served FleetSummary diverged from the in-process run"
+    assert served.packets_sent == local.packets_sent
+    assert served.summary.n_patients == N_PATIENTS
+    assert served.dropped_packets == 0
+    assert served.server_stats["connections"]["open"] == N_PATIENTS
+    assert served.server_stats["connections"].get("rejected", 0) == 0

@@ -93,7 +93,7 @@ def main() -> None:
         # ... then a corrupt one trips the anomaly dump.
         flight_obs.set_virtual_time(args.duration)
         try:
-            recorder_gw.ingest_bytes(b"\xde\xad\xbe\xef")
+            recorder_gw.ingest(b"\xde\xad\xbe\xef")
         except WireFormatError as err:
             print(f"\nflight recorder tripped on wire error: {err}")
         record = flight_obs.flight.anomalies[0]

@@ -41,11 +41,13 @@ from ..filtering import ensemble_noise_reduction_db, tracking_gain_vs_ea
 from ..fleet import (
     CohortConfig,
     FleetScheduler,
+    Gateway,
     GatewayConfig,
     NodeProxyConfig,
     SchedulerConfig,
     ShardedFleetRunner,
     make_cohort,
+    run_served_fleet,
 )
 from ..hwsim import compare_all
 from ..multimodal import measure_pat
@@ -331,6 +333,53 @@ def fleet_throughput_sharded(ctx: BenchContext) -> dict:
         "speedup_vs_single_process": wall_single / wall_sharded,
         "single_process_wall_s": wall_single,
         "sharded_wall_s": wall_sharded,
+    }
+
+
+@register("fleet-serve-throughput",
+          "Cohort through the TCP gateway service vs in-process, "
+          "byte-checked",
+          legacy="test_fleet_serve_throughput", tags=("systems",))
+def fleet_serve_throughput(ctx: BenchContext) -> dict:
+    """Drive one cohort through real loopback sockets and compare.
+
+    Times the same cohort through the in-process scheduler and through
+    `repro.fleet.serve.run_served_fleet` (concurrent TCP clients, one
+    per patient) and **asserts** the two merged summaries are
+    byte-identical — a serving-protocol or framing regression fails
+    the bench (and therefore the CI quick gate), not just a unit test.
+    The headline metrics are the socket tax (served wall over
+    in-process wall) and the served uplink rate in packets per second.
+    """
+    n_patients = 4 if ctx.quick else 8
+    duration = 60.0 if ctx.quick else 120.0
+    cohort = make_cohort(CohortConfig(n_patients=n_patients, seed=7))
+    config = SchedulerConfig(duration_s=duration, fs=FS)
+    node_config = NodeProxyConfig(stream_telemetry=False)
+    gateway_config = GatewayConfig(n_iter=80)
+
+    t0 = time.perf_counter()
+    local = FleetScheduler(
+        cohort, config, node_config=node_config,
+        gateway=Gateway(gateway_config)).run()
+    wall_local = time.perf_counter() - t0
+    served = run_served_fleet(
+        cohort, config=config, node_config=node_config,
+        gateway_config=gateway_config)
+    if served.summary.to_json() != local.summary.to_json():
+        raise AssertionError(
+            "served FleetSummary diverged from the in-process run — "
+            "serving determinism regression")
+    wall_served = served.timings_s["total"]
+    return {
+        "patients": n_patients,
+        "samples": int(n_patients * duration * FS) * 3 * 2,
+        "packets": served.packets_sent,
+        "byte_identical": True,
+        "served_packets_per_second": served.packets_sent / wall_served,
+        "socket_tax_vs_in_process": wall_served / wall_local,
+        "in_process_wall_s": wall_local,
+        "served_wall_s": wall_served,
     }
 
 

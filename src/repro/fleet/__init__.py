@@ -20,7 +20,16 @@ is what lets the whole runtime shard across worker processes:
 partitions a cohort into per-process scheduler+gateway stripes and
 merges their wire-encoded results into one byte-identical
 :class:`FleetSummary`.
+
+On top of the wire codec sits the network-native serving layer: the
+:func:`serve` gateway service (:mod:`repro.fleet.serve`) accepts patient
+nodes as concurrent TCP clients (:class:`FleetClient`,
+:mod:`repro.fleet.client`) streaming length-delimited frames, and
+:func:`run_served_fleet` drives a whole cohort through real sockets to
+a summary byte-identical to the in-process engine's.
 """
+
+from .client import FleetClient, RemoteBoard, RemoteGateway
 
 from .cohort import (
     CohortConfig,
@@ -59,6 +68,14 @@ from .scheduler import (
     SchedulerConfig,
     UplinkChannel,
 )
+from .serve import (
+    FleetGatewayServer,
+    ServeConfig,
+    ServedFleetReport,
+    ServeError,
+    run_served_fleet,
+    serve,
+)
 from .sharding import (
     PerPatientLink,
     ShardedFleetReport,
@@ -66,6 +83,7 @@ from .sharding import (
     ShardHookFactory,
     ShardHooks,
     ShardPatientRow,
+    merge_patient_rows,
     partition_cohort,
 )
 from .triage import (
@@ -79,13 +97,21 @@ from .triage import (
     fleet_summary,
 )
 from .wire import (
+    MAX_FRAME_BYTES,
+    MESSAGE_MAGIC,
     WIRE_MAGIC,
     WIRE_VERSION,
+    ServeMessage,
+    StreamDecoder,
     WireFormatError,
+    decode_message,
     decode_packet,
     decode_packets,
+    encode_message,
     encode_packet,
     encode_packets,
+    encode_stream_frame,
+    frame_kind,
 )
 
 __all__ = [
@@ -95,6 +121,8 @@ __all__ = [
     "Event",
     "EventKernel",
     "ExtraLoad",
+    "FleetClient",
+    "FleetGatewayServer",
     "FleetReport",
     "FleetScheduler",
     "FleetSummary",
@@ -102,6 +130,8 @@ __all__ = [
     "GatewayConfig",
     "GovernorFactory",
     "KernelError",
+    "MAX_FRAME_BYTES",
+    "MESSAGE_MAGIC",
     "PRIORITIES",
     "NodeProxy",
     "NodeProxyConfig",
@@ -114,15 +144,22 @@ __all__ = [
     "PatientTriage",
     "PerPatientLink",
     "ReconstructedExcerpt",
+    "RemoteBoard",
+    "RemoteGateway",
     "STATE_ALERT",
     "STATE_OK",
     "STATE_WATCH",
     "SchedulerConfig",
+    "ServeConfig",
+    "ServeError",
+    "ServeMessage",
+    "ServedFleetReport",
     "ShardHookFactory",
     "ShardHooks",
     "ShardPatientRow",
     "ShardedFleetReport",
     "ShardedFleetRunner",
+    "StreamDecoder",
     "TriageBoard",
     "TriageConfig",
     "UplinkChannel",
@@ -130,12 +167,19 @@ __all__ = [
     "WIRE_MAGIC",
     "WIRE_VERSION",
     "WireFormatError",
+    "decode_message",
     "decode_packet",
     "decode_packets",
+    "encode_message",
     "encode_packet",
     "encode_packets",
+    "encode_stream_frame",
     "fleet_summary",
+    "frame_kind",
     "make_cohort",
+    "merge_patient_rows",
     "partition_cohort",
+    "run_served_fleet",
+    "serve",
     "synthesize_patient",
 ]

@@ -28,6 +28,7 @@ whatever is still buffered at end of run.
 from __future__ import annotations
 
 import math
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -42,6 +43,12 @@ from ..obs import (ANOMALY_ALARM_BURST, ANOMALY_NAN_GUARD,
                    Observability, SCOPE_SHARD)
 from ..power.governor import MODE_MULTI_LEAD_CS, MODE_RAW
 from .node_proxy import PACKET_ALARM, PACKET_TELEMETRY, UplinkPacket
+
+#: Most written-off sequence numbers one reassembly hole may keep
+#: recoverable (late-recovery bookkeeping).  Bounds the memory a
+#: corrupt or hostile sequence jump can pin on a network-facing
+#: gateway; stragglers from further back classify as duplicates.
+MAX_TRACKED_GAP = 4096
 
 
 @dataclass(frozen=True)
@@ -187,7 +194,12 @@ class _ReassemblyBuffer:
       further copy a duplicate;
     * after a final flush, ``n_gaps`` equals the numbers below
       ``next_seq`` that never arrived, and ``missing`` holds exactly
-      those numbers (always ``< next_seq``).
+      those numbers (always ``< next_seq``) — up to
+      :data:`MAX_TRACKED_GAP` per written-off hole: a pathological
+      sequence jump (corrupt or hostile seq on a network-facing
+      gateway) is counted in full on ``n_gaps`` but only its most
+      recent :data:`MAX_TRACKED_GAP` numbers stay recoverable, so a
+      single crafted packet can never balloon ``missing``.
     """
 
     def __init__(self, window: int) -> None:
@@ -257,7 +269,12 @@ class _ReassemblyBuffer:
         released: list[UplinkPacket] = []
         for seq in sorted(self.buffer):
             if seq > self.next_seq:  # hole in front of this packet
-                self.missing.update(range(self.next_seq, seq))
+                # Track at most MAX_TRACKED_GAP numbers per hole: the
+                # full range of an absurd jump (hostile seq over the
+                # network) would materialize billions of set entries.
+                self.missing.update(
+                    range(max(self.next_seq, seq - MAX_TRACKED_GAP),
+                          seq))
                 channel.n_gaps += seq - self.next_seq
                 self.next_seq = seq
             released.append(self.buffer.pop(seq))
@@ -392,16 +409,36 @@ class Gateway:
         """Packets waiting in the ingest queue."""
         return len(self._queue)
 
-    def ingest(self, packet: UplinkPacket) -> bool:
+    def ingest(self, payload: "UplinkPacket | bytes | bytearray | "
+               "memoryview") -> bool:
         """Accept one arrival; ``False`` when the bounded queue is full.
 
-        The packet passes through the patient's reassembly window first:
-        duplicates are dropped (and counted on the channel), out-of-order
-        packets wait for their gap, and only releasable packets enter
-        the processing queue.  An arrival rejected here for back-pressure
-        never reaches the reassembly buffer, so its sequence number will
-        later be written off as a gap like any other loss.
+        **The one ingest surface.**  Dispatches on payload type: a
+        bytes-like payload is a binary wire frame
+        (:func:`~repro.fleet.wire.encode_packet`) and is decoded —
+        and flight-recorded when observability is attached — before
+        entering the pipeline; an :class:`UplinkPacket` enters it
+        directly.  Both forms then pass through the patient's
+        reassembly window: duplicates are dropped (and counted on the
+        channel), out-of-order packets wait for their gap, and only
+        releasable packets enter the processing queue.  An arrival
+        rejected here for back-pressure never reaches the reassembly
+        buffer, so its sequence number will later be written off as a
+        gap like any other loss.
+
+        The legacy split entry points (``ingest_bytes`` for frames,
+        ``ingest`` for objects only) survive as deprecation shims.
+
+        Raises:
+            ~repro.fleet.wire.WireFormatError: A bytes-like payload
+                does not parse as a valid packet frame.
         """
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            return self._ingest_frame(payload)
+        return self._ingest_packet(payload)
+
+    def _ingest_packet(self, packet: UplinkPacket) -> bool:
+        """Object-path ingest: reassembly window, then the queue."""
         if len(self._queue) >= self.config.queue_capacity:
             self.dropped += 1
             if self._m is not None:
@@ -455,22 +492,18 @@ class Gateway:
                                        patient=channel.patient_id,
                                        event=event)
 
-    def ingest_bytes(self, data: bytes | bytearray | memoryview) -> bool:
-        """Decode one wire frame and ingest the packet it carries.
-
-        The socket-boundary twin of :meth:`ingest`: shard workers and
-        remote nodes hand the gateway raw
-        :func:`~repro.fleet.wire.encode_packet` frames instead of
-        Python objects.
+    def _ingest_frame(self, data: bytes | bytearray | memoryview) -> bool:
+        """Frame-path ingest: decode, flight-record, then object path.
 
         Raises:
             ~repro.fleet.wire.WireFormatError: The buffer does not
-                parse as a valid packet frame.
+                parse as a valid packet frame (recorded as a wire-error
+                anomaly when observability is attached, then re-raised).
         """
         from .wire import decode_packet, WireFormatError
 
         if self._m is None:
-            return self.ingest(decode_packet(data))
+            return self._ingest_packet(decode_packet(data))
         try:
             packet = decode_packet(data)
         except WireFormatError as exc:
@@ -482,7 +515,20 @@ class Gateway:
                 frame_b64=base64.b64encode(bytes(data)).decode("ascii"))
             raise
         self.obs.flight.record_frame(packet.patient_id, bytes(data))
-        return self.ingest(packet)
+        return self._ingest_packet(packet)
+
+    def ingest_bytes(self, data: bytes | bytearray | memoryview) -> bool:
+        """Deprecated: use :meth:`ingest`, which accepts wire frames.
+
+        Thin shim kept for one release so external callers migrate
+        smoothly; emits :class:`DeprecationWarning` and forwards to the
+        unified entry point.
+        """
+        warnings.warn(
+            "Gateway.ingest_bytes() is deprecated; Gateway.ingest() "
+            "now dispatches on payload type and accepts wire frames "
+            "directly", DeprecationWarning, stacklevel=2)
+        return self.ingest(data)
 
     def flush_reassembly(self) -> int:
         """Force-release every reassembly buffer (end of run / timeout).

@@ -165,6 +165,34 @@ class EventKernel:
         """Firing time of the next pending event (``None`` when idle)."""
         return self._heap[0][0][0] if self._heap else None
 
+    def advance_to(self, t_s: float) -> float:
+        """Advance virtual time without firing an event; return ``now_s``.
+
+        The serving layer's clock clamp: a gateway session pins its
+        kernel to each remote command's stamped time before scheduling
+        the command as an event, so the no-time-travel guard in
+        :meth:`schedule` enforces monotone command order across a whole
+        connection (and across reconnects, since the session kernel
+        outlives the socket).  Moving backwards is a no-op — ``now_s``
+        never decreases — which absorbs commands stamped slightly in
+        the past (e.g. a drain reusing its tick's expiry time).
+
+        Raises:
+            KernelError: Non-finite time, or a target that would jump
+                over pending events (they would then be scheduled-past
+                and could never fire in order).
+        """
+        t_s = float(t_s)
+        if not math.isfinite(t_s):
+            raise KernelError(f"advance_to: time must be finite, got {t_s}")
+        head = self.peek_s()
+        if head is not None and t_s > head:
+            raise KernelError(
+                f"advance_to({t_s}) would jump over a pending event "
+                f"at t={head}")
+        self.now_s = max(self.now_s, t_s)
+        return self.now_s
+
     def run(self, until_s: float | None = None) -> int:
         """Fire pending events in key order; return how many fired.
 

@@ -1006,12 +1006,12 @@ class FleetScheduler:
         """Hand one delivered packet to the gateway.
 
         With ``wire_loopback`` the packet crosses the binary codec
-        first (encode, then :meth:`Gateway.ingest_bytes`) — the run
-        then exercises exactly what a socket-separated gateway would
-        see.
+        first (encode, then the frame path of :meth:`Gateway.ingest`)
+        — the run then exercises exactly what a socket-separated
+        gateway would see.
         """
         if self.config.wire_loopback:
-            self.gateway.ingest_bytes(packet.to_bytes())
+            self.gateway.ingest(packet.to_bytes())
         else:
             self.gateway.ingest(packet)
 

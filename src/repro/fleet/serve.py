@@ -1,0 +1,732 @@
+"""Network-native fleet gateway service: nodes as TCP clients.
+
+Everything below :mod:`repro.fleet.sharding` still runs the node *and*
+the gateway in one address space — the wire codec proves packets could
+cross a socket, but nothing actually does.  This module closes that
+gap: :class:`FleetGatewayServer` is an asyncio TCP server whose clients
+are patient nodes (:class:`~repro.fleet.client.FleetClient`) streaming
+length-delimited wire frames, and :func:`run_served_fleet` drives a
+whole cohort through real loopback sockets to a
+:class:`~repro.fleet.FleetSummary` that is **byte-identical**
+(``to_json``) to the in-process engine's.
+
+Architecture (one connection, left to right)::
+
+    client ──TCP──> reader task ──bounded queue──> consumer task
+                                                        │
+                                         run_in_executor(session lane)
+                                                        │
+                                       _PatientSession: Gateway +
+                                       TriageBoard + EventKernel
+
+* **Framing** — the byte stream is u32-length-delimited
+  (:func:`~repro.fleet.wire.encode_stream_frame`); each frame body is
+  either a packet (:data:`~repro.fleet.wire.WIRE_MAGIC`) or a control
+  message (:data:`~repro.fleet.wire.MESSAGE_MAGIC`), routed by
+  :func:`~repro.fleet.wire.frame_kind`.
+* **Backpressure** — each connection's frames flow through a bounded
+  :class:`asyncio.Queue`; when it fills, the reader task stops reading
+  and the kernel's TCP window does the rest.  A slow consumer delays
+  the client, it never loses frames.
+* **Load balancing** — sessions are striped round-robin over
+  ``n_lanes`` single-thread executors, so gateway reconstruction for
+  different patients runs concurrently while each session stays
+  strictly ordered.
+* **Closed loop** — every ``sweep`` command returns a ``feedback``
+  downlink carrying the patient's post-sweep triage state, operating
+  mode and alert count; the client mirrors it into its local board,
+  which is exactly what the governor reads next tick (the same
+  one-tick feedback latency as the in-process scheduler).
+
+Protocol verbs (all :class:`~repro.fleet.wire.ServeMessage`):
+
+=============  ==========================================================
+uplink         ``hello`` (handshake, first frame), packet frames,
+               ``expire`` / ``drain`` / ``sweep`` / ``flush`` /
+               ``period`` (scheduler phases), ``report`` (end-of-run
+               row), ``bye``
+downlink       ``hello-ack`` (``resumed`` flag), ``feedback``,
+               ``report-ack``, ``error``
+=============  ==========================================================
+
+Sessions are keyed by patient id and **outlive their sockets**: a
+client that reconnects resumes its gateway channel, reassembly window
+and triage machine mid-stream (``hello-ack`` says ``resumed=1``), and a
+second live connection for the same patient is rejected with an
+``error`` downlink.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from ..classification.afib import AfDetector
+from ..obs import Observability, SCOPE_SERVE
+from .cohort import PatientProfile
+from .gateway import Gateway, GatewayConfig
+from .kernel import PRIO_DRAIN, PRIO_REASSEMBLY, PRIO_TRIAGE, \
+    EventKernel, KernelError
+from .node_proxy import NodeProxyConfig
+from .scheduler import SchedulerConfig
+from .sharding import ShardHookFactory, ShardHooks, ShardPatientRow, \
+    merge_patient_rows
+from .triage import FleetSummary, TriageBoard
+from .wire import (
+    MAX_FRAME_BYTES,
+    ServeMessage,
+    StreamDecoder,
+    WireFormatError,
+    decode_message,
+    encode_message,
+    encode_stream_frame,
+    frame_kind,
+)
+
+#: Socket read size of the server's reader tasks and the client
+#: transport (one TCP segment's worth; framing handles the rest).
+RECV_CHUNK = 65536
+
+
+class ServeError(RuntimeError):
+    """A serving-protocol violation or transport failure."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Gateway-service parameters (frozen, picklable, validated).
+
+    Attributes:
+        host: Interface the server binds.
+        port: TCP port (``0`` = ephemeral; read the bound port off
+            :attr:`FleetGatewayServer.port`).
+        n_lanes: Single-thread session executors the load balancer
+            stripes patients over (per-session ordering is preserved;
+            distinct lanes run concurrently).
+        queue_capacity: Bounded per-connection frame queue between the
+            socket reader and the session consumer — the backpressure
+            knob: a full queue stops the reader, which stalls the
+            client through TCP flow control instead of dropping.
+        max_frame_bytes: Per-frame byte ceiling of the stream decoder
+            (rejected from the length prefix alone).
+        throttle_s: Artificial per-frame processing delay — ``0`` in
+            production; tests raise it to saturate the bounded queue
+            and prove the no-loss backpressure path.
+        gateway: Gateway parameters every patient session runs with.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    n_lanes: int = 2
+    queue_capacity: int = 64
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    throttle_s: float = 0.0
+    gateway: GatewayConfig = field(default_factory=GatewayConfig)
+
+    def __post_init__(self) -> None:
+        """Reject unusable parameters up front."""
+        if not self.host:
+            raise ValueError("host must not be empty")
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port {self.port} outside [0, 65535]")
+        if self.n_lanes < 1:
+            raise ValueError("n_lanes must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_frame_bytes < 4096:
+            raise ValueError("max_frame_bytes must be >= 4096 (a frame "
+                             "must fit one telemetry packet)")
+        if not math.isfinite(self.throttle_s) or self.throttle_s < 0:
+            raise ValueError("throttle_s must be finite and >= 0")
+
+
+class _ServeMetrics:
+    """Pre-resolved serve-scope metric families (deployment-shaped)."""
+
+    def __init__(self, obs: Observability) -> None:
+        metrics = obs.metrics
+        self.connections = metrics.counter(
+            "serve_connections_total",
+            "Gateway-service connection lifecycle events "
+            "(open / resumed / rejected / closed).", scope=SCOPE_SERVE)
+        self.frames = metrics.counter(
+            "serve_frames_total",
+            "Stream frames consumed off client connections, by kind.",
+            scope=SCOPE_SERVE)
+        self.queue_depth = metrics.gauge(
+            "serve_queue_depth",
+            "High-water frame-queue depth per patient connection.",
+            scope=SCOPE_SERVE)
+
+
+class _PatientSession:
+    """Server-side state of one patient: gateway, triage, virtual clock.
+
+    Replays the exact call sequence the in-process scheduler would make
+    on a local :class:`~repro.fleet.Gateway` / :class:`TriageBoard`
+    pair, driven by the client's command stream.  The per-session
+    :class:`~repro.fleet.kernel.EventKernel` pins every timed command
+    to the session's virtual clock, so its no-time-travel guard
+    enforces monotone command order across the whole connection — and
+    across reconnects, because the session outlives the socket.
+    """
+
+    def __init__(self, patient_id: str, config: ServeConfig,
+                 lane: ThreadPoolExecutor) -> None:
+        self.patient_id = patient_id
+        self.lane = lane
+        self.gateway = Gateway(config.gateway)
+        self.board = TriageBoard()
+        self.board.register([patient_id])
+        self.kernel = EventKernel()
+        #: Gateway outputs drained so far (excerpts, alarms, telemetry
+        #: — every packet that reached triage).
+        self.n_reconstructed = 0
+        #: Packet frames ingested so far.
+        self.n_frames = 0
+        #: End-of-run row, set by the ``report`` command.
+        self.row: ShardPatientRow | None = None
+
+    def handle_frame(self, body: bytes) -> tuple[list[bytes], bool]:
+        """Process one stream-frame body; return (replies, close).
+
+        Runs on the session's lane executor, strictly ordered per
+        session.  Protocol or clock violations
+        (:class:`~repro.fleet.wire.WireFormatError`,
+        :class:`~repro.fleet.kernel.KernelError`) become an ``error``
+        downlink plus a close — the session itself survives for a
+        corrected reconnect.
+        """
+        try:
+            if frame_kind(body) == "packet":
+                self.gateway.ingest(body)
+                self.n_frames += 1
+                return [], False
+            return self._handle_message(decode_message(body))
+        except (WireFormatError, KernelError) as exc:
+            reply = ServeMessage("error", self.patient_id,
+                                 info={"error": str(exc)})
+            return [encode_message(reply)], True
+
+    def _handle_message(self, msg: ServeMessage,
+                        ) -> tuple[list[bytes], bool]:
+        """Dispatch one control message to its phase handler."""
+        if msg.kind == "expire":
+            self._run_at(msg.t_s, PRIO_REASSEMBLY, "serve.expire",
+                         lambda: self.gateway.expire_reassembly(msg.t_s))
+            return [], False
+        if msg.kind == "drain":
+            self._on_drain(msg)
+            return [], False
+        if msg.kind == "sweep":
+            return [encode_message(self._on_sweep(msg))], False
+        if msg.kind == "flush":
+            self.gateway.flush_reassembly()
+            return [], False
+        if msg.kind == "period":
+            self.board.set_expected_period(
+                self.patient_id, msg.fields.get("period_s", float("nan")))
+            return [], False
+        if msg.kind == "report":
+            return [encode_message(self._on_report(msg))], False
+        if msg.kind == "bye":
+            return [], True
+        raise WireFormatError(f"unknown serve command {msg.kind!r}")
+
+    def _run_at(self, t_s: float, priority: int, name: str,
+                action) -> None:
+        """Schedule one command on the session clock and fire it.
+
+        The schedule/run pair (rather than a bare call) is what makes
+        the kernel's no-time-travel guard the protocol's ordering
+        check: a command stamped behind the session's virtual time
+        raises :class:`~repro.fleet.kernel.KernelError`.
+        """
+        self.kernel.schedule(t_s, priority, name, action,
+                             subject=self.patient_id)
+        self.kernel.run()
+
+    def _on_drain(self, msg: ServeMessage) -> None:
+        """Drain the session gateway into triage (scheduler phase)."""
+        t_s = self.kernel.advance_to(msg.t_s)
+        budget = int(msg.fields.get("budget", -1.0))
+        max_packets = None if budget < 0 else budget
+
+        def act() -> None:
+            for excerpt in self.gateway.drain(max_packets):
+                self.board.observe(excerpt)
+                self.n_reconstructed += 1
+
+        self._run_at(t_s, PRIO_DRAIN, "serve.drain", act)
+
+    def _on_sweep(self, msg: ServeMessage) -> ServeMessage:
+        """Tick the triage board; return the ``feedback`` downlink.
+
+        The feedback carries everything the client's governor loop
+        reads next tick: post-sweep triage state, the board's view of
+        the node's operating mode, the alert count (alert acks) and the
+        last battery telemetry.
+        """
+        self._run_at(msg.t_s, PRIO_TRIAGE, "serve.sweep",
+                     lambda: self.board.tick(msg.t_s))
+        patient = self.board.patient(self.patient_id)
+        return ServeMessage(
+            "feedback", self.patient_id, t_s=msg.t_s,
+            fields={"n_alerts": float(patient.n_alerts),
+                    "soc": patient.soc},
+            info={"state": patient.state, "mode": patient.mode})
+
+    def _on_report(self, msg: ServeMessage) -> ServeMessage:
+        """Fold the client's end-of-run numbers into the session row.
+
+        The client reports exactly the node-side aggregates a shard
+        worker would (sent counts, node alarms, governed power/battery,
+        governor dwell in insertion order, link counters); the session
+        contributes its gateway channel, triage machine and
+        reconstruction count.  Together they form the same
+        :class:`~repro.fleet.sharding.ShardPatientRow` the sharded
+        runtime merges — which is why the served summary is
+        byte-identical by construction.
+        """
+        fields = msg.fields
+        mode_seconds = {key[5:]: value for key, value in fields.items()
+                        if key.startswith("mode:")}
+        link_stats = {key[5:]: int(value)
+                      for key, value in fields.items()
+                      if key.startswith("link:")}
+        self.row = ShardPatientRow(
+            patient_id=self.patient_id,
+            n_sent=int(fields.get("n_sent", 0)),
+            n_reconstructed=self.n_reconstructed,
+            n_node_alarms=int(fields.get("n_node_alarms", 0)),
+            average_power_w=fields.get("average_power_w", float("nan")),
+            battery_days=fields.get("battery_days", float("nan")),
+            channel=self.gateway.channels.get(self.patient_id),
+            triage=self.board.patients[self.patient_id],
+            governed=msg.info.get("governed") == "1",
+            mode_seconds=mode_seconds,
+            governor_switches=int(fields.get("governor_switches", 0)),
+            final_soc=fields.get("final_soc", float("nan")),
+            projected_hours=fields.get("projected_hours", float("nan")),
+            link_stats=link_stats)
+        return ServeMessage("report-ack", self.patient_id, t_s=msg.t_s)
+
+
+class FleetGatewayServer:
+    """Asyncio TCP gateway server with per-patient sessions.
+
+    Runs its event loop on a background thread, so tests and drivers
+    use it synchronously::
+
+        with FleetGatewayServer(ServeConfig()) as server:
+            client = FleetClient("127.0.0.1", server.port)
+            ...
+        summary = merge_patient_rows(cohort, server.rows(), ...)
+
+    Args:
+        config: Service parameters (fresh defaults if omitted).
+        obs: Optional observability bundle; connection lifecycle,
+            frame counts and queue high-water marks land in the
+            ``serve`` scope (excluded from the canonical fleet
+            snapshot, like shard-local gauges).
+    """
+
+    def __init__(self, config: ServeConfig | None = None,
+                 obs: Observability | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.obs = obs
+        self._m = _ServeMetrics(obs) if obs is not None else None
+        #: Patient sessions, persisting across disconnects.
+        self.sessions: dict[str, _PatientSession] = {}
+        #: Highest frame-queue depth observed on any connection.
+        self.max_queue_depth = 0
+        self._counts: dict[str, int] = {}
+        self._active: set[str] = set()
+        self._lanes = [ThreadPoolExecutor(max_workers=1)
+                       for _ in range(self.config.n_lanes)]
+        self._next_lane = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+        self.port: int | None = None
+
+    def start(self) -> "FleetGatewayServer":
+        """Bind the listener and run the loop on a background thread."""
+        if self._thread is not None:
+            return self
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run_loop, args=(ready,), daemon=True,
+            name="fleet-serve")
+        self._thread.start()
+        ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Close the listener, drain tasks and shut the lanes down."""
+        if self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join()
+        self._thread = None
+        for lane in self._lanes:
+            lane.shutdown(wait=True)
+
+    def __enter__(self) -> "FleetGatewayServer":
+        """Start on entry (no-op when already running)."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop on exit."""
+        self.stop()
+
+    def rows(self) -> dict[str, ShardPatientRow]:
+        """Completed per-patient rows (sessions that sent ``report``)."""
+        return {pid: session.row
+                for pid, session in self.sessions.items()
+                if session.row is not None}
+
+    @property
+    def dropped(self) -> int:
+        """Bounded-gateway-queue drops summed across every session."""
+        return sum(s.gateway.dropped for s in self.sessions.values())
+
+    def stats(self) -> dict:
+        """JSON-safe service counters (connections, frames, queues)."""
+        return {
+            "connections": dict(sorted(self._counts.items())),
+            "sessions": len(self.sessions),
+            "frames": sum(s.n_frames for s in self.sessions.values()),
+            "max_queue_depth": self.max_queue_depth,
+            "n_lanes": len(self._lanes),
+        }
+
+    def _run_loop(self, ready: threading.Event) -> None:
+        """Background thread body: bind, serve, tear down."""
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self._stop_event = asyncio.Event()
+        try:
+            server = loop.run_until_complete(asyncio.start_server(
+                self._handle_conn, self.config.host, self.config.port))
+            self.port = server.sockets[0].getsockname()[1]
+        except OSError as exc:
+            self._startup_error = exc
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_until_complete(self._stop_event.wait())
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+        finally:
+            loop.close()
+
+    def _count(self, event: str) -> None:
+        """Account one connection lifecycle event (loop thread only)."""
+        self._counts[event] = self._counts.get(event, 0) + 1
+        if self._m is not None:
+            self._m.connections.inc(event=event)
+
+    def _session_for(self, patient_id: str) -> tuple[_PatientSession, bool]:
+        """The (resumed or newly created) session of one patient."""
+        session = self.sessions.get(patient_id)
+        if session is not None:
+            return session, True
+        lane = self._lanes[self._next_lane % len(self._lanes)]
+        self._next_lane += 1
+        session = _PatientSession(patient_id, self.config, lane)
+        self.sessions[patient_id] = session
+        return session, False
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        """One connection: handshake, then the reader/consumer pipeline.
+
+        Swallows the shutdown ``CancelledError`` so the handler task
+        always finishes clean: ``asyncio.streams`` probes it with
+        ``task.exception()`` from a done-callback, which would re-raise
+        a cancellation into the event loop's exception handler.
+        """
+        try:
+            await self._serve_conn(reader, writer)
+        except asyncio.CancelledError:
+            pass
+
+    async def _serve_conn(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        """`_handle_conn` body, cancellable at any await."""
+        decoder = StreamDecoder(self.config.max_frame_bytes)
+        try:
+            hello, backlog = await self._read_hello(reader, decoder)
+        except (WireFormatError, ServeError, ConnectionError):
+            self._count("rejected")
+            writer.close()
+            return
+        pid = hello.patient_id
+        if pid in self._active:
+            self._count("rejected")
+            await self._send(writer, ServeMessage(
+                "error", pid,
+                info={"error": f"duplicate connection for {pid!r}"}))
+            writer.close()
+            return
+        self._active.add(pid)
+        session, resumed = self._session_for(pid)
+        self._count("resumed" if resumed else "open")
+        await self._send(writer, ServeMessage(
+            "hello-ack", pid, info={"resumed": "1" if resumed else "0"}))
+        queue: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.queue_capacity)
+        pump = asyncio.ensure_future(
+            self._pump(reader, decoder, backlog, queue, pid))
+        try:
+            await self._consume(queue, writer, session)
+        finally:
+            # Synchronous bookkeeping first: a shutdown cancellation
+            # arriving at either await below must not skip the close
+            # accounting, or two identical runs disagree on counters.
+            self._active.discard(pid)
+            self._count("closed")
+            pump.cancel()
+            try:
+                await pump
+            except (asyncio.CancelledError, Exception):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_hello(self, reader: asyncio.StreamReader,
+                          decoder: StreamDecoder,
+                          ) -> tuple[ServeMessage, list[bytes]]:
+        """Require the connection's first frame to be ``hello``.
+
+        Returns the handshake and any frames the client pipelined into
+        the same chunks (handed to the queue pump untouched).
+        """
+        while True:
+            chunk = await reader.read(RECV_CHUNK)
+            if not chunk:
+                raise ConnectionError("peer closed before hello")
+            frames = decoder.feed(chunk)
+            if not frames:
+                continue
+            first, backlog = frames[0], frames[1:]
+            if frame_kind(first) != "message":
+                raise ServeError("first frame must be a hello message")
+            msg = decode_message(first)
+            if msg.kind != "hello":
+                raise ServeError(f"expected hello, got {msg.kind!r}")
+            return msg, backlog
+
+    async def _pump(self, reader: asyncio.StreamReader,
+                    decoder: StreamDecoder, backlog: list[bytes],
+                    queue: asyncio.Queue, pid: str) -> None:
+        """Reader task: socket bytes -> frames -> the bounded queue.
+
+        ``await queue.put`` on a full queue suspends this task, which
+        stops the socket reads — backpressure propagates to the client
+        through TCP flow control with zero frame loss.
+        """
+        try:
+            for body in backlog:
+                await queue.put(body)
+                self._note_depth(queue, pid)
+            while True:
+                chunk = await reader.read(RECV_CHUNK)
+                if not chunk:
+                    break
+                for body in decoder.feed(chunk):
+                    await queue.put(body)
+                    self._note_depth(queue, pid)
+            await queue.put(None)
+        except WireFormatError as exc:
+            await queue.put(("error", str(exc)))
+
+    def _note_depth(self, queue: asyncio.Queue, pid: str) -> None:
+        """Track the per-connection queue high-water mark."""
+        depth = queue.qsize()
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        if self._m is not None:
+            self._m.queue_depth.set(float(depth), patient=pid)
+
+    async def _consume(self, queue: asyncio.Queue,
+                       writer: asyncio.StreamWriter,
+                       session: _PatientSession) -> None:
+        """Consumer task: frames -> the session's lane executor.
+
+        ``handle_frame`` runs on the session's single-thread lane, so
+        per-session ordering is strict while distinct lanes overlap.
+        """
+        loop = asyncio.get_running_loop()
+        throttle = self.config.throttle_s
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            if isinstance(item, tuple):  # stream decode error
+                await self._send(writer, ServeMessage(
+                    "error", session.patient_id,
+                    info={"error": item[1]}))
+                return
+            if throttle > 0:
+                await asyncio.sleep(throttle)
+            if self._m is not None:
+                self._m.frames.inc(kind=frame_kind(item))
+            replies, close = await loop.run_in_executor(
+                session.lane, session.handle_frame, item)
+            for body in replies:
+                writer.write(encode_stream_frame(body))
+            if replies:
+                await writer.drain()
+            if close:
+                return
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter,
+                    msg: ServeMessage) -> None:
+        """Write one downlink message as a stream frame."""
+        writer.write(encode_stream_frame(encode_message(msg)))
+        await writer.drain()
+
+
+def serve(config: ServeConfig | None = None,
+          obs: Observability | None = None) -> FleetGatewayServer:
+    """Start a gateway service and return the running server.
+
+    The one-call entry point of the serving API::
+
+        server = serve(ServeConfig(port=0))
+        try:
+            ...  # point FleetClients at server.port
+        finally:
+            server.stop()
+    """
+    return FleetGatewayServer(config, obs=obs).start()
+
+
+@dataclass
+class ServedFleetReport:
+    """Outcome of one cohort run through real sockets.
+
+    Attributes:
+        summary: The merged fleet summary — byte-identical
+            (:meth:`~repro.fleet.FleetSummary.to_json`) to the
+            in-process engine's for the same cohort and seeds.
+        packets_sent: Uplink packets offered across every client node.
+        dropped_packets: Bounded-gateway-queue drops across sessions.
+        rows: Per-patient rows in cohort order.
+        timings_s: Wall-clock accounting (``total`` spans server start
+            to merge).
+        server_stats: The service's connection/frame counters.
+    """
+
+    summary: FleetSummary
+    packets_sent: int
+    dropped_packets: int
+    rows: dict[str, ShardPatientRow] = field(default_factory=dict)
+    timings_s: dict[str, float] = field(default_factory=dict)
+    server_stats: dict = field(default_factory=dict)
+
+
+def run_served_fleet(cohort: list[PatientProfile],
+                     config: SchedulerConfig | None = None,
+                     node_config: NodeProxyConfig | None = None,
+                     gateway_config: GatewayConfig | None = None,
+                     serve_config: ServeConfig | None = None,
+                     master_seed: int = 2014,
+                     hook_factory: ShardHookFactory | None = None,
+                     af_detector: AfDetector | None = None,
+                     client_workers: int | None = None,
+                     obs: Observability | None = None,
+                     ) -> ServedFleetReport:
+    """Run a cohort through loopback TCP and merge one fleet summary.
+
+    Spins up a :class:`FleetGatewayServer`, runs one
+    :class:`~repro.fleet.client.FleetClient` per patient on a thread
+    pool (concurrent connections, like a real ward), collects the
+    per-patient rows off the server sessions and folds them with
+    :func:`~repro.fleet.sharding.merge_patient_rows` — the same merge
+    the sharded runtime uses, which is what makes the summary
+    byte-identical to the in-process engine by construction.
+
+    Args:
+        cohort: Patient profiles in canonical (merge) order.
+        config: Scheduler parameters each client node runs with.
+        node_config: Uplink policy shared by every node.
+        gateway_config: Gateway parameters of every server session
+            (overrides ``serve_config.gateway`` when given).
+        serve_config: Service parameters (fresh defaults if omitted).
+        master_seed: Seed handed to the hook factory, per patient.
+        hook_factory: Optional scenario wiring
+            (:data:`~repro.fleet.sharding.ShardHookFactory`), called
+            with each patient's single-profile stripe — randomness must
+            derive from (master seed, patient id) exactly as under the
+            sharded runtime.
+        af_detector: Trained fleet AF detector shared by every client.
+        client_workers: Concurrent client connections (default: cohort
+            size, capped at 8).
+        obs: Optional observability bundle for the **server** side.
+    """
+    from .client import FleetClient
+
+    config = config or SchedulerConfig()
+    node_config = node_config or NodeProxyConfig()
+    serve_config = serve_config or ServeConfig()
+    if gateway_config is not None:
+        serve_config = replace(serve_config, gateway=gateway_config)
+    t_start = time.perf_counter()
+    with FleetGatewayServer(serve_config, obs=obs) as server:
+
+        def run_one(profile: PatientProfile) -> None:
+            hooks = (hook_factory([profile], master_seed)
+                     if hook_factory is not None else ShardHooks())
+            FleetClient(serve_config.host, server.port).run(
+                profile, config=config, node_config=node_config,
+                hooks=hooks, af_detector=af_detector)
+
+        workers = client_workers or min(len(cohort), 8)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for future in [pool.submit(run_one, p) for p in cohort]:
+                future.result()
+    # Snapshot only after stop() has joined the loop thread: a client
+    # returns as soon as its bye is on the wire, so reading counters
+    # inside the `with` races the handler's own teardown accounting.
+    rows = server.rows()
+    dropped = server.dropped
+    stats = server.stats()
+    t_serve = time.perf_counter()
+    summary = merge_patient_rows(
+        cohort, rows, serve_config.gateway, config.duration_s,
+        config.fs, dropped=dropped)
+    t_end = time.perf_counter()
+    return ServedFleetReport(
+        summary=summary,
+        packets_sent=sum(row.n_sent for row in rows.values()),
+        dropped_packets=dropped,
+        rows={p.patient_id: rows[p.patient_id] for p in cohort},
+        timings_s={"serve": t_serve - t_start,
+                   "merge": t_end - t_serve,
+                   "total": t_end - t_start},
+        server_stats=stats)

@@ -503,6 +503,60 @@ def _node_report_view(duration_s: float, fs: float, n_alarms: int,
         fs=fs)
 
 
+def merge_patient_rows(cohort: list[PatientProfile],
+                       rows: dict[str, ShardPatientRow],
+                       gateway_config: GatewayConfig,
+                       duration_s: float, fs: float,
+                       dropped: int = 0) -> FleetSummary:
+    """Fold per-patient rows (in cohort order) into one fleet summary.
+
+    The single merge path shared by :class:`ShardedFleetRunner` and the
+    socket gateway service (:mod:`repro.fleet.serve`): channels, triage
+    machines, node reports and governor views are rebuilt **in cohort
+    order** and folded with the very same
+    :func:`~repro.fleet.triage.fleet_summary` the single-process
+    scheduler uses — so any runtime that produces correct per-patient
+    rows is byte-identical to the in-process engine by construction.
+
+    Args:
+        cohort: Patient profiles in canonical (merge) order.
+        rows: One :class:`ShardPatientRow` per cohort member.
+        gateway_config: Gateway parameters of the run (queue capacity
+            feeds the summary's queue diagnostics).
+        duration_s: Simulated duration each row covers.
+        fs: Node sampling rate (node-report view reconstruction).
+        dropped: Bounded-queue drops summed across every worker.
+
+    Raises:
+        WireFormatError: A cohort member has no row.
+    """
+    missing = [p.patient_id for p in cohort if p.patient_id not in rows]
+    if missing:
+        raise WireFormatError(
+            f"shard results missing patients: {missing[:5]}")
+    gateway = Gateway(gateway_config)
+    gateway.dropped = dropped
+    board = TriageBoard()
+    reports: dict[str, NodeReport] = {}
+    governors: dict[str, _GovernorView] = {}
+    for profile in cohort:
+        row = rows[profile.patient_id]
+        if row.channel is not None:
+            gateway.channels[row.patient_id] = row.channel
+        board.patients[row.patient_id] = row.triage
+        reports[row.patient_id] = _node_report_view(
+            duration_s, fs, row.n_node_alarms, row.average_power_w,
+            row.battery_days)
+        if row.governed:
+            governors[row.patient_id] = _GovernorView(
+                mode_seconds=row.mode_seconds,
+                n_switches=row.governor_switches,
+                battery=_SocView(row.final_soc),
+                _projected_hours=row.projected_hours)
+    return fleet_summary(reports, gateway, board, duration_s,
+                         governors=governors or None)
+
+
 @dataclass
 class ShardedFleetReport:
     """Outcome of one sharded fleet run.
@@ -728,48 +782,23 @@ class ShardedFleetRunner:
     def _merge(self, results: list[ShardResult]) -> ShardedFleetReport:
         """Fold decoded shard results into one fleet view.
 
-        Rebuilds channels, triage machines, node reports and governor
-        views **in cohort order** and folds them with the very same
-        :func:`~repro.fleet.triage.fleet_summary` the single-process
-        scheduler uses — so equivalence is structural, not coincidental.
+        Delegates to :func:`merge_patient_rows` — the merge path shared
+        with the socket gateway service — so equivalence is structural,
+        not coincidental.
         """
         rows: dict[str, ShardPatientRow] = {}
         for result in results:
             for row in result.rows:
                 rows[row.patient_id] = row
-        missing = [p.patient_id for p in self.cohort
-                   if p.patient_id not in rows]
-        if missing:
-            raise WireFormatError(
-                f"shard results missing patients: {missing[:5]}")
-        gateway = Gateway(self.gateway_config)
-        gateway.dropped = sum(r.dropped for r in results)
-        board = TriageBoard()
-        reports: dict[str, NodeReport] = {}
-        governors: dict[str, _GovernorView] = {}
-        for profile in self.cohort:
-            row = rows[profile.patient_id]
-            if row.channel is not None:
-                gateway.channels[row.patient_id] = row.channel
-            board.patients[row.patient_id] = row.triage
-            reports[row.patient_id] = _node_report_view(
-                self.config.duration_s, self.config.fs,
-                row.n_node_alarms, row.average_power_w,
-                row.battery_days)
-            if row.governed:
-                governors[row.patient_id] = _GovernorView(
-                    mode_seconds=row.mode_seconds,
-                    n_switches=row.governor_switches,
-                    battery=_SocView(row.final_soc),
-                    _projected_hours=row.projected_hours)
-        summary = fleet_summary(reports, gateway, board,
-                                self.config.duration_s,
-                                governors=governors or None)
+        dropped = sum(r.dropped for r in results)
+        summary = merge_patient_rows(
+            self.cohort, rows, self.gateway_config,
+            self.config.duration_s, self.config.fs, dropped=dropped)
         return ShardedFleetReport(
             summary=summary,
             n_shards=len(self.shards),
             packets_sent=sum(r.packets_sent for r in results),
-            dropped_packets=gateway.dropped,
+            dropped_packets=dropped,
             rows={p.patient_id: rows[p.patient_id]
                   for p in self.cohort},
             shard_timings_s=[r.timings_s for r in

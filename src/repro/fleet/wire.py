@@ -46,11 +46,22 @@ Frame layout (version 1, all integers little-endian)::
 Decoding is defensive: a wrong magic, unknown version, truncated
 buffer or trailing garbage raises :class:`WireFormatError` instead of
 yielding a corrupt packet.
+
+On top of the packet codec this module also defines the **stream
+layer** the socket gateway service (:mod:`repro.fleet.serve`) speaks:
+u32-length-delimited frames (:func:`encode_stream_frame`), an
+incremental :class:`StreamDecoder` that re-frames an arbitrary byte
+stream, and a compact :class:`ServeMessage` control codec
+(:data:`MESSAGE_MAGIC`) carrying the uplink commands and the
+governor/triage feedback downlink.  Every frame body starts with a
+4-byte magic, so :func:`frame_kind` can route packets and messages off
+one TCP stream.
 """
 
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -60,8 +71,18 @@ from .node_proxy import UplinkPacket
 #: First bytes of every version-1 packet frame.
 WIRE_MAGIC = b"RPW1"
 
+#: First bytes of every version-1 control message (serving downlink /
+#: uplink commands); same length as :data:`WIRE_MAGIC` so one stream
+#: frame's first four bytes always identify its codec.
+MESSAGE_MAGIC = b"RPM1"
+
 #: Current codec version (bump on any layout change).
 WIRE_VERSION = 1
+
+#: Default per-frame byte ceiling of :class:`StreamDecoder` — large
+#: enough for any reference-carrying excerpt frame, small enough that a
+#: corrupt length prefix cannot make a connection buffer gigabytes.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 #: Flag bit: an evaluation ``reference`` array follows the frames.
 _FLAG_REFERENCE = 0x01
@@ -277,3 +298,215 @@ def decode_packets(data: bytes | bytearray | memoryview,
         raise WireFormatError(
             f"{len(buf) - offset} trailing bytes after the stream")
     return packets
+
+
+# ---------------------------------------------------------------------------
+# Stream layer: length-delimited framing + serve control messages.
+# ---------------------------------------------------------------------------
+
+_FRAME_LEN = struct.Struct("<I")
+_MSG_HEAD = struct.Struct("<4sB")
+
+
+def encode_stream_frame(body: bytes) -> bytes:
+    """Wrap one frame body with the u32 stream length prefix.
+
+    The socket transport unit: ``u32 length`` + ``length`` body bytes.
+    The body is a complete :func:`encode_packet` or
+    :func:`encode_message` frame (never a fragment), so the receiver's
+    :class:`StreamDecoder` re-frames the TCP byte soup back into exact
+    codec inputs.
+
+    Raises:
+        WireFormatError: Empty body (a zero-length frame can never
+            carry a magic, so it is malformed by construction).
+    """
+    if not body:
+        raise WireFormatError("stream frames must carry a body")
+    return _FRAME_LEN.pack(len(body)) + bytes(body)
+
+
+def frame_kind(body: bytes | bytearray | memoryview) -> str:
+    """Classify one stream-frame body by its leading magic.
+
+    Returns:
+        ``"packet"`` for :data:`WIRE_MAGIC` bodies, ``"message"`` for
+        :data:`MESSAGE_MAGIC` bodies.
+
+    Raises:
+        WireFormatError: Body shorter than a magic or unknown magic.
+    """
+    head = bytes(body[:4])
+    if head == WIRE_MAGIC:
+        return "packet"
+    if head == MESSAGE_MAGIC:
+        return "message"
+    raise WireFormatError(f"unknown frame magic {head!r}")
+
+
+class StreamDecoder:
+    """Incremental splitter of a length-delimited byte stream.
+
+    Feed it whatever the socket produced — half a length prefix, three
+    frames and a tail, one byte at a time — and it returns each
+    complete frame body exactly once, in order.  State between calls is
+    just the undecoded tail, so a connection handler owns one decoder
+    for its whole lifetime.
+
+    Every malformed input raises :class:`WireFormatError` (never a bare
+    ``struct.error``/``IndexError``): a frame longer than
+    ``max_frame_bytes`` is rejected *from its length prefix alone*,
+    before any body bytes arrive, bounding per-connection memory.
+
+    Args:
+        max_frame_bytes: Upper bound on one frame body's length.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be positive")
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buf = bytearray()
+        #: Complete frame bodies returned so far.
+        self.n_frames = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes | bytearray | memoryview) -> list[bytes]:
+        """Absorb one chunk; return every frame body it completed.
+
+        Raises:
+            WireFormatError: A length prefix announces an empty frame
+                or one larger than ``max_frame_bytes``.
+        """
+        self._buf += data
+        frames: list[bytes] = []
+        while len(self._buf) >= _FRAME_LEN.size:
+            (length,) = _FRAME_LEN.unpack_from(self._buf, 0)
+            if length == 0:
+                raise WireFormatError("zero-length stream frame")
+            if length > self.max_frame_bytes:
+                raise WireFormatError(
+                    f"stream frame of {length} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte bound")
+            end = _FRAME_LEN.size + length
+            if len(self._buf) < end:
+                break
+            frames.append(bytes(self._buf[_FRAME_LEN.size:end]))
+            del self._buf[:end]
+        self.n_frames += len(frames)
+        return frames
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary.
+
+        Raises:
+            WireFormatError: Bytes are left mid-frame — the peer closed
+                the connection inside a frame.
+        """
+        if self._buf:
+            raise WireFormatError(
+                f"stream ended mid-frame with {len(self._buf)} "
+                "undecoded bytes")
+
+
+@dataclass(frozen=True)
+class ServeMessage:
+    """One control message of the serving protocol.
+
+    The non-packet half of the stream: uplink commands (``hello`` /
+    ``expire`` / ``drain`` / ``sweep`` / ``flush`` / ``period`` /
+    ``report`` / ``bye``) and downlink replies (``hello-ack`` /
+    ``feedback`` / ``report-ack`` / ``error``).  The schema is
+    deliberately generic — a kind, the subject patient, a virtual
+    timestamp, a float map and a string map — so protocol growth never
+    needs a new struct layout.
+
+    Attributes:
+        kind: Message verb (see :mod:`repro.fleet.serve`).
+        patient_id: Subject node of the message.
+        t_s: Virtual time the message refers to (command sweeps carry
+            their scheduler tick time).
+        fields: Numeric payload (insertion order preserved exactly on
+            the wire — aggregate folds downstream stay byte-stable).
+        info: String payload (states, modes, error text).
+    """
+
+    kind: str
+    patient_id: str
+    t_s: float = 0.0
+    fields: dict[str, float] = field(default_factory=dict)
+    info: dict[str, str] = field(default_factory=dict)
+
+
+def encode_message(message: ServeMessage) -> bytes:
+    """Serialize one :class:`ServeMessage` to its binary frame."""
+    parts = [
+        _MSG_HEAD.pack(MESSAGE_MAGIC, WIRE_VERSION),
+        _pack_str(message.kind),
+        _pack_str(message.patient_id),
+        struct.pack("<d", float(message.t_s)),
+        struct.pack("<H", len(message.fields)),
+    ]
+    for key, value in message.fields.items():
+        parts.append(_pack_str(key))
+        parts.append(struct.pack("<d", float(value)))
+    parts.append(struct.pack("<H", len(message.info)))
+    for key, value in message.info.items():
+        parts.append(_pack_str(key))
+        parts.append(_pack_str(value))
+    return b"".join(parts)
+
+
+def decode_message(data: bytes | bytearray | memoryview) -> ServeMessage:
+    """Parse one binary frame back into a :class:`ServeMessage`.
+
+    Map insertion order survives the round trip (tested), which is what
+    keeps float folds over ``fields`` byte-identical across the wire.
+
+    Raises:
+        WireFormatError: Wrong magic, unsupported version, truncation,
+            or trailing bytes after the message.
+    """
+    buf = memoryview(data)
+    if len(buf) < _MSG_HEAD.size:
+        raise WireFormatError("truncated message: header missing")
+    magic, version = _MSG_HEAD.unpack_from(buf, 0)
+    if magic != MESSAGE_MAGIC:
+        raise WireFormatError(f"bad message magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported message version {version}")
+    offset = _MSG_HEAD.size
+    kind, offset = _unpack_str(buf, offset)
+    patient_id, offset = _unpack_str(buf, offset)
+    if offset + 8 + 2 > len(buf):
+        raise WireFormatError("truncated message: body missing")
+    (t_s,) = struct.unpack_from("<d", buf, offset)
+    offset += 8
+    (n_fields,) = struct.unpack_from("<H", buf, offset)
+    offset += 2
+    fields: dict[str, float] = {}
+    for _ in range(n_fields):
+        key, offset = _unpack_str(buf, offset)
+        if offset + 8 > len(buf):
+            raise WireFormatError("truncated message: field value missing")
+        (value,) = struct.unpack_from("<d", buf, offset)
+        fields[key] = value
+        offset += 8
+    if offset + 2 > len(buf):
+        raise WireFormatError("truncated message: info count missing")
+    (n_info,) = struct.unpack_from("<H", buf, offset)
+    offset += 2
+    info: dict[str, str] = {}
+    for _ in range(n_info):
+        key, offset = _unpack_str(buf, offset)
+        value, offset = _unpack_str(buf, offset)
+        info[key] = value
+    if offset != len(buf):
+        raise WireFormatError(
+            f"{len(buf) - offset} trailing bytes after the message")
+    return ServeMessage(kind=kind, patient_id=patient_id, t_s=t_s,
+                        fields=fields, info=info)

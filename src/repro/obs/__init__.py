@@ -24,7 +24,7 @@ from repro.obs.flight import (ANOMALY_ALARM_BURST, ANOMALY_NAN_GUARD,
                               FlightRecorder, load_flight_dump)
 from repro.obs.metrics import (Counter, DEFAULT_BUCKETS, Gauge,
                                Histogram, MetricsError, MetricsRegistry,
-                               SCOPE_FLEET, SCOPE_SHARD,
+                               SCOPE_FLEET, SCOPE_SERVE, SCOPE_SHARD,
                                canonical_metrics_json,
                                merge_metric_snapshots)
 from repro.obs.trace import (KIND_INSTANT, KIND_SPAN, TraceError,
@@ -50,6 +50,7 @@ __all__ = [
     "Observability",
     "ObsConfig",
     "SCOPE_FLEET",
+    "SCOPE_SERVE",
     "SCOPE_SHARD",
     "TraceError",
     "TraceEvent",

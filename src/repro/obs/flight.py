@@ -10,7 +10,7 @@ writes a JSON dump for offline replay.
 
 Dumps are self-contained: wire frames are base64-encoded in the JSON
 and :func:`load_flight_dump` / :meth:`AnomalyRecord.packets` decode
-them back to byte frames that `Gateway.ingest_bytes` can replay.
+them back to byte frames that `Gateway.ingest` can replay.
 
 File naming embeds virtual time, not wall time
 (``flight_<kind>_<subject>_t<t_s>.json``), so a seeded rerun produces
@@ -168,7 +168,7 @@ def load_flight_dump(path: str | pathlib.Path) -> AnomalyRecord:
     """Load one anomaly dump file back into an :class:`AnomalyRecord`.
 
     The returned record's :meth:`AnomalyRecord.packets` frames can be
-    replayed through ``Gateway.ingest_bytes`` for offline debugging.
+    replayed through ``Gateway.ingest`` for offline debugging.
     """
     payload = json.loads(pathlib.Path(path).read_text())
     return AnomalyRecord(

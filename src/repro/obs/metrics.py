@@ -42,7 +42,14 @@ SCOPE_FLEET = "fleet"
 #: they appear in full snapshots but never in the canonical one.
 SCOPE_SHARD = "shard"
 
-_SCOPES = (SCOPE_FLEET, SCOPE_SHARD)
+#: Serve-scope series describe the socket gateway service of
+#: :mod:`repro.fleet.serve` (connections, stream frames, per-connection
+#: queue depth).  Like shard scope they are deployment-shaped rather
+#: than simulation-shaped, so they are excluded from the canonical
+#: layout-independent snapshot.
+SCOPE_SERVE = "serve"
+
+_SCOPES = (SCOPE_FLEET, SCOPE_SHARD, SCOPE_SERVE)
 
 #: Default histogram bucket upper bounds (generic positive magnitudes).
 DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)

@@ -29,7 +29,7 @@ import json
 import math
 from dataclasses import dataclass, field
 
-from repro.obs.metrics import SCOPE_FLEET, SCOPE_SHARD
+from repro.obs.metrics import SCOPE_FLEET, SCOPE_SERVE, SCOPE_SHARD
 
 #: Event kinds: a point-in-time mark or a completed span with ``dur_s``.
 KIND_INSTANT = "instant"
@@ -136,7 +136,7 @@ class TraceRecorder:
     def _record(self, t_s, name, kind, scope, subject, dur_s,
                 attrs) -> TraceEvent:
         """Validate and append one event."""
-        if scope not in (SCOPE_FLEET, SCOPE_SHARD):
+        if scope not in (SCOPE_FLEET, SCOPE_SHARD, SCOPE_SERVE):
             raise TraceError(f"unknown scope {scope!r}")
         if not math.isfinite(float(t_s)):
             raise TraceError(

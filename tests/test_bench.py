@@ -179,6 +179,18 @@ class TestBaselinesFile:
         assert case["metrics"]["byte_identical"] is True
         assert case["metrics"]["event_ratio"] >= 3.0
 
+    def test_serve_artifact_records_byte_identity(self):
+        # The acceptance bar of the serving issue: the cohort pushed
+        # through real loopback TCP sockets lands on the same
+        # `FleetSummary.to_json()` bytes as the in-process engine,
+        # recorded in the committed artifact (pinned by name).
+        payload = json.loads(
+            (BENCHMARKS_DIR / "BENCH_pr8-fleet-serve.json").read_text())
+        case = next(c for c in payload["cases"]
+                    if c["name"] == "fleet-serve-throughput")
+        assert case["metrics"]["byte_identical"] is True
+        assert case["metrics"]["served_packets_per_second"] > 0
+
     def test_seed_artifact_records_vectorization_speedup(self):
         # The acceptance bar of the bench issue: >= 2x on both systems
         # cases, recorded in the first committed artifact (pinned by

@@ -75,6 +75,11 @@ EXAMPLES = {
         ["striped over 2 shards", "speedup:",
          "merged summaries byte-identical: True"],
     ),
+    "fleet_serve.py": (
+        ["--patients", "3", "--duration", "60"],
+        ["loopback TCP", "connections:",
+         "served summary byte-identical: True"],
+    ),
 }
 
 

@@ -248,6 +248,32 @@ class TestReassemblyOracle:
         assert channel.n_gaps == len(buffer.missing)
         assert buffer.next_seq == 10
 
+    def test_hostile_seq_jump_cannot_balloon_missing(self):
+        # One crafted packet with an absurd sequence number must not
+        # make the flush materialize billions of written-off numbers
+        # (the gateway faces a real socket via `repro.fleet.serve`).
+        from repro.fleet.gateway import (
+            MAX_TRACKED_GAP,
+            PatientChannel,
+            _ReassemblyBuffer,
+        )
+
+        buffer = _ReassemblyBuffer(window=4)
+        channel = PatientChannel("p")
+        hostile_seq = 2 ** 40
+        buffer.offer(_seq_packet(hostile_seq), channel)
+        released = buffer.flush(channel)
+        assert [p.seq for p in released] == [hostile_seq]
+        assert channel.n_gaps == hostile_seq  # counted in full
+        assert len(buffer.missing) == MAX_TRACKED_GAP  # bounded
+        # A recent straggler is still recoverable...
+        recovered = buffer.offer(_seq_packet(hostile_seq - 1), channel)
+        assert [p.seq for p in recovered] == [hostile_seq - 1]
+        assert channel.n_late_recovered == 1
+        # ...while one beyond the tracked window counts as a duplicate.
+        assert buffer.offer(_seq_packet(7), channel) == []
+        assert channel.n_duplicates == 1
+
     def test_second_late_copy_is_a_duplicate(self):
         # First copy of a written-off seq recovers the gap; the second
         # must land on the duplicate path, never be re-delivered.

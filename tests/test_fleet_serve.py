@@ -1,0 +1,364 @@
+"""Tests for the network-native gateway service (`repro.fleet.serve`)."""
+
+from __future__ import annotations
+
+import functools
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (
+    CohortConfig,
+    FleetGatewayServer,
+    FleetScheduler,
+    Gateway,
+    GatewayConfig,
+    NodeProxy,
+    NodeProxyConfig,
+    PatientProfile,
+    PerPatientLink,
+    SchedulerConfig,
+    ServeConfig,
+    ServeError,
+    ServeMessage,
+    ShardHooks,
+    ShardedFleetRunner,
+    StreamDecoder,
+    WireFormatError,
+    decode_message,
+    decode_packets,
+    encode_message,
+    encode_packets,
+    encode_stream_frame,
+    make_cohort,
+    run_served_fleet,
+    serve,
+)
+from repro.fleet.client import _Transport
+from repro.power import Battery, BatteryModel
+from repro.power.governor import (
+    EnergyGovernor,
+    GovernorConfig,
+    ModePowerTable,
+)
+from repro.scenarios import LinkSpec, derive_seed
+from repro.scenarios.channel import ImpairedLink
+
+COHORT = make_cohort(CohortConfig(n_patients=5, seed=7))
+RUN_KW = dict(
+    config=SchedulerConfig(duration_s=60.0, fs=250.0),
+    node_config=NodeProxyConfig(stream_telemetry=False),
+    gateway_config=GatewayConfig(n_iter=50),
+)
+
+
+def _telemetry_packets(n: int, patient_id: str = "t0") -> list:
+    """Cheap ordered uplink packets (no synthesis, no CS encoding)."""
+    proxy = NodeProxy(PatientProfile(patient_id=patient_id, seed=1),
+                      NodeProxyConfig(stream_telemetry=False))
+    return [proxy.telemetry_packet(float(i), mean_hr_bpm=60.0 + i,
+                                   soc=0.5)
+            for i in range(n)]
+
+
+def _impaired_governed_hooks(spec: LinkSpec, profiles,
+                             master_seed: int) -> ShardHooks:
+    """Scenario wiring mirroring `tests/test_fleet_sharding.py`.
+
+    Randomness derives from (master seed, patient id) only, so the
+    served run and the sharded reference see identical impairments.
+    """
+
+    def link_for(patient_id: str):
+        return ImpairedLink(spec, seed=derive_seed(master_seed, "link",
+                                                   patient_id))
+
+    def factory(profile):
+        frac = derive_seed(master_seed, "soc",
+                           profile.patient_id) % 1000 / 1000.0
+        return EnergyGovernor(
+            config=GovernorConfig(min_dwell_s=0.0),
+            table=ModePowerTable(),
+            battery=BatteryModel(cell=Battery(capacity_mah=0.05),
+                                 soc=max(0.05, 0.9 - 0.5 * frac)))
+
+    return ShardHooks(link=PerPatientLink(link_for),
+                      governor_factory=factory)
+
+
+@pytest.fixture(scope="module")
+def plain_run():
+    """The in-process reference run over the shared cohort."""
+    return FleetScheduler(
+        COHORT, RUN_KW["config"], node_config=RUN_KW["node_config"],
+        gateway=Gateway(RUN_KW["gateway_config"])).run()
+
+
+@pytest.fixture(scope="module")
+def served_run():
+    """The same cohort through real loopback TCP sockets."""
+    return run_served_fleet(COHORT, **RUN_KW)
+
+
+class TestServedByteEquivalence:
+    """The serving determinism contract, end to end over sockets."""
+
+    def test_served_summary_matches_in_process(self, plain_run,
+                                               served_run):
+        # The acceptance bar: identical bytes out of real sockets.
+        assert served_run.summary.to_json() \
+            == plain_run.summary.to_json()
+
+    def test_packet_counts_and_rows(self, plain_run, served_run):
+        assert served_run.packets_sent == plain_run.packets_sent
+        assert list(served_run.rows) == [p.patient_id for p in COHORT]
+        assert served_run.dropped_packets == 0
+
+    def test_server_stats_accounted(self, served_run):
+        stats = served_run.server_stats
+        assert stats["connections"]["open"] == len(COHORT)
+        assert stats["connections"].get("rejected", 0) == 0
+        assert stats["sessions"] == len(COHORT)
+        assert stats["frames"] == served_run.packets_sent
+        assert stats["n_lanes"] == ServeConfig().n_lanes
+        assert set(served_run.timings_s) == {"serve", "merge", "total"}
+
+    def test_governed_impaired_served_matches_sharded(self):
+        spec = LinkSpec(loss_rate=0.15, duplicate_rate=0.1,
+                        reorder_rate=0.2, jitter_s=2.0,
+                        reorder_delay_s=65.0)
+        kw = dict(RUN_KW, master_seed=99,
+                  hook_factory=functools.partial(
+                      _impaired_governed_hooks, spec))
+        reference = ShardedFleetRunner(COHORT[:4], n_shards=1,
+                                       **kw).run()
+        served = run_served_fleet(COHORT[:4], **kw)
+        assert served.summary.to_json() == reference.summary.to_json()
+        assert served.summary.governed
+        assert any(row.link_stats for row in served.rows.values())
+
+
+class TestServeConfig:
+    def test_defaults_valid(self):
+        config = ServeConfig()
+        assert config.host == "127.0.0.1"
+        assert config.port == 0
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(host=""), "host"),
+        (dict(port=-1), "port"),
+        (dict(port=70000), "port"),
+        (dict(n_lanes=0), "n_lanes"),
+        (dict(queue_capacity=0), "queue_capacity"),
+        (dict(max_frame_bytes=16), "max_frame_bytes"),
+        (dict(throttle_s=-0.1), "throttle_s"),
+        (dict(throttle_s=float("inf")), "throttle_s"),
+    ])
+    def test_invalid_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ServeConfig(**kwargs)
+
+
+class TestServerLifecycle:
+    def test_serve_entry_point_and_context(self):
+        server = serve(ServeConfig())
+        try:
+            assert server.port is not None and server.port > 0
+            assert server.start() is server  # idempotent
+        finally:
+            server.stop()
+        server.stop()  # idempotent too
+
+    def test_port_conflict_raises_oserror(self):
+        with FleetGatewayServer(ServeConfig()) as first:
+            clash = FleetGatewayServer(ServeConfig(port=first.port))
+            with pytest.raises(OSError):
+                clash.start()
+
+
+def _hello(server: FleetGatewayServer, patient_id: str,
+           retries: int = 200) -> _Transport:
+    """Connect and handshake, retrying while the old socket drains."""
+    last: ServeError | None = None
+    for _ in range(retries):
+        transport = _Transport("127.0.0.1", server.port)
+        try:
+            transport.send_message(ServeMessage("hello", patient_id))
+            ack = transport.recv_message()
+            assert ack.kind == "hello-ack"
+            return transport
+        except ServeError as exc:
+            transport.close()
+            last = exc
+            time.sleep(0.01)
+    raise AssertionError(f"handshake never succeeded: {last}")
+
+
+class TestConnectionSemantics:
+    def test_reconnect_resumes_session_and_clock(self):
+        with FleetGatewayServer(ServeConfig(n_lanes=1)) as server:
+            first = _Transport("127.0.0.1", server.port)
+            first.send_message(ServeMessage("hello", "px"))
+            ack = first.recv_message()
+            assert ack.info["resumed"] == "0"
+            first.send_message(ServeMessage("sweep", "px", t_s=5.0))
+            assert first.recv_message().kind == "feedback"
+            first.close()
+
+            second = _hello(server, "px")
+            # Same session: gateway channel, triage machine and the
+            # virtual clock all survived the disconnect.
+            second.send_message(ServeMessage("sweep", "px", t_s=10.0))
+            assert second.recv_message().kind == "feedback"
+            # The monotone-clock guard spans reconnects: a command
+            # stamped before the first connection's sweep is an error.
+            second.send_message(ServeMessage("sweep", "px", t_s=3.0))
+            with pytest.raises(ServeError):
+                second.recv_message()
+            second.close()
+            assert list(server.sessions) == ["px"]
+            assert server.stats()["connections"]["open"] == 1
+            assert server.stats()["connections"]["resumed"] >= 1
+
+    def test_duplicate_live_connection_rejected(self):
+        with FleetGatewayServer(ServeConfig()) as server:
+            first = _Transport("127.0.0.1", server.port)
+            first.send_message(ServeMessage("hello", "dup"))
+            assert first.recv_message().kind == "hello-ack"
+            clone = _Transport("127.0.0.1", server.port)
+            clone.send_message(ServeMessage("hello", "dup"))
+            with pytest.raises(ServeError, match="duplicate"):
+                clone.recv_message()
+            clone.close()
+            first.close()
+
+    def test_non_hello_first_frame_closes_connection(self):
+        with FleetGatewayServer(ServeConfig()) as server:
+            transport = _Transport("127.0.0.1", server.port)
+            transport.send_frame(_telemetry_packets(1)[0].to_bytes())
+            with pytest.raises(ServeError):
+                transport.recv_message()
+            transport.close()
+
+    def test_garbage_frame_gets_error_downlink(self):
+        with FleetGatewayServer(ServeConfig()) as server:
+            transport = _hello(server, "gb")
+            transport.send_frame(b"\xde\xad\xbe\xef not a frame")
+            with pytest.raises(ServeError, match="magic"):
+                transport.recv_message()
+            transport.close()
+
+
+class TestBackpressure:
+    def test_saturated_queue_loses_nothing(self):
+        # A deliberately slow consumer (2 ms/frame) against a
+        # 4-deep queue and a fast sender: the reader must stall the
+        # socket instead of shedding frames.
+        config = ServeConfig(queue_capacity=4, throttle_s=0.002)
+        n_packets = 120
+        with FleetGatewayServer(config) as server:
+            transport = _hello(server, "bp")
+            for packet in _telemetry_packets(n_packets, "bp"):
+                transport.send_frame(packet.to_bytes())
+            transport.send_message(ServeMessage(
+                "report", "bp", t_s=60.0,
+                fields={"n_sent": float(n_packets)},
+                info={"governed": "0"}))
+            assert transport.recv_message().kind == "report-ack"
+            transport.close()
+            session = server.sessions["bp"]
+            assert session.n_frames == n_packets
+            assert server.dropped == 0
+            # The bounded queue actually filled (the gauge's whole
+            # point) — backpressure engaged rather than idling.
+            assert server.max_queue_depth >= config.queue_capacity - 1
+            row = server.rows()["bp"]
+            assert row.n_sent == n_packets
+
+
+class TestServeMessageCodec:
+    def test_round_trip_preserves_insertion_order(self):
+        msg = ServeMessage(
+            "report", "p9", t_s=12.5,
+            fields={"zeta": 1.0, "alpha": -2.5,
+                    "mode:raw": 60.0, "mode:multi_lead_cs": 30.0},
+            info={"governed": "1", "state": "watch"})
+        out = decode_message(encode_message(msg))
+        assert out == msg
+        assert list(out.fields) == list(msg.fields)
+        assert list(out.info) == list(msg.info)
+
+    def test_message_truncation_raises(self):
+        blob = encode_message(ServeMessage("hello", "p0"))
+        for cut in range(len(blob)):
+            with pytest.raises(WireFormatError):
+                decode_message(blob[:cut])
+
+
+class TestStreamDecoder:
+    FRAMES = [b"a" * 3, b"b" * 17, b"c" * 1]
+    STREAM = b"".join(encode_stream_frame(f) for f in FRAMES)
+
+    def test_byte_at_a_time(self):
+        decoder = StreamDecoder()
+        out = []
+        for i in range(len(self.STREAM)):
+            out.extend(decoder.feed(self.STREAM[i:i + 1]))
+        assert out == self.FRAMES
+        assert decoder.n_frames == len(self.FRAMES)
+        assert decoder.pending_bytes == 0
+        decoder.finish()
+
+    @settings(max_examples=100, deadline=None)
+    @given(cuts=st.lists(st.integers(min_value=0,
+                                     max_value=len(STREAM)),
+                         max_size=8))
+    def test_any_chunking_yields_identical_frames(self, cuts):
+        # Satellite property: TCP may fragment the stream anywhere;
+        # the decoder's output must not depend on chunk boundaries.
+        bounds = sorted(set(cuts) | {0, len(self.STREAM)})
+        decoder = StreamDecoder()
+        out = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            out.extend(decoder.feed(self.STREAM[lo:hi]))
+        assert out == self.FRAMES
+        decoder.finish()
+
+    def test_zero_length_frame_raises(self):
+        with pytest.raises(WireFormatError, match="zero-length"):
+            StreamDecoder().feed(b"\x00\x00\x00\x00")
+
+    def test_oversized_frame_rejected_from_prefix_alone(self):
+        decoder = StreamDecoder(max_frame_bytes=8)
+        with pytest.raises(WireFormatError, match="bound"):
+            # Only the 4-byte prefix arrives — no body needed.
+            decoder.feed(b"\xff\x00\x00\x00")
+
+    def test_finish_mid_frame_raises(self):
+        decoder = StreamDecoder()
+        decoder.feed(self.STREAM[:5])
+        with pytest.raises(WireFormatError, match="mid-frame"):
+            decoder.finish()
+
+    def test_empty_frame_cannot_be_encoded(self):
+        with pytest.raises(WireFormatError):
+            encode_stream_frame(b"")
+
+
+PACKET_STREAM = encode_packets(_telemetry_packets(3, "fz"))
+
+
+class TestPacketStreamTruncation:
+    @settings(max_examples=200, deadline=None)
+    @given(cut=st.integers(min_value=0,
+                           max_value=len(PACKET_STREAM) - 1))
+    def test_every_truncation_raises(self, cut):
+        # The count header promises 3 packets, so *every* strict
+        # prefix must fail loudly — no silent short reads.
+        with pytest.raises(WireFormatError):
+            decode_packets(PACKET_STREAM[:cut])
+
+    def test_full_stream_decodes(self):
+        assert len(decode_packets(PACKET_STREAM)) == 3

@@ -178,7 +178,7 @@ class TestDecodeErrors:
 
 
 class TestGatewayIngestBytes:
-    def test_ingest_bytes_equals_ingest(self, trained_af_detector):
+    def test_frame_ingest_equals_object_ingest(self, trained_af_detector):
         profile = PatientProfile(patient_id="ib", rhythm="nsr",
                                  snr_db=None, seed=2)
         record = synthesize_patient(profile, duration_s=60.0)
@@ -187,8 +187,9 @@ class TestGatewayIngestBytes:
         _, packets = proxy.run(record)
         by_object, by_bytes = Gateway(), Gateway()
         for packet in packets:
+            # The one ingest surface: same method, either payload type.
             assert by_object.ingest(packet)
-            assert by_bytes.ingest_bytes(encode_packet(packet))
+            assert by_bytes.ingest(encode_packet(packet))
         obj_out = by_object.drain()
         byte_out = by_bytes.drain()
         assert len(obj_out) == len(byte_out)
@@ -197,9 +198,20 @@ class TestGatewayIngestBytes:
             assert a.snr_db == b.snr_db
             assert np.array_equal(a.signal, b.signal)
 
-    def test_ingest_bytes_rejects_garbage(self):
+    def test_frame_ingest_rejects_garbage(self):
         with pytest.raises(WireFormatError):
-            Gateway().ingest_bytes(b"not a packet")
+            Gateway().ingest(b"not a packet")
+
+    def test_ingest_bytes_shim_warns_and_forwards(self):
+        packet = _synthetic_packet(np.random.default_rng(3))
+        gateway = Gateway()
+        with pytest.warns(DeprecationWarning, match="ingest_bytes"):
+            assert gateway.ingest_bytes(encode_packet(packet))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(WireFormatError):
+                gateway.ingest_bytes(b"junk")
+        gateway.flush_reassembly()
+        assert gateway.pending == 1
 
     def test_hostile_dtype_token_rejected(self):
         # A crafted frame carrying an object dtype must fail as a

@@ -115,7 +115,7 @@ class TestGatewayIntegration:
         gateway = Gateway(GatewayConfig(), obs=obs)
         obs.set_virtual_time(12.0)
         with pytest.raises(WireFormatError):
-            gateway.ingest_bytes(b"\xde\xad\xbe\xef")
+            gateway.ingest(b"\xde\xad\xbe\xef")
         assert [a.kind for a in obs.flight.anomalies] \
             == [ANOMALY_WIRE_ERROR]
         record = obs.flight.anomalies[0]
@@ -140,7 +140,7 @@ class TestGatewayIntegration:
         # Offline replay: the dumped frames drive a fresh gateway.
         replay = Gateway(GatewayConfig())
         for frame in frames:
-            replay.ingest_bytes(frame)
+            replay.ingest(frame)
         replay.drain()
         assert replay.channels[pid].n_excerpts > 0
         assert fleet.summary.dropped_packets == 0
