@@ -11,6 +11,7 @@ speedup that caused it.
 
 from __future__ import annotations
 
+import tempfile
 import time
 
 import numpy as np
@@ -43,9 +44,13 @@ from ..fleet import (
     FleetScheduler,
     Gateway,
     GatewayConfig,
+    JournalConfig,
+    JournalReplayer,
+    JournalWriter,
     NodeProxyConfig,
     SchedulerConfig,
     ShardedFleetRunner,
+    journal_meta,
     make_cohort,
     run_served_fleet,
 )
@@ -380,6 +385,81 @@ def fleet_serve_throughput(ctx: BenchContext) -> dict:
         "socket_tax_vs_in_process": wall_served / wall_local,
         "in_process_wall_s": wall_local,
         "served_wall_s": wall_served,
+    }
+
+
+#: Required journal-replay advantage over the recorded live run (5x).
+MIN_REPLAY_SPEEDUP = 5.0
+
+
+@register("fleet-journal-replay",
+          "Journaled fleet run vs its journal replay, byte-checked",
+          legacy="test_fleet_journal_replay", tags=("systems",))
+def fleet_journal_replay(ctx: BenchContext) -> dict:
+    """Record a live run to a journal, then replay it faster-than-live.
+
+    Runs one cohort through the in-process scheduler twice — plain and
+    with a `JournalWriter` attached — to price the journal write tax,
+    then streams the journal back through `JournalReplayer` and
+    **asserts** two contracts: the replayed `FleetSummary` must be
+    byte-identical to the recorded run's (which must itself be
+    byte-identical to the plain run's — journaling is out-of-band),
+    and the replay must finish at least `MIN_REPLAY_SPEEDUP`x faster
+    than the live run it reproduces (replay skips node-side synthesis
+    entirely, so anything slower means the recovery path regressed).
+    Either violation fails the bench — and the CI quick gate.
+    """
+    n_patients = 4 if ctx.quick else 8
+    duration = 60.0 if ctx.quick else 120.0
+    cohort = make_cohort(CohortConfig(n_patients=n_patients, seed=7))
+    config = SchedulerConfig(duration_s=duration, fs=FS)
+    node_config = NodeProxyConfig(stream_telemetry=True)
+    gateway_config = GatewayConfig(n_iter=40)
+
+    def live_run(journal=None):
+        return FleetScheduler(
+            cohort, config, node_config=node_config,
+            gateway=Gateway(gateway_config), journal=journal).run()
+
+    t0 = time.perf_counter()
+    plain = live_run()
+    wall_plain = time.perf_counter() - t0
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_config = JournalConfig(dir=tmp, name="bench")
+        t0 = time.perf_counter()
+        with JournalWriter(
+                journal_config,
+                meta=journal_meta(duration, FS, gateway_config),
+                resume=False) as journal:
+            recorded = live_run(journal)
+        wall_recorded = time.perf_counter() - t0
+        journal_bytes = journal.n_bytes
+        replay = JournalReplayer(journal_config).run()
+    wall_replay = replay.timings_s["total"]
+    if recorded.summary.to_json() != plain.summary.to_json():
+        raise AssertionError(
+            "journaled FleetSummary diverged from the plain run — "
+            "the journal write tax is not out-of-band")
+    if replay.summary.to_json() != recorded.summary.to_json():
+        raise AssertionError(
+            "replayed FleetSummary diverged from the recorded run — "
+            "journal replay determinism regression")
+    speedup = wall_recorded / wall_replay
+    if speedup < MIN_REPLAY_SPEEDUP and not ctx.profiled:
+        raise AssertionError(
+            f"journal replay only {speedup:.1f}x faster than the live "
+            f"run (bar: {MIN_REPLAY_SPEEDUP:.0f}x)")
+    return {
+        "patients": n_patients,
+        "samples": int(n_patients * duration * FS) * 3 * 2,
+        "packets": replay.n_packets,
+        "records": replay.n_records,
+        "journal_bytes": journal_bytes,
+        "byte_identical": True,
+        "write_tax_vs_plain": wall_recorded / wall_plain,
+        "replay_speedup_vs_live": speedup,
+        "live_wall_s": wall_recorded,
+        "replay_wall_s": wall_replay,
     }
 
 

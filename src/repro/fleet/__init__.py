@@ -43,6 +43,17 @@ from .gateway import (
     PatientChannel,
     ReconstructedExcerpt,
 )
+from .journal import (
+    GatewaySession,
+    JournalConfig,
+    JournalError,
+    JournalReader,
+    JournalRecord,
+    JournalReplayer,
+    JournalWriter,
+    ReplayReport,
+    journal_meta,
+)
 from .kernel import (
     PRIORITIES,
     Event,
@@ -128,7 +139,14 @@ __all__ = [
     "FleetSummary",
     "Gateway",
     "GatewayConfig",
+    "GatewaySession",
     "GovernorFactory",
+    "JournalConfig",
+    "JournalError",
+    "JournalReader",
+    "JournalRecord",
+    "JournalReplayer",
+    "JournalWriter",
     "KernelError",
     "MAX_FRAME_BYTES",
     "MESSAGE_MAGIC",
@@ -146,6 +164,7 @@ __all__ = [
     "ReconstructedExcerpt",
     "RemoteBoard",
     "RemoteGateway",
+    "ReplayReport",
     "STATE_ALERT",
     "STATE_OK",
     "STATE_WATCH",
@@ -176,6 +195,7 @@ __all__ = [
     "encode_stream_frame",
     "fleet_summary",
     "frame_kind",
+    "journal_meta",
     "make_cohort",
     "merge_patient_rows",
     "partition_cohort",

@@ -35,7 +35,7 @@ from .cohort import PatientProfile
 from .gateway import Gateway, GatewayConfig
 from .node_proxy import NodeProxyConfig, UplinkPacket
 from .scheduler import FleetReport, FleetScheduler, SchedulerConfig
-from .sharding import PerPatientLink, ShardHooks
+from .sharding import ShardHooks
 from .triage import TriageBoard
 from .wire import (
     MAX_FRAME_BYTES,
@@ -260,39 +260,14 @@ class FleetClient:
                      fleet: FleetReport, pid: str) -> None:
         """Ship the node-side row aggregates; await the ack.
 
-        Field names mirror :class:`~repro.fleet.sharding.ShardPatientRow`
-        exactly; governor dwell times go up as ``mode:<name>`` keys *in
-        insertion order* (the codec preserves it), so the fleet-wide
-        mode-seconds fold downstream sums in the same order as the
-        in-process engine — float-exactly.
+        The message itself comes from
+        :meth:`~repro.fleet.scheduler.FleetScheduler.report_message` —
+        the single construction shared with the gateway journal, so a
+        served run and a journaled in-process run log byte-identical
+        ``report`` rows.
         """
-        report = fleet.node_reports[pid]
-        governor = scheduler.governors.get(pid)
-        fields: dict[str, float] = {
-            "n_sent": float(scheduler.sent_by_patient.get(pid, 0)),
-            "n_node_alarms": float(len(report.alarms)),
-            "average_power_w": report.average_power_w,
-            "battery_days": report.battery_days,
-            "governor_switches": float(
-                governor.n_switches if governor is not None else 0),
-            "final_soc": (governor.battery.soc
-                          if governor is not None else float("nan")),
-            "projected_hours": (governor.projected_hours_to_empty()
-                                if governor is not None
-                                else float("nan")),
-        }
-        if governor is not None:
-            for mode, seconds in governor.mode_seconds.items():
-                fields[f"mode:{mode}"] = seconds
-        link = scheduler.link
-        link_stats = (link.stats_for(pid)
-                      if isinstance(link, PerPatientLink) else {})
-        for key, value in link_stats.items():
-            fields[f"link:{key}"] = float(value)
-        transport.send_message(ServeMessage(
-            "report", pid, t_s=scheduler.config.duration_s,
-            fields=fields,
-            info={"governed": "1" if governor is not None else "0"}))
+        transport.send_message(
+            scheduler.report_message(pid, fleet.node_reports))
         ack = transport.recv_message()
         if ack.kind != "report-ack":
             raise ServeError(f"expected report-ack, got {ack.kind!r}")

@@ -394,6 +394,7 @@ class Gateway:
         self._reassembly: dict[str, _ReassemblyBuffer] = {}
         self.obs = obs
         self._m = _GatewayMetrics(obs) if obs is not None else None
+        self._journal = None
 
     def attach_obs(self, obs: Observability | None) -> None:
         """Enable (or disable) observability on a built gateway.
@@ -403,6 +404,19 @@ class Gateway:
         """
         self.obs = obs
         self._m = _GatewayMetrics(obs) if obs is not None else None
+
+    def attach_journal(self, journal) -> None:
+        """Attach a :class:`~repro.fleet.journal.JournalWriter`.
+
+        Every packet that enters :meth:`ingest` from now on is appended
+        to the journal as its wire frame, before reassembly or the
+        bounded queue gets a say — the journal records *arrivals*, so a
+        replay reproduces back-pressure decisions instead of inheriting
+        them.  Passing ``None`` detaches.  Duck-typed (anything with
+        ``append_packet(frame, subject)``) so this module needs no
+        journal import.
+        """
+        self._journal = journal
 
     @property
     def pending(self) -> int:
@@ -435,6 +449,9 @@ class Gateway:
         """
         if isinstance(payload, (bytes, bytearray, memoryview)):
             return self._ingest_frame(payload)
+        if self._journal is not None:
+            self._journal.append_packet(payload.to_bytes(),
+                                        payload.patient_id)
         return self._ingest_packet(payload)
 
     def _ingest_packet(self, packet: UplinkPacket) -> bool:
@@ -503,7 +520,11 @@ class Gateway:
         from .wire import decode_packet, WireFormatError
 
         if self._m is None:
-            return self._ingest_packet(decode_packet(data))
+            packet = decode_packet(data)
+            if self._journal is not None:
+                self._journal.append_packet(bytes(data),
+                                            packet.patient_id)
+            return self._ingest_packet(packet)
         try:
             packet = decode_packet(data)
         except WireFormatError as exc:
@@ -515,6 +536,8 @@ class Gateway:
                 frame_b64=base64.b64encode(bytes(data)).decode("ascii"))
             raise
         self.obs.flight.record_frame(packet.patient_id, bytes(data))
+        if self._journal is not None:
+            self._journal.append_packet(bytes(data), packet.patient_id)
         return self._ingest_packet(packet)
 
     def ingest_bytes(self, data: bytes | bytearray | memoryview) -> bool:

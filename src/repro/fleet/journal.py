@@ -1,0 +1,1006 @@
+"""Durable gateway packet journal with crash-safe, byte-identical replay.
+
+The journal is an append-only, segment-rotated on-disk log of the exact
+wire frames a :class:`~repro.fleet.gateway.Gateway` ingests, interleaved
+with the control messages (`expire` / `drain` / `sweep` / `flush` /
+`period` / `report`) that the scheduler or a served session applied to
+it.  Because the serve protocol already *is* a total description of a
+fleet run — PR 8 proved `run_served_fleet` byte-identical to the
+in-process engine — a journal that records stream frames in their
+arrival order is a complete, replayable transcript of the run.
+
+Layout (all integers little-endian):
+
+* segment file ``{name}-{index:06d}.rpj``:
+  ``b"RPJ1" | u8 version | u8 flags | u32 segment_index | f64 base_t_s
+  | u8 base_prio | u8-len name | u32 meta_len | meta JSON`` followed by
+  records.
+* record: ``u32 length | u32 CRC32(body) | body`` where the body is
+  ``f64 t_s | u8 prio | u16 subject_len | subject utf-8 | frame``.
+
+``(t_s, prio)`` is the writer's monotone virtual-time stamp: control
+records advance a global clock clamped to never run backwards, packet
+records inherit the current clock.  Stamps are non-decreasing in file
+order, so merging N shard journals by ``(t_s, prio, journal, ordinal)``
+re-sorts the cohort into the kernel's total event order while keeping
+each journal's own record order intact.
+
+Recovery: opening a writer over an existing journal scans the last
+segment, truncates a torn tail record (a crash loses at most one
+partial record), and resumes appending.  Any *corrupt* record — CRC
+mismatch, impossible length, undecodable body — raises
+:class:`JournalError`; the journal never yields a wrong packet.
+
+:class:`JournalReplayer` streams one or more journals back through
+fresh per-patient :class:`GatewaySession` cores (the same construction
+the serve layer uses) and folds the resulting rows with
+``merge_patient_rows``, producing a ``FleetSummary`` whose ``to_json``
+is byte-identical to the original live run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import re
+import threading
+import zlib
+from dataclasses import dataclass, field, replace
+from math import isfinite
+from pathlib import Path
+from struct import Struct
+from time import perf_counter
+from typing import Callable, Iterable, Iterator
+
+from .gateway import Gateway, GatewayConfig
+from .kernel import (
+    PRIO_DRAIN,
+    PRIO_REASSEMBLY,
+    PRIO_TRIAGE,
+    EventKernel,
+    KernelError,
+)
+from .sharding import ShardPatientRow, merge_patient_rows
+from .triage import TriageBoard
+from .wire import (
+    MAX_FRAME_BYTES,
+    ServeMessage,
+    WireFormatError,
+    decode_message,
+    encode_message,
+    frame_kind,
+)
+
+__all__ = [
+    "GatewaySession",
+    "JournalConfig",
+    "JournalError",
+    "JournalReader",
+    "JournalRecord",
+    "JournalReplayer",
+    "JournalWriter",
+    "ReplayReport",
+    "journal_meta",
+]
+
+#: Magic prefix of every journal segment file.
+JOURNAL_MAGIC = b"RPJ1"
+#: Version byte stamped into (and required of) every segment header.
+JOURNAL_VERSION = 1
+#: Hard ceiling on a single record: the wire frame limit plus headroom
+#: for the record body prefix.  Anything larger is corruption.
+MAX_RECORD_BYTES = MAX_FRAME_BYTES + 1024
+
+_SEG_HEAD = Struct("<4sBBIdB")  # magic, version, flags, index, base_t_s, base_prio
+_REC_HEAD = Struct("<II")  # length, crc32
+_BODY_HEAD = Struct("<dBH")  # t_s, prio, subject_len
+_U32 = Struct("<I")
+
+#: Virtual-time priority a journaled control message advances the
+#: writer clock to.  Mirrors the kernel phase priorities so merged
+#: journals re-sort into the kernel's total event order.
+_KIND_PRIO = {
+    "hello": 0,
+    "period": 0,
+    "expire": PRIO_REASSEMBLY,
+    "flush": PRIO_REASSEMBLY,
+    "drain": PRIO_DRAIN,
+    "sweep": PRIO_TRIAGE,
+    "report": PRIO_TRIAGE,
+    "stats": PRIO_TRIAGE,
+}
+
+#: Message kinds a served session journals (client-driven protocol
+#: traffic that mutates gateway/board state).  ``hello``/``bye`` are
+#: connection plumbing consumed by the server and never reach a
+#: session; replies are derived state.
+SESSION_JOURNALED_KINDS = frozenset(
+    {"expire", "drain", "sweep", "flush", "period", "report"}
+)
+
+
+class JournalError(RuntimeError):
+    """A journal is corrupt, incomplete, or used inconsistently."""
+
+
+def journal_meta(
+    duration_s: float | None = None,
+    fs: float | None = None,
+    gateway: GatewayConfig | None = None,
+) -> dict:
+    """Build the segment-header metadata dict for a journal writer.
+
+    Only the keys the caller actually knows are included; a replayer
+    falls back to explicit arguments for anything missing (a served
+    journal, for instance, cannot know the client-side schedule).
+    """
+    meta: dict = {}
+    if duration_s is not None:
+        meta["duration_s"] = float(duration_s)
+    if fs is not None:
+        meta["fs"] = float(fs)
+    if gateway is not None:
+        from dataclasses import asdict
+
+        meta["gateway"] = asdict(gateway)
+    return meta
+
+
+@dataclass(frozen=True)
+class JournalConfig:
+    """Where and how a journal is written.
+
+    Frozen and picklable so it can ride through ``ServeConfig``, the
+    shard worker pool, and ``CampaignConfig`` untouched.
+    """
+
+    #: Directory holding the segment files (created on demand).
+    dir: str
+    #: Logical journal name; segment files are ``{name}-{i:06d}.rpj``.
+    name: str = "journal"
+    #: Rotate to a new segment once the current one reaches this size.
+    segment_bytes: int = 64 * 1024 * 1024
+    #: fsync after every appended record (durable but slow).
+    fsync: bool = False
+
+    def __post_init__(self):
+        if not self.dir:
+            raise ValueError("journal dir must be a non-empty path")
+        if not self.name or len(self.name) > 80:
+            raise ValueError("journal name must be 1..80 characters")
+        if os.sep in self.name or "/" in self.name:
+            raise ValueError("journal name must not contain path separators")
+        if self.segment_bytes < 4096:
+            raise ValueError("segment_bytes must be at least 4096")
+
+    def for_shard(self, shard_index: int) -> "JournalConfig":
+        """Derive the per-shard journal config used by the shard pool."""
+        return replace(self, name=f"{self.name}-s{shard_index:02d}")
+
+    def segment_path(self, index: int) -> Path:
+        """Path of segment ``index`` under this config."""
+        return Path(self.dir) / f"{self.name}-{index:06d}.rpj"
+
+    def segment_paths(self) -> list[Path]:
+        """Existing segment files for this journal, in index order."""
+        pattern = re.compile(rf"^{re.escape(self.name)}-(\d{{6}})\.rpj$")
+        root = Path(self.dir)
+        if not root.is_dir():
+            return []
+        found = [p for p in root.iterdir() if pattern.match(p.name)]
+        return sorted(found, key=lambda p: p.name)
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal record: a stamped wire frame."""
+
+    #: Virtual-time stamp the writer assigned (monotone in file order).
+    t_s: float
+    #: Kernel phase priority component of the stamp.
+    prio: int
+    #: Patient id the frame belongs to ("" = cohort-wide control).
+    subject: str
+    #: The wire frame bytes (packet frame or encoded ServeMessage).
+    frame: bytes
+
+
+@dataclass(frozen=True)
+class _SegmentHeader:
+    """Decoded segment header fields."""
+
+    version: int
+    flags: int
+    index: int
+    base_t_s: float
+    base_prio: int
+    name: str
+    meta: dict
+
+
+def _encode_header(
+    index: int, base: tuple[float, int], name: str, meta: dict
+) -> bytes:
+    """Serialize a segment header."""
+    raw_name = name.encode("utf-8")
+    if len(raw_name) > 255:
+        raise JournalError("journal name too long for header")
+    meta_raw = json.dumps(meta, sort_keys=True).encode("utf-8")
+    head = _SEG_HEAD.pack(
+        JOURNAL_MAGIC, JOURNAL_VERSION, 0, index, base[0], base[1]
+    )
+    return (
+        head
+        + bytes([len(raw_name)])
+        + raw_name
+        + _U32.pack(len(meta_raw))
+        + meta_raw
+    )
+
+
+def _decode_header(buf: bytes, path: Path) -> tuple[_SegmentHeader, int]:
+    """Parse a segment header; raise :class:`JournalError` on any defect."""
+    try:
+        magic, version, flags, index, base_t, base_prio = _SEG_HEAD.unpack_from(
+            buf, 0
+        )
+        offset = _SEG_HEAD.size
+        name_len = buf[offset]
+        offset += 1
+        raw_name = bytes(buf[offset : offset + name_len])
+        if len(raw_name) != name_len:
+            raise JournalError(f"{path}: truncated segment header")
+        offset += name_len
+        (meta_len,) = _U32.unpack_from(buf, offset)
+        offset += _U32.size
+        meta_raw = bytes(buf[offset : offset + meta_len])
+        if len(meta_raw) != meta_len:
+            raise JournalError(f"{path}: truncated segment header metadata")
+        offset += meta_len
+        if magic != JOURNAL_MAGIC:
+            raise JournalError(f"{path}: bad journal magic {magic!r}")
+        if version != JOURNAL_VERSION:
+            raise JournalError(f"{path}: unsupported journal version {version}")
+        name = raw_name.decode("utf-8")
+        meta = json.loads(meta_raw.decode("utf-8")) if meta_raw else {}
+        if not isinstance(meta, dict):
+            raise JournalError(f"{path}: segment metadata is not an object")
+    except JournalError:
+        raise
+    except (IndexError, ValueError, UnicodeDecodeError, Exception) as exc:
+        raise JournalError(f"{path}: corrupt segment header: {exc}") from exc
+    header = _SegmentHeader(version, flags, index, base_t, base_prio, name, meta)
+    return header, offset
+
+
+def _decode_body(body: bytes, path: Path, offset: int) -> JournalRecord:
+    """Parse a record body; raise :class:`JournalError` on any defect."""
+    if len(body) < _BODY_HEAD.size:
+        raise JournalError(
+            f"{path}: record body at byte {offset} too short ({len(body)} B)"
+        )
+    t_s, prio, subject_len = _BODY_HEAD.unpack_from(body, 0)
+    start = _BODY_HEAD.size
+    subject_raw = bytes(body[start : start + subject_len])
+    if len(subject_raw) != subject_len:
+        raise JournalError(
+            f"{path}: record subject at byte {offset} overruns the body"
+        )
+    frame = bytes(body[start + subject_len :])
+    if not frame:
+        raise JournalError(f"{path}: record at byte {offset} has an empty frame")
+    try:
+        subject = subject_raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise JournalError(
+            f"{path}: record subject at byte {offset} is not utf-8"
+        ) from exc
+    return JournalRecord(t_s, prio, subject, frame)
+
+
+class _SegmentScan:
+    """Strict sequential scan of one segment file.
+
+    Distinguishes a *torn tail* (a record prefix at end-of-file — the
+    footprint of a crashed append, recoverable by truncation) from
+    *corruption* (CRC mismatch, impossible length, bad body — never
+    recoverable, always :class:`JournalError`).  ``tolerate_torn`` is
+    only true for the final segment: earlier segments were sealed by a
+    rotation and a short tail there is corruption, not a crash.
+    """
+
+    def __init__(self, path: Path, tolerate_torn: bool):
+        self.path = path
+        self.tolerate_torn = tolerate_torn
+        try:
+            self.data = path.read_bytes()
+        except OSError as exc:
+            raise JournalError(f"{path}: unreadable segment: {exc}") from exc
+        self.header, self._start = _decode_header(self.data, path)
+        self.valid_end = self._start
+        self.torn_bytes = 0
+        self.last_stamp = (self.header.base_t_s, self.header.base_prio)
+        self.n_records = 0
+
+    def _torn(self, offset: int) -> None:
+        remainder = len(self.data) - offset
+        if not self.tolerate_torn:
+            raise JournalError(
+                f"{self.path}: torn record ({remainder} B) inside a sealed "
+                "segment"
+            )
+        self.valid_end = offset
+        self.torn_bytes = remainder
+
+    def records(self) -> Iterator[JournalRecord]:
+        """Yield whole records; classify any tail per the class docs."""
+        buf = memoryview(self.data)
+        offset = self._start
+        size = len(buf)
+        while True:
+            remainder = size - offset
+            if remainder == 0:
+                self.valid_end = offset
+                return
+            if remainder < _REC_HEAD.size:
+                self._torn(offset)
+                return
+            length, crc = _REC_HEAD.unpack_from(buf, offset)
+            if length == 0:
+                raise JournalError(
+                    f"{self.path}: zero-length record at byte {offset}"
+                )
+            if length > MAX_RECORD_BYTES:
+                if _REC_HEAD.size + length <= remainder:
+                    raise JournalError(
+                        f"{self.path}: oversized record ({length} B) at "
+                        f"byte {offset}"
+                    )
+                self._torn(offset)
+                return
+            if _REC_HEAD.size + length > remainder:
+                self._torn(offset)
+                return
+            body = bytes(buf[offset + _REC_HEAD.size : offset + _REC_HEAD.size + length])
+            if zlib.crc32(body) != crc:
+                raise JournalError(
+                    f"{self.path}: CRC mismatch at byte {offset}"
+                )
+            record = _decode_body(body, self.path, offset)
+            offset += _REC_HEAD.size + length
+            self.valid_end = offset
+            self.n_records += 1
+            self.last_stamp = (record.t_s, record.prio)
+            yield record
+
+
+class JournalWriter:
+    """Append-only, segment-rotated journal writer.
+
+    Thread-safe (served session lanes share one writer).  ``resume``
+    (the default) recovers an existing journal — truncating a torn
+    tail record and continuing where the crashed writer stopped;
+    ``resume=False`` deletes any prior segments and starts fresh.
+
+    The ``write_hook`` attribute is a crash-injection seam: when set,
+    record bytes are passed through it instead of ``file.write``, so a
+    test can emulate a power cut mid-append.
+    """
+
+    def __init__(
+        self,
+        config: JournalConfig,
+        meta: dict | None = None,
+        obs=None,
+        resume: bool = True,
+    ):
+        self.config = config
+        self.meta = dict(meta or {})
+        self.obs = obs
+        #: Optional replacement for ``file.write`` on record appends.
+        self.write_hook: Callable[[bytes], object] | None = None
+        self._lock = threading.Lock()
+        self._file = None
+        self._segment_index = 0
+        self._segment_bytes = 0
+        self._clock: tuple[float, int] = (0.0, 0)
+        self.n_records = 0
+        self.n_packets = 0
+        self.n_messages = 0
+        self.n_bytes = 0
+        self.n_fsyncs = 0
+        self.n_truncated_bytes = 0
+        self._m = _JournalMetrics(obs) if obs is not None else None
+        os.makedirs(config.dir, exist_ok=True)
+        existing = config.segment_paths()
+        if not resume:
+            for path in existing:
+                path.unlink()
+            existing = []
+        if existing:
+            self._recover(existing)
+        else:
+            self._open_segment(0)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _recover(self, existing: list[Path]) -> None:
+        indexes = [int(p.name[-10:-4]) for p in existing]
+        if indexes != list(range(len(existing))):
+            raise JournalError(
+                f"journal {self.config.name!r} has non-contiguous segments "
+                f"{indexes}"
+            )
+        last = existing[-1]
+        scan = _SegmentScan(last, tolerate_torn=True)
+        for _ in scan.records():
+            pass
+        if scan.header.index != indexes[-1]:
+            raise JournalError(
+                f"{last}: header index {scan.header.index} does not match "
+                f"file name"
+            )
+        if scan.torn_bytes:
+            with open(last, "r+b") as handle:
+                handle.truncate(scan.valid_end)
+            self.n_truncated_bytes += scan.torn_bytes
+            if self._m is not None:
+                self._m.truncated.inc(
+                    scan.torn_bytes, journal=self.config.name
+                )
+            if self.obs is not None:
+                from repro.obs import ANOMALY_JOURNAL_TRUNCATED
+
+                self.obs.flight.anomaly(
+                    ANOMALY_JOURNAL_TRUNCATED,
+                    subject=self.config.name,
+                    t_s=scan.last_stamp[0],
+                    segment=scan.header.index,
+                    torn_bytes=scan.torn_bytes,
+                )
+        if not self.meta:
+            self.meta = dict(scan.header.meta)
+        self._segment_index = scan.header.index
+        self._clock = scan.last_stamp
+        self._file = open(last, "ab")
+        self._segment_bytes = scan.valid_end
+
+    def _open_segment(self, index: int) -> None:
+        header = _encode_header(index, self._clock, self.config.name, self.meta)
+        self._segment_index = index
+        self._file = open(self.config.segment_path(index), "wb")
+        self._file.write(header)
+        self._segment_bytes = len(header)
+
+    def _rotate_locked(self) -> None:
+        self._file.flush()
+        self._file.close()
+        self._open_segment(self._segment_index + 1)
+
+    def close(self) -> None:
+        """Flush (and fsync, if configured) and close the writer."""
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.flush()
+            if self.config.fsync:
+                os.fsync(self._file.fileno())
+                self.n_fsyncs += 1
+                if self._m is not None:
+                    self._m.fsyncs.inc(1, journal=self.config.name)
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- appends ------------------------------------------------------
+
+    def append_packet(self, frame: bytes, subject: str) -> None:
+        """Journal a wire-encoded packet frame at the current clock."""
+        with self._lock:
+            self._append_locked(self._clock, subject, bytes(frame), "packet")
+
+    def append_message(self, msg: ServeMessage) -> None:
+        """Journal a control message, advancing the virtual clock."""
+        prio = _KIND_PRIO.get(msg.kind)
+        if prio is None:
+            raise JournalError(f"message kind {msg.kind!r} is not journalable")
+        t_s = float(msg.t_s)
+        if not isfinite(t_s):
+            raise JournalError(f"{msg.kind!r} message has non-finite t_s")
+        frame = encode_message(msg)
+        with self._lock:
+            stamp = (t_s, prio)
+            if stamp < self._clock:
+                stamp = self._clock
+            self._clock = stamp
+            self._append_locked(stamp, msg.patient_id, frame, "message")
+
+    def _append_locked(
+        self, stamp: tuple[float, int], subject: str, frame: bytes, kind: str
+    ) -> None:
+        if self._file is None:
+            raise JournalError("journal writer is closed")
+        if not frame:
+            raise JournalError("cannot journal an empty frame")
+        if len(frame) > MAX_FRAME_BYTES:
+            raise JournalError(
+                f"frame of {len(frame)} B exceeds MAX_FRAME_BYTES"
+            )
+        subject_raw = subject.encode("utf-8")
+        if len(subject_raw) > 0xFFFF:
+            raise JournalError("record subject too long")
+        body = (
+            _BODY_HEAD.pack(stamp[0], stamp[1], len(subject_raw))
+            + subject_raw
+            + frame
+        )
+        record = _REC_HEAD.pack(len(body), zlib.crc32(body)) + body
+        write = self.write_hook or self._file.write
+        write(record)
+        self._segment_bytes += len(record)
+        self.n_bytes += len(record)
+        self.n_records += 1
+        if kind == "packet":
+            self.n_packets += 1
+        else:
+            self.n_messages += 1
+        if self.config.fsync:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.n_fsyncs += 1
+        if self._m is not None:
+            self._m.bytes.inc(len(record), journal=self.config.name)
+            self._m.records.inc(1, journal=self.config.name, kind=kind)
+            if self.config.fsync:
+                self._m.fsyncs.inc(1, journal=self.config.name)
+        if self._segment_bytes >= self.config.segment_bytes:
+            self._rotate_locked()
+
+    # -- introspection ------------------------------------------------
+
+    def stats(self) -> dict:
+        """Writer counters (records, bytes, segments, fsyncs, clock)."""
+        with self._lock:
+            return {
+                "name": self.config.name,
+                "segments": self._segment_index + 1,
+                "records": self.n_records,
+                "packets": self.n_packets,
+                "messages": self.n_messages,
+                "bytes": self.n_bytes,
+                "fsyncs": self.n_fsyncs,
+                "truncated_bytes": self.n_truncated_bytes,
+                "clock_t_s": self._clock[0],
+            }
+
+
+class _JournalMetrics:
+    """Journal counters registered on an Observability registry."""
+
+    def __init__(self, obs):
+        from repro.obs import SCOPE_SHARD
+
+        metrics = obs.metrics
+        self.bytes = metrics.counter(
+            "journal_bytes_written_total",
+            "Bytes appended to gateway journals (headers excluded).",
+            scope=SCOPE_SHARD,
+        )
+        self.records = metrics.counter(
+            "journal_records_total",
+            "Records appended to gateway journals by kind.",
+            scope=SCOPE_SHARD,
+        )
+        self.fsyncs = metrics.counter(
+            "journal_fsync_total",
+            "fsync calls issued by gateway journal writers.",
+            scope=SCOPE_SHARD,
+        )
+        self.truncated = metrics.counter(
+            "journal_truncated_bytes_total",
+            "Torn-tail bytes truncated during journal recovery.",
+            scope=SCOPE_SHARD,
+        )
+
+
+class JournalReader:
+    """Strict sequential reader over a journal's segment files.
+
+    A torn tail is tolerated only on the final segment (reported via
+    ``torn_tail_bytes``); everything else raises :class:`JournalError`.
+    """
+
+    def __init__(self, config: JournalConfig):
+        self.config = config
+        self.paths = config.segment_paths()
+        if not self.paths:
+            raise JournalError(
+                f"no journal named {config.name!r} under {config.dir}"
+            )
+        indexes = [int(p.name[-10:-4]) for p in self.paths]
+        if indexes != list(range(len(self.paths))):
+            raise JournalError(
+                f"journal {config.name!r} has non-contiguous segments "
+                f"{indexes}"
+            )
+        first, _ = _decode_header(self.paths[0].read_bytes(), self.paths[0])
+        if first.name != config.name:
+            raise JournalError(
+                f"{self.paths[0]}: header names journal {first.name!r}"
+            )
+        #: Metadata dict from the first segment header.
+        self.meta = dict(first.meta)
+        #: Bytes of torn tail discarded from the final segment.
+        self.torn_tail_bytes = 0
+        #: Records yielded by the last full :meth:`records` pass.
+        self.n_records = 0
+
+    def records(self) -> Iterator[JournalRecord]:
+        """Yield every whole record across all segments, in log order."""
+        self.torn_tail_bytes = 0
+        self.n_records = 0
+        for i, path in enumerate(self.paths):
+            scan = _SegmentScan(path, tolerate_torn=(i == len(self.paths) - 1))
+            if scan.header.index != i:
+                raise JournalError(
+                    f"{path}: header index {scan.header.index} does not "
+                    "match file name"
+                )
+            if scan.header.name != self.config.name:
+                raise JournalError(
+                    f"{path}: header names journal {scan.header.name!r}"
+                )
+            for record in scan.records():
+                self.n_records += 1
+                yield record
+            self.torn_tail_bytes += scan.torn_bytes
+
+
+class GatewaySession:
+    """Per-patient gateway + triage core with a virtual-time kernel.
+
+    This is the session state machine the serve layer runs behind each
+    TCP connection, factored out so :class:`JournalReplayer` can drive
+    the identical construction from a journal.  ``handle_frame``
+    dispatches one stream frame (packet or control message) and returns
+    ``(replies, close)``; protocol violations come back as an ``error``
+    reply, exactly as over the wire.
+
+    When ``journal`` is given, ingested packet frames are journaled by
+    the attached gateway and state-bearing control messages
+    (:data:`SESSION_JOURNALED_KINDS`) are journaled after a successful
+    dispatch — a frame that faults is never logged, so a journal holds
+    only frames that actually mutated the session.
+    """
+
+    def __init__(
+        self,
+        patient_id: str,
+        config: GatewayConfig | None = None,
+        journal: JournalWriter | None = None,
+    ):
+        self.patient_id = patient_id
+        self.gateway = Gateway(config or GatewayConfig())
+        self.board = TriageBoard()
+        self.board.register([patient_id])
+        self.kernel = EventKernel()
+        self.n_reconstructed = 0
+        self.n_frames = 0
+        self.row: ShardPatientRow | None = None
+        self._journal = journal
+        if journal is not None:
+            self.gateway.attach_journal(journal)
+
+    # -- frame dispatch ----------------------------------------------
+
+    def handle_frame(self, body: bytes) -> tuple[list[bytes], bool]:
+        """Apply one stream frame; return ``(replies, close)``."""
+        try:
+            if frame_kind(body) == "packet":
+                self.gateway.ingest(body)
+                self.n_frames += 1
+                return [], False
+            msg = decode_message(body)
+            replies, close = self.handle_message(msg)
+            if (
+                self._journal is not None
+                and msg.kind in SESSION_JOURNALED_KINDS
+            ):
+                self._journal.append_message(msg)
+            return replies, close
+        except (WireFormatError, KernelError) as exc:
+            reply = ServeMessage(
+                "error", self.patient_id, info={"error": str(exc)}
+            )
+            return [encode_message(reply)], True
+
+    def handle_message(self, msg: ServeMessage) -> tuple[list[bytes], bool]:
+        """Dispatch a decoded control message (raises on violations)."""
+        if msg.kind == "expire":
+            self._run_at(
+                msg.t_s,
+                PRIO_REASSEMBLY,
+                "serve.expire",
+                lambda: self.gateway.expire_reassembly(msg.t_s),
+            )
+            return [], False
+        if msg.kind == "drain":
+            self._on_drain(msg)
+            return [], False
+        if msg.kind == "sweep":
+            return [encode_message(self._on_sweep(msg))], False
+        if msg.kind == "flush":
+            self.gateway.flush_reassembly()
+            return [], False
+        if msg.kind == "period":
+            self.board.set_expected_period(
+                self.patient_id, msg.fields.get("period_s", float("nan"))
+            )
+            return [], False
+        if msg.kind == "report":
+            return [encode_message(self._on_report(msg))], False
+        if msg.kind == "bye":
+            return [], True
+        raise WireFormatError(f"unknown serve command {msg.kind!r}")
+
+    # -- phase actions ------------------------------------------------
+
+    def _run_at(
+        self, t_s: float, priority: int, name: str, action
+    ) -> None:
+        self.kernel.schedule(
+            t_s, priority, name, action, subject=self.patient_id
+        )
+        self.kernel.run()
+
+    def _on_drain(self, msg: ServeMessage) -> None:
+        t_s = self.kernel.advance_to(msg.t_s)
+        budget = int(msg.fields.get("budget", -1.0))
+        max_packets = None if budget < 0 else budget
+
+        def act() -> None:
+            for excerpt in self.gateway.drain(max_packets):
+                self.board.observe(excerpt)
+                self.n_reconstructed += 1
+
+        self._run_at(t_s, PRIO_DRAIN, "serve.drain", act)
+
+    def _on_sweep(self, msg: ServeMessage) -> ServeMessage:
+        self._run_at(
+            msg.t_s,
+            PRIO_TRIAGE,
+            "serve.sweep",
+            lambda: self.board.tick(msg.t_s),
+        )
+        patient = self.board.patient(self.patient_id)
+        return ServeMessage(
+            "feedback",
+            self.patient_id,
+            t_s=msg.t_s,
+            fields={"n_alerts": float(patient.n_alerts), "soc": patient.soc},
+            info={"state": patient.state, "mode": patient.mode},
+        )
+
+    def _on_report(self, msg: ServeMessage) -> ServeMessage:
+        fields = msg.fields
+        mode_seconds = {
+            key[5:]: value
+            for key, value in fields.items()
+            if key.startswith("mode:")
+        }
+        link_stats = {
+            key[5:]: int(value)
+            for key, value in fields.items()
+            if key.startswith("link:")
+        }
+        self.row = ShardPatientRow(
+            patient_id=self.patient_id,
+            n_sent=int(fields.get("n_sent", 0)),
+            n_reconstructed=self.n_reconstructed,
+            n_node_alarms=int(fields.get("n_node_alarms", 0)),
+            average_power_w=fields.get("average_power_w", float("nan")),
+            battery_days=fields.get("battery_days", float("nan")),
+            channel=self.gateway.channels.get(self.patient_id),
+            triage=self.board.patients[self.patient_id],
+            governed=msg.info.get("governed") == "1",
+            mode_seconds=mode_seconds,
+            governor_switches=int(fields.get("governor_switches", 0)),
+            final_soc=fields.get("final_soc", float("nan")),
+            projected_hours=fields.get("projected_hours", float("nan")),
+            link_stats=link_stats,
+        )
+        return ServeMessage("report-ack", self.patient_id, t_s=msg.t_s)
+
+
+@dataclass
+class ReplayReport:
+    """What a :class:`JournalReplayer` run produced."""
+
+    #: Merged fleet summary (``to_json`` is the byte-identity oracle).
+    summary: object
+    #: Per-patient rows in cohort order.
+    rows: dict[str, ShardPatientRow]
+    #: Total packets the original schedulers sent (from reports).
+    packets_sent: int
+    #: Packets dropped at session gateway queues during replay.
+    dropped_packets: int
+    #: Fleet-level link counters folded from ``stats`` records.
+    link_stats: dict[str, int]
+    #: Records / packet frames / control frames consumed.
+    n_records: int = 0
+    n_packets: int = 0
+    n_messages: int = 0
+    #: Journals merged into this replay.
+    n_journals: int = 0
+    #: Torn-tail bytes skipped across all source journals.
+    torn_tail_bytes: int = 0
+    #: Wall-clock accounting of the replay.
+    timings_s: dict = field(default_factory=dict)
+
+
+class _ReplayPatient:
+    """Minimal cohort stand-in when replaying without profiles."""
+
+    def __init__(self, patient_id: str):
+        self.patient_id = patient_id
+
+
+class JournalReplayer:
+    """Stream journals back through fresh per-patient gateway cores.
+
+    ``sources`` is one :class:`JournalConfig` or a sequence of them
+    (e.g. the N per-shard journals of a sharded run); multiple sources
+    are merged by the writer stamps ``(t_s, prio, journal, ordinal)``
+    — the kernel's total event order.  ``cohort`` may be omitted for
+    journals that carry ``hello`` records (in-process and sharded
+    runs); served journals never log hellos, so their cohort order —
+    which the float-summing merge depends on — must be passed
+    explicitly.
+    """
+
+    def __init__(
+        self,
+        sources: JournalConfig | Iterable[JournalConfig],
+        cohort=None,
+        gateway_config: GatewayConfig | None = None,
+        duration_s: float | None = None,
+        fs: float | None = None,
+    ):
+        if isinstance(sources, JournalConfig):
+            sources = [sources]
+        self.sources = list(sources)
+        if not self.sources:
+            raise JournalError("replayer needs at least one journal source")
+        self.cohort = list(cohort) if cohort is not None else None
+        self.gateway_config = gateway_config
+        self.duration_s = duration_s
+        self.fs = fs
+
+    def run(self) -> ReplayReport:
+        """Replay the journals and fold a merged ``FleetSummary``."""
+        t_start = perf_counter()
+        readers = [JournalReader(config) for config in self.sources]
+        meta = readers[0].meta
+        duration_s = self.duration_s
+        if duration_s is None:
+            duration_s = meta.get("duration_s")
+        if duration_s is None:
+            raise JournalError(
+                "duration_s is neither in the journal metadata nor given"
+            )
+        fs = self.fs if self.fs is not None else meta.get("fs")
+        if fs is None:
+            raise JournalError("fs is neither in the journal metadata nor given")
+        gateway_config = self.gateway_config
+        if gateway_config is None:
+            raw = meta.get("gateway")
+            gateway_config = (
+                GatewayConfig(**raw) if raw is not None else GatewayConfig()
+            )
+
+        sessions: dict[str, GatewaySession] = {}
+        per_source: list[dict[str, GatewaySession]] = [{} for _ in readers]
+        hello_order: dict[str, int] = {}
+        link_stats: dict[str, int] = {}
+        n_packets = 0
+        n_messages = 0
+
+        def session_for(pid: str, source: int) -> GatewaySession:
+            session = sessions.get(pid)
+            if session is None:
+                session = GatewaySession(pid, gateway_config)
+                sessions[pid] = session
+            per_source[source].setdefault(pid, session)
+            return session
+
+        def stream(source: int, reader: JournalReader):
+            for ordinal, record in enumerate(reader.records()):
+                yield (record.t_s, record.prio, source, ordinal, record)
+
+        streams = [stream(i, reader) for i, reader in enumerate(readers)]
+        for t_s, prio, source, ordinal, record in heapq.merge(*streams):
+            try:
+                if frame_kind(record.frame) == "packet":
+                    session = session_for(record.subject, source)
+                    session.gateway.ingest(record.frame)
+                    session.n_frames += 1
+                    n_packets += 1
+                    continue
+                msg = decode_message(record.frame)
+                n_messages += 1
+                if msg.kind == "hello":
+                    index = int(msg.fields.get("index", len(hello_order)))
+                    hello_order.setdefault(msg.patient_id, index)
+                    session_for(msg.patient_id, source)
+                elif msg.kind == "stats":
+                    for key, value in msg.fields.items():
+                        if key.startswith("link:"):
+                            name = key[5:]
+                            link_stats[name] = link_stats.get(name, 0) + int(
+                                value
+                            )
+                elif msg.patient_id == "":
+                    for session in per_source[source].values():
+                        session.handle_message(msg)
+                else:
+                    session_for(msg.patient_id, source).handle_message(msg)
+            except (WireFormatError, KernelError) as exc:
+                raise JournalError(
+                    f"replay failed at record {ordinal} of journal "
+                    f"{self.sources[source].name!r}: {exc}"
+                ) from exc
+        t_replayed = perf_counter()
+
+        cohort = self.cohort
+        if cohort is None:
+            if hello_order:
+                ordered = sorted(
+                    hello_order.items(), key=lambda item: (item[1], item[0])
+                )
+                cohort = [_ReplayPatient(pid) for pid, _ in ordered]
+            else:
+                raise JournalError(
+                    "journal carries no hello records; pass the cohort "
+                    "explicitly (served journals require it)"
+                )
+        rows = {
+            pid: session.row
+            for pid, session in sessions.items()
+            if session.row is not None
+        }
+        dropped = sum(s.gateway.dropped for s in sessions.values())
+        try:
+            summary = merge_patient_rows(
+                cohort, rows, gateway_config, duration_s, fs, dropped=dropped
+            )
+        except (KeyError, WireFormatError) as exc:
+            raise JournalError(f"journal replay fold failed: {exc}") from exc
+        t_done = perf_counter()
+        ordered_rows = {
+            profile.patient_id: rows[profile.patient_id]
+            for profile in cohort
+            if profile.patient_id in rows
+        }
+        return ReplayReport(
+            summary=summary,
+            rows=ordered_rows,
+            packets_sent=sum(row.n_sent for row in rows.values()),
+            dropped_packets=dropped,
+            link_stats=link_stats,
+            n_records=sum(reader.n_records for reader in readers),
+            n_packets=n_packets,
+            n_messages=n_messages,
+            n_journals=len(readers),
+            torn_tail_bytes=sum(r.torn_tail_bytes for r in readers),
+            timings_s={
+                "replay": t_replayed - t_start,
+                "merge": t_done - t_replayed,
+                "total": t_done - t_start,
+            },
+        )

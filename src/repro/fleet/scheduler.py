@@ -58,6 +58,7 @@ from .kernel import (
 )
 from .node_proxy import PACKET_EXCERPT, NodeProxy, NodeProxyConfig, UplinkPacket
 from .triage import FleetSummary, TriageBoard, fleet_summary
+from .wire import ServeMessage
 
 #: Simulation clocks :class:`SchedulerConfig.engine` may name.
 ENGINES = ("kernel", "ticks")
@@ -326,6 +327,20 @@ class FleetScheduler:
             gateway (unless the gateway already carries its own).  All
             instrumentation is out-of-band: run results are
             byte-identical with and without it.
+        journal: Optional
+            :class:`~repro.fleet.journal.JournalWriter`.  When given,
+            it is attached to the gateway (every delivered packet frame
+            is logged at ingest) and the scheduler interleaves the
+            control records — ``hello`` / ``period`` at start,
+            ``expire`` / ``drain`` / ``sweep`` per sweep, the endgame
+            ``flush`` / ``drain`` / ``sweep`` and per-patient
+            ``report`` rows plus a fleet ``stats`` record — that make
+            the log a complete, replayable transcript of the run
+            (duck-typed; this module never imports the journal).
+        journal_indexes: Per-patient global cohort positions stamped
+            into the journal's ``hello`` records; shard workers pass
+            their stripe's global indexes so merged shard journals
+            recover the full cohort order (default: local order).
     """
 
     def __init__(self, cohort: list[PatientProfile],
@@ -339,7 +354,9 @@ class FleetScheduler:
                  governor_factory: GovernorFactory | None = None,
                  extra_load: ExtraLoad | None = None,
                  acuity_override: AcuityOverride | None = None,
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 journal=None,
+                 journal_indexes: dict[str, int] | None = None) -> None:
         if not cohort:
             raise ValueError("cohort must not be empty")
         self.cohort = cohort
@@ -375,14 +392,30 @@ class FleetScheduler:
         #: impairment) — the per-patient split of ``packets_sent``,
         #: which shard workers report row by row.
         self.sent_by_patient: dict[str, int] = {}
+        self.journal = journal
+        self.journal_indexes = journal_indexes or {}
+        #: Virtual time of the sweep being journaled (set by the
+        #: reassembly phase, read by the drain phase's record).
+        self._journal_now_s = 0.0
+        if journal is not None:
+            self.gateway.attach_journal(journal)
 
     def run(self) -> FleetReport:
         """Simulate the full stretch and return the fleet report."""
         cfg = self.config
         t_start = time.perf_counter()
         self.board.register(p.patient_id for p in self.cohort)
+        if self.journal is not None:
+            for i, profile in enumerate(self.cohort):
+                pid = profile.patient_id
+                index = self.journal_indexes.get(pid, i)
+                self.journal.append_message(ServeMessage(
+                    "hello", pid, fields={"index": float(index)}))
         for pid, period in sorted(self._uplink_overrides.items()):
             self.board.set_expected_period(pid, period)
+            if self.journal is not None:
+                self.journal.append_message(ServeMessage(
+                    "period", pid, fields={"period_s": period}))
 
         # Phase 1 — per-patient node processing (parallelizable).
         def node_phase(profile: PatientProfile,
@@ -428,12 +461,31 @@ class FleetScheduler:
         if self.link is not None:  # packets still in flight land now
             for packet in self.link.drain():
                 self._ingest(packet)
+        if self.journal is not None:
+            self.journal.append_message(ServeMessage(
+                "flush", "", t_s=cfg.duration_s))
         self.gateway.flush_reassembly()
+        if self.journal is not None:
+            self.journal.append_message(ServeMessage(
+                "drain", "", t_s=cfg.duration_s,
+                fields={"budget": -1.0}))
         for excerpt in self.gateway.drain():  # leftovers from budgeting
             self.board.observe(excerpt)
             state.excerpts.append(excerpt)
+        if self.journal is not None:
+            self.journal.append_message(ServeMessage(
+                "sweep", "", t_s=cfg.duration_s))
         self.board.tick(cfg.duration_s)
         self._fold_governed_power(reports)
+        if self.journal is not None:
+            for profile in self.cohort:
+                self.journal.append_message(
+                    self.report_message(profile.patient_id, reports))
+            link_stats = dict(getattr(self.link, "stats", {}) or {})
+            self.journal.append_message(ServeMessage(
+                "stats", "", t_s=cfg.duration_s,
+                fields={f"link:{key}": float(value)
+                        for key, value in link_stats.items()}))
         t_end = time.perf_counter()
 
         summary = fleet_summary(reports, self.gateway, self.board,
@@ -458,6 +510,49 @@ class FleetScheduler:
             governors=dict(self.governors),
             kernel_stats=state.kernel_stats,
         )
+
+    def report_message(self, pid: str,
+                       reports: dict[str, NodeReport]) -> ServeMessage:
+        """Build one patient's end-of-run ``report`` message.
+
+        The single construction of the node-side row aggregates, shared
+        by the serve client (which ships it over the wire) and the
+        journal (which logs it as the run's last per-patient record).
+        Field names mirror
+        :class:`~repro.fleet.sharding.ShardPatientRow` exactly;
+        governor dwell times go out as ``mode:<name>`` keys *in
+        insertion order* (the codec preserves it), so the fleet-wide
+        mode-seconds fold downstream sums in the same order as the
+        in-process engine — float-exactly.
+        """
+        report = reports[pid]
+        governor = self.governors.get(pid)
+        fields: dict[str, float] = {
+            "n_sent": float(self.sent_by_patient.get(pid, 0)),
+            "n_node_alarms": float(len(report.alarms)),
+            "average_power_w": report.average_power_w,
+            "battery_days": report.battery_days,
+            "governor_switches": float(
+                governor.n_switches if governor is not None else 0),
+            "final_soc": (governor.battery.soc
+                          if governor is not None else float("nan")),
+            "projected_hours": (governor.projected_hours_to_empty()
+                                if governor is not None
+                                else float("nan")),
+        }
+        if governor is not None:
+            for mode, seconds in governor.mode_seconds.items():
+                fields[f"mode:{mode}"] = seconds
+        # Duck-typed: only the per-patient scenario link
+        # (repro.fleet.sharding.PerPatientLink) carries stats_for; a
+        # shared ImpairedLink's totals ride the fleet `stats` record.
+        stats_for = getattr(self.link, "stats_for", None)
+        link_stats = stats_for(pid) if stats_for is not None else {}
+        for key, value in link_stats.items():
+            fields[f"link:{key}"] = float(value)
+        return ServeMessage(
+            "report", pid, t_s=self.config.duration_s, fields=fields,
+            info={"governed": "1" if governor is not None else "0"})
 
     # ------------------------------------------------------------------
     # Phase methods shared by both engines.  The tick loop calls them
@@ -491,16 +586,29 @@ class FleetScheduler:
 
     def _phase_reassembly(self, now: float) -> None:
         """Expire reassembly gaps stalled past the configured grace."""
+        if self.journal is not None:
+            self.journal.append_message(ServeMessage(
+                "expire", "", t_s=now))
+            self._journal_now_s = now
         self.gateway.expire_reassembly(now)
 
     def _phase_drain(self, state: _RunState) -> None:
         """Drain the gateway queue (per-sweep budget) into triage."""
+        if self.journal is not None:
+            budget = self.config.drain_per_tick
+            self.journal.append_message(ServeMessage(
+                "drain", "", t_s=self._journal_now_s,
+                fields={"budget": (-1.0 if budget is None
+                                   else float(budget))}))
         for excerpt in self.gateway.drain(self.config.drain_per_tick):
             self.board.observe(excerpt)
             state.excerpts.append(excerpt)
 
     def _phase_triage(self, now: float, state: _RunState) -> None:
         """Decay triage states and close the sweep's trace record."""
+        if self.journal is not None:
+            self.journal.append_message(ServeMessage(
+                "sweep", "", t_s=now))
         self.board.tick(now)
         if self.obs is not None and self.obs.trace is not None:
             self.obs.trace.instant(

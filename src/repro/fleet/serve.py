@@ -68,14 +68,14 @@ from dataclasses import dataclass, field, replace
 from ..classification.afib import AfDetector
 from ..obs import Observability, SCOPE_SERVE
 from .cohort import PatientProfile
-from .gateway import Gateway, GatewayConfig
-from .kernel import PRIO_DRAIN, PRIO_REASSEMBLY, PRIO_TRIAGE, \
-    EventKernel, KernelError
+from .gateway import GatewayConfig
+from .journal import GatewaySession, JournalConfig, JournalWriter, \
+    journal_meta
 from .node_proxy import NodeProxyConfig
 from .scheduler import SchedulerConfig
 from .sharding import ShardHookFactory, ShardHooks, ShardPatientRow, \
     merge_patient_rows
-from .triage import FleetSummary, TriageBoard
+from .triage import FleetSummary
 from .wire import (
     MAX_FRAME_BYTES,
     ServeMessage,
@@ -117,6 +117,12 @@ class ServeConfig:
             production; tests raise it to saturate the bounded queue
             and prove the no-loss backpressure path.
         gateway: Gateway parameters every patient session runs with.
+        journal: When given, the server opens one shared
+            :class:`~repro.fleet.journal.JournalWriter` and every
+            session logs its ingested packet frames and state-bearing
+            commands there — across reconnects, each frame exactly
+            once.  The merged log replays byte-identical to the served
+            run (see :mod:`repro.fleet.journal`).
     """
 
     host: str = "127.0.0.1"
@@ -126,6 +132,7 @@ class ServeConfig:
     max_frame_bytes: int = MAX_FRAME_BYTES
     throttle_s: float = 0.0
     gateway: GatewayConfig = field(default_factory=GatewayConfig)
+    journal: JournalConfig | None = None
 
     def __post_init__(self) -> None:
         """Reject unusable parameters up front."""
@@ -163,157 +170,28 @@ class _ServeMetrics:
             scope=SCOPE_SERVE)
 
 
-class _PatientSession:
+class _PatientSession(GatewaySession):
     """Server-side state of one patient: gateway, triage, virtual clock.
 
-    Replays the exact call sequence the in-process scheduler would make
-    on a local :class:`~repro.fleet.Gateway` / :class:`TriageBoard`
-    pair, driven by the client's command stream.  The per-session
-    :class:`~repro.fleet.kernel.EventKernel` pins every timed command
-    to the session's virtual clock, so its no-time-travel guard
-    enforces monotone command order across the whole connection — and
-    across reconnects, because the session outlives the socket.
+    The state machine itself lives in
+    :class:`~repro.fleet.journal.GatewaySession` — it replays the exact
+    call sequence the in-process scheduler would make on a local
+    gateway/board pair, driven by the client's command stream, and the
+    journal replayer drives the identical class from a log.  This
+    subclass adds only the serving concerns: the lane executor the
+    session is pinned to, and the (optional) shared journal writer.
+    The per-session :class:`~repro.fleet.kernel.EventKernel` pins every
+    timed command to the session's virtual clock, so its
+    no-time-travel guard enforces monotone command order across the
+    whole connection — and across reconnects, because the session
+    outlives the socket.
     """
 
     def __init__(self, patient_id: str, config: ServeConfig,
-                 lane: ThreadPoolExecutor) -> None:
-        self.patient_id = patient_id
+                 lane: ThreadPoolExecutor,
+                 journal: JournalWriter | None = None) -> None:
+        super().__init__(patient_id, config.gateway, journal=journal)
         self.lane = lane
-        self.gateway = Gateway(config.gateway)
-        self.board = TriageBoard()
-        self.board.register([patient_id])
-        self.kernel = EventKernel()
-        #: Gateway outputs drained so far (excerpts, alarms, telemetry
-        #: — every packet that reached triage).
-        self.n_reconstructed = 0
-        #: Packet frames ingested so far.
-        self.n_frames = 0
-        #: End-of-run row, set by the ``report`` command.
-        self.row: ShardPatientRow | None = None
-
-    def handle_frame(self, body: bytes) -> tuple[list[bytes], bool]:
-        """Process one stream-frame body; return (replies, close).
-
-        Runs on the session's lane executor, strictly ordered per
-        session.  Protocol or clock violations
-        (:class:`~repro.fleet.wire.WireFormatError`,
-        :class:`~repro.fleet.kernel.KernelError`) become an ``error``
-        downlink plus a close — the session itself survives for a
-        corrected reconnect.
-        """
-        try:
-            if frame_kind(body) == "packet":
-                self.gateway.ingest(body)
-                self.n_frames += 1
-                return [], False
-            return self._handle_message(decode_message(body))
-        except (WireFormatError, KernelError) as exc:
-            reply = ServeMessage("error", self.patient_id,
-                                 info={"error": str(exc)})
-            return [encode_message(reply)], True
-
-    def _handle_message(self, msg: ServeMessage,
-                        ) -> tuple[list[bytes], bool]:
-        """Dispatch one control message to its phase handler."""
-        if msg.kind == "expire":
-            self._run_at(msg.t_s, PRIO_REASSEMBLY, "serve.expire",
-                         lambda: self.gateway.expire_reassembly(msg.t_s))
-            return [], False
-        if msg.kind == "drain":
-            self._on_drain(msg)
-            return [], False
-        if msg.kind == "sweep":
-            return [encode_message(self._on_sweep(msg))], False
-        if msg.kind == "flush":
-            self.gateway.flush_reassembly()
-            return [], False
-        if msg.kind == "period":
-            self.board.set_expected_period(
-                self.patient_id, msg.fields.get("period_s", float("nan")))
-            return [], False
-        if msg.kind == "report":
-            return [encode_message(self._on_report(msg))], False
-        if msg.kind == "bye":
-            return [], True
-        raise WireFormatError(f"unknown serve command {msg.kind!r}")
-
-    def _run_at(self, t_s: float, priority: int, name: str,
-                action) -> None:
-        """Schedule one command on the session clock and fire it.
-
-        The schedule/run pair (rather than a bare call) is what makes
-        the kernel's no-time-travel guard the protocol's ordering
-        check: a command stamped behind the session's virtual time
-        raises :class:`~repro.fleet.kernel.KernelError`.
-        """
-        self.kernel.schedule(t_s, priority, name, action,
-                             subject=self.patient_id)
-        self.kernel.run()
-
-    def _on_drain(self, msg: ServeMessage) -> None:
-        """Drain the session gateway into triage (scheduler phase)."""
-        t_s = self.kernel.advance_to(msg.t_s)
-        budget = int(msg.fields.get("budget", -1.0))
-        max_packets = None if budget < 0 else budget
-
-        def act() -> None:
-            for excerpt in self.gateway.drain(max_packets):
-                self.board.observe(excerpt)
-                self.n_reconstructed += 1
-
-        self._run_at(t_s, PRIO_DRAIN, "serve.drain", act)
-
-    def _on_sweep(self, msg: ServeMessage) -> ServeMessage:
-        """Tick the triage board; return the ``feedback`` downlink.
-
-        The feedback carries everything the client's governor loop
-        reads next tick: post-sweep triage state, the board's view of
-        the node's operating mode, the alert count (alert acks) and the
-        last battery telemetry.
-        """
-        self._run_at(msg.t_s, PRIO_TRIAGE, "serve.sweep",
-                     lambda: self.board.tick(msg.t_s))
-        patient = self.board.patient(self.patient_id)
-        return ServeMessage(
-            "feedback", self.patient_id, t_s=msg.t_s,
-            fields={"n_alerts": float(patient.n_alerts),
-                    "soc": patient.soc},
-            info={"state": patient.state, "mode": patient.mode})
-
-    def _on_report(self, msg: ServeMessage) -> ServeMessage:
-        """Fold the client's end-of-run numbers into the session row.
-
-        The client reports exactly the node-side aggregates a shard
-        worker would (sent counts, node alarms, governed power/battery,
-        governor dwell in insertion order, link counters); the session
-        contributes its gateway channel, triage machine and
-        reconstruction count.  Together they form the same
-        :class:`~repro.fleet.sharding.ShardPatientRow` the sharded
-        runtime merges — which is why the served summary is
-        byte-identical by construction.
-        """
-        fields = msg.fields
-        mode_seconds = {key[5:]: value for key, value in fields.items()
-                        if key.startswith("mode:")}
-        link_stats = {key[5:]: int(value)
-                      for key, value in fields.items()
-                      if key.startswith("link:")}
-        self.row = ShardPatientRow(
-            patient_id=self.patient_id,
-            n_sent=int(fields.get("n_sent", 0)),
-            n_reconstructed=self.n_reconstructed,
-            n_node_alarms=int(fields.get("n_node_alarms", 0)),
-            average_power_w=fields.get("average_power_w", float("nan")),
-            battery_days=fields.get("battery_days", float("nan")),
-            channel=self.gateway.channels.get(self.patient_id),
-            triage=self.board.patients[self.patient_id],
-            governed=msg.info.get("governed") == "1",
-            mode_seconds=mode_seconds,
-            governor_switches=int(fields.get("governor_switches", 0)),
-            final_soc=fields.get("final_soc", float("nan")),
-            projected_hours=fields.get("projected_hours", float("nan")),
-            link_stats=link_stats)
-        return ServeMessage("report-ack", self.patient_id, t_s=msg.t_s)
 
 
 class FleetGatewayServer:
@@ -344,6 +222,12 @@ class FleetGatewayServer:
         self.sessions: dict[str, _PatientSession] = {}
         #: Highest frame-queue depth observed on any connection.
         self.max_queue_depth = 0
+        #: Highest partial-frame byte count buffered by any
+        #: connection's stream decoder (frames split across reads).
+        self.max_partial_bytes = 0
+        #: Shared journal writer, open while the server runs (``None``
+        #: without :attr:`ServeConfig.journal`).
+        self.journal: JournalWriter | None = None
         self._counts: dict[str, int] = {}
         self._active: set[str] = set()
         self._lanes = [ThreadPoolExecutor(max_workers=1)
@@ -359,6 +243,14 @@ class FleetGatewayServer:
         """Bind the listener and run the loop on a background thread."""
         if self._thread is not None:
             return self
+        if self.config.journal is not None and self.journal is None:
+            # The server knows its gateway parameters but not the
+            # clients' schedule; a replayer of a served journal passes
+            # duration/fs (and the cohort order) explicitly.
+            self.journal = JournalWriter(
+                self.config.journal,
+                meta=journal_meta(gateway=self.config.gateway),
+                obs=self.obs, resume=False)
         ready = threading.Event()
         self._thread = threading.Thread(
             target=self._run_loop, args=(ready,), daemon=True,
@@ -380,6 +272,8 @@ class FleetGatewayServer:
         self._thread = None
         for lane in self._lanes:
             lane.shutdown(wait=True)
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "FleetGatewayServer":
         """Start on entry (no-op when already running)."""
@@ -402,13 +296,17 @@ class FleetGatewayServer:
 
     def stats(self) -> dict:
         """JSON-safe service counters (connections, frames, queues)."""
-        return {
+        stats = {
             "connections": dict(sorted(self._counts.items())),
             "sessions": len(self.sessions),
             "frames": sum(s.n_frames for s in self.sessions.values()),
             "max_queue_depth": self.max_queue_depth,
+            "max_partial_bytes": self.max_partial_bytes,
             "n_lanes": len(self._lanes),
         }
+        if self.journal is not None:
+            stats["journal"] = self.journal.stats()
+        return stats
 
     def _run_loop(self, ready: threading.Event) -> None:
         """Background thread body: bind, serve, tear down."""
@@ -452,7 +350,8 @@ class FleetGatewayServer:
             return session, True
         lane = self._lanes[self._next_lane % len(self._lanes)]
         self._next_lane += 1
-        session = _PatientSession(patient_id, self.config, lane)
+        session = _PatientSession(patient_id, self.config, lane,
+                                  journal=self.journal)
         self.sessions[patient_id] = session
         return session, False
 
@@ -529,6 +428,7 @@ class FleetGatewayServer:
             if not chunk:
                 raise ConnectionError("peer closed before hello")
             frames = decoder.feed(chunk)
+            self._note_partial(decoder)
             if not frames:
                 continue
             first, backlog = frames[0], frames[1:]
@@ -556,7 +456,9 @@ class FleetGatewayServer:
                 chunk = await reader.read(RECV_CHUNK)
                 if not chunk:
                     break
-                for body in decoder.feed(chunk):
+                frames = decoder.feed(chunk)
+                self._note_partial(decoder)
+                for body in frames:
                     await queue.put(body)
                     self._note_depth(queue, pid)
             await queue.put(None)
@@ -570,6 +472,19 @@ class FleetGatewayServer:
             self.max_queue_depth = depth
         if self._m is not None:
             self._m.queue_depth.set(float(depth), patient=pid)
+
+    def _note_partial(self, decoder: StreamDecoder) -> None:
+        """Track the partial-frame buffer high-water mark.
+
+        :attr:`~repro.fleet.wire.StreamDecoder.pending_bytes` counts
+        frame bytes buffered mid-frame after a feed — the same
+        accounting the journal writer's record framing relies on, so a
+        frame is journaled exactly once no matter how the socket
+        chunks it.
+        """
+        pending = decoder.pending_bytes
+        if pending > self.max_partial_bytes:
+            self.max_partial_bytes = pending
 
     async def _consume(self, queue: asyncio.Queue,
                        writer: asyncio.StreamWriter,

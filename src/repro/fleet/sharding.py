@@ -617,7 +617,8 @@ def _run_shard(shard_index: int, profiles: list[PatientProfile],
                gateway_config: GatewayConfig, master_seed: int,
                hook_factory: ShardHookFactory | None,
                af_detector: AfDetector | None,
-               obs_config: ObsConfig | None = None) -> bytes:
+               obs_config: ObsConfig | None = None,
+               journal_config=None, n_shards: int = 1) -> bytes:
     """Worker body: run one shard's scheduler, return its wire blob.
 
     Module-level so a :class:`~concurrent.futures.ProcessPoolExecutor`
@@ -626,10 +627,32 @@ def _run_shard(shard_index: int, profiles: list[PatientProfile],
     The live :class:`~repro.obs.Observability` bundle is built *here*
     from the picklable ``obs_config`` and returns as a JSON snapshot in
     the blob's v2 trailer.
+
+    With a ``journal_config``
+    (:class:`~repro.fleet.journal.JournalConfig`), the worker writes
+    its stripe's transcript to the per-shard journal
+    (``config.for_shard(shard_index)``), stamping each patient's
+    ``hello`` with its *global* cohort index (stripe ``i`` of ``n``
+    holds ``cohort[i::n]``, so local slot ``j`` is global ``i + j*n``)
+    — which is how a replayer of all N journals recovers the full
+    cohort order without being told it.
     """
     hooks = (hook_factory(profiles, master_seed)
              if hook_factory is not None else ShardHooks())
     obs = Observability.from_config(obs_config)
+    journal = None
+    if journal_config is not None:
+        # Deferred import: the journal module imports this one for the
+        # merge path, so sharding must not import it at module scope.
+        from .journal import JournalWriter, journal_meta
+
+        journal = JournalWriter(
+            journal_config.for_shard(shard_index),
+            meta=journal_meta(config.duration_s, config.fs,
+                              gateway_config),
+            obs=obs, resume=False)
+    indexes = {profile.patient_id: shard_index + j * n_shards
+               for j, profile in enumerate(profiles)}
     scheduler = FleetScheduler(
         profiles, config, node_config=node_config,
         gateway=Gateway(gateway_config, obs=obs),
@@ -637,8 +660,13 @@ def _run_shard(shard_index: int, profiles: list[PatientProfile],
         link=hooks.link, record_transform=hooks.record_transform,
         governor_factory=hooks.governor_factory,
         extra_load=hooks.extra_load,
-        acuity_override=hooks.acuity_override, obs=obs)
-    fleet = scheduler.run()
+        acuity_override=hooks.acuity_override, obs=obs,
+        journal=journal, journal_indexes=indexes)
+    try:
+        fleet = scheduler.run()
+    finally:
+        if journal is not None:
+            journal.close()
     if obs is not None:
         wall = obs.metrics.gauge(
             "shard_wall_seconds",
@@ -714,6 +742,11 @@ class ShardedFleetRunner:
             bundle from it and ships a snapshot home in the blob; the
             parent merges them (plus its own merge-cost gauges) into
             :attr:`ShardedFleetReport.obs_bundle`.
+        journal: Optional :class:`~repro.fleet.journal.JournalConfig`.
+            Each worker writes its stripe's transcript to the derived
+            per-shard journal (``journal.for_shard(i)``); replaying all
+            N journals merged reproduces this run's summary
+            byte-identically (see :mod:`repro.fleet.journal`).
     """
 
     def __init__(self, cohort: list[PatientProfile], n_shards: int = 4,
@@ -723,7 +756,8 @@ class ShardedFleetRunner:
                  master_seed: int = 2014,
                  hook_factory: ShardHookFactory | None = None,
                  af_detector: AfDetector | None = None,
-                 obs_config: ObsConfig | None = None) -> None:
+                 obs_config: ObsConfig | None = None,
+                 journal=None) -> None:
         self.shards = partition_cohort(cohort, n_shards)
         self.cohort = list(cohort)
         self.config = config or SchedulerConfig()
@@ -733,6 +767,7 @@ class ShardedFleetRunner:
         self.hook_factory = hook_factory
         self.af_detector = af_detector
         self.obs_config = obs_config
+        self.journal = journal
 
     @property
     def n_shards(self) -> int:
@@ -744,7 +779,8 @@ class ShardedFleetRunner:
         t_start = time.perf_counter()
         tasks = [(i, profiles, self.config, self.node_config,
                   self.gateway_config, self.master_seed,
-                  self.hook_factory, self.af_detector, self.obs_config)
+                  self.hook_factory, self.af_detector, self.obs_config,
+                  self.journal, len(self.shards))
                  for i, profiles in enumerate(self.shards)]
         if len(tasks) == 1:
             blobs = [_run_shard(*tasks[0])]

@@ -18,7 +18,9 @@ schema and flight-recorder dump format.
 from repro.obs.context import (Observability, ObsConfig,
                                canonical_bundle_json, canonical_view,
                                merge_bundles)
-from repro.obs.flight import (ANOMALY_ALARM_BURST, ANOMALY_NAN_GUARD,
+from repro.obs.flight import (ANOMALY_ALARM_BURST,
+                              ANOMALY_JOURNAL_TRUNCATED,
+                              ANOMALY_NAN_GUARD,
                               ANOMALY_REASSEMBLY_STALL,
                               ANOMALY_WIRE_ERROR, AnomalyRecord,
                               FlightRecorder, load_flight_dump)
@@ -34,6 +36,7 @@ from repro.obs.trace import (KIND_INSTANT, KIND_SPAN, TraceError,
 
 __all__ = [
     "ANOMALY_ALARM_BURST",
+    "ANOMALY_JOURNAL_TRUNCATED",
     "ANOMALY_NAN_GUARD",
     "ANOMALY_REASSEMBLY_STALL",
     "ANOMALY_WIRE_ERROR",

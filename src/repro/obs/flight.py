@@ -30,6 +30,7 @@ ANOMALY_REASSEMBLY_STALL = "reassembly-stall"
 ANOMALY_NAN_GUARD = "nan-guard"
 ANOMALY_ALARM_BURST = "alarm-burst"
 ANOMALY_WIRE_ERROR = "wire-error"
+ANOMALY_JOURNAL_TRUNCATED = "journal-truncated"
 
 
 @dataclass

@@ -1,0 +1,93 @@
+"""CLI: ``python -m repro.scenarios`` — run a (resumable) campaign.
+
+Runs a scenario grid over a reproducible cohort and prints the
+campaign table.  With ``--journal-dir`` every scenario's gateway
+traffic is journaled to crash-safe segments, which unlocks the stage
+checkpoints: ``--stop-after`` ends the run early and ``--start-from``
+resumes a later run by *replaying* the already-journaled scenarios
+instead of re-simulating them (byte-identical by the journal replay
+contract — see ``docs/journal.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .campaign import CampaignConfig, CampaignRunner
+from .spec import default_grid, governed_grid
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse the CLI, run (or resume) the campaign, emit the report."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Scenario campaign runner with journal-backed "
+                    "stage checkpoints (see docs/journal.md)")
+    parser.add_argument("--patients", type=int, default=8,
+                        help="cohort size incl. sentinels (default 8)")
+    parser.add_argument("--sentinels", type=int, default=1,
+                        help="clean-AF sentinel patients (default 1)")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="seconds simulated per patient (default 60)")
+    parser.add_argument("--seed", type=int, default=2014,
+                        help="campaign master seed (default 2014)")
+    parser.add_argument("--gateway-n-iter", type=int, default=80,
+                        help="gateway FISTA iteration budget (default 80)")
+    parser.add_argument("--grid", choices=("default", "governed"),
+                        default="default",
+                        help="scenario grid to sweep (default: default)")
+    parser.add_argument("--scenarios", default=None,
+                        help="comma-separated subset of the grid "
+                             "(grid order preserved; default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the grid's scenario names and exit")
+    parser.add_argument("--journal-dir", default=None,
+                        help="journal every scenario's gateway traffic "
+                             "here (enables --start-from/--stop-after)")
+    parser.add_argument("--start-from", default=None, metavar="NAME",
+                        help="first scenario to simulate; earlier ones "
+                             "replay from --journal-dir segments")
+    parser.add_argument("--stop-after", default=None, metavar="NAME",
+                        help="stop after this scenario completes")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the report JSON to this file")
+    args = parser.parse_args(argv)
+
+    make_grid = governed_grid if args.grid == "governed" else default_grid
+    grid = make_grid(args.duration)
+    if args.list:
+        for spec in grid:
+            print(f"{spec.name:<16} {spec.description}")
+        return 0
+    if args.scenarios:
+        wanted = [name.strip() for name in args.scenarios.split(",")
+                  if name.strip()]
+        known = {spec.name for spec in grid}
+        unknown = [name for name in wanted if name not in known]
+        if unknown:
+            parser.error(f"unknown scenarios {unknown}; grid has "
+                         f"{sorted(known)}")
+        grid = tuple(spec for spec in grid if spec.name in wanted)
+
+    config = CampaignConfig(
+        n_patients=args.patients,
+        n_sentinels=args.sentinels,
+        duration_s=args.duration,
+        master_seed=args.seed,
+        gateway_n_iter=args.gateway_n_iter,
+        governed=args.grid == "governed",
+        journal_dir=args.journal_dir,
+    )
+    report = CampaignRunner(grid, config).run(
+        start_from=args.start_from, stop_after=args.stop_after)
+    print(report.describe())
+    if args.out is not None:
+        args.out.write_text(report.to_json() + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

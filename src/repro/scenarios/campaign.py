@@ -37,6 +37,13 @@ import numpy as np
 from ..classification.afib import AfDetector
 from ..fleet.cohort import CohortConfig, PatientProfile, make_cohort
 from ..fleet.gateway import Gateway, GatewayConfig
+from ..fleet.journal import (
+    JournalConfig,
+    JournalReplayer,
+    JournalWriter,
+    ReplayReport,
+    journal_meta,
+)
 from ..fleet.node_proxy import NodeProxyConfig
 from ..fleet.scheduler import FleetReport, FleetScheduler, SchedulerConfig
 from ..fleet.sharding import PerPatientLink, ShardedFleetRunner, ShardHooks
@@ -122,6 +129,17 @@ class CampaignConfig:
             loop).  The two are byte-identical by contract (tested);
             the knob exists so that contract can be asserted at
             campaign level against the pinned PR-2 goldens.
+        journal_dir: Opt-in durable packet log.  When set, every
+            scenario's gateway traffic is journaled to
+            ``{journal_dir}/{scenario}-NNNNNN.rpj`` segments
+            (:class:`~repro.fleet.JournalWriter`), which makes the
+            campaign *resumable*: ``run(start_from=...)`` replays
+            already-journaled scenarios through
+            :class:`~repro.fleet.JournalReplayer` instead of
+            re-simulating them, byte-identical by the replay
+            determinism contract.  Joint single-process path only —
+            mutually exclusive with ``patient_workers`` and
+            ``shard_workers``.
     """
 
     n_patients: int = 20
@@ -141,6 +159,7 @@ class CampaignConfig:
     governor_soc_span: float = 0.5
     governor_min_dwell_s: float = 0.0
     scheduler_engine: str = "kernel"
+    journal_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_patients < 1:
@@ -154,6 +173,14 @@ class CampaignConfig:
         if self.patient_workers and self.shard_workers:
             raise ValueError("patient_workers and shard_workers are "
                              "mutually exclusive sweep modes")
+        if self.journal_dir is not None:
+            if not self.journal_dir:
+                raise ValueError("journal_dir must be a non-empty path")
+            if self.patient_workers or self.shard_workers:
+                raise ValueError(
+                    "journal_dir journals the joint single-process "
+                    "path; it is mutually exclusive with "
+                    "patient_workers and shard_workers")
         if self.governor_capacity_mah <= 0:
             raise ValueError("governor_capacity_mah must be positive")
         if not 0 < self.governor_initial_soc <= 1:
@@ -591,9 +618,31 @@ class CampaignRunner:
             ))
         return profiles
 
-    def run(self) -> CampaignReport:
-        """Execute every scenario and assemble the campaign report."""
+    def run(self, start_from: str | None = None,
+            stop_after: str | None = None) -> CampaignReport:
+        """Execute every scenario and assemble the campaign report.
+
+        Args:
+            start_from: Resume checkpoint — the first scenario to
+                actually *simulate*.  Scenarios earlier in the grid are
+                replayed from their ``journal_dir`` segments (recorded
+                by a previous, possibly interrupted, run) and fold to
+                byte-identical results.  Requires
+                ``CampaignConfig.journal_dir``.
+            stop_after: Stage checkpoint — stop (and return the partial
+                report) after this scenario completes.  With
+                ``journal_dir`` set, a later run can pick up where this
+                one stopped via ``start_from``.
+        """
         cfg = self.config
+        start_idx = self._checkpoint_index(start_from, "start_from")
+        stop_idx = self._checkpoint_index(stop_after, "stop_after")
+        if stop_idx is not None and start_idx and stop_idx < start_idx:
+            raise ValueError("stop_after precedes start_from in the "
+                             "scenario grid")
+        if start_idx and cfg.journal_dir is None:
+            raise ValueError("start_from resumes from journal "
+                             "segments; set CampaignConfig.journal_dir")
         detector = self.af_detector or self._train_detector()
         cohort = self.cohort()
         report = CampaignReport(config=cfg)
@@ -604,10 +653,12 @@ class CampaignRunner:
             outcomes = self._run_decomposed(cohort, detector)
         else:
             outcomes = None
-        for spec in self.scenarios:
+        for i, spec in enumerate(self.scenarios):
             if outcomes is not None:
                 result = self._merge_scenario(spec, cohort, outcomes,
                                               clean_p50)
+            elif i < (start_idx or 0):
+                result = self._replay_scenario(spec, clean_p50)
             else:
                 result = self._run_scenario(spec, cohort, detector,
                                             clean_p50)
@@ -618,7 +669,20 @@ class CampaignRunner:
             if self.obs is not None:
                 self._note_runtimes(result)
             report.results.append(result)
+            if stop_idx is not None and i == stop_idx:
+                break
         return report
+
+    def _checkpoint_index(self, name: str | None,
+                          what: str) -> int | None:
+        """Grid position of a checkpoint scenario name (``None`` off)."""
+        if name is None:
+            return None
+        for i, spec in enumerate(self.scenarios):
+            if spec.name == name:
+                return i
+        raise ValueError(f"{what}={name!r} is not in the scenario grid "
+                         f"{[s.name for s in self.scenarios]}")
 
     def _note_runtimes(self, result: ScenarioResult) -> None:
         """Stamp wall-time attribution gauges (shard scope: wall clock
@@ -814,17 +878,33 @@ class CampaignRunner:
             seed=derive_seed(self.config.master_seed, "af-train"))
         return AfDetector().fit(list(corpus))
 
+    def _journal_config(self, spec: ScenarioSpec) -> JournalConfig:
+        """The journal segment family of one scenario's run."""
+        return JournalConfig(dir=self.config.journal_dir,
+                             name=spec.name)
+
     def _run_scenario(self, spec: ScenarioSpec,
                       cohort: list[PatientProfile],
                       detector: AfDetector,
                       clean_p50: float | None) -> ScenarioResult:
         cfg = self.config
+        gateway_config = GatewayConfig(n_iter=cfg.gateway_n_iter)
         link = (ImpairedLink(spec.link,
                              seed=derive_seed(cfg.master_seed, spec.name,
                                               "link"))
                 if spec.link.impaired else None)
         inject = _fault_injector(spec, cfg.master_seed)
         factory, extra_load, acuity_override = _governed_kit(spec, cfg)
+        journal = None
+        if cfg.journal_dir is not None:
+            # A re-run of a live scenario restarts its journal from
+            # scratch (resume=False): segments must describe exactly
+            # one run to replay byte-identically.
+            journal = JournalWriter(
+                self._journal_config(spec),
+                meta=journal_meta(cfg.duration_s, cfg.fs,
+                                  gateway_config),
+                obs=self.obs, resume=False)
         scheduler = FleetScheduler(
             cohort,
             SchedulerConfig(duration_s=cfg.duration_s, fs=cfg.fs,
@@ -833,8 +913,7 @@ class CampaignRunner:
             node_config=NodeProxyConfig(
                 excerpt_period_s=cfg.excerpt_period_s,
                 stream_telemetry=cfg.stream_telemetry),
-            gateway=Gateway(GatewayConfig(n_iter=cfg.gateway_n_iter),
-                            obs=self.obs),
+            gateway=Gateway(gateway_config, obs=self.obs),
             af_detector=detector,
             link=link,
             record_transform=inject if spec.signal_faults else None,
@@ -842,12 +921,95 @@ class CampaignRunner:
             extra_load=extra_load,
             acuity_override=acuity_override,
             obs=self.obs,
+            journal=journal,
         )
         t0 = time.perf_counter()
-        fleet = scheduler.run()
+        try:
+            fleet = scheduler.run()
+        finally:
+            if journal is not None:
+                journal.close()
         runtime = time.perf_counter() - t0
         return self._result_from(spec, fleet, scheduler, clean_p50,
                                  runtime)
+
+    def _replay_scenario(self, spec: ScenarioSpec,
+                         clean_p50: float | None) -> ScenarioResult:
+        """Fold one already-journaled scenario without re-simulating.
+
+        Streams the scenario's journal segments back through fresh
+        gateway cores (:class:`~repro.fleet.JournalReplayer`); the
+        replayed summary and rows are byte-identical to the original
+        live run's, so the folded :class:`ScenarioResult` is too.
+        """
+        t0 = time.perf_counter()
+        replay = JournalReplayer(self._journal_config(spec)).run()
+        runtime = time.perf_counter() - t0
+        return self._result_from_replay(spec, replay, clean_p50,
+                                        runtime)
+
+    def _result_from_replay(self, spec: ScenarioSpec,
+                            replay: ReplayReport,
+                            clean_p50: float | None,
+                            runtime: float) -> ScenarioResult:
+        """Map a replayed journal onto the scenario-result schema.
+
+        Mirrors :meth:`_result_from` field by field, reading from the
+        replay's merged summary and per-patient rows instead of the
+        live scheduler state.
+        """
+        summary = replay.summary
+        rows = replay.rows
+        sentinel_rows = [row for pid, row in rows.items()
+                        if pid.startswith(SENTINEL_PREFIX)]
+        sent_node = sum(row.n_node_alarms for row in sentinel_rows)
+        sent_conf = sum(row.channel.n_confirmed for row in sentinel_rows
+                        if row.channel is not None)
+        false_drop = (1.0 - min(sent_conf, sent_node) / sent_node
+                      if sent_node else 0.0)
+        delivery = (summary.confirmed_alarms / summary.node_alarms
+                    if summary.node_alarms else 1.0)
+        drop_p50 = (clean_p50 - summary.snr_p50_db
+                    if clean_p50 is not None
+                    and np.isfinite(summary.snr_p50_db) else 0.0)
+        return ScenarioResult(
+            scenario=spec.name,
+            description=spec.description,
+            n_patients=summary.n_patients,
+            duration_s=summary.duration_s,
+            packets_sent=replay.packets_sent,
+            packets_reconstructed=sum(row.n_reconstructed
+                                      for row in rows.values()),
+            node_alarms=summary.node_alarms,
+            confirmed_alarms=summary.confirmed_alarms,
+            alarm_delivery_rate=delivery,
+            sentinel_node_alarms=sent_node,
+            sentinel_confirmed_alarms=sent_conf,
+            sentinel_false_drop_rate=false_drop,
+            snr_p10_db=summary.snr_p10_db,
+            snr_p50_db=summary.snr_p50_db,
+            snr_p90_db=summary.snr_p90_db,
+            snr_drop_p50_db=drop_p50,
+            uplink_bytes_per_patient_day=
+                summary.uplink_bytes_per_patient_day,
+            state_counts=summary.state_counts,
+            stale_patients=summary.stale_patients,
+            duplicate_packets=summary.duplicate_packets,
+            reassembly_gaps=summary.reassembly_gaps,
+            queue_dropped=summary.dropped_packets,
+            link_stats=replay.link_stats,
+            runtime_s=runtime,
+            governed=summary.governed,
+            mode_seconds=dict(summary.mode_seconds),
+            governor_switches=summary.governor_switches,
+            mean_final_soc=summary.mean_final_soc,
+            telemetry_packets=sum(
+                row.channel.n_telemetry for row in rows.values()
+                if row.channel is not None),
+            unit_runtimes_s={
+                pid: runtime / max(1, summary.n_patients)
+                for pid in rows},
+        )
 
     def _result_from(self, spec: ScenarioSpec, fleet: FleetReport,
                      scheduler: FleetScheduler,

@@ -80,6 +80,10 @@ EXAMPLES = {
         ["loopback TCP", "connections:",
          "served summary byte-identical: True"],
     ),
+    "fleet_journal_replay.py": (
+        ["--patients", "3", "--duration", "60"],
+        ["journal:", "recovered:", "replay byte-identical: True"],
+    ),
 }
 
 

@@ -1,0 +1,342 @@
+"""Tests for the durable gateway journal (`repro.fleet.journal`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    Gateway,
+    GatewayConfig,
+    FleetScheduler,
+    JournalConfig,
+    JournalError,
+    JournalReader,
+    JournalReplayer,
+    JournalWriter,
+    MESSAGE_MAGIC,
+    NodeProxy,
+    NodeProxyConfig,
+    PatientProfile,
+    SchedulerConfig,
+    ServeMessage,
+    StreamDecoder,
+    decode_message,
+    encode_message,
+    encode_stream_frame,
+    frame_kind,
+    journal_meta,
+    make_cohort,
+)
+from repro.fleet.cohort import CohortConfig
+from repro.fleet.journal import _BODY_HEAD, _REC_HEAD
+from repro.fleet.serve import FleetGatewayServer
+from repro.obs import ANOMALY_JOURNAL_TRUNCATED, Observability, ObsConfig
+
+
+def _telemetry_frames(n: int, patient_id: str = "jt0") -> list[bytes]:
+    """Cheap, valid wire packet frames (no synthesis, no CS encoding)."""
+    proxy = NodeProxy(PatientProfile(patient_id=patient_id, seed=1),
+                      NodeProxyConfig(stream_telemetry=False))
+    return [proxy.telemetry_packet(float(i), mean_hr_bpm=60.0 + i,
+                                   soc=0.5).to_bytes()
+            for i in range(n)]
+
+
+def _write_sample(config: JournalConfig, n_packets: int = 4,
+                  **writer_kw) -> JournalWriter:
+    """A small journal: packets interleaved with control messages."""
+    writer = JournalWriter(config, meta=journal_meta(60.0, 250.0),
+                           **writer_kw)
+    frames = _telemetry_frames(n_packets)
+    for i, frame in enumerate(frames):
+        writer.append_message(ServeMessage("expire", "", t_s=float(i)))
+        writer.append_packet(frame, "jt0")
+        writer.append_message(ServeMessage("drain", "", t_s=float(i),
+                                           fields={"budget": -1.0}))
+    writer.append_message(ServeMessage("sweep", "", t_s=float(n_packets)))
+    writer.close()
+    return writer
+
+
+class TestJournalConfig:
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(dir=""), "dir"),
+        (dict(dir="d", name=""), "name"),
+        (dict(dir="d", name="x" * 81), "name"),
+        (dict(dir="d", name="a/b"), "separators"),
+        (dict(dir="d", segment_bytes=100), "segment_bytes"),
+    ])
+    def test_invalid_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            JournalConfig(**kwargs)
+
+    def test_for_shard_derives_name(self):
+        config = JournalConfig(dir="d", name="run")
+        assert config.for_shard(3).name == "run-s03"
+        assert config.for_shard(3).dir == "d"
+
+    def test_segment_paths_ignore_other_journals(self, tmp_path):
+        """A journal named ``j`` must not pick up ``j-s00``'s segments."""
+        base = JournalConfig(dir=str(tmp_path), name="j")
+        shard = base.for_shard(0)
+        _write_sample(base, n_packets=1)
+        _write_sample(shard, n_packets=1)
+        assert [p.name for p in base.segment_paths()] == ["j-000000.rpj"]
+        assert [p.name for p in shard.segment_paths()] \
+            == ["j-s00-000000.rpj"]
+
+
+class TestWriterReader:
+    def test_round_trip(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="rt")
+        writer = _write_sample(config, n_packets=4)
+        assert writer.n_packets == 4
+        assert writer.n_messages == 9
+        reader = JournalReader(config)
+        records = list(reader.records())
+        assert reader.meta == journal_meta(60.0, 250.0)
+        assert len(records) == writer.n_records
+        assert reader.torn_tail_bytes == 0
+        kinds = [frame_kind(r.frame) for r in records]
+        assert kinds.count("packet") == 4
+        # Writer stamps are monotone in file order.
+        stamps = [(r.t_s, r.prio) for r in records]
+        assert stamps == sorted(stamps)
+        # Packet records carry their subject; the frames round-trip.
+        packet = next(r for r in records if frame_kind(r.frame) == "packet")
+        assert packet.subject == "jt0"
+        assert packet.frame == _telemetry_frames(1)[0]
+
+    def test_messages_advance_clock_packets_inherit_it(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="clk")
+        with JournalWriter(config) as writer:
+            writer.append_message(ServeMessage("sweep", "", t_s=10.0))
+            # A message stamped earlier than the clock is clamped, never
+            # allowed to run the journal backwards.
+            writer.append_message(ServeMessage("expire", "", t_s=3.0))
+            writer.append_packet(_telemetry_frames(1)[0], "jt0")
+        records = list(JournalReader(config).records())
+        stamps = [(r.t_s, r.prio) for r in records]
+        assert stamps[1] == stamps[0]
+        assert stamps[2] == stamps[0]
+
+    def test_rotation_crosses_segments(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="rot",
+                               segment_bytes=4096)
+        writer = JournalWriter(config)
+        frames = _telemetry_frames(40)
+        for frame in frames:
+            writer.append_packet(frame, "jt0")
+        writer.close()
+        assert writer.stats()["segments"] >= 2
+        assert len(config.segment_paths()) == writer.stats()["segments"]
+        reader = JournalReader(config)
+        replayed = [r.frame for r in reader.records()]
+        assert replayed == frames
+
+    def test_resume_false_wipes_prior_segments(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="wipe")
+        _write_sample(config, n_packets=3)
+        with JournalWriter(config, resume=False) as writer:
+            writer.append_packet(_telemetry_frames(1)[0], "jt0")
+        assert JournalReader(config).n_records == 0  # set by records()
+        assert len(list(JournalReader(config).records())) == 1
+
+    def test_append_errors(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="err")
+        writer = JournalWriter(config)
+        with pytest.raises(JournalError, match="empty"):
+            writer.append_packet(b"", "jt0")
+        with pytest.raises(JournalError, match="not journalable"):
+            writer.append_message(ServeMessage("hello-ack", "p"))
+        with pytest.raises(JournalError, match="non-finite"):
+            writer.append_message(
+                ServeMessage("sweep", "p", t_s=float("nan")))
+        writer.close()
+        with pytest.raises(JournalError, match="closed"):
+            writer.append_packet(b"x", "jt0")
+
+    def test_stats_surface(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="st")
+        writer = _write_sample(config, n_packets=2)
+        stats = writer.stats()
+        assert stats["name"] == "st"
+        assert stats["records"] == stats["packets"] + stats["messages"]
+        assert stats["bytes"] > 0
+        assert stats["truncated_bytes"] == 0
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal"):
+            JournalReader(JournalConfig(dir=str(tmp_path), name="nope"))
+
+
+class TestRecovery:
+    def test_torn_tail_truncated_and_appending_resumes(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="torn")
+        _write_sample(config, n_packets=3)
+        reference = list(JournalReader(config).records())
+        path = config.segment_paths()[-1]
+        # Emulate a crash mid-append: a record prefix with no body.
+        with open(path, "ab") as handle:
+            handle.write(_REC_HEAD.pack(500, 0) + b"\x01\x02\x03")
+        writer = JournalWriter(config)
+        assert writer.n_truncated_bytes == _REC_HEAD.size + 3
+        writer.append_message(ServeMessage("sweep", "",
+                                           t_s=reference[-1].t_s + 1.0))
+        writer.close()
+        recovered = list(JournalReader(config).records())
+        assert recovered[:-1] == reference
+        assert decode_message(recovered[-1].frame).kind == "sweep"
+
+    def test_reader_reports_torn_tail_without_truncating(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="tt")
+        _write_sample(config, n_packets=2)
+        reference = list(JournalReader(config).records())
+        path = config.segment_paths()[-1]
+        with open(path, "ab") as handle:
+            handle.write(b"\xff\xff")
+        reader = JournalReader(config)
+        assert list(reader.records()) == reference
+        assert reader.torn_tail_bytes == 2
+
+    def test_torn_tail_in_sealed_segment_is_corruption(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="sealed",
+                               segment_bytes=4096)
+        writer = JournalWriter(config)
+        for frame in _telemetry_frames(40):
+            writer.append_packet(frame, "jt0")
+        writer.close()
+        paths = config.segment_paths()
+        assert len(paths) >= 2
+        with open(paths[0], "ab") as handle:
+            handle.write(b"\xff")
+        with pytest.raises(JournalError, match="sealed"):
+            list(JournalReader(config).records())
+
+    def test_crc_mismatch_is_corruption_not_recovery(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="crc")
+        _write_sample(config, n_packets=2)
+        path = config.segment_paths()[0]
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0x40  # flip one bit inside the last record body
+        path.write_bytes(bytes(data))
+        with pytest.raises(JournalError, match="CRC"):
+            list(JournalReader(config).records())
+        with pytest.raises(JournalError, match="CRC"):
+            JournalWriter(config)
+
+    def test_recovery_adopts_header_meta(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="meta")
+        _write_sample(config, n_packets=1)
+        writer = JournalWriter(config)
+        assert writer.meta == journal_meta(60.0, 250.0)
+        writer.close()
+
+    def test_truncation_is_metered_and_flight_recorded(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="obs")
+        _write_sample(config, n_packets=1)
+        with open(config.segment_paths()[-1], "ab") as handle:
+            handle.write(_REC_HEAD.pack(100, 0))
+        obs = Observability(ObsConfig())
+        JournalWriter(config, obs=obs).close()
+        anomaly = obs.flight.anomalies[-1]
+        assert anomaly.kind == ANOMALY_JOURNAL_TRUNCATED
+        assert anomaly.detail["torn_bytes"] == _REC_HEAD.size
+
+
+class _PowerCut(BaseException):
+    """Raised by the injected write fault to stop the run mid-append."""
+
+
+class TestCrashInjection:
+    def test_write_hook_partial_append_recovers_cleanly(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="cut")
+        writer = _write_sample(config, n_packets=2)
+        reference = list(JournalReader(config).records())
+        writer = JournalWriter(config)
+        writer.write_hook = lambda data: writer._file.write(
+            data[: len(data) // 2])
+        writer.append_message(ServeMessage("sweep", "", t_s=99.0))
+        writer._file.close()  # the process dies; no flush, no close()
+        recovered = JournalWriter(config)
+        assert recovered.n_truncated_bytes > 0
+        recovered.close()
+        assert list(JournalReader(config).records()) == reference
+
+    def test_fleet_run_killed_mid_append_replays_surviving_prefix(
+            self, tmp_path):
+        """The ISSUE's crash-recovery bar: kill the writer mid-append,
+        reopen, replay — the recovered summary equals the reference
+        over the surviving prefix (here: everything but the final
+        ``stats`` record, which carries no summary state)."""
+        cohort = make_cohort(CohortConfig(n_patients=2, seed=11))
+        run_kw = dict(
+            config=SchedulerConfig(duration_s=60.0, fs=250.0),
+            node_config=NodeProxyConfig(stream_telemetry=False))
+        gateway_config = GatewayConfig(n_iter=30)
+        reference = FleetScheduler(
+            cohort, run_kw["config"],
+            node_config=run_kw["node_config"],
+            gateway=Gateway(gateway_config)).run()
+
+        config = JournalConfig(dir=str(tmp_path), name="killed")
+        writer = JournalWriter(
+            config, meta=journal_meta(60.0, 250.0, gateway_config),
+            resume=False)
+
+        def cut_power_at_stats(data: bytes):
+            body = data[_REC_HEAD.size:]
+            _, _, subject_len = _BODY_HEAD.unpack_from(body, 0)
+            frame = body[_BODY_HEAD.size + subject_len:]
+            if (frame[:4] == MESSAGE_MAGIC
+                    and decode_message(frame).kind == "stats"):
+                writer._file.write(data[: len(data) // 2])
+                raise _PowerCut()
+            writer._file.write(data)
+
+        writer.write_hook = cut_power_at_stats
+        scheduler = FleetScheduler(
+            cohort, run_kw["config"],
+            node_config=run_kw["node_config"],
+            gateway=Gateway(gateway_config), journal=writer)
+        with pytest.raises(_PowerCut):
+            scheduler.run()
+        writer._file.close()  # simulate sudden process death
+
+        recovered = JournalWriter(config)
+        assert recovered.n_truncated_bytes > 0
+        recovered.close()
+        replay = JournalReplayer(config).run()
+        assert replay.summary.to_json() == reference.summary.to_json()
+
+
+class TestDecoderAccounting:
+    """Satellite: partial-frame byte accounting shared by journal writer
+    and serve lane (`StreamDecoder.pending_bytes`)."""
+
+    def test_pending_bytes_across_chunked_feeds(self):
+        body = encode_message(ServeMessage("sweep", "p", t_s=1.0))
+        stream = encode_stream_frame(body) * 2
+        decoder = StreamDecoder()
+        assert decoder.pending_bytes == 0
+        frame_len = len(encode_stream_frame(body))
+        got = []
+        for i, chunk_end in enumerate(range(1, len(stream) + 1)):
+            got.extend(decoder.feed(stream[chunk_end - 1:chunk_end]))
+            # The buffered count is exactly the bytes fed since the
+            # last completed frame — pinned byte-for-byte.
+            assert decoder.pending_bytes == chunk_end % frame_len
+        assert got == [body, body]
+        assert decoder.pending_bytes == 0
+
+    def test_server_tracks_partial_frame_high_water(self):
+        server = FleetGatewayServer.__new__(FleetGatewayServer)
+        server.max_partial_bytes = 0
+        decoder = StreamDecoder()
+        body = encode_message(ServeMessage("hello", "p"))
+        decoder.feed(encode_stream_frame(body)[:5])
+        server._note_partial(decoder)
+        assert server.max_partial_bytes == 5
+        decoder.feed(encode_stream_frame(body)[5:])
+        server._note_partial(decoder)
+        assert server.max_partial_bytes == 5  # high-water, not last

@@ -1,0 +1,241 @@
+"""Replay-equivalence harness: journals must reproduce live runs.
+
+The repo-wide oracle this PR adds: a `JournalReplayer` run over the
+journal of a live fleet run produces a `FleetSummary.to_json()` that is
+byte-identical to the live run's — for the plain in-process engine, a
+governed + impaired scenario run, a real-socket served run, and an
+N-shard run whose per-shard journals are merged back into the kernel's
+total event order.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.fleet import (
+    CohortConfig,
+    FleetGatewayServer,
+    FleetScheduler,
+    Gateway,
+    GatewayConfig,
+    JournalConfig,
+    JournalError,
+    JournalReader,
+    JournalReplayer,
+    JournalWriter,
+    NodeProxy,
+    NodeProxyConfig,
+    PatientProfile,
+    PerPatientLink,
+    SchedulerConfig,
+    ServeConfig,
+    ServeMessage,
+    ShardHooks,
+    ShardedFleetRunner,
+    frame_kind,
+    journal_meta,
+    make_cohort,
+    run_served_fleet,
+)
+from repro.fleet.client import _Transport
+from repro.power import Battery, BatteryModel
+from repro.power.governor import (
+    EnergyGovernor,
+    GovernorConfig,
+    ModePowerTable,
+)
+from repro.scenarios import LinkSpec, derive_seed
+from repro.scenarios.channel import ImpairedLink
+
+COHORT = make_cohort(CohortConfig(n_patients=4, seed=7))
+RUN_KW = dict(
+    config=SchedulerConfig(duration_s=60.0, fs=250.0),
+    node_config=NodeProxyConfig(stream_telemetry=False),
+    gateway_config=GatewayConfig(n_iter=40),
+)
+
+
+def _impaired_governed_hooks(spec: LinkSpec, profiles,
+                             master_seed: int) -> ShardHooks:
+    """Scenario wiring mirroring `tests/test_fleet_serve.py`."""
+
+    def link_for(patient_id: str):
+        return ImpairedLink(spec, seed=derive_seed(master_seed, "link",
+                                                   patient_id))
+
+    def factory(profile):
+        frac = derive_seed(master_seed, "soc",
+                           profile.patient_id) % 1000 / 1000.0
+        return EnergyGovernor(
+            config=GovernorConfig(min_dwell_s=0.0),
+            table=ModePowerTable(),
+            battery=BatteryModel(cell=Battery(capacity_mah=0.05),
+                                 soc=max(0.05, 0.9 - 0.5 * frac)))
+
+    return ShardHooks(link=PerPatientLink(link_for),
+                      governor_factory=factory)
+
+
+class TestInProcessReplay:
+    def test_plain_run_replays_byte_identical(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="plain")
+        journal = JournalWriter(
+            config,
+            meta=journal_meta(RUN_KW["config"].duration_s,
+                              RUN_KW["config"].fs,
+                              RUN_KW["gateway_config"]),
+            resume=False)
+        try:
+            live = FleetScheduler(
+                COHORT, RUN_KW["config"],
+                node_config=RUN_KW["node_config"],
+                gateway=Gateway(RUN_KW["gateway_config"]),
+                journal=journal).run()
+        finally:
+            journal.close()
+        replay = JournalReplayer(config).run()
+        assert replay.summary.to_json() == live.summary.to_json()
+        assert replay.packets_sent == live.packets_sent
+        assert replay.n_packets > 0
+        assert replay.n_journals == 1
+        assert replay.torn_tail_bytes == 0
+        assert list(replay.rows) == [p.patient_id for p in COHORT]
+        assert set(replay.timings_s) == {"replay", "merge", "total"}
+
+    def test_journaled_run_summary_unchanged_by_journaling(self,
+                                                           tmp_path):
+        """Attaching a journal must not perturb the run itself."""
+        reference = FleetScheduler(
+            COHORT, RUN_KW["config"],
+            node_config=RUN_KW["node_config"],
+            gateway=Gateway(RUN_KW["gateway_config"])).run()
+        config = JournalConfig(dir=str(tmp_path), name="tax")
+        with JournalWriter(config, resume=False) as journal:
+            journaled = FleetScheduler(
+                COHORT, RUN_KW["config"],
+                node_config=RUN_KW["node_config"],
+                gateway=Gateway(RUN_KW["gateway_config"]),
+                journal=journal).run()
+        assert journaled.summary.to_json() == reference.summary.to_json()
+
+    def test_governed_impaired_replays_byte_identical(self, tmp_path):
+        spec = LinkSpec(loss_rate=0.15, duplicate_rate=0.1,
+                        reorder_rate=0.2, jitter_s=2.0,
+                        reorder_delay_s=65.0)
+        config = JournalConfig(dir=str(tmp_path), name="governed")
+        live = ShardedFleetRunner(
+            COHORT, n_shards=1, master_seed=99,
+            hook_factory=functools.partial(_impaired_governed_hooks,
+                                           spec),
+            journal=config, **RUN_KW).run()
+        replay = JournalReplayer(config.for_shard(0)).run()
+        assert replay.summary.to_json() == live.summary.to_json()
+        assert replay.summary.governed
+        assert any(row.link_stats for row in replay.rows.values())
+        assert replay.link_stats  # folded from the shard stats record
+
+
+class TestShardedReplay:
+    def test_four_shard_journals_merge_byte_identical(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="shards")
+        live = ShardedFleetRunner(COHORT, n_shards=4, journal=config,
+                                  **RUN_KW).run()
+        sources = [config.for_shard(i) for i in range(4)]
+        replay = JournalReplayer(sources).run()
+        assert replay.summary.to_json() == live.summary.to_json()
+        assert replay.n_journals == 4
+        # Hello records restore the cohort order across shard stripes.
+        assert list(replay.rows) == [p.patient_id for p in COHORT]
+
+    def test_shard_subset_is_an_incomplete_cohort(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="subset")
+        ShardedFleetRunner(COHORT, n_shards=2, journal=config,
+                           **RUN_KW).run()
+        replay = JournalReplayer(config.for_shard(0)).run()
+        # Half the cohort replays fine — as its own, smaller fleet.
+        assert replay.summary.n_patients == 2
+
+
+class TestServedReplay:
+    def test_served_journal_replays_byte_identical(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="served")
+        served = run_served_fleet(
+            COHORT, serve_config=ServeConfig(journal=config), **RUN_KW)
+        replay = JournalReplayer(
+            config, cohort=COHORT,
+            gateway_config=RUN_KW["gateway_config"],
+            duration_s=RUN_KW["config"].duration_s,
+            fs=RUN_KW["config"].fs).run()
+        assert replay.summary.to_json() == served.summary.to_json()
+        # Every uplinked packet frame was journaled exactly once.
+        assert replay.n_packets == served.packets_sent
+        assert served.server_stats["journal"]["packets"] \
+            == served.packets_sent
+
+    def test_served_journal_requires_explicit_cohort(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="nocohort")
+        run_served_fleet(COHORT[:2],
+                         serve_config=ServeConfig(journal=config),
+                         **RUN_KW)
+        with pytest.raises(JournalError, match="hello"):
+            JournalReplayer(
+                config, gateway_config=RUN_KW["gateway_config"],
+                duration_s=60.0, fs=250.0).run()
+
+
+class TestServedSoak:
+    """Satellite: session resumes never double-log a frame."""
+
+    N_RECONNECTS = 1000
+
+    def test_thousand_reconnects_log_each_frame_once(self, tmp_path):
+        config = JournalConfig(dir=str(tmp_path), name="soak")
+        proxy = NodeProxy(PatientProfile(patient_id="soak0", seed=5),
+                          NodeProxyConfig(stream_telemetry=False))
+        frames = [proxy.telemetry_packet(float(i), mean_hr_bpm=65.0,
+                                         soc=0.5).to_bytes()
+                  for i in range(self.N_RECONNECTS)]
+        with FleetGatewayServer(
+                ServeConfig(journal=config)) as server:
+            for i, frame in enumerate(frames):
+                transport = self._hello(server, "soak0")
+                transport.send_frame(frame)
+                # A sweep reply proves the packet frame was consumed
+                # before we disconnect (frames are in-order per lane).
+                transport.send_message(ServeMessage(
+                    "sweep", "soak0", t_s=float(i + 1)))
+                assert transport.recv_message().kind == "feedback"
+                transport.send_message(ServeMessage("bye", "soak0"))
+                transport.close()
+            stats = server.stats()
+        assert stats["connections"]["resumed"] == self.N_RECONNECTS - 1
+        assert stats["journal"]["packets"] == self.N_RECONNECTS
+        assert stats["max_partial_bytes"] >= 0
+        reader = JournalReader(config)
+        packet_frames = [r.frame for r in reader.records()
+                         if frame_kind(r.frame) == "packet"]
+        # No frame double-logged across the session resumes — the
+        # journal holds each uplinked packet exactly once, in order.
+        assert packet_frames == frames
+        assert reader.torn_tail_bytes == 0
+
+    @staticmethod
+    def _hello(server: FleetGatewayServer, pid: str) -> _Transport:
+        """Handshake with retry: the previous connection of ``pid`` may
+        still be deregistering when we reconnect."""
+        last: Exception | None = None
+        for _ in range(200):
+            transport = _Transport("127.0.0.1", server.port)
+            transport.send_message(ServeMessage("hello", pid))
+            try:
+                ack = transport.recv_message()
+            except Exception as exc:  # rejected duplicate: retry
+                last = exc
+                transport.close()
+                continue
+            if ack.kind == "hello-ack":
+                return transport
+            transport.close()
+        raise AssertionError(f"handshake never succeeded: {last}")

@@ -306,3 +306,60 @@ class TestShardWorkers:
     def test_negative_shard_workers_rejected(self):
         with pytest.raises(ValueError, match="shard_workers"):
             CampaignConfig(shard_workers=-1)
+
+
+class TestJournalCheckpoints:
+    """Journal-backed resumable campaigns (``--start-from``/``--stop-after``)."""
+
+    CFG = dict(n_patients=3, n_sentinels=1, duration_s=60.0,
+               master_seed=77, gateway_n_iter=30)
+    GRID = (clean_scenario(), packet_loss_scenario(0.10))
+
+    def test_journal_dir_excludes_worker_sweeps(self, tmp_path):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            CampaignConfig(journal_dir=str(tmp_path), patient_workers=2)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            CampaignConfig(journal_dir=str(tmp_path), shard_workers=2)
+        with pytest.raises(ValueError, match="non-empty"):
+            CampaignConfig(journal_dir="")
+
+    def test_checkpoint_names_validated(self, trained_af_detector,
+                                        tmp_path):
+        runner = CampaignRunner(
+            self.GRID,
+            CampaignConfig(journal_dir=str(tmp_path), **self.CFG),
+            af_detector=trained_af_detector)
+        with pytest.raises(ValueError, match="start_from"):
+            runner.run(start_from="nope")
+        with pytest.raises(ValueError, match="stop_after"):
+            runner.run(stop_after="nope")
+        with pytest.raises(ValueError, match="precedes"):
+            runner.run(start_from=self.GRID[1].name,
+                       stop_after=self.GRID[0].name)
+
+    def test_start_from_requires_journal_dir(self, trained_af_detector):
+        runner = CampaignRunner(self.GRID,
+                                CampaignConfig(**self.CFG),
+                                af_detector=trained_af_detector)
+        with pytest.raises(ValueError, match="journal_dir"):
+            runner.run(start_from=self.GRID[1].name)
+
+    def test_stop_then_resume_is_byte_identical(self,
+                                                trained_af_detector,
+                                                tmp_path):
+        """The resumable-campaign acceptance bar: a run stopped after
+        stage one and resumed from stage two — replaying stage one from
+        its journal — reports byte-identically to one uninterrupted
+        run."""
+        config = CampaignConfig(journal_dir=str(tmp_path), **self.CFG)
+
+        def runner():
+            return CampaignRunner(self.GRID, config,
+                                  af_detector=trained_af_detector)
+
+        full = runner().run()
+        staged = runner().run(stop_after=self.GRID[0].name)
+        assert [r.scenario for r in staged.results] \
+            == [self.GRID[0].name]
+        resumed = runner().run(start_from=self.GRID[1].name)
+        assert resumed.to_json() == full.to_json()
