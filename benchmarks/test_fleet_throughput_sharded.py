@@ -1,21 +1,35 @@
-"""Sharded fleet throughput — N worker processes vs one, byte-checked.
+"""Sharded fleet throughput — zero-copy fabric vs the legacy baseline.
 
 Not a paper figure: this benchmarks the `repro.fleet.sharding` layer
-that lifts the fleet runtime past one core.  The same cohort runs as a
-single stripe and as 4 process shards; the merged `FleetSummary` must
-be **byte-identical** between the two layouts (the sharding determinism
-contract), and on a machine with >= 4 cores the sharded run must clear
-a 2x speedup over the single-process one.  On smaller runners the
-speedup assertion is skipped — the byte-equivalence check always runs.
+plus the PR-10 zero-copy transport refactor.  Two legs run over the
+same cohort:
+
+* **baseline** — the PR-9-equivalent configuration: single process,
+  pickle transport, pure-numpy FISTA (forced via ``REPRO_NO_NUMBA=1``
+  in a subprocess so the compiled kernels cannot leak in);
+* **sharded** — 4 process shards on the shared-memory transport with
+  whatever FISTA backend is live (numba when installed).
+
+The merged `FleetSummary` must be **byte-identical** between the two
+legs — which simultaneously proves the sharding determinism contract,
+the shm fabric, *and* the numba/numpy bit-exactness claim of
+`repro.compression.fista_kernels`.  On a machine with >= 4 cores the
+sharded leg must clear 10x over the baseline when the compiled drain is
+live, 2x on the numpy fallback.  On smaller runners the speedup
+assertion is skipped — byte-equivalence always gates.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import sys
 
 import pytest
 from conftest import print_table
 
+from repro.compression.fista_kernels import backend
 from repro.fleet import (
     CohortConfig,
     GatewayConfig,
@@ -24,41 +38,71 @@ from repro.fleet import (
     ShardedFleetRunner,
     make_cohort,
 )
+from repro.fleet.transport import SharedMemoryTransport
 
 N_PATIENTS = 12
 DURATION_S = 120.0
 FS = 250.0
 N_SHARDS = 4
-#: Required sharded-over-single speedup on a >= 4-core machine.
-MIN_SPEEDUP = 2.0
+#: Required sharded-over-baseline speedup on a >= 4-core machine with
+#: the compiled FISTA drain live.
+MIN_SPEEDUP_COMPILED = 10.0
+#: Fallback floor when numba is absent: parallelism alone must carry.
+MIN_SPEEDUP_FALLBACK = 2.0
+
+_BASELINE_SNIPPET = """
+import json, sys
+from repro.fleet import (CohortConfig, GatewayConfig, NodeProxyConfig,
+                         SchedulerConfig, ShardedFleetRunner, make_cohort)
+cohort = make_cohort(CohortConfig(n_patients={n_patients}, seed=7))
+report = ShardedFleetRunner(
+    cohort, n_shards=1, transport="pickle",
+    config=SchedulerConfig(duration_s={duration}, fs={fs}),
+    node_config=NodeProxyConfig(stream_telemetry=False),
+    gateway_config=GatewayConfig(n_iter=80)).run()
+json.dump({{"wall_s": report.timings_s["total"],
+            "summary": report.summary.to_json(),
+            "packets": report.packets_sent}}, sys.stdout)
+"""
 
 
-def run_both():
-    """Run the cohort in 1-shard and 4-shard layouts."""
+def run_baseline() -> dict:
+    """The PR-9-equivalent leg in a numpy-only subprocess."""
+    env = dict(os.environ, REPRO_NO_NUMBA="1")
+    env.setdefault("PYTHONPATH", "src")
+    code = _BASELINE_SNIPPET.format(n_patients=N_PATIENTS,
+                                    duration=DURATION_S, fs=FS)
+    out = subprocess.run([sys.executable, "-c", code], env=env,
+                         capture_output=True, text=True, check=True)
+    return json.loads(out.stdout)
+
+
+def run_sharded():
+    """The zero-copy leg: N shards over shared memory (when present)."""
     cohort = make_cohort(CohortConfig(n_patients=N_PATIENTS, seed=7))
-    kwargs = dict(
+    transport = ("shared_memory" if SharedMemoryTransport.available()
+                 else "pickle")
+    return ShardedFleetRunner(
+        cohort, n_shards=N_SHARDS, transport=transport,
         config=SchedulerConfig(duration_s=DURATION_S, fs=FS),
         node_config=NodeProxyConfig(stream_telemetry=False),
-        gateway_config=GatewayConfig(n_iter=80),
-    )
-    single = ShardedFleetRunner(cohort, n_shards=1, **kwargs).run()
-    sharded = ShardedFleetRunner(cohort, n_shards=N_SHARDS,
-                                 **kwargs).run()
-    return single, sharded
+        gateway_config=GatewayConfig(n_iter=80)).run(), transport
 
 
 def test_fleet_throughput_sharded(benchmark):
-    single, sharded = benchmark.pedantic(run_both, rounds=1,
-                                         iterations=1)
-    speedup = single.timings_s["total"] / sharded.timings_s["total"]
+    baseline, (sharded, transport) = benchmark.pedantic(
+        lambda: (run_baseline(), run_sharded()), rounds=1, iterations=1)
+    speedup = baseline["wall_s"] / sharded.timings_s["total"]
 
     print_table(
         f"Sharded fleet ({N_PATIENTS} patients x {DURATION_S:.0f} s, "
         f"{N_SHARDS} shards)",
         ["metric", "value"],
         [
-            ("single-process wall [s]", single.timings_s["total"]),
-            (f"{N_SHARDS}-shard wall [s]", sharded.timings_s["total"]),
+            ("baseline wall [s] (1 proc, numpy, pickle)",
+             baseline["wall_s"]),
+            (f"{N_SHARDS}-shard wall [s] ({transport}, {backend()})",
+             sharded.timings_s["total"]),
             ("speedup [x]", speedup),
             ("patients/sec (sharded)", sharded.patients_per_second),
             ("packets sent", sharded.packets_sent),
@@ -67,10 +111,12 @@ def test_fleet_throughput_sharded(benchmark):
         ],
     )
 
-    # The determinism contract gates unconditionally.
-    assert sharded.summary.to_json() == single.summary.to_json(), \
-        "4-shard FleetSummary diverged from the 1-shard run"
-    assert sharded.packets_sent == single.packets_sent
+    # The determinism contract gates unconditionally — and because the
+    # baseline leg ran on the numpy fallback in another process, this
+    # also proves the compiled drain and the shm fabric change nothing.
+    assert sharded.summary.to_json() == baseline["summary"], \
+        "zero-copy sharded FleetSummary diverged from the baseline leg"
+    assert sharded.packets_sent == baseline["packets"]
     assert sharded.summary.n_patients == N_PATIENTS
     assert sharded.summary.dropped_packets == 0
 
@@ -78,6 +124,9 @@ def test_fleet_throughput_sharded(benchmark):
         pytest.skip(f"speedup assertion needs >= {N_SHARDS} cores "
                     f"(have {os.cpu_count() or 1}); byte-equivalence "
                     "already checked")
-    assert speedup >= MIN_SPEEDUP, (
-        f"{N_SHARDS}-shard run only {speedup:.2f}x faster than "
-        f"single-process (need >= {MIN_SPEEDUP}x)")
+    floor = (MIN_SPEEDUP_COMPILED if backend() == "numba"
+             else MIN_SPEEDUP_FALLBACK)
+    assert speedup >= floor, (
+        f"{N_SHARDS}-shard zero-copy run only {speedup:.2f}x faster "
+        f"than the single-process baseline (need >= {floor}x with the "
+        f"{backend()} drain)")

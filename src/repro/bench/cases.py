@@ -310,10 +310,20 @@ def fleet_throughput_sharded(ctx: BenchContext) -> dict:
     Times both layouts over the same cohort and **asserts** the merged
     summaries are byte-identical — a codec or determinism regression
     fails the bench (and therefore the CI quick gate), not just a unit
-    test.  The headline metric is the 4-process speedup over the
+    test.  The 4-shard leg runs on the shared-memory transport where
+    the platform has one (and additionally byte-checks the pickle
+    backend against it), so the timing covers the zero-copy fabric:
+    shard results travel as segment handles and merge without an
+    unpickle copy, with the compiled FISTA drain
+    (:mod:`repro.compression.fista_kernels`) behind reconstruction.
+    The headline metric is the 4-process speedup over the
     single-process run; on the 1-core containers that record baselines
-    it hovers near 1.0, on a 4-core runner it must clear 2x.
+    it hovers near 1.0 — multi-core gates live in
+    ``benchmarks/test_fleet_throughput_sharded.py``.
     """
+    from repro.compression.fista_kernels import backend
+    from repro.fleet.transport import SharedMemoryTransport
+
     n_patients = 6 if ctx.quick else 16
     duration = 60.0 if ctx.quick else 120.0
     cohort = make_cohort(CohortConfig(n_patients=n_patients, seed=7))
@@ -322,12 +332,22 @@ def fleet_throughput_sharded(ctx: BenchContext) -> dict:
         node_config=NodeProxyConfig(stream_telemetry=False),
         gateway_config=GatewayConfig(n_iter=80),
     )
+    shm = SharedMemoryTransport.available()
+    transport = "shared_memory" if shm else "pickle"
     single = ShardedFleetRunner(cohort, n_shards=1, **kwargs).run()
-    sharded = ShardedFleetRunner(cohort, n_shards=4, **kwargs).run()
+    sharded = ShardedFleetRunner(cohort, n_shards=4,
+                                 transport=transport, **kwargs).run()
     if sharded.summary.to_json() != single.summary.to_json():
         raise AssertionError(
             "4-shard FleetSummary diverged from the 1-shard run — "
             "sharding determinism regression")
+    if shm:
+        pickled = ShardedFleetRunner(cohort, n_shards=4,
+                                     transport="pickle", **kwargs).run()
+        if pickled.summary.to_json() != sharded.summary.to_json():
+            raise AssertionError(
+                "pickle-transport summary diverged from shared memory "
+                "— transport fabric regression")
     wall_single = single.timings_s["total"]
     wall_sharded = sharded.timings_s["total"]
     return {
@@ -335,6 +355,8 @@ def fleet_throughput_sharded(ctx: BenchContext) -> dict:
         "samples": int(n_patients * duration * FS) * 3 * 2,
         "packets": sharded.packets_sent,
         "byte_identical": True,
+        "transport": transport,
+        "fista_backend": backend(),
         "speedup_vs_single_process": wall_single / wall_sharded,
         "single_process_wall_s": wall_single,
         "sharded_wall_s": wall_sharded,

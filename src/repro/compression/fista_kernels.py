@@ -1,0 +1,212 @@
+"""Compiled FISTA inner-loop kernels with a byte-identical fallback.
+
+The gateway drain's hot loop is batched block FISTA
+(:func:`~repro.compression.multilead.group_fista_batch`): per
+iteration, two stacked matmuls per lead plus an elementwise
+shift → group-shrink → momentum update over the ``(B, n, L)``
+coefficient batch.  The matmuls must stay on the fixed 4-row-tile BLAS
+path (:func:`~repro.compression.multilead.row_stable_matmul`) — that
+tile order is the foundation of every shard/serve/journal
+byte-equivalence gate — but the elementwise tail is pure arithmetic
+and fuses well.  This module compiles exactly that tail with numba
+when it is importable, and otherwise runs a pure-numpy fallback built
+from the *same expressions the loop used before this module existed*,
+so the fallback is byte-identical to the historical goldens by
+construction.
+
+Bit-exactness of the compiled path is by design, not luck:
+
+* every operation is the same IEEE-754 double op in the same order as
+  the numpy expression it replaces (numba does not contract ``a*b+c``
+  into FMAs unless ``fastmath`` is requested, which we never do);
+* the per-row l2 norm sums its ``L`` squares sequentially — numpy's
+  pairwise reduction uses a plain sequential loop below 8 elements, so
+  the kernels refuse lead counts ``>= 8`` (the dispatcher falls back
+  to numpy there; ECG fleets use 1–3 leads);
+* ``maximum``/``sign`` NaN semantics mirror ``np.maximum``/``np.sign``
+  exactly.
+
+The convergence norms (``moved``/``scale``) are *not* compiled: they
+reduce over ``n * L`` elements where numpy's pairwise summation cannot
+be reproduced by a naive loop, so both paths keep computing them with
+the same numpy call.
+
+Set ``REPRO_NO_NUMBA=1`` to force the fallback even where numba is
+installed (the CI fallback-parity leg; also how a container without
+numba behaves by default).  :func:`backend` reports which path is
+live.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Lead-count ceiling of the compiled kernels: numpy's pairwise sum is
+#: sequential below 8 elements, so a sequential compiled sum matches it
+#: bit for bit only there.
+MAX_COMPILED_LEADS = 7
+
+HAVE_NUMBA = False
+if not os.environ.get("REPRO_NO_NUMBA"):
+    try:
+        from numba import njit
+
+        HAVE_NUMBA = True
+    except ImportError:  # pragma: no cover - depends on environment
+        HAVE_NUMBA = False
+
+
+def backend() -> str:
+    """Which inner-loop implementation is live: ``numba`` or ``numpy``."""
+    return "numba" if HAVE_NUMBA else "numpy"
+
+
+def _group_shrink_update_np(mom: np.ndarray, grad: np.ndarray,
+                            step: float, thresholds: np.ndarray,
+                            old: np.ndarray, ratio: float,
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Pure-numpy fused shift/shrink/momentum step (reference path).
+
+    These are, expression for expression, the lines
+    :func:`~repro.compression.multilead.group_fista_batch` ran before
+    the kernels existed — the byte-equivalence goldens anchor here.
+    """
+    shifted = mom - step * grad
+    norms = np.linalg.norm(shifted, axis=2, keepdims=True)
+    new_alpha = shifted * np.maximum(
+        0.0, 1.0 - thresholds[:, None, None] / np.maximum(norms, 1e-12))
+    new_momentum = new_alpha + ratio * (new_alpha - old)
+    return new_alpha, new_momentum
+
+
+def _soft_shrink_update_np(mom: np.ndarray, grad: np.ndarray,
+                           step: float, threshold: float,
+                           old: np.ndarray, ratio: float,
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Pure-numpy fused scalar-l1 step (reference path).
+
+    Mirrors the historical body of
+    :func:`~repro.compression.recovery.fista`:
+    ``soft_threshold(momentum - step * grad, threshold)`` followed by
+    the momentum extrapolation.
+    """
+    shifted = mom - step * grad
+    new_alpha = np.sign(shifted) * np.maximum(
+        np.abs(shifted) - threshold, 0.0)
+    new_momentum = new_alpha + ratio * (new_alpha - old)
+    return new_alpha, new_momentum
+
+
+if HAVE_NUMBA:
+
+    @njit(cache=True)
+    def _group_shrink_update_nb(mom, grad, step, thresholds, old,
+                                ratio, new_alpha, new_momentum):
+        """Fused (B, n, L) shift/shrink/momentum loop (numba).
+
+        Arithmetic matches :func:`_group_shrink_update_np` op for op;
+        the row norm is a sequential sum of squares, valid only for
+        ``L < 8`` (see :data:`MAX_COMPILED_LEADS`).
+        """
+        n_batch, n, n_leads = mom.shape
+        for b in range(n_batch):
+            threshold = thresholds[b]
+            for i in range(n):
+                acc = 0.0
+                for lead in range(n_leads):
+                    v = mom[b, i, lead] - step * grad[b, i, lead]
+                    new_alpha[b, i, lead] = v
+                    acc += v * v
+                norm = np.sqrt(acc)
+                # np.maximum(norm, 1e-12): NaN propagates.
+                denom = norm if (norm > 1e-12 or norm != norm) else 1e-12
+                scale = 1.0 - threshold / denom
+                # np.maximum(0.0, scale): NaN propagates.
+                if not (scale > 0.0 or scale != scale):
+                    scale = 0.0
+                for lead in range(n_leads):
+                    v = new_alpha[b, i, lead] * scale
+                    new_alpha[b, i, lead] = v
+                    new_momentum[b, i, lead] = \
+                        v + ratio * (v - old[b, i, lead])
+
+    @njit(cache=True)
+    def _soft_shrink_update_nb(mom, grad, step, threshold, old, ratio,
+                               new_alpha, new_momentum):
+        """Fused 1-D soft-threshold/momentum loop (numba).
+
+        Arithmetic matches :func:`_soft_shrink_update_np` op for op,
+        including ``np.sign``/``np.maximum`` NaN semantics.
+        """
+        n = mom.shape[0]
+        for i in range(n):
+            v = mom[i] - step * grad[i]
+            if v > 0.0:
+                sign = 1.0
+            elif v < 0.0:
+                sign = -1.0
+            elif v == v:
+                sign = 0.0
+            else:
+                sign = v
+            mag = abs(v) - threshold
+            if not (mag > 0.0 or mag != mag):
+                mag = 0.0
+            a = sign * mag
+            new_alpha[i] = a
+            new_momentum[i] = a + ratio * (a - old[i])
+
+
+def group_shrink_update(mom: np.ndarray, grad: np.ndarray, step: float,
+                        thresholds: np.ndarray, old: np.ndarray,
+                        ratio: float) -> tuple[np.ndarray, np.ndarray]:
+    """One fused FISTA tail step over a ``(B, n, L)`` batch.
+
+    Computes ``shifted = mom - step * grad``, row-wise group soft
+    thresholding with per-window ``thresholds`` (shape ``(B,)``), and
+    the momentum extrapolation ``new + ratio * (new - old)`` — in one
+    pass when compiled, via the reference numpy expressions otherwise.
+    Both paths return bit-identical ``(new_alpha, new_momentum)``.
+
+    Args:
+        mom: Momentum batch, shape ``(B, n, L)`` (float64).
+        grad: Gradient batch, same shape.
+        step: FISTA step size (``1 / L_lipschitz``).
+        thresholds: Per-window shrink amounts (``lam * step``).
+        old: Previous iterates, same shape as ``mom``.
+        ratio: Momentum ratio ``(t - 1) / t_next``.
+    """
+    if HAVE_NUMBA and mom.shape[2] <= MAX_COMPILED_LEADS:
+        new_alpha = np.empty_like(mom)
+        new_momentum = np.empty_like(mom)
+        _group_shrink_update_nb(
+            np.ascontiguousarray(mom), np.ascontiguousarray(grad),
+            float(step), np.ascontiguousarray(thresholds),
+            np.ascontiguousarray(old), float(ratio), new_alpha,
+            new_momentum)
+        return new_alpha, new_momentum
+    return _group_shrink_update_np(mom, grad, step, thresholds, old,
+                                   ratio)
+
+
+def soft_shrink_update(mom: np.ndarray, grad: np.ndarray, step: float,
+                       threshold: float, old: np.ndarray,
+                       ratio: float) -> tuple[np.ndarray, np.ndarray]:
+    """One fused scalar-l1 FISTA tail step over an ``(n,)`` iterate.
+
+    The single-lead analogue of :func:`group_shrink_update`:
+    soft-threshold the shifted iterate, then extrapolate the momentum.
+    Both paths return bit-identical ``(new_alpha, new_momentum)``.
+    """
+    if HAVE_NUMBA:
+        new_alpha = np.empty_like(mom)
+        new_momentum = np.empty_like(mom)
+        _soft_shrink_update_nb(
+            np.ascontiguousarray(mom), np.ascontiguousarray(grad),
+            float(step), float(threshold), np.ascontiguousarray(old),
+            float(ratio), new_alpha, new_momentum)
+        return new_alpha, new_momentum
+    return _soft_shrink_update_np(mom, grad, step, threshold, old,
+                                  ratio)

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..dsp.wavelets import orthogonal_dwt_matrix
 from .encoder import EncodedWindow
+from .fista_kernels import group_shrink_update
 from .matrices import SensingMatrix
 
 
@@ -118,13 +119,17 @@ def group_fista(operators: Sequence[np.ndarray], ys: Sequence[np.ndarray],
     alpha = np.zeros((n, n_leads))
     momentum = alpha.copy()
     t = 1.0
+    threshold = np.array([lam * step])
     for _ in range(n_iter):
         grad = np.stack(
             [operators[lead].T @ (operators[lead] @ momentum[:, lead] - ys[lead])
              for lead in range(n_leads)], axis=1)
-        new_alpha = group_soft_threshold(momentum - step * grad, lam * step)
         t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
-        momentum = new_alpha + ((t - 1.0) / t_next) * (new_alpha - alpha)
+        new_alpha, new_momentum = group_shrink_update(
+            momentum[None], grad[None], step, threshold, alpha[None],
+            (t - 1.0) / t_next)
+        new_alpha = new_alpha[0]
+        momentum = new_momentum[0]
         moved = np.linalg.norm(new_alpha - alpha)
         scale = max(1e-12, np.linalg.norm(alpha))
         alpha = new_alpha
@@ -150,7 +155,11 @@ def group_fista_batch(operators: Sequence[np.ndarray],
     one-window path to float round-off.  The stacked products run
     through :func:`row_stable_matmul`, so each window's trajectory is
     *bit-identical* under any batch partition — the property the
-    sharded fleet runner's byte-equivalence rests on.
+    sharded fleet runner's byte-equivalence rests on.  The elementwise
+    tail of each iteration (shift, group shrink, momentum) runs through
+    :func:`~repro.compression.fista_kernels.group_shrink_update`, which
+    compiles to one fused loop when numba is available and is
+    bit-identical to the pure-numpy expressions either way.
 
     Args:
         operators: Per-lead measurement operators, each ``(m, n)``.
@@ -188,15 +197,12 @@ def group_fista_batch(operators: Sequence[np.ndarray],
                 - ys[active, lead, :]
             row_stable_matmul(residual, operators[lead],
                               out=grad_act[:, :, lead])
-        shifted = mom - step * grad_act
-        norms = np.linalg.norm(shifted, axis=2, keepdims=True)
-        thresholds = (lams[active] * step)[:, None, None]
-        new_alpha = shifted * np.maximum(
-            0.0, 1.0 - thresholds / np.maximum(norms, 1e-12))
         t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
         old = alpha[active]
-        momentum[active] = new_alpha + ((t - 1.0) / t_next) * \
-            (new_alpha - old)
+        new_alpha, new_momentum = group_shrink_update(
+            mom, grad_act, step, lams[active] * step, old,
+            (t - 1.0) / t_next)
+        momentum[active] = new_momentum
         moved = np.linalg.norm(new_alpha - old, axis=(1, 2))
         scale = np.maximum(1e-12, np.linalg.norm(old, axis=(1, 2)))
         alpha[active] = new_alpha
@@ -312,16 +318,17 @@ class JointCsDecoder:
         ys = np.empty((len(frames), self.n_leads,
                        self.operators[0].shape[0]))
         for w, frame in enumerate(frames):
-            vectors = [np.asarray(item.measurements
-                                  if isinstance(item, EncodedWindow)
-                                  else item, dtype=float)
-                       for item in frame]
-            if len(vectors) != self.n_leads:
+            if len(frame) != self.n_leads:
                 raise ValueError(
                     f"expected {self.n_leads} measurement vectors, "
-                    f"got {len(vectors)}")
-            for lead, y in enumerate(vectors):
-                ys[w, lead, :] = y
+                    f"got {len(frame)}")
+            for lead, item in enumerate(frame):
+                # Direct assignment casts straight into the float64
+                # batch row — wire decode views (read-only ints over
+                # the frame buffer) are consumed without a temporary.
+                ys[w, lead, :] = (item.measurements
+                                  if isinstance(item, EncodedWindow)
+                                  else item)
         # Per-window lam from the stacked correlations (same formula as
         # the scalar path): corr[w, :, l] = operators[l].T @ y[w, l].
         corr = np.stack([row_stable_matmul(ys[:, lead, :],

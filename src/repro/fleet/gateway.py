@@ -168,8 +168,14 @@ class PatientChannel:
 
     @property
     def mean_snr_db(self) -> float:
-        """Mean reconstruction SNR of this channel (nan when unscored)."""
-        return float(np.mean(self.snrs)) if self.snrs else float("nan")
+        """Mean reconstruction SNR of this channel (nan when unscored).
+
+        ``snrs`` may be a list (live gateway) or a read-only float64
+        array (zero-copy shard decode), so emptiness is tested by
+        length, never truthiness.
+        """
+        return (float(np.mean(self.snrs)) if len(self.snrs)
+                else float("nan"))
 
 
 class _ReassemblyBuffer:
@@ -519,11 +525,15 @@ class Gateway:
         """
         from .wire import decode_packet, WireFormatError
 
+        # Zero-copy discipline: decode_packet aliases immutable bytes
+        # sources (read-only measurement views feed the drain batches
+        # directly), and the journal CRCs/writes the frame buffer
+        # without an owned copy.  Only the flight recorder — which
+        # *retains* frames in its ring — takes ``bytes(data)``.
         if self._m is None:
             packet = decode_packet(data)
             if self._journal is not None:
-                self._journal.append_packet(bytes(data),
-                                            packet.patient_id)
+                self._journal.append_packet(data, packet.patient_id)
             return self._ingest_packet(packet)
         try:
             packet = decode_packet(data)
@@ -537,7 +547,7 @@ class Gateway:
             raise
         self.obs.flight.record_frame(packet.patient_id, bytes(data))
         if self._journal is not None:
-            self._journal.append_packet(bytes(data), packet.patient_id)
+            self._journal.append_packet(data, packet.patient_id)
         return self._ingest_packet(packet)
 
     def ingest_bytes(self, data: bytes | bytearray | memoryview) -> bool:

@@ -202,8 +202,13 @@ class JournalRecord:
     prio: int
     #: Patient id the frame belongs to ("" = cohort-wide control).
     subject: str
-    #: The wire frame bytes (packet frame or encoded ServeMessage).
-    frame: bytes
+    #: The wire frame (packet frame or encoded ServeMessage).  Scans
+    #: yield read-only memoryview slices over the loaded segment bytes
+    #: — zero-copy, and the view keeps the segment buffer alive, so a
+    #: retained record stays valid.  Because the backing storage is
+    #: immutable ``bytes``, ``decode_packet`` aliases it directly on
+    #: replay.
+    frame: bytes | memoryview
 
 
 @dataclass(frozen=True)
@@ -274,8 +279,14 @@ def _decode_header(buf: bytes, path: Path) -> tuple[_SegmentHeader, int]:
     return header, offset
 
 
-def _decode_body(body: bytes, path: Path, offset: int) -> JournalRecord:
-    """Parse a record body; raise :class:`JournalError` on any defect."""
+def _decode_body(
+    body: bytes | memoryview, path: Path, offset: int
+) -> JournalRecord:
+    """Parse a record body; raise :class:`JournalError` on any defect.
+
+    When ``body`` is a memoryview the record's frame is a zero-copy
+    slice of it (see :class:`JournalRecord`).
+    """
     if len(body) < _BODY_HEAD.size:
         raise JournalError(
             f"{path}: record body at byte {offset} too short ({len(body)} B)"
@@ -287,8 +298,8 @@ def _decode_body(body: bytes, path: Path, offset: int) -> JournalRecord:
         raise JournalError(
             f"{path}: record subject at byte {offset} overruns the body"
         )
-    frame = bytes(body[start + subject_len :])
-    if not frame:
+    frame = body[start + subject_len :]
+    if not len(frame):
         raise JournalError(f"{path}: record at byte {offset} has an empty frame")
     try:
         subject = subject_raw.decode("utf-8")
@@ -362,7 +373,7 @@ class _SegmentScan:
             if _REC_HEAD.size + length > remainder:
                 self._torn(offset)
                 return
-            body = bytes(buf[offset + _REC_HEAD.size : offset + _REC_HEAD.size + length])
+            body = buf[offset + _REC_HEAD.size : offset + _REC_HEAD.size + length]
             if zlib.crc32(body) != crc:
                 raise JournalError(
                     f"{self.path}: CRC mismatch at byte {offset}"
@@ -500,10 +511,17 @@ class JournalWriter:
 
     # -- appends ------------------------------------------------------
 
-    def append_packet(self, frame: bytes, subject: str) -> None:
-        """Journal a wire-encoded packet frame at the current clock."""
+    def append_packet(
+        self, frame: bytes | bytearray | memoryview, subject: str
+    ) -> None:
+        """Journal a wire-encoded packet frame at the current clock.
+
+        ``frame`` may be any bytes-like buffer; it is CRC'd and written
+        under the lock without an intermediate copy and never retained
+        past the call.
+        """
         with self._lock:
-            self._append_locked(self._clock, subject, bytes(frame), "packet")
+            self._append_locked(self._clock, subject, frame, "packet")
 
     def append_message(self, msg: ServeMessage) -> None:
         """Journal a control message, advancing the virtual clock."""
@@ -522,29 +540,45 @@ class JournalWriter:
             self._append_locked(stamp, msg.patient_id, frame, "message")
 
     def _append_locked(
-        self, stamp: tuple[float, int], subject: str, frame: bytes, kind: str
+        self,
+        stamp: tuple[float, int],
+        subject: str,
+        frame: bytes | bytearray | memoryview,
+        kind: str,
     ) -> None:
         if self._file is None:
             raise JournalError("journal writer is closed")
-        if not frame:
+        view = memoryview(frame)
+        if not len(view):
             raise JournalError("cannot journal an empty frame")
-        if len(frame) > MAX_FRAME_BYTES:
+        if len(view) > MAX_FRAME_BYTES:
             raise JournalError(
-                f"frame of {len(frame)} B exceeds MAX_FRAME_BYTES"
+                f"frame of {len(view)} B exceeds MAX_FRAME_BYTES"
             )
         subject_raw = subject.encode("utf-8")
         if len(subject_raw) > 0xFFFF:
             raise JournalError("record subject too long")
-        body = (
+        # Incremental CRC over the body pieces plus a gather write
+        # (prefix, then the frame buffer itself) spare the full-body
+        # concatenation the old single-``bytes`` record build paid.
+        # The on-disk bytes are identical either way.
+        length = _BODY_HEAD.size + len(subject_raw) + len(view)
+        body_head = (
             _BODY_HEAD.pack(stamp[0], stamp[1], len(subject_raw))
             + subject_raw
-            + frame
         )
-        record = _REC_HEAD.pack(len(body), zlib.crc32(body)) + body
-        write = self.write_hook or self._file.write
-        write(record)
-        self._segment_bytes += len(record)
-        self.n_bytes += len(record)
+        crc = zlib.crc32(view, zlib.crc32(body_head))
+        prefix = _REC_HEAD.pack(length, crc) + body_head
+        if self.write_hook is not None:
+            # Crash-injection seam: the hook contract is "one call per
+            # record, whole record bytes", so the copy is reassembled.
+            self.write_hook(prefix + bytes(view))
+        else:
+            self._file.write(prefix)
+            self._file.write(view)
+        record_bytes = _REC_HEAD.size + length
+        self._segment_bytes += record_bytes
+        self.n_bytes += record_bytes
         self.n_records += 1
         if kind == "packet":
             self.n_packets += 1
@@ -555,7 +589,7 @@ class JournalWriter:
             os.fsync(self._file.fileno())
             self.n_fsyncs += 1
         if self._m is not None:
-            self._m.bytes.inc(len(record), journal=self.config.name)
+            self._m.bytes.inc(record_bytes, journal=self.config.name)
             self._m.records.inc(1, journal=self.config.name, kind=kind)
             if self.config.fsync:
                 self._m.fsyncs.inc(1, journal=self.config.name)

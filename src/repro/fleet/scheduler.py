@@ -57,8 +57,9 @@ from .kernel import (
     EventKernel,
 )
 from .node_proxy import PACKET_EXCERPT, NodeProxy, NodeProxyConfig, UplinkPacket
+from .transport import BufferPool
 from .triage import FleetSummary, TriageBoard, fleet_summary
-from .wire import ServeMessage
+from .wire import ServeMessage, encode_packet_into
 
 #: Simulation clocks :class:`SchedulerConfig.engine` may name.
 ENGINES = ("kernel", "ticks")
@@ -388,6 +389,10 @@ class FleetScheduler:
         self.acuity_override = acuity_override
         self.governors: dict[str, EnergyGovernor] = {}
         self._batch_encoders: dict[int, BatchExcerptEncoder] = {}
+        # Scratch for the wire-loopback encode path: frames are built
+        # in a leased pooled buffer instead of a fresh bytes object
+        # per packet (see repro.fleet.transport.BufferPool).
+        self._wire_pool = BufferPool()
         #: Uplink packets offered per patient (before any channel
         #: impairment) — the per-patient split of ``packets_sent``,
         #: which shard workers report row by row.
@@ -1119,7 +1124,13 @@ class FleetScheduler:
         gateway would see.
         """
         if self.config.wire_loopback:
-            self.gateway.ingest(packet.to_bytes())
+            # Encode into a leased pooled buffer: the gateway decodes
+            # (copying, since the buffer is writable and recycled) and
+            # journals synchronously, so nothing aliases the lease
+            # after ingest returns.
+            with self._wire_pool.lease() as buf:
+                encode_packet_into(packet, buf)
+                self.gateway.ingest(buf)
         else:
             self.gateway.ingest(packet)
 

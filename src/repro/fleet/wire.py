@@ -47,6 +47,19 @@ Decoding is defensive: a wrong magic, unknown version, truncated
 buffer or trailing garbage raises :class:`WireFormatError` instead of
 yielding a corrupt packet.
 
+**Zero-copy discipline** (see ``docs/transport.md``): decoded arrays
+are always read-only, and when the source buffer is immutable
+``bytes`` (or a read-only view of one —
+:func:`repro.fleet.transport.is_aliasable`) they *alias* the source
+instead of copying it, so a gateway drain reads measurement vectors
+straight out of the frame it ingested.  Mutable sources
+(``bytearray``, socket scratch) are still copied: no later mutation
+can ever corrupt a held packet.  Callers owning a stable buffer (a
+mapped shared-memory segment) may force views with ``copy=False``.
+On the encode side, :func:`encode_packet_into` appends the frame to a
+caller-provided (pooled) ``bytearray`` without materialising
+intermediate ``tobytes()`` copies.
+
 On top of the packet codec this module also defines the **stream
 layer** the socket gateway service (:mod:`repro.fleet.serve`) speaks:
 u32-length-delimited frames (:func:`encode_stream_frame`), an
@@ -67,6 +80,7 @@ import numpy as np
 
 from ..compression.encoder import EncodedWindow
 from .node_proxy import UplinkPacket
+from .transport import is_aliasable
 
 #: First bytes of every version-1 packet frame.
 WIRE_MAGIC = b"RPW1"
@@ -116,15 +130,20 @@ def _unpack_str(buf: memoryview, offset: int) -> tuple[str, int]:
         offset + length
 
 
-def _pack_array(array: np.ndarray) -> bytes:
-    """Dtype token + shape-free raw buffer of a 1-D array."""
+def _append_array(out: bytearray, array: np.ndarray) -> None:
+    """Append a dtype token + the raw buffer of a 1-D array."""
     array = np.ascontiguousarray(array)
-    return _pack_str(array.dtype.str) + array.tobytes()
+    out += _pack_str(array.dtype.str)
+    out += memoryview(array).cast("B")
 
 
-def _unpack_buffer(buf: memoryview, offset: int,
-                   count: int) -> tuple[np.ndarray, int]:
-    """Read a dtype token plus ``count`` items of raw buffer."""
+def _unpack_buffer(buf: memoryview, offset: int, count: int,
+                   copy: bool = True) -> tuple[np.ndarray, int]:
+    """Read a dtype token plus ``count`` items of raw buffer.
+
+    The returned array is read-only; with ``copy=False`` it aliases
+    ``buf`` (which must be read-only) instead of owning its data.
+    """
     dtype_str, offset = _unpack_str(buf, offset)
     try:
         dtype = np.dtype(dtype_str)
@@ -135,25 +154,45 @@ def _unpack_buffer(buf: memoryview, offset: int,
     nbytes = count * dtype.itemsize
     if offset + nbytes > len(buf):
         raise WireFormatError("truncated frame: array buffer missing")
-    array = np.frombuffer(buf[offset:offset + nbytes],
-                          dtype=dtype).copy()
+    array = np.frombuffer(buf[offset:offset + nbytes], dtype=dtype)
+    if copy:
+        array = array.copy()
+        array.setflags(write=False)
     return array, offset + nbytes
 
 
 def encode_packet(packet: UplinkPacket) -> bytes:
     """Serialize one packet to its version-1 binary frame."""
-    parts = [
-        _HEAD.pack(WIRE_MAGIC, WIRE_VERSION,
-                   _FLAG_REFERENCE if packet.reference is not None else 0),
-        _pack_str(packet.kind),
-        _pack_str(packet.mode),
-        _pack_str(packet.patient_id),
-        _BODY.pack(packet.seq, packet.timestamp_s, packet.start,
-                   packet.payload_bits, packet.n_leads, packet.window_n,
-                   packet.cr_percent, packet.quant_bits, packet.cs_seed,
-                   packet.fs, packet.mean_hr_bpm, packet.soc,
-                   packet.n_frames),
-    ]
+    out = bytearray()
+    encode_packet_into(packet, out)
+    return bytes(out)
+
+
+def encode_packet_into(packet: UplinkPacket, out: bytearray) -> int:
+    """Append one packet's version-1 frame to ``out``.
+
+    The pooled-buffer encode path
+    (:class:`~repro.fleet.transport.BufferPool`): measurement and
+    reference buffers are appended straight from their numpy memory —
+    no intermediate ``tobytes()`` copies, no allocation beyond the
+    growth of ``out`` itself.  Returns the number of bytes appended.
+
+    Raises:
+        WireFormatError: A frame's window count contradicts the
+            declared lead count, or a field exceeds its wire range.
+    """
+    start = len(out)
+    out += _HEAD.pack(WIRE_MAGIC, WIRE_VERSION,
+                      _FLAG_REFERENCE if packet.reference is not None
+                      else 0)
+    out += _pack_str(packet.kind)
+    out += _pack_str(packet.mode)
+    out += _pack_str(packet.patient_id)
+    out += _BODY.pack(packet.seq, packet.timestamp_s, packet.start,
+                      packet.payload_bits, packet.n_leads,
+                      packet.window_n, packet.cr_percent,
+                      packet.quant_bits, packet.cs_seed, packet.fs,
+                      packet.mean_hr_bpm, packet.soc, packet.n_frames)
     for frame in packet.frames:
         if len(frame) != packet.n_leads:
             raise WireFormatError(
@@ -163,36 +202,47 @@ def encode_packet(packet: UplinkPacket) -> bytes:
             measurements = np.ascontiguousarray(window.measurements)
             if measurements.ndim != 1:
                 raise WireFormatError("measurement vectors must be 1-D")
-            parts.append(_WINDOW.pack(measurements.shape[0], window.scale,
-                                      window.payload_bits,
-                                      window.additions))
-            parts.append(_pack_array(measurements))
+            out += _WINDOW.pack(measurements.shape[0], window.scale,
+                                window.payload_bits, window.additions)
+            _append_array(out, measurements)
     if packet.reference is not None:
         reference = np.ascontiguousarray(packet.reference)
         if reference.ndim > 255:
             raise WireFormatError("reference rank too large")
-        parts.append(bytes([reference.ndim]))
-        parts.append(struct.pack(f"<{reference.ndim}I", *reference.shape))
-        parts.append(_pack_array(reference.reshape(-1)))
-    return b"".join(parts)
+        out += bytes([reference.ndim])
+        out += struct.pack(f"<{reference.ndim}I", *reference.shape)
+        _append_array(out, reference.reshape(-1))
+    return len(out) - start
 
 
-def decode_packet(data: bytes | bytearray | memoryview) -> UplinkPacket:
+def decode_packet(data: bytes | bytearray | memoryview, *,
+                  copy: bool | None = None) -> UplinkPacket:
     """Parse one binary frame back into an :class:`UplinkPacket`.
+
+    Decoded arrays are always read-only.  With ``copy=None`` (the
+    default) they alias ``data`` when that is safe —
+    :func:`~repro.fleet.transport.is_aliasable` backing, i.e. immutable
+    ``bytes`` — and are copied otherwise, so mutating a ``bytearray``
+    source after decode can never corrupt the packet.  ``copy=False``
+    forces views for callers owning a stable buffer (e.g. a mapped
+    shared-memory segment); ``copy=True`` forces owned arrays.
 
     Raises:
         WireFormatError: Wrong magic, unsupported version, truncation,
             or trailing bytes after the frame.
     """
-    buf = memoryview(data)
-    packet, offset = _decode_at(buf, 0)
+    if copy is None:
+        copy = not is_aliasable(data)
+    buf = memoryview(data).toreadonly()
+    packet, offset = _decode_at(buf, 0, copy)
     if offset != len(buf):
         raise WireFormatError(
             f"{len(buf) - offset} trailing bytes after the frame")
     return packet
 
 
-def _decode_at(buf: memoryview, offset: int) -> tuple[UplinkPacket, int]:
+def _decode_at(buf: memoryview, offset: int,
+               copy: bool = True) -> tuple[UplinkPacket, int]:
     """Decode one frame starting at ``offset``; return (packet, end)."""
     if offset + _HEAD.size > len(buf):
         raise WireFormatError("truncated frame: header missing")
@@ -220,7 +270,7 @@ def _decode_at(buf: memoryview, offset: int) -> tuple[UplinkPacket, int]:
             m, scale, window_bits, additions = _WINDOW.unpack_from(
                 buf, offset)
             offset += _WINDOW.size
-            measurements, offset = _unpack_buffer(buf, offset, m)
+            measurements, offset = _unpack_buffer(buf, offset, m, copy)
             frame.append(EncodedWindow(measurements=measurements,
                                        scale=scale,
                                        payload_bits=window_bits,
@@ -237,7 +287,8 @@ def _decode_at(buf: memoryview, offset: int) -> tuple[UplinkPacket, int]:
         shape = struct.unpack_from(f"<{ndim}I", buf, offset)
         offset += 4 * ndim
         flat, offset = _unpack_buffer(buf, offset,
-                                      int(np.prod(shape, dtype=np.int64)))
+                                      int(np.prod(shape, dtype=np.int64)),
+                                      copy)
         reference = flat.reshape(shape)
     packet = UplinkPacket(
         patient_id=patient_id,
@@ -268,18 +319,27 @@ def encode_packets(packets) -> bytes:
     followed by the :func:`encode_packet` frame — the shard workers'
     result transport, and the natural on-disk capture format.
     """
-    frames = [encode_packet(packet) for packet in packets]
-    parts = [struct.pack("<I", len(frames))]
-    for frame in frames:
-        parts.append(struct.pack("<I", len(frame)))
-        parts.append(frame)
-    return b"".join(parts)
+    packets = list(packets)
+    out = bytearray(struct.pack("<I", len(packets)))
+    for packet in packets:
+        length_at = len(out)
+        out += b"\x00\x00\x00\x00"
+        length = encode_packet_into(packet, out)
+        struct.pack_into("<I", out, length_at, length)
+    return bytes(out)
 
 
-def decode_packets(data: bytes | bytearray | memoryview,
-                   ) -> list[UplinkPacket]:
-    """Parse a :func:`encode_packets` stream back into packets."""
-    buf = memoryview(data)
+def decode_packets(data: bytes | bytearray | memoryview, *,
+                   copy: bool | None = None) -> list[UplinkPacket]:
+    """Parse a :func:`encode_packets` stream back into packets.
+
+    ``copy`` follows the :func:`decode_packet` view discipline: the
+    default aliases immutable ``bytes`` sources and copies mutable
+    ones.
+    """
+    if copy is None:
+        copy = not is_aliasable(data)
+    buf = memoryview(data).toreadonly()
     if len(buf) < 4:
         raise WireFormatError("truncated stream: count missing")
     (count,) = struct.unpack_from("<I", buf, 0)
@@ -292,7 +352,8 @@ def decode_packets(data: bytes | bytearray | memoryview,
         offset += 4
         if offset + length > len(buf):
             raise WireFormatError("truncated stream: frame body missing")
-        packets.append(decode_packet(buf[offset:offset + length]))
+        packets.append(decode_packet(buf[offset:offset + length],
+                                     copy=copy))
         offset += length
     if offset != len(buf):
         raise WireFormatError(
@@ -308,7 +369,7 @@ _FRAME_LEN = struct.Struct("<I")
 _MSG_HEAD = struct.Struct("<4sB")
 
 
-def encode_stream_frame(body: bytes) -> bytes:
+def encode_stream_frame(body: bytes | bytearray | memoryview) -> bytes:
     """Wrap one frame body with the u32 stream length prefix.
 
     The socket transport unit: ``u32 length`` + ``length`` body bytes.
@@ -358,6 +419,15 @@ class StreamDecoder:
     ``max_frame_bytes`` is rejected *from its length prefix alone*,
     before any body bytes arrive, bounding per-connection memory.
 
+    **Frame lifetime**: :meth:`feed` returns read-only ``memoryview``
+    slices over a per-call buffer instead of copied ``bytes`` — when
+    the chunk is ``bytes`` and no tail was pending, the bodies are
+    zero-copy windows into the chunk itself.  The views are guaranteed
+    valid only until the next :meth:`feed` (or :meth:`finish`) call:
+    consume them synchronously, or take ``bytes(frame)`` before
+    crossing an ``await`` / queue / retention boundary (exactly what
+    :mod:`repro.fleet.serve` and the client inbox do).
+
     Args:
         max_frame_bytes: Upper bound on one frame body's length.
     """
@@ -366,37 +436,53 @@ class StreamDecoder:
         if max_frame_bytes < 1:
             raise ValueError("max_frame_bytes must be positive")
         self.max_frame_bytes = int(max_frame_bytes)
-        self._buf = bytearray()
+        self._tail = bytearray()
         #: Complete frame bodies returned so far.
         self.n_frames = 0
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered that do not yet form a complete frame."""
-        return len(self._buf)
+        return len(self._tail)
 
-    def feed(self, data: bytes | bytearray | memoryview) -> list[bytes]:
+    def feed(self, data: bytes | bytearray | memoryview,
+             ) -> list[memoryview]:
         """Absorb one chunk; return every frame body it completed.
+
+        The bodies are read-only views valid until the next ``feed``
+        call (see the class docstring for the lifetime rule).
 
         Raises:
             WireFormatError: A length prefix announces an empty frame
-                or one larger than ``max_frame_bytes``.
+                or one larger than ``max_frame_bytes``.  The decoder
+                is poisoned afterwards — the connection is torn down,
+                never resumed.
         """
-        self._buf += data
-        frames: list[bytes] = []
-        while len(self._buf) >= _FRAME_LEN.size:
-            (length,) = _FRAME_LEN.unpack_from(self._buf, 0)
+        if self._tail:
+            # A tail is pending: splice it with the chunk into one
+            # immutable buffer (single pass, no quadratic regrowth).
+            buf = b"".join((self._tail, data))
+        elif isinstance(data, bytes):
+            buf = data  # zero-copy fast path
+        else:
+            buf = bytes(data)
+        view = memoryview(buf)
+        frames: list[memoryview] = []
+        offset = 0
+        while len(buf) - offset >= _FRAME_LEN.size:
+            (length,) = _FRAME_LEN.unpack_from(buf, offset)
             if length == 0:
                 raise WireFormatError("zero-length stream frame")
             if length > self.max_frame_bytes:
                 raise WireFormatError(
                     f"stream frame of {length} bytes exceeds the "
                     f"{self.max_frame_bytes}-byte bound")
-            end = _FRAME_LEN.size + length
-            if len(self._buf) < end:
+            end = offset + _FRAME_LEN.size + length
+            if len(buf) < end:
                 break
-            frames.append(bytes(self._buf[_FRAME_LEN.size:end]))
-            del self._buf[:end]
+            frames.append(view[offset + _FRAME_LEN.size:end])
+            offset = end
+        self._tail = bytearray(view[offset:])
         self.n_frames += len(frames)
         return frames
 
@@ -407,9 +493,9 @@ class StreamDecoder:
             WireFormatError: Bytes are left mid-frame — the peer closed
                 the connection inside a frame.
         """
-        if self._buf:
+        if self._tail:
             raise WireFormatError(
-                f"stream ended mid-frame with {len(self._buf)} "
+                f"stream ended mid-frame with {len(self._tail)} "
                 "undecoded bytes")
 
 

@@ -27,6 +27,7 @@ from repro.fleet.sharding import (
     decode_shard_result,
     encode_shard_result,
 )
+from repro.fleet.transport import SharedMemoryTransport
 from repro.fleet.triage import PatientTriage
 from repro.power import Battery, BatteryModel
 from repro.power.governor import (
@@ -44,6 +45,16 @@ RUN_KW = dict(
     gateway_config=GatewayConfig(n_iter=50),
 )
 
+#: Both shard-result fabrics; byte-equivalence must hold on each.
+TRANSPORTS = [
+    "pickle",
+    pytest.param(
+        "shared_memory",
+        marks=pytest.mark.skipif(
+            not SharedMemoryTransport.available(),
+            reason="multiprocessing.shared_memory unavailable")),
+]
+
 
 @pytest.fixture(scope="module")
 def plain_run():
@@ -59,10 +70,11 @@ def one_shard_run():
     return ShardedFleetRunner(COHORT, n_shards=1, **RUN_KW).run()
 
 
-@pytest.fixture(scope="module")
-def four_shard_run():
-    """The 4-process run over the same cohort."""
-    return ShardedFleetRunner(COHORT, n_shards=4, **RUN_KW).run()
+@pytest.fixture(scope="module", params=TRANSPORTS)
+def four_shard_run(request):
+    """The 4-process run over the same cohort, per transport backend."""
+    return ShardedFleetRunner(COHORT, n_shards=4,
+                              transport=request.param, **RUN_KW).run()
 
 
 class TestPartition:
@@ -139,13 +151,15 @@ def _impaired_governed_hooks(spec: LinkSpec, profiles,
 
 
 class TestHookedRuns:
-    def test_governed_impaired_shards_byte_identical(self):
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_governed_impaired_shards_byte_identical(self, transport):
         spec = LinkSpec(loss_rate=0.15, duplicate_rate=0.1,
                         reorder_rate=0.2, jitter_s=2.0,
                         reorder_delay_s=65.0)
         kw = dict(RUN_KW, master_seed=99,
                   hook_factory=functools.partial(
-                      _impaired_governed_hooks, spec))
+                      _impaired_governed_hooks, spec),
+                  transport=transport)
         one = ShardedFleetRunner(COHORT[:4], n_shards=1, **kw).run()
         three = ShardedFleetRunner(COHORT[:4], n_shards=3, **kw).run()
         assert three.summary.to_json() == one.summary.to_json()
@@ -245,6 +259,21 @@ class TestMergeGuards:
                             timings_s={})
         with pytest.raises(WireFormatError, match="missing patients"):
             runner._merge([empty])
+
+
+class TestTransportHygiene:
+    def test_no_shm_segments_leak_from_runs(self, four_shard_run):
+        # Every sharded run above unlinked its segments on merge; no
+        # segment of this process's runs may survive in /dev/shm.
+        import os
+        import sys
+
+        if not sys.platform.startswith("linux"):
+            pytest.skip("/dev/shm audit is Linux-only")
+        run_prefix = f"rpf{os.getpid():x}x"
+        leaked = [name for name in os.listdir("/dev/shm")
+                  if name.startswith(run_prefix)]
+        assert leaked == []
 
 
 class TestThroughputAccounting:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.compression.encoder import EncodedWindow
 from repro.fleet import (
@@ -11,6 +13,7 @@ from repro.fleet import (
     NodeProxy,
     NodeProxyConfig,
     PatientProfile,
+    StreamDecoder,
     UplinkPacket,
     WIRE_MAGIC,
     WireFormatError,
@@ -18,8 +21,10 @@ from repro.fleet import (
     decode_packets,
     encode_packet,
     encode_packets,
+    encode_stream_frame,
     synthesize_patient,
 )
+from repro.fleet.wire import encode_packet_into
 from repro.power.governor import MODES
 
 PROXY_CONFIG = NodeProxyConfig(stream_telemetry=False,
@@ -213,6 +218,15 @@ class TestGatewayIngestBytes:
         gateway.flush_reassembly()
         assert gateway.pending == 1
 
+    def test_zero_copy_ingest_batch(self):
+        # Bytes ingest aliases the frame; drain's batched
+        # reconstruction then reads measurements straight out of it.
+        packet = _synthetic_packet(np.random.default_rng(21))
+        decoded = decode_packet(encode_packet(packet))
+        for frame in decoded.frames:
+            for window in frame:
+                assert not window.measurements.flags.writeable
+
     def test_hostile_dtype_token_rejected(self):
         # A crafted frame carrying an object dtype must fail as a
         # format error, never reach numpy's object-array path.
@@ -231,3 +245,146 @@ class TestGatewayIngestBytes:
         forged[idx + 1:idx + 1 + len(token)] = b"O" * len(token)
         with pytest.raises(WireFormatError):
             decode_packet(bytes(forged))
+
+
+def _packet_of_kind(kind: str, seed: int) -> UplinkPacket:
+    """Draw synthetic packets until one of the requested kind appears."""
+    rng = np.random.default_rng(seed)
+    for _ in range(64):
+        packet = _synthetic_packet(rng)
+        if packet.kind == kind:
+            return packet
+    raise AssertionError(f"no {kind!r} packet in 64 draws")  # pragma: no cover
+
+
+class TestZeroCopyAliasing:
+    """The decode aliasing rule: views from immutable sources only."""
+
+    @pytest.mark.parametrize("kind", ["excerpt", "alarm", "telemetry"])
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_mutating_source_never_corrupts_held_packet(self, kind, seed):
+        # Decoding from a *writable* buffer must copy: scribbling over
+        # the source afterwards cannot reach into the held packet.
+        packet = _packet_of_kind(kind, seed)
+        source = bytearray(encode_packet(packet))
+        decoded = decode_packet(source)
+        source[:] = b"\xff" * len(source)
+        assert_packets_equal(packet, decoded)
+
+    @pytest.mark.parametrize("kind", ["excerpt", "alarm", "telemetry"])
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_decoded_arrays_are_read_only(self, kind, seed):
+        # Both the copy path (bytearray source) and the aliasing path
+        # (bytes source) hand out non-writeable arrays.
+        packet = _packet_of_kind(kind, seed)
+        blob = encode_packet(packet)
+        for source in (blob, bytearray(blob)):
+            decoded = decode_packet(source)
+            arrays = [w.measurements for f in decoded.frames for w in f]
+            if decoded.reference is not None:
+                arrays.append(decoded.reference)
+            for arr in arrays:
+                assert not arr.flags.writeable
+                if arr.size:
+                    with pytest.raises(ValueError):
+                        arr[..., 0] = 0
+
+    def test_bytes_decode_aliases_the_frame(self):
+        # Measurement arrays decoded from immutable bytes are windows
+        # into the frame itself — the zero-copy contract.
+        packet = _packet_of_kind("excerpt", 33)
+        blob = encode_packet(packet)
+        decoded = decode_packet(blob)
+        frame_bytes = np.frombuffer(blob, dtype=np.uint8)
+        shared = [w.measurements
+                  for f in decoded.frames for w in f if w.measurements.size]
+        if decoded.reference is not None and decoded.reference.size:
+            shared.append(decoded.reference)
+        for arr in shared:
+            assert np.shares_memory(arr, frame_bytes)
+
+    def test_views_keep_the_buffer_alive(self):
+        packet = _packet_of_kind("excerpt", 5)
+        decoded = decode_packet(encode_packet(packet))  # blob dropped
+        assert_packets_equal(packet, decode_packet(encode_packet(decoded)))
+
+    def test_explicit_copy_flag_overrides_the_auto_rule(self):
+        packet = _packet_of_kind("excerpt", 9)
+        blob = encode_packet(packet)
+        copied = decode_packet(blob, copy=True)
+        frame_bytes = np.frombuffer(blob, dtype=np.uint8)
+        for frame in copied.frames:
+            for window in frame:
+                if window.measurements.size:
+                    assert not np.shares_memory(window.measurements,
+                                                frame_bytes)
+
+
+class TestEncodeInto:
+    def test_pooled_encode_is_byte_identical(self):
+        rng = np.random.default_rng(12)
+        out = bytearray()
+        for _ in range(20):
+            packet = _synthetic_packet(rng)
+            del out[:]  # pooled-buffer reuse
+            n = encode_packet_into(packet, out)
+            assert n == len(out)
+            assert bytes(out) == encode_packet(packet)
+
+    def test_appends_after_existing_content(self):
+        packet = _synthetic_packet(np.random.default_rng(13))
+        out = bytearray(b"prefix")
+        n = encode_packet_into(packet, out)
+        assert out[:6] == b"prefix"
+        assert bytes(out[6:]) == encode_packet(packet)
+        assert n == len(out) - 6
+
+
+class TestStreamDecoderViews:
+    def test_frames_are_zero_copy_views_over_a_bytes_chunk(self):
+        bodies = [b"frame-one", b"frame-two longer"]
+        chunk = b"".join(encode_stream_frame(b) for b in bodies)
+        decoder = StreamDecoder()
+        frames = decoder.feed(chunk)
+        assert [bytes(f) for f in frames] == bodies
+        for frame in frames:
+            assert isinstance(frame, memoryview)
+            assert frame.readonly
+            # No tail was pending and the chunk is bytes: the views
+            # window the chunk itself.
+            assert frame.obj is chunk
+        assert decoder.pending_bytes == 0
+
+    def test_split_feeds_reassemble(self):
+        body = bytes(range(256)) * 3
+        stream = encode_stream_frame(body)
+        decoder = StreamDecoder()
+        collected = []
+        for i in range(0, len(stream), 7):
+            collected += [bytes(f) for f in decoder.feed(stream[i:i + 7])]
+        assert collected == [body]
+        decoder.finish()
+
+    def test_views_survive_until_next_feed(self):
+        decoder = StreamDecoder()
+        first = decoder.feed(encode_stream_frame(b"alpha"))
+        held = first[0]
+        assert bytes(held) == b"alpha"  # valid now
+        decoder.feed(encode_stream_frame(b"beta"))
+        # The lifetime contract ends at the next feed; callers that
+        # retain must copy first (serve/client do exactly that).
+
+    def test_pending_bytes_tracks_the_tail(self):
+        stream = encode_stream_frame(b"0123456789")
+        decoder = StreamDecoder()
+        decoder.feed(stream[:6])
+        assert decoder.pending_bytes == 6
+        decoder.feed(stream[6:])
+        assert decoder.pending_bytes == 0
+
+    def test_oversize_frame_rejected_from_prefix(self):
+        decoder = StreamDecoder(max_frame_bytes=8)
+        with pytest.raises(WireFormatError, match="exceeds"):
+            decoder.feed(encode_stream_frame(b"far too long for that"))
